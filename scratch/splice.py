@@ -1,0 +1,31 @@
+import re, sys
+
+bench = open('bench_output.txt').read()
+
+def extract(start_marker, end_marker):
+    i = bench.index(start_marker)
+    j = bench.index(end_marker, i)
+    return bench[i:j].rstrip()
+
+def block(id_):
+    start = f">>> {id_} "
+    i = bench.index(start)
+    i = bench.index("\n", i) + 1
+    j = bench.index(f"<<< {id_} ", i)
+    return bench[i:j].rstrip()
+
+def fence(text):
+    return "```\n" + text + "\n```"
+
+s = open('EXPERIMENTS.md').read()
+s = s.replace("<!-- RESULTS:fig3 -->", fence(block("fig3")))
+s = s.replace("<!-- RESULTS:fig4 -->", fence(block("fig4")))
+s = s.replace("<!-- RESULTS:fig5 -->", fence(block("fig5")))
+s = s.replace("<!-- RESULTS:fig6 -->", fence(block("fig6")))
+figs = "\n\n".join(block(f) for f in ["fig7","fig8","fig9","fig10"])
+s = s.replace("<!-- RESULTS:fig7-10 -->", fence(figs))
+s = s.replace("<!-- RESULTS:scal-n -->", fence(block("scal-n")))
+abl = "\n\n".join(block(f) for f in ["abl-solver","abl-confound","abl-reg"])
+s = s.replace("<!-- RESULTS:ablations -->", fence(abl))
+open('EXPERIMENTS.md','w').write(s)
+print("spliced")
