@@ -1,0 +1,134 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Sec. 5) at a container-friendly scale, plus the ablations and
+   a Bechamel micro-benchmark of each experiment's dominant kernel.
+
+   Usage:
+     dune exec bench/main.exe                  # everything
+     dune exec bench/main.exe fig3 fig7 micro  # a subset
+     dune exec bench/main.exe --list           # available ids
+
+   Paper-scale runs (bigger dimensions, more seeds) live in
+   bin/tcca_experiments.exe. *)
+
+let params = Figures.quick
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table/figure, covering
+   the operation that dominates that experiment's cost.                *)
+
+let micro_tests () =
+  let world = Secstr.world Secstr.Quick in
+  let rng = Rng.create 99 in
+  let data = Synth.sample world rng ~n:400 in
+  let views = data.Multiview.views in
+  let centered = fst (Preprocess.center_views views) in
+  let covariance = Tcca.covariance_tensor centered in
+  let prepared = Tcca.prepare ~eps:1e-2 views in
+  let nus = Synth.sample (Nuswide.world Nuswide.Quick) rng ~n:300 in
+  let kernel_config =
+    Kernel_protocol.default_config ~n_subset:120 (Nuswide.world Nuswide.Quick)
+  in
+  let small_kernels =
+    Kernel_protocol.build_kernels kernel_config
+      (Synth.sample (Nuswide.world Nuswide.Quick) rng ~n:120)
+  in
+  let ktcca_prepared = Ktcca.prepare ~eps:1e-4 small_kernels in
+  let factors =
+    Array.map
+      (fun v -> Mat.init (fst (Mat.dims v)) 8 (fun i j -> sin (float_of_int ((i * 7) + j))))
+      views
+  in
+  let embedding = Tcca.transform (Tcca.fit_prepared ~r:8 prepared) views in
+  let labels = data.Multiview.labels in
+  let open Bechamel in
+  [ (* Fig. 3 / Table 1: TCCA fit on SecStr-sim (decomposition only). *)
+    Test.make ~name:"fig3/tcca-cp-als-r8"
+      (Staged.stage (fun () -> Tcca.fit_prepared ~r:8 prepared));
+    (* Fig. 4 / Table 2: two-view CCA fit (the Ads baseline family). *)
+    Test.make ~name:"fig4/cca-pair-fit"
+      (Staged.stage (fun () -> Cca.fit ~eps:1e-2 ~r:8 views.(0) views.(1)));
+    (* Fig. 5 / Table 3: CCA-LS multi-view fit on NUS-WIDE-sim. *)
+    Test.make ~name:"fig5/cca-ls-fit"
+      (Staged.stage (fun () -> Cca_ls.fit ~eps:1e-2 ~r:8 nus.Multiview.views));
+    (* Fig. 6 / Table 4: KTCCA decomposition on the kernel tensor. *)
+    Test.make ~name:"fig6/ktcca-cp-als-r6"
+      (Staged.stage (fun () -> Ktcca.fit_prepared ~r:6 ktcca_prepared));
+    (* Fig. 7: covariance-tensor accumulation (the N-dependent pass). *)
+    Test.make ~name:"fig7/covariance-tensor"
+      (Staged.stage (fun () -> Tcca.covariance_tensor centered));
+    (* Fig. 8: whitening — the inverse-square-root of a view covariance. *)
+    Test.make ~name:"fig8/inv-sqrt-whitener"
+      (Staged.stage
+         (let cov =
+            Mat.add_scaled_identity 1e-2 (Mat.scale (1. /. 400.) (Mat.gram centered.(0)))
+          in
+          fun () -> Matfun.inv_sqrt_psd cov));
+    (* Fig. 9: the MTTKRP kernel of one ALS sweep. *)
+    Test.make ~name:"fig9/mttkrp"
+      (Staged.stage (fun () -> Cp_als.mttkrp covariance factors 0));
+    (* Fig. 10: Gram-matrix construction (chi-squared kernel). *)
+    Test.make ~name:"fig10/chi2-gram"
+      (Staged.stage (fun () ->
+           Kernel.gram
+             (Kernel.fit (Kernel.Exp_distance Distance.Chi2) nus.Multiview.views.(0))));
+    (* Classification stages shared by all tables. *)
+    Test.make ~name:"tables/rls-fit"
+      (Staged.stage (fun () -> Rls.fit ~gamma:1e-2 embedding labels));
+    Test.make ~name:"tables/knn-predict"
+      (Staged.stage
+         (let model = Knn.fit ~k:5 embedding labels in
+          fun () -> Knn.predict model embedding)) ]
+
+let run_micro () =
+  let open Bechamel in
+  let tests = micro_tests () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.4) ~kde:None ~stabilize:false ()
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let table =
+    Tableau.create ~title:"Micro-benchmarks (Bechamel, monotonic clock)"
+      ~columns:[ "kernel"; "time/run"; "r^2" ]
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let time_ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (t :: _) -> t
+            | _ -> nan
+          in
+          let r2 = match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan in
+          let pretty =
+            if time_ns > 1e9 then Printf.sprintf "%.2f s" (time_ns /. 1e9)
+            else if time_ns > 1e6 then Printf.sprintf "%.2f ms" (time_ns /. 1e6)
+            else if time_ns > 1e3 then Printf.sprintf "%.2f us" (time_ns /. 1e3)
+            else Printf.sprintf "%.0f ns" time_ns
+          in
+          Tableau.add_text_row table name [ pretty; Printf.sprintf "%.3f" r2 ])
+        results)
+    tests;
+  Tableau.print table
+
+(* ------------------------------------------------------------------ *)
+
+let run_id id =
+  let t0 = Sys.time () in
+  Printf.printf ">>> %s — %s\n%!" id (Figures.describe id);
+  List.iter (fun block -> print_endline block) (Figures.run params id);
+  Printf.printf "<<< %s done in %.1fs\n\n%!" id (Sys.time () -. t0)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "--list" ] ->
+    List.iter (fun id -> Printf.printf "%-12s %s\n" id (Figures.describe id)) Figures.all_ids;
+    print_endline "micro        Bechamel micro-benchmarks of each experiment's dominant kernel"
+  | [] ->
+    List.iter run_id Figures.all_ids;
+    run_micro ()
+  | ids -> List.iter (fun id -> if id = "micro" then run_micro () else run_id id) ids

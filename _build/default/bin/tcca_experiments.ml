@@ -1,0 +1,139 @@
+(* Command-line experiment runner.
+
+   dune exec bin/tcca_experiments.exe -- list
+   dune exec bin/tcca_experiments.exe -- run fig3 --seeds 5 --paper
+   dune exec bin/tcca_experiments.exe -- run fig5 --rs 6,12,24,45,90
+   dune exec bin/tcca_experiments.exe -- demo --dataset nuswide --dim 45
+
+   The [run] command regenerates any table/figure of the paper at either the
+   quick (default) or paper scale, with every knob overridable; [demo] runs a
+   single protocol instance and prints per-method accuracy. *)
+
+open Cmdliner
+
+let ids_doc = String.concat ", " Figures.all_ids
+
+(* ------------------------------------------------------------------ *)
+(* run *)
+
+let apply_overrides params ~seeds ~rs ~paper_scale ~pools =
+  let params = if paper_scale then Figures.paper else params in
+  let params = match seeds with Some s -> { params with Figures.seeds = s } | None -> params in
+  let params = match rs with Some g -> { params with Figures.rs = g; rs_kernel = g } | None -> params in
+  match pools with
+  | Some n ->
+    { params with
+      Figures.secstr_pool = n;
+      ads_pool = n;
+      nus_train = n;
+      nus_test = n;
+      complexity_n = n }
+  | None -> params
+
+let run_cmd =
+  let id =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT"
+           ~doc:(Printf.sprintf "Experiment id: %s (tab1-tab4 alias their figure)." ids_doc))
+  in
+  let seeds =
+    Arg.(value & opt (some int) None & info [ "seeds" ] ~docv:"N" ~doc:"Runs per cell.")
+  in
+  let rs =
+    let int_list = Arg.(list ~sep:',' int) in
+    Arg.(value & opt (some int_list) None & info [ "rs" ] ~docv:"R1,R2,.."
+           ~doc:"Total-dimension grid for the sweeps.")
+  in
+  let paper_scale =
+    Arg.(value & flag & info [ "paper" ]
+           ~doc:"Paper-scale dimensions and pools (hours, not minutes).")
+  in
+  let pools =
+    Arg.(value & opt (some int) None & info [ "pool" ] ~docv:"N"
+           ~doc:"Override every dataset pool size.")
+  in
+  let action id seeds rs paper_scale pools =
+    let rs = Option.map Array.of_list rs in
+    let params = apply_overrides Figures.quick ~seeds ~rs ~paper_scale ~pools in
+    match Figures.run params id with
+    | blocks ->
+      List.iter print_endline blocks;
+      `Ok ()
+    | exception Not_found ->
+      `Error (false, Printf.sprintf "unknown experiment %S; try: %s" id ids_doc)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Regenerate one of the paper's tables/figures.")
+    Term.(ret (const action $ id $ seeds $ rs $ paper_scale $ pools))
+
+(* ------------------------------------------------------------------ *)
+(* list *)
+
+let list_cmd =
+  let action () =
+    List.iter (fun id -> Printf.printf "%-12s %s\n" id (Figures.describe id)) Figures.all_ids
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List experiment ids.") Term.(const action $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* demo *)
+
+let demo_cmd =
+  let dataset =
+    Arg.(value & opt (enum [ ("secstr", `Secstr); ("ads", `Ads); ("nuswide", `Nuswide) ])
+           `Secstr
+         & info [ "dataset" ] ~docv:"NAME" ~doc:"secstr | ads | nuswide.")
+  in
+  let dim =
+    Arg.(value & opt int 24 & info [ "dim" ] ~docv:"R" ~doc:"Total subspace dimension.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Run seed.") in
+  let paper_scale =
+    Arg.(value & flag & info [ "paper" ] ~doc:"Paper-scale feature dimensions.")
+  in
+  let action dataset dim seed paper_scale =
+    (match dataset with
+     | `Secstr | `Ads ->
+       let world =
+         match dataset with
+         | `Secstr -> Secstr.world (if paper_scale then Secstr.Paper else Secstr.Quick)
+         | _ -> Ads.world (if paper_scale then Ads.Paper else Ads.Quick)
+       in
+       let config = Linear_protocol.default_config world in
+       let st = Linear_protocol.prepare config ~seed in
+       let table =
+         Tableau.create
+           ~title:(Printf.sprintf "RLS protocol, dim=%d, seed=%d" dim seed)
+           ~columns:[ "method"; "val acc (%)"; "test acc (%)" ]
+       in
+       List.iter
+         (fun meth ->
+           let res = Linear_protocol.run_prepared st meth ~r:dim in
+           Tableau.add_row table (Spec.linear_name meth)
+             [ res.Linear_protocol.val_acc *. 100.; res.Linear_protocol.test_acc *. 100. ])
+         Spec.all_linear;
+       Tableau.print table
+     | `Nuswide ->
+       let world = Nuswide.world (if paper_scale then Nuswide.Paper else Nuswide.Quick) in
+       let config = Knn_protocol.default_config world in
+       let st = Knn_protocol.prepare config ~seed in
+       let table =
+         Tableau.create
+           ~title:(Printf.sprintf "kNN protocol, dim=%d, seed=%d" dim seed)
+           ~columns:[ "method"; "val acc (%)"; "test acc (%)" ]
+       in
+       List.iter
+         (fun meth ->
+           let res = Knn_protocol.run_prepared st meth ~r:dim in
+           Tableau.add_row table (Spec.linear_name meth)
+             [ res.Knn_protocol.val_acc *. 100.; res.Knn_protocol.test_acc *. 100. ])
+         Spec.all_linear;
+       Tableau.print table)
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run one protocol instance and print per-method accuracy.")
+    Term.(const action $ dataset $ dim $ seed $ paper_scale)
+
+let () =
+  let doc = "Reproduction harness for 'Tensor CCA for Multi-view Dimension Reduction'" in
+  let info = Cmd.info "tcca_experiments" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; list_cmd; demo_cmd ]))

@@ -1,0 +1,1 @@
+examples/ads_classification.ml: Ads Linear_protocol List Printf Spec Tableau

@@ -1,0 +1,1 @@
+examples/ads_classification.mli:

@@ -1,0 +1,1 @@
+examples/biometric_prediction.ml: Array Cca_ls Eval List Mat Multiview Printf Rls Rng Secstr Split Synth Tcca

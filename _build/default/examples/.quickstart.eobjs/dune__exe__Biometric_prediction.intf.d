@@ -1,0 +1,1 @@
+examples/biometric_prediction.mli:

@@ -1,0 +1,1 @@
+examples/image_annotation.ml: Kernel_protocol Knn_protocol List Nuswide Printf Spec Tableau

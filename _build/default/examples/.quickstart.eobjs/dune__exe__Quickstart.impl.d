@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cca Eval List Mat Multiview Printf Rls Rng String Synth Tcca

@@ -1,0 +1,1 @@
+examples/streaming_pipeline.ml: Array Cca_ls Eval Float Mat Multiview Printf Rls Rng Secstr Stats Synth Tcca

@@ -1,0 +1,55 @@
+(* Biometric structure prediction, after the paper's SecStr experiment
+   (Sec. 5.1.1): a binary protein-window task with three context views,
+   transductive evaluation, 100 labeled instances and a large unlabeled pool
+   used only to estimate the common subspace.
+
+   The example walks the full protocol once for TCCA and its strongest
+   pairwise rival, and then shows Table 1's trend: TCCA keeps improving as
+   more unlabeled data refines the covariance tensor.
+
+   Run:  dune exec examples/biometric_prediction.exe *)
+
+let accuracy_of ~labeled_idx ~test_idx ~labels z =
+  let pick idx = Array.map (fun i -> labels.(i)) idx in
+  let model = Rls.fit ~gamma:1e-2 (Mat.select_cols z labeled_idx) (pick labeled_idx) in
+  Eval.accuracy (Rls.predict model (Mat.select_cols z test_idx)) (pick test_idx)
+
+let () =
+  let world = Secstr.world Secstr.Quick in
+  let rng = Rng.create 2024 in
+
+  (* The "84K instances" analog: a pool we evaluate on transductively. *)
+  let pool = Synth.sample world rng ~n:1500 in
+  let labeled_idx, rest = Split.labeled_unlabeled rng ~n:1500 ~labeled:100 in
+  let _validation, test_idx = Split.validation_carveout rng rest 0.2 in
+  let labels = pool.Multiview.labels in
+
+  Printf.printf "SecStr-sim: 3 views × %d dims, %d labeled, %d test instances\n\n"
+    (Multiview.dims pool).(0) (Array.length labeled_idx) (Array.length test_idx);
+
+  Printf.printf "%-12s %-10s %s\n" "unlabeled" "method" "accuracy";
+  List.iter
+    (fun extra ->
+      (* Extra unlabeled instances participate only in subspace fitting. *)
+      let extra_data = Synth.sample world rng ~n:extra in
+      let fit_views =
+        if extra = 0 then pool.Multiview.views
+        else Array.map2 Mat.hcat pool.Multiview.views extra_data.Multiview.views
+      in
+      let tcca = Tcca.fit ~eps:1e-2 ~r:8 fit_views in
+      let acc_tcca =
+        accuracy_of ~labeled_idx ~test_idx ~labels (Tcca.transform tcca pool.Multiview.views)
+      in
+      let ccals = Cca_ls.fit ~eps:1e-2 ~r:8 fit_views in
+      let acc_ls =
+        accuracy_of ~labeled_idx ~test_idx ~labels (Cca_ls.transform ccals pool.Multiview.views)
+      in
+      Printf.printf "%-12d %-10s %.3f\n" (1500 + extra) "TCCA" acc_tcca;
+      Printf.printf "%-12d %-10s %.3f\n%!" (1500 + extra) "CCA-LS" acc_ls)
+    [ 0; 10_000; 60_000 ];
+
+  print_newline ();
+  print_endline
+    "TCCA's high-order statistics need more unlabeled data than pairwise";
+  print_endline
+    "correlations do, and keep paying off as the pool grows (paper Table 1)."

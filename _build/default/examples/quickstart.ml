@@ -1,0 +1,52 @@
+(* Quickstart: three-view dimension reduction with TCCA.
+
+   Generates a small synthetic three-view dataset (sparse binary views driven
+   by shared topics plus pairwise confounders), learns a common subspace on
+   unlabeled data with TCCA, and trains a tiny RLS classifier on 100 labeled
+   instances in that subspace.  Compares against feature concatenation (CAT)
+   and two-view CCA to show why the tensor view helps.
+
+   Run:  dune exec examples/quickstart.exe *)
+
+let () =
+  let world = Synth.make_world ~seed:42 Synth.default in
+  let rng = Rng.create 7 in
+
+  (* 2000 unlabeled instances to estimate the common subspace, 100 labeled
+     ones for the classifier, 1000 fresh ones for testing. *)
+  let unlabeled = Synth.sample world rng ~n:2000 in
+  let labeled = Synth.sample world rng ~n:100 in
+  let test = Synth.sample world rng ~n:1000 in
+
+  let accuracy_with transform =
+    let train_z = transform labeled.Multiview.views in
+    let test_z = transform test.Multiview.views in
+    let model = Rls.fit train_z labeled.Multiview.labels in
+    Eval.accuracy (Rls.predict model test_z) test.Multiview.labels
+  in
+
+  (* TCCA: fit on the unlabeled pool, keep r = 10 canonical directions per
+     view; the representation is the 3·10-dim concatenation of the projected
+     views. *)
+  let tcca = Tcca.fit ~eps:1e-2 ~r:10 unlabeled.Multiview.views in
+  Printf.printf "TCCA %s\n" (Tcca.solver_info tcca);
+  Printf.printf "top canonical correlations: %s\n"
+    (String.concat ", "
+       (List.map (Printf.sprintf "%.3f")
+          (Array.to_list (Array.sub (Tcca.correlations tcca) 0 5))));
+
+  let acc_tcca = accuracy_with (Tcca.transform tcca) in
+
+  (* Baseline 1: plain concatenation of all features. *)
+  let acc_cat = accuracy_with (fun views -> Mat.vcat_list (Array.to_list views)) in
+
+  (* Baseline 2: two-view CCA on views 0 and 1 (the classic approach). *)
+  let cca = Cca.fit ~eps:1e-2 ~r:15 unlabeled.Multiview.views.(0) unlabeled.Multiview.views.(1) in
+  let acc_cca =
+    accuracy_with (fun views -> Cca.transform_concat cca views.(0) views.(1))
+  in
+
+  Printf.printf "\naccuracy on 1000 held-out instances (100 labeled):\n";
+  Printf.printf "  CAT  (concatenate everything) : %.3f\n" acc_cat;
+  Printf.printf "  CCA  (views 0+1 only)         : %.3f\n" acc_cca;
+  Printf.printf "  TCCA (all views, tensor)      : %.3f\n" acc_tcca

@@ -1,0 +1,1 @@
+lib/dataset/multiview.ml: Array Mat

@@ -1,0 +1,1 @@
+lib/dataset/nuswide.mli: Synth

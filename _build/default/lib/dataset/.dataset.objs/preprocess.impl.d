@@ -1,0 +1,1 @@
+lib/dataset/preprocess.ml: Array Mat Vec

@@ -1,0 +1,1 @@
+lib/dataset/secstr.mli: Synth

@@ -1,0 +1,1 @@
+lib/dataset/split.ml: Array Float Printf Rng

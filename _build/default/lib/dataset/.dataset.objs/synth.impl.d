@@ -1,0 +1,1 @@
+lib/dataset/synth.ml: Array Float List Mat Multiview Rng

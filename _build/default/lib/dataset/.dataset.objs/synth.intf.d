@@ -1,0 +1,1 @@
+lib/dataset/synth.mli: Multiview Rng

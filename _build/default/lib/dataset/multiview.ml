@@ -1,0 +1,28 @@
+type t = { views : Mat.t array; labels : int array }
+
+let create views labels =
+  if Array.length views = 0 then invalid_arg "Multiview.create: no views";
+  let n = snd (Mat.dims views.(0)) in
+  Array.iter
+    (fun v -> if snd (Mat.dims v) <> n then invalid_arg "Multiview.create: instance count mismatch")
+    views;
+  if Array.length labels <> n then invalid_arg "Multiview.create: label count mismatch";
+  { views; labels }
+
+let n_instances t = snd (Mat.dims t.views.(0))
+let n_views t = Array.length t.views
+let dims t = Array.map (fun v -> fst (Mat.dims v)) t.views
+
+let n_classes t = 1 + Array.fold_left max 0 t.labels
+
+let views_of t idx = Array.map (fun v -> Mat.select_cols v idx) t.views
+
+let select t idx =
+  { views = views_of t idx; labels = Array.map (fun i -> t.labels.(i)) idx }
+
+let concat_features t = Mat.vcat_list (Array.to_list t.views)
+
+let instances_per_class t =
+  let counts = Array.make (n_classes t) 0 in
+  Array.iter (fun y -> counts.(y) <- counts.(y) + 1) t.labels;
+  counts

@@ -1,0 +1,27 @@
+(** A labeled multi-view sample: one feature matrix per view, instances as
+    columns, plus an integer class label per instance. *)
+
+type t = {
+  views : Mat.t array;   (** [views.(p)] is [dₚ × N]; all share the same N. *)
+  labels : int array;    (** Length N; classes are [0 .. n_classes−1]. *)
+}
+
+val create : Mat.t array -> int array -> t
+(** Validates that all views and the label vector agree on N. *)
+
+val n_instances : t -> int
+val n_views : t -> int
+val dims : t -> int array
+val n_classes : t -> int
+(** [1 + max label]. *)
+
+val select : t -> int array -> t
+(** Instance subset (columns and labels), in the given order. *)
+
+val views_of : t -> int array -> Mat.t array
+(** Like [select] but without labels. *)
+
+val concat_features : t -> Mat.t
+(** Stack all views vertically: the CAT baseline's input. *)
+
+val instances_per_class : t -> int array

@@ -1,0 +1,35 @@
+type centering = Vec.t array
+
+let fit_center views = Array.map Mat.row_means views
+
+let apply_center means views =
+  if Array.length means <> Array.length views then
+    invalid_arg "Preprocess.apply_center: view count mismatch";
+  Array.map2 Mat.sub_col_vec views means
+
+let center_views views =
+  let means = fit_center views in
+  (apply_center means views, means)
+
+let means c = c
+
+let normalize_view_scale v =
+  let _, n = Mat.dims v in
+  let total = ref 0. in
+  for j = 0 to n - 1 do
+    total := !total +. Vec.norm (Mat.col v j)
+  done;
+  let avg = !total /. float_of_int (max n 1) in
+  if avg > 0. then Mat.scale (1. /. avg) v else Mat.copy v
+
+let unit_columns v =
+  let d, n = Mat.dims v in
+  let out = Mat.create d n in
+  for j = 0 to n - 1 do
+    Mat.set_col out j (Vec.normalize (Mat.col v j))
+  done;
+  out
+
+let append_bias v =
+  let _, n = Mat.dims v in
+  Mat.vcat v (Mat.make 1 n 1.)

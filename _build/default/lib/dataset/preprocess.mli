@@ -1,0 +1,27 @@
+(** Feature preprocessing applied before dimension-reduction methods.
+
+    CCA-family methods assume centered views (paper Sec. 4.2); the CAT
+    baseline normalizes each view's features before concatenation
+    (Sec. 5.1). *)
+
+type centering
+(** Per-view means frozen on the fitting data. *)
+
+val fit_center : Mat.t array -> centering
+val apply_center : centering -> Mat.t array -> Mat.t array
+(** Subtract the frozen means from (possibly different) data. *)
+
+val center_views : Mat.t array -> Mat.t array * centering
+(** Convenience: fit and apply on the same data. *)
+
+val means : centering -> Vec.t array
+
+val normalize_view_scale : Mat.t -> Mat.t
+(** Divide a view by its average column norm, so concatenated views
+    contribute comparably (the CAT baseline's normalization). *)
+
+val unit_columns : Mat.t -> Mat.t
+(** L2-normalize every instance column (zero columns left as-is). *)
+
+val append_bias : Mat.t -> Mat.t
+(** Add a constant-1 feature row — the RLS bias term of Sec. 5.1. *)

@@ -1,0 +1,40 @@
+let partition rng n fraction =
+  if fraction < 0. || fraction > 1. then invalid_arg "Split.partition: bad fraction";
+  let perm = Rng.permutation rng n in
+  let k = int_of_float (Float.round (fraction *. float_of_int n)) in
+  (Array.sub perm 0 k, Array.sub perm k (n - k))
+
+let labeled_unlabeled rng ~n ~labeled =
+  if labeled > n then invalid_arg "Split.labeled_unlabeled: more labeled than instances";
+  let perm = Rng.permutation rng n in
+  (Array.sub perm 0 labeled, Array.sub perm labeled (n - labeled))
+
+let labeled_per_class rng labels ~per_class =
+  let n = Array.length labels in
+  let n_classes = 1 + Array.fold_left max 0 labels in
+  let by_class = Array.make n_classes [] in
+  (* Iterate a shuffled order so the per-class picks are random. *)
+  let perm = Rng.permutation rng n in
+  Array.iter (fun i -> by_class.(labels.(i)) <- i :: by_class.(labels.(i))) perm;
+  let chosen = ref [] and rest = ref [] in
+  Array.iteri
+    (fun c members ->
+      let members = Array.of_list members in
+      if Array.length members < per_class then
+        invalid_arg
+          (Printf.sprintf "Split.labeled_per_class: class %d has only %d instances" c
+             (Array.length members));
+      Array.iteri
+        (fun k i -> if k < per_class then chosen := i :: !chosen else rest := i :: !rest)
+        members)
+    by_class;
+  let chosen = Array.of_list !chosen and rest = Array.of_list !rest in
+  Rng.shuffle_in_place rng chosen;
+  Rng.shuffle_in_place rng rest;
+  (chosen, rest)
+
+let validation_carveout rng pool fraction =
+  let pool = Array.copy pool in
+  Rng.shuffle_in_place rng pool;
+  let k = int_of_float (Float.round (fraction *. float_of_int (Array.length pool))) in
+  (Array.sub pool 0 k, Array.sub pool k (Array.length pool - k))

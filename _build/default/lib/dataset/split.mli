@@ -1,0 +1,22 @@
+(** Index-level splitting utilities implementing the paper's protocols:
+    random labeled subsets, train/test partition, and the 20%-of-test
+    validation carve-out used for all hyper-parameter choices (Sec. 5). *)
+
+val partition : Rng.t -> int -> float -> int array * int array
+(** [partition rng n fraction] shuffles [0..n−1] and returns
+    [(first, rest)] where [first] holds [round (fraction · n)] indices. *)
+
+val labeled_unlabeled : Rng.t -> n:int -> labeled:int -> int array * int array
+(** [labeled] random indices vs the rest — the SecStr/Ads protocol
+    ("randomly select 100 instances as labeled samples"). *)
+
+val labeled_per_class : Rng.t -> int array -> per_class:int -> int array * int array
+(** [labeled_per_class rng labels ~per_class] picks exactly [per_class]
+    random instances of each class (the NUS-WIDE protocol); returns
+    [(labeled, rest)].  Raises [Invalid_argument] if a class has fewer
+    instances than requested. *)
+
+val validation_carveout : Rng.t -> int array -> float -> int array * int array
+(** [validation_carveout rng pool fraction] splits an index pool into
+    [(validation, evaluation)] — the paper's "twenty percent of the test
+    data are used for validation". *)

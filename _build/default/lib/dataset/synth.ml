@@ -1,0 +1,238 @@
+type config = {
+  dims : int array;
+  n_classes : int;
+  class_priors : float array option;
+  shared_topics : int;
+  topics_per_class : int;
+  pair_confounders : int;
+  confounder_strength : float;
+  confounder_prob : float;
+  confounder_features : int;
+  clutter_topics : int;
+  clutter_strength : float;
+  clutter_prob : float;
+  active_prob : float;
+  background_prob : float;
+  features_per_topic : int;
+  topic_gain : float;
+  noise : float;
+  binary : bool;
+}
+
+let default =
+  { dims = [| 40; 40; 40 |];
+    n_classes = 2;
+    class_priors = None;
+    shared_topics = 8;
+    topics_per_class = 4;
+    pair_confounders = 4;
+    confounder_strength = 1.2;
+    confounder_prob = 0.35;
+    confounder_features = 8;
+    clutter_topics = 4;
+    clutter_strength = 2.0;
+    clutter_prob = 0.3;
+    active_prob = 0.75;
+    background_prob = 0.08;
+    features_per_topic = 6;
+    topic_gain = 1.5;
+    noise = 0.6;
+    binary = true }
+
+(* A loading is a sparse column: (feature index, weight) pairs. *)
+type loading = (int * float) array
+
+type world = {
+  config : config;
+  shared_loadings : loading array array;
+      (* shared_loadings.(p).(j): loading of shared topic j in view p *)
+  confounder_loadings : (int * int * loading * loading) array;
+      (* (p, q, loading in view p, loading in view q) per confounder topic *)
+  clutter_loadings : loading array array;
+      (* clutter_loadings.(p).(j): class-free single-view structure *)
+  class_topics : bool array array;
+      (* class_topics.(c).(j): does class c prefer shared topic j *)
+}
+
+let make_loading rng pool count gain =
+  (* Pick [count] distinct features from the given feature pool. *)
+  let count = min count (Array.length pool) in
+  let chosen = Rng.choose rng count (Array.length pool) in
+  Array.map (fun i -> (pool.(i), gain *. (0.5 +. Rng.uniform rng))) chosen
+
+(* Partition a view's feature indices into disjoint pools for topics,
+   confounders and clutter, sized by their loading demand.  Disjointness
+   mirrors real BOW data (topic vocabularies barely overlap) and keeps the
+   binarization from mixing confounder mass into topic features. *)
+let feature_pools rng config dim =
+  (* Fixed shares: half the vocabulary for class topics, a third for
+     confounders, the rest clutter.  Families without loadings cede their
+     share to the topics. *)
+  let n_conf = if config.pair_confounders = 0 then 0 else max 1 (dim * 35 / 100) in
+  let n_clutter = if config.clutter_topics = 0 then 0 else max 1 (dim * 15 / 100) in
+  let n_topics = dim - n_conf - n_clutter in
+  let perm = Rng.permutation rng dim in
+  ( Array.sub perm 0 n_topics,
+    (if n_conf > 0 then Array.sub perm n_topics n_conf else [||]),
+    (if n_clutter > 0 then Array.sub perm (n_topics + n_conf) n_clutter
+     else Array.sub perm 0 dim) )
+
+let make_world ?(seed = 42) config =
+  if Array.length config.dims < 2 then invalid_arg "Synth: need at least two views";
+  if config.n_classes < 2 then invalid_arg "Synth: need at least two classes";
+  if config.shared_topics < 1 then invalid_arg "Synth: need at least one shared topic";
+  let rng = Rng.create seed in
+  let m = Array.length config.dims in
+  let pools = Array.map (fun d -> feature_pools rng config d) config.dims in
+  let topic_pool p = let (t, _, _) = pools.(p) in t in
+  let conf_pool p = let (_, c, _) = pools.(p) in c in
+  let clutter_pool p = let (_, _, l) = pools.(p) in l in
+  let shared_loadings =
+    (* Topics get disjoint feature chunks of their pool when it is large
+       enough (distinct vocabularies, as in real BOW data) -- this keeps the
+       rank-1 terms of the covariance tensor near-orthogonal, which is what
+       makes the CP decomposition identifiable. *)
+    Array.init m (fun p ->
+        let pool = topic_pool p in
+        let chunk = Array.length pool / config.shared_topics in
+        Array.init config.shared_topics (fun j ->
+            if chunk >= 1 then begin
+              let slice = Array.sub pool (j * chunk) chunk in
+              make_loading rng slice (min config.features_per_topic chunk) config.topic_gain
+            end
+            else make_loading rng pool config.features_per_topic config.topic_gain))
+  in
+  let pairs = ref [] in
+  for p = 0 to m - 1 do
+    for q = p + 1 to m - 1 do
+      pairs := (p, q) :: !pairs
+    done
+  done;
+  let confounder_loadings =
+    List.concat_map
+      (fun (p, q) ->
+        List.init config.pair_confounders (fun _ ->
+            let lp =
+              make_loading rng (conf_pool p) config.confounder_features
+                config.confounder_strength
+            in
+            let lq =
+              make_loading rng (conf_pool q) config.confounder_features
+                config.confounder_strength
+            in
+            (p, q, lp, lq)))
+      (List.rev !pairs)
+    |> Array.of_list
+  in
+  let clutter_loadings =
+    Array.init m (fun p ->
+        Array.init config.clutter_topics (fun _ ->
+            make_loading rng (clutter_pool p) config.features_per_topic
+              config.clutter_strength))
+  in
+  let class_topics =
+    Array.init config.n_classes (fun c ->
+        let prefers = Array.make config.shared_topics false in
+        for i = 0 to config.topics_per_class - 1 do
+          prefers.(((c * config.topics_per_class) + i) mod config.shared_topics) <- true
+        done;
+        prefers)
+  in
+  { config; shared_loadings; confounder_loadings; clutter_loadings; class_topics }
+
+let config_of w = w.config
+
+let add_loading intensity loading amplitude =
+  Array.iter (fun (f, weight) -> intensity.(f) <- intensity.(f) +. (amplitude *. weight)) loading
+
+let draw_label rng config =
+  match config.class_priors with
+  | None -> Rng.int rng config.n_classes
+  | Some priors ->
+    let u = Rng.uniform rng in
+    let acc = ref 0. and chosen = ref (config.n_classes - 1) in
+    (try
+       Array.iteri
+         (fun c p ->
+           acc := !acc +. p;
+           if u < !acc then begin
+             chosen := c;
+             raise Exit
+           end)
+         priors
+     with Exit -> ());
+    !chosen
+
+(* Draw one instance: fill each view's intensity accumulator from active
+   topics, then emit either binary Bernoulli features (BOW-style) or
+   non-negative continuous ones (histogram-style). *)
+let draw_instance w rng label columns n_index =
+  let c = w.config in
+  let m = Array.length c.dims in
+  let intensities = Array.init m (fun p -> Array.make c.dims.(p) 0.) in
+  for j = 0 to c.shared_topics - 1 do
+    let p_on = if w.class_topics.(label).(j) then c.active_prob else c.background_prob in
+    if Rng.bernoulli rng p_on then begin
+      let amplitude = 1. +. (0.5 *. Float.abs (Rng.gaussian rng)) in
+      for p = 0 to m - 1 do
+        add_loading intensities.(p) w.shared_loadings.(p).(j) amplitude
+      done
+    end
+  done;
+  Array.iter
+    (fun (p, q, lp, lq) ->
+      if Rng.bernoulli rng c.confounder_prob then begin
+        let amplitude = 1. +. (0.5 *. Float.abs (Rng.gaussian rng)) in
+        add_loading intensities.(p) lp amplitude;
+        add_loading intensities.(q) lq amplitude
+      end)
+    w.confounder_loadings;
+  (* Per-view clutter: class-free structure visible to exactly one view —
+     it inflates within-view variance (polluting PCA/graph-based methods)
+     while any cross-view correlation method is blind to it. *)
+  for p = 0 to m - 1 do
+    Array.iter
+      (fun loading ->
+        if Rng.bernoulli rng c.clutter_prob then
+          add_loading intensities.(p) loading (1. +. (0.5 *. Float.abs (Rng.gaussian rng))))
+      w.clutter_loadings.(p)
+  done;
+  for p = 0 to m - 1 do
+    let col = columns.(p).(n_index) in
+    if c.binary then begin
+      (* Poisson-style firing: P(1) = 1 − (1−p_bg)·exp(−intensity). *)
+      let p_bg = Float.min 0.4 (0.04 *. c.noise) in
+      for f = 0 to c.dims.(p) - 1 do
+        let fire = 1. -. ((1. -. p_bg) *. exp (-.Float.max 0. intensities.(p).(f))) in
+        col.(f) <- (if Rng.bernoulli rng fire then 1. else 0.)
+      done
+    end
+    else
+      for f = 0 to c.dims.(p) - 1 do
+        col.(f) <- Float.max 0. (intensities.(p).(f) +. (c.noise *. Rng.gaussian rng))
+      done
+  done
+
+let sample_with_labels w rng labels =
+  let c = w.config in
+  let n = Array.length labels in
+  Array.iter
+    (fun y -> if y < 0 || y >= c.n_classes then invalid_arg "Synth: label out of range")
+    labels;
+  let m = Array.length c.dims in
+  let columns = Array.init m (fun p -> Array.init n (fun _ -> Array.make c.dims.(p) 0.)) in
+  for i = 0 to n - 1 do
+    draw_instance w rng labels.(i) columns i
+  done;
+  let views = Array.init m (fun p -> Mat.of_cols columns.(p)) in
+  Multiview.create views (Array.copy labels)
+
+let sample w rng ~n =
+  let labels = Array.init n (fun _ -> draw_label rng w.config) in
+  sample_with_labels w rng labels
+
+let sample_balanced w rng ~per_class =
+  let c = w.config in
+  let labels = Array.init (per_class * c.n_classes) (fun i -> i mod c.n_classes) in
+  Rng.shuffle_in_place rng labels;
+  sample_with_labels w rng labels

@@ -1,0 +1,70 @@
+(** Synthetic multi-view generator standing in for the paper's datasets.
+
+    Why this design reproduces the paper's behaviour (see DESIGN.md §1):
+
+    - The class signal lives in sparse, *skewed* shared topics that load on
+      every view.  Skewness matters: the order-3 covariance tensor of any
+      symmetric (e.g. Gaussian) latent vanishes in expectation, so TCCA would
+      have nothing to find.  Centered sparse Bernoulli activations — the
+      structure of the paper's binary BOW features — have non-zero third
+      cross-moments, which is precisely the high-order statistic TCCA
+      exploits.
+    - Class-free *clutter topics* load on exactly one view each: they
+      dominate within-view variance, so purely unsupervised structure
+      finders (PCA, spectral embeddings — the DSE/SSMVD substrate, and the
+      CAT baseline's feature space) chase them, while every cross-view
+      correlation method is blind to them by construction.
+    - Class-independent *pairwise confounders* load on exactly two views.
+      They create strong pairwise correlation with no label information, so
+      pairwise methods (CCA, CCA-LS, CCA-MAXVAR) spend canonical directions
+      on them, while the 3-way covariance tensor is blind to them (their
+      expectation against the third, independent view is zero after
+      centering).  [confounder_strength] is the ablation knob.
+    - Per-view noise and high ambient dimension reproduce the CAT/BSF
+      over-fitting behaviour at 100 labeled instances. *)
+
+type config = {
+  dims : int array;           (** Feature dimension of each view. *)
+  n_classes : int;
+  class_priors : float array option;
+      (** Class sampling distribution; uniform when [None]. *)
+  shared_topics : int;        (** Latent topics loading on all views. *)
+  topics_per_class : int;     (** Topics each class prefers. *)
+  pair_confounders : int;     (** Topics per view pair, class-independent. *)
+  confounder_strength : float;(** Loading scale of pair confounders;
+                                  0 disables them. *)
+  confounder_prob : float;    (** Activation probability of a confounder. *)
+  confounder_features : int;  (** Loading sparsity of confounders — more
+                                  features average out feature noise and
+                                  raise their pairwise canonical
+                                  correlation above the topics'. *)
+  clutter_topics : int;       (** Class-free single-view topics per view. *)
+  clutter_strength : float;   (** Their loading scale. *)
+  clutter_prob : float;       (** Their activation probability. *)
+  active_prob : float;        (** P(topic on | class prefers it). *)
+  background_prob : float;    (** P(topic on | class does not prefer it). *)
+  features_per_topic : int;   (** Loading sparsity. *)
+  topic_gain : float;         (** Loading amplitude of shared topics. *)
+  noise : float;              (** Feature noise scale. *)
+  binary : bool;              (** Binarize outputs (BOW-style views). *)
+}
+
+val default : config
+(** A small three-view binary world: 3×40 dims, 2 classes — the quickstart
+    example's data. *)
+
+type world
+(** Frozen loadings and class→topic assignments; instances drawn from a
+    world are i.i.d. *)
+
+val make_world : ?seed:int -> config -> world
+val config_of : world -> config
+
+val sample : world -> Rng.t -> n:int -> Multiview.t
+(** [n] i.i.d. instances with labels drawn from the class prior. *)
+
+val sample_balanced : world -> Rng.t -> per_class:int -> Multiview.t
+(** Exactly [per_class] instances of every class, shuffled. *)
+
+val sample_with_labels : world -> Rng.t -> int array -> Multiview.t
+(** Instances with the given label sequence. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Cp_als Cp_rand Hopm Kruskal Linear_protocol Mat Measure Multiview Printf Rng Spec Stats Synth Tableau Tcca Tensor_power

@@ -1,0 +1,1 @@
+lib/experiments/complexity.ml: Array Cca Cca_ls Cp_als Distance Dse Kcca Kernel Ktcca List Mat Measure Multiview Preprocess Printf Rng Spec Ssmvd Synth Tableau Tcca

@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Ablations Ads Complexity Kernel_protocol Knn_protocol Linear_protocol List Nuswide Printf Secstr Spec Sweep Tableau

@@ -1,0 +1,1 @@
+lib/experiments/kernel_protocol.ml: Array Cp_als Distance Eval Float Hashtbl Kcca Kernel Knn Ktcca List Mat Multiview Rng Spec Split Synth Tcca Validate

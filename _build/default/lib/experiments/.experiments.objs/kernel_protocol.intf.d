@@ -1,0 +1,1 @@
+lib/experiments/kernel_protocol.mli: Mat Multiview Spec Synth

@@ -1,0 +1,1 @@
+lib/experiments/knn_protocol.ml: Array Cca Cca_ls Dse Eval Hashtbl Knn List Mat Multiview Rng Spec Split Ssmvd Synth Tcca Validate Vec

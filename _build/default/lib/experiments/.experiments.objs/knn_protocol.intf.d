@@ -1,0 +1,1 @@
+lib/experiments/knn_protocol.mli: Spec Synth

@@ -1,0 +1,1 @@
+lib/experiments/linear_protocol.ml: Array Cca Cca_ls Dse Eval List Mat Multiview Preprocess Rls Rng Spec Split Ssmvd Synth Tcca

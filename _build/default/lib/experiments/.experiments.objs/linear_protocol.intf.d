@@ -1,0 +1,1 @@
+lib/experiments/linear_protocol.mli: Spec Synth

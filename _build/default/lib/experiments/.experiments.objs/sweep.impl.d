@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Array List Stats Tableau

@@ -1,0 +1,24 @@
+(** Ablation studies on design choices the paper discusses but does not
+    isolate experimentally.
+
+    - {e Solver}: Sec. 4.3 remarks that ALS "performs the best" among ALS,
+      HOPM and the tensor power method — quantified here by rank-r fit
+      quality and runtime on the whitened covariance tensor.
+    - {e High-order signal}: Fig. 1's claim that pairwise methods discard
+      3-way-only information — quantified by sweeping the strength of the
+      pairwise confounders the tensor is blind to (DESIGN.md §1).
+    - {e Regularization}: the ε of Eq. 4.8, swept on a log grid. *)
+
+val solver_comparison :
+  world:Synth.world -> n:int -> eps:float -> rs:int array -> seed:int -> string
+(** Table: per rank, CP fit and seconds for ALS / HOPM-rank-1-repeat / power
+    deflation on the same whitened tensor. *)
+
+val confounder_sweep :
+  base:Synth.config -> strengths:float array -> r:int -> seeds:int -> string
+(** Table: TCCA vs CCA-LS test accuracy as the pairwise-confounder loading
+    scale grows. *)
+
+val eps_sweep :
+  world:Synth.world -> epsilons:float array -> r:int -> seeds:int -> string
+(** Table: TCCA test accuracy per regularization value. *)

@@ -1,0 +1,117 @@
+type cost = { r : int; seconds : float; alloc_mb : float }
+type curve = { label : string; costs : cost array }
+
+let measure_fit thunk =
+  let _, sample = Measure.run thunk in
+  (sample.Measure.seconds, sample.Measure.allocated_mb +. sample.Measure.live_mb)
+
+let linear_fit_thunk ~eps ~cap views meth ~r =
+  let m = Array.length views in
+  match (meth : Spec.linear_method) with
+  | Spec.Bsf -> fun () -> ignore (Mat.copy views.(0))
+  | Spec.Cat ->
+    fun () ->
+      ignore (Mat.vcat_list (Array.to_list (Array.map Preprocess.normalize_view_scale views)))
+  | Spec.Cca_bst | Spec.Cca_avg ->
+    fun () ->
+      (* Both fit all m(m−1)/2 pairwise models. *)
+      List.iter
+        (fun (p, q) -> ignore (Cca.fit ~eps ~r:(max 1 (r / 2)) views.(p) views.(q)))
+        (Spec.view_pairs m)
+  | Spec.Cca_ls -> fun () -> ignore (Cca_ls.fit ~eps ~r:(max 1 (r / m)) views)
+  | Spec.Tcca -> fun () -> ignore (Tcca.fit ~eps ~r:(max 1 (r / m)) views)
+  | Spec.Dse ->
+    let capped = Array.map (fun v -> Mat.sub_cols v 0 (min cap (snd (Mat.dims v)))) views in
+    fun () -> ignore (Dse.fit_transform ~r capped)
+  | Spec.Ssmvd ->
+    let capped = Array.map (fun v -> Mat.sub_cols v 0 (min cap (snd (Mat.dims v)))) views in
+    fun () -> ignore (Ssmvd.fit_transform ~r capped)
+
+let linear_costs ~world ~n ~eps ~methods ~rs ~seed =
+  let rng = Rng.create (0xC057 + seed) in
+  let data = Synth.sample world rng ~n in
+  let views = data.Multiview.views in
+  List.map
+    (fun meth ->
+      let costs =
+        Array.map
+          (fun r ->
+            let seconds, alloc_mb =
+              measure_fit (linear_fit_thunk ~eps ~cap:2000 views meth ~r)
+            in
+            { r; seconds; alloc_mb })
+          rs
+      in
+      { label = Spec.linear_name meth; costs })
+    methods
+
+let kernel_fit_thunk ~eps kernels meth ~r =
+  let m = Array.length kernels in
+  match (meth : Spec.kernel_method) with
+  | Spec.Bsk -> fun () -> ignore (Array.map Mat.copy kernels)
+  | Spec.Kavg ->
+    fun () ->
+      ignore (Kernel.average (Array.to_list (Array.map Kernel.normalize_unit_diag kernels)))
+  | Spec.Kcca_bst | Spec.Kcca_avg ->
+    fun () ->
+      List.iter
+        (fun (p, q) -> ignore (Kcca.fit ~eps ~r:(max 1 (r / 2)) kernels.(p) kernels.(q)))
+        (Spec.view_pairs m)
+  | Spec.Ktcca ->
+    let solver = Tcca.Als { Cp_als.default_options with max_iter = 30; tol = 1e-4 } in
+    fun () -> ignore (Ktcca.fit ~eps ~solver ~r:(max 1 (r / m)) kernels)
+
+let kernel_costs ~world ~n ~eps ~bow_view ~methods ~rs ~seed =
+  let rng = Rng.create (0xC058 + seed) in
+  let data = Synth.sample world rng ~n in
+  let kernels =
+    Array.mapi
+      (fun p view ->
+        let dist = if p = bow_view then Distance.Chi2 else Distance.L2 in
+        Kernel.gram (Kernel.fit (Kernel.Exp_distance dist) view))
+      data.Multiview.views
+  in
+  List.map
+    (fun meth ->
+      let costs =
+        Array.map
+          (fun r ->
+            let seconds, alloc_mb = measure_fit (kernel_fit_thunk ~eps kernels meth ~r) in
+            { r; seconds; alloc_mb })
+          rs
+      in
+      { label = Spec.kernel_name meth; costs })
+    methods
+
+let cost_figure ~title ~value curves =
+  match curves with
+  | [] -> invalid_arg "Complexity: no curves"
+  | first :: _ ->
+    let x = Array.map (fun c -> float_of_int c.r) first.costs in
+    Tableau.series ~title ~xlabel:"dim" ~x
+      (List.map (fun c -> (c.label, Array.map value c.costs)) curves)
+
+let time_figure ~title curves = cost_figure ~title ~value:(fun c -> c.seconds) curves
+let memory_figure ~title curves = cost_figure ~title ~value:(fun c -> c.alloc_mb) curves
+
+let n_scaling ~world ~ns ~r ~eps ~dse_cap =
+  let t =
+    Tableau.create
+      ~title:
+        (Printf.sprintf "Fit seconds vs sample size (r = %d); nan = beyond the method's cap" r)
+      ~columns:[ "N"; "CCA (pair)"; "CCA-LS"; "TCCA"; "DSE"; "SSMVD" ]
+  in
+  let rng = Rng.create 0x5CA1E in
+  Array.iter
+    (fun n ->
+      let data = Synth.sample world rng ~n in
+      let views = data.Multiview.views in
+      let time f = Measure.time (fun () -> ignore (f ())) in
+      let cca = time (fun () -> Cca.fit ~eps ~r views.(0) views.(1)) in
+      let ccals = time (fun () -> Cca_ls.fit ~eps ~r views) in
+      let tcca = time (fun () -> Tcca.fit ~eps ~r views) in
+      let dse = if n <= dse_cap then time (fun () -> Dse.fit_transform ~r views) else nan in
+      let ssmvd = if n <= dse_cap then time (fun () -> Ssmvd.fit_transform ~r views) else nan in
+      Tableau.add_row t (string_of_int n) [ cca; ccals; tcca; dse; ssmvd ])
+    ns;
+  Tableau.render t

@@ -1,0 +1,265 @@
+type params = {
+  seeds : int;
+  rs : int array;
+  rs_kernel : int array;
+  paper_scale : bool;
+  secstr_pool : int;
+  secstr_extra : int;
+  ads_pool : int;
+  nus_train : int;
+  nus_test : int;
+  kernel_subset : int;
+  complexity_n : int;
+}
+
+let quick =
+  { seeds = 3;
+    rs = [| 6; 12; 24; 45; 90 |];
+    rs_kernel = [| 6; 12; 24; 45 |];
+    paper_scale = false;
+    secstr_pool = 1500;
+    secstr_extra = 60000;
+    ads_pool = 1500;
+    nus_train = 1000;
+    nus_test = 1000;
+    kernel_subset = 160;
+    complexity_n = 1000 }
+
+let paper =
+  { seeds = 5;
+    rs = [| 6; 12; 30; 60; 120; 210; 300 |];
+    rs_kernel = [| 6; 12; 30; 60; 120; 210; 300 |];
+    paper_scale = true;
+    secstr_pool = 8000;
+    secstr_extra = 300000;
+    ads_pool = 3000;
+    nus_train = 5000;
+    nus_test = 5000;
+    kernel_subset = 500;
+    complexity_n = 4000 }
+
+let secstr_world p = Secstr.world (if p.paper_scale then Secstr.Paper else Secstr.Quick)
+let ads_world p = Ads.world (if p.paper_scale then Ads.Paper else Ads.Quick)
+let nus_world p = Nuswide.world (if p.paper_scale then Nuswide.Paper else Nuswide.Quick)
+
+let linear_sweep config p =
+  Sweep.sweep_prepared
+    ~prepare:(fun ~seed -> Linear_protocol.prepare config ~seed)
+    ~run:(fun st meth ~r ->
+      let res = Linear_protocol.run_prepared st meth ~r in
+      (res.Linear_protocol.val_acc, res.Linear_protocol.test_acc))
+    ~label:Spec.linear_name ~methods:Spec.all_linear ~rs:p.rs ~seeds:p.seeds
+
+let knn_sweep config p =
+  Sweep.sweep_prepared
+    ~prepare:(fun ~seed -> Knn_protocol.prepare config ~seed)
+    ~run:(fun st meth ~r ->
+      let res = Knn_protocol.run_prepared st meth ~r in
+      (res.Knn_protocol.val_acc, res.Knn_protocol.test_acc))
+    ~label:Spec.linear_name ~methods:Spec.all_linear ~rs:p.rs ~seeds:p.seeds
+
+let kernel_sweep config p =
+  Sweep.sweep_prepared
+    ~prepare:(fun ~seed -> Kernel_protocol.prepare config ~seed)
+    ~run:(fun st meth ~r ->
+      let res = Kernel_protocol.run_prepared st meth ~r in
+      (res.Kernel_protocol.val_acc, res.Kernel_protocol.test_acc))
+    ~label:Spec.kernel_name ~methods:Spec.all_kernel ~rs:p.rs_kernel ~seeds:p.seeds
+
+(* Fig. 3 + Table 1: SecStr, small and large unlabeled sets. *)
+let fig3 p =
+  let world = secstr_world p in
+  let base = Linear_protocol.default_config world in
+  let small = { base with Linear_protocol.n_pool = p.secstr_pool } in
+  let large = { small with Linear_protocol.n_extra_unlabeled = p.secstr_extra } in
+  let curves_small = linear_sweep small p in
+  let curves_large = linear_sweep large p in
+  let panel name curves =
+    Sweep.figure ~title:(Printf.sprintf "Fig. 3 (%s): SecStr-sim accuracy vs dimension" name)
+      curves
+  in
+  let table =
+    let t =
+      Tableau.create
+        ~title:"Table 1: SecStr-sim accuracy (%) at validation-chosen dimension"
+        ~columns:[ "method"; Printf.sprintf "unlabeled=%d" p.secstr_pool;
+                   Printf.sprintf "unlabeled=%d" (p.secstr_pool + p.secstr_extra) ]
+    in
+    List.iter2
+      (fun cs cl ->
+        let ps = Sweep.best_point cs and pl = Sweep.best_point cl in
+        Tableau.add_text_row t cs.Sweep.label
+          [ Tableau.pm (ps.Sweep.test_mean *. 100.) (ps.Sweep.test_std *. 100.);
+            Tableau.pm (pl.Sweep.test_mean *. 100.) (pl.Sweep.test_std *. 100.) ])
+      curves_small curves_large;
+    Tableau.render t
+  in
+  [ panel (Printf.sprintf "%d unlabeled" p.secstr_pool) curves_small;
+    panel (Printf.sprintf "%d unlabeled" (p.secstr_pool + p.secstr_extra)) curves_large;
+    table ]
+
+(* Fig. 4 + Table 2: Ads. *)
+let fig4 p =
+  let world = ads_world p in
+  let config =
+    { (Linear_protocol.default_config world) with Linear_protocol.n_pool = p.ads_pool }
+  in
+  let curves = linear_sweep config p in
+  [ Sweep.figure ~title:"Fig. 4: Ads-sim accuracy vs dimension" curves;
+    Sweep.table ~title:"Table 2: Ads-sim accuracy (%) at validation-chosen dimension" curves ]
+
+(* Fig. 5 + Table 3: NUS-WIDE, three label budgets. *)
+let fig5 p =
+  let world = nus_world p in
+  let budgets = [ 4; 6; 8 ] in
+  let per_budget =
+    List.map
+      (fun per_class ->
+        let config =
+          { (Knn_protocol.default_config ~per_class world) with
+            Knn_protocol.n_train = p.nus_train;
+            n_test = p.nus_test }
+        in
+        (per_class, knn_sweep config p))
+      budgets
+  in
+  let panels =
+    List.map
+      (fun (per_class, curves) ->
+        Sweep.figure
+          ~title:
+            (Printf.sprintf "Fig. 5 (%d labeled/concept): NUS-WIDE-sim accuracy vs dimension"
+               per_class)
+          curves)
+      per_budget
+  in
+  let table =
+    let t =
+      Tableau.create
+        ~title:"Table 3: NUS-WIDE-sim accuracy (%) at validation-chosen dimension"
+        ~columns:[ "method"; "#labeled=4"; "#labeled=6"; "#labeled=8" ]
+    in
+    (match per_budget with
+     | (_, first) :: _ ->
+       List.iteri
+         (fun mi curve ->
+           let cell (_, curves) =
+             let pnt = Sweep.best_point (List.nth curves mi) in
+             Tableau.pm (pnt.Sweep.test_mean *. 100.) (pnt.Sweep.test_std *. 100.)
+           in
+           Tableau.add_text_row t curve.Sweep.label (List.map cell per_budget))
+         first
+     | [] -> ());
+    Tableau.render t
+  in
+  panels @ [ table ]
+
+(* Fig. 6 + Table 4: kernel methods on the small subset. *)
+let fig6 p =
+  let world = nus_world p in
+  let budgets = [ 4; 6; 8 ] in
+  let per_budget =
+    List.map
+      (fun per_class ->
+        let config = Kernel_protocol.default_config ~per_class ~n_subset:p.kernel_subset world in
+        (per_class, kernel_sweep config p))
+      budgets
+  in
+  let panels =
+    List.map
+      (fun (per_class, curves) ->
+        Sweep.figure
+          ~title:
+            (Printf.sprintf
+               "Fig. 6 (%d labeled/concept, N=%d): kernel methods accuracy vs dimension"
+               per_class p.kernel_subset)
+          curves)
+      per_budget
+  in
+  let table =
+    let t =
+      Tableau.create
+        ~title:"Table 4: NUS-WIDE-sim kernel-method accuracy (%) at best dimension"
+        ~columns:[ "method"; "#labeled=4"; "#labeled=6"; "#labeled=8" ]
+    in
+    (match per_budget with
+     | (_, first) :: _ ->
+       List.iteri
+         (fun mi curve ->
+           let cell (_, curves) =
+             let pnt = Sweep.best_point (List.nth curves mi) in
+             Tableau.pm (pnt.Sweep.test_mean *. 100.) (pnt.Sweep.test_std *. 100.)
+           in
+           Tableau.add_text_row t curve.Sweep.label (List.map cell per_budget))
+         first
+     | [] -> ());
+    Tableau.render t
+  in
+  panels @ [ table ]
+
+let linear_complexity ~title world p =
+  let curves =
+    Complexity.linear_costs ~world ~n:p.complexity_n ~eps:1e-2 ~methods:Spec.all_linear
+      ~rs:p.rs ~seed:0
+  in
+  [ Complexity.time_figure ~title:(title ^ " — time (s)") curves;
+    Complexity.memory_figure ~title:(title ^ " — memory (MB allocated)") curves ]
+
+let fig7 p = linear_complexity ~title:"Fig. 7: SecStr-sim cost vs dimension" (secstr_world p) p
+let fig8 p = linear_complexity ~title:"Fig. 8: Ads-sim cost vs dimension" (ads_world p) p
+let fig9 p = linear_complexity ~title:"Fig. 9: NUS-WIDE-sim cost vs dimension" (nus_world p) p
+
+let fig10 p =
+  let curves =
+    Complexity.kernel_costs ~world:(nus_world p) ~n:p.kernel_subset ~eps:1e-4
+      ~bow_view:Nuswide.bow_view ~methods:Spec.all_kernel ~rs:p.rs_kernel ~seed:0
+  in
+  [ Complexity.time_figure ~title:"Fig. 10: kernel-method cost vs dimension — time (s)" curves;
+    Complexity.memory_figure
+      ~title:"Fig. 10: kernel-method cost vs dimension — memory (MB allocated)" curves ]
+
+let scal_n p =
+  let ns =
+    if p.paper_scale then [| 1000; 4000; 16000; 64000; 256000 |]
+    else [| 500; 1000; 2000; 4000; 8000; 16000 |]
+  in
+  [ Complexity.n_scaling ~world:(secstr_world p) ~ns ~r:9 ~eps:1e-2 ~dse_cap:2500 ]
+
+let abl_solver p =
+  [ Ablations.solver_comparison ~world:(secstr_world p) ~n:p.complexity_n ~eps:1e-2
+      ~rs:[| 1; 2; 5; 10; 20 |] ~seed:0 ]
+
+let abl_confound p =
+  [ Ablations.confounder_sweep
+      ~base:(Secstr.config (if p.paper_scale then Secstr.Paper else Secstr.Quick))
+      ~strengths:[| 0.; 0.6; 1.2; 1.8; 2.4 |]
+      ~r:45 ~seeds:p.seeds ]
+
+let abl_reg p =
+  [ Ablations.eps_sweep ~world:(secstr_world p)
+      ~epsilons:[| 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10. |]
+      ~r:45 ~seeds:p.seeds ]
+
+let registry =
+  [ ("fig3", ("Fig. 3 + Table 1: SecStr-sim accuracy vs dimension, two unlabeled sizes", fig3));
+    ("fig4", ("Fig. 4 + Table 2: Ads-sim accuracy vs dimension", fig4));
+    ("fig5", ("Fig. 5 + Table 3: NUS-WIDE-sim accuracy vs dimension, 4/6/8 labels", fig5));
+    ("fig6", ("Fig. 6 + Table 4: kernel methods on the small subset", fig6));
+    ("fig7", ("Fig. 7: time and memory vs dimension, SecStr-sim", fig7));
+    ("fig8", ("Fig. 8: time and memory vs dimension, Ads-sim", fig8));
+    ("fig9", ("Fig. 9: time and memory vs dimension, NUS-WIDE-sim", fig9));
+    ("fig10", ("Fig. 10: time and memory vs dimension, kernel methods", fig10));
+    ("scal-n", ("Sec. 5.3 claim: fit time vs sample size (TCCA vs transductive baselines)", scal_n));
+    ("abl-solver", ("Ablation: ALS vs randomized ALS vs HOPM vs power deflation", abl_solver));
+    ("abl-confound", ("Ablation: pairwise-confounder strength (TCCA vs CCA-LS)", abl_confound));
+    ("abl-reg", ("Ablation: regularization eps sweep for TCCA", abl_reg)) ]
+
+let alias = [ ("tab1", "fig3"); ("tab2", "fig4"); ("tab3", "fig5"); ("tab4", "fig6") ]
+
+let resolve id = match List.assoc_opt id alias with Some target -> target | None -> id
+
+let all_ids = List.map fst registry
+
+let describe id = fst (List.assoc (resolve id) registry)
+
+let run p id = (snd (List.assoc (resolve id) registry)) p

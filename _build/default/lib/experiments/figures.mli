@@ -1,0 +1,42 @@
+(** Experiment registry: every table and figure of the paper's Section 5,
+    plus the ablations, addressable by id.
+
+    Ids: [fig3] (+Table 1), [fig4] (+Table 2), [fig5] (+Table 3),
+    [fig6] (+Table 4), [fig7]–[fig10] (complexity), [abl-solver],
+    [abl-confound], [abl-reg].  Table ids ([tab1]–[tab4]) alias their figure
+    since both come from the same sweep.
+
+    Each experiment renders one or more text blocks (figure series as
+    aligned tables, tables in the paper's mean±std format). *)
+
+type params = {
+  seeds : int;              (** Runs per cell (paper: 5). *)
+  rs : int array;           (** Total-dimension grid for the linear sweeps. *)
+  rs_kernel : int array;
+  paper_scale : bool;       (** Dataset dimensions: Quick vs Paper scale. *)
+  secstr_pool : int;        (** The "84K instances" analog. *)
+  secstr_extra : int;       (** The "1.3M unlabeled" analog (extra fit-only
+                                instances added on top of the pool). *)
+  ads_pool : int;
+  nus_train : int;
+  nus_test : int;
+  kernel_subset : int;      (** Paper: 500. *)
+  complexity_n : int;       (** Pool size for Figs. 7–9. *)
+}
+
+val quick : params
+(** Small dimensions and pools: the whole suite runs in minutes —
+    what [bench/main.exe] uses. *)
+
+val paper : params
+(** Paper-scale dimensions (subject to DESIGN.md substitutions); hours. *)
+
+val all_ids : string list
+
+val describe : string -> string
+(** One-line description of an experiment id.  Raises [Not_found] on an
+    unknown id. *)
+
+val run : params -> string -> string list
+(** Render the blocks of one experiment id.  Raises [Not_found] on an
+    unknown id. *)

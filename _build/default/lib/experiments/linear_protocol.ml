@@ -1,0 +1,181 @@
+type config = {
+  world : Synth.world;
+  n_pool : int;
+  n_extra_unlabeled : int;
+  n_labeled : int;
+  val_fraction : float;
+  eps : float;
+  rls_gamma : float;
+  transductive_cap : int;
+}
+
+let default_config world =
+  { world;
+    n_pool = 2000;
+    n_extra_unlabeled = 0;
+    n_labeled = 100;
+    val_fraction = 0.2;
+    eps = 1e-2;
+    rls_gamma = 1e-2;
+    transductive_cap = 2500 }
+
+type result = { val_acc : float; test_acc : float }
+
+(* Everything one run needs: the pool with its three index sets, plus the
+   (pool + extra unlabeled) views subspaces are fitted on. *)
+type state = {
+  config : config;
+  pool : Multiview.t;
+  fit_views : Mat.t array;
+  labeled_idx : int array;
+  val_idx : int array;
+  test_idx : int array;
+  y_labeled : int array;
+  y_val : int array;
+  y_test : int array;
+  mutable tcca_prepared : Tcca.prepared option;
+  mutable dse_prepared : (int * Dse.prepared) option; (* (max_r, prepared) *)
+}
+
+let prepare config ~seed =
+  let rng = Rng.create (0x51EED + (seed * 9973)) in
+  let pool = Synth.sample config.world rng ~n:config.n_pool in
+  let labeled_idx, rest =
+    Split.labeled_unlabeled rng ~n:config.n_pool ~labeled:config.n_labeled
+  in
+  let val_idx, test_idx = Split.validation_carveout rng rest config.val_fraction in
+  let fit_views =
+    if config.n_extra_unlabeled = 0 then pool.Multiview.views
+    else begin
+      let extra = Synth.sample config.world rng ~n:config.n_extra_unlabeled in
+      Array.map2 Mat.hcat pool.Multiview.views extra.Multiview.views
+    end
+  in
+  let label_of = Array.map (fun i -> pool.Multiview.labels.(i)) in
+  { config;
+    pool;
+    fit_views;
+    labeled_idx;
+    val_idx;
+    test_idx;
+    y_labeled = label_of labeled_idx;
+    y_val = label_of val_idx;
+    y_test = label_of test_idx;
+    tcca_prepared = None;
+    dse_prepared = None }
+
+(* Train RLS on an embedding aligned with the pool's columns and evaluate. *)
+let eval_embedding st z =
+  let model =
+    Rls.fit ~gamma:st.config.rls_gamma (Mat.select_cols z st.labeled_idx) st.y_labeled
+  in
+  let acc idx y = Eval.accuracy (Rls.predict model (Mat.select_cols z idx)) y in
+  { val_acc = acc st.val_idx st.y_val; test_acc = acc st.test_idx st.y_test }
+
+(* Scores (C × N_subset) of an RLS trained on an embedding, for AVG. *)
+let scores_of_embedding st z =
+  let model =
+    Rls.fit ~gamma:st.config.rls_gamma (Mat.select_cols z st.labeled_idx) st.y_labeled
+  in
+  ( Rls.scores model (Mat.select_cols z st.val_idx),
+    Rls.scores model (Mat.select_cols z st.test_idx) )
+
+let best_by_val results =
+  match results with
+  | [] -> invalid_arg "Linear_protocol: no candidates"
+  | first :: rest ->
+    List.fold_left (fun best r -> if r.val_acc > best.val_acc then r else best) first rest
+
+let run_bsf st =
+  let m = Array.length st.pool.Multiview.views in
+  best_by_val
+    (List.init m (fun p -> eval_embedding st st.pool.Multiview.views.(p)))
+
+let run_cat st =
+  (* Per-view scale normalization frozen on the pool. *)
+  let scaled = Array.map Preprocess.normalize_view_scale st.pool.Multiview.views in
+  eval_embedding st (Mat.vcat_list (Array.to_list scaled))
+
+let cca_pair_embedding st ~r (p, q) =
+  let model =
+    Cca.fit ~eps:st.config.eps ~r:(max 1 (r / 2)) st.fit_views.(p) st.fit_views.(q)
+  in
+  Cca.transform_concat model st.pool.Multiview.views.(p) st.pool.Multiview.views.(q)
+
+let run_cca_bst st ~r =
+  let pairs = Spec.view_pairs (Array.length st.pool.Multiview.views) in
+  best_by_val (List.map (fun pair -> eval_embedding st (cca_pair_embedding st ~r pair)) pairs)
+
+let run_cca_avg st ~r =
+  let pairs = Spec.view_pairs (Array.length st.pool.Multiview.views) in
+  let scores = List.map (fun pair -> scores_of_embedding st (cca_pair_embedding st ~r pair)) pairs in
+  let sum side = List.fold_left Mat.add (side (List.hd scores)) (List.map side (List.tl scores)) in
+  let val_scores = sum fst and test_scores = sum snd in
+  { val_acc = Eval.accuracy (Rls.predict_scores val_scores) st.y_val;
+    test_acc = Eval.accuracy (Rls.predict_scores test_scores) st.y_test }
+
+let run_cca_ls st ~r =
+  let m = Array.length st.fit_views in
+  let model = Cca_ls.fit ~eps:st.config.eps ~r:(max 1 (r / m)) st.fit_views in
+  eval_embedding st (Cca_ls.transform model st.pool.Multiview.views)
+
+let run_tcca st ~r =
+  let m = Array.length st.fit_views in
+  let prepared =
+    match st.tcca_prepared with
+    | Some p -> p
+    | None ->
+      let p = Tcca.prepare ~eps:st.config.eps st.fit_views in
+      st.tcca_prepared <- Some p;
+      p
+  in
+  let model = Tcca.fit_prepared ~r:(max 1 (r / m)) prepared in
+  eval_embedding st (Tcca.transform model st.pool.Multiview.views)
+
+(* Transductive methods embed a capped subset of the pool: all labeled and
+   validation instances are kept, test instances fill the remaining budget
+   (the paper likewise runs DSE on a 10K subset of SecStr). *)
+let run_transductive st ~r fit_transform =
+  let cap = st.config.transductive_cap in
+  let n_keep_test =
+    max 0 (min (Array.length st.test_idx)
+             (cap - Array.length st.labeled_idx - Array.length st.val_idx))
+  in
+  let test_kept = Array.sub st.test_idx 0 n_keep_test in
+  let subset = Array.concat [ st.labeled_idx; st.val_idx; test_kept ] in
+  let z = fit_transform ~r (Multiview.views_of st.pool subset) in
+  (* Positions of each index group inside the subset embedding. *)
+  let nl = Array.length st.labeled_idx and nv = Array.length st.val_idx in
+  let train_pos = Array.init nl (fun i -> i) in
+  let val_pos = Array.init nv (fun i -> nl + i) in
+  let test_pos = Array.init n_keep_test (fun i -> nl + nv + i) in
+  let model = Rls.fit ~gamma:st.config.rls_gamma (Mat.select_cols z train_pos) st.y_labeled in
+  let acc pos y = Eval.accuracy (Rls.predict model (Mat.select_cols z pos)) y in
+  { val_acc = acc val_pos st.y_val;
+    test_acc = acc test_pos (Array.sub st.y_test 0 n_keep_test) }
+
+let run_prepared st meth ~r =
+  match (meth : Spec.linear_method) with
+  | Spec.Bsf -> run_bsf st
+  | Spec.Cat -> run_cat st
+  | Spec.Cca_bst -> run_cca_bst st ~r
+  | Spec.Cca_avg -> run_cca_avg st ~r
+  | Spec.Cca_ls -> run_cca_ls st ~r
+  | Spec.Tcca -> run_tcca st ~r
+  | Spec.Dse ->
+    run_transductive st ~r (fun ~r views ->
+        (* Laplacian embeddings are nested in r: prepare once per state at a
+           width covering the sweep, then slice. *)
+        let prepared =
+          match st.dse_prepared with
+          | Some (cap, p) when r <= cap -> p
+          | _ ->
+            let cap = max r 96 in
+            let p = Dse.prepare ~max_r:cap views in
+            st.dse_prepared <- Some (cap, p);
+            p
+        in
+        Dse.transform_prepared prepared ~r)
+  | Spec.Ssmvd -> run_transductive st ~r (fun ~r views -> Ssmvd.fit_transform ~r views)
+
+let run config meth ~r ~seed = run_prepared (prepare config ~seed) meth ~r

@@ -1,0 +1,39 @@
+(** The SecStr / Ads experimental protocol (paper Secs. 5.1.1–5.1.2).
+
+    Per run (seed): draw a pool of instances, pick [n_labeled] at random,
+    carve 20% of the remainder for validation and evaluate transductively on
+    the rest with an RLS classifier (γ = 10⁻²).  Subspaces are fitted on the
+    whole pool plus, optionally, [n_extra_unlabeled] additional unlabeled
+    instances (the paper's 84K → 1.3M axis).  Transductive baselines
+    (DSE/SSMVD) are fitted on the pool capped at [transductive_cap], as the
+    paper caps DSE at 10K. *)
+
+type config = {
+  world : Synth.world;
+  n_pool : int;
+  n_extra_unlabeled : int;
+  n_labeled : int;
+  val_fraction : float;      (** 0.2 in the paper. *)
+  eps : float;               (** CCA/TCCA regularizer (paper: 1e-2). *)
+  rls_gamma : float;         (** Paper: 1e-2. *)
+  transductive_cap : int;
+}
+
+val default_config : Synth.world -> config
+(** n_pool = 2000, no extra unlabeled, 100 labeled, 20% validation,
+    ε = γ = 1e-2, cap = 2500. *)
+
+type result = { val_acc : float; test_acc : float }
+
+type state
+(** One seed's sampled pool and splits, shared across methods and
+    dimensions; the TCCA whitened tensor is memoized inside so dimension
+    sweeps only repeat the CP decomposition. *)
+
+val prepare : config -> seed:int -> state
+val run_prepared : state -> Spec.linear_method -> r:int -> result
+
+val run : config -> Spec.linear_method -> r:int -> seed:int -> result
+(** One (method, total-dimension, seed) cell of a figure.  [r] is the total
+    dimension of the final representation (split across views per method
+    convention); ignored by BSF/CAT. *)

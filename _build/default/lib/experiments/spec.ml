@@ -1,0 +1,33 @@
+type linear_method = Bsf | Cat | Cca_bst | Cca_avg | Cca_ls | Dse | Ssmvd | Tcca
+
+let all_linear = [ Bsf; Cat; Cca_bst; Cca_avg; Cca_ls; Dse; Ssmvd; Tcca ]
+
+let linear_name = function
+  | Bsf -> "BSF"
+  | Cat -> "CAT"
+  | Cca_bst -> "CCA (BST)"
+  | Cca_avg -> "CCA (AVG)"
+  | Cca_ls -> "CCA-LS"
+  | Dse -> "DSE"
+  | Ssmvd -> "SSMVD"
+  | Tcca -> "TCCA"
+
+type kernel_method = Bsk | Kavg | Kcca_bst | Kcca_avg | Ktcca
+
+let all_kernel = [ Bsk; Kavg; Kcca_bst; Kcca_avg; Ktcca ]
+
+let kernel_name = function
+  | Bsk -> "BSK"
+  | Kavg -> "AVG"
+  | Kcca_bst -> "KCCA (BST)"
+  | Kcca_avg -> "KCCA (AVG)"
+  | Ktcca -> "KTCCA"
+
+let view_pairs m =
+  let pairs = ref [] in
+  for p = 0 to m - 1 do
+    for q = p + 1 to m - 1 do
+      pairs := (p, q) :: !pairs
+    done
+  done;
+  List.rev !pairs

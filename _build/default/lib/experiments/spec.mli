@@ -1,0 +1,30 @@
+(** Method identifiers for the paper's comparisons. *)
+
+(** The eight linear methods of Figs. 3–5 / Tables 1–3. *)
+type linear_method =
+  | Bsf       (** Best single-view features (chosen on validation). *)
+  | Cat       (** Normalized concatenation of all views. *)
+  | Cca_bst   (** Best two-view CCA pair (chosen on validation). *)
+  | Cca_avg   (** Score/vote averaging over all view pairs. *)
+  | Cca_ls    (** Multi-view CCA of Vía et al. 2007. *)
+  | Dse       (** Long et al. 2008. *)
+  | Ssmvd     (** Han et al. 2012. *)
+  | Tcca      (** The paper's method. *)
+
+val all_linear : linear_method list
+val linear_name : linear_method -> string
+(** Paper spelling: "BSF", "CAT", "CCA (BST)", … *)
+
+(** The five kernel methods of Fig. 6 / Table 4. *)
+type kernel_method =
+  | Bsk        (** Best single-view kernel. *)
+  | Kavg       (** Averaged normalized kernels. *)
+  | Kcca_bst
+  | Kcca_avg
+  | Ktcca
+
+val all_kernel : kernel_method list
+val kernel_name : kernel_method -> string
+
+val view_pairs : int -> (int * int) list
+(** All unordered view pairs, the m(m−1)/2 subsets of the paper. *)

@@ -1,0 +1,1 @@
+lib/kernel/distance.ml: Array Float Mat

@@ -1,0 +1,1 @@
+lib/kernel/distance.mli: Mat Vec

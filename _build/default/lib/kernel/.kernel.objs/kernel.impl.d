@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Array Distance Eigen Float List Mat Vec

@@ -1,0 +1,58 @@
+type t = L2 | Sq_l2 | Chi2 | L1
+
+let eval kind x y =
+  if Array.length x <> Array.length y then invalid_arg "Distance.eval: dimension mismatch";
+  match kind with
+  | Sq_l2 ->
+    let acc = ref 0. in
+    for i = 0 to Array.length x - 1 do
+      let d = x.(i) -. y.(i) in
+      acc := !acc +. (d *. d)
+    done;
+    !acc
+  | L2 ->
+    let acc = ref 0. in
+    for i = 0 to Array.length x - 1 do
+      let d = x.(i) -. y.(i) in
+      acc := !acc +. (d *. d)
+    done;
+    sqrt !acc
+  | L1 ->
+    let acc = ref 0. in
+    for i = 0 to Array.length x - 1 do
+      acc := !acc +. Float.abs (x.(i) -. y.(i))
+    done;
+    !acc
+  | Chi2 ->
+    let acc = ref 0. in
+    for i = 0 to Array.length x - 1 do
+      let s = x.(i) +. y.(i) in
+      if s > 0. then begin
+        let d = x.(i) -. y.(i) in
+        acc := !acc +. (d *. d /. s)
+      end
+    done;
+    !acc
+
+let cross kind a b =
+  let da, na = Mat.dims a in
+  let db, nb = Mat.dims b in
+  if da <> db then invalid_arg "Distance.cross: feature dimension mismatch";
+  let cols_a = Array.init na (Mat.col a) in
+  let cols_b = Array.init nb (Mat.col b) in
+  Mat.init na nb (fun i j -> eval kind cols_a.(i) cols_b.(j))
+
+let pairwise kind x =
+  let _, n = Mat.dims x in
+  let cols = Array.init n (Mat.col x) in
+  let out = Mat.create n n in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let d = if i = j then 0. else eval kind cols.(i) cols.(j) in
+      Mat.set out i j d;
+      Mat.set out j i d
+    done
+  done;
+  out
+
+let max_entry = Mat.max_abs

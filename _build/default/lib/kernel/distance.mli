@@ -1,0 +1,24 @@
+(** Pairwise distances between instances stored as matrix columns.
+
+    The paper's kernel experiments (Sec. 5.2) use the χ² distance for the
+    visual-word histogram view and L2 for the rest. *)
+
+type t =
+  | L2        (** Euclidean distance. *)
+  | Sq_l2     (** Squared Euclidean — the usual RBF argument. *)
+  | Chi2      (** [Σᵢ (xᵢ−yᵢ)² / (xᵢ+yᵢ)], terms with a zero denominator
+                  skipped; intended for non-negative histogram features. *)
+  | L1
+
+val eval : t -> Vec.t -> Vec.t -> float
+
+val pairwise : t -> Mat.t -> Mat.t
+(** [pairwise d x] for [x : d×N] (instances as columns) is the symmetric
+    [N×N] distance matrix. *)
+
+val cross : t -> Mat.t -> Mat.t -> Mat.t
+(** [cross d a b] is the [N_a × N_b] matrix of distances between columns of
+    [a] and columns of [b]. *)
+
+val max_entry : Mat.t -> float
+(** Largest entry — the paper's bandwidth [λ = maxᵢⱼ d(xᵢ,xⱼ)]. *)

@@ -1,0 +1,60 @@
+type t = Linear | Exp_distance of Distance.t | Rbf of float
+
+type fitted = { kind : t; train : Mat.t; lambda : float option }
+
+let fit kind x =
+  let lambda =
+    match kind with
+    | Exp_distance d ->
+      let lam = Distance.max_entry (Distance.pairwise d x) in
+      (* All-identical columns give λ = 0; fall back to 1 so the kernel is
+         the constant-1 matrix rather than NaN. *)
+      Some (if lam > 0. then lam else 1.)
+    | Linear | Rbf _ -> None
+  in
+  { kind; train = Mat.copy x; lambda }
+
+let eval_matrix f dist_or_inner =
+  match f.kind, f.lambda with
+  | Linear, _ -> dist_or_inner
+  | Exp_distance _, Some lam -> Mat.map (fun d -> exp (-.d /. lam)) dist_or_inner
+  | Rbf gamma, _ -> Mat.map (fun d -> exp (-.gamma *. d)) dist_or_inner
+  | Exp_distance _, None -> assert false
+
+let cross f y =
+  match f.kind with
+  | Linear -> Mat.mul_tn f.train y
+  | Exp_distance d -> eval_matrix f (Distance.cross d f.train y)
+  | Rbf _ -> eval_matrix f (Distance.cross Distance.Sq_l2 f.train y)
+
+let gram f =
+  match f.kind with
+  | Linear -> Mat.tgram f.train
+  | Exp_distance d -> eval_matrix f (Distance.pairwise d f.train)
+  | Rbf _ -> eval_matrix f (Distance.pairwise Distance.Sq_l2 f.train)
+
+let bandwidth f = f.lambda
+
+let center k =
+  let n, m = Mat.dims k in
+  if n <> m then invalid_arg "Kernel.center: not square";
+  let row_means = Array.init n (fun i -> Vec.mean (Mat.row k i)) in
+  let total = Vec.mean row_means in
+  Mat.init n n (fun i j -> Mat.get k i j -. row_means.(i) -. row_means.(j) +. total)
+
+let normalize_unit_diag k =
+  let n, m = Mat.dims k in
+  if n <> m then invalid_arg "Kernel.normalize_unit_diag: not square";
+  let d = Array.init n (fun i -> sqrt (Float.max (Mat.get k i i) 1e-300)) in
+  Mat.init n n (fun i j -> Mat.get k i j /. (d.(i) *. d.(j)))
+
+let average = function
+  | [] -> invalid_arg "Kernel.average: empty list"
+  | k :: rest ->
+    let sum = List.fold_left Mat.add k rest in
+    Mat.scale (1. /. float_of_int (List.length rest + 1)) sum
+
+let is_psd ?(eps = 1e-8) k =
+  let eig = Eigen.decompose k in
+  let lmax = Float.max (Float.abs eig.Eigen.values.(0)) 1. in
+  Array.for_all (fun l -> l >= -.eps *. lmax) eig.Eigen.values

@@ -1,0 +1,44 @@
+(** Kernel functions and Gram-matrix utilities.
+
+    The paper's non-linear experiments define, per view,
+    [k(xᵢ,xⱼ) = exp(−d(xᵢ,xⱼ)/λ)] with [λ = maxᵢⱼ d(xᵢ,xⱼ)] (Sec. 5.2);
+    χ² distance for the bag-of-visual-words view, L2 otherwise. *)
+
+type t =
+  | Linear
+  | Exp_distance of Distance.t
+  (** The paper's kernel: [exp(−d/λ)] with the bandwidth fixed from the
+      training data's maximum pairwise distance. *)
+  | Rbf of float
+  (** Plain [exp(−γ‖x−y‖²)]. *)
+
+type fitted
+(** A kernel whose data-dependent parameters (bandwidth, training columns)
+    are frozen, so test columns can be embedded consistently. *)
+
+val fit : t -> Mat.t -> fitted
+(** [fit k x] freezes the kernel on training instances (columns of [x]). *)
+
+val gram : fitted -> Mat.t
+(** [N×N] training Gram matrix. *)
+
+val cross : fitted -> Mat.t -> Mat.t
+(** [cross f y] is the [N_train × N_y] matrix [k(xᵢ, yⱼ)]. *)
+
+val bandwidth : fitted -> float option
+(** The frozen [λ] for [Exp_distance] kernels. *)
+
+(** {1 Gram-matrix utilities} *)
+
+val center : Mat.t -> Mat.t
+(** Double centering [K ← HKH], [H = I − 11ᵀ/N] — centering in feature
+    space. *)
+
+val normalize_unit_diag : Mat.t -> Mat.t
+(** Cosine normalization [Kᵢⱼ / √(Kᵢᵢ Kⱼⱼ)]. *)
+
+val average : Mat.t list -> Mat.t
+(** Entry-wise mean — the paper's AVG kernel-combination baseline. *)
+
+val is_psd : ?eps:float -> Mat.t -> bool
+(** Spectral test used by the property suite. *)

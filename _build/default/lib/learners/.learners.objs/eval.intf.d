@@ -1,0 +1,1 @@
+lib/learners/eval.mli:

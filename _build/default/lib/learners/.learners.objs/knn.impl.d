@@ -1,0 +1,1 @@
+lib/learners/knn.ml: Array Float Mat Vec

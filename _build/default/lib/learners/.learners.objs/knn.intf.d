@@ -1,0 +1,1 @@
+lib/learners/knn.mli: Mat

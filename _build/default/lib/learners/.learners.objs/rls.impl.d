@@ -1,0 +1,1 @@
+lib/learners/rls.ml: Array Cholesky Mat Preprocess

@@ -1,0 +1,1 @@
+lib/learners/rls.mli: Mat

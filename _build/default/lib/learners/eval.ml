@@ -1,0 +1,25 @@
+let accuracy predicted truth =
+  let n = Array.length truth in
+  if Array.length predicted <> n then invalid_arg "Eval.accuracy: length mismatch";
+  if n = 0 then invalid_arg "Eval.accuracy: empty";
+  let correct = ref 0 in
+  for i = 0 to n - 1 do
+    if predicted.(i) = truth.(i) then incr correct
+  done;
+  float_of_int !correct /. float_of_int n
+
+let error_rate predicted truth = 1. -. accuracy predicted truth
+
+let confusion ~n_classes predicted truth =
+  let n = Array.length truth in
+  if Array.length predicted <> n then invalid_arg "Eval.confusion: length mismatch";
+  let table = Array.make_matrix n_classes n_classes 0 in
+  for i = 0 to n - 1 do
+    table.(truth.(i)).(predicted.(i)) <- table.(truth.(i)).(predicted.(i)) + 1
+  done;
+  table
+
+let over_runs f n_runs =
+  if n_runs < 1 then invalid_arg "Eval.over_runs: need at least one run";
+  let results = Array.init n_runs f in
+  Stats.mean_std results

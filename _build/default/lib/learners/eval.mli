@@ -1,0 +1,14 @@
+(** Classification evaluation. The paper's sole criterion is accuracy,
+    reported as mean±std over five random labeled/unlabeled choices. *)
+
+val accuracy : int array -> int array -> float
+(** [accuracy predicted truth] in [0, 1]. *)
+
+val confusion : n_classes:int -> int array -> int array -> int array array
+(** [confusion ~n_classes predicted truth].(truth).(predicted). *)
+
+val error_rate : int array -> int array -> float
+
+val over_runs : (int -> float) -> int -> float * float
+(** [over_runs f n_runs] evaluates [f seed_index] for indices [0..n−1] and
+    returns (mean, std) — the paper's five-run protocol. *)

@@ -1,0 +1,83 @@
+type t = { k : int; train : Mat.t; labels : int array; n_classes : int }
+
+let default_k_candidates = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+
+let fit ~k train labels =
+  let _, n = Mat.dims train in
+  if Array.length labels <> n then invalid_arg "Knn.fit: label count mismatch";
+  if k < 1 then invalid_arg "Knn.fit: k must be >= 1";
+  if n = 0 then invalid_arg "Knn.fit: no instances";
+  { k = min k n;
+    train = Mat.copy train;
+    labels = Array.copy labels;
+    n_classes = 1 + Array.fold_left max 0 labels }
+
+(* Indices of the k smallest distances, nearest first: selection over a
+   bounded heap-free array since k ≤ 10 in practice. *)
+let k_nearest distances k =
+  let n = Array.length distances in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare distances.(i) distances.(j)) order;
+  Array.sub order 0 (min k n)
+
+let votes_one t dist_to =
+  let counts = Array.make t.n_classes 0. in
+  let nearest = k_nearest dist_to t.k in
+  Array.iteri
+    (fun rank i ->
+      (* Unit vote plus a tiny rank bonus so argmax tie-breaks towards the
+         nearest neighbour's class. *)
+      counts.(t.labels.(i)) <-
+        counts.(t.labels.(i)) +. 1. +. (1e-6 /. float_of_int (rank + 1)))
+    nearest;
+  counts
+
+let distances_to_train t x =
+  (* Squared distances via the Gram expansion: ‖a−b‖² = ‖a‖² + ‖b‖² − 2aᵀb. *)
+  let _, ntr = Mat.dims t.train in
+  let _, nte = Mat.dims x in
+  let cross = Mat.mul_tn t.train x in
+  let tr_norm = Array.init ntr (fun i -> Vec.dot (Mat.col t.train i) (Mat.col t.train i)) in
+  let te_norm = Array.init nte (fun j -> Vec.dot (Mat.col x j) (Mat.col x j)) in
+  Mat.init ntr nte (fun i j ->
+      Float.max 0. (tr_norm.(i) +. te_norm.(j) -. (2. *. Mat.get cross i j)))
+
+let votes t x =
+  let d, _ = Mat.dims t.train in
+  let dx, n = Mat.dims x in
+  if d <> dx then invalid_arg "Knn.votes: dimension mismatch";
+  let dist = distances_to_train t x in
+  let out = Mat.create t.n_classes n in
+  for j = 0 to n - 1 do
+    let counts = votes_one t (Mat.col dist j) in
+    Mat.set_col out j counts
+  done;
+  out
+
+let votes_of_distances ~k ~n_classes labels dist =
+  let ntr, nq = Mat.dims dist in
+  if Array.length labels <> ntr then invalid_arg "Knn.votes_of_distances: label mismatch";
+  let out = Mat.create n_classes nq in
+  let counts = Array.make n_classes 0. in
+  for j = 0 to nq - 1 do
+    Array.fill counts 0 n_classes 0.;
+    let nearest = k_nearest (Mat.col dist j) (min k ntr) in
+    Array.iteri
+      (fun rank i ->
+        counts.(labels.(i)) <-
+          counts.(labels.(i)) +. 1. +. (1e-6 /. float_of_int (rank + 1)))
+      nearest;
+    Mat.set_col out j (Array.copy counts)
+  done;
+  out
+
+let predict_votes v =
+  let c, n = Mat.dims v in
+  Array.init n (fun j ->
+      let best = ref 0 in
+      for i = 1 to c - 1 do
+        if Mat.get v i j > Mat.get v !best j then best := i
+      done;
+      !best)
+
+let predict t x = predict_votes (votes t x)

@@ -1,0 +1,26 @@
+(** k-nearest-neighbour classifier — the paper's base learner for the web
+    image annotation experiments (Sec. 5.1.3), with k validated over
+    [{1, …, 10}].  Ties are broken towards the nearest neighbour's class. *)
+
+type t
+
+val fit : k:int -> Mat.t -> int array -> t
+(** Instances as columns. *)
+
+val predict : t -> Mat.t -> int array
+(** Majority vote among the [k] nearest training columns (Euclidean). *)
+
+val votes : t -> Mat.t -> Mat.t
+(** [C × N] vote-count matrix — used by the majority-voting combination of
+    the paper's CCA (AVG) strategy under kNN. *)
+
+val predict_votes : Mat.t -> int array
+(** Argmax over (possibly summed) vote matrices. *)
+
+val votes_of_distances : k:int -> n_classes:int -> int array -> Mat.t -> Mat.t
+(** [votes_of_distances ~k ~n_classes labels dist] votes from a precomputed
+    [N_train × N_query] distance matrix — used by the kernel experiments,
+    where distances come from Gram matrices rather than raw features. *)
+
+val default_k_candidates : int list
+(** [1 .. 10], the paper's candidate set. *)

@@ -1,0 +1,31 @@
+type t = { weights : Mat.t (* C × (d+1) *); n_classes : int }
+
+let fit ?(gamma = 1e-2) x labels =
+  let _, n = Mat.dims x in
+  if Array.length labels <> n then invalid_arg "Rls.fit: label count mismatch";
+  if n = 0 then invalid_arg "Rls.fit: no instances";
+  let n_classes = 1 + Array.fold_left max 0 labels in
+  let xb = Preprocess.append_bias x in
+  let nf = float_of_int n in
+  (* Normal equations (X Xᵀ/N + γI) w_c = X y_c / N with ±1 one-vs-rest
+     targets; one factorization shared across classes. *)
+  let a = Mat.add_scaled_identity gamma (Mat.scale (1. /. nf) (Mat.gram xb)) in
+  let y = Mat.init n n_classes (fun i c -> if labels.(i) = c then 1. else -1.) in
+  let rhs = Mat.scale (1. /. nf) (Mat.mul xb y) in
+  let w = Cholesky.solve_system a rhs in
+  { weights = Mat.transpose w; n_classes }
+
+let n_classes t = t.n_classes
+
+let scores t x = Mat.mul t.weights (Preprocess.append_bias x)
+
+let predict_scores s =
+  let c, n = Mat.dims s in
+  Array.init n (fun j ->
+      let best = ref 0 in
+      for i = 1 to c - 1 do
+        if Mat.get s i j > Mat.get s !best j then best := i
+      done;
+      !best)
+
+let predict t x = predict_scores (scores t x)

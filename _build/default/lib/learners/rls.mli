@@ -1,0 +1,23 @@
+(** Regularized least squares — the paper's base learner for the SecStr and
+    Ads experiments (Sec. 5.1):
+    [argmin_w (1/Nl) Σ (wᵀxₙ − yₙ)² + γ‖w‖²], with a constant-1 feature
+    appended for the bias and γ = 10⁻² by default, following Foster et al.
+    Multi-class problems are handled one-vs-rest with ±1 targets. *)
+
+type t
+
+val fit : ?gamma:float -> Mat.t -> int array -> t
+(** [fit x labels] with instances as columns of [x] (no bias row — it is
+    appended internally).  Labels in [0 .. C−1]. *)
+
+val n_classes : t -> int
+
+val scores : t -> Mat.t -> Mat.t
+(** [scores t x] is the [C × N] matrix of one-vs-rest decision values. *)
+
+val predict : t -> Mat.t -> int array
+(** Argmax over class scores. *)
+
+val predict_scores : Mat.t -> int array
+(** Argmax over an externally averaged score matrix — used by the paper's
+    CCA (AVG) strategy, which averages predicted scores over view pairs. *)

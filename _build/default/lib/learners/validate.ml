@@ -1,0 +1,16 @@
+let best score = function
+  | [] -> invalid_arg "Validate.best: no candidates"
+  | first :: rest ->
+    List.fold_left
+      (fun (arg, s) candidate ->
+        let s' = score candidate in
+        if s' > s then (candidate, s') else (arg, s))
+      (first, score first) rest
+
+let best_indexed score n =
+  if n < 1 then invalid_arg "Validate.best_indexed: n must be >= 1";
+  best score (List.init n (fun i -> i))
+
+let log_grid ?(base = 10.) lo hi =
+  if hi < lo then invalid_arg "Validate.log_grid: empty range";
+  List.init (hi - lo + 1) (fun i -> base ** float_of_int (lo + i))

@@ -1,0 +1,17 @@
+(** Hyper-parameter selection on a held-out validation split.
+
+    The paper tunes everything — the subspace dimension, the regularization
+    ε over [{10ⁱ}], kNN's k over [{1..10}] — by accuracy on 20% of the test
+    (or unlabeled) data.  This module is the generic grid search those
+    protocols share. *)
+
+val best : ('a -> float) -> 'a list -> 'a * float
+(** [best score candidates] returns the candidate with the highest score
+    (first wins ties).  Raises [Invalid_argument] on an empty list. *)
+
+val best_indexed : (int -> float) -> int -> int * float
+(** [best_indexed score n] over indices [0 .. n−1]. *)
+
+val log_grid : ?base:float -> int -> int -> float list
+(** [log_grid lo hi] is [{baseⁱ | i = lo..hi}] (default base 10) — the
+    paper's ε grid is [log_grid (−5) 4]. *)

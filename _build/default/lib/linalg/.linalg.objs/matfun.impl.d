@@ -1,0 +1,1 @@
+lib/linalg/matfun.ml: Array Eigen Float Mat Svd

@@ -1,0 +1,1 @@
+lib/linalg/matfun.mli: Mat

@@ -1,0 +1,98 @@
+type t = { g : Mat.t } (* lower triangular, A = G Gᵀ *)
+
+exception Not_positive_definite
+
+let decompose a =
+  let n, m = Mat.dims a in
+  if n <> m then invalid_arg "Cholesky.decompose: not square";
+  let g = Mat.create n n in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let acc = ref (Mat.get a i j) in
+      for k = 0 to j - 1 do
+        acc := !acc -. (Mat.get g i k *. Mat.get g j k)
+      done;
+      if i = j then begin
+        if !acc <= 0. then raise Not_positive_definite;
+        Mat.set g i i (sqrt !acc)
+      end
+      else Mat.set g i j (!acc /. Mat.get g j j)
+    done
+  done;
+  { g }
+
+let lower { g } = Mat.copy g
+
+let forward g b =
+  let n, _ = Mat.dims g in
+  let y = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let acc = ref b.(i) in
+    for k = 0 to i - 1 do
+      acc := !acc -. (Mat.get g i k *. y.(k))
+    done;
+    y.(i) <- !acc /. Mat.get g i i
+  done;
+  y
+
+let backward g y =
+  (* solves Gᵀ x = y *)
+  let n, _ = Mat.dims g in
+  let x = Array.make n 0. in
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for k = i + 1 to n - 1 do
+      acc := !acc -. (Mat.get g k i *. x.(k))
+    done;
+    x.(i) <- !acc /. Mat.get g i i
+  done;
+  x
+
+let solve_vec { g } b =
+  let n, _ = Mat.dims g in
+  if Array.length b <> n then invalid_arg "Cholesky.solve_vec: dimension mismatch";
+  backward g (forward g b)
+
+let solve f b =
+  let _, ncols = Mat.dims b in
+  let n, _ = Mat.dims f.g in
+  let x = Mat.create n ncols in
+  for j = 0 to ncols - 1 do
+    Mat.set_col x j (solve_vec f (Mat.col b j))
+  done;
+  x
+
+let inverse f =
+  let n, _ = Mat.dims f.g in
+  solve f (Mat.identity n)
+
+let solve_lower_vec { g } b = forward g b
+
+let solve_lower_transpose f b =
+  let _, ncols = Mat.dims b in
+  let n, _ = Mat.dims f.g in
+  let x = Mat.create n ncols in
+  for j = 0 to ncols - 1 do
+    Mat.set_col x j (backward f.g (Mat.col b j))
+  done;
+  x
+
+let inverse_lower f =
+  let n, _ = Mat.dims f.g in
+  let inv = Mat.create n n in
+  for j = 0 to n - 1 do
+    let e = Array.make n 0. in
+    e.(j) <- 1.;
+    Mat.set_col inv j (forward f.g e)
+  done;
+  inv
+
+let log_det { g } =
+  let n, _ = Mat.dims g in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. log (Mat.get g i i)
+  done;
+  2. *. !acc
+
+let solve_system a b = solve (decompose a) b

@@ -1,0 +1,40 @@
+(** Cholesky factorization of symmetric positive-definite matrices.
+
+    KTCCA (paper Sec. 4.4) rests on the unique factorization
+    [K²pp + εKpp = Lᵀp Lp]; this module provides the lower factor, triangular
+    solves, SPD inverses and log-determinants.  Note the paper writes the
+    factorization as [LᵀL] with [L] *upper*; we return the conventional lower
+    [G] with [A = G Gᵀ], so the paper's [Lp] is our [Gᵀ]. *)
+
+type t
+(** The lower factor [G] with [A = G Gᵀ]. *)
+
+exception Not_positive_definite
+
+val decompose : Mat.t -> t
+(** Raises [Invalid_argument] on a non-square input,
+    [Not_positive_definite] when a pivot is ≤ 0 (up to roundoff). *)
+
+val lower : t -> Mat.t
+(** The explicit lower-triangular factor [G]. *)
+
+val solve_vec : t -> Vec.t -> Vec.t
+(** Solve [A x = b] via two triangular solves. *)
+
+val solve : t -> Mat.t -> Mat.t
+val inverse : t -> Mat.t
+
+val solve_lower_vec : t -> Vec.t -> Vec.t
+(** Solve [G y = b] (forward substitution only). *)
+
+val solve_lower_transpose : t -> Mat.t -> Mat.t
+(** Solve [Gᵀ Y = B]. *)
+
+val inverse_lower : t -> Mat.t
+(** [G⁻¹], explicitly. *)
+
+val log_det : t -> float
+(** [log det A]. *)
+
+val solve_system : Mat.t -> Mat.t -> Mat.t
+(** One-shot SPD solve. *)

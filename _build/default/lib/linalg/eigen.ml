@@ -1,0 +1,75 @@
+type t = { values : Vec.t; vectors : Mat.t }
+
+let off_diagonal_norm a =
+  let n, _ = Mat.dims a in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let v = Mat.get a i j in
+      acc := !acc +. (2. *. v *. v)
+    done
+  done;
+  sqrt !acc
+
+let decompose ?(max_sweeps = 64) ?(eps = 1e-12) a0 =
+  let n, m = Mat.dims a0 in
+  if n <> m then invalid_arg "Eigen.decompose: not square";
+  (* Work on a symmetrized copy so tiny asymmetries from accumulation don't
+     bias the rotations. *)
+  let a = Mat.init n n (fun i j -> 0.5 *. (Mat.get a0 i j +. Mat.get a0 j i)) in
+  let v = Mat.identity n in
+  let scale = Float.max (Mat.max_abs a) 1e-300 in
+  let threshold = eps *. scale *. float_of_int n in
+  let sweep = ref 0 in
+  while off_diagonal_norm a > threshold && !sweep < max_sweeps do
+    incr sweep;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        let apq = Mat.get a p q in
+        if Float.abs apq > eps *. scale /. 1e3 then begin
+          let app = Mat.get a p p and aqq = Mat.get a q q in
+          (* Stable rotation computation (Golub & Van Loan §8.4). *)
+          let theta = (aqq -. app) /. (2. *. apq) in
+          let t =
+            let sign = if theta >= 0. then 1. else -1. in
+            sign /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.))
+          in
+          let c = 1. /. sqrt ((t *. t) +. 1.) in
+          let s = t *. c in
+          (* A <- Jᵀ A J on rows/cols p,q. *)
+          for k = 0 to n - 1 do
+            let akp = Mat.get a k p and akq = Mat.get a k q in
+            Mat.set a k p ((c *. akp) -. (s *. akq));
+            Mat.set a k q ((s *. akp) +. (c *. akq))
+          done;
+          for k = 0 to n - 1 do
+            let apk = Mat.get a p k and aqk = Mat.get a q k in
+            Mat.set a p k ((c *. apk) -. (s *. aqk));
+            Mat.set a q k ((s *. apk) +. (c *. aqk))
+          done;
+          for k = 0 to n - 1 do
+            let vkp = Mat.get v k p and vkq = Mat.get v k q in
+            Mat.set v k p ((c *. vkp) -. (s *. vkq));
+            Mat.set v k q ((s *. vkp) +. (c *. vkq))
+          done
+        end
+      done
+    done
+  done;
+  (* Sort descending by eigenvalue, permuting eigenvector columns along. *)
+  let order = Array.init n (fun i -> i) in
+  let diag = Mat.diag a in
+  Array.sort (fun i j -> compare diag.(j) diag.(i)) order;
+  let values = Array.map (fun i -> diag.(i)) order in
+  let vectors = Mat.select_cols v order in
+  { values; vectors }
+
+let top_k { vectors; values } k =
+  if k > Array.length values then invalid_arg "Eigen.top_k: k too large";
+  Mat.sub_cols vectors 0 k
+
+let reconstruct { values; vectors } =
+  let scaled = Mat.init (fst (Mat.dims vectors)) (Array.length values)
+      (fun i j -> Mat.get vectors i j *. values.(j))
+  in
+  Mat.mul_nt scaled vectors

@@ -1,0 +1,23 @@
+(** Symmetric eigendecomposition by the cyclic Jacobi method.
+
+    Every covariance and Gram matrix in the paper's pipeline is symmetric, and
+    whitening ([C̃pp^{-1/2}]) needs the full spectrum with an orthogonal basis.
+    Jacobi delivers both with unconditional stability at the d ≤ a-few-hundred
+    sizes of this reproduction. *)
+
+type t = {
+  values : Vec.t;   (** Eigenvalues in descending order. *)
+  vectors : Mat.t;  (** Orthonormal eigenvectors as columns, aligned with [values]. *)
+}
+
+val decompose : ?max_sweeps:int -> ?eps:float -> Mat.t -> t
+(** [decompose a] for symmetric [a].  [eps] (default [1e-12]) is the
+    off-diagonal Frobenius threshold relative to the matrix norm;
+    [max_sweeps] defaults to 64.  Raises [Invalid_argument] if [a] is not
+    square; symmetry is assumed (only the upper triangle is read). *)
+
+val top_k : t -> int -> Mat.t
+(** Eigenvectors of the [k] largest eigenvalues, as columns. *)
+
+val reconstruct : t -> Mat.t
+(** [V diag(λ) Vᵀ] — for testing. *)

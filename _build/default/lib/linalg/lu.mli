@@ -1,0 +1,26 @@
+(** LU factorization with partial pivoting, for general square systems.
+
+    Used where SPD structure is not guaranteed (e.g. solving against Khatri–Rao
+    Gram matrices inside CP-ALS when factors become ill-conditioned). *)
+
+type t
+(** Packed factorization [P A = L U]. *)
+
+exception Singular
+(** Raised when a pivot is exactly zero. *)
+
+val decompose : Mat.t -> t
+(** Factorize a square matrix.  Raises [Invalid_argument] if not square,
+    [Singular] if rank-deficient. *)
+
+val solve_vec : t -> Vec.t -> Vec.t
+(** Solve [A x = b]. *)
+
+val solve : t -> Mat.t -> Mat.t
+(** Solve [A X = B] column-wise. *)
+
+val det : t -> float
+val inverse : t -> Mat.t
+
+val solve_system : Mat.t -> Mat.t -> Mat.t
+(** One-shot [decompose]+[solve]. *)

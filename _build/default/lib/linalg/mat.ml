@@ -1,0 +1,296 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols = { rows; cols; data = Array.make (rows * cols) 0. }
+let make rows cols v = { rows; cols; data = Array.make (rows * cols) v }
+
+let init rows cols f =
+  let data = Array.make (rows * cols) 0. in
+  for i = 0 to rows - 1 do
+    let base = i * cols in
+    for j = 0 to cols - 1 do
+      data.(base + j) <- f i j
+    done
+  done;
+  { rows; cols; data }
+
+let identity n = init n n (fun i j -> if i = j then 1. else 0.)
+
+let diag_of_vec v =
+  let n = Array.length v in
+  init n n (fun i j -> if i = j then v.(i) else 0.)
+
+let of_arrays rows_arr =
+  let rows = Array.length rows_arr in
+  if rows = 0 then { rows = 0; cols = 0; data = [||] }
+  else begin
+    let cols = Array.length rows_arr.(0) in
+    Array.iter
+      (fun r -> if Array.length r <> cols then invalid_arg "Mat.of_arrays: ragged rows")
+      rows_arr;
+    init rows cols (fun i j -> rows_arr.(i).(j))
+  end
+
+let of_cols cols_arr =
+  let cols = Array.length cols_arr in
+  if cols = 0 then { rows = 0; cols = 0; data = [||] }
+  else begin
+    let rows = Array.length cols_arr.(0) in
+    Array.iter
+      (fun c -> if Array.length c <> rows then invalid_arg "Mat.of_cols: ragged columns")
+      cols_arr;
+    init rows cols (fun i j -> cols_arr.(j).(i))
+  end
+
+let unsafe_of_flat ~rows ~cols data =
+  if Array.length data <> rows * cols then invalid_arg "Mat.unsafe_of_flat: bad length";
+  { rows; cols; data }
+
+let copy a = { a with data = Array.copy a.data }
+let get a i j = a.data.((i * a.cols) + j)
+let set a i j v = a.data.((i * a.cols) + j) <- v
+let dims a = (a.rows, a.cols)
+
+let row a i = Array.sub a.data (i * a.cols) a.cols
+let col a j = Array.init a.rows (fun i -> get a i j)
+
+let set_row a i v =
+  if Array.length v <> a.cols then invalid_arg "Mat.set_row: dimension mismatch";
+  Array.blit v 0 a.data (i * a.cols) a.cols
+
+let set_col a j v =
+  if Array.length v <> a.rows then invalid_arg "Mat.set_col: dimension mismatch";
+  for i = 0 to a.rows - 1 do
+    set a i j v.(i)
+  done
+
+let diag a = Array.init (min a.rows a.cols) (fun i -> get a i i)
+
+let sub_cols a j0 n =
+  if j0 < 0 || j0 + n > a.cols then invalid_arg "Mat.sub_cols: out of range";
+  init a.rows n (fun i j -> get a i (j0 + j))
+
+let sub_rows a i0 n =
+  if i0 < 0 || i0 + n > a.rows then invalid_arg "Mat.sub_rows: out of range";
+  { rows = n; cols = a.cols; data = Array.sub a.data (i0 * a.cols) (n * a.cols) }
+
+let select_cols a idx = init a.rows (Array.length idx) (fun i j -> get a i idx.(j))
+let to_arrays a = Array.init a.rows (row a)
+
+let check_same_dims name a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg (name ^ ": dimension mismatch")
+
+let map2 f a b =
+  check_same_dims "Mat.map2" a b;
+  { a with data = Array.init (Array.length a.data) (fun k -> f a.data.(k) b.data.(k)) }
+
+let add a b = map2 ( +. ) a b
+let sub a b = map2 ( -. ) a b
+let scale s a = { a with data = Array.map (fun v -> s *. v) a.data }
+
+let add_scaled_identity eps a =
+  if a.rows <> a.cols then invalid_arg "Mat.add_scaled_identity: not square";
+  let r = copy a in
+  for i = 0 to a.rows - 1 do
+    set r i i (get r i i +. eps)
+  done;
+  r
+
+(* ikj-ordered product: the inner loop walks both [b] and [c] contiguously,
+   which matters since everything downstream (whitening, ALS, RLS) funnels
+   through this kernel. *)
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mul: inner dimension mismatch";
+  let m = a.rows and n = b.cols and k = a.cols in
+  let c = Array.make (m * n) 0. in
+  let ad = a.data and bd = b.data in
+  for i = 0 to m - 1 do
+    let arow = i * k and crow = i * n in
+    for l = 0 to k - 1 do
+      let aval = Array.unsafe_get ad (arow + l) in
+      if aval <> 0. then begin
+        let brow = l * n in
+        for j = 0 to n - 1 do
+          Array.unsafe_set c (crow + j)
+            (Array.unsafe_get c (crow + j) +. (aval *. Array.unsafe_get bd (brow + j)))
+        done
+      end
+    done
+  done;
+  { rows = m; cols = n; data = c }
+
+let mul_vec a x =
+  if a.cols <> Array.length x then invalid_arg "Mat.mul_vec: dimension mismatch";
+  Array.init a.rows (fun i ->
+      let base = i * a.cols in
+      let acc = ref 0. in
+      for j = 0 to a.cols - 1 do
+        acc := !acc +. (Array.unsafe_get a.data (base + j) *. Array.unsafe_get x j)
+      done;
+      !acc)
+
+let tmul_vec a x =
+  if a.rows <> Array.length x then invalid_arg "Mat.tmul_vec: dimension mismatch";
+  let y = Array.make a.cols 0. in
+  for i = 0 to a.rows - 1 do
+    let base = i * a.cols in
+    let xi = x.(i) in
+    if xi <> 0. then
+      for j = 0 to a.cols - 1 do
+        y.(j) <- y.(j) +. (xi *. Array.unsafe_get a.data (base + j))
+      done
+  done;
+  y
+
+let transpose a = init a.cols a.rows (fun i j -> get a j i)
+
+let gram a =
+  (* a aᵀ, filling only the upper triangle then mirroring. *)
+  let m = a.rows and k = a.cols in
+  let c = create m m in
+  for i = 0 to m - 1 do
+    let ri = i * k in
+    for j = i to m - 1 do
+      let rj = j * k in
+      let acc = ref 0. in
+      for l = 0 to k - 1 do
+        acc := !acc +. (Array.unsafe_get a.data (ri + l) *. Array.unsafe_get a.data (rj + l))
+      done;
+      set c i j !acc;
+      set c j i !acc
+    done
+  done;
+  c
+
+let tgram a =
+  (* aᵀ a accumulated row-by-row of [a]: cache-friendly and symmetric. *)
+  let n = a.cols in
+  let c = Array.make (n * n) 0. in
+  for l = 0 to a.rows - 1 do
+    let base = l * n in
+    for i = 0 to n - 1 do
+      let ai = Array.unsafe_get a.data (base + i) in
+      if ai <> 0. then begin
+        let crow = i * n in
+        for j = i to n - 1 do
+          Array.unsafe_set c (crow + j)
+            (Array.unsafe_get c (crow + j) +. (ai *. Array.unsafe_get a.data (base + j)))
+        done
+      end
+    done
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      c.((i * n) + j) <- c.((j * n) + i)
+    done
+  done;
+  { rows = n; cols = n; data = c }
+
+let mul_tn a b =
+  if a.rows <> b.rows then invalid_arg "Mat.mul_tn: dimension mismatch";
+  let m = a.cols and n = b.cols in
+  let c = Array.make (m * n) 0. in
+  for l = 0 to a.rows - 1 do
+    let abase = l * m and bbase = l * n in
+    for i = 0 to m - 1 do
+      let aval = Array.unsafe_get a.data (abase + i) in
+      if aval <> 0. then begin
+        let crow = i * n in
+        for j = 0 to n - 1 do
+          Array.unsafe_set c (crow + j)
+            (Array.unsafe_get c (crow + j) +. (aval *. Array.unsafe_get b.data (bbase + j)))
+        done
+      end
+    done
+  done;
+  { rows = m; cols = n; data = c }
+
+let mul_nt a b =
+  if a.cols <> b.cols then invalid_arg "Mat.mul_nt: dimension mismatch";
+  let m = a.rows and n = b.rows and k = a.cols in
+  init m n (fun i j ->
+      let ri = i * k and rj = j * k in
+      let acc = ref 0. in
+      for l = 0 to k - 1 do
+        acc := !acc +. (Array.unsafe_get a.data (ri + l) *. Array.unsafe_get b.data (rj + l))
+      done;
+      !acc)
+
+let hcat a b =
+  if a.rows <> b.rows then invalid_arg "Mat.hcat: row mismatch";
+  init a.rows (a.cols + b.cols) (fun i j -> if j < a.cols then get a i j else get b i (j - a.cols))
+
+let vcat a b =
+  if a.cols <> b.cols then invalid_arg "Mat.vcat: column mismatch";
+  { rows = a.rows + b.rows; cols = a.cols; data = Array.append a.data b.data }
+
+let hcat_list = function
+  | [] -> invalid_arg "Mat.hcat_list: empty"
+  | m :: rest -> List.fold_left hcat m rest
+
+let vcat_list = function
+  | [] -> invalid_arg "Mat.vcat_list: empty"
+  | m :: rest -> List.fold_left vcat m rest
+
+let map f a = { a with data = Array.map f a.data }
+
+let trace a =
+  let acc = ref 0. in
+  for i = 0 to min a.rows a.cols - 1 do
+    acc := !acc +. get a i i
+  done;
+  !acc
+
+let frobenius a = sqrt (Array.fold_left (fun acc v -> acc +. (v *. v)) 0. a.data)
+let max_abs a = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0. a.data
+
+let row_means a =
+  Array.init a.rows (fun i ->
+      let base = i * a.cols in
+      let acc = ref 0. in
+      for j = 0 to a.cols - 1 do
+        acc := !acc +. a.data.(base + j)
+      done;
+      !acc /. float_of_int a.cols)
+
+let sub_col_vec a v =
+  if Array.length v <> a.rows then invalid_arg "Mat.sub_col_vec: dimension mismatch";
+  init a.rows a.cols (fun i j -> get a i j -. v.(i))
+
+let center_rows a =
+  let means = row_means a in
+  (sub_col_vec a means, means)
+
+let is_symmetric ?(eps = 1e-9) a =
+  a.rows = a.cols
+  && begin
+       let ok = ref true in
+       for i = 0 to a.rows - 1 do
+         for j = i + 1 to a.cols - 1 do
+           if Float.abs (get a i j -. get a j i) > eps then ok := false
+         done
+       done;
+       !ok
+     end
+
+let equal ?(eps = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  && begin
+       let ok = ref true in
+       for k = 0 to Array.length a.data - 1 do
+         if Float.abs (a.data.(k) -. b.data.(k)) > eps then ok := false
+       done;
+       !ok
+     end
+
+let pp fmt a =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to a.rows - 1 do
+    Format.fprintf fmt "[";
+    for j = 0 to a.cols - 1 do
+      if j > 0 then Format.fprintf fmt ", ";
+      Format.fprintf fmt "%8.4f" (get a i j)
+    done;
+    Format.fprintf fmt "]";
+    if i < a.rows - 1 then Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,24 @@
+(** Matrix functions on symmetric positive-(semi)definite inputs.
+
+    The central one for the paper is the inverse square root: TCCA whitens the
+    covariance tensor with [C̃pp^{-1/2}] (Eq. 4.9), computed spectrally as
+    [V diag(λᵢ^{-1/2}) Vᵀ]. *)
+
+val sqrt_psd : Mat.t -> Mat.t
+(** Symmetric square root; negative eigenvalues from roundoff are clamped
+    to 0. *)
+
+val inv_sqrt_psd : ?floor:float -> Mat.t -> Mat.t
+(** Symmetric inverse square root.  Eigenvalues below [floor] (default
+    [1e-12] × λ_max) are treated as [floor], making the result a regularized
+    pseudo-inverse square root for rank-deficient inputs. *)
+
+val inv_psd : ?floor:float -> Mat.t -> Mat.t
+(** Symmetric (pseudo-)inverse through the spectrum. *)
+
+val pinv : ?tol:float -> Mat.t -> Mat.t
+(** Moore–Penrose pseudo-inverse of any rectangular matrix via SVD;
+    singular values below [tol·σ₀] (default [1e-12]) are dropped. *)
+
+val apply_spectral : (float -> float) -> Mat.t -> Mat.t
+(** [apply_spectral f a = V diag(f λᵢ) Vᵀ] for symmetric [a]. *)

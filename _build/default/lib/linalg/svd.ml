@@ -1,0 +1,95 @@
+type t = { u : Mat.t; sigma : Vec.t; v : Mat.t }
+
+(* One-sided Jacobi on a tall matrix: rotate column pairs of [w] until all
+   pairs are orthogonal, accumulating the rotations into [v].  Then
+   σⱼ = ‖wⱼ‖ and uⱼ = wⱼ/σⱼ. *)
+let one_sided ?(max_sweeps = 60) ?(eps = 1e-12) a =
+  let m, n = Mat.dims a in
+  let w = Mat.copy a in
+  let v = Mat.identity n in
+  let rotate = ref true in
+  let sweep = ref 0 in
+  while !rotate && !sweep < max_sweeps do
+    rotate := false;
+    incr sweep;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        (* Gram entries of the column pair. *)
+        let alpha = ref 0. and beta = ref 0. and gamma = ref 0. in
+        for i = 0 to m - 1 do
+          let wp = Mat.get w i p and wq = Mat.get w i q in
+          alpha := !alpha +. (wp *. wp);
+          beta := !beta +. (wq *. wq);
+          gamma := !gamma +. (wp *. wq)
+        done;
+        let limit = eps *. sqrt (!alpha *. !beta) in
+        if Float.abs !gamma > limit && limit > 0. then begin
+          rotate := true;
+          let zeta = (!beta -. !alpha) /. (2. *. !gamma) in
+          let t =
+            let sign = if zeta >= 0. then 1. else -1. in
+            sign /. (Float.abs zeta +. sqrt (1. +. (zeta *. zeta)))
+          in
+          let c = 1. /. sqrt (1. +. (t *. t)) in
+          let s = c *. t in
+          for i = 0 to m - 1 do
+            let wp = Mat.get w i p and wq = Mat.get w i q in
+            Mat.set w i p ((c *. wp) -. (s *. wq));
+            Mat.set w i q ((s *. wp) +. (c *. wq))
+          done;
+          for i = 0 to n - 1 do
+            let vp = Mat.get v i p and vq = Mat.get v i q in
+            Mat.set v i p ((c *. vp) -. (s *. vq));
+            Mat.set v i q ((s *. vp) +. (c *. vq))
+          done
+        end
+      done
+    done
+  done;
+  let sigma = Array.init n (fun j -> Vec.norm (Mat.col w j)) in
+  let u = Mat.create m n in
+  for j = 0 to n - 1 do
+    let col = Mat.col w j in
+    let s = sigma.(j) in
+    if s > 0. then Mat.set_col u j (Vec.scale (1. /. s) col)
+    else begin
+      (* Zero singular value: any unit vector orthogonal works; keep e_j
+         truncated to m for determinism. *)
+      let e = Array.make m 0. in
+      e.(j mod m) <- 1.;
+      Mat.set_col u j e
+    end
+  done;
+  (* Order descending. *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare sigma.(j) sigma.(i)) order;
+  { u = Mat.select_cols u order;
+    sigma = Array.map (fun i -> sigma.(i)) order;
+    v = Mat.select_cols v order }
+
+let decompose ?max_sweeps ?eps a =
+  let m, n = Mat.dims a in
+  if m >= n then one_sided ?max_sweeps ?eps a
+  else begin
+    let { u; sigma; v } = one_sided ?max_sweeps ?eps (Mat.transpose a) in
+    { u = v; sigma; v = u }
+  end
+
+let truncated { u; sigma; v } r =
+  if r > Array.length sigma then invalid_arg "Svd.truncated: r too large";
+  (Mat.sub_cols u 0 r, Array.sub sigma 0 r, Mat.sub_cols v 0 r)
+
+let reconstruct { u; sigma; v } =
+  let m, k = Mat.dims u in
+  let scaled = Mat.init m k (fun i j -> Mat.get u i j *. sigma.(j)) in
+  Mat.mul_nt scaled v
+
+let nuclear_norm { sigma; _ } = Vec.sum sigma
+
+let rank ?(tol = 1e-10) { sigma; _ } =
+  if Array.length sigma = 0 then 0
+  else begin
+    let s0 = sigma.(0) in
+    if s0 = 0. then 0
+    else Array.fold_left (fun acc s -> if s > tol *. s0 then acc + 1 else acc) 0 sigma
+  end

@@ -1,0 +1,25 @@
+(** Thin singular value decomposition by the one-sided Jacobi method.
+
+    CCA reduces to the SVD of the whitened cross-covariance matrix
+    [C̃₁₁^{-1/2} C₁₂ C̃₂₂^{-1/2}] (and KCCA to its kernel analogue); one-sided
+    Jacobi is simple, backward-stable and accurate for small singular values,
+    which is exactly what picking the top canonical directions needs. *)
+
+type t = {
+  u : Mat.t;      (** [m × k] left singular vectors (columns), [k = min m n]. *)
+  sigma : Vec.t;  (** Singular values in descending order, length [k]. *)
+  v : Mat.t;      (** [n × k] right singular vectors (columns). *)
+}
+
+val decompose : ?max_sweeps:int -> ?eps:float -> Mat.t -> t
+(** Thin SVD of any rectangular matrix. *)
+
+val truncated : t -> int -> Mat.t * Vec.t * Mat.t
+(** [truncated svd r] keeps the top [r] triplets: [(u_r, sigma_r, v_r)]. *)
+
+val reconstruct : t -> Mat.t
+(** [U diag(σ) Vᵀ] — for testing. *)
+
+val nuclear_norm : t -> float
+val rank : ?tol:float -> t -> int
+(** Numerical rank: count of [σᵢ > tol · σ₀] (default [tol = 1e-10]). *)

@@ -1,0 +1,1 @@
+lib/mvcca/cca.ml: Array Mat Matfun Svd Vec

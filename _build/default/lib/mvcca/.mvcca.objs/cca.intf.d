@@ -1,0 +1,1 @@
+lib/mvcca/cca.mli: Mat Vec

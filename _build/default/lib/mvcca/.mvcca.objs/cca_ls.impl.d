@@ -1,0 +1,1 @@
+lib/mvcca/cca_ls.ml: Array Cholesky Float Mat Rng Vec

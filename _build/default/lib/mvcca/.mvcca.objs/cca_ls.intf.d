@@ -1,0 +1,1 @@
+lib/mvcca/cca_ls.mli: Mat Vec

@@ -1,0 +1,1 @@
+lib/mvcca/cca_maxvar.ml: Array Cholesky Eigen Float Mat Matfun Vec

@@ -1,0 +1,1 @@
+lib/mvcca/cca_maxvar.mli: Mat Vec

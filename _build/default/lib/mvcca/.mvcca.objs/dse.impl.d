@@ -1,0 +1,1 @@
+lib/mvcca/dse.ml: Array Eigen Float Graph Mat Pca Printf Vec

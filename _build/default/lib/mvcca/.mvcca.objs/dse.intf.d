@@ -1,0 +1,1 @@
+lib/mvcca/dse.mli: Mat

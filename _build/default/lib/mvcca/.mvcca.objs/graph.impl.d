@@ -1,0 +1,1 @@
+lib/mvcca/graph.ml: Array Eigen Float Hashtbl Mat Rng Vec

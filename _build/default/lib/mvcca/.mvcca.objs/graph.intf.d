@@ -1,0 +1,1 @@
+lib/mvcca/graph.mli: Mat Vec

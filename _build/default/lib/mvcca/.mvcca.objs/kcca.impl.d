@@ -1,0 +1,1 @@
+lib/mvcca/kcca.ml: Array Cholesky Kernel Mat Stats Svd Vec

@@ -1,0 +1,1 @@
+lib/mvcca/kcca.mli: Mat Vec

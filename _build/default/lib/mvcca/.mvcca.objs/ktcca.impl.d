@@ -1,0 +1,1 @@
+lib/mvcca/ktcca.ml: Array Cholesky Cp_als Cp_rand Kernel Kruskal Mat Printf Stats Tcca Tensor Tensor_power Vec

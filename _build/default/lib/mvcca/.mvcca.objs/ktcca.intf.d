@@ -1,0 +1,1 @@
+lib/mvcca/ktcca.mli: Mat Tcca Vec

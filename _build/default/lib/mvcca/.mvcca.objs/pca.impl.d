@@ -1,0 +1,1 @@
+lib/mvcca/pca.ml: Array Eigen Mat Vec

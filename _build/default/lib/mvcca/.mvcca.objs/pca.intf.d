@@ -1,0 +1,1 @@
+lib/mvcca/pca.mli: Mat Vec

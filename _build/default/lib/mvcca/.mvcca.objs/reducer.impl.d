@@ -1,0 +1,1 @@
+lib/mvcca/reducer.ml: Array Cca Cca_ls Cca_maxvar Dse Mat Pca Printf Ssmvd Tcca Vec

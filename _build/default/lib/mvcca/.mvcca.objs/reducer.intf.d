@@ -1,0 +1,1 @@
+lib/mvcca/reducer.mli: Dse Mat Ssmvd Tcca

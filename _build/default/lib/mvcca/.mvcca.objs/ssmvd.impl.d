@@ -1,0 +1,1 @@
+lib/mvcca/ssmvd.ml: Array Cholesky Float Mat Pca Vec

@@ -1,0 +1,1 @@
+lib/mvcca/ssmvd.mli: Mat Vec

@@ -1,0 +1,1 @@
+lib/mvcca/tcca.ml: Array Cp_als Cp_rand Hashtbl Kruskal List Mat Matfun Printf Tensor Tensor_power Vec

@@ -1,0 +1,1 @@
+lib/mvcca/tcca.mli: Cp_als Cp_rand Mat Tensor Vec

@@ -1,0 +1,217 @@
+type t = {
+  means : Vec.t array;
+  projections : Mat.t array; (* dₚ × r *)
+  variates : Mat.t;          (* N × r *)
+  iterations : int array;
+}
+
+(* The alternating iteration of Vía et al. is
+     hₚ ← (XₚXₚᵀ + NεI)⁻¹ Xₚ z,   z ← (1/m) Σₚ Xₚᵀ hₚ  (+ deflation),
+   and every iterate z stays in the row space of the stacked views, so the
+   whole recursion can be carried on coefficient vectors aₚ with
+   z = Σₚ Xₚᵀ aₚ:
+     hₚ = C̃pp⁻¹ Σ_q C_pq a_q,   a'ₚ = hₚ / m,
+     ⟨z, z'⟩ = N Σ_pq aₚᵀ C_pq a'_q.
+   After one O(N·d²) pass for the covariance blocks, iterations are free of
+   N — the batch-equivalent of the paper's "adaptive" property. *)
+let fit ?(eps = 1e-2) ?(max_iter = 120) ?(tol = 1e-9) ?(seed = 11) ~r views =
+  let m = Array.length views in
+  if m < 2 then invalid_arg "Cca_ls.fit: need at least two views";
+  let n = snd (Mat.dims views.(0)) in
+  Array.iter
+    (fun v -> if snd (Mat.dims v) <> n then invalid_arg "Cca_ls.fit: instance mismatch")
+    views;
+  if r < 1 then invalid_arg "Cca_ls.fit: r must be >= 1";
+  let nf = float_of_int n in
+  let means = Array.map Mat.row_means views in
+  let centered = Array.map2 Mat.sub_col_vec views means in
+  let dims = Array.map (fun v -> fst (Mat.dims v)) views in
+  let r = min r n in
+  (* Covariance blocks C_pq = Xₚ Xqᵀ / N (C_qp = C_pqᵀ shared). *)
+  let cov = Array.make_matrix m m (Mat.create 1 1) in
+  for p = 0 to m - 1 do
+    for q = p to m - 1 do
+      let c = Mat.scale (1. /. nf) (Mat.mul_nt centered.(p) centered.(q)) in
+      cov.(p).(q) <- c;
+      if q > p then cov.(q).(p) <- Mat.transpose c
+    done
+  done;
+  let factors =
+    Array.init m (fun p -> Cholesky.decompose (Mat.add_scaled_identity eps cov.(p).(p)))
+  in
+  (* ⟨z_a, z_b⟩/N for coefficient bundles a, b. *)
+  let inner a b =
+    let acc = ref 0. in
+    for p = 0 to m - 1 do
+      for q = 0 to m - 1 do
+        acc := !acc +. Vec.dot a.(p) (Mat.mul_vec cov.(p).(q) b.(q))
+      done
+    done;
+    !acc
+  in
+  let rng = Rng.create seed in
+  let coeffs = Array.init r (fun _ -> [||]) in
+  let hs = Array.map (fun d -> Mat.create d r) dims in
+  let iterations = Array.make r 0 in
+  let variates = Mat.create n r in
+  for i = 0 to r - 1 do
+    let a = ref (Array.map (fun d -> Array.init d (fun _ -> Rng.gaussian rng)) dims) in
+    let deflate b =
+      for j = 0 to i - 1 do
+        let cj = coeffs.(j) in
+        let proj = inner b cj in
+        Array.iteri (fun p bp -> Vec.axpy_in_place (-.proj) cj.(p) bp) b
+      done
+    in
+    let normalize b =
+      let norm = sqrt (Float.max (inner b b) 0.) in
+      if norm > 1e-300 then Array.map (Vec.scale (1. /. norm)) b else b
+    in
+    deflate !a;
+    a := normalize !a;
+    let continue_ = ref true in
+    while !continue_ && iterations.(i) < max_iter do
+      iterations.(i) <- iterations.(i) + 1;
+      let h =
+        Array.init m (fun p ->
+            let rhs = Array.make dims.(p) 0. in
+            for q = 0 to m - 1 do
+              Vec.axpy_in_place 1. (Mat.mul_vec cov.(p).(q) !a.(q)) rhs
+            done;
+            Cholesky.solve_vec factors.(p) rhs)
+      in
+      let next = Array.map (Vec.scale (1. /. float_of_int m)) h in
+      deflate next;
+      let next = normalize next in
+      let delta = ref 0. in
+      Array.iteri
+        (fun p np ->
+          let d = Vec.sub np !a.(p) in
+          delta := !delta +. Vec.dot d d)
+        next;
+      if !delta < tol then continue_ := false;
+      a := next
+    done;
+    coeffs.(i) <- !a;
+    (* Materialize the variate z⁽ⁱ⁾ = Σ_q Xqᵀ a_q (unit norm by construction
+       of [normalize] up to the 1/√N scale). *)
+    let z = Array.make n 0. in
+    Array.iteri (fun q aq -> Vec.axpy_in_place 1. (Mat.tmul_vec centered.(q) aq) z) !a;
+    let zn = Vec.norm z in
+    Mat.set_col variates i (if zn > 1e-300 then Vec.scale (1. /. zn) z else z);
+    (* Final hₚ, rescaled to the constraint hᵀC̃pp h = 1 so every canonical
+       variable has unit variance (leaving the raw regression scale makes
+       downstream ridge learners collapse to the majority class). *)
+    for p = 0 to m - 1 do
+      let rhs = Array.make dims.(p) 0. in
+      for q = 0 to m - 1 do
+        Vec.axpy_in_place 1. (Mat.mul_vec cov.(p).(q) !a.(q)) rhs
+      done;
+      let h = Cholesky.solve_vec factors.(p) rhs in
+      let variance = Vec.dot h (Mat.mul_vec cov.(p).(p) h) +. (eps *. Vec.dot h h) in
+      let h = if variance > 1e-300 then Vec.scale (1. /. sqrt variance) h else h in
+      Mat.set_col hs.(p) i h
+    done
+  done;
+  { means; projections = hs; variates; iterations }
+
+let r t = snd (Mat.dims t.variates)
+
+let transform_view t p x = Mat.mul_tn t.projections.(p) (Mat.sub_col_vec x t.means.(p))
+
+let transform t views =
+  if Array.length views <> Array.length t.projections then
+    invalid_arg "Cca_ls.transform: view count mismatch";
+  Mat.vcat_list (Array.to_list (Array.mapi (fun p x -> transform_view t p x) views))
+
+let common_variates t = Mat.copy t.variates
+let iterations t = Array.copy t.iterations
+
+module Online = struct
+  type t = {
+    beta : float;
+    m : int;
+    dims : int array;
+    mutable n : int;
+    means : Vec.t array;          (* running means *)
+    ps : Mat.t array;             (* RLS inverse covariances *)
+    hs : Vec.t array;             (* per-view filters *)
+    mutable ex2 : float array;    (* running E[(hᵀx)²] per view, for scaling *)
+  }
+
+  let create ?(beta = 0.999) ?(delta = 10.) ~dims () =
+    let m = Array.length dims in
+    if m < 2 then invalid_arg "Cca_ls.Online.create: need at least two views";
+    if beta <= 0. || beta > 1. then invalid_arg "Cca_ls.Online.create: beta in (0,1]";
+    { beta;
+      m;
+      dims = Array.copy dims;
+      n = 0;
+      means = Array.map (fun d -> Vec.create d) dims;
+      ps = Array.map (fun d -> Mat.scale delta (Mat.identity d)) dims;
+      (* Deterministic non-zero init so the first predictions break symmetry. *)
+      hs = Array.map (fun d -> Array.init d (fun i -> 1. /. sqrt (float_of_int (d + i)))) dims;
+      ex2 = Array.make m 1. }
+
+  let samples_seen t = t.n
+
+  let step t xs =
+    if Array.length xs <> t.m then invalid_arg "Cca_ls.Online.step: view count mismatch";
+    Array.iteri
+      (fun p x ->
+        if Array.length x <> t.dims.(p) then
+          invalid_arg "Cca_ls.Online.step: dimension mismatch")
+      xs;
+    t.n <- t.n + 1;
+    let nf = float_of_int t.n in
+    (* Running means, then centered copies of this sample. *)
+    let centered =
+      Array.mapi
+        (fun p x ->
+          let mean = t.means.(p) in
+          Vec.axpy_in_place (1. /. nf) (Vec.sub x mean) mean;
+          Vec.sub x mean)
+        xs
+    in
+    (* Current variate estimate: average prediction over views, each scaled
+       to unit variance so no view dominates. *)
+    let z = ref 0. in
+    Array.iteri
+      (fun p c ->
+        let pred = Vec.dot t.hs.(p) c in
+        z := !z +. (pred /. (sqrt t.ex2.(p) +. 1e-12)))
+      centered;
+    let z = !z /. float_of_int t.m in
+    (* One RLS step per view towards z. *)
+    Array.iteri
+      (fun p c ->
+        let pmat = t.ps.(p) in
+        let px = Mat.mul_vec pmat c in
+        let gain_den = t.beta +. Vec.dot c px in
+        let gain = Vec.scale (1. /. gain_den) px in
+        let err = z -. Vec.dot t.hs.(p) c in
+        Vec.axpy_in_place err gain t.hs.(p);
+        (* P ← (P − g (Px)ᵀ)/β *)
+        let d = t.dims.(p) in
+        for a = 0 to d - 1 do
+          for b = 0 to d - 1 do
+            Mat.set pmat a b ((Mat.get pmat a b -. (gain.(a) *. px.(b))) /. t.beta)
+          done
+        done;
+        let pred = Vec.dot t.hs.(p) c in
+        t.ex2.(p) <- (t.beta *. t.ex2.(p)) +. ((1. -. t.beta) *. pred *. pred))
+      centered;
+    z
+
+  let canonical_vectors t =
+    Array.mapi
+      (fun p h ->
+        let scale = sqrt t.ex2.(p) +. 1e-12 in
+        Vec.scale (1. /. scale) h)
+      t.hs
+
+  let transform_view t p x =
+    if p < 0 || p >= t.m then invalid_arg "Cca_ls.Online.transform_view: bad view";
+    let h = (canonical_vectors t).(p) in
+    Mat.tmul_vec (Mat.sub_col_vec x t.means.(p)) h
+end

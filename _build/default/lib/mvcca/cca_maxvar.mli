@@ -1,0 +1,31 @@
+(** CCA-MAXVAR (Kettenring 1971): the classical multi-view CCA that finds a
+    common variate [z] maximizing the summed squared correlations with every
+    view — equivalently, minimizing [Σₚ ‖z − Xₚᵀhₚ‖²] (paper Eq. 3.2).
+
+    Solved exactly: the optimal [z]'s are the top right singular vectors of
+    the stacked ridge-whitened data [B = vcat_p (XₚXₚᵀ + NεI)^{−1/2} Xₚ],
+    obtained from the (Σdₚ)² eigenproblem of [BBᵀ], so the cost is
+    independent of N — unlike the naive N×N formulation the paper calls
+    "costly SVD".  Used as a baseline and as the reference solution that
+    {!Cca_ls} must agree with. *)
+
+type t
+
+val fit : ?eps:float -> r:int -> Mat.t array -> t
+(** Views with instances as columns; centered internally. *)
+
+val r : t -> int
+
+val transform : t -> Mat.t array -> Mat.t
+(** Concatenated [m·r × N] representation. *)
+
+val transform_view : t -> int -> Mat.t -> Mat.t
+(** Single-view projection, [r × N]. *)
+
+val common_variates : t -> Mat.t
+(** The [N_train × r] matrix of optimal common variates [z⁽ⁱ⁾]
+    (orthonormal columns). *)
+
+val score : t -> Vec.t
+(** Eigenvalues of [Σₚ Pₚ] for the kept components — each lies in [0, m]
+    and measures how well all views agree on that variate. *)

@@ -1,0 +1,51 @@
+type options = { pca_dim : int; knn : int; max_instances : int }
+
+let default_options = { pca_dim = 100; knn = 10; max_instances = 5000 }
+
+type prepared = { embeddings : Mat.t array (* N × max_r each *); n : int }
+
+let prepare ?(options = default_options) ?(seed = 23) ~max_r views =
+  let m = Array.length views in
+  if m < 2 then invalid_arg "Dse.prepare: need at least two views";
+  let n = snd (Mat.dims views.(0)) in
+  if n > options.max_instances then
+    invalid_arg
+      (Printf.sprintf
+         "Dse.prepare: %d instances exceeds max_instances=%d (transductive N^2 method)" n
+         options.max_instances);
+  let max_r = min max_r (n - 1) in
+  let embeddings =
+    Array.mapi
+      (fun p x ->
+        let reduced = Pca.transform (Pca.fit ~r:options.pca_dim x) x in
+        let graph = Graph.knn ~k:options.knn reduced in
+        Graph.laplacian_embedding ~seed:(seed + p) ~r:max_r graph)
+      views
+  in
+  { embeddings; n }
+
+let transform_prepared prepared ~r =
+  let max_r = snd (Mat.dims prepared.embeddings.(0)) in
+  let r = min r max_r in
+  (* Laplacian eigenvectors are ordered, so width-r patterns are the leading
+     columns; the consensus is the top left singular subspace of their
+     concatenation, scaled to unit per-sample variance. *)
+  let stacked =
+    Mat.hcat_list (Array.to_list (Array.map (fun b -> Mat.sub_cols b 0 r) prepared.embeddings))
+  in
+  (* Left singular subspace via the small (mr)² Gram eigenproblem:
+     Z = B V Σ⁻¹ — never an N×N or O(N·(mr)²·sweeps) Jacobi. *)
+  let eig = Eigen.decompose (Mat.tgram stacked) in
+  let v = Eigen.top_k eig r in
+  let bv = Mat.mul stacked v in
+  let z = Mat.create (snd (Mat.dims bv)) prepared.n in
+  let scale = sqrt (float_of_int prepared.n) in
+  for c = 0 to r - 1 do
+    let col = Mat.col bv c in
+    let sigma = Float.max (Vec.norm col) 1e-300 in
+    Mat.set_row z c (Vec.scale (scale /. sigma) col)
+  done;
+  z
+
+let fit_transform ?options ?seed ~r views =
+  transform_prepared (prepare ?options ?seed ~max_r:r views) ~r

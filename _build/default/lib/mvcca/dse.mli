@@ -1,0 +1,38 @@
+(** DSE — the distributed spectral embedding baseline (Long, Yu & Zhang,
+    SDM 2008): a general model for multi-view unsupervised learning that
+    first reduces each view independently and then reconciles the per-view
+    patterns into one consensus embedding.
+
+    Pipeline, following the paper's experimental setup (Sec. 5.1):
+    + per-view PCA to [pca_dim] dimensions (the paper uses 100),
+    + per-view Laplacian-eigenmap embedding [Bₚ ∈ R^{N×r}] ({!Graph}),
+    + consensus [Z] minimizing [Σₚ min_{Aₚ} ‖Z Aₚ − Bₚ‖²] over orthonormal
+      [Z] — the top left singular vectors of [B₁ | … | Bₘ] — rescaled by √N
+      so embedded features have unit per-sample variance.
+
+    The method is transductive: it embeds exactly the instances it was given
+    (no out-of-sample projection exists), which is why the paper caps its
+    input size — mirrored by [max_instances].  Laplacian eigenvectors are
+    nested in [r], so {!prepare} computes them once at [max_r] and
+    {!transform_prepared} reuses them for every smaller dimension. *)
+
+type options = {
+  pca_dim : int;        (** Per-view PCA target (default 100). *)
+  knn : int;            (** Graph neighbourhood size (default 10). *)
+  max_instances : int;  (** Refuse larger inputs, as the paper subsamples
+                            DSE to 10K (default 5000). *)
+}
+
+val default_options : options
+
+type prepared
+(** Per-view spectral embeddings of a fixed instance set at width [max_r]. *)
+
+val prepare : ?options:options -> ?seed:int -> max_r:int -> Mat.t array -> prepared
+(** Raises [Invalid_argument] beyond [max_instances]. *)
+
+val transform_prepared : prepared -> r:int -> Mat.t
+(** [r × N] consensus embedding, [r ≤ max_r]. *)
+
+val fit_transform : ?options:options -> ?seed:int -> r:int -> Mat.t array -> Mat.t
+(** [prepare] + [transform_prepared] in one step. *)

@@ -1,0 +1,27 @@
+(** k-NN similarity graphs and Laplacian-eigenmap embeddings — the per-view
+    spectral dimension reduction step of the DSE baseline (Long et al. 2008,
+    building on Belkin & Niyogi 2001).
+
+    The graph is sparse (k neighbours per node, symmetrized), so the smallest
+    Laplacian eigenvectors are computed by subspace iteration on the shifted
+    normalized adjacency [I + D^{−1/2} W D^{−1/2}] with sparse mat-vecs:
+    O(N·k·r) per iteration, never materializing an N×N matrix. *)
+
+type t
+(** Symmetric weighted graph on N nodes. *)
+
+val knn : ?k:int -> Mat.t -> t
+(** [knn ~k x] with instances as columns of [x]; edges to the [k] nearest
+    neighbours (Euclidean), heat-kernel weighted with the bandwidth set to
+    the mean neighbour distance, then symmetrized (max rule).  Default
+    [k = 10]. *)
+
+val n_nodes : t -> int
+val degree : t -> Vec.t
+val matvec_normalized_adjacency : t -> Vec.t -> Vec.t
+(** [S y] with [S = D^{−1/2} W D^{−1/2}] (isolated nodes contribute 0). *)
+
+val laplacian_embedding : ?iterations:int -> ?seed:int -> r:int -> t -> Mat.t
+(** [N × r] embedding: eigenvectors of the normalized Laplacian for its
+    [r] smallest non-trivial eigenvalues (the constant-direction eigenvector
+    is computed and dropped). *)

@@ -1,0 +1,78 @@
+type t = {
+  a1 : Mat.t; (* N × r *)
+  a2 : Mat.t;
+  k1 : Mat.t; (* centered training grams, kept for the train embedding *)
+  k2 : Mat.t;
+  raw_col_means : Vec.t * Vec.t; (* per-view column means of the raw gram *)
+  raw_total_mean : float * float;
+  centered : bool;
+  correlations : Vec.t;
+}
+
+(* Center a cross-kernel block consistently with a double-centered training
+   gram: k̃ᵢⱼ = kᵢⱼ − rowmeanᵢ(K) − colmeanⱼ(C) + totalmean(K). *)
+let center_cross ~train_col_means ~train_total cross =
+  let n, q = Mat.dims cross in
+  let cross_col_means = Array.init q (fun j -> Vec.mean (Mat.col cross j)) in
+  Mat.init n q (fun i j ->
+      Mat.get cross i j -. train_col_means.(i) -. cross_col_means.(j) +. train_total)
+
+let jittered_pls eps k =
+  let n, _ = Mat.dims k in
+  let k2 = Mat.mul k k in
+  let a = Mat.add (Mat.scale eps k) k2 in
+  (* K is PSD so K²+εK is PSD; a whisper of jitter guards rank deficiency. *)
+  Mat.add_scaled_identity (1e-10 *. (1. +. Mat.trace a /. float_of_int n)) a
+
+let fit ?(eps = 1e-4) ?(center = true) ~r k1_raw k2_raw =
+  let n, m1 = Mat.dims k1_raw and n2, m2 = Mat.dims k2_raw in
+  if n <> m1 || n2 <> m2 then invalid_arg "Kcca.fit: kernels must be square";
+  if n <> n2 then invalid_arg "Kcca.fit: kernel size mismatch";
+  if r < 1 then invalid_arg "Kcca.fit: r must be >= 1";
+  let r = min r n in
+  let col_means k = Array.init n (fun i -> Vec.mean (Mat.row k i)) in
+  let cm1 = col_means k1_raw and cm2 = col_means k2_raw in
+  let tm1 = Stats.mean cm1 and tm2 = Stats.mean cm2 in
+  let k1 = if center then Kernel.center k1_raw else Mat.copy k1_raw in
+  let k2 = if center then Kernel.center k2_raw else Mat.copy k2_raw in
+  let g1 = Cholesky.decompose (jittered_pls eps k1) in
+  let g2 = Cholesky.decompose (jittered_pls eps k2) in
+  (* T = G₁⁻¹ (K₁K₂) G₂⁻ᵀ, via two triangular solves. *)
+  let k1k2 = Mat.mul k1 k2 in
+  let a = Mat.create n n in
+  for j = 0 to n - 1 do
+    Mat.set_col a j (Cholesky.solve_lower_vec g1 (Mat.col k1k2 j))
+  done;
+  let t_mat = Mat.create n n in
+  for i = 0 to n - 1 do
+    (* row i of T solves G₂ tᵀ = (row i of A)ᵀ. *)
+    Mat.set_row t_mat i (Cholesky.solve_lower_vec g2 (Mat.row a i))
+  done;
+  let svd = Svd.decompose t_mat in
+  let u, sigma, v = Svd.truncated svd r in
+  (* aₚ = Gₚ⁻ᵀ bₚ, i.e. solve Gₚᵀ aₚ = bₚ column-wise. *)
+  let a1 = Cholesky.solve_lower_transpose g1 u in
+  let a2 = Cholesky.solve_lower_transpose g2 v in
+  { a1; a2; k1; k2;
+    raw_col_means = (cm1, cm2);
+    raw_total_mean = (tm1, tm2);
+    centered = center;
+    correlations = sigma }
+
+let r t = Array.length t.correlations
+let correlations t = Array.copy t.correlations
+
+let transform_train t =
+  Mat.vcat (Mat.mul_tn t.a1 t.k1) (Mat.mul_tn t.a2 t.k2)
+
+let transform t c1 c2 =
+  let cm1, cm2 = t.raw_col_means and tm1, tm2 = t.raw_total_mean in
+  let c1 =
+    if t.centered then center_cross ~train_col_means:cm1 ~train_total:tm1 c1 else c1
+  in
+  let c2 =
+    if t.centered then center_cross ~train_col_means:cm2 ~train_total:tm2 c2 else c2
+  in
+  Mat.vcat (Mat.mul_tn t.a1 c1) (Mat.mul_tn t.a2 c2)
+
+let dual_weights t = (Mat.copy t.a1, Mat.copy t.a2)

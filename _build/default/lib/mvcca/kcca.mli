@@ -1,0 +1,29 @@
+(** Two-view kernel CCA (Hardoon, Szedmak & Shawe-Taylor 2004) — the
+    baseline of the paper's non-linear experiments (Sec. 5.2).
+
+    With (optionally double-centered) Gram matrices [K₁, K₂] and the PLS
+    regularization of Eq. 4.14, dual weights satisfy
+    [max a₁ᵀK₁K₂a₂  s.t.  aₚᵀ(Kₚ² + εKₚ)aₚ = 1]; with the Cholesky factor
+    [Kₚ² + εKₚ = GₚGₚᵀ] this is the SVD of [G₁⁻¹ K₁K₂ G₂⁻ᵀ]. *)
+
+type t
+
+val fit : ?eps:float -> ?center:bool -> r:int -> Mat.t -> Mat.t -> t
+(** [fit ~eps ~r k1 k2] on training Gram matrices.  [center] (default true)
+    double-centers the kernels, i.e. centers in feature space.  [eps]
+    defaults to 1e-4. *)
+
+val r : t -> int
+val correlations : t -> Vec.t
+
+val transform_train : t -> Mat.t
+(** [2r × N] concatenated embedding of the training instances
+    ([zₚ = Kₚ aₚ]). *)
+
+val transform : t -> Mat.t -> Mat.t -> Mat.t
+(** [transform t c1 c2] embeds new instances given their cross-kernel
+    columns [cₚ : N_train × N_new] (un-centered; centering is applied
+    consistently inside).  Returns [2r × N_new]. *)
+
+val dual_weights : t -> Mat.t * Mat.t
+(** The [N × r] dual coefficient matrices [a₁, a₂]. *)

@@ -1,0 +1,132 @@
+type t = {
+  duals : Mat.t array; (* aₚ : N × r *)
+  kernels : Mat.t array; (* centered training grams *)
+  raw_col_means : Vec.t array;
+  raw_total_means : float array;
+  centered : bool;
+  correlations : Vec.t;
+}
+
+let max_instances = 600
+
+let center_cross ~train_col_means ~train_total cross =
+  let n, q = Mat.dims cross in
+  let cross_col_means = Array.init q (fun j -> Vec.mean (Mat.col cross j)) in
+  Mat.init n q (fun i j ->
+      Mat.get cross i j -. train_col_means.(i) -. cross_col_means.(j) +. train_total)
+
+let jittered_pls eps k =
+  let n, _ = Mat.dims k in
+  let a = Mat.add (Mat.scale eps k) (Mat.mul k k) in
+  Mat.add_scaled_identity (1e-10 *. (1. +. Mat.trace a /. float_of_int n)) a
+
+type prepared = {
+  p_kernels : Mat.t array;
+  p_chols : Cholesky.t array;
+  p_tensor : Tensor.t;
+  p_raw_col_means : Vec.t array;
+  p_raw_total_means : float array;
+  p_centered : bool;
+}
+
+type raw = {
+  raw_kernels : Mat.t array; (* centered *)
+  raw_tensor : Tensor.t;
+  raw_cms : Vec.t array;
+  raw_tms : float array;
+  raw_centered : bool;
+}
+
+let prepare_raw ?(center = true) kernels_raw =
+  let m = Array.length kernels_raw in
+  if m < 2 then invalid_arg "Ktcca.fit: need at least two views";
+  let n, m1 = Mat.dims kernels_raw.(0) in
+  if n <> m1 then invalid_arg "Ktcca.fit: kernels must be square";
+  Array.iter
+    (fun k -> if Mat.dims k <> (n, n) then invalid_arg "Ktcca.fit: kernel size mismatch")
+    kernels_raw;
+  if n > max_instances then
+    invalid_arg
+      (Printf.sprintf "Ktcca.fit: N=%d exceeds max_instances=%d (the tensor S is N^m dense)"
+         n max_instances);
+  let raw_col_means =
+    Array.map (fun k -> Array.init n (fun i -> Vec.mean (Mat.row k i))) kernels_raw
+  in
+  let raw_total_means = Array.map Stats.mean raw_col_means in
+  let kernels =
+    if center then Array.map Kernel.center kernels_raw else Array.map Mat.copy kernels_raw
+  in
+  (* K₁₂…ₘ = (1/N) Σₙ k₁ₙ ∘ … ∘ kₘₙ (Theorem 3): exactly the covariance
+     tensor of the Gram matrices viewed as N-dimensional features. *)
+  { raw_kernels = kernels;
+    raw_tensor = Tcca.covariance_tensor kernels;
+    raw_cms = raw_col_means;
+    raw_tms = raw_total_means;
+    raw_centered = center }
+
+let prepare_of_raw ~eps raw =
+  let chols = Array.map (fun k -> Cholesky.decompose (jittered_pls eps k)) raw.raw_kernels in
+  (* S = K ×ₚ (Lₚ⁻¹)ᵀ; with A = GGᵀ and the paper's L = Gᵀ this is
+     (Lₚ⁻¹)ᵀ = Gₚ⁻¹. *)
+  let inv_lowers = Array.map Cholesky.inverse_lower chols in
+  { p_kernels = raw.raw_kernels;
+    p_chols = chols;
+    p_tensor = Tensor.mode_products raw.raw_tensor inv_lowers;
+    p_raw_col_means = raw.raw_cms;
+    p_raw_total_means = raw.raw_tms;
+    p_centered = raw.raw_centered }
+
+let prepare ?(eps = 1e-4) ?center kernels_raw =
+  prepare_of_raw ~eps (prepare_raw ?center kernels_raw)
+
+let fit_prepared ?(solver = Tcca.default_solver) ~r prepared =
+  if r < 1 then invalid_arg "Ktcca.fit_prepared: r must be >= 1";
+  let n = Tensor.dim prepared.p_tensor 0 in
+  let r = min r n in
+  let s_tensor = prepared.p_tensor in
+  let kruskal =
+    match solver with
+    | Tcca.Als options -> fst (Cp_als.decompose ~options ~rank:r s_tensor)
+    | Tcca.Rand_als options -> fst (Cp_rand.decompose ~options ~rank:r s_tensor)
+    | Tcca.Power_deflation -> Kruskal.normalize (Tensor_power.decompose ~rank:r s_tensor)
+  in
+  (* aₚ = Lₚ⁻¹ Bₚ = Gₚ⁻ᵀ Bₚ. *)
+  let duals =
+    Array.map2 (fun chol b -> Cholesky.solve_lower_transpose chol b) prepared.p_chols
+      kruskal.Kruskal.factors
+  in
+  { duals;
+    kernels = prepared.p_kernels;
+    raw_col_means = prepared.p_raw_col_means;
+    raw_total_means = prepared.p_raw_total_means;
+    centered = prepared.p_centered;
+    correlations = kruskal.Kruskal.weights }
+
+let fit ?eps ?center ?solver ~r kernels_raw =
+  fit_prepared ?solver ~r (prepare ?eps ?center kernels_raw)
+
+let r t = Array.length t.correlations
+let n_views t = Array.length t.duals
+let correlations t = Array.copy t.correlations
+
+let transform_train t =
+  Mat.vcat_list
+    (Array.to_list (Array.map2 (fun a k -> Mat.mul_tn a k) t.duals t.kernels))
+
+let transform t crosses =
+  if Array.length crosses <> n_views t then invalid_arg "Ktcca.transform: view count mismatch";
+  let blocks =
+    Array.mapi
+      (fun p cross ->
+        let cross =
+          if t.centered then
+            center_cross ~train_col_means:t.raw_col_means.(p)
+              ~train_total:t.raw_total_means.(p) cross
+          else cross
+        in
+        Mat.mul_tn t.duals.(p) cross)
+      crosses
+  in
+  Mat.vcat_list (Array.to_list blocks)
+
+let dual_weights t = Array.map Mat.copy t.duals

@@ -1,0 +1,55 @@
+(** Kernel tensor CCA — the paper's non-linear extension (Sec. 4.4).
+
+    With per-view Gram matrices [Kₚₚ], the Representer Theorem turns
+    problem (4.7) into maximizing [K₁₂…ₘ ×₁ a₁ᵀ … ×ₘ aₘᵀ] subject to the
+    PLS-regularized constraints [aₚᵀ(Kₚₚ² + εKₚₚ)aₚ = 1] (Eq. 4.14), where
+    Theorem 3 gives the kernel covariance tensor as
+    [K₁₂…ₘ = (1/N) Σₙ k₁ₙ ∘ … ∘ kₘₙ] over Gram columns.  With the Cholesky
+    factorization [Kₚₚ² + εKₚₚ = LₚᵀLₚ] and [bₚ = Lₚaₚ], the problem is the
+    best rank-1 (rank-r via CP-ALS) approximation of
+    [S = K₁₂…ₘ ×₁ (L₁⁻¹)ᵀ … ×ₘ (Lₘ⁻¹)ᵀ] (Eq. 4.15).
+
+    The tensor [S] is Nᵐ-dense, so fitting cost scales as O(t·r·Nᵐ)
+    (Sec. 4.5) — the method targets high-dimension/small-N regimes, and
+    [fit] refuses N beyond [max_instances]. *)
+
+type t
+
+val max_instances : int
+(** Guard against accidentally materializing an Nᵐ tensor that cannot fit
+    (default 600 for three views ≈ 1.7 GB). *)
+
+val fit : ?eps:float -> ?center:bool -> ?solver:Tcca.solver -> r:int -> Mat.t array -> t
+(** [fit ~eps ~r kernels] on training Gram matrices (one per view).
+    [center] (default true) double-centers each kernel.  [eps] defaults to
+    1e-4. *)
+
+type prepared
+(** Centered kernels, Cholesky factors and the whitened tensor [S], frozen
+    so several ranks can be decomposed without re-materializing [S]. *)
+
+val prepare : ?eps:float -> ?center:bool -> Mat.t array -> prepared
+val fit_prepared : ?solver:Tcca.solver -> r:int -> prepared -> t
+
+type raw
+(** The ε-independent work — centered kernels and the Nᵐ kernel covariance
+    tensor — shared by an ε-validation loop (the paper optimizes ε over
+    {10ⁱ} for the kernel experiments). *)
+
+val prepare_raw : ?center:bool -> Mat.t array -> raw
+val prepare_of_raw : eps:float -> raw -> prepared
+
+val r : t -> int
+val n_views : t -> int
+val correlations : t -> Vec.t
+
+val transform_train : t -> Mat.t
+(** [(m·r) × N] concatenated training embedding [Zₚ = Kₚₚ Lₚ⁻¹ Bₚ]
+    (Eq. 4.16). *)
+
+val transform : t -> Mat.t array -> Mat.t
+(** Embed new instances from their cross-kernel columns
+    ([N_train × N_new] per view, un-centered). *)
+
+val dual_weights : t -> Mat.t array
+(** Per-view [N × r] dual coefficients [aₚ = Lₚ⁻¹Bₚ]. *)

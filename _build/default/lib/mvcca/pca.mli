@@ -1,0 +1,21 @@
+(** Principal component analysis.
+
+    Used as the per-view preprocessing step of the DSE and SSMVD baselines
+    (the paper reduces each view to 100 dimensions with PCA before running
+    them) and as the best one-dimensional representation in CCA-MAXVAR. *)
+
+type t
+
+val fit : ?center:bool -> r:int -> Mat.t -> t
+(** Instances as columns; keeps the top [min r d] components. *)
+
+val transform : t -> Mat.t -> Mat.t
+(** [r × N] scores. *)
+
+val components : t -> Mat.t
+(** [d × r] orthonormal loadings. *)
+
+val explained_variance : t -> Vec.t
+(** Eigenvalues of the covariance for the kept components. *)
+
+val mean : t -> Vec.t

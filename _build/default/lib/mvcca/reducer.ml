@@ -1,0 +1,92 @@
+type projector = { project : Mat.t array -> Mat.t }
+
+type t =
+  | Projective of { name : string; fit : int -> Mat.t array -> projector }
+  | Transductive of { name : string; fit_transform : int -> Mat.t array -> Mat.t }
+
+let name = function Projective { name; _ } | Transductive { name; _ } -> name
+
+let per_view_r ~n_views ~r = max 1 (r / n_views)
+
+let tcca ?eps ?solver () =
+  Projective
+    { name = "tcca";
+      fit =
+        (fun r views ->
+          let m = Array.length views in
+          let model = Tcca.fit ?eps ?solver ~r:(per_view_r ~n_views:m ~r) views in
+          { project = Tcca.transform model }) }
+
+let cca_pair ?eps (p, q) =
+  Projective
+    { name = Printf.sprintf "cca(%d,%d)" p q;
+      fit =
+        (fun r views ->
+          let model = Cca.fit ?eps ~r:(max 1 (r / 2)) views.(p) views.(q) in
+          { project = (fun vs -> Cca.transform_concat model vs.(p) vs.(q)) }) }
+
+let cca_ls ?eps () =
+  Projective
+    { name = "cca-ls";
+      fit =
+        (fun r views ->
+          let m = Array.length views in
+          let model = Cca_ls.fit ?eps ~r:(per_view_r ~n_views:m ~r) views in
+          { project = Cca_ls.transform model }) }
+
+let cca_maxvar ?eps () =
+  Projective
+    { name = "cca-maxvar";
+      fit =
+        (fun r views ->
+          let m = Array.length views in
+          let model = Cca_maxvar.fit ?eps ~r:(per_view_r ~n_views:m ~r) views in
+          { project = Cca_maxvar.transform model }) }
+
+let dse ?options () =
+  Transductive
+    { name = "dse"; fit_transform = (fun r views -> Dse.fit_transform ?options ~r views) }
+
+let ssmvd ?options () =
+  Transductive
+    { name = "ssmvd"; fit_transform = (fun r views -> Ssmvd.fit_transform ?options ~r views) }
+
+let single_view p =
+  Projective
+    { name = Printf.sprintf "view%d" p;
+      fit = (fun _r _views -> { project = (fun vs -> Mat.copy vs.(p)) }) }
+
+let concat_views =
+  Projective
+    { name = "cat";
+      fit =
+        (fun _r views ->
+          (* Freeze the per-view scale on the fitting data. *)
+          let scales =
+            Array.map
+              (fun v ->
+                let _, n = Mat.dims v in
+                let total = ref 0. in
+                for j = 0 to n - 1 do
+                  total := !total +. Vec.norm (Mat.col v j)
+                done;
+                let avg = !total /. float_of_int (max n 1) in
+                if avg > 0. then 1. /. avg else 1.)
+              views
+          in
+          { project =
+              (fun vs ->
+                Mat.vcat_list
+                  (Array.to_list (Array.map2 (fun s v -> Mat.scale s v) scales vs))) }) }
+
+let pca_per_view =
+  Projective
+    { name = "pca-per-view";
+      fit =
+        (fun r views ->
+          let m = Array.length views in
+          let rv = per_view_r ~n_views:m ~r in
+          let models = Array.map (fun v -> Pca.fit ~r:rv v) views in
+          { project =
+              (fun vs ->
+                Mat.vcat_list (Array.to_list (Array.map2 Pca.transform models vs))) }) }

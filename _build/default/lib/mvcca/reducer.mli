@@ -1,0 +1,45 @@
+(** A uniform interface over every dimension-reduction method in the
+    comparison, so the experiment harness can treat them interchangeably.
+
+    Two families, exactly as in the paper's protocol:
+    - {e projective} methods learn a projection from unlabeled data and can
+      then embed any instances (all CCA-family methods, TCCA, baselines);
+    - {e transductive} methods (DSE, SSMVD) embed only the instances they
+      were fitted on — no out-of-sample projection exists, so the harness
+      must fit them on the union of all instances it needs embedded. *)
+
+type projector = { project : Mat.t array -> Mat.t }
+
+type t =
+  | Projective of { name : string; fit : int -> Mat.t array -> projector }
+      (** [fit r views] learns on (unlabeled) views. *)
+  | Transductive of { name : string; fit_transform : int -> Mat.t array -> Mat.t }
+
+val name : t -> string
+
+(** {1 Method constructors}
+
+    Each takes the total target dimension at fit time and splits it per the
+    paper's conventions: pairwise CCA produces 2·(r/2) dims, the m-view
+    methods m·(r/m), DSE/SSMVD produce r directly. *)
+
+val tcca : ?eps:float -> ?solver:Tcca.solver -> unit -> t
+val cca_pair : ?eps:float -> int * int -> t
+(** CCA on one pair of views (paper's CCA; pairs enumerated by the harness
+    for BST/AVG). *)
+
+val cca_ls : ?eps:float -> unit -> t
+val cca_maxvar : ?eps:float -> unit -> t
+val dse : ?options:Dse.options -> unit -> t
+val ssmvd : ?options:Ssmvd.options -> unit -> t
+
+val single_view : int -> t
+(** Raw features of one view (the BSF baseline; view chosen by validation
+    in the harness). *)
+
+val concat_views : t
+(** Normalized concatenation of all views (the CAT baseline).  Ignores [r]. *)
+
+val pca_per_view : t
+(** Per-view PCA to r/m dims then concatenation — a sanity baseline used in
+    tests and ablations. *)

@@ -1,0 +1,84 @@
+type options = { pca_dim : int; lambda : float; max_iter : int; tol : float }
+
+let default_options = { pca_dim = 100; lambda = 0.1; max_iter = 50; tol = 1e-5 }
+
+type state = {
+  y : Mat.t;                 (* D × N stacked reduced views *)
+  blocks : (int * int) array; (* (offset, size) of each view's rows in y *)
+  w : Mat.t;                 (* D × r *)
+  z : Mat.t;                 (* r × N *)
+}
+
+let block_norm w (off, size) =
+  let acc = ref 0. in
+  for i = off to off + size - 1 do
+    let row = Mat.row w i in
+    acc := !acc +. Vec.dot row row
+  done;
+  sqrt !acc
+
+let objective options state =
+  let residual = Mat.sub state.y (Mat.mul state.w state.z) in
+  let fit = Mat.frobenius residual ** 2. in
+  let penalty =
+    Array.fold_left (fun acc b -> acc +. block_norm state.w b) 0. state.blocks
+  in
+  fit +. (options.lambda *. penalty)
+
+let solve options views ~r =
+  let m = Array.length views in
+  if m < 2 then invalid_arg "Ssmvd: need at least two views";
+  let n = snd (Mat.dims views.(0)) in
+  let reduced = Array.map (fun x -> Pca.transform (Pca.fit ~r:options.pca_dim x) x) views in
+  let y = Mat.vcat_list (Array.to_list reduced) in
+  let d, _ = Mat.dims y in
+  let r = min r (min d n) in
+  let blocks =
+    let off = ref 0 in
+    Array.map
+      (fun v ->
+        let size = fst (Mat.dims v) in
+        let b = (!off, size) in
+        off := !off + size;
+        b)
+      reduced
+  in
+  (* Init W from the PCA of the stacked representation. *)
+  let w = ref (Pca.components (Pca.fit ~center:false ~r y)) in
+  let z = ref (Mat.create r n) in
+  let state () = { y; blocks; w = !w; z = !z } in
+  let prev_obj = ref infinity in
+  (try
+     for _ = 1 to options.max_iter do
+       (* Z step: ridge-free least squares (WᵀW + δI) Z = Wᵀ Y. *)
+       let wtw = Mat.add_scaled_identity 1e-10 (Mat.tgram !w) in
+       z := Cholesky.solve_system wtw (Mat.mul_tn !w y);
+       (* W step (half-quadratic): each view block v solves
+          W_v (Z Zᵀ + θ_v I) = Y_v Zᵀ with θ_v = λ / (2 max ‖W_v‖, δ). *)
+       let zzt = Mat.gram !z in
+       let w' = Mat.create d r in
+       Array.iter
+         (fun (off, size) ->
+           let theta = options.lambda /. (2. *. Float.max (block_norm !w (off, size)) 1e-8) in
+           let a = Mat.add_scaled_identity theta zzt in
+           let y_v = Mat.sub_rows y off size in
+           let rhs = Mat.mul_nt y_v !z in
+           (* Solve A Wᵀ = rhsᵀ, i.e. W_v = rhs A⁻¹ with A symmetric. *)
+           let wv = Mat.transpose (Cholesky.solve_system a (Mat.transpose rhs)) in
+           for i = 0 to size - 1 do
+             Mat.set_row w' (off + i) (Mat.row wv i)
+           done)
+         blocks;
+       w := w';
+       let obj = objective options (state ()) in
+       if Float.abs (!prev_obj -. obj) <= options.tol *. Float.max 1. obj then raise Exit;
+       prev_obj := obj
+     done
+   with Exit -> ());
+  state ()
+
+let fit_transform ?(options = default_options) ~r views = (solve options views ~r).z
+
+let view_weights ?(options = default_options) ~r views =
+  let state = solve options views ~r in
+  Array.map (block_norm state.w) state.blocks

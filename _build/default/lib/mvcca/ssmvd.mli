@@ -1,0 +1,31 @@
+(** SSMVD — structured-sparse multi-view dimension reduction (Han et al.
+    2012): learns a low-dimensional consensus representation of multi-view
+    data while a structured sparsity-inducing norm (Jenatton et al. 2011)
+    over *view groups* lets information be shared by subsets of views
+    adaptively.
+
+    Formulation used here (per-view PCA to [pca_dim] first, as in the
+    paper's setup): with stacked reduced views [Y ∈ R^{D×N}],
+
+    [min_{W,Z} ‖Y − W Z‖²_F + λ Σ_v ‖W_v‖_F]
+
+    where [W_v] is the block of [W] owned by view [v].  Solved by
+    alternating a ridge solve for [Z] with an IRLS (half-quadratic) update
+    of each view block — the standard majorizer for group-ℓ2 penalties.
+    Like DSE, the method is transductive. *)
+
+type options = {
+  pca_dim : int;     (** Per-view PCA target (default 100). *)
+  lambda : float;    (** Group-sparsity weight (default 0.1). *)
+  max_iter : int;    (** Alternations (default 50). *)
+  tol : float;       (** Relative objective-change stop (default 1e-5). *)
+}
+
+val default_options : options
+
+val fit_transform : ?options:options -> r:int -> Mat.t array -> Mat.t
+(** [r × N] consensus representation of the given instances. *)
+
+val view_weights : ?options:options -> r:int -> Mat.t array -> Vec.t
+(** Diagnostic: final [‖W_v‖_F] per view — shows which views the sparse
+    consensus actually uses. *)

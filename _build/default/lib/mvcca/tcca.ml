@@ -1,0 +1,258 @@
+type solver = Als of Cp_als.options | Rand_als of Cp_rand.options | Power_deflation
+
+let default_solver = Als Cp_als.default_options
+
+type t = {
+  means : Vec.t array;
+  projections : Mat.t array; (* dₚ × r, whitening folded in *)
+  correlations : Vec.t;
+  solver_note : string;
+}
+
+let check_views name views =
+  let m = Array.length views in
+  if m < 2 then invalid_arg (name ^ ": need at least two views");
+  let n = snd (Mat.dims views.(0)) in
+  if n = 0 then invalid_arg (name ^ ": no instances");
+  Array.iter
+    (fun v -> if snd (Mat.dims v) <> n then invalid_arg (name ^ ": instance count mismatch"))
+    views;
+  n
+
+let covariance_tensor views =
+  let n = check_views "Tcca.covariance_tensor" views in
+  let dims = Array.map (fun v -> fst (Mat.dims v)) views in
+  let c = Tensor.create dims in
+  let weight = 1. /. float_of_int n in
+  for i = 0 to n - 1 do
+    let xs = Array.map (fun v -> Mat.col v i) views in
+    Tensor.add_outer_in_place c weight xs
+  done;
+  c
+
+let whiteners ~eps views =
+  let n = check_views "Tcca.whiteners" views in
+  let nf = float_of_int n in
+  Array.map
+    (fun x ->
+      let cov = Mat.add_scaled_identity eps (Mat.scale (1. /. nf) (Mat.gram x)) in
+      Matfun.inv_sqrt_psd cov)
+    views
+
+let whitened_tensor ?(eps = 1e-2) views =
+  let means = Array.map Mat.row_means views in
+  let centered = Array.map2 Mat.sub_col_vec views means in
+  let c = covariance_tensor centered in
+  Tensor.mode_products c (whiteners ~eps centered)
+
+type prepared = {
+  p_means : Vec.t array;
+  p_whiteners : Mat.t array;
+  p_tensor : Tensor.t; (* the whitened covariance tensor M *)
+}
+
+type raw = {
+  r_means : Vec.t array;
+  r_covs : Mat.t array;   (* unregularized Cpp *)
+  r_tensor : Tensor.t;    (* C₁₂…ₘ of the centered views *)
+}
+
+let prepare_raw views =
+  let n = check_views "Tcca.prepare" views in
+  let nf = float_of_int n in
+  let means = Array.map Mat.row_means views in
+  let centered = Array.map2 Mat.sub_col_vec views means in
+  let covs = Array.map (fun x -> Mat.scale (1. /. nf) (Mat.gram x)) centered in
+  { r_means = means; r_covs = covs; r_tensor = covariance_tensor centered }
+
+let prepare_of_raw ~eps raw =
+  let ws = Array.map (fun c -> Matfun.inv_sqrt_psd (Mat.add_scaled_identity eps c)) raw.r_covs in
+  { p_means = raw.r_means;
+    p_whiteners = ws;
+    p_tensor = Tensor.mode_products raw.r_tensor ws }
+
+let prepare ?(eps = 1e-2) views = prepare_of_raw ~eps (prepare_raw views)
+
+module Builder = struct
+  (* Raw (uncentered) moments, exactly centered at [finalize] time by
+     inclusion–exclusion:
+
+       E[∘ₚ (xₚ − μₚ)]
+         = Σ_{S ⊆ [m], |Sᶜ| ≥ 2} (−1)^{|S|} E[∘_{p∉S} xₚ] ∘ (∘_{p∈S} μₚ)
+           + (−1)^{m−1} (m−1) ∘ₚ μₚ
+
+     so the builder stores the joint raw-moment tensor of every mode subset
+     of size ≥ 2 (for m = 3: the full tensor and the three pairwise
+     matrices), the per-view sums, and the per-view second moments. *)
+  type t = {
+    dims : int array;
+    mutable n : int;
+    sums : Vec.t array;              (* Σ xₚ *)
+    second : Mat.t array;            (* Σ xₚ xₚᵀ *)
+    joints : (int, Tensor.t) Hashtbl.t; (* bitmask of the mode subset *)
+  }
+
+  let subset_modes mask m =
+    let rec go p acc = if p < 0 then acc else go (p - 1) (if mask land (1 lsl p) <> 0 then p :: acc else acc) in
+    go (m - 1) []
+
+  let create ~dims =
+    let m = Array.length dims in
+    if m < 2 then invalid_arg "Tcca.Builder.create: need at least two views";
+    Array.iter (fun d -> if d < 1 then invalid_arg "Tcca.Builder.create: bad dimension") dims;
+    let joints = Hashtbl.create 16 in
+    for mask = 0 to (1 lsl m) - 1 do
+      let modes = subset_modes mask m in
+      if List.length modes >= 2 then
+        Hashtbl.replace joints mask
+          (Tensor.create (Array.of_list (List.map (fun p -> dims.(p)) modes)))
+    done;
+    { dims;
+      n = 0;
+      sums = Array.map (fun d -> Vec.create d) dims;
+      second = Array.map (fun d -> Mat.create d d) dims;
+      joints }
+
+  let count t = t.n
+
+  let add_batch t views =
+    let m = Array.length t.dims in
+    if Array.length views <> m then invalid_arg "Tcca.Builder.add_batch: view count mismatch";
+    Array.iteri
+      (fun p v ->
+        if fst (Mat.dims v) <> t.dims.(p) then
+          invalid_arg "Tcca.Builder.add_batch: dimension mismatch")
+      views;
+    let batch = snd (Mat.dims views.(0)) in
+    Array.iter
+      (fun v ->
+        if snd (Mat.dims v) <> batch then
+          invalid_arg "Tcca.Builder.add_batch: instance count mismatch")
+      views;
+    for i = 0 to batch - 1 do
+      let cols = Array.map (fun v -> Mat.col v i) views in
+      Array.iteri (fun p c -> Vec.axpy_in_place 1. c t.sums.(p)) cols;
+      Array.iteri
+        (fun p c ->
+          (* rank-1 update of the second moment *)
+          let s = t.second.(p) in
+          for a = 0 to t.dims.(p) - 1 do
+            if c.(a) <> 0. then
+              for b = 0 to t.dims.(p) - 1 do
+                Mat.set s a b (Mat.get s a b +. (c.(a) *. c.(b)))
+              done
+          done)
+        cols;
+      Hashtbl.iter
+        (fun mask tensor ->
+          let modes = subset_modes mask m in
+          Tensor.add_outer_in_place tensor 1.
+            (Array.of_list (List.map (fun p -> cols.(p)) modes)))
+        t.joints
+    done;
+    t.n <- t.n + batch
+
+  let finalize t =
+    if t.n = 0 then invalid_arg "Tcca.Builder.finalize: no instances";
+    let m = Array.length t.dims in
+    let nf = float_of_int t.n in
+    let means = Array.map (fun s -> Vec.scale (1. /. nf) s) t.sums in
+    let covs =
+      Array.mapi
+        (fun p s ->
+          let raw = Mat.scale (1. /. nf) s in
+          Mat.init t.dims.(p) t.dims.(p) (fun a b ->
+              Mat.get raw a b -. (means.(p).(a) *. means.(p).(b))))
+        t.second
+    in
+    (* Inclusion–exclusion over mean subsets. *)
+    let out = Tensor.create t.dims in
+    let full_mask = (1 lsl m) - 1 in
+    let idx = Array.make m 0 in
+    let size = Tensor.size out in
+    let strides = Array.make m 1 in
+    for p = m - 2 downto 0 do
+      strides.(p) <- strides.(p + 1) * t.dims.(p + 1)
+    done;
+    for flat = 0 to size - 1 do
+      let rem = ref flat in
+      for p = 0 to m - 1 do
+        idx.(p) <- !rem / strides.(p);
+        rem := !rem mod strides.(p)
+      done;
+      let acc = ref 0. in
+      (* Subsets S of means; complement Sᶜ must have ≥ 2 modes to index a
+         stored joint tensor; |Sᶜ| = 1 and 0 fold into the constant term. *)
+      for s_mask = 0 to full_mask do
+        let comp = full_mask land lnot s_mask in
+        let comp_modes = subset_modes comp m in
+        if List.length comp_modes >= 2 then begin
+          let joint = Hashtbl.find t.joints comp in
+          let joint_idx = Array.of_list (List.map (fun p -> idx.(p)) comp_modes) in
+          let mu = ref 1. in
+          List.iter (fun p -> mu := !mu *. means.(p).(idx.(p))) (subset_modes s_mask m);
+          let sign = if List.length (subset_modes s_mask m) mod 2 = 0 then 1. else -1. in
+          acc := !acc +. (sign *. Tensor.get joint joint_idx /. nf *. !mu)
+        end
+      done;
+      (* Constant term: m subsets with |Sᶜ| = 1 contribute (−1)^{m−1} ∘μ each
+         (E[x_q] = μ_q), and S = [m] contributes (−1)^m ∘μ. *)
+      let mu_all = ref 1. in
+      for p = 0 to m - 1 do
+        mu_all := !mu_all *. means.(p).(idx.(p))
+      done;
+      let sign_m1 = if (m - 1) mod 2 = 0 then 1. else -1. in
+      acc := !acc +. (sign_m1 *. float_of_int (m - 1) *. !mu_all);
+      Tensor.set out idx !acc
+    done;
+    { r_means = means; r_covs = covs; r_tensor = out }
+end
+
+let fit_prepared ?(solver = default_solver) ~r prepared =
+  if r < 1 then invalid_arg "Tcca.fit_prepared: r must be >= 1";
+  let dims = Array.init (Tensor.order prepared.p_tensor) (Tensor.dim prepared.p_tensor) in
+  let r = Array.fold_left min r dims in
+  let m_tensor = prepared.p_tensor in
+  let kruskal, note =
+    match solver with
+    | Als options ->
+      let k, info = Cp_als.decompose ~options ~rank:r m_tensor in
+      ( k,
+        Printf.sprintf "als: %d iters, fit %.6f, converged %b" info.Cp_als.iterations
+          info.Cp_als.fit info.Cp_als.converged )
+    | Rand_als options ->
+      let k, info = Cp_rand.decompose ~options ~rank:r m_tensor in
+      ( k,
+        Printf.sprintf "rand-als: %d iters, sampled fit %.6f, converged %b"
+          info.Cp_rand.iterations info.Cp_rand.sampled_fit info.Cp_rand.converged )
+    | Power_deflation ->
+      let k = Tensor_power.decompose ~rank:r m_tensor in
+      (Kruskal.normalize k, "power-deflation")
+  in
+  (* hₚ = C̃pp^{−1/2} uₚ (Theorem 2's back-substitution); fold the whitener
+     into the projection so transform is a single matrix product. *)
+  let projections =
+    Array.map2 (fun w u -> Mat.mul w u) prepared.p_whiteners kruskal.Kruskal.factors
+  in
+  { means = prepared.p_means;
+    projections;
+    correlations = kruskal.Kruskal.weights;
+    solver_note = note }
+
+let fit ?(eps = 1e-2) ?solver ~r views = fit_prepared ?solver ~r (prepare ~eps views)
+
+let r t = Array.length t.correlations
+let n_views t = Array.length t.projections
+let correlations t = Array.copy t.correlations
+
+let transform_view t p x =
+  if p < 0 || p >= n_views t then invalid_arg "Tcca.transform_view: bad view index";
+  Mat.mul_tn t.projections.(p) (Mat.sub_col_vec x t.means.(p))
+
+let transform t views =
+  if Array.length views <> n_views t then invalid_arg "Tcca.transform: view count mismatch";
+  Mat.vcat_list (Array.to_list (Array.mapi (fun p x -> transform_view t p x) views))
+
+let projections t = Array.map Mat.copy t.projections
+let canonical_vectors = projections
+let solver_info t = t.solver_note

@@ -1,0 +1,111 @@
+(** Tensor canonical correlation analysis — the paper's contribution
+    (Sec. 4).
+
+    Given m centered views [{Xₚ ∈ R^{dₚ×N}}], TCCA maximizes the high-order
+    canonical correlation [ρ = C₁₂…ₘ ×₁ h₁ᵀ … ×ₘ hₘᵀ] subject to
+    [hₚᵀ C̃pp hₚ = 1] (Eqs. 4.7–4.8).  Substituting [uₚ = C̃pp^{1/2} hₚ]
+    turns this into the best rank-1 approximation of the whitened covariance
+    tensor [M = C₁₂…ₘ ×₁ C̃₁₁^{−1/2} … ×ₘ C̃ₘₘ^{−1/2}] (Theorem 2 +
+    De Lathauwer 2000b), and the rank-r solution is its CP decomposition,
+    computed with ALS (default), HOPM-deflation or the tensor power method.
+
+    The covariance tensor is accumulated streaming over instances, so memory
+    is O(Πdₚ) and fit time is independent of N after the single O(N·Πdₚ)
+    accumulation pass — the scalability property of Sec. 4.5. *)
+
+type solver =
+  | Als of Cp_als.options     (** The paper's choice (Sec. 4.3). *)
+  | Rand_als of Cp_rand.options
+      (** Sampled-least-squares ALS — the paper's future-work speedup. *)
+  | Power_deflation           (** Greedy rank-1 deflation (Allen 2012). *)
+
+val default_solver : solver
+
+type t
+
+val fit : ?eps:float -> ?solver:solver -> r:int -> Mat.t array -> t
+(** [fit ~eps ~r views] with instances as columns; centering is internal and
+    frozen.  [eps] is the regularizer of Eq. 4.8 (default 1e-2, the paper's
+    linear-experiment value).  [r] is clamped to [min dₚ].  Raises
+    [Invalid_argument] on fewer than 2 views or inconsistent instance
+    counts. *)
+
+type prepared
+(** The N-dependent work of a fit — centering, whitening, covariance-tensor
+    accumulation — frozen so that several ranks can be decomposed from the
+    same tensor.  This is what makes dimension sweeps cheap: everything up
+    to the CP decomposition is rank-independent (Sec. 4.5). *)
+
+val prepare : ?eps:float -> Mat.t array -> prepared
+val fit_prepared : ?solver:solver -> r:int -> prepared -> t
+
+type raw
+(** Only the ε-independent work: means, per-view covariance matrices and the
+    covariance tensor.  Lets an ε-validation loop (the paper tunes ε over
+    {10ⁱ} for the image experiments) reuse the single O(N·Πdₚ) accumulation
+    pass. *)
+
+val prepare_raw : Mat.t array -> raw
+val prepare_of_raw : eps:float -> raw -> prepared
+
+val r : t -> int
+val n_views : t -> int
+
+val correlations : t -> Vec.t
+(** CP weights [λ⁽ᵏ⁾] — the high-order canonical correlations, by
+    descending magnitude. *)
+
+val transform_view : t -> int -> Mat.t -> Mat.t
+(** [Zₚ = (C̃pp^{−1/2} Uₚ)ᵀ (Xₚ − μₚ)], [r × N] (Eq. 4.11, transposed
+    convention: instances stay columns). *)
+
+val transform : t -> Mat.t array -> Mat.t
+(** Concatenation [Z ∈ R^{(m·r) × N}] of all projected views — the final
+    representation of Fig. 2. *)
+
+val projections : t -> Mat.t array
+(** Per-view projection matrices [C̃pp^{−1/2} Uₚ], each [dₚ × r]. *)
+
+val canonical_vectors : t -> Mat.t array
+(** The same matrices — [hₚ⁽ᵏ⁾] columns satisfy [hₚᵀ C̃pp hₚ = 1]. *)
+
+val solver_info : t -> string
+(** Human-readable convergence note (iterations, fit) for logging. *)
+
+val covariance_tensor : Mat.t array -> Tensor.t
+(** The centered covariance tensor [C₁₂…ₘ = (1/N) Σₙ x₁ₙ ∘ … ∘ xₘₙ] of
+    already-centered views — exposed for tests and benches. *)
+
+(** Streaming construction of the fit statistics, for pools too large to
+    materialize as matrices (the paper's Sec. 4.5 point: TCCA's cost is
+    independent of N once the covariance statistics are accumulated, so it
+    "can be scaled in very large sample size problems").
+
+    Batches are pushed one at a time; the builder keeps only O(Πdₚ + Σdₚ²)
+    state: raw sums for the means, per-view second-moment matrices and the
+    raw third-moment tensor.  [finalize] converts the raw moments into the
+    centered statistics and returns the same [raw] value
+    [prepare_raw] would produce on the concatenation of all batches. *)
+module Builder : sig
+  type t
+
+  val create : dims:int array -> t
+  (** One dimension per view; raises [Invalid_argument] on fewer than two
+      views. *)
+
+  val add_batch : t -> Mat.t array -> unit
+  (** Push a batch of instances (one matrix per view, matching [dims] and a
+      shared column count).  O(batch · Πdₚ). *)
+
+  val count : t -> int
+  (** Instances absorbed so far. *)
+
+  val finalize : t -> raw
+  (** Centered statistics of everything absorbed; raises [Invalid_argument]
+      if no instances were added.  The builder stays usable (more batches
+      can follow and [finalize] can be called again). *)
+end
+
+val whitened_tensor : ?eps:float -> Mat.t array -> Tensor.t
+(** [M] of Eq. 4.9 for raw views (centers internally) — exposed for the
+    solver-ablation bench. *)

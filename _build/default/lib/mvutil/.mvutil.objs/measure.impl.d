@@ -1,0 +1,1 @@
+lib/mvutil/measure.ml: Gc Sys

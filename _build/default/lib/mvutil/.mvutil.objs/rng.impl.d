@@ -1,0 +1,1 @@
+lib/mvutil/rng.ml: Array Int64

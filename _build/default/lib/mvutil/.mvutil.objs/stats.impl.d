@@ -1,0 +1,1 @@
+lib/mvutil/stats.ml: Array Stdlib

@@ -1,0 +1,1 @@
+lib/mvutil/tableau.ml: Array Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/mvutil/tableau.mli:

@@ -1,0 +1,96 @@
+(* xoshiro256++ with splitmix64 seeding (Blackman & Vigna).  OCaml's native
+   [int] is 63-bit, so all state lives in [int64]. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let int64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (int64 t) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the top 63 bits keeps the draw exactly uniform. *)
+  let bound64 = Int64.of_int bound in
+  let rec draw () =
+    let raw = Int64.shift_right_logical (int64 t) 1 in
+    let value = Int64.rem raw bound64 in
+    if Int64.sub raw value > Int64.sub (Int64.sub Int64.max_int bound64) 1L then draw ()
+    else Int64.to_int value
+  in
+  draw ()
+
+let uniform t =
+  (* 53 high bits -> double in [0,1). *)
+  Int64.to_float (Int64.shift_right_logical (int64 t) 11) *. 0x1p-53
+
+let float t bound = uniform t *. bound
+let bool t = Int64.logand (int64 t) 1L = 1L
+let bernoulli t p = uniform t < p
+let sign t = if bool t then 1. else -1.
+
+let gaussian ?(mu = 0.) ?(sigma = 1.) t =
+  (* Marsaglia polar method; the second deviate is discarded for simplicity
+     and determinism of consumption order. *)
+  let rec draw () =
+    let u = (2. *. uniform t) -. 1. in
+    let v = (2. *. uniform t) -. 1. in
+    let s = (u *. u) +. (v *. v) in
+    if s >= 1. || s = 0. then draw ()
+    else u *. sqrt (-2. *. log s /. s)
+  in
+  mu +. (sigma *. draw ())
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle_in_place t a;
+  a
+
+let choose t k n =
+  if k > n then invalid_arg "Rng.choose: k > n";
+  let p = permutation t n in
+  Array.sub p 0 k

@@ -1,0 +1,74 @@
+let check_nonempty name a =
+  if Array.length a = 0 then invalid_arg (name ^ ": empty array")
+
+let mean a =
+  check_nonempty "Stats.mean" a;
+  Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
+
+let variance a =
+  check_nonempty "Stats.variance" a;
+  let n = Array.length a in
+  if n = 1 then 0.
+  else begin
+    let m = mean a in
+    let acc = ref 0. in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) ** 2.)) a;
+    !acc /. float_of_int (n - 1)
+  end
+
+let std a = sqrt (variance a)
+let mean_std a = (mean a, std a)
+
+let min a =
+  check_nonempty "Stats.min" a;
+  Array.fold_left Stdlib.min a.(0) a
+
+let max a =
+  check_nonempty "Stats.max" a;
+  Array.fold_left Stdlib.max a.(0) a
+
+let arg_best better a =
+  check_nonempty "Stats.argmax" a;
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if better a.(i) a.(!best) then best := i
+  done;
+  !best
+
+let argmax a = arg_best ( > ) a
+let argmin a = arg_best ( < ) a
+
+let median a =
+  check_nonempty "Stats.median" a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n mod 2 = 1 then sorted.(n / 2)
+  else (sorted.((n / 2) - 1) +. sorted.(n / 2)) /. 2.
+
+let dot a b =
+  if Array.length a <> Array.length b then invalid_arg "Stats.dot: length mismatch";
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let l2_norm a = sqrt (dot a a)
+
+let normalize_l2 a =
+  let n = l2_norm a in
+  if n = 0. then Array.copy a else Array.map (fun x -> x /. n) a
+
+let pearson a b =
+  if Array.length a <> Array.length b then invalid_arg "Stats.pearson: length mismatch";
+  check_nonempty "Stats.pearson" a;
+  let ma = mean a and mb = mean b in
+  let num = ref 0. and da = ref 0. and db = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    let xa = a.(i) -. ma and xb = b.(i) -. mb in
+    num := !num +. (xa *. xb);
+    da := !da +. (xa *. xa);
+    db := !db +. (xb *. xb)
+  done;
+  if !da = 0. || !db = 0. then 0. else !num /. sqrt (!da *. !db)

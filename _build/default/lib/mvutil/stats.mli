@@ -1,0 +1,32 @@
+(** Small descriptive-statistics helpers used throughout the experiments. *)
+
+val mean : float array -> float
+(** Arithmetic mean; raises [Invalid_argument] on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (denominator [n - 1]); 0 for arrays of length 1. *)
+
+val std : float array -> float
+(** Unbiased sample standard deviation. *)
+
+val mean_std : float array -> float * float
+(** Both at once. *)
+
+val min : float array -> float
+val max : float array -> float
+
+val argmax : float array -> int
+(** Index of the first maximal element. *)
+
+val argmin : float array -> int
+
+val median : float array -> float
+(** Median (averaging the two middle elements for even lengths). *)
+
+val pearson : float array -> float array -> float
+(** Pearson correlation coefficient of two equal-length samples. *)
+
+val dot : float array -> float array -> float
+val l2_norm : float array -> float
+val normalize_l2 : float array -> float array
+(** Unit-L2 copy; returns the input copy unchanged when its norm is 0. *)

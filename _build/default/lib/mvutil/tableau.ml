@@ -1,0 +1,60 @@
+type t = {
+  title : string;
+  columns : string array;
+  mutable rows : string array list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns = Array.of_list columns; rows = [] }
+
+let cell_of_float v =
+  if Float.is_integer v && Float.abs v < 1e9 then Printf.sprintf "%.0f" v
+  else if Float.abs v >= 1000. || (Float.abs v < 0.01 && v <> 0.) then Printf.sprintf "%.3e" v
+  else Printf.sprintf "%.4g" v
+
+let add_text_row t label cells =
+  let row = Array.of_list (label :: cells) in
+  if Array.length row <> Array.length t.columns then
+    invalid_arg "Tableau.add_row: cell count does not match columns";
+  t.rows <- row :: t.rows
+
+let add_row t label values = add_text_row t label (List.map cell_of_float values)
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = Array.length t.columns in
+  let widths = Array.map String.length t.columns in
+  let widen row = Array.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) row in
+  List.iter widen rows;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  let pad i s =
+    let w = widths.(i) in
+    if i = 0 then Printf.sprintf "%-*s" w s else Printf.sprintf "%*s" w s
+  in
+  let emit_row row =
+    for i = 0 to ncols - 1 do
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (pad i row.(i))
+    done;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.columns;
+  let rule = String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)) in
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let series ~title ~xlabel ~x curves =
+  let t = create ~title ~columns:(xlabel :: List.map fst curves) in
+  Array.iteri
+    (fun i xi ->
+      let values = List.map (fun (_, ys) -> ys.(i)) curves in
+      add_row t (cell_of_float xi) values)
+    x;
+  render t
+
+let pm mean std = Printf.sprintf "%.2f±%.2f" mean std

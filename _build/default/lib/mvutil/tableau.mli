@@ -1,0 +1,34 @@
+(** Plain-text table rendering for the experiment harness.
+
+    The benchmark executable reproduces the paper's tables and figure series
+    as aligned text; this module owns all of that formatting so experiments
+    only deal in rows of floats. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** A table with a caption and column headers.  The first column is treated
+    as the row label. *)
+
+val add_row : t -> string -> float list -> unit
+(** [add_row t label values] appends one row; [values] must match the number
+    of non-label columns. *)
+
+val add_text_row : t -> string -> string list -> unit
+(** Row with preformatted cells (e.g. ["62.4±1.3"]). *)
+
+val render : t -> string
+(** Render with aligned columns, caption first. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+val series :
+  title:string -> xlabel:string -> x:float array ->
+  (string * float array) list -> string
+(** [series ~title ~xlabel ~x curves] renders a figure-style table: one row
+    per [x] value, one column per named curve — the textual equivalent of the
+    paper's line plots. *)
+
+val pm : float -> float -> string
+(** [pm mean std] formats ["mean±std"] with two decimals, as in the paper. *)

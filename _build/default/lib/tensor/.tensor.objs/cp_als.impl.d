@@ -1,0 +1,1 @@
+lib/tensor/cp_als.ml: Array Cholesky Eigen Float Khatri_rao Kruskal List Mat Matfun Rng Tensor Unfold Vec

@@ -1,0 +1,1 @@
+lib/tensor/cp_als.mli: Kruskal Mat Tensor

@@ -1,0 +1,1 @@
+lib/tensor/cp_rand.ml: Array Cholesky Eigen Float Kruskal Mat Rng Tensor Unfold Vec

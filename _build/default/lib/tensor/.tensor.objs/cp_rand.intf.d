@@ -1,0 +1,1 @@
+lib/tensor/cp_rand.mli: Kruskal Tensor

@@ -1,0 +1,1 @@
+lib/tensor/hopm.ml: Array Eigen Float Mat Rng Tensor Unfold Vec

@@ -1,0 +1,1 @@
+lib/tensor/hopm.mli: Tensor Vec

@@ -1,0 +1,1 @@
+lib/tensor/khatri_rao.mli: Mat

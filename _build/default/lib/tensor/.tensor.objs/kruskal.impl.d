@@ -1,0 +1,1 @@
+lib/tensor/kruskal.ml: Array Float Mat Tensor Vec

@@ -1,0 +1,1 @@
+lib/tensor/kruskal.mli: Mat Tensor Vec

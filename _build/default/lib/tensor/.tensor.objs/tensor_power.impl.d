@@ -1,0 +1,1 @@
+lib/tensor/tensor_power.ml: Array Hopm Kruskal Mat Tensor

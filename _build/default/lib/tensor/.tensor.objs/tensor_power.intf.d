@@ -1,0 +1,1 @@
+lib/tensor/tensor_power.mli: Kruskal Tensor

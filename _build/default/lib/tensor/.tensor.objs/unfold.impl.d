@@ -1,0 +1,1 @@
+lib/tensor/unfold.ml: Array Mat Tensor

@@ -1,0 +1,1 @@
+lib/tensor/unfold.mli: Mat Tensor

@@ -1,0 +1,156 @@
+type init = Random of int | Hosvd
+
+type options = { max_iter : int; tol : float; init : init }
+
+let default_options = { max_iter = 100; tol = 1e-6; init = Hosvd }
+
+type info = { iterations : int; fit : float; converged : bool; fit_history : float list }
+
+(* X₍ₖ₎ · (⊙_{q≠k} U_q) without materializing either operand: one pass over
+   the tensor entries, carrying the running row-product of the non-k factor
+   rows.  O(size · r) multiplies, O(m · r) scratch. *)
+let mttkrp (x : Tensor.t) us k =
+  let m = Tensor.order x in
+  if Array.length us <> m then invalid_arg "Cp_als.mttkrp: arity mismatch";
+  let dims = x.Tensor.dims and strides = x.Tensor.strides and data = x.Tensor.data in
+  let r = snd (Mat.dims us.(0)) in
+  let v = Mat.create dims.(k) r in
+  let vd = (v : Mat.t).Mat.data in
+  let scratch = Array.init (m + 1) (fun _ -> Array.make r 1.) in
+  let rec go level base ik coeff =
+    if level = m - 1 then begin
+      if level = k then
+        for i = 0 to dims.(level) - 1 do
+          let xv = Array.unsafe_get data (base + i) in
+          if xv <> 0. then begin
+            let vrow = i * r in
+            for c = 0 to r - 1 do
+              Array.unsafe_set vd (vrow + c)
+                (Array.unsafe_get vd (vrow + c) +. (xv *. Array.unsafe_get coeff c))
+            done
+          end
+        done
+      else begin
+        let ud = (us.(level) : Mat.t).Mat.data in
+        let vrow = ik * r in
+        for i = 0 to dims.(level) - 1 do
+          let xv = Array.unsafe_get data (base + i) in
+          if xv <> 0. then begin
+            let urow = i * r in
+            for c = 0 to r - 1 do
+              Array.unsafe_set vd (vrow + c)
+                (Array.unsafe_get vd (vrow + c)
+                +. (xv *. Array.unsafe_get coeff c *. Array.unsafe_get ud (urow + c)))
+            done
+          end
+        done
+      end
+    end
+    else begin
+      let stride = strides.(level) in
+      if level = k then
+        for i = 0 to dims.(level) - 1 do
+          go (level + 1) (base + (i * stride)) i coeff
+        done
+      else begin
+        let next = scratch.(level) in
+        let ud = (us.(level) : Mat.t).Mat.data in
+        for i = 0 to dims.(level) - 1 do
+          let urow = i * r in
+          for c = 0 to r - 1 do
+            Array.unsafe_set next c
+              (Array.unsafe_get coeff c *. Array.unsafe_get ud (urow + c))
+          done;
+          go (level + 1) (base + (i * stride)) ik next
+        done
+      end
+    end
+  in
+  go 0 0 0 scratch.(m);
+  v
+
+(* Solve U Γ = V for U with Γ symmetric PSD: Cholesky when possible (the
+   generic case), spectral pseudo-inverse as the rank-deficient fallback. *)
+let solve_against_gram v gamma =
+  match Cholesky.decompose gamma with
+  | f -> Mat.transpose (Cholesky.solve f (Mat.transpose v))
+  | exception Cholesky.Not_positive_definite -> Mat.mul v (Matfun.inv_psd gamma)
+
+let normalize_columns_in_place u lambda =
+  let _, r = Mat.dims u in
+  for c = 0 to r - 1 do
+    let col = Mat.col u c in
+    let n = Vec.norm col in
+    if n > 1e-300 then begin
+      Mat.set_col u c (Vec.scale (1. /. n) col);
+      lambda.(c) <- n
+    end
+    else lambda.(c) <- 0.
+  done
+
+let init_factors options ~rank x =
+  let m = Tensor.order x in
+  let dims = x.Tensor.dims in
+  match options.init with
+  | Random seed ->
+    let rng = Rng.create seed in
+    Array.init m (fun k -> Mat.init dims.(k) rank (fun _ _ -> Rng.gaussian rng))
+  | Hosvd ->
+    let rng = Rng.create 0x415353 in
+    Array.init m (fun k ->
+        let unfolding = Unfold.unfold x k in
+        let gram = Mat.gram unfolding in
+        let eig = Eigen.decompose gram in
+        let keep = min rank dims.(k) in
+        let lead = Eigen.top_k eig keep in
+        if keep = rank then lead
+        else begin
+          (* rank > dₖ: pad with random columns so the factor is full width. *)
+          let pad = Mat.init dims.(k) (rank - keep) (fun _ _ -> Rng.gaussian rng) in
+          Mat.hcat lead pad
+        end)
+
+let decompose ?(options = default_options) ~rank x =
+  if rank < 1 then invalid_arg "Cp_als.decompose: rank must be >= 1";
+  let m = Tensor.order x in
+  let factors = init_factors options ~rank x in
+  let lambda = Array.make rank 1. in
+  let norm_x2 = Tensor.inner x x in
+  let norm_x = sqrt norm_x2 in
+  let fit_history = ref [] in
+  let previous_fit = ref neg_infinity in
+  let converged = ref false in
+  let iterations = ref 0 in
+  while (not !converged) && !iterations < options.max_iter do
+    incr iterations;
+    let last_v = ref (Mat.create 1 1) in
+    for k = 0 to m - 1 do
+      let v = mttkrp x factors k in
+      let gamma = Khatri_rao.gram_hadamard_excluding factors k in
+      let u = solve_against_gram v gamma in
+      normalize_columns_in_place u lambda;
+      factors.(k) <- u;
+      if k = m - 1 then last_v := v
+    done;
+    (* Fit from the last sweep's quantities:
+       ⟨X, X̂⟩ = Σ_c λ_c ⟨v_c, u_c⟩ with V the final-mode MTTKRP,
+       ‖X̂‖²   = λᵀ (⊛_p UₚᵀUₚ) λ. *)
+    let cross = ref 0. in
+    for c = 0 to rank - 1 do
+      cross := !cross +. (lambda.(c) *. Vec.dot (Mat.col !last_v c) (Mat.col factors.(m - 1) c))
+    done;
+    let gram_full = ref (Mat.make rank rank 1.) in
+    Array.iter (fun u -> gram_full := Mat.map2 ( *. ) !gram_full (Mat.tgram u)) factors;
+    let norm_xhat2 = Vec.dot lambda (Mat.mul_vec !gram_full lambda) in
+    let err2 = Float.max 0. (norm_x2 -. (2. *. !cross) +. norm_xhat2) in
+    let fit = if norm_x = 0. then 1. else 1. -. (sqrt err2 /. norm_x) in
+    fit_history := fit :: !fit_history;
+    if Float.abs (fit -. !previous_fit) < options.tol then converged := true;
+    previous_fit := fit
+  done;
+  let kruskal = Kruskal.normalize { Kruskal.weights = Array.copy lambda; factors } in
+  ( kruskal,
+    { iterations = !iterations;
+      fit = !previous_fit;
+      converged = !converged;
+      fit_history = List.rev !fit_history } )

@@ -1,0 +1,38 @@
+(** Rank-r CP decomposition by alternating least squares — the solver TCCA
+    uses for the best rank-1 (and recursively rank-r) approximation of the
+    whitened covariance tensor (paper Sec. 4.3; Kroonenberg & De Leeuw 1980,
+    Comon et al. 2009).
+
+    Each sweep solves, for every mode k, the linear least-squares problem
+    [min ‖X₍ₖ₎ − Uₖ diag(λ) Zₖᵀ‖] with [Zₖ] the Khatri–Rao product of the
+    other factors, via the normal equations
+    [Uₖ ← X₍ₖ₎ Zₖ (⊛_{q≠k} UqᵀUq)⁺]. *)
+
+type init =
+  | Random of int          (** Gaussian factors from the given seed. *)
+  | Hosvd                  (** Leading eigenvectors of each unfolding's Gram
+                               matrix (deterministic; random-padded when
+                               [rank > dim]). *)
+
+type options = {
+  max_iter : int;          (** Default 100. *)
+  tol : float;             (** Stop when the fit improves by less than this
+                               between sweeps.  Default 1e-6. *)
+  init : init;             (** Default [Hosvd]. *)
+}
+
+val default_options : options
+
+type info = {
+  iterations : int;
+  fit : float;             (** Final relative fit in [−∞, 1]. *)
+  converged : bool;
+  fit_history : float list; (** Fit after each sweep, oldest first. *)
+}
+
+val decompose : ?options:options -> rank:int -> Tensor.t -> Kruskal.t * info
+(** Raises [Invalid_argument] if [rank < 1]. *)
+
+val mttkrp : Tensor.t -> Mat.t array -> int -> Mat.t
+(** [mttkrp x us k = X₍ₖ₎ · (⊙_{q≠k} U_q)] — the matricized-tensor times
+    Khatri–Rao product, the hot kernel of a sweep (exposed for benches). *)

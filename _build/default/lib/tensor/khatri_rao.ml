@@ -1,0 +1,28 @@
+let product a b =
+  let ia, ka = Mat.dims a in
+  let jb, kb = Mat.dims b in
+  if ka <> kb then invalid_arg "Khatri_rao.product: column count mismatch";
+  Mat.init (ia * jb) ka (fun row k ->
+      let i = row / jb and j = row mod jb in
+      Mat.get a i k *. Mat.get b j k)
+
+let chain = function
+  | [] -> invalid_arg "Khatri_rao.chain: empty list"
+  | u :: rest -> List.fold_left (fun acc v -> product v acc) u rest
+
+let chain_excluding us k =
+  let factors = ref [] in
+  for q = Array.length us - 1 downto 0 do
+    if q <> k then factors := us.(q) :: !factors
+  done;
+  chain !factors
+
+let gram_hadamard_excluding us k =
+  let r =
+    match Array.length us with
+    | 0 -> invalid_arg "Khatri_rao.gram_hadamard_excluding: empty"
+    | _ -> snd (Mat.dims us.(0))
+  in
+  let acc = ref (Mat.make r r 1.) in
+  Array.iteri (fun q u -> if q <> k then acc := Mat.map2 ( *. ) !acc (Mat.tgram u)) us;
+  !acc

@@ -1,0 +1,19 @@
+(** Khatri–Rao (column-wise Kronecker) products. *)
+
+val product : Mat.t -> Mat.t -> Mat.t
+(** [product a b] for [a : I×K] and [b : J×K] is the [(I·J)×K] matrix whose
+    column [k] is [a_k ⊗ b_k]; row index [i·J + j], i.e. [b]'s index varies
+    fastest. *)
+
+val chain : Mat.t list -> Mat.t
+(** [chain [u1; …; un]] is [uₙ ⊙ … ⊙ u₁] — the *first* matrix's row index
+    varies fastest, matching {!Unfold.unfold}'s column ordering.  Raises
+    [Invalid_argument] on an empty list. *)
+
+val chain_excluding : Mat.t array -> int -> Mat.t
+(** [chain_excluding us k] is [chain] over all factors except index [k] —
+    the matrix that multiplies [Uₖ] in the CP normal equations. *)
+
+val gram_hadamard_excluding : Mat.t array -> int -> Mat.t
+(** [⊛_{q≠k} (U_qᵀ U_q)]: the Gram matrix of [chain_excluding us k], computed
+    in O(Σ d r²) instead of materializing the Khatri–Rao product. *)

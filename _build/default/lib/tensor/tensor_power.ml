@@ -1,0 +1,14 @@
+let decompose ?max_iter ?tol ~rank x =
+  if rank < 1 then invalid_arg "Tensor_power.decompose: rank must be >= 1";
+  let m = Tensor.order x in
+  let residual = ref (Tensor.copy x) in
+  let weights = Array.make rank 0. in
+  let dims = Array.init m (Tensor.dim x) in
+  let factors = Array.map (fun d -> Mat.create d rank) dims in
+  for c = 0 to rank - 1 do
+    let { Hopm.sigma; vectors; _ } = Hopm.rank1 ?max_iter ?tol ~seed:(c + 1) !residual in
+    weights.(c) <- sigma;
+    Array.iteri (fun k u -> Mat.set_col factors.(k) c u) vectors;
+    Tensor.add_outer_in_place !residual (-.sigma) vectors
+  done;
+  { Kruskal.weights; factors }

@@ -1,0 +1,61 @@
+(* Column index of the (i_0, …, i_{m-1}) entry in the mode-k unfolding:
+   j = Σ_{q≠k} i_q · J_q with J_q = Π_{p<q, p≠k} dims.(p)  (lowest mode
+   fastest, Kolda & Bader, "Tensor Decompositions and Applications"). *)
+
+let col_strides dims k =
+  let m = Array.length dims in
+  let j = Array.make m 0 in
+  let acc = ref 1 in
+  for q = 0 to m - 1 do
+    if q <> k then begin
+      j.(q) <- !acc;
+      acc := !acc * dims.(q)
+    end
+  done;
+  j
+
+let unfold (a : Tensor.t) k =
+  let m = Tensor.order a in
+  if k < 0 || k >= m then invalid_arg "Unfold.unfold: bad mode";
+  let dims = a.Tensor.dims in
+  let ncols = Tensor.size a / dims.(k) in
+  let out = Mat.create dims.(k) ncols in
+  let jstr = col_strides dims k in
+  let idx = Array.make m 0 in
+  let n = Tensor.size a in
+  let strides = a.Tensor.strides in
+  for flat = 0 to n - 1 do
+    let rem = ref flat in
+    for q = 0 to m - 1 do
+      idx.(q) <- !rem / strides.(q);
+      rem := !rem mod strides.(q)
+    done;
+    let col = ref 0 in
+    for q = 0 to m - 1 do
+      if q <> k then col := !col + (idx.(q) * jstr.(q))
+    done;
+    Mat.set out idx.(k) !col a.Tensor.data.(flat)
+  done;
+  out
+
+let refold mat dims k =
+  let m = Array.length dims in
+  if k < 0 || k >= m then invalid_arg "Unfold.refold: bad mode";
+  let rows, cols = Mat.dims mat in
+  if rows <> dims.(k) || cols * rows <> Array.fold_left ( * ) 1 dims then
+    invalid_arg "Unfold.refold: shape mismatch";
+  let jstr = col_strides dims k in
+  Tensor.init dims (fun idx ->
+      let col = ref 0 in
+      for q = 0 to m - 1 do
+        if q <> k then col := !col + (idx.(q) * jstr.(q))
+      done;
+      Mat.get mat idx.(k) !col)
+
+let mode_product_via_unfold a k u =
+  let dims = Array.copy a.Tensor.dims in
+  let j, _ = Mat.dims u in
+  let unfolded = unfold a k in
+  let product = Mat.mul u unfolded in
+  dims.(k) <- j;
+  refold product dims k

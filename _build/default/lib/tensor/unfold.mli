@@ -1,0 +1,16 @@
+(** Mode-k matricization (Kolda–Bader convention).
+
+    [unfold a k] is the [dims.(k) × Π_{q≠k} dims.(q)] matrix whose columns are
+    the mode-k fibers of [a], ordered so that the *lowest* remaining mode
+    varies fastest.  This is the ordering under which the CP model reads
+    [X₍ₖ₎ = Uₖ diag(λ) (U_m ⊙ … ⊙ U_{k+1} ⊙ U_{k−1} ⊙ … ⊙ U₁)ᵀ]
+    with [⊙] the Khatri–Rao product of {!Khatri_rao}. *)
+
+val unfold : Tensor.t -> int -> Mat.t
+
+val refold : Mat.t -> int array -> int -> Tensor.t
+(** [refold m dims k] inverts [unfold] for a tensor of shape [dims]. *)
+
+val mode_product_via_unfold : Tensor.t -> int -> Mat.t -> Tensor.t
+(** Reference implementation of the k-mode product as [refold (U · unfold)]
+    (paper Eq. 4.3); used to cross-check {!Tensor.mode_product} in tests. *)

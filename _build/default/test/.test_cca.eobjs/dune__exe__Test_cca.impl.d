@@ -1,0 +1,1 @@
+test/test_cca.ml: Alcotest Array Cca Float Mat Rng Stats Test_support Vec

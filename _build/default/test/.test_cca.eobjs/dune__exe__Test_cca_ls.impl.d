@@ -1,0 +1,1 @@
+test/test_cca_ls.ml: Alcotest Array Cca_ls Cca_maxvar Float Mat Printf Rng Stats Sys Test_support Vec

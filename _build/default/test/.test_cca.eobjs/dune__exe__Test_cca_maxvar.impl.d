@@ -1,0 +1,1 @@
+test/test_cca_maxvar.ml: Alcotest Array Cca Cca_maxvar Float Mat Rng Stats Test_support

@@ -1,0 +1,1 @@
+test/test_cholesky.ml: Alcotest Array Cholesky Lu Mat Test_support Vec

@@ -1,0 +1,1 @@
+test/test_cp_als.ml: Alcotest Array Cp_als Float Khatri_rao Kruskal Mat Printf Tensor Test_support Unfold Vec

@@ -1,0 +1,1 @@
+test/test_cp_rand.ml: Alcotest Array Cp_als Cp_rand Float Kruskal Mat Printf Tensor Test_support Vec

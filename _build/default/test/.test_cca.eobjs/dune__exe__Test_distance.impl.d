@@ -1,0 +1,1 @@
+test/test_distance.ml: Alcotest Array Distance Float Mat QCheck2 Test_support

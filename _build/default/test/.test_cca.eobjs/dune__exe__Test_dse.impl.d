@@ -1,0 +1,1 @@
+test/test_dse.ml: Alcotest Array Dse Eval Knn Mat Rng Test_support Vec

@@ -1,0 +1,1 @@
+test/test_eigen.ml: Alcotest Array Eigen Float Mat Printf Test_support Vec

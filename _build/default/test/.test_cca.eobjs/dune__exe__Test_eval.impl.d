@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Eval Rng Test_support

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Eval Float Graph Knn Mat Rng Test_support Vec

@@ -1,0 +1,1 @@
+test/test_hopm.ml: Alcotest Array Float Hopm Kruskal Mat Printf Svd Tensor Tensor_power Test_support Vec

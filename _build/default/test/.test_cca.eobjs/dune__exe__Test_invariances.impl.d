@@ -1,0 +1,1 @@
+test/test_invariances.ml: Alcotest Array Cca Float Kcca Kernel Mat Rng Stats Tcca Test_support

@@ -1,0 +1,1 @@
+test/test_kcca.ml: Alcotest Array Distance Eval Float Kcca Kernel Knn Mat Rng Test_support

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Distance Float Kernel List Mat Test_support Vec

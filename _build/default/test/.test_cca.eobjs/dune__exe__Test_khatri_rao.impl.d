@@ -1,0 +1,1 @@
+test/test_khatri_rao.ml: Alcotest Array Float Khatri_rao Kruskal Mat Printf QCheck2 Test_support Unfold Vec

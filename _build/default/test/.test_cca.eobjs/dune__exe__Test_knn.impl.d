@@ -1,0 +1,1 @@
+test/test_knn.ml: Alcotest Array Distance Eval Float Knn Mat Rng Test_support Vec

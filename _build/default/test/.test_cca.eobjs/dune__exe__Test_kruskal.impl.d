@@ -1,0 +1,1 @@
+test/test_kruskal.ml: Alcotest Array Float Kruskal Mat Tensor Test_support Vec

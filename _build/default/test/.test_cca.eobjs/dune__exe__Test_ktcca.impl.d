@@ -1,0 +1,1 @@
+test/test_ktcca.ml: Alcotest Array Distance Eval Float Kcca Kernel Knn Ktcca Mat Printf Rng Stats Test_support

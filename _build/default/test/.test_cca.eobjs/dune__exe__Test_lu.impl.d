@@ -1,0 +1,1 @@
+test/test_lu.ml: Alcotest Float Lu Mat QCheck2 Test_support Vec

@@ -1,0 +1,1 @@
+test/test_matfun.ml: Alcotest Array Float Lu Mat Matfun Test_support

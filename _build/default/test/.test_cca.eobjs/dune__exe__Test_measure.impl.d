@@ -1,0 +1,1 @@
+test/test_measure.ml: Alcotest Array List Measure Printf

@@ -1,0 +1,1 @@
+test/test_pca.ml: Alcotest Array Float Mat Pca Rng Test_support Vec

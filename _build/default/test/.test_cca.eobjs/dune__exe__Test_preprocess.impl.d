@@ -1,0 +1,1 @@
+test/test_preprocess.ml: Alcotest Array Mat Preprocess Test_support Vec

@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Array Kernel_protocol Knn Knn_protocol Linear_protocol List Printf Spec Stats String Sweep Synth Test_support

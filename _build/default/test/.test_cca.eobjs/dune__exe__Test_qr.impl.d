@@ -1,0 +1,1 @@
+test/test_qr.ml: Alcotest Float Mat QCheck2 Qr Test_support Vec

@@ -1,0 +1,1 @@
+test/test_reducer.ml: Alcotest Array List Mat Multiview Printf Reducer Rng Synth Test_support

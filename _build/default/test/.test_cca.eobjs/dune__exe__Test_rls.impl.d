@@ -1,0 +1,1 @@
+test/test_rls.ml: Alcotest Array Eval Mat Rls Rng Test_support

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Float Printf Rng Stats Test_support

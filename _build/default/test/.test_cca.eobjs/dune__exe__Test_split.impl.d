@@ -1,0 +1,1 @@
+test/test_split.ml: Alcotest Array Hashtbl Rng Split Test_support

@@ -1,0 +1,1 @@
+test/test_ssmvd.ml: Alcotest Array Eval Knn Mat Rng Ssmvd Test_support Vec

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float QCheck2 Rng Stats Test_support

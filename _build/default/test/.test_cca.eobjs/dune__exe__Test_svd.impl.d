@@ -1,0 +1,1 @@
+test/test_svd.ml: Alcotest Array Eigen Float Mat Printf Svd Test_support Vec

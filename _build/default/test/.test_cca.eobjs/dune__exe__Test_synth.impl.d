@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Eval Mat Multiview Preprocess Printf Rls Rng Synth Tcca Tensor Test_support

@@ -1,0 +1,1 @@
+test/test_tableau.ml: Alcotest List String Tableau

@@ -1,0 +1,1 @@
+test/test_tcca.ml: Alcotest Array Cca Float Mat Preprocess Printf Rng Stats Tcca Tensor Test_support Vec

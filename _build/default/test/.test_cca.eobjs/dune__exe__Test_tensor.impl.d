@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Float Mat Printf QCheck2 Tensor Test_support Unfold Vec

@@ -1,0 +1,1 @@
+test/test_unfold.ml: Alcotest Array Khatri_rao Mat Printf Tensor Test_support Unfold

@@ -1,0 +1,1 @@
+test/test_validate.ml: Alcotest Float List Test_support Validate

@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest Array Float Mat QCheck2 Test_support Vec

@@ -1,0 +1,90 @@
+open Test_support
+
+(* Two views sharing a latent signal in known directions. *)
+let correlated_views r ~n ~noise =
+  let x1 = Mat.create 4 n and x2 = Mat.create 3 n in
+  for j = 0 to n - 1 do
+    let s = Rng.gaussian r in
+    Mat.set x1 0 j (s +. (noise *. Rng.gaussian r));
+    Mat.set x1 1 j (Rng.gaussian r);
+    Mat.set x1 2 j (Rng.gaussian r);
+    Mat.set x1 3 j (Rng.gaussian r);
+    Mat.set x2 0 j (Rng.gaussian r);
+    Mat.set x2 1 j (s +. (noise *. Rng.gaussian r));
+    Mat.set x2 2 j (Rng.gaussian r)
+  done;
+  (x1, x2)
+
+let test_finds_shared_signal () =
+  let r = rng () in
+  let x1, x2 = correlated_views r ~n:2000 ~noise:0.1 in
+  let cca = Cca.fit ~eps:1e-3 ~r:2 x1 x2 in
+  let rho = Cca.correlations cca in
+  check_true "strong first correlation" (rho.(0) > 0.9);
+  check_true "weak second" (rho.(1) < 0.3);
+  (* The canonical variables of the two views are themselves correlated. *)
+  let z1 = Cca.transform1 cca x1 and z2 = Cca.transform2 cca x2 in
+  check_true "projected correlation"
+    (Float.abs (Stats.pearson (Mat.row z1 0) (Mat.row z2 0)) > 0.9)
+
+let test_correlations_bounded () =
+  let r = rng () in
+  let x1 = random_mat r 5 100 and x2 = random_mat r 4 100 in
+  let cca = Cca.fit ~r:4 x1 x2 in
+  Array.iter (fun rho -> check_true "in [0,1+eps]" (rho >= 0. && rho <= 1.01))
+    (Cca.correlations cca)
+
+let test_independent_views_low_correlation () =
+  let r = rng () in
+  let x1 = random_mat r 4 3000 and x2 = random_mat r 4 3000 in
+  let cca = Cca.fit ~eps:1e-2 ~r:2 x1 x2 in
+  check_true "independent ⇒ low rho" ((Cca.correlations cca).(0) < 0.2)
+
+let test_invariance_to_affine_transform () =
+  (* CCA correlations are invariant under invertible linear maps per view. *)
+  let r = rng () in
+  let x1, x2 = correlated_views r ~n:1500 ~noise:0.3 in
+  let a = Mat.add_scaled_identity 0.8 (random_mat r 4 4) in
+  let x1t = Mat.mul a x1 in
+  let rho = Cca.correlations (Cca.fit ~eps:1e-6 ~r:2 x1 x2) in
+  let rho' = Cca.correlations (Cca.fit ~eps:1e-6 ~r:2 x1t x2) in
+  check_float ~eps:0.02 "invariant leading rho" rho.(0) rho'.(0)
+
+let test_transform_shapes () =
+  let r = rng () in
+  let x1, x2 = correlated_views r ~n:50 ~noise:0.5 in
+  let cca = Cca.fit ~r:2 x1 x2 in
+  Alcotest.(check int) "r" 2 (Cca.r cca);
+  Alcotest.(check (pair int int)) "z1" (2, 50) (Mat.dims (Cca.transform1 cca x1));
+  Alcotest.(check (pair int int)) "concat" (4, 50) (Mat.dims (Cca.transform_concat cca x1 x2))
+
+let test_unit_variance_canonical_variables () =
+  let r = rng () in
+  let x1, x2 = correlated_views r ~n:3000 ~noise:0.3 in
+  let cca = Cca.fit ~eps:1e-4 ~r:2 x1 x2 in
+  let z1 = Cca.transform1 cca x1 in
+  let row = Mat.row z1 0 in
+  check_float ~eps:0.08 "unit variance" 1. (Vec.dot row row /. 3000.)
+
+let test_r_clamped () =
+  let r = rng () in
+  let x1 = random_mat r 3 40 and x2 = random_mat r 5 40 in
+  Alcotest.(check int) "clamped to min d" 3 (Cca.r (Cca.fit ~r:10 x1 x2))
+
+let test_errors () =
+  let r = rng () in
+  Alcotest.check_raises "instance mismatch" (Invalid_argument "Cca.fit: instance count mismatch")
+    (fun () -> ignore (Cca.fit ~r:1 (random_mat r 2 5) (random_mat r 2 6)))
+
+let () =
+  Alcotest.run "cca"
+    [ ( "statistics",
+        [ Alcotest.test_case "shared signal" `Quick test_finds_shared_signal;
+          Alcotest.test_case "bounded" `Quick test_correlations_bounded;
+          Alcotest.test_case "independence" `Quick test_independent_views_low_correlation;
+          Alcotest.test_case "affine invariance" `Quick test_invariance_to_affine_transform;
+          Alcotest.test_case "unit variance" `Quick test_unit_variance_canonical_variables ] );
+      ( "interface",
+        [ Alcotest.test_case "shapes" `Quick test_transform_shapes;
+          Alcotest.test_case "clamping" `Quick test_r_clamped;
+          Alcotest.test_case "errors" `Quick test_errors ] ) ]

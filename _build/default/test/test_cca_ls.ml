@@ -1,0 +1,171 @@
+open Test_support
+
+let shared_signal_views r ~m ~n ~noise =
+  let views = Array.init m (fun _ -> Mat.create 4 n) in
+  for j = 0 to n - 1 do
+    let s = Rng.gaussian r in
+    Array.iter
+      (fun v ->
+        Mat.set v 0 j (s +. (noise *. Rng.gaussian r));
+        for i = 1 to 3 do
+          Mat.set v i j (Rng.gaussian r)
+        done)
+      views
+  done;
+  views
+
+let two_signal_views r ~n =
+  (* Two shared signals of clearly different strengths, so the leading two
+     MAXVAR eigenvalues are well separated and the variates identifiable. *)
+  let views = Array.init 3 (fun _ -> Mat.create 4 n) in
+  for j = 0 to n - 1 do
+    let s1 = Rng.gaussian r and s2 = Rng.gaussian r in
+    Array.iter
+      (fun v ->
+        Mat.set v 0 j (s1 +. (0.2 *. Rng.gaussian r));
+        Mat.set v 1 j (s2 +. (0.8 *. Rng.gaussian r));
+        Mat.set v 2 j (Rng.gaussian r);
+        Mat.set v 3 j (Rng.gaussian r))
+      views
+  done;
+  views
+
+let test_equivalent_to_maxvar () =
+  (* The paper (Via et al.) proves CCA-LS solves the MAXVAR problem: the
+     identifiable variates must match the exact eigendecomposition solution. *)
+  let r = rng () in
+  let views = two_signal_views r ~n:600 in
+  let ls = Cca_ls.fit ~eps:1e-2 ~max_iter:500 ~r:2 views in
+  let mv = Cca_maxvar.fit ~eps:1e-2 ~r:2 views in
+  let zl = Cca_ls.common_variates ls and zm = Cca_maxvar.common_variates mv in
+  for i = 0 to 1 do
+    check_true
+      (Printf.sprintf "variate %d matches MAXVAR" i)
+      (Float.abs (Stats.pearson (Mat.col zl i) (Mat.col zm i)) > 0.99)
+  done
+
+let test_variates_orthogonal () =
+  let r = rng () in
+  let views = shared_signal_views r ~m:3 ~n:300 ~noise:0.5 in
+  let z = Cca_ls.common_variates (Cca_ls.fit ~r:4 views) in
+  check_mat ~eps:1e-6 "orthonormal variates" (Mat.identity 4) (Mat.tgram z)
+
+let test_unit_variance_projections () =
+  (* The rescaled constraint hᵀC̃pp h = 1 gives unit-variance canonical
+     variables — the fix that keeps downstream ridge learners alive. *)
+  let r = rng () in
+  let views = shared_signal_views r ~m:3 ~n:2000 ~noise:0.4 in
+  let ls = Cca_ls.fit ~eps:1e-2 ~r:2 views in
+  let z = Cca_ls.transform_view ls 0 views.(0) in
+  let row = Mat.row z 0 in
+  check_float ~eps:0.1 "unit variance" 1. (Vec.dot row row /. 2000.)
+
+let test_transform_shape () =
+  let r = rng () in
+  let views = shared_signal_views r ~m:3 ~n:80 ~noise:0.5 in
+  let ls = Cca_ls.fit ~r:2 views in
+  Alcotest.(check int) "r" 2 (Cca_ls.r ls);
+  Alcotest.(check (pair int int)) "m·r × N" (6, 80) (Mat.dims (Cca_ls.transform ls views))
+
+let test_iterations_reported () =
+  let r = rng () in
+  let views = shared_signal_views r ~m:2 ~n:100 ~noise:0.5 in
+  let ls = Cca_ls.fit ~max_iter:50 ~r:2 views in
+  Array.iter
+    (fun it -> check_true "1 <= iters <= max" (it >= 1 && it <= 50))
+    (Cca_ls.iterations ls)
+
+let test_deterministic_given_seed () =
+  let r1 = rng () and r2 = rng () in
+  let v1 = shared_signal_views r1 ~m:2 ~n:100 ~noise:0.3 in
+  let v2 = shared_signal_views r2 ~m:2 ~n:100 ~noise:0.3 in
+  let a = Cca_ls.common_variates (Cca_ls.fit ~seed:4 ~r:2 v1) in
+  let b = Cca_ls.common_variates (Cca_ls.fit ~seed:4 ~r:2 v2) in
+  check_mat ~eps:1e-12 "same inputs + seed = same result" a b
+
+let test_large_n_independence () =
+  (* The covariance-space iteration must handle big N cheaply: 50K instances
+     should fit in well under a second per component. *)
+  let r = rng () in
+  let views = shared_signal_views r ~m:3 ~n:50_000 ~noise:0.2 in
+  let t0 = Sys.time () in
+  let ls = Cca_ls.fit ~r:2 views in
+  let elapsed = Sys.time () -. t0 in
+  check_true (Printf.sprintf "fast on 50K (%.2fs)" elapsed) (elapsed < 5.);
+  let z0 = Mat.row (Cca_ls.transform_view ls 0 views.(0)) 0 in
+  let z1 = Mat.row (Cca_ls.transform_view ls 1 views.(1)) 0 in
+  check_true "still correct" (Float.abs (Stats.pearson z0 z1) > 0.9)
+
+let test_errors () =
+  let r = rng () in
+  Alcotest.check_raises "one view" (Invalid_argument "Cca_ls.fit: need at least two views")
+    (fun () -> ignore (Cca_ls.fit ~r:1 [| random_mat r 2 5 |]))
+
+
+(* ------------------------------------------------------------------ *)
+(* Online (adaptive) variant. *)
+
+let online_views r ~n =
+  (* A strong shared signal in coordinate 0 of both views. *)
+  Array.init n (fun _ ->
+      let s = Rng.gaussian r in
+      [| [| s +. (0.2 *. Rng.gaussian r); Rng.gaussian r; Rng.gaussian r |];
+         [| s +. (0.2 *. Rng.gaussian r); Rng.gaussian r |] |])
+
+let test_online_converges_to_batch () =
+  let r = rng () in
+  let samples = online_views r ~n:3000 in
+  let online = Cca_ls.Online.create ~dims:[| 3; 2 |] () in
+  Array.iter (fun xs -> ignore (Cca_ls.Online.step online xs)) samples;
+  Alcotest.(check int) "samples counted" 3000 (Cca_ls.Online.samples_seen online);
+  (* Compare against the batch leading component on the same data. *)
+  let views =
+    [| Mat.of_cols (Array.map (fun s -> s.(0)) samples);
+       Mat.of_cols (Array.map (fun s -> s.(1)) samples) |]
+  in
+  let batch = Cca_ls.fit ~eps:1e-3 ~r:1 views in
+  let z_online = Cca_ls.Online.transform_view online 0 views.(0) in
+  let z_batch = Mat.row (Cca_ls.transform_view batch 0 views.(0)) 0 in
+  check_true "online tracks batch leading component"
+    (Float.abs (Stats.pearson z_online z_batch) > 0.95)
+
+let test_online_generalizes () =
+  (* The converged filter projects *fresh* stationary data into correlated
+     coordinates — it learned the shared direction, not the samples. *)
+  let r = rng () in
+  let online = Cca_ls.Online.create ~dims:[| 3; 2 |] () in
+  Array.iter (fun xs -> ignore (Cca_ls.Online.step online xs)) (online_views r ~n:3000);
+  let fresh = online_views r ~n:400 in
+  let views =
+    [| Mat.of_cols (Array.map (fun s -> s.(0)) fresh);
+       Mat.of_cols (Array.map (fun s -> s.(1)) fresh) |]
+  in
+  let z0 = Cca_ls.Online.transform_view online 0 views.(0) in
+  let z1 = Cca_ls.Online.transform_view online 1 views.(1) in
+  check_true "fresh projections correlate" (Float.abs (Stats.pearson z0 z1) > 0.9)
+
+let test_online_errors () =
+  Alcotest.check_raises "one view"
+    (Invalid_argument "Cca_ls.Online.create: need at least two views") (fun () ->
+      ignore (Cca_ls.Online.create ~dims:[| 3 |] ()));
+  let o = Cca_ls.Online.create ~dims:[| 2; 2 |] () in
+  Alcotest.check_raises "bad sample"
+    (Invalid_argument "Cca_ls.Online.step: dimension mismatch") (fun () ->
+      ignore (Cca_ls.Online.step o [| [| 1. |]; [| 1.; 2. |] |]))
+
+let () =
+  Alcotest.run "cca_ls"
+    [ ( "equivalence",
+        [ Alcotest.test_case "matches MAXVAR" `Quick test_equivalent_to_maxvar;
+          Alcotest.test_case "orthogonal variates" `Quick test_variates_orthogonal;
+          Alcotest.test_case "unit variance" `Quick test_unit_variance_projections ] );
+      ( "interface",
+        [ Alcotest.test_case "shape" `Quick test_transform_shape;
+          Alcotest.test_case "iterations" `Quick test_iterations_reported;
+          Alcotest.test_case "determinism" `Quick test_deterministic_given_seed;
+          Alcotest.test_case "large N" `Quick test_large_n_independence;
+          Alcotest.test_case "errors" `Quick test_errors ] );
+      ( "online",
+        [ Alcotest.test_case "converges to batch" `Quick test_online_converges_to_batch;
+          Alcotest.test_case "generalizes" `Quick test_online_generalizes;
+          Alcotest.test_case "errors" `Quick test_online_errors ] ) ]

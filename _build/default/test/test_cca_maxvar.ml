@@ -1,0 +1,86 @@
+open Test_support
+
+let shared_signal_views r ~m ~n ~noise =
+  Array.init m (fun p ->
+      ignore p;
+      Mat.create 4 n)
+  |> fun views ->
+  for j = 0 to n - 1 do
+    let s = Rng.gaussian r in
+    Array.iter
+      (fun v ->
+        Mat.set v 0 j (s +. (noise *. Rng.gaussian r));
+        for i = 1 to 3 do
+          Mat.set v i j (Rng.gaussian r)
+        done)
+      views
+  done;
+  views
+
+let test_finds_common_variate () =
+  let r = rng () in
+  let views = shared_signal_views r ~m:3 ~n:1500 ~noise:0.2 in
+  let model = Cca_maxvar.fit ~eps:1e-3 ~r:1 views in
+  (* The common variate must track the shared signal: check agreement of the
+     three per-view projections. *)
+  let z0 = Mat.row (Cca_maxvar.transform_view model 0 views.(0)) 0 in
+  let z1 = Mat.row (Cca_maxvar.transform_view model 1 views.(1)) 0 in
+  check_true "views agree" (Float.abs (Stats.pearson z0 z1) > 0.9)
+
+let test_variates_orthonormal () =
+  let r = rng () in
+  let views = shared_signal_views r ~m:3 ~n:300 ~noise:0.5 in
+  let model = Cca_maxvar.fit ~r:3 views in
+  let z = Cca_maxvar.common_variates model in
+  check_mat ~eps:1e-6 "zᵀz = I" (Mat.identity 3) (Mat.tgram z)
+
+let test_score_bounds () =
+  (* Each eigenvalue of Σ Pₚ lies in [0, m]. *)
+  let r = rng () in
+  let views = shared_signal_views r ~m:3 ~n:400 ~noise:0.4 in
+  let model = Cca_maxvar.fit ~r:4 views in
+  Array.iter
+    (fun s -> check_true "score in [0, m]" (s >= -1e-9 && s <= 3.0001))
+    (Cca_maxvar.score model)
+
+let test_scores_sorted () =
+  let r = rng () in
+  let views = shared_signal_views r ~m:3 ~n:400 ~noise:0.4 in
+  let s = Cca_maxvar.score (Cca_maxvar.fit ~r:4 views) in
+  for i = 1 to Array.length s - 1 do
+    check_true "descending" (s.(i) <= s.(i - 1) +. 1e-9)
+  done
+
+let test_transform_shape () =
+  let r = rng () in
+  let views = shared_signal_views r ~m:3 ~n:100 ~noise:0.4 in
+  let model = Cca_maxvar.fit ~r:2 views in
+  Alcotest.(check (pair int int)) "m·r rows" (6, 100) (Mat.dims (Cca_maxvar.transform model views))
+
+let test_two_views_matches_cca () =
+  (* With two views, MAXVAR's leading variate must correlate with the CCA
+     canonical pair almost perfectly. *)
+  let r = rng () in
+  let views = shared_signal_views r ~m:2 ~n:2000 ~noise:0.2 in
+  let maxvar = Cca_maxvar.fit ~eps:1e-3 ~r:1 views in
+  let cca = Cca.fit ~eps:1e-3 ~r:1 views.(0) views.(1) in
+  let z_mv = Mat.row (Cca_maxvar.transform_view maxvar 0 views.(0)) 0 in
+  let z_cca = Mat.row (Cca.transform1 cca views.(0)) 0 in
+  check_true "agrees with CCA" (Float.abs (Stats.pearson z_mv z_cca) > 0.99)
+
+let test_errors () =
+  let r = rng () in
+  Alcotest.check_raises "one view" (Invalid_argument "Cca_maxvar.fit: need at least two views")
+    (fun () -> ignore (Cca_maxvar.fit ~r:1 [| random_mat r 2 5 |]))
+
+let () =
+  Alcotest.run "cca_maxvar"
+    [ ( "solution",
+        [ Alcotest.test_case "common variate" `Quick test_finds_common_variate;
+          Alcotest.test_case "orthonormal variates" `Quick test_variates_orthonormal;
+          Alcotest.test_case "score bounds" `Quick test_score_bounds;
+          Alcotest.test_case "scores sorted" `Quick test_scores_sorted;
+          Alcotest.test_case "two views = CCA" `Quick test_two_views_matches_cca ] );
+      ( "interface",
+        [ Alcotest.test_case "shape" `Quick test_transform_shape;
+          Alcotest.test_case "errors" `Quick test_errors ] ) ]

@@ -1,0 +1,71 @@
+open Test_support
+
+let test_l2 () =
+  check_float "l2" 5. (Distance.eval Distance.L2 [| 0.; 0. |] [| 3.; 4. |]);
+  check_float "sq_l2" 25. (Distance.eval Distance.Sq_l2 [| 0.; 0. |] [| 3.; 4. |])
+
+let test_l1 () = check_float "l1" 7. (Distance.eval Distance.L1 [| 0.; 0. |] [| 3.; 4. |])
+
+let test_chi2 () =
+  (* χ²((1,0),(0,1)) = 1/1 + 1/1 = 2. *)
+  check_float "chi2" 2. (Distance.eval Distance.Chi2 [| 1.; 0. |] [| 0.; 1. |]);
+  (* Zero-denominator terms are skipped. *)
+  check_float "zero bins" 0. (Distance.eval Distance.Chi2 [| 0.; 0. |] [| 0.; 0. |]);
+  check_float "identical" 0. (Distance.eval Distance.Chi2 [| 0.3; 0.7 |] [| 0.3; 0.7 |])
+
+let test_mismatch () =
+  Alcotest.check_raises "dim mismatch" (Invalid_argument "Distance.eval: dimension mismatch")
+    (fun () -> ignore (Distance.eval Distance.L2 [| 1. |] [| 1.; 2. |]))
+
+let test_pairwise () =
+  let x = Mat.of_cols [| [| 0.; 0. |]; [| 3.; 4. |]; [| 6.; 8. |] |] in
+  let d = Distance.pairwise Distance.L2 x in
+  check_float "d01" 5. (Mat.get d 0 1);
+  check_float "d02" 10. (Mat.get d 0 2);
+  check_float "d12" 5. (Mat.get d 1 2);
+  check_true "symmetric" (Mat.is_symmetric d);
+  check_float "diag" 0. (Mat.get d 1 1)
+
+let test_cross () =
+  let a = Mat.of_cols [| [| 0. |]; [| 1. |] |] in
+  let b = Mat.of_cols [| [| 2. |]; [| 5. |]; [| -1. |] |] in
+  let d = Distance.cross Distance.L2 a b in
+  Alcotest.(check (pair int int)) "shape" (2, 3) (Mat.dims d);
+  check_float "entry" 4. (Mat.get d 1 2 |> fun v -> v *. 2.)
+
+let prop_symmetry =
+  qtest ~count:60 "d(x,y) = d(y,x)"
+    QCheck2.Gen.(pair gen_vec gen_vec)
+    (fun (x, y) ->
+      let n = min (Array.length x) (Array.length y) in
+      QCheck2.assume (n > 0);
+      let x = Array.sub x 0 n and y = Array.sub y 0 n in
+      let ok kind = Float.abs (Distance.eval kind x y -. Distance.eval kind y x) < 1e-9 in
+      ok Distance.L2 && ok Distance.L1 && ok Distance.Sq_l2)
+
+let prop_identity =
+  qtest ~count:60 "d(x,x) = 0" gen_vec (fun x ->
+      QCheck2.assume (Array.length x > 0);
+      Distance.eval Distance.L2 x x = 0. && Distance.eval Distance.L1 x x = 0.)
+
+let prop_l2_triangle =
+  qtest ~count:60 "L2 triangle inequality"
+    QCheck2.Gen.(triple gen_vec gen_vec gen_vec)
+    (fun (x, y, z) ->
+      let n = min (Array.length x) (min (Array.length y) (Array.length z)) in
+      QCheck2.assume (n > 0);
+      let x = Array.sub x 0 n and y = Array.sub y 0 n and z = Array.sub z 0 n in
+      Distance.eval Distance.L2 x z
+      <= Distance.eval Distance.L2 x y +. Distance.eval Distance.L2 y z +. 1e-9)
+
+let () =
+  Alcotest.run "distance"
+    [ ( "kinds",
+        [ Alcotest.test_case "l2" `Quick test_l2;
+          Alcotest.test_case "l1" `Quick test_l1;
+          Alcotest.test_case "chi2" `Quick test_chi2;
+          Alcotest.test_case "mismatch" `Quick test_mismatch ] );
+      ( "matrices",
+        [ Alcotest.test_case "pairwise" `Quick test_pairwise;
+          Alcotest.test_case "cross" `Quick test_cross ] );
+      ("properties", [ prop_symmetry; prop_identity; prop_l2_triangle ]) ]

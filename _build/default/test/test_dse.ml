@@ -1,0 +1,61 @@
+open Test_support
+
+(* Multi-view blobs: shared cluster structure across two views. *)
+let blob_views r ~per_blob =
+  let n = 2 * per_blob in
+  let mk offset =
+    Mat.init 3 n (fun i j ->
+        let c = if j < per_blob then 0. else offset in
+        (if i = 0 then c else 0.) +. (0.4 *. Rng.gaussian r))
+  in
+  ([| mk 15.; mk (-12.) |], Array.init n (fun j -> if j < per_blob then 0 else 1))
+
+let test_shapes () =
+  let r = rng () in
+  let views, _ = blob_views r ~per_blob:20 in
+  let z = Dse.fit_transform ~r:3 views in
+  Alcotest.(check (pair int int)) "r × N" (3, 40) (Mat.dims z)
+
+let test_separates_clusters () =
+  let r = rng () in
+  let views, labels = blob_views r ~per_blob:25 in
+  let z = Dse.fit_transform ~r:2 views in
+  (* 1-NN in the embedding should classify the blobs almost perfectly. *)
+  let model = Knn.fit ~k:3 z labels in
+  check_true "clusters separated" (Eval.accuracy (Knn.predict model z) labels > 0.95)
+
+let test_prepared_nested () =
+  (* transform_prepared at smaller r = leading columns of the same basis —
+     slicing must not change results across calls. *)
+  let r = rng () in
+  let views, _ = blob_views r ~per_blob:15 in
+  let prepared = Dse.prepare ~max_r:5 views in
+  let z3 = Dse.transform_prepared prepared ~r:3 in
+  let z3' = Dse.transform_prepared prepared ~r:3 in
+  check_mat ~eps:1e-12 "deterministic" z3 z3'
+
+let test_scale () =
+  (* Embedded coordinates have ~unit per-sample scale (√N rescaling). *)
+  let r = rng () in
+  let views, _ = blob_views r ~per_blob:25 in
+  let z = Dse.fit_transform ~r:2 views in
+  let row = Mat.row z 0 in
+  check_float ~eps:0.2 "unit variance scale" 1. (Vec.dot row row /. 50.)
+
+let test_max_instances_guard () =
+  let r = rng () in
+  let views = [| random_mat r 2 30; random_mat r 2 30 |] in
+  let options = { Dse.default_options with Dse.max_instances = 10 } in
+  Alcotest.check_raises "guard"
+    (Invalid_argument
+       "Dse.prepare: 30 instances exceeds max_instances=10 (transductive N^2 method)")
+    (fun () -> ignore (Dse.prepare ~options ~max_r:2 views))
+
+let () =
+  Alcotest.run "dse"
+    [ ( "embedding",
+        [ Alcotest.test_case "shapes" `Quick test_shapes;
+          Alcotest.test_case "separates clusters" `Quick test_separates_clusters;
+          Alcotest.test_case "prepared" `Quick test_prepared_nested;
+          Alcotest.test_case "scale" `Quick test_scale;
+          Alcotest.test_case "guard" `Quick test_max_instances_guard ] ) ]

@@ -1,0 +1,106 @@
+open Test_support
+
+let test_diagonal () =
+  let a = Mat.diag_of_vec [| 3.; 1.; 2. |] in
+  let { Eigen.values; _ } = Eigen.decompose a in
+  check_vec ~eps:1e-12 "sorted eigenvalues" [| 3.; 2.; 1. |] values
+
+let test_known_2x2 () =
+  (* [[2,1],[1,2]] has eigenvalues 3 and 1. *)
+  let a = Mat.of_arrays [| [| 2.; 1. |]; [| 1.; 2. |] |] in
+  let { Eigen.values; vectors } = Eigen.decompose a in
+  check_vec ~eps:1e-10 "values" [| 3.; 1. |] values;
+  (* Eigenvector for 3 is (1,1)/√2 up to sign. *)
+  let v0 = Mat.col vectors 0 in
+  check_float ~eps:1e-10 "direction" 1. (Float.abs (v0.(0) /. v0.(1)))
+
+let test_reconstruction () =
+  let r = rng () in
+  for _ = 1 to 10 do
+    let a = random_spd r 8 in
+    let eig = Eigen.decompose a in
+    check_mat ~eps:1e-7 "V Λ Vᵀ = A" a (Eigen.reconstruct eig)
+  done
+
+let test_orthonormal_vectors () =
+  let r = rng () in
+  let a = random_spd r 10 in
+  let { Eigen.vectors; _ } = Eigen.decompose a in
+  check_mat ~eps:1e-8 "VᵀV = I" (Mat.identity 10) (Mat.tgram vectors)
+
+let test_eigen_equation () =
+  let r = rng () in
+  let a = random_spd r 7 in
+  let { Eigen.values; vectors } = Eigen.decompose a in
+  for k = 0 to 6 do
+    let v = Mat.col vectors k in
+    let av = Mat.mul_vec a v in
+    check_true
+      (Printf.sprintf "A v = λ v (k=%d)" k)
+      (Vec.norm (Vec.sub av (Vec.scale values.(k) v)) < 1e-7 *. (1. +. Float.abs values.(k)))
+  done
+
+let test_trace_is_sum () =
+  let r = rng () in
+  let a = random_spd r 9 in
+  let { Eigen.values; _ } = Eigen.decompose a in
+  check_float ~eps:1e-7 "trace = Σλ" (Mat.trace a) (Vec.sum values)
+
+let test_indefinite () =
+  (* Symmetric but indefinite: eigenvalues ±1. *)
+  let a = Mat.of_arrays [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  let { Eigen.values; _ } = Eigen.decompose a in
+  check_vec ~eps:1e-10 "±1" [| 1.; -1. |] values
+
+let test_top_k () =
+  let r = rng () in
+  let a = random_spd r 6 in
+  let eig = Eigen.decompose a in
+  let top = Eigen.top_k eig 2 in
+  Alcotest.(check (pair int int)) "shape" (6, 2) (Mat.dims top);
+  check_vec ~eps:1e-12 "first column" (Mat.col eig.Eigen.vectors 0) (Mat.col top 0)
+
+let test_not_square () =
+  Alcotest.check_raises "not square" (Invalid_argument "Eigen.decompose: not square")
+    (fun () -> ignore (Eigen.decompose (Mat.create 2 3)))
+
+let test_1x1 () =
+  let { Eigen.values; vectors } = Eigen.decompose (Mat.of_arrays [| [| 5. |] |]) in
+  check_vec "value" [| 5. |] values;
+  check_float "vector" 1. (Float.abs (Mat.get vectors 0 0))
+
+let prop_psd_eigenvalues_nonneg =
+  qtest ~count:60 "SPD eigenvalues > 0" gen_spd (fun a ->
+      Array.for_all (fun l -> l > 0.) (Eigen.decompose a).Eigen.values)
+
+let prop_values_sorted =
+  qtest ~count:60 "eigenvalues descending" gen_spd (fun a ->
+      let v = (Eigen.decompose a).Eigen.values in
+      let ok = ref true in
+      for i = 1 to Array.length v - 1 do
+        if v.(i) > v.(i - 1) +. 1e-12 then ok := false
+      done;
+      !ok)
+
+let prop_frobenius_invariant =
+  qtest ~count:60 "‖A‖F² = Σλ² for symmetric A" gen_spd (fun a ->
+      let v = (Eigen.decompose a).Eigen.values in
+      let sum2 = Array.fold_left (fun acc l -> acc +. (l *. l)) 0. v in
+      Float.abs (sum2 -. (Mat.frobenius a ** 2.)) < 1e-5 *. (1. +. sum2))
+
+let () =
+  Alcotest.run "eigen"
+    [ ( "known",
+        [ Alcotest.test_case "diagonal" `Quick test_diagonal;
+          Alcotest.test_case "2x2" `Quick test_known_2x2;
+          Alcotest.test_case "indefinite" `Quick test_indefinite;
+          Alcotest.test_case "1x1" `Quick test_1x1 ] );
+      ( "invariants",
+        [ Alcotest.test_case "reconstruction" `Quick test_reconstruction;
+          Alcotest.test_case "orthonormal" `Quick test_orthonormal_vectors;
+          Alcotest.test_case "eigen equation" `Quick test_eigen_equation;
+          Alcotest.test_case "trace" `Quick test_trace_is_sum;
+          Alcotest.test_case "top_k" `Quick test_top_k ] );
+      ("errors", [ Alcotest.test_case "not square" `Quick test_not_square ]);
+      ( "properties",
+        [ prop_psd_eigenvalues_nonneg; prop_values_sorted; prop_frobenius_invariant ] ) ]

@@ -1,0 +1,44 @@
+open Test_support
+
+let test_accuracy () =
+  check_float "all correct" 1. (Eval.accuracy [| 0; 1; 2 |] [| 0; 1; 2 |]);
+  check_float "none correct" 0. (Eval.accuracy [| 1; 2; 0 |] [| 0; 1; 2 |]);
+  check_float "half" 0.5 (Eval.accuracy [| 0; 1 |] [| 0; 0 |]);
+  check_float "error rate" 0.5 (Eval.error_rate [| 0; 1 |] [| 0; 0 |])
+
+let test_accuracy_errors () =
+  Alcotest.check_raises "length mismatch" (Invalid_argument "Eval.accuracy: length mismatch")
+    (fun () -> ignore (Eval.accuracy [| 0 |] [| 0; 1 |]));
+  Alcotest.check_raises "empty" (Invalid_argument "Eval.accuracy: empty") (fun () ->
+      ignore (Eval.accuracy [||] [||]))
+
+let test_confusion () =
+  let c = Eval.confusion ~n_classes:2 [| 0; 1; 1; 0 |] [| 0; 0; 1; 1 |] in
+  Alcotest.(check int) "tp0" 1 c.(0).(0);
+  Alcotest.(check int) "0 predicted 1" 1 c.(0).(1);
+  Alcotest.(check int) "1 predicted 0" 1 c.(1).(0);
+  Alcotest.(check int) "tp1" 1 c.(1).(1)
+
+let test_confusion_totals () =
+  let r = rng () in
+  let n = 50 in
+  let pred = Array.init n (fun _ -> Rng.int r 3) in
+  let truth = Array.init n (fun _ -> Rng.int r 3) in
+  let c = Eval.confusion ~n_classes:3 pred truth in
+  let total = Array.fold_left (fun acc row -> Array.fold_left ( + ) acc row) 0 c in
+  Alcotest.(check int) "mass preserved" n total
+
+let test_over_runs () =
+  let mean, std = Eval.over_runs (fun i -> float_of_int i) 3 in
+  check_float "mean" 1. mean;
+  check_float "std" 1. std
+
+let () =
+  Alcotest.run "eval"
+    [ ( "accuracy",
+        [ Alcotest.test_case "basic" `Quick test_accuracy;
+          Alcotest.test_case "errors" `Quick test_accuracy_errors ] );
+      ( "confusion",
+        [ Alcotest.test_case "entries" `Quick test_confusion;
+          Alcotest.test_case "totals" `Quick test_confusion_totals ] );
+      ("runs", [ Alcotest.test_case "over_runs" `Quick test_over_runs ]) ]

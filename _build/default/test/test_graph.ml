@@ -1,0 +1,81 @@
+open Test_support
+
+(* Two well-separated blobs of points in 2D. *)
+let blobs r ~per_blob =
+  Mat.init 2 (2 * per_blob) (fun i j ->
+      let center = if j < per_blob then 0. else 20. in
+      (if i = 0 then center else 0.) +. (0.5 *. Rng.gaussian r))
+
+let test_knn_structure () =
+  let r = rng () in
+  let x = blobs r ~per_blob:20 in
+  let g = Graph.knn ~k:3 x in
+  Alcotest.(check int) "node count" 40 (Graph.n_nodes g);
+  Array.iter (fun d -> check_true "positive degree" (d > 0.)) (Graph.degree g)
+
+let test_matvec_symmetric_operator () =
+  (* S = D^{-1/2} W D^{-1/2} is symmetric: ⟨Sx, y⟩ = ⟨x, Sy⟩. *)
+  let r = rng () in
+  let x = blobs r ~per_blob:15 in
+  let g = Graph.knn ~k:4 x in
+  let u = random_vec r 30 and v = random_vec r 30 in
+  check_float ~eps:1e-9 "self-adjoint" (Vec.dot (Graph.matvec_normalized_adjacency g u) v)
+    (Vec.dot u (Graph.matvec_normalized_adjacency g v))
+
+let test_spectral_radius () =
+  (* ‖S‖ ≤ 1 for the normalized adjacency. *)
+  let r = rng () in
+  let x = blobs r ~per_blob:15 in
+  let g = Graph.knn ~k:4 x in
+  let y = ref (Vec.normalize (random_vec r 30)) in
+  for _ = 1 to 30 do
+    y := Vec.normalize (Graph.matvec_normalized_adjacency g !y)
+  done;
+  let sy = Graph.matvec_normalized_adjacency g !y in
+  check_true "largest eigenvalue <= 1" (Vec.norm sy <= 1. +. 1e-6)
+
+let test_embedding_separates_blobs () =
+  (* Laplacian eigenmap of two disconnected-ish blobs: the leading
+     non-trivial coordinate separates them linearly. *)
+  let r = rng () in
+  let x = blobs r ~per_blob:25 in
+  let g = Graph.knn ~k:5 x in
+  let e = Graph.laplacian_embedding ~r:2 g in
+  Alcotest.(check (pair int int)) "shape" (50, 2) (Mat.dims e);
+  (* The separating direction may be any rotation within the top eigenspace,
+     so check separability with a tiny kNN instead of one coordinate. *)
+  let labels = Array.init 50 (fun j -> if j < 25 then 0 else 1) in
+  let z = Mat.transpose e in
+  let model = Knn.fit ~k:3 z labels in
+  check_true "blobs separated" (Eval.accuracy (Knn.predict model z) labels > 0.95)
+
+let test_embedding_orthogonalish () =
+  let r = rng () in
+  let x = blobs r ~per_blob:25 in
+  let g = Graph.knn ~k:5 x in
+  let e = Graph.laplacian_embedding ~r:3 g in
+  (* Columns should be near-orthogonal (they are distinct eigenvectors). *)
+  let gram = Mat.tgram e in
+  for i = 0 to 2 do
+    for j = i + 1 to 2 do
+      check_true "near orthogonal" (Float.abs (Mat.get gram i j) < 0.1)
+    done
+  done
+
+let test_r_clamped () =
+  let r = rng () in
+  let x = random_mat r 2 8 in
+  let g = Graph.knn ~k:2 x in
+  let e = Graph.laplacian_embedding ~r:20 g in
+  check_true "r at most n-1" (snd (Mat.dims e) <= 7)
+
+let () =
+  Alcotest.run "graph"
+    [ ( "construction",
+        [ Alcotest.test_case "knn" `Quick test_knn_structure;
+          Alcotest.test_case "self-adjoint" `Quick test_matvec_symmetric_operator;
+          Alcotest.test_case "spectral radius" `Quick test_spectral_radius ] );
+      ( "embedding",
+        [ Alcotest.test_case "separates blobs" `Quick test_embedding_separates_blobs;
+          Alcotest.test_case "orthogonal" `Quick test_embedding_orthogonalish;
+          Alcotest.test_case "clamping" `Quick test_r_clamped ] ) ]

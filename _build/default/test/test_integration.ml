@@ -1,0 +1,182 @@
+(* End-to-end integration tests: the full pipeline on the three simulated
+   benchmarks at miniature scale, plus the headline scientific claims the
+   reproduction rests on. *)
+
+open Test_support
+
+let test_secstr_pipeline () =
+  let world = Secstr.world ~seed:1 Secstr.Quick in
+  let config =
+    { (Linear_protocol.default_config world) with
+      Linear_protocol.n_pool = 600;
+      n_extra_unlabeled = 2000 }
+  in
+  let st = Linear_protocol.prepare config ~seed:0 in
+  let tcca = Linear_protocol.run_prepared st Spec.Tcca ~r:12 in
+  let bsf = Linear_protocol.run_prepared st Spec.Bsf ~r:12 in
+  check_true "TCCA above chance" (tcca.Linear_protocol.test_acc > 0.52);
+  check_true "BSF sane" (bsf.Linear_protocol.test_acc > 0.45)
+
+let test_nuswide_pipeline_tcca_wins () =
+  (* The reproduction's headline: on the 10-class kNN task TCCA beats the
+     pairwise CCA variants at a moderate dimension. *)
+  let world = Nuswide.world Nuswide.Quick in
+  let config =
+    { (Knn_protocol.default_config ~per_class:6 world) with
+      Knn_protocol.n_train = 700;
+      n_test = 700 }
+  in
+  let mean_acc meth =
+    let accs =
+      Array.init 2 (fun seed ->
+          let st = Knn_protocol.prepare config ~seed in
+          (Knn_protocol.run_prepared st meth ~r:45).Knn_protocol.test_acc)
+    in
+    Stats.mean accs
+  in
+  let tcca = mean_acc Spec.Tcca in
+  let cca_bst = mean_acc Spec.Cca_bst in
+  check_true "TCCA above chance ×2" (tcca > 0.2);
+  check_true
+    (Printf.sprintf "TCCA (%.3f) >= CCA BST (%.3f) - slack" tcca cca_bst)
+    (tcca >= cca_bst -. 0.02)
+
+let test_more_unlabeled_helps_tcca () =
+  (* Table 1's trend: TCCA's accuracy improves (or at least does not degrade)
+     with more unlabeled data for the covariance tensor. *)
+  let world = Secstr.world Secstr.Quick in
+  let run extra =
+    let config =
+      { (Linear_protocol.default_config world) with
+        Linear_protocol.n_pool = 800;
+        n_extra_unlabeled = extra }
+    in
+    let accs =
+      Array.init 2 (fun seed ->
+          (Linear_protocol.run config Spec.Tcca ~r:24 ~seed).Linear_protocol.test_acc)
+    in
+    Stats.mean accs
+  in
+  let small = run 0 and large = run 8000 in
+  check_true
+    (Printf.sprintf "more unlabeled helps (%.3f -> %.3f)" small large)
+    (large >= small -. 0.03)
+
+let test_tensor_blind_to_pairwise_confounders () =
+  (* Fig. 1's claim, stated on estimators: strengthening pairwise-only
+     confounders inflates pairwise covariance energy but barely moves the
+     3-way covariance tensor. *)
+  let base = { (Secstr.config Secstr.Quick) with Synth.dims = [| 24; 24; 24 |] } in
+  let energy strength =
+    let cfg = { base with Synth.confounder_strength = strength } in
+    let world = Synth.make_world ~seed:4 cfg in
+    let data = Synth.sample world (Rng.create 8) ~n:20000 in
+    let centered = fst (Preprocess.center_views data.Multiview.views) in
+    let pair = Mat.frobenius (Mat.scale (1. /. 20000.) (Mat.mul_nt centered.(0) centered.(1))) in
+    let tensor = Tensor.frobenius (Tcca.covariance_tensor centered) in
+    (pair, tensor)
+  in
+  let p0, t0 = energy 0. in
+  let p2, t2 = energy 2.5 in
+  let pair_growth = p2 /. p0 and tensor_growth = t2 /. t0 in
+  check_true
+    (Printf.sprintf "pairwise grows faster (pair ×%.2f vs tensor ×%.2f)" pair_growth
+       tensor_growth)
+    (pair_growth > tensor_growth)
+
+let test_quickstart_story () =
+  (* The README example, in miniature: TCCA-transformed features support a
+     better classifier than raw concatenation. *)
+  let world = Synth.make_world ~seed:42 Synth.default in
+  let r = Rng.create 7 in
+  let unlabeled = Synth.sample world r ~n:800 in
+  let labeled = Synth.sample world r ~n:80 in
+  let test = Synth.sample world r ~n:500 in
+  let tcca = Tcca.fit ~r:8 unlabeled.Multiview.views in
+  let acc transform =
+    let model = Rls.fit (transform labeled.Multiview.views) labeled.Multiview.labels in
+    Eval.accuracy (Rls.predict model (transform test.Multiview.views)) test.Multiview.labels
+  in
+  let acc_tcca = acc (Tcca.transform tcca) in
+  check_true (Printf.sprintf "TCCA pipeline works (%.3f)" acc_tcca) (acc_tcca > 0.6)
+
+let test_figures_registry () =
+  List.iter
+    (fun id -> check_true (id ^ " described") (String.length (Figures.describe id) > 0))
+    Figures.all_ids;
+  (* Table aliases resolve. *)
+  List.iter
+    (fun id -> check_true (id ^ " alias") (String.length (Figures.describe id) > 0))
+    [ "tab1"; "tab2"; "tab3"; "tab4" ]
+
+let test_figures_run_smoke () =
+  (* Drive the whole registry end to end at miniature scale: every id must
+     render non-empty blocks without raising. *)
+  let params =
+    { Figures.quick with
+      Figures.seeds = 1;
+      rs = [| 4; 8 |];
+      rs_kernel = [| 4; 8 |];
+      secstr_pool = 200;
+      secstr_extra = 300;
+      ads_pool = 200;
+      nus_train = 400;
+      nus_test = 400;
+      kernel_subset = 100;
+      complexity_n = 150 }
+  in
+  List.iter
+    (fun id ->
+      if id <> "scal-n" then begin
+        (* scal-n has its own fixed N grid and is covered by the bench. *)
+        let blocks = Figures.run params id in
+        check_true (id ^ " produced output") (List.length blocks > 0);
+        List.iter (fun b -> check_true (id ^ " non-empty") (String.length b > 0)) blocks
+      end)
+    Figures.all_ids
+
+let test_ablation_smoke () =
+  let world =
+    Synth.make_world ~seed:2
+      { Synth.default with Synth.dims = [| 12; 12; 12 |]; shared_topics = 3; topics_per_class = 2 }
+  in
+  let out = Ablations.solver_comparison ~world ~n:300 ~eps:1e-2 ~rs:[| 1; 2 |] ~seed:0 in
+  check_true "solver table renders" (String.length out > 0)
+
+let test_complexity_smoke () =
+  let world =
+    Synth.make_world ~seed:2
+      { Synth.default with Synth.dims = [| 12; 12; 12 |]; shared_topics = 3; topics_per_class = 2 }
+  in
+  let curves =
+    Complexity.linear_costs ~world ~n:200 ~eps:1e-2 ~methods:[ Spec.Cat; Spec.Tcca ]
+      ~rs:[| 3; 6 |] ~seed:0
+  in
+  Alcotest.(check int) "two curves" 2 (List.length curves);
+  List.iter
+    (fun c ->
+      Array.iter
+        (fun cost ->
+          check_true "time >= 0" (cost.Complexity.seconds >= 0.);
+          check_true "alloc >= 0" (cost.Complexity.alloc_mb >= 0.))
+        c.Complexity.costs)
+    curves;
+  check_true "figures render"
+    (String.length (Complexity.time_figure ~title:"t" curves) > 0
+    && String.length (Complexity.memory_figure ~title:"m" curves) > 0)
+
+let () =
+  Alcotest.run "integration"
+    [ ( "pipelines",
+        [ Alcotest.test_case "secstr" `Slow test_secstr_pipeline;
+          Alcotest.test_case "nuswide tcca wins" `Slow test_nuswide_pipeline_tcca_wins;
+          Alcotest.test_case "quickstart" `Quick test_quickstart_story ] );
+      ( "claims",
+        [ Alcotest.test_case "unlabeled helps" `Slow test_more_unlabeled_helps_tcca;
+          Alcotest.test_case "tensor blind to confounders" `Slow
+            test_tensor_blind_to_pairwise_confounders ] );
+      ( "harness",
+        [ Alcotest.test_case "registry" `Quick test_figures_registry;
+          Alcotest.test_case "full registry smoke" `Slow test_figures_run_smoke;
+          Alcotest.test_case "ablation smoke" `Quick test_ablation_smoke;
+          Alcotest.test_case "complexity smoke" `Quick test_complexity_smoke ] ) ]

@@ -1,0 +1,141 @@
+(* Cross-module invariance tests: properties of the *methods* (not the
+   numerics) that the paper's theory implies. *)
+
+open Test_support
+
+let three_views r ~n ~noise =
+  let views = Array.init 3 (fun _ -> Mat.create 4 n) in
+  for j = 0 to n - 1 do
+    let s = -.log (Float.max 1e-12 (Rng.uniform r)) -. 1. in
+    Array.iter
+      (fun v ->
+        Mat.set v 0 j (s +. (noise *. Rng.gaussian r));
+        for i = 1 to 3 do
+          Mat.set v i j (Rng.gaussian r)
+        done)
+      views
+  done;
+  views
+
+let embedding_correlation z1 z2 =
+  Float.abs (Stats.pearson (Mat.row z1 0) (Mat.row z2 0))
+
+let test_tcca_view_permutation_invariance () =
+  (* Reordering the views must not change what is learned, only the block
+     order of the concatenated representation. *)
+  let r = rng () in
+  let views = three_views r ~n:800 ~noise:0.4 in
+  let permuted = [| views.(2); views.(0); views.(1) |] in
+  let a = Tcca.fit ~eps:1e-2 ~r:1 views in
+  let b = Tcca.fit ~eps:1e-2 ~r:1 permuted in
+  (* View 0's projection under [a] must match view 0's projection under [b]
+     (where it sits at position 1). *)
+  let za = Tcca.transform_view a 0 views.(0) in
+  let zb = Tcca.transform_view b 1 views.(0) in
+  check_true "same canonical variable" (embedding_correlation za zb > 0.999)
+
+let test_tcca_instance_permutation_invariance () =
+  (* Shuffling instances permutes the embedding columns and changes nothing
+     else. *)
+  let r = rng () in
+  let views = three_views r ~n:300 ~noise:0.4 in
+  let perm = Rng.permutation r 300 in
+  let shuffled = Array.map (fun v -> Mat.select_cols v perm) views in
+  let a = Tcca.fit ~eps:1e-2 ~r:2 views in
+  let b = Tcca.fit ~eps:1e-2 ~r:2 shuffled in
+  let za = Tcca.transform a views in
+  let zb = Tcca.transform b shuffled in
+  (* Compare a column of [a] with its shuffled position in [b]; the CP sign
+     indeterminacy allows a global flip per component, so compare |corr| of
+     full rows instead of entries. *)
+  let za_shuffled = Mat.select_cols za perm in
+  check_true "row 0 matches up to sign"
+    (Float.abs (Stats.pearson (Mat.row za_shuffled 0) (Mat.row zb 0)) > 0.999)
+
+let test_tcca_translation_invariance () =
+  (* The model centers internally, so shifting every instance by a constant
+     vector changes nothing. *)
+  let r = rng () in
+  let views = three_views r ~n:600 ~noise:0.4 in
+  let shift = Array.map (fun v -> Mat.map (fun x -> x +. 5.) v) views in
+  let a = Tcca.fit ~eps:1e-2 ~r:1 views in
+  let b = Tcca.fit ~eps:1e-2 ~r:1 shift in
+  check_vec ~eps:1e-6 "correlations unchanged" (Tcca.correlations a) (Tcca.correlations b);
+  check_true "embedding unchanged"
+    (embedding_correlation (Tcca.transform_view a 0 views.(0))
+       (Tcca.transform_view b 0 shift.(0))
+    > 0.9999)
+
+let test_tcca_scaling_robustness () =
+  (* Rescaling one view is absorbed by whitening (up to the ε floor). *)
+  let r = rng () in
+  let views = three_views r ~n:2000 ~noise:0.3 in
+  let scaled = [| Mat.scale 10. views.(0); views.(1); views.(2) |] in
+  let a = Tcca.fit ~eps:1e-4 ~r:1 views in
+  let b = Tcca.fit ~eps:1e-4 ~r:1 scaled in
+  check_true "projection direction stable"
+    (embedding_correlation (Tcca.transform_view a 0 views.(0))
+       (Tcca.transform_view b 0 scaled.(0))
+    > 0.99)
+
+let test_cca_vs_tcca_rank1_correlation_bound () =
+  (* For m = 2 the TCCA weight equals the top CCA correlation; for m = 3 the
+     3-way correlation of any triple cannot exceed the per-pair structure by
+     orders of magnitude — sanity bound: λ₀ ≤ √N scale, here just finite and
+     positive for correlated data. *)
+  let r = rng () in
+  let views = three_views r ~n:1500 ~noise:0.3 in
+  let t = Tcca.fit ~eps:1e-2 ~r:1 views in
+  let lambda = (Tcca.correlations t).(0) in
+  check_true "positive, finite" (Float.is_finite lambda && Float.abs lambda > 0.01)
+
+let test_kernel_linear_kcca_matches_cca () =
+  (* KCCA with the *linear* kernel must agree with primal CCA on the same
+     data (dual vs primal formulations of one problem). *)
+  let r = rng () in
+  let views = three_views r ~n:200 ~noise:0.3 in
+  let x1 = views.(0) and x2 = views.(1) in
+  let cca = Cca.fit ~eps:1e-6 ~r:1 x1 x2 in
+  let k1 = Kernel.gram (Kernel.fit Kernel.Linear x1) in
+  let k2 = Kernel.gram (Kernel.fit Kernel.Linear x2) in
+  let kcca = Kcca.fit ~eps:1e-6 ~r:1 k1 k2 in
+  let z_primal = Mat.row (Cca.transform1 cca x1) 0 in
+  let z_dual = Mat.row (Kcca.transform_train kcca) 0 in
+  check_true "primal = dual" (Float.abs (Stats.pearson z_primal z_dual) > 0.99)
+
+let test_reducers_embed_consistently_across_calls () =
+  (* Projective models are pure: transforming twice gives identical output. *)
+  let r = rng () in
+  let views = three_views r ~n:300 ~noise:0.4 in
+  let model = Tcca.fit ~r:2 views in
+  check_mat ~eps:1e-15 "idempotent transform" (Tcca.transform model views)
+    (Tcca.transform model views)
+
+let test_whitened_tensor_unit_scale () =
+  (* After whitening with tiny ε, every mode's "marginal covariance" of the
+     tensor is bounded: the multilinear form at unit vectors is a valid
+     correlation-like quantity (|ρ| ≤ ~1 for strongly shared signal). *)
+  let r = rng () in
+  let views = three_views r ~n:5000 ~noise:0.2 in
+  let m = Tcca.whitened_tensor ~eps:1e-6 views in
+  let t = Tcca.fit ~eps:1e-6 ~r:1 views in
+  ignore m;
+  let lambda = Float.abs (Tcca.correlations t).(0) in
+  (* For three near-identical unit-variance variables, Σ z³/N ≈ E[z³] of a
+     skewed unit variable — finite and modest. *)
+  check_true "lambda in a plausible range" (lambda > 0.05 && lambda < 10.)
+
+let () =
+  Alcotest.run "invariances"
+    [ ( "tcca",
+        [ Alcotest.test_case "view permutation" `Quick test_tcca_view_permutation_invariance;
+          Alcotest.test_case "instance permutation" `Quick
+            test_tcca_instance_permutation_invariance;
+          Alcotest.test_case "translation" `Quick test_tcca_translation_invariance;
+          Alcotest.test_case "per-view scaling" `Quick test_tcca_scaling_robustness;
+          Alcotest.test_case "rank-1 sanity" `Quick test_cca_vs_tcca_rank1_correlation_bound;
+          Alcotest.test_case "idempotent transform" `Quick
+            test_reducers_embed_consistently_across_calls;
+          Alcotest.test_case "whitened scale" `Quick test_whitened_tensor_unit_scale ] );
+      ( "dual/primal",
+        [ Alcotest.test_case "linear KCCA = CCA" `Quick test_kernel_linear_kcca_matches_cca ] ) ]

@@ -1,0 +1,75 @@
+open Test_support
+
+(* Two views with a shared non-linear (radial) structure. *)
+let ring_views r ~n =
+  let x1 = Mat.create 2 n and x2 = Mat.create 2 n in
+  for j = 0 to n - 1 do
+    let radius = if j mod 2 = 0 then 1. else 3. in
+    let a1 = Rng.float r (2. *. Float.pi) and a2 = Rng.float r (2. *. Float.pi) in
+    Mat.set x1 0 j ((radius *. cos a1) +. (0.1 *. Rng.gaussian r));
+    Mat.set x1 1 j ((radius *. sin a1) +. (0.1 *. Rng.gaussian r));
+    Mat.set x2 0 j ((radius *. cos a2) +. (0.1 *. Rng.gaussian r));
+    Mat.set x2 1 j ((radius *. sin a2) +. (0.1 *. Rng.gaussian r))
+  done;
+  (x1, x2, Array.init n (fun j -> j mod 2))
+
+let grams r ~n =
+  let x1, x2, labels = ring_views r ~n in
+  let k1 = Kernel.gram (Kernel.fit (Kernel.Exp_distance Distance.L2) x1) in
+  let k2 = Kernel.gram (Kernel.fit (Kernel.Exp_distance Distance.L2) x2) in
+  (k1, k2, labels)
+
+let test_correlations_bounded () =
+  let r = rng () in
+  let k1, k2, _ = grams r ~n:60 in
+  let model = Kcca.fit ~eps:1e-2 ~r:5 k1 k2 in
+  Array.iter
+    (fun rho -> check_true "in [0, 1.01]" (rho >= 0. && rho <= 1.01))
+    (Kcca.correlations model)
+
+let test_nonlinear_structure_found () =
+  (* Radius is invisible to linear CCA on these coordinates, but the RBF-like
+     kernel exposes it: KCCA embedding should separate the rings. *)
+  let r = rng () in
+  let k1, k2, labels = grams r ~n:120 in
+  let model = Kcca.fit ~eps:1e-2 ~r:4 k1 k2 in
+  let z = Kcca.transform_train model in
+  let knn = Knn.fit ~k:3 z labels in
+  check_true "rings separated" (Eval.accuracy (Knn.predict knn z) labels > 0.9)
+
+let test_transform_shapes () =
+  let r = rng () in
+  let k1, k2, _ = grams r ~n:40 in
+  let model = Kcca.fit ~r:3 k1 k2 in
+  Alcotest.(check int) "r" 3 (Kcca.r model);
+  Alcotest.(check (pair int int)) "2r × N" (6, 40) (Mat.dims (Kcca.transform_train model));
+  let a1, a2 = Kcca.dual_weights model in
+  Alcotest.(check (pair int int)) "duals" (40, 3) (Mat.dims a1);
+  Alcotest.(check (pair int int)) "duals" (40, 3) (Mat.dims a2)
+
+let test_out_of_sample_matches_train () =
+  (* Embedding the training columns through the cross-kernel path must match
+     transform_train. *)
+  let r = rng () in
+  let x1, x2, _ = ring_views r ~n:50 in
+  let f1 = Kernel.fit (Kernel.Exp_distance Distance.L2) x1 in
+  let f2 = Kernel.fit (Kernel.Exp_distance Distance.L2) x2 in
+  let model = Kcca.fit ~eps:1e-2 ~r:3 (Kernel.gram f1) (Kernel.gram f2) in
+  let via_cross = Kcca.transform model (Kernel.cross f1 x1) (Kernel.cross f2 x2) in
+  check_mat ~eps:1e-8 "train = cross(train)" (Kcca.transform_train model) via_cross
+
+let test_errors () =
+  Alcotest.check_raises "not square" (Invalid_argument "Kcca.fit: kernels must be square")
+    (fun () -> ignore (Kcca.fit ~r:1 (Mat.create 3 2) (Mat.create 3 3)));
+  Alcotest.check_raises "size mismatch" (Invalid_argument "Kcca.fit: kernel size mismatch")
+    (fun () -> ignore (Kcca.fit ~r:1 (Mat.identity 3) (Mat.identity 4)))
+
+let () =
+  Alcotest.run "kcca"
+    [ ( "statistics",
+        [ Alcotest.test_case "bounded" `Quick test_correlations_bounded;
+          Alcotest.test_case "nonlinear structure" `Quick test_nonlinear_structure_found ] );
+      ( "interface",
+        [ Alcotest.test_case "shapes" `Quick test_transform_shapes;
+          Alcotest.test_case "out of sample" `Quick test_out_of_sample_matches_train;
+          Alcotest.test_case "errors" `Quick test_errors ] ) ]

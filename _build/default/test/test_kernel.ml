@@ -1,0 +1,106 @@
+open Test_support
+
+let sample_data () =
+  let r = rng () in
+  Mat.map Float.abs (random_mat r 6 20)
+
+let test_linear_gram () =
+  let x = sample_data () in
+  let f = Kernel.fit Kernel.Linear x in
+  check_mat ~eps:1e-10 "gram = XᵀX" (Mat.tgram x) (Kernel.gram f)
+
+let test_exp_kernel_range () =
+  let x = sample_data () in
+  let f = Kernel.fit (Kernel.Exp_distance Distance.L2) x in
+  let k = Kernel.gram f in
+  let n, _ = Mat.dims k in
+  for i = 0 to n - 1 do
+    check_float ~eps:1e-12 "self similarity 1" 1. (Mat.get k i i);
+    for j = 0 to n - 1 do
+      let v = Mat.get k i j in
+      check_true "in (0,1]" (v > 0. && v <= 1. +. 1e-12)
+    done
+  done;
+  (* Bandwidth = max distance means the smallest entry is exp(-1). *)
+  let mn = ref infinity in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      mn := Float.min !mn (Mat.get k i j)
+    done
+  done;
+  check_float ~eps:1e-9 "min entry = e^-1" (exp (-1.)) !mn
+
+let test_bandwidth_frozen () =
+  let x = sample_data () in
+  let f = Kernel.fit (Kernel.Exp_distance Distance.L2) x in
+  match Kernel.bandwidth f with
+  | None -> Alcotest.fail "expected a bandwidth"
+  | Some lam ->
+    check_float ~eps:1e-9 "lambda is max distance"
+      (Distance.max_entry (Distance.pairwise Distance.L2 x))
+      lam
+
+let test_cross_consistent_with_gram () =
+  let x = sample_data () in
+  let f = Kernel.fit (Kernel.Exp_distance Distance.Chi2) x in
+  check_mat ~eps:1e-10 "cross on train = gram" (Kernel.gram f) (Kernel.cross f x)
+
+let test_gram_psd () =
+  let x = sample_data () in
+  List.iter
+    (fun kind -> check_true "psd" (Kernel.is_psd (Kernel.gram (Kernel.fit kind x))))
+    [ Kernel.Linear; Kernel.Rbf 0.5 ]
+
+let test_center () =
+  let x = sample_data () in
+  let k = Kernel.gram (Kernel.fit Kernel.Linear x) in
+  let c = Kernel.center k in
+  let n, _ = Mat.dims c in
+  (* Row sums of a double-centered matrix vanish. *)
+  for i = 0 to n - 1 do
+    check_float ~eps:1e-8 "row sum 0" 0. (Vec.sum (Mat.row c i))
+  done;
+  check_true "still symmetric" (Mat.is_symmetric ~eps:1e-8 c)
+
+let test_center_matches_feature_centering () =
+  (* Double-centering the linear Gram equals the Gram of centered features. *)
+  let x = sample_data () in
+  let k = Kernel.gram (Kernel.fit Kernel.Linear x) in
+  let xc = fst (Mat.center_rows x) in
+  check_mat ~eps:1e-8 "HKH = Gram(centered)" (Mat.tgram xc) (Kernel.center k)
+
+let test_normalize_unit_diag () =
+  let x = sample_data () in
+  let k = Kernel.gram (Kernel.fit Kernel.Linear x) in
+  let nk = Kernel.normalize_unit_diag k in
+  let n, _ = Mat.dims nk in
+  for i = 0 to n - 1 do
+    check_float ~eps:1e-9 "unit diagonal" 1. (Mat.get nk i i)
+  done
+
+let test_average () =
+  let a = Mat.identity 3 and b = Mat.make 3 3 1. in
+  let avg = Kernel.average [ a; b ] in
+  check_float "diag" 1. (Mat.get avg 0 0);
+  check_float "offdiag" 0.5 (Mat.get avg 0 1)
+
+let test_rbf () =
+  let x = Mat.of_cols [| [| 0. |]; [| 1. |] |] in
+  let k = Kernel.gram (Kernel.fit (Kernel.Rbf 2.) x) in
+  check_float ~eps:1e-12 "exp(-2·1)" (exp (-2.)) (Mat.get k 0 1)
+
+let () =
+  Alcotest.run "kernel"
+    [ ( "grams",
+        [ Alcotest.test_case "linear" `Quick test_linear_gram;
+          Alcotest.test_case "exp range" `Quick test_exp_kernel_range;
+          Alcotest.test_case "bandwidth" `Quick test_bandwidth_frozen;
+          Alcotest.test_case "cross consistency" `Quick test_cross_consistent_with_gram;
+          Alcotest.test_case "psd" `Quick test_gram_psd;
+          Alcotest.test_case "rbf" `Quick test_rbf ] );
+      ( "transforms",
+        [ Alcotest.test_case "center" `Quick test_center;
+          Alcotest.test_case "center = feature centering" `Quick
+            test_center_matches_feature_centering;
+          Alcotest.test_case "normalize" `Quick test_normalize_unit_diag;
+          Alcotest.test_case "average" `Quick test_average ] ) ]

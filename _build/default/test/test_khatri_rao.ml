@@ -1,0 +1,88 @@
+open Test_support
+
+let test_known () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = Mat.of_arrays [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  let kr = Khatri_rao.product a b in
+  (* Column k is a_k ⊗ b_k with b's index fastest. *)
+  check_mat "khatri-rao"
+    (Mat.of_arrays
+       [| [| 5.; 12. |]; [| 7.; 16. |]; [| 15.; 24. |]; [| 21.; 32. |] |])
+    kr
+
+let test_shapes () =
+  let r = rng () in
+  let a = random_mat r 3 4 and b = random_mat r 5 4 in
+  Alcotest.(check (pair int int)) "shape" (15, 4) (Mat.dims (Khatri_rao.product a b))
+
+let test_mismatch () =
+  Alcotest.check_raises "column mismatch"
+    (Invalid_argument "Khatri_rao.product: column count mismatch") (fun () ->
+      ignore (Khatri_rao.product (Mat.create 2 3) (Mat.create 2 4)))
+
+let test_chain_order () =
+  (* chain [u1; u2] = u2 ⊙ u1: u1's index varies fastest. *)
+  let u1 = Mat.of_cols [| [| 1.; 2. |] |] in
+  let u2 = Mat.of_cols [| [| 3.; 4. |] |] in
+  let c = Khatri_rao.chain [ u1; u2 ] in
+  check_vec "ordering" [| 3.; 6.; 4.; 8. |] (Mat.col c 0)
+
+let test_chain_excluding () =
+  let r = rng () in
+  let us = [| random_mat r 2 3; random_mat r 4 3; random_mat r 5 3 |] in
+  let ex1 = Khatri_rao.chain_excluding us 1 in
+  Alcotest.(check (pair int int)) "shape skips mode 1" (10, 3) (Mat.dims ex1);
+  check_mat ~eps:1e-12 "matches manual chain"
+    (Khatri_rao.chain [ us.(0); us.(2) ])
+    ex1
+
+let test_gram_hadamard () =
+  (* Gram of the KR chain equals the Hadamard product of factor Grams. *)
+  let r = rng () in
+  let us = [| random_mat r 3 4; random_mat r 5 4; random_mat r 2 4 |] in
+  for k = 0 to 2 do
+    let kr = Khatri_rao.chain_excluding us k in
+    check_mat ~eps:1e-8
+      (Printf.sprintf "gram identity (mode %d)" k)
+      (Mat.tgram kr)
+      (Khatri_rao.gram_hadamard_excluding us k)
+  done
+
+let test_cp_consistency () =
+  (* For a rank-2 CP tensor, X(k) = U_k diag(λ) (⊙_{q≠k} U_q)ᵀ. *)
+  let r = rng () in
+  let factors = [| random_mat r 3 2; random_mat r 4 2; random_mat r 2 2 |] in
+  let weights = [| 1.5; -0.7 |] in
+  let t = Kruskal.to_tensor { Kruskal.weights; factors } in
+  for k = 0 to 2 do
+    let kr = Khatri_rao.chain_excluding factors k in
+    let scaled =
+      Mat.init (fst (Mat.dims factors.(k))) 2 (fun i j ->
+          Mat.get factors.(k) i j *. weights.(j))
+    in
+    check_mat ~eps:1e-9
+      (Printf.sprintf "unfolding identity (mode %d)" k)
+      (Mat.mul_nt scaled kr) (Unfold.unfold t k)
+  done
+
+let prop_kr_column_norms =
+  qtest ~count:40 "KR column norms multiply"
+    QCheck2.Gen.(pair gen_vec gen_vec)
+    (fun (x, y) ->
+      QCheck2.assume (Array.length x > 0 && Array.length y > 0);
+      let a = Mat.of_cols [| x |] and b = Mat.of_cols [| y |] in
+      let kr = Khatri_rao.product a b in
+      Float.abs (Vec.norm (Mat.col kr 0) -. (Vec.norm x *. Vec.norm y)) < 1e-6)
+
+let () =
+  Alcotest.run "khatri_rao"
+    [ ( "product",
+        [ Alcotest.test_case "known" `Quick test_known;
+          Alcotest.test_case "shapes" `Quick test_shapes;
+          Alcotest.test_case "mismatch" `Quick test_mismatch ] );
+      ( "chains",
+        [ Alcotest.test_case "ordering" `Quick test_chain_order;
+          Alcotest.test_case "excluding" `Quick test_chain_excluding;
+          Alcotest.test_case "gram hadamard" `Quick test_gram_hadamard;
+          Alcotest.test_case "CP unfolding identity" `Quick test_cp_consistency ] );
+      ("properties", [ prop_kr_column_norms ]) ]

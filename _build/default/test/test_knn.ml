@@ -1,0 +1,91 @@
+open Test_support
+
+let clusters r ~n =
+  let y = Array.init n (fun j -> j mod 3) in
+  let x =
+    Mat.init 2 n (fun i j ->
+        let cx = [| 0.; 5.; 10. |].(y.(j)) in
+        (if i = 0 then cx else 0.) +. (0.3 *. Rng.gaussian r))
+  in
+  (x, y)
+
+let test_nearest_neighbour () =
+  let train = Mat.of_cols [| [| 0.; 0. |]; [| 10.; 10. |] |] in
+  let model = Knn.fit ~k:1 train [| 0; 1 |] in
+  let queries = Mat.of_cols [| [| 1.; 1. |]; [| 9.; 9. |] |] in
+  Alcotest.(check (array int)) "1-NN" [| 0; 1 |] (Knn.predict model queries)
+
+let test_majority_vote () =
+  (* Two close class-0 points outvote one closest class-1 point at k=3. *)
+  let train = Mat.of_cols [| [| 0. |]; [| 2. |]; [| 2.2 |] |] in
+  let model = Knn.fit ~k:3 train [| 1; 0; 0 |] in
+  Alcotest.(check (array int)) "majority" [| 0 |] (Knn.predict model (Mat.of_cols [| [| 1. |] |]))
+
+let test_tie_breaks_to_nearest () =
+  (* k=2 with one vote each: the nearer neighbour's class must win. *)
+  let train = Mat.of_cols [| [| 0. |]; [| 3. |] |] in
+  let model = Knn.fit ~k:2 train [| 0; 1 |] in
+  Alcotest.(check (array int)) "tie -> nearest" [| 0 |]
+    (Knn.predict model (Mat.of_cols [| [| 1. |] |]))
+
+let test_clusters () =
+  let r = rng () in
+  let x, y = clusters r ~n:90 in
+  let xt, yt = clusters r ~n:90 in
+  let model = Knn.fit ~k:5 x y in
+  check_true "cluster accuracy" (Eval.accuracy (Knn.predict model xt) yt > 0.95)
+
+let test_votes_shape () =
+  let r = rng () in
+  let x, y = clusters r ~n:30 in
+  let v = Knn.votes (Knn.fit ~k:5 x y) x in
+  Alcotest.(check (pair int int)) "C × N" (3, 30) (Mat.dims v);
+  (* Each column's votes total k (up to the tiny tie-break bonus). *)
+  for j = 0 to 29 do
+    check_true "vote mass ~ k" (Float.abs (Vec.sum (Mat.col v j) -. 5.) < 0.01)
+  done
+
+let test_vote_summing () =
+  (* Summed votes from two models = ensemble majority voting. *)
+  let r = rng () in
+  let x, y = clusters r ~n:60 in
+  let v1 = Knn.votes (Knn.fit ~k:3 x y) x in
+  let v2 = Knn.votes (Knn.fit ~k:7 x y) x in
+  let combined = Knn.predict_votes (Mat.add v1 v2) in
+  check_true "ensemble sane" (Eval.accuracy combined y > 0.9)
+
+let test_votes_of_distances () =
+  (* Precomputed distances must reproduce feature-space kNN exactly. *)
+  let r = rng () in
+  let x, y = clusters r ~n:40 in
+  let q, _ = clusters r ~n:20 in
+  let model = Knn.fit ~k:4 x y in
+  let dist = Distance.cross Distance.Sq_l2 x q in
+  let votes = Knn.votes_of_distances ~k:4 ~n_classes:3 y dist in
+  Alcotest.(check (array int)) "same predictions" (Knn.predict model q)
+    (Knn.predict_votes votes)
+
+let test_k_clamped () =
+  let train = Mat.of_cols [| [| 0. |]; [| 1. |] |] in
+  let model = Knn.fit ~k:10 train [| 0; 1 |] in
+  (* Must not crash with k > n. *)
+  Alcotest.(check int) "prediction count" 1
+    (Array.length (Knn.predict model (Mat.of_cols [| [| 0.4 |] |])))
+
+let test_errors () =
+  Alcotest.check_raises "k < 1" (Invalid_argument "Knn.fit: k must be >= 1") (fun () ->
+      ignore (Knn.fit ~k:0 (Mat.create 2 2) [| 0; 1 |]))
+
+let () =
+  Alcotest.run "knn"
+    [ ( "prediction",
+        [ Alcotest.test_case "nearest" `Quick test_nearest_neighbour;
+          Alcotest.test_case "majority" `Quick test_majority_vote;
+          Alcotest.test_case "tie break" `Quick test_tie_breaks_to_nearest;
+          Alcotest.test_case "clusters" `Quick test_clusters;
+          Alcotest.test_case "k clamped" `Quick test_k_clamped ] );
+      ( "votes",
+        [ Alcotest.test_case "shape" `Quick test_votes_shape;
+          Alcotest.test_case "summing" `Quick test_vote_summing;
+          Alcotest.test_case "from distances" `Quick test_votes_of_distances ] );
+      ("errors", [ Alcotest.test_case "bad k" `Quick test_errors ]) ]

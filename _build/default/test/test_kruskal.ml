@@ -1,0 +1,81 @@
+open Test_support
+
+let rank2 r =
+  { Kruskal.weights = [| 2.; -1. |];
+    factors = [| random_mat r 3 2; random_mat r 4 2; random_mat r 2 2 |] }
+
+let test_to_tensor_rank1 () =
+  let x = [| 1.; 2. |] and y = [| 3.; 4.; 5. |] in
+  let k = { Kruskal.weights = [| 2. |]; factors = [| Mat.of_cols [| x |]; Mat.of_cols [| y |] |] } in
+  check_tensor ~eps:1e-12 "2·x∘y" (Tensor.scale 2. (Tensor.outer [| x; y |])) (Kruskal.to_tensor k)
+
+let test_to_tensor_additive () =
+  let r = rng () in
+  let k = rank2 r in
+  let t = Kruskal.to_tensor k in
+  let single i =
+    Kruskal.to_tensor
+      { Kruskal.weights = [| k.Kruskal.weights.(i) |];
+        factors = Array.map (fun u -> Mat.sub_cols u i 1) k.Kruskal.factors }
+  in
+  check_tensor ~eps:1e-10 "sum of rank-1 terms" (Tensor.add (single 0) (single 1)) t
+
+let test_normalize () =
+  let r = rng () in
+  let k = Kruskal.normalize (rank2 r) in
+  Array.iter
+    (fun u ->
+      for c = 0 to 1 do
+        check_float ~eps:1e-10 "unit column" 1. (Vec.norm (Mat.col u c))
+      done)
+    k.Kruskal.factors;
+  check_true "sorted by |weight|"
+    (Float.abs k.Kruskal.weights.(0) >= Float.abs k.Kruskal.weights.(1))
+
+let test_normalize_preserves_tensor () =
+  let r = rng () in
+  let k = rank2 r in
+  check_tensor ~eps:1e-9 "same tensor" (Kruskal.to_tensor k)
+    (Kruskal.to_tensor (Kruskal.normalize k))
+
+let test_fit_exact () =
+  let r = rng () in
+  let k = rank2 r in
+  let t = Kruskal.to_tensor k in
+  check_float ~eps:1e-7 "perfect fit" 1. (Kruskal.fit k t)
+
+let test_fit_formula_matches_direct () =
+  let r = rng () in
+  let k = rank2 r in
+  let x = random_tensor r [| 3; 4; 2 |] in
+  let direct =
+    1. -. (Tensor.frobenius (Tensor.sub x (Kruskal.to_tensor k)) /. Tensor.frobenius x)
+  in
+  check_float ~eps:1e-8 "fit without materialization" direct (Kruskal.fit k x)
+
+let test_component () =
+  let r = rng () in
+  let k = rank2 r in
+  let c1 = Kruskal.component k 1 in
+  check_vec "component vectors" (Mat.col k.Kruskal.factors.(0) 1) c1.(0)
+
+let test_validate_rejects () =
+  let bad =
+    { Kruskal.weights = [| 1.; 2. |]; factors = [| Mat.create 3 1 |] }
+  in
+  Alcotest.check_raises "rank mismatch" (Invalid_argument "Kruskal: factor rank mismatch")
+    (fun () -> Kruskal.validate bad)
+
+let () =
+  Alcotest.run "kruskal"
+    [ ( "materialization",
+        [ Alcotest.test_case "rank-1" `Quick test_to_tensor_rank1;
+          Alcotest.test_case "additive" `Quick test_to_tensor_additive;
+          Alcotest.test_case "component" `Quick test_component ] );
+      ( "normalize",
+        [ Alcotest.test_case "unit columns + sort" `Quick test_normalize;
+          Alcotest.test_case "tensor preserved" `Quick test_normalize_preserves_tensor ] );
+      ( "fit",
+        [ Alcotest.test_case "exact" `Quick test_fit_exact;
+          Alcotest.test_case "formula" `Quick test_fit_formula_matches_direct ] );
+      ("errors", [ Alcotest.test_case "validate" `Quick test_validate_rejects ]) ]

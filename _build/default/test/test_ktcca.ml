@@ -1,0 +1,90 @@
+open Test_support
+
+let three_view_grams r ~n =
+  let views = Array.init 3 (fun _ -> Mat.create 2 n) in
+  let labels = Array.init n (fun j -> j mod 2) in
+  for j = 0 to n - 1 do
+    let radius = if labels.(j) = 0 then 1. else 3. in
+    Array.iter
+      (fun v ->
+        let a = Rng.float r (2. *. Float.pi) in
+        Mat.set v 0 j ((radius *. cos a) +. (0.1 *. Rng.gaussian r));
+        Mat.set v 1 j ((radius *. sin a) +. (0.1 *. Rng.gaussian r)))
+      views
+  done;
+  let fits = Array.map (fun v -> Kernel.fit (Kernel.Exp_distance Distance.L2) v) views in
+  (Array.map Kernel.gram fits, fits, views, labels)
+
+let test_shapes () =
+  let r = rng () in
+  let kernels, _, _, _ = three_view_grams r ~n:40 in
+  let model = Ktcca.fit ~r:3 kernels in
+  Alcotest.(check int) "r" 3 (Ktcca.r model);
+  Alcotest.(check int) "views" 3 (Ktcca.n_views model);
+  Alcotest.(check (pair int int)) "3r × N" (9, 40) (Mat.dims (Ktcca.transform_train model));
+  Array.iter
+    (fun a -> Alcotest.(check (pair int int)) "dual shape" (40, 3) (Mat.dims a))
+    (Ktcca.dual_weights model)
+
+let test_two_views_matches_kcca () =
+  (* For m = 2 KTCCA's leading directions coincide with KCCA's (the tensor
+     problem degenerates to the same SVD, up to the 1/N weight scale). *)
+  let r = rng () in
+  let kernels, _, _, _ = three_view_grams r ~n:50 in
+  let pair = [| kernels.(0); kernels.(1) |] in
+  let ktcca = Ktcca.fit ~eps:1e-2 ~r:3 pair in
+  let kcca = Kcca.fit ~eps:1e-2 ~r:3 kernels.(0) kernels.(1) in
+  let zt = Ktcca.transform_train ktcca and zc = Kcca.transform_train kcca in
+  for i = 0 to 2 do
+    check_true
+      (Printf.sprintf "component %d matches" i)
+      (Float.abs (Stats.pearson (Mat.row zt i) (Mat.row zc i)) > 0.999)
+  done
+
+let test_nonlinear_separation () =
+  let r = rng () in
+  let kernels, _, _, labels = three_view_grams r ~n:100 in
+  let model = Ktcca.fit ~eps:1e-1 ~r:4 kernels in
+  let z = Ktcca.transform_train model in
+  let knn = Knn.fit ~k:3 z labels in
+  check_true "rings separated" (Eval.accuracy (Knn.predict knn z) labels > 0.85)
+
+let test_out_of_sample_matches_train () =
+  let r = rng () in
+  let _, fits, views, _ = three_view_grams r ~n:40 in
+  let kernels = Array.map Kernel.gram fits in
+  let model = Ktcca.fit ~eps:1e-2 ~r:2 kernels in
+  let crosses = Array.map2 Kernel.cross fits views in
+  check_mat ~eps:1e-8 "train = cross(train)" (Ktcca.transform_train model)
+    (Ktcca.transform model crosses)
+
+let test_prepare_consistency () =
+  let r = rng () in
+  let kernels, _, _, _ = three_view_grams r ~n:40 in
+  let direct = Ktcca.fit ~eps:1e-2 ~r:2 kernels in
+  let prepared = Ktcca.fit_prepared ~r:2 (Ktcca.prepare ~eps:1e-2 kernels) in
+  check_mat ~eps:1e-12 "same embedding" (Ktcca.transform_train direct)
+    (Ktcca.transform_train prepared)
+
+let test_max_instances_guard () =
+  let k = Mat.identity 1000 in
+  Alcotest.check_raises "guard"
+    (Invalid_argument "Ktcca.fit: N=1000 exceeds max_instances=600 (the tensor S is N^m dense)")
+    (fun () -> ignore (Ktcca.fit ~r:1 [| k; k; k |]))
+
+let test_errors () =
+  Alcotest.check_raises "one view" (Invalid_argument "Ktcca.fit: need at least two views")
+    (fun () -> ignore (Ktcca.fit ~r:1 [| Mat.identity 3 |]))
+
+let () =
+  Alcotest.run "ktcca"
+    [ ( "theory",
+        [ Alcotest.test_case "m=2 reduces to KCCA" `Quick test_two_views_matches_kcca ] );
+      ( "behaviour",
+        [ Alcotest.test_case "nonlinear separation" `Quick test_nonlinear_separation;
+          Alcotest.test_case "out of sample" `Quick test_out_of_sample_matches_train ] );
+      ( "interface",
+        [ Alcotest.test_case "shapes" `Quick test_shapes;
+          Alcotest.test_case "prepare" `Quick test_prepare_consistency;
+          Alcotest.test_case "guard" `Quick test_max_instances_guard;
+          Alcotest.test_case "errors" `Quick test_errors ] ) ]

@@ -1,0 +1,81 @@
+open Test_support
+
+let test_solve_known () =
+  (* 2x + y = 5, x + 3y = 10 -> x = 1, y = 3. *)
+  let a = Mat.of_arrays [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let x = Lu.solve_vec (Lu.decompose a) [| 5.; 10. |] in
+  check_vec ~eps:1e-12 "solution" [| 1.; 3. |] x
+
+let test_det_known () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  check_float ~eps:1e-12 "det" (-2.) (Lu.det (Lu.decompose a));
+  check_float ~eps:1e-12 "det identity" 1. (Lu.det (Lu.decompose (Mat.identity 5)))
+
+let test_det_permutation_sign () =
+  (* Swapping two rows of I flips the determinant sign. *)
+  let p = Mat.of_arrays [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  check_float ~eps:1e-12 "det swap" (-1.) (Lu.det (Lu.decompose p))
+
+let test_inverse_roundtrip () =
+  let r = rng () in
+  for _ = 1 to 10 do
+    let a = Mat.add_scaled_identity 0.5 (random_mat r 6 6) in
+    let inv = Lu.inverse (Lu.decompose a) in
+    check_mat ~eps:1e-8 "A·A⁻¹ = I" (Mat.identity 6) (Mat.mul a inv)
+  done
+
+let test_singular () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  Alcotest.check_raises "singular raises" Lu.Singular (fun () -> ignore (Lu.decompose a))
+
+let test_not_square () =
+  Alcotest.check_raises "not square" (Invalid_argument "Lu.decompose: not square")
+    (fun () -> ignore (Lu.decompose (Mat.create 2 3)))
+
+let test_solve_matrix () =
+  let r = rng () in
+  let a = Mat.add_scaled_identity 1. (random_mat r 5 5) in
+  let b = random_mat r 5 3 in
+  let x = Lu.solve_system a b in
+  check_mat ~eps:1e-8 "AX = B" b (Mat.mul a x)
+
+let test_pivoting_needed () =
+  (* Leading zero pivot forces a row exchange. *)
+  let a = Mat.of_arrays [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  let x = Lu.solve_vec (Lu.decompose a) [| 2.; 3. |] in
+  check_vec ~eps:1e-12 "pivoted solve" [| 3.; 2. |] x
+
+let prop_solve_residual =
+  qtest ~count:60 "‖Ax − b‖ small"
+    QCheck2.Gen.(
+      int_range 1 7 >>= fun n ->
+      pair
+        (array_size (return (n * n)) (float_range (-3.) 3.))
+        (array_size (return n) (float_range (-3.) 3.))
+      >|= fun (a, b) -> (Mat.add_scaled_identity 4. (Mat.unsafe_of_flat ~rows:n ~cols:n a), b))
+    (fun (a, b) ->
+      let x = Lu.solve_vec (Lu.decompose a) b in
+      Vec.norm (Vec.sub (Mat.mul_vec a x) b) < 1e-6 *. (1. +. Vec.norm b))
+
+let prop_det_transpose =
+  qtest ~count:60 "det(A) = det(Aᵀ)" gen_square_mat (fun a ->
+      match (Lu.decompose a, Lu.decompose (Mat.transpose a)) with
+      | fa, fat ->
+        let da = Lu.det fa and dat = Lu.det fat in
+        Float.abs (da -. dat) <= 1e-6 *. (1. +. Float.abs da)
+      | exception Lu.Singular -> true)
+
+let () =
+  Alcotest.run "lu"
+    [ ( "solve",
+        [ Alcotest.test_case "known system" `Quick test_solve_known;
+          Alcotest.test_case "matrix rhs" `Quick test_solve_matrix;
+          Alcotest.test_case "pivoting" `Quick test_pivoting_needed;
+          Alcotest.test_case "inverse roundtrip" `Quick test_inverse_roundtrip ] );
+      ( "determinant",
+        [ Alcotest.test_case "known" `Quick test_det_known;
+          Alcotest.test_case "permutation sign" `Quick test_det_permutation_sign ] );
+      ( "errors",
+        [ Alcotest.test_case "singular" `Quick test_singular;
+          Alcotest.test_case "not square" `Quick test_not_square ] );
+      ("properties", [ prop_solve_residual; prop_det_transpose ]) ]

@@ -1,0 +1,179 @@
+open Test_support
+
+let a22 = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |]
+let b22 = Mat.of_arrays [| [| 5.; 6. |]; [| 7.; 8. |] |]
+
+let test_construction () =
+  let m = Mat.init 2 3 (fun i j -> float_of_int ((i * 10) + j)) in
+  check_float "get" 12. (Mat.get m 1 2);
+  Alcotest.(check (pair int int)) "dims" (2, 3) (Mat.dims m);
+  check_mat "identity"
+    (Mat.of_arrays [| [| 1.; 0. |]; [| 0.; 1. |] |])
+    (Mat.identity 2);
+  check_mat "diag"
+    (Mat.of_arrays [| [| 2.; 0. |]; [| 0.; 3. |] |])
+    (Mat.diag_of_vec [| 2.; 3. |])
+
+let test_of_cols () =
+  let m = Mat.of_cols [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  check_mat "columns laid out" (Mat.of_arrays [| [| 1.; 3. |]; [| 2.; 4. |] |]) m
+
+let test_ragged () =
+  Alcotest.check_raises "ragged rejected" (Invalid_argument "Mat.of_arrays: ragged rows")
+    (fun () -> ignore (Mat.of_arrays [| [| 1. |]; [| 1.; 2. |] |]))
+
+let test_mul_known () =
+  check_mat "2x2 product"
+    (Mat.of_arrays [| [| 19.; 22. |]; [| 43.; 50. |] |])
+    (Mat.mul a22 b22)
+
+let test_mul_identity () =
+  let r = rng () in
+  let m = random_mat r 4 6 in
+  check_mat "I·m = m" m (Mat.mul (Mat.identity 4) m);
+  check_mat "m·I = m" m (Mat.mul m (Mat.identity 6))
+
+let test_mul_mismatch () =
+  Alcotest.check_raises "inner mismatch" (Invalid_argument "Mat.mul: inner dimension mismatch")
+    (fun () -> ignore (Mat.mul (Mat.create 2 3) (Mat.create 2 3)))
+
+let test_transpose () =
+  let r = rng () in
+  let m = random_mat r 3 5 in
+  check_mat "double transpose" m (Mat.transpose (Mat.transpose m));
+  check_float "entry" (Mat.get m 1 4) (Mat.get (Mat.transpose m) 4 1)
+
+let test_mul_vec () =
+  check_vec "A x" [| 5.; 11. |] (Mat.mul_vec a22 [| 1.; 2. |]);
+  check_vec "Aᵀ x" [| 7.; 10. |] (Mat.tmul_vec a22 [| 1.; 2. |])
+
+let test_gram_variants () =
+  let r = rng () in
+  let m = random_mat r 4 7 in
+  check_mat ~eps:1e-9 "gram = m mᵀ" (Mat.mul m (Mat.transpose m)) (Mat.gram m);
+  check_mat ~eps:1e-9 "tgram = mᵀ m" (Mat.mul (Mat.transpose m) m) (Mat.tgram m);
+  let b = random_mat r 4 3 in
+  check_mat ~eps:1e-9 "mul_tn" (Mat.mul (Mat.transpose m) b) (Mat.mul_tn m b);
+  let c = random_mat r 5 7 in
+  check_mat ~eps:1e-9 "mul_nt" (Mat.mul m (Mat.transpose c)) (Mat.mul_nt m c)
+
+let test_rows_cols () =
+  let m = Mat.of_arrays [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  check_vec "row" [| 4.; 5.; 6. |] (Mat.row m 1);
+  check_vec "col" [| 2.; 5. |] (Mat.col m 1);
+  let m2 = Mat.copy m in
+  Mat.set_row m2 0 [| 9.; 9.; 9. |];
+  check_vec "set_row" [| 9.; 9.; 9. |] (Mat.row m2 0);
+  Mat.set_col m2 2 [| 1.; 1. |];
+  check_vec "set_col" [| 1.; 1. |] (Mat.col m2 2)
+
+let test_slices () =
+  let m = Mat.init 3 4 (fun i j -> float_of_int ((i * 4) + j)) in
+  check_mat "sub_cols"
+    (Mat.of_arrays [| [| 1.; 2. |]; [| 5.; 6. |]; [| 9.; 10. |] |])
+    (Mat.sub_cols m 1 2);
+  check_mat "sub_rows"
+    (Mat.of_arrays [| [| 4.; 5.; 6.; 7. |] |])
+    (Mat.sub_rows m 1 1);
+  check_mat "select_cols"
+    (Mat.of_arrays [| [| 3.; 0. |]; [| 7.; 4. |]; [| 11.; 8. |] |])
+    (Mat.select_cols m [| 3; 0 |])
+
+let test_cat () =
+  check_mat "hcat"
+    (Mat.of_arrays [| [| 1.; 2.; 5.; 6. |]; [| 3.; 4.; 7.; 8. |] |])
+    (Mat.hcat a22 b22);
+  check_mat "vcat"
+    (Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |]; [| 5.; 6. |]; [| 7.; 8. |] |])
+    (Mat.vcat a22 b22)
+
+let test_reductions () =
+  check_float "trace" 5. (Mat.trace a22);
+  check_float "frobenius" (sqrt 30.) (Mat.frobenius a22);
+  check_float "max_abs" 4. (Mat.max_abs a22)
+
+let test_center_rows () =
+  let m = Mat.of_arrays [| [| 1.; 3. |]; [| 10.; 20. |] |] in
+  let centered, means = Mat.center_rows m in
+  check_vec "means" [| 2.; 15. |] means;
+  check_mat "centered" (Mat.of_arrays [| [| -1.; 1. |]; [| -5.; 5. |] |]) centered
+
+let test_add_scaled_identity () =
+  check_mat "a + 2I"
+    (Mat.of_arrays [| [| 3.; 2. |]; [| 3.; 6. |] |])
+    (Mat.add_scaled_identity 2. a22)
+
+let test_is_symmetric () =
+  check_true "gram symmetric" (Mat.is_symmetric (Mat.gram a22));
+  check_true "a22 not symmetric" (not (Mat.is_symmetric a22))
+
+let prop_mul_associative =
+  qtest ~count:50 "associativity (A·B)·C = A·(B·C)"
+    QCheck2.Gen.(
+      quad (int_range 1 5) (int_range 1 5) (int_range 1 5) (int_range 1 5)
+      >>= fun (a, b, c, d) ->
+      triple
+        (array_size (return (a * b)) (float_range (-3.) 3.))
+        (array_size (return (b * c)) (float_range (-3.) 3.))
+        (array_size (return (c * d)) (float_range (-3.) 3.))
+      >|= fun (x, y, z) ->
+      ( Mat.unsafe_of_flat ~rows:a ~cols:b x,
+        Mat.unsafe_of_flat ~rows:b ~cols:c y,
+        Mat.unsafe_of_flat ~rows:c ~cols:d z ))
+    (fun (x, y, z) ->
+      Mat.equal ~eps:1e-6 (Mat.mul (Mat.mul x y) z) (Mat.mul x (Mat.mul y z)))
+
+let prop_transpose_product =
+  qtest ~count:50 "(AB)ᵀ = BᵀAᵀ"
+    QCheck2.Gen.(
+      triple (int_range 1 6) (int_range 1 6) (int_range 1 6) >>= fun (a, b, c) ->
+      pair
+        (array_size (return (a * b)) (float_range (-3.) 3.))
+        (array_size (return (b * c)) (float_range (-3.) 3.))
+      >|= fun (x, y) ->
+      (Mat.unsafe_of_flat ~rows:a ~cols:b x, Mat.unsafe_of_flat ~rows:b ~cols:c y))
+    (fun (x, y) ->
+      Mat.equal ~eps:1e-7 (Mat.transpose (Mat.mul x y))
+        (Mat.mul (Mat.transpose y) (Mat.transpose x)))
+
+let prop_trace_cyclic =
+  qtest ~count:50 "tr(AB) = tr(BA)"
+    QCheck2.Gen.(
+      pair (int_range 1 6) (int_range 1 6) >>= fun (a, b) ->
+      pair
+        (array_size (return (a * b)) (float_range (-3.) 3.))
+        (array_size (return (b * a)) (float_range (-3.) 3.))
+      >|= fun (x, y) ->
+      (Mat.unsafe_of_flat ~rows:a ~cols:b x, Mat.unsafe_of_flat ~rows:b ~cols:a y))
+    (fun (x, y) ->
+      Float.abs (Mat.trace (Mat.mul x y) -. Mat.trace (Mat.mul y x)) < 1e-6)
+
+let prop_gram_psd_diag =
+  qtest "gram diagonal non-negative" gen_mat (fun m ->
+      Array.for_all (fun v -> v >= -1e-9) (Mat.diag (Mat.gram m)))
+
+let () =
+  Alcotest.run "mat"
+    [ ( "construction",
+        [ Alcotest.test_case "basic" `Quick test_construction;
+          Alcotest.test_case "of_cols" `Quick test_of_cols;
+          Alcotest.test_case "ragged" `Quick test_ragged ] );
+      ( "products",
+        [ Alcotest.test_case "known" `Quick test_mul_known;
+          Alcotest.test_case "identity" `Quick test_mul_identity;
+          Alcotest.test_case "mismatch" `Quick test_mul_mismatch;
+          Alcotest.test_case "transpose" `Quick test_transpose;
+          Alcotest.test_case "matvec" `Quick test_mul_vec;
+          Alcotest.test_case "gram variants" `Quick test_gram_variants ] );
+      ( "access",
+        [ Alcotest.test_case "rows/cols" `Quick test_rows_cols;
+          Alcotest.test_case "slices" `Quick test_slices;
+          Alcotest.test_case "cat" `Quick test_cat ] );
+      ( "reductions",
+        [ Alcotest.test_case "trace/frobenius" `Quick test_reductions;
+          Alcotest.test_case "center rows" `Quick test_center_rows;
+          Alcotest.test_case "ridge" `Quick test_add_scaled_identity;
+          Alcotest.test_case "symmetry" `Quick test_is_symmetric ] );
+      ( "properties",
+        [ prop_mul_associative; prop_transpose_product; prop_trace_cyclic;
+          prop_gram_psd_diag ] ) ]

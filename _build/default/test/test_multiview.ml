@@ -1,0 +1,45 @@
+open Test_support
+
+let sample () =
+  let r = rng () in
+  Multiview.create [| random_mat r 3 5; random_mat r 2 5 |] [| 0; 1; 0; 1; 1 |]
+
+let test_accessors () =
+  let t = sample () in
+  Alcotest.(check int) "instances" 5 (Multiview.n_instances t);
+  Alcotest.(check int) "views" 2 (Multiview.n_views t);
+  Alcotest.(check (array int)) "dims" [| 3; 2 |] (Multiview.dims t);
+  Alcotest.(check int) "classes" 2 (Multiview.n_classes t);
+  Alcotest.(check (array int)) "per class" [| 2; 3 |] (Multiview.instances_per_class t)
+
+let test_select () =
+  let t = sample () in
+  let s = Multiview.select t [| 4; 0 |] in
+  Alcotest.(check int) "subset size" 2 (Multiview.n_instances s);
+  Alcotest.(check (array int)) "labels follow" [| 1; 0 |] s.Multiview.labels;
+  check_vec "columns follow" (Mat.col t.Multiview.views.(0) 4) (Mat.col s.Multiview.views.(0) 0)
+
+let test_concat () =
+  let t = sample () in
+  let c = Multiview.concat_features t in
+  Alcotest.(check (pair int int)) "stacked" (5, 5) (Mat.dims c);
+  check_vec "first view on top" (Mat.col t.Multiview.views.(0) 2) (Array.sub (Mat.col c 2) 0 3)
+
+let test_validation () =
+  let r = rng () in
+  Alcotest.check_raises "instance mismatch"
+    (Invalid_argument "Multiview.create: instance count mismatch") (fun () ->
+      ignore (Multiview.create [| random_mat r 3 5; random_mat r 2 4 |] (Array.make 5 0)));
+  Alcotest.check_raises "label mismatch"
+    (Invalid_argument "Multiview.create: label count mismatch") (fun () ->
+      ignore (Multiview.create [| random_mat r 3 5 |] (Array.make 4 0)));
+  Alcotest.check_raises "no views" (Invalid_argument "Multiview.create: no views") (fun () ->
+      ignore (Multiview.create [||] [||]))
+
+let () =
+  Alcotest.run "multiview"
+    [ ( "container",
+        [ Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "select" `Quick test_select;
+          Alcotest.test_case "concat" `Quick test_concat;
+          Alcotest.test_case "validation" `Quick test_validation ] ) ]

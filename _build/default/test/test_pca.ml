@@ -1,0 +1,85 @@
+open Test_support
+
+(* Data stretched along the (1,1,0) direction. *)
+let stretched r ~n =
+  let x = Mat.create 3 n in
+  for j = 0 to n - 1 do
+    let t = 5. *. Rng.gaussian r in
+    Mat.set x 0 j (t +. (0.1 *. Rng.gaussian r));
+    Mat.set x 1 j (t +. (0.1 *. Rng.gaussian r));
+    Mat.set x 2 j (0.1 *. Rng.gaussian r)
+  done;
+  x
+
+let test_principal_direction () =
+  let r = rng () in
+  let x = stretched r ~n:3000 in
+  let pca = Pca.fit ~r:1 x in
+  let c = Mat.col (Pca.components pca) 0 in
+  (* Dominant direction ≈ (1,1,0)/√2. *)
+  check_float ~eps:0.1 "c0 ≈ c1" (Float.abs c.(0)) (Float.abs c.(1));
+  check_true "c2 small" (Float.abs c.(2) < 0.1)
+
+let test_orthonormal_components () =
+  let r = rng () in
+  let x = random_mat r 5 80 in
+  let pca = Pca.fit ~r:4 x in
+  check_mat ~eps:1e-8 "orthonormal" (Mat.identity 4) (Mat.tgram (Pca.components pca))
+
+let test_variance_sorted () =
+  let r = rng () in
+  let x = random_mat r 6 100 in
+  let v = Pca.explained_variance (Pca.fit ~r:6 x) in
+  for i = 1 to 5 do
+    check_true "descending" (v.(i) <= v.(i - 1) +. 1e-10)
+  done
+
+let test_transform_centers () =
+  let r = rng () in
+  let x = Mat.map (fun v -> v +. 10.) (random_mat r 4 60) in
+  let pca = Pca.fit ~r:2 x in
+  let z = Pca.transform pca x in
+  Array.iter (fun m -> check_float ~eps:1e-8 "centered scores" 0. m) (Mat.row_means z)
+
+let test_transform_variance_matches () =
+  let r = rng () in
+  let x = random_mat r 4 500 in
+  let pca = Pca.fit ~r:2 x in
+  let z = Pca.transform pca x in
+  let v = Pca.explained_variance pca in
+  for k = 0 to 1 do
+    let row = Mat.row z k in
+    let var = Vec.dot row row /. 500. in
+    check_float ~eps:0.02 "score variance = eigenvalue" v.(k) var
+  done
+
+let test_r_clamped () =
+  let r = rng () in
+  let pca = Pca.fit ~r:10 (random_mat r 3 20) in
+  Alcotest.(check (pair int int)) "at most d" (3, 3) (Mat.dims (Pca.components pca))
+
+let test_reconstruction_quality () =
+  (* Rank-3 data: 3 components reconstruct almost exactly. *)
+  let r = rng () in
+  let basis = random_mat r 6 3 in
+  let coeffs = random_mat r 3 50 in
+  let x = Mat.mul basis coeffs in
+  let pca = Pca.fit ~r:3 x in
+  let z = Pca.transform pca x in
+  (* x̂ = V z + mean. *)
+  let vz = Mat.mul (Pca.components pca) z in
+  let reconstructed = Mat.sub_col_vec vz (Vec.scale (-1.) (Pca.mean pca)) in
+  check_true "low rank recovered"
+    (Mat.frobenius (Mat.sub x reconstructed) < 1e-6 *. (1. +. Mat.frobenius x))
+
+let () =
+  Alcotest.run "pca"
+    [ ( "fitting",
+        [ Alcotest.test_case "principal direction" `Quick test_principal_direction;
+          Alcotest.test_case "orthonormal" `Quick test_orthonormal_components;
+          Alcotest.test_case "variance sorted" `Quick test_variance_sorted;
+          Alcotest.test_case "r clamped" `Quick test_r_clamped ] );
+      ( "transform",
+        [ Alcotest.test_case "centers" `Quick test_transform_centers;
+          Alcotest.test_case "variance" `Quick test_transform_variance_matches;
+          Alcotest.test_case "reconstruction" `Quick test_reconstruction_quality ] ) ]

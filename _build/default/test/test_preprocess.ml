@@ -1,0 +1,61 @@
+open Test_support
+
+let test_center_views () =
+  let r = rng () in
+  let views = [| random_mat r 4 20; random_mat r 3 20 |] in
+  let centered, _ = Preprocess.center_views views in
+  Array.iter
+    (fun v ->
+      Array.iter (fun m -> check_float ~eps:1e-10 "zero row mean" 0. m) (Mat.row_means v))
+    centered
+
+let test_center_frozen () =
+  (* Means frozen on one set are applied verbatim to another. *)
+  let r = rng () in
+  let train = [| random_mat r 3 10 |] in
+  let test = [| random_mat r 3 6 |] in
+  let centering = Preprocess.fit_center train in
+  let test_centered = Preprocess.apply_center centering test in
+  let means = Preprocess.means centering in
+  check_mat ~eps:1e-12 "subtraction" (Mat.sub_col_vec test.(0) means.(0)) test_centered.(0)
+
+let test_normalize_view_scale () =
+  let r = rng () in
+  let v = random_mat r 5 12 in
+  let nv = Preprocess.normalize_view_scale v in
+  let _, n = Mat.dims nv in
+  let total = ref 0. in
+  for j = 0 to n - 1 do
+    total := !total +. Vec.norm (Mat.col nv j)
+  done;
+  check_float ~eps:1e-9 "mean column norm 1" 1. (!total /. float_of_int n)
+
+let test_normalize_zero_view () =
+  let z = Mat.create 3 4 in
+  check_mat "zero view unchanged" z (Preprocess.normalize_view_scale z)
+
+let test_unit_columns () =
+  let r = rng () in
+  let v = random_mat r 4 8 in
+  let u = Preprocess.unit_columns v in
+  for j = 0 to 7 do
+    check_float ~eps:1e-10 "unit column" 1. (Vec.norm (Mat.col u j))
+  done
+
+let test_append_bias () =
+  let r = rng () in
+  let v = random_mat r 3 5 in
+  let b = Preprocess.append_bias v in
+  Alcotest.(check (pair int int)) "one extra row" (4, 5) (Mat.dims b);
+  check_vec "bias row ones" [| 1.; 1.; 1.; 1.; 1. |] (Mat.row b 3)
+
+let () =
+  Alcotest.run "preprocess"
+    [ ( "centering",
+        [ Alcotest.test_case "center views" `Quick test_center_views;
+          Alcotest.test_case "frozen means" `Quick test_center_frozen ] );
+      ( "scaling",
+        [ Alcotest.test_case "view scale" `Quick test_normalize_view_scale;
+          Alcotest.test_case "zero view" `Quick test_normalize_zero_view;
+          Alcotest.test_case "unit columns" `Quick test_unit_columns;
+          Alcotest.test_case "bias" `Quick test_append_bias ] ) ]

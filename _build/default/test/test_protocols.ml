@@ -1,0 +1,160 @@
+(* Protocol-level tests on miniature worlds: results must be deterministic
+   per seed, vary across seeds, and every method must run end to end. *)
+
+open Test_support
+
+let tiny_world () =
+  Synth.make_world ~seed:21
+    { Synth.default with
+      Synth.dims = [| 16; 16; 16 |];
+      shared_topics = 4;
+      topics_per_class = 2;
+      features_per_topic = 3;
+      pair_confounders = 2;
+      clutter_topics = 1;
+      clutter_strength = 1.0 }
+
+let linear_config () =
+  { (Linear_protocol.default_config (tiny_world ())) with
+    Linear_protocol.n_pool = 300;
+    n_labeled = 40;
+    transductive_cap = 300 }
+
+let test_linear_all_methods_run () =
+  let config = linear_config () in
+  let st = Linear_protocol.prepare config ~seed:0 in
+  List.iter
+    (fun meth ->
+      let res = Linear_protocol.run_prepared st meth ~r:6 in
+      let name = Spec.linear_name meth in
+      check_true (name ^ " val in [0,1]")
+        (res.Linear_protocol.val_acc >= 0. && res.Linear_protocol.val_acc <= 1.);
+      check_true (name ^ " test in [0,1]")
+        (res.Linear_protocol.test_acc >= 0. && res.Linear_protocol.test_acc <= 1.))
+    Spec.all_linear
+
+let test_linear_deterministic () =
+  let config = linear_config () in
+  let a = Linear_protocol.run config Spec.Tcca ~r:6 ~seed:3 in
+  let b = Linear_protocol.run config Spec.Tcca ~r:6 ~seed:3 in
+  check_float "same seed, same result" a.Linear_protocol.test_acc b.Linear_protocol.test_acc
+
+let test_linear_seed_variation () =
+  let config = linear_config () in
+  let accs =
+    List.init 4 (fun seed -> (Linear_protocol.run config Spec.Cat ~r:6 ~seed).Linear_protocol.test_acc)
+  in
+  check_true "seeds differ" (List.length (List.sort_uniq compare accs) > 1)
+
+let test_linear_beats_chance () =
+  let config = linear_config () in
+  let accs =
+    Array.init 2 (fun seed ->
+        let st = Linear_protocol.prepare config ~seed in
+        (Linear_protocol.run_prepared st Spec.Tcca ~r:9).Linear_protocol.test_acc)
+  in
+  check_true
+    (Printf.sprintf "TCCA beats chance (%.3f)" (Stats.mean accs))
+    (Stats.mean accs > 0.55)
+
+let test_knn_protocol_runs () =
+  let world = tiny_world () in
+  let config =
+    { (Knn_protocol.default_config ~per_class:5 world) with
+      Knn_protocol.n_train = 200;
+      n_test = 200;
+      transductive_cap = 300 }
+  in
+  let st = Knn_protocol.prepare config ~seed:0 in
+  List.iter
+    (fun meth ->
+      let res = Knn_protocol.run_prepared st meth ~r:6 in
+      check_true
+        (Spec.linear_name meth ^ " k in candidates")
+        (List.mem res.Knn_protocol.chosen_k Knn.default_k_candidates))
+    Spec.all_linear
+
+let test_kernel_protocol_runs () =
+  let world = tiny_world () in
+  let config = Kernel_protocol.default_config ~per_class:5 ~n_subset:60 world in
+  let st = Kernel_protocol.prepare config ~seed:0 in
+  List.iter
+    (fun meth ->
+      let res = Kernel_protocol.run_prepared st meth ~r:6 in
+      check_true
+        (Spec.kernel_name meth ^ " in [0,1]")
+        (res.Kernel_protocol.test_acc >= 0. && res.Kernel_protocol.test_acc <= 1.))
+    Spec.all_kernel
+
+let test_sweep_structure () =
+  let config = linear_config () in
+  let curves =
+    Sweep.sweep_prepared
+      ~prepare:(fun ~seed -> Linear_protocol.prepare config ~seed)
+      ~run:(fun st meth ~r ->
+        let res = Linear_protocol.run_prepared st meth ~r in
+        (res.Linear_protocol.val_acc, res.Linear_protocol.test_acc))
+      ~label:Spec.linear_name
+      ~methods:[ Spec.Cat; Spec.Tcca ]
+      ~rs:[| 3; 6 |] ~seeds:2
+  in
+  Alcotest.(check int) "two curves" 2 (List.length curves);
+  List.iter
+    (fun c ->
+      Alcotest.(check int) "two points" 2 (Array.length c.Sweep.points);
+      Array.iter
+        (fun p -> check_true "std >= 0" (p.Sweep.test_std >= 0.))
+        c.Sweep.points)
+    curves;
+  (* Figure and table render without raising. *)
+  check_true "figure renders" (String.length (Sweep.figure ~title:"t" curves) > 0);
+  check_true "table renders" (String.length (Sweep.table ~title:"t" curves) > 0)
+
+let test_four_view_protocol () =
+  (* Nothing in the pipeline is specialized to three views: a 4-view world
+     must run end to end (4-way covariance tensor, 6 CCA pairs, …). *)
+  let world =
+    Synth.make_world ~seed:31
+      { Synth.default with
+        Synth.dims = [| 10; 10; 10; 10 |];
+        shared_topics = 4;
+        topics_per_class = 2;
+        features_per_topic = 3;
+        pair_confounders = 1;
+        clutter_topics = 1;
+        clutter_strength = 1.0 }
+  in
+  let config =
+    { (Linear_protocol.default_config world) with
+      Linear_protocol.n_pool = 250;
+      n_labeled = 40;
+      transductive_cap = 250 }
+  in
+  let st = Linear_protocol.prepare config ~seed:0 in
+  List.iter
+    (fun meth ->
+      let res = Linear_protocol.run_prepared st meth ~r:8 in
+      check_true
+        (Spec.linear_name meth ^ " (4 views) in [0,1]")
+        (res.Linear_protocol.test_acc >= 0. && res.Linear_protocol.test_acc <= 1.))
+    Spec.all_linear
+
+let test_spec_pairs () =
+  Alcotest.(check (list (pair int int))) "3 views" [ (0, 1); (0, 2); (1, 2) ] (Spec.view_pairs 3);
+  Alcotest.(check (list (pair int int))) "2 views" [ (0, 1) ] (Spec.view_pairs 2)
+
+let () =
+  Alcotest.run "protocols"
+    [ ( "linear",
+        [ Alcotest.test_case "all methods" `Slow test_linear_all_methods_run;
+          Alcotest.test_case "deterministic" `Quick test_linear_deterministic;
+          Alcotest.test_case "seed variation" `Quick test_linear_seed_variation;
+          Alcotest.test_case "beats chance" `Quick test_linear_beats_chance ] );
+      ( "knn + kernel",
+        [ Alcotest.test_case "knn protocol" `Slow test_knn_protocol_runs;
+          Alcotest.test_case "kernel protocol" `Slow test_kernel_protocol_runs ] );
+      ( "sweep",
+        [ Alcotest.test_case "structure" `Quick test_sweep_structure;
+          Alcotest.test_case "pairs" `Quick test_spec_pairs ] );
+      ( "generality",
+        [ Alcotest.test_case "four views" `Slow test_four_view_protocol ] ) ]

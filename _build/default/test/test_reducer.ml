@@ -1,0 +1,82 @@
+open Test_support
+
+let sample_views () =
+  let w = Synth.make_world ~seed:3 Synth.default in
+  let data = Synth.sample w (rng ()) ~n:300 in
+  data.Multiview.views
+
+let fit_and_project reducer ~r views =
+  match reducer with
+  | Reducer.Projective { fit; _ } -> (fit r views).Reducer.project views
+  | Reducer.Transductive { fit_transform; _ } -> fit_transform r views
+
+let test_names () =
+  Alcotest.(check string) "tcca" "tcca" (Reducer.name (Reducer.tcca ()));
+  Alcotest.(check string) "cca pair" "cca(0,2)" (Reducer.name (Reducer.cca_pair (0, 2)));
+  Alcotest.(check string) "dse" "dse" (Reducer.name (Reducer.dse ()));
+  Alcotest.(check string) "cat" "cat" (Reducer.name Reducer.concat_views)
+
+let test_projective_shapes () =
+  let views = sample_views () in
+  let cases =
+    [ (Reducer.tcca (), 12, 12);        (* 3 views × 4 *)
+      (Reducer.cca_ls (), 12, 12);
+      (Reducer.cca_maxvar (), 12, 12);
+      (Reducer.cca_pair (0, 1), 12, 12) (* 2 × 6 *) ]
+  in
+  List.iter
+    (fun (reducer, r, expected_rows) ->
+      let z = fit_and_project reducer ~r views in
+      Alcotest.(check int)
+        (Printf.sprintf "%s rows" (Reducer.name reducer))
+        expected_rows (fst (Mat.dims z));
+      Alcotest.(check int) "cols" 300 (snd (Mat.dims z)))
+    cases
+
+let test_transductive_shapes () =
+  let views = sample_views () in
+  List.iter
+    (fun reducer ->
+      let z = fit_and_project reducer ~r:6 views in
+      Alcotest.(check (pair int int))
+        (Reducer.name reducer)
+        (6, 300) (Mat.dims z))
+    [ Reducer.dse (); Reducer.ssmvd () ]
+
+let test_single_view () =
+  let views = sample_views () in
+  let z = fit_and_project (Reducer.single_view 1) ~r:99 views in
+  check_mat "identity on view 1" views.(1) z
+
+let test_concat () =
+  let views = sample_views () in
+  let z = fit_and_project Reducer.concat_views ~r:1 views in
+  Alcotest.(check int) "all features stacked" 120 (fst (Mat.dims z))
+
+let test_pca_per_view () =
+  let views = sample_views () in
+  let z = fit_and_project Reducer.pca_per_view ~r:9 views in
+  Alcotest.(check (pair int int)) "3 × 3" (9, 300) (Mat.dims z)
+
+let test_projector_generalizes () =
+  (* A projector fitted on one set embeds a different set consistently. *)
+  let w = Synth.make_world ~seed:3 Synth.default in
+  let fit_data = Synth.sample w (rng ()) ~n:300 in
+  let new_data = Synth.sample w (Rng.create 99) ~n:40 in
+  match Reducer.tcca () with
+  | Reducer.Projective { fit; _ } ->
+    let projector = fit 6 fit_data.Multiview.views in
+    let z = projector.Reducer.project new_data.Multiview.views in
+    Alcotest.(check (pair int int)) "new data embedded" (6, 40) (Mat.dims z)
+  | Reducer.Transductive _ -> Alcotest.fail "tcca should be projective"
+
+let () =
+  Alcotest.run "reducer"
+    [ ( "interface",
+        [ Alcotest.test_case "names" `Quick test_names;
+          Alcotest.test_case "projective shapes" `Quick test_projective_shapes;
+          Alcotest.test_case "transductive shapes" `Quick test_transductive_shapes;
+          Alcotest.test_case "single view" `Quick test_single_view;
+          Alcotest.test_case "concat" `Quick test_concat;
+          Alcotest.test_case "pca per view" `Quick test_pca_per_view;
+          Alcotest.test_case "generalization" `Quick test_projector_generalizes ] ) ]

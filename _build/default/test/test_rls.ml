@@ -1,0 +1,90 @@
+open Test_support
+
+(* Linearly separable blobs along the first coordinate. *)
+let blobs r ~n =
+  let x =
+    Mat.init 3 n (fun i j ->
+        let label = if j mod 2 = 0 then 1. else -1. in
+        if i = 0 then (2. *. label) +. (0.3 *. Rng.gaussian r) else Rng.gaussian r)
+  in
+  let y = Array.init n (fun j -> j mod 2) in
+  (x, y)
+
+let test_separable () =
+  let r = rng () in
+  let x, y = blobs r ~n:100 in
+  let model = Rls.fit x y in
+  Alcotest.(check int) "classes" 2 (Rls.n_classes model);
+  check_float "train accuracy" 1. (Eval.accuracy (Rls.predict model x) y)
+
+let test_generalizes () =
+  let r = rng () in
+  let x, y = blobs r ~n:200 in
+  let xt, yt = blobs r ~n:200 in
+  let model = Rls.fit x y in
+  check_true "test accuracy > 0.95" (Eval.accuracy (Rls.predict model xt) yt > 0.95)
+
+let test_bias_handles_offset () =
+  (* Classes split at x = 10, far from the origin: only works with a bias. *)
+  let r = rng () in
+  let n = 120 in
+  let y = Array.init n (fun j -> j mod 2) in
+  let x =
+    Mat.init 1 n (fun _ j -> 10. +. (if y.(j) = 0 then -0.5 else 0.5) +. (0.1 *. Rng.gaussian r))
+  in
+  let model = Rls.fit x y in
+  check_true "offset separated" (Eval.accuracy (Rls.predict model x) y > 0.95)
+
+let test_multiclass () =
+  let r = rng () in
+  let n = 150 in
+  let y = Array.init n (fun j -> j mod 3) in
+  let x =
+    Mat.init 3 n (fun i j -> (if i = y.(j) then 3. else 0.) +. (0.4 *. Rng.gaussian r))
+  in
+  let model = Rls.fit x y in
+  Alcotest.(check int) "3 classes" 3 (Rls.n_classes model);
+  check_true "multiclass accuracy" (Eval.accuracy (Rls.predict model x) y > 0.95)
+
+let test_scores_shape () =
+  let r = rng () in
+  let x, y = blobs r ~n:40 in
+  let model = Rls.fit x y in
+  Alcotest.(check (pair int int)) "C × N" (2, 40) (Mat.dims (Rls.scores model x))
+
+let test_score_averaging () =
+  (* predict_scores over a summed score matrix = the AVG combination rule. *)
+  let r = rng () in
+  let x, y = blobs r ~n:60 in
+  let m1 = Rls.fit x y and m2 = Rls.fit x y in
+  let s = Mat.add (Rls.scores m1 x) (Rls.scores m2 x) in
+  Alcotest.(check (array int)) "same as single model" (Rls.predict m1 x) (Rls.predict_scores s)
+
+let test_strong_regularization_shrinks () =
+  (* Huge gamma shrinks the decision values towards zero (argmax itself is
+     scale invariant, so accuracy need not collapse). *)
+  let r = rng () in
+  let n = 90 in
+  let y = Array.init n (fun j -> if j mod 3 = 0 then 1 else 0) in
+  let x = Mat.init 2 n (fun _ j -> float_of_int y.(j) +. (0.1 *. Rng.gaussian r)) in
+  let weak = Rls.fit ~gamma:1e-3 x y in
+  let strong = Rls.fit ~gamma:1e6 x y in
+  let magnitude m = Mat.max_abs (Rls.scores m x) in
+  check_true "scores shrink" (magnitude strong < 1e-3 *. magnitude weak)
+
+let test_errors () =
+  Alcotest.check_raises "label mismatch" (Invalid_argument "Rls.fit: label count mismatch")
+    (fun () -> ignore (Rls.fit (Mat.create 2 3) [| 0 |]))
+
+let () =
+  Alcotest.run "rls"
+    [ ( "fitting",
+        [ Alcotest.test_case "separable" `Quick test_separable;
+          Alcotest.test_case "generalizes" `Quick test_generalizes;
+          Alcotest.test_case "bias" `Quick test_bias_handles_offset;
+          Alcotest.test_case "multiclass" `Quick test_multiclass ] );
+      ( "scores",
+        [ Alcotest.test_case "shape" `Quick test_scores_shape;
+          Alcotest.test_case "averaging" `Quick test_score_averaging;
+          Alcotest.test_case "regularization" `Quick test_strong_regularization_shrinks ] );
+      ("errors", [ Alcotest.test_case "mismatch" `Quick test_errors ]) ]

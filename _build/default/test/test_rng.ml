@@ -1,0 +1,169 @@
+open Test_support
+
+let test_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let different = ref false in
+  for _ = 1 to 10 do
+    if Rng.int64 a <> Rng.int64 b then different := true
+  done;
+  check_true "different seeds give different streams" !different
+
+let test_zero_seed () =
+  (* splitmix seeding must not map seed 0 to a degenerate all-zero state. *)
+  let r = Rng.create 0 in
+  let all_zero = ref true in
+  for _ = 1 to 8 do
+    if Rng.int64 r <> 0L then all_zero := false
+  done;
+  check_true "seed 0 is not degenerate" (not !all_zero)
+
+let test_int_bounds () =
+  let r = rng () in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 7 in
+    check_true "0 <= v < 7" (v >= 0 && v < 7)
+  done
+
+let test_int_uniformity () =
+  let r = rng () in
+  let counts = Array.make 5 0 in
+  let draws = 50_000 in
+  for _ = 1 to draws do
+    let v = Rng.int r 5 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = float_of_int draws /. 5. in
+      check_true
+        (Printf.sprintf "bucket %d within 5%% of uniform (%d)" i c)
+        (Float.abs (float_of_int c -. expected) < 0.05 *. expected))
+    counts
+
+let test_int_invalid () =
+  let r = rng () in
+  Alcotest.check_raises "bound 0 rejected" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_uniform_range () =
+  let r = rng () in
+  for _ = 1 to 10_000 do
+    let v = Rng.uniform r in
+    check_true "uniform in [0,1)" (v >= 0. && v < 1.)
+  done
+
+let test_uniform_mean () =
+  let r = rng () in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.uniform r
+  done;
+  check_float ~eps:0.01 "mean ~ 0.5" 0.5 (!sum /. float_of_int n)
+
+let test_gaussian_moments () =
+  let r = rng () in
+  let n = 100_000 in
+  let samples = Array.init n (fun _ -> Rng.gaussian r) in
+  let mean, std = Stats.mean_std samples in
+  check_float ~eps:0.02 "gaussian mean ~ 0" 0. mean;
+  check_float ~eps:0.02 "gaussian std ~ 1" 1. std
+
+let test_gaussian_params () =
+  let r = rng () in
+  let n = 50_000 in
+  let samples = Array.init n (fun _ -> Rng.gaussian ~mu:3. ~sigma:2. r) in
+  let mean, std = Stats.mean_std samples in
+  check_float ~eps:0.05 "mu" 3. mean;
+  check_float ~eps:0.05 "sigma" 2. std
+
+let test_bernoulli () =
+  let r = rng () in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli r 0.3 then incr hits
+  done;
+  check_float ~eps:0.01 "p=0.3" 0.3 (float_of_int !hits /. float_of_int n)
+
+let test_permutation_is_permutation () =
+  let r = rng () in
+  for n = 1 to 30 do
+    let p = Rng.permutation r n in
+    let seen = Array.make n false in
+    Array.iter (fun i -> seen.(i) <- true) p;
+    check_true "all indices present" (Array.for_all (fun b -> b) seen)
+  done
+
+let test_choose () =
+  let r = rng () in
+  let chosen = Rng.choose r 5 20 in
+  Alcotest.(check int) "count" 5 (Array.length chosen);
+  let sorted = Array.copy chosen in
+  Array.sort compare sorted;
+  for i = 1 to 4 do
+    check_true "distinct" (sorted.(i) <> sorted.(i - 1))
+  done;
+  Array.iter (fun i -> check_true "in range" (i >= 0 && i < 20)) chosen
+
+let test_choose_invalid () =
+  let r = rng () in
+  Alcotest.check_raises "k > n rejected" (Invalid_argument "Rng.choose: k > n") (fun () ->
+      ignore (Rng.choose r 5 3))
+
+let test_split_independence () =
+  let parent = Rng.create 9 in
+  let child = Rng.split parent in
+  (* Child and parent streams should differ. *)
+  let differ = ref false in
+  for _ = 1 to 10 do
+    if Rng.int64 parent <> Rng.int64 child then differ := true
+  done;
+  check_true "split streams differ" !differ
+
+let test_copy_preserves_stream () =
+  let a = rng () in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "copies agree" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_sign () =
+  let r = rng () in
+  let pos = ref 0 and n = 20_000 in
+  for _ = 1 to n do
+    let s = Rng.sign r in
+    check_true "sign is ±1" (s = 1. || s = -1.);
+    if s > 0. then incr pos
+  done;
+  check_float ~eps:0.02 "balanced" 0.5 (float_of_int !pos /. float_of_int n)
+
+let () =
+  Alcotest.run "rng"
+    [ ( "stream",
+        [ Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "zero seed" `Quick test_zero_seed;
+          Alcotest.test_case "split independence" `Quick test_split_independence;
+          Alcotest.test_case "copy" `Quick test_copy_preserves_stream ] );
+      ( "distributions",
+        [ Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int uniformity" `Quick test_int_uniformity;
+          Alcotest.test_case "int invalid" `Quick test_int_invalid;
+          Alcotest.test_case "uniform range" `Quick test_uniform_range;
+          Alcotest.test_case "uniform mean" `Quick test_uniform_mean;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          Alcotest.test_case "gaussian params" `Quick test_gaussian_params;
+          Alcotest.test_case "bernoulli" `Quick test_bernoulli;
+          Alcotest.test_case "sign" `Quick test_sign ] );
+      ( "combinatorics",
+        [ Alcotest.test_case "permutation" `Quick test_permutation_is_permutation;
+          Alcotest.test_case "choose" `Quick test_choose;
+          Alcotest.test_case "choose invalid" `Quick test_choose_invalid ] ) ]

@@ -1,0 +1,81 @@
+open Test_support
+
+let no_overlap a b =
+  let seen = Hashtbl.create 16 in
+  Array.iter (fun i -> Hashtbl.replace seen i ()) a;
+  Array.for_all (fun i -> not (Hashtbl.mem seen i)) b
+
+let covers_all n a b =
+  let seen = Array.make n false in
+  Array.iter (fun i -> seen.(i) <- true) a;
+  Array.iter (fun i -> seen.(i) <- true) b;
+  Array.for_all (fun x -> x) seen
+
+let test_partition () =
+  let r = rng () in
+  let a, b = Split.partition r 100 0.3 in
+  Alcotest.(check int) "30%" 30 (Array.length a);
+  Alcotest.(check int) "rest" 70 (Array.length b);
+  check_true "disjoint" (no_overlap a b);
+  check_true "complete" (covers_all 100 a b)
+
+let test_partition_extremes () =
+  let r = rng () in
+  let a, b = Split.partition r 10 0. in
+  Alcotest.(check int) "empty first" 0 (Array.length a);
+  Alcotest.(check int) "all second" 10 (Array.length b);
+  let a, b = Split.partition r 10 1. in
+  Alcotest.(check int) "all first" 10 (Array.length a);
+  Alcotest.(check int) "empty second" 0 (Array.length b)
+
+let test_labeled_unlabeled () =
+  let r = rng () in
+  let labeled, rest = Split.labeled_unlabeled r ~n:50 ~labeled:10 in
+  Alcotest.(check int) "labeled" 10 (Array.length labeled);
+  Alcotest.(check int) "rest" 40 (Array.length rest);
+  check_true "disjoint" (no_overlap labeled rest);
+  check_true "complete" (covers_all 50 labeled rest)
+
+let test_labeled_per_class () =
+  let r = rng () in
+  let labels = Array.init 60 (fun i -> i mod 3) in
+  let chosen, rest = Split.labeled_per_class r labels ~per_class:4 in
+  Alcotest.(check int) "4 per class × 3" 12 (Array.length chosen);
+  let counts = Array.make 3 0 in
+  Array.iter (fun i -> counts.(labels.(i)) <- counts.(labels.(i)) + 1) chosen;
+  Alcotest.(check (array int)) "exactly 4 each" [| 4; 4; 4 |] counts;
+  check_true "disjoint" (no_overlap chosen rest);
+  check_true "complete" (covers_all 60 chosen rest)
+
+let test_labeled_per_class_insufficient () =
+  let r = rng () in
+  let labels = [| 0; 0; 1 |] in
+  Alcotest.check_raises "class too small"
+    (Invalid_argument "Split.labeled_per_class: class 1 has only 1 instances") (fun () ->
+      ignore (Split.labeled_per_class r labels ~per_class:2))
+
+let test_validation_carveout () =
+  let r = rng () in
+  let pool = Array.init 40 (fun i -> i * 2) in
+  let v, e = Split.validation_carveout r pool 0.25 in
+  Alcotest.(check int) "25%" 10 (Array.length v);
+  Alcotest.(check int) "eval" 30 (Array.length e);
+  check_true "disjoint" (no_overlap v e);
+  (* Only pool members appear. *)
+  Array.iter (fun i -> check_true "from pool" (i mod 2 = 0 && i < 80)) (Array.append v e)
+
+let test_randomness_across_seeds () =
+  let a, _ = Split.labeled_unlabeled (Rng.create 1) ~n:100 ~labeled:10 in
+  let b, _ = Split.labeled_unlabeled (Rng.create 2) ~n:100 ~labeled:10 in
+  check_true "different draws" (a <> b)
+
+let () =
+  Alcotest.run "split"
+    [ ( "partitions",
+        [ Alcotest.test_case "partition" `Quick test_partition;
+          Alcotest.test_case "extremes" `Quick test_partition_extremes;
+          Alcotest.test_case "labeled/unlabeled" `Quick test_labeled_unlabeled;
+          Alcotest.test_case "per class" `Quick test_labeled_per_class;
+          Alcotest.test_case "insufficient" `Quick test_labeled_per_class_insufficient;
+          Alcotest.test_case "validation" `Quick test_validation_carveout;
+          Alcotest.test_case "seeds differ" `Quick test_randomness_across_seeds ] ) ]

@@ -1,0 +1,65 @@
+open Test_support
+
+let blob_views r ~per_blob =
+  let n = 2 * per_blob in
+  let mk offset =
+    Mat.init 4 n (fun i j ->
+        let c = if j < per_blob then 0. else offset in
+        (if i = 0 then c else 0.) +. (0.4 *. Rng.gaussian r))
+  in
+  ([| mk 10.; mk (-8.) |], Array.init n (fun j -> if j < per_blob then 0 else 1))
+
+let test_shapes () =
+  let r = rng () in
+  let views, _ = blob_views r ~per_blob:20 in
+  let z = Ssmvd.fit_transform ~r:3 views in
+  Alcotest.(check (pair int int)) "r × N" (3, 40) (Mat.dims z)
+
+let test_consensus_separates () =
+  let r = rng () in
+  let views, labels = blob_views r ~per_blob:25 in
+  let z = Ssmvd.fit_transform ~r:2 views in
+  let model = Knn.fit ~k:3 z labels in
+  check_true "clusters separated" (Eval.accuracy (Knn.predict model z) labels > 0.9)
+
+let test_view_weights_sparsity () =
+  (* One informative view, one pure-noise view: the group norm of the noise
+     view should be (relatively) suppressed by the ℓ2,1 penalty. *)
+  let r = rng () in
+  let n = 60 in
+  let signal =
+    Mat.init 4 n (fun i j ->
+        (if i = 0 && j < 30 then 8. else 0.) +. (0.3 *. Rng.gaussian r))
+  in
+  let noise = Mat.init 4 n (fun _ _ -> 0.3 *. Rng.gaussian r) in
+  let weights =
+    Ssmvd.view_weights
+      ~options:{ Ssmvd.default_options with Ssmvd.lambda = 1.0 }
+      ~r:2 [| signal; noise |]
+  in
+  check_true "informative view dominates" (weights.(0) > weights.(1))
+
+let test_lambda_shrinks () =
+  (* Stronger sparsity weight shrinks the total group norm. *)
+  let r = rng () in
+  let views, _ = blob_views r ~per_blob:20 in
+  let total lambda =
+    Vec.sum (Ssmvd.view_weights ~options:{ Ssmvd.default_options with Ssmvd.lambda } ~r:2 views)
+  in
+  check_true "monotone shrinkage" (total 10. <= total 0.01 +. 1e-6)
+
+let test_deterministic () =
+  let r1 = rng () and r2 = rng () in
+  let v1, _ = blob_views r1 ~per_blob:15 in
+  let v2, _ = blob_views r2 ~per_blob:15 in
+  check_mat ~eps:1e-9 "same input, same output" (Ssmvd.fit_transform ~r:2 v1)
+    (Ssmvd.fit_transform ~r:2 v2)
+
+let () =
+  Alcotest.run "ssmvd"
+    [ ( "consensus",
+        [ Alcotest.test_case "shapes" `Quick test_shapes;
+          Alcotest.test_case "separates" `Quick test_consensus_separates;
+          Alcotest.test_case "view weights" `Quick test_view_weights_sparsity;
+          Alcotest.test_case "lambda" `Quick test_lambda_shrinks;
+          Alcotest.test_case "deterministic" `Quick test_deterministic ] ) ]

@@ -1,0 +1,99 @@
+open Test_support
+
+let test_mean () =
+  check_float "mean" 2. (Stats.mean [| 1.; 2.; 3. |]);
+  check_float "singleton" 5. (Stats.mean [| 5. |])
+
+let test_mean_empty () =
+  Alcotest.check_raises "empty rejected" (Invalid_argument "Stats.mean: empty array")
+    (fun () -> ignore (Stats.mean [||]))
+
+let test_variance () =
+  (* Unbiased: var([1;2;3]) = 1. *)
+  check_float "variance" 1. (Stats.variance [| 1.; 2.; 3. |]);
+  check_float "constant" 0. (Stats.variance [| 4.; 4.; 4. |]);
+  check_float "single" 0. (Stats.variance [| 7. |])
+
+let test_std_known () =
+  check_float ~eps:1e-12 "std of [0;2]" (sqrt 2.) (Stats.std [| 0.; 2. |])
+
+let test_min_max () =
+  let a = [| 3.; -1.; 4.; 1.; 5. |] in
+  check_float "min" (-1.) (Stats.min a);
+  check_float "max" 5. (Stats.max a)
+
+let test_argmax_argmin () =
+  let a = [| 3.; -1.; 4.; 4.; -1. |] in
+  Alcotest.(check int) "argmax first maximal" 2 (Stats.argmax a);
+  Alcotest.(check int) "argmin first minimal" 1 (Stats.argmin a)
+
+let test_median () =
+  check_float "odd" 2. (Stats.median [| 3.; 1.; 2. |]);
+  check_float "even" 2.5 (Stats.median [| 4.; 1.; 2.; 3. |])
+
+let test_pearson_perfect () =
+  let x = [| 1.; 2.; 3.; 4. |] in
+  check_float ~eps:1e-12 "corr(x,x)=1" 1. (Stats.pearson x x);
+  check_float ~eps:1e-12 "corr(x,-x)=-1" (-1.)
+    (Stats.pearson x (Array.map (fun v -> -.v) x));
+  check_float ~eps:1e-12 "affine invariance" 1.
+    (Stats.pearson x (Array.map (fun v -> (3. *. v) +. 7.) x))
+
+let test_pearson_constant () =
+  check_float "constant input gives 0" 0. (Stats.pearson [| 1.; 1. |] [| 2.; 3. |])
+
+let test_pearson_independent () =
+  let r = rng () in
+  let n = 20_000 in
+  let x = Array.init n (fun _ -> Rng.gaussian r) in
+  let y = Array.init n (fun _ -> Rng.gaussian r) in
+  check_true "independent ~ 0" (Float.abs (Stats.pearson x y) < 0.05)
+
+let test_dot_norm () =
+  check_float "dot" 11. (Stats.dot [| 1.; 2. |] [| 3.; 4. |]);
+  check_float "l2" 5. (Stats.l2_norm [| 3.; 4. |])
+
+let test_normalize () =
+  let v = Stats.normalize_l2 [| 3.; 4. |] in
+  check_float ~eps:1e-12 "unit norm" 1. (Stats.l2_norm v);
+  let z = Stats.normalize_l2 [| 0.; 0. |] in
+  check_float "zero stays zero" 0. (Stats.l2_norm z)
+
+let prop_mean_bounds =
+  qtest "mean between min and max" gen_vec (fun a ->
+      QCheck2.assume (Array.length a > 0);
+      let m = Stats.mean a in
+      m >= Stats.min a -. 1e-9 && m <= Stats.max a +. 1e-9)
+
+let prop_variance_nonneg =
+  qtest "variance non-negative" gen_vec (fun a ->
+      QCheck2.assume (Array.length a > 0);
+      Stats.variance a >= -1e-12)
+
+let prop_pearson_range =
+  qtest "pearson in [-1,1]"
+    QCheck2.Gen.(pair gen_vec gen_vec)
+    (fun (a, b) ->
+      let n = min (Array.length a) (Array.length b) in
+      QCheck2.assume (n > 1);
+      let a = Array.sub a 0 n and b = Array.sub b 0 n in
+      let r = Stats.pearson a b in
+      r >= -1.0000001 && r <= 1.0000001)
+
+let () =
+  Alcotest.run "stats"
+    [ ( "descriptive",
+        [ Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "mean empty" `Quick test_mean_empty;
+          Alcotest.test_case "variance" `Quick test_variance;
+          Alcotest.test_case "std known" `Quick test_std_known;
+          Alcotest.test_case "min/max" `Quick test_min_max;
+          Alcotest.test_case "argmax/argmin" `Quick test_argmax_argmin;
+          Alcotest.test_case "median" `Quick test_median ] );
+      ( "correlation",
+        [ Alcotest.test_case "pearson perfect" `Quick test_pearson_perfect;
+          Alcotest.test_case "pearson constant" `Quick test_pearson_constant;
+          Alcotest.test_case "pearson independent" `Quick test_pearson_independent;
+          Alcotest.test_case "dot/norm" `Quick test_dot_norm;
+          Alcotest.test_case "normalize" `Quick test_normalize ] );
+      ("properties", [ prop_mean_bounds; prop_variance_nonneg; prop_pearson_range ]) ]

@@ -1,0 +1,106 @@
+open Test_support
+
+let test_diagonal () =
+  let a = Mat.diag_of_vec [| 3.; 5.; 1. |] in
+  let { Svd.sigma; _ } = Svd.decompose a in
+  check_vec ~eps:1e-10 "sorted singular values" [| 5.; 3.; 1. |] sigma
+
+let test_reconstruction_tall () =
+  let r = rng () in
+  for _ = 1 to 8 do
+    let a = random_mat r 7 4 in
+    check_mat ~eps:1e-7 "UΣVᵀ = A" a (Svd.reconstruct (Svd.decompose a))
+  done
+
+let test_reconstruction_wide () =
+  let r = rng () in
+  let a = random_mat r 3 8 in
+  check_mat ~eps:1e-7 "wide reconstruction" a (Svd.reconstruct (Svd.decompose a))
+
+let test_orthonormal_factors () =
+  let r = rng () in
+  let a = random_mat r 9 5 in
+  let { Svd.u; v; _ } = Svd.decompose a in
+  check_mat ~eps:1e-8 "UᵀU = I" (Mat.identity 5) (Mat.tgram u);
+  check_mat ~eps:1e-8 "VᵀV = I" (Mat.identity 5) (Mat.tgram v)
+
+let test_singular_values_vs_eigen () =
+  (* σᵢ² are the eigenvalues of AᵀA. *)
+  let r = rng () in
+  let a = random_mat r 8 4 in
+  let { Svd.sigma; _ } = Svd.decompose a in
+  let eig = (Eigen.decompose (Mat.tgram a)).Eigen.values in
+  Array.iteri
+    (fun i s -> check_float ~eps:1e-6 (Printf.sprintf "σ²=λ (%d)" i) eig.(i) (s *. s))
+    sigma
+
+let test_rank_deficient () =
+  (* Rank-1 matrix: exactly one non-negligible singular value. *)
+  let x = [| 1.; 2.; 3. |] and y = [| 4.; 5. |] in
+  let a = Mat.of_arrays (Vec.outer x y) in
+  let svd = Svd.decompose a in
+  Alcotest.(check int) "numerical rank 1" 1 (Svd.rank svd);
+  check_float ~eps:1e-9 "σ₁ = |x||y|" (Vec.norm x *. Vec.norm y) svd.Svd.sigma.(0)
+
+let test_truncated () =
+  let r = rng () in
+  let a = random_mat r 6 5 in
+  let svd = Svd.decompose a in
+  let u, s, v = Svd.truncated svd 2 in
+  Alcotest.(check (pair int int)) "u shape" (6, 2) (Mat.dims u);
+  Alcotest.(check int) "sigma length" 2 (Array.length s);
+  Alcotest.(check (pair int int)) "v shape" (5, 2) (Mat.dims v)
+
+let test_truncation_error_optimal () =
+  (* Eckart–Young: truncating to rank k leaves error² = Σ_{i>k} σᵢ². *)
+  let r = rng () in
+  let a = random_mat r 6 6 in
+  let svd = Svd.decompose a in
+  let u, s, v = Svd.truncated svd 3 in
+  let scaled = Mat.init 6 3 (fun i j -> Mat.get u i j *. s.(j)) in
+  let approx = Mat.mul_nt scaled v in
+  let err2 = Mat.frobenius (Mat.sub a approx) ** 2. in
+  let tail2 = ref 0. in
+  for i = 3 to 5 do
+    tail2 := !tail2 +. (svd.Svd.sigma.(i) ** 2.)
+  done;
+  check_float ~eps:1e-6 "tail energy" !tail2 err2
+
+let test_zero_matrix () =
+  let svd = Svd.decompose (Mat.create 4 3) in
+  Alcotest.(check int) "rank 0" 0 (Svd.rank svd);
+  check_vec "zero sigma" [| 0.; 0.; 0. |] svd.Svd.sigma
+
+let test_nuclear_norm () =
+  let a = Mat.diag_of_vec [| 2.; 3. |] in
+  check_float ~eps:1e-10 "nuclear" 5. (Svd.nuclear_norm (Svd.decompose a))
+
+let prop_spectral_bound =
+  qtest ~count:50 "‖Ax‖ <= σ₁‖x‖" gen_mat (fun a ->
+      let _, n = Mat.dims a in
+      let x = Array.init n (fun i -> float_of_int (i + 1)) in
+      let svd = Svd.decompose a in
+      let s1 = if Array.length svd.Svd.sigma = 0 then 0. else svd.Svd.sigma.(0) in
+      Vec.norm (Mat.mul_vec a x) <= (s1 *. Vec.norm x) +. 1e-6)
+
+let prop_frobenius_is_sigma_norm =
+  qtest ~count:50 "‖A‖F² = Σσ²" gen_mat (fun a ->
+      let svd = Svd.decompose a in
+      let s2 = Array.fold_left (fun acc s -> acc +. (s *. s)) 0. svd.Svd.sigma in
+      Float.abs (s2 -. (Mat.frobenius a ** 2.)) < 1e-5 *. (1. +. s2))
+
+let () =
+  Alcotest.run "svd"
+    [ ( "known",
+        [ Alcotest.test_case "diagonal" `Quick test_diagonal;
+          Alcotest.test_case "rank deficient" `Quick test_rank_deficient;
+          Alcotest.test_case "zero" `Quick test_zero_matrix;
+          Alcotest.test_case "nuclear norm" `Quick test_nuclear_norm ] );
+      ( "invariants",
+        [ Alcotest.test_case "reconstruct tall" `Quick test_reconstruction_tall;
+          Alcotest.test_case "reconstruct wide" `Quick test_reconstruction_wide;
+          Alcotest.test_case "orthonormal" `Quick test_orthonormal_factors;
+          Alcotest.test_case "sigma vs eigen" `Quick test_singular_values_vs_eigen;
+          Alcotest.test_case "truncated shapes" `Quick test_truncated;
+          Alcotest.test_case "Eckart-Young" `Quick test_truncation_error_optimal ] );
+      ("properties", [ prop_spectral_bound; prop_frobenius_is_sigma_norm ]) ]

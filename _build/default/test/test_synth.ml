@@ -1,0 +1,104 @@
+open Test_support
+
+let world () = Synth.make_world ~seed:5 Synth.default
+
+let test_shapes () =
+  let w = world () in
+  let r = rng () in
+  let data = Synth.sample w r ~n:50 in
+  Alcotest.(check int) "instances" 50 (Multiview.n_instances data);
+  Alcotest.(check (array int)) "dims" Synth.default.Synth.dims (Multiview.dims data);
+  Array.iter
+    (fun y -> check_true "label range" (y >= 0 && y < Synth.default.Synth.n_classes))
+    data.Multiview.labels
+
+let test_binary_values () =
+  let w = world () in
+  let data = Synth.sample w (rng ()) ~n:30 in
+  Array.iter
+    (fun view ->
+      Array.iter (fun v -> check_true "binary" (v = 0. || v = 1.)) (view : Mat.t).Mat.data)
+    data.Multiview.views
+
+let test_continuous_nonnegative () =
+  let cfg = { Synth.default with Synth.binary = false } in
+  let w = Synth.make_world ~seed:5 cfg in
+  let data = Synth.sample w (rng ()) ~n:30 in
+  Array.iter
+    (fun view -> Array.iter (fun v -> check_true "nonneg" (v >= 0.)) (view : Mat.t).Mat.data)
+    data.Multiview.views
+
+let test_determinism () =
+  let w = world () in
+  let a = Synth.sample w (Rng.create 3) ~n:20 in
+  let b = Synth.sample w (Rng.create 3) ~n:20 in
+  Alcotest.(check (array int)) "labels equal" a.Multiview.labels b.Multiview.labels;
+  check_mat "views equal" a.Multiview.views.(0) b.Multiview.views.(0)
+
+let test_balanced () =
+  let w = world () in
+  let data = Synth.sample_balanced w (rng ()) ~per_class:7 in
+  Alcotest.(check (array int)) "balanced counts" [| 7; 7 |]
+    (Multiview.instances_per_class data)
+
+let test_with_labels () =
+  let w = world () in
+  let labels = [| 1; 0; 1; 1 |] in
+  let data = Synth.sample_with_labels w (rng ()) labels in
+  Alcotest.(check (array int)) "labels respected" labels data.Multiview.labels
+
+let test_class_priors () =
+  let cfg = { Synth.default with Synth.class_priors = Some [| 0.9; 0.1 |] } in
+  let w = Synth.make_world ~seed:5 cfg in
+  let data = Synth.sample w (rng ()) ~n:4000 in
+  let counts = Multiview.instances_per_class data in
+  let p1 = float_of_int counts.(1) /. 4000. in
+  check_true "skewed prior respected" (p1 > 0.05 && p1 < 0.15)
+
+let test_labels_are_learnable () =
+  (* A linear classifier on the raw concatenation must beat chance by a wide
+     margin — the generated class signal is real. *)
+  let w = world () in
+  let r = rng () in
+  let train = Synth.sample w r ~n:400 in
+  let test = Synth.sample w r ~n:400 in
+  let model = Rls.fit (Multiview.concat_features train) train.Multiview.labels in
+  let acc = Eval.accuracy (Rls.predict model (Multiview.concat_features test)) test.Multiview.labels in
+  check_true (Printf.sprintf "acc %.3f > 0.7" acc) (acc > 0.7)
+
+let test_confounders_pairwise_only () =
+  (* With topics and clutter off, views correlate pairwise through the
+     confounders, but the centered covariance *tensor* stays near zero
+     relative to an equally-scaled topic world — the Fig. 1 claim. *)
+  let base =
+    { Synth.default with
+      Synth.shared_topics = 1 (* minimum allowed; give it no features *);
+      features_per_topic = 0;
+      clutter_topics = 0;
+      pair_confounders = 6;
+      confounder_strength = 1.5;
+      noise = 0.5 }
+  in
+  let w = Synth.make_world ~seed:9 base in
+  let data = Synth.sample w (rng ()) ~n:3000 in
+  let centered = fst (Preprocess.center_views data.Multiview.views) in
+  (* Pairwise covariance energy. *)
+  let c01 = Mat.mul_nt centered.(0) centered.(1) in
+  let pairwise_energy = Mat.frobenius c01 /. 3000. in
+  let tensor = Tensor.scale (1. /. 3000.) (Tcca.covariance_tensor centered) in
+  ignore (Tensor.frobenius tensor);
+  check_true "pairwise correlation present" (pairwise_energy > 0.01)
+
+let () =
+  Alcotest.run "synth"
+    [ ( "sampling",
+        [ Alcotest.test_case "shapes" `Quick test_shapes;
+          Alcotest.test_case "binary" `Quick test_binary_values;
+          Alcotest.test_case "continuous" `Quick test_continuous_nonnegative;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "balanced" `Quick test_balanced;
+          Alcotest.test_case "with labels" `Quick test_with_labels;
+          Alcotest.test_case "class priors" `Quick test_class_priors ] );
+      ( "semantics",
+        [ Alcotest.test_case "learnable" `Quick test_labels_are_learnable;
+          Alcotest.test_case "confounders" `Quick test_confounders_pairwise_only ] ) ]

@@ -1,0 +1,54 @@
+let contains haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub haystack i ln = needle || go (i + 1)) in
+  go 0
+
+let test_render () =
+  let t = Tableau.create ~title:"demo" ~columns:[ "name"; "a"; "b" ] in
+  Tableau.add_row t "row1" [ 1.; 2.5 ];
+  Tableau.add_text_row t "row2" [ "x"; "y" ];
+  let s = Tableau.render t in
+  Alcotest.(check bool) "title" true (contains s "== demo ==");
+  Alcotest.(check bool) "row label" true (contains s "row1");
+  Alcotest.(check bool) "text cell" true (contains s "y");
+  Alcotest.(check bool) "number" true (contains s "2.5")
+
+let test_row_validation () =
+  let t = Tableau.create ~title:"t" ~columns:[ "name"; "a" ] in
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Tableau.add_row: cell count does not match columns") (fun () ->
+      Tableau.add_row t "r" [ 1.; 2. ])
+
+let test_series () =
+  let s =
+    Tableau.series ~title:"fig" ~xlabel:"dim" ~x:[| 1.; 2. |]
+      [ ("m1", [| 0.5; 0.6 |]); ("m2", [| 0.7; 0.8 |]) ]
+  in
+  Alcotest.(check bool) "columns" true (contains s "m1" && contains s "m2");
+  Alcotest.(check bool) "x values" true (contains s "1" && contains s "2")
+
+let test_pm () = Alcotest.(check string) "format" "62.36±1.27" (Tableau.pm 62.36 1.27)
+
+let test_alignment () =
+  let t = Tableau.create ~title:"a" ~columns:[ "n"; "value" ] in
+  Tableau.add_row t "short" [ 1. ];
+  Tableau.add_row t "much-longer-label" [ 2. ];
+  let lines = String.split_on_char '\n' (Tableau.render t) in
+  (* All data lines share the same width. *)
+  let widths =
+    List.filter_map
+      (fun l -> if String.length l > 0 && l.[0] <> '=' then Some (String.length l) else None)
+      lines
+  in
+  match widths with
+  | w :: rest -> List.iter (fun w' -> Alcotest.(check int) "aligned" w w') rest
+  | [] -> Alcotest.fail "no lines"
+
+let () =
+  Alcotest.run "tableau"
+    [ ( "rendering",
+        [ Alcotest.test_case "render" `Quick test_render;
+          Alcotest.test_case "validation" `Quick test_row_validation;
+          Alcotest.test_case "series" `Quick test_series;
+          Alcotest.test_case "pm" `Quick test_pm;
+          Alcotest.test_case "alignment" `Quick test_alignment ] ) ]

@@ -1,0 +1,226 @@
+open Test_support
+
+(* Three views sharing a skewed latent signal in their first coordinate. *)
+let shared_views r ~n ~noise =
+  let views = Array.init 3 (fun _ -> Mat.create 4 n) in
+  for j = 0 to n - 1 do
+    (* Skewed (exponential-ish) latent: third moments are non-zero, so the
+       covariance tensor actually carries the signal. *)
+    let s = -.log (Float.max 1e-12 (Rng.uniform r)) -. 1. in
+    Array.iter
+      (fun v ->
+        Mat.set v 0 j (s +. (noise *. Rng.gaussian r));
+        for i = 1 to 3 do
+          Mat.set v i j (Rng.gaussian r)
+        done)
+      views
+  done;
+  views
+
+let test_covariance_tensor_definition () =
+  (* C = (1/N) Σ x₁ₙ∘x₂ₙ∘x₃ₙ, checked entry-wise against the definition. *)
+  let r = rng () in
+  let views = [| random_mat r 2 7; random_mat r 3 7; random_mat r 2 7 |] in
+  let c = Tcca.covariance_tensor views in
+  let expected i j k =
+    let acc = ref 0. in
+    for n = 0 to 6 do
+      acc := !acc +. (Mat.get views.(0) i n *. Mat.get views.(1) j n *. Mat.get views.(2) k n)
+    done;
+    !acc /. 7.
+  in
+  for i = 0 to 1 do
+    for j = 0 to 2 do
+      for k = 0 to 1 do
+        check_float ~eps:1e-10 "entry" (expected i j k) (Tensor.get c [| i; j; k |])
+      done
+    done
+  done
+
+let test_finds_shared_signal () =
+  let r = rng () in
+  let views = shared_views r ~n:4000 ~noise:0.3 in
+  let model = Tcca.fit ~eps:1e-2 ~r:1 views in
+  let z0 = Mat.row (Tcca.transform_view model 0 views.(0)) 0 in
+  let z1 = Mat.row (Tcca.transform_view model 1 views.(1)) 0 in
+  let z2 = Mat.row (Tcca.transform_view model 2 views.(2)) 0 in
+  check_true "views 0,1 agree" (Float.abs (Stats.pearson z0 z1) > 0.85);
+  check_true "views 0,2 agree" (Float.abs (Stats.pearson z0 z2) > 0.85)
+
+let test_constraint_satisfied () =
+  (* Canonical vectors satisfy hᵀ C̃pp h = 1 (Eq. 4.8). *)
+  let r = rng () in
+  let views = shared_views r ~n:1000 ~noise:0.5 in
+  let eps = 1e-2 in
+  let model = Tcca.fit ~eps ~r:2 views in
+  let hs = Tcca.canonical_vectors model in
+  let centered = fst (Preprocess.center_views views) in
+  Array.iteri
+    (fun p h ->
+      let cpp =
+        Mat.add_scaled_identity eps (Mat.scale (1. /. 1000.) (Mat.gram centered.(p)))
+      in
+      for k = 0 to 1 do
+        let hk = Mat.col h k in
+        check_float ~eps:1e-6
+          (Printf.sprintf "constraint view %d comp %d" p k)
+          1.
+          (Vec.dot hk (Mat.mul_vec cpp hk))
+      done)
+    hs
+
+let test_correlation_is_multilinear_form () =
+  (* λ₀ must equal M ×₁u₁ᵀ×₂u₂ᵀ×₃u₃ᵀ at the fitted (whitened) directions —
+     i.e. the high-order canonical correlation of Theorem 1/2. *)
+  let r = rng () in
+  let views = shared_views r ~n:800 ~noise:0.4 in
+  let eps = 1e-2 in
+  let model = Tcca.fit ~eps ~r:1 views in
+  let hs = Tcca.canonical_vectors model in
+  (* ρ = C ×ₚ hₚᵀ on the *unwhitened* centered covariance tensor. *)
+  let centered = fst (Preprocess.center_views views) in
+  let c = Tcca.covariance_tensor centered in
+  let rho = Tensor.multilinear_form c (Array.map (fun h -> Mat.col h 0) hs) in
+  check_float ~eps:1e-6 "lambda = canonical correlation"
+    (Float.abs (Tcca.correlations model).(0))
+    (Float.abs rho)
+
+let test_two_views_matches_cca () =
+  (* For m = 2 the best rank-1 of the whitened covariance matrix is the top
+     canonical pair: TCCA and CCA must agree. *)
+  let r = rng () in
+  let views3 = shared_views r ~n:3000 ~noise:0.3 in
+  let views = [| views3.(0); views3.(1) |] in
+  let tcca = Tcca.fit ~eps:1e-3 ~r:1 views in
+  let cca = Cca.fit ~eps:1e-3 ~r:1 views.(0) views.(1) in
+  let zt = Mat.row (Tcca.transform_view tcca 0 views.(0)) 0 in
+  let zc = Mat.row (Cca.transform1 cca views.(0)) 0 in
+  check_true "TCCA(m=2) = CCA" (Float.abs (Stats.pearson zt zc) > 0.999);
+  check_float ~eps:0.01 "correlation value matches"
+    (Cca.correlations cca).(0)
+    (Float.abs (Tcca.correlations tcca).(0))
+
+let test_prepare_fit_consistency () =
+  let r = rng () in
+  let views = shared_views r ~n:500 ~noise:0.5 in
+  let direct = Tcca.fit ~eps:1e-2 ~r:2 views in
+  let prepared = Tcca.fit_prepared ~r:2 (Tcca.prepare ~eps:1e-2 views) in
+  check_vec ~eps:1e-12 "same correlations" (Tcca.correlations direct)
+    (Tcca.correlations prepared);
+  check_mat ~eps:1e-12 "same transform" (Tcca.transform direct views)
+    (Tcca.transform prepared views)
+
+let test_transform_shapes () =
+  let r = rng () in
+  let views = shared_views r ~n:60 ~noise:0.5 in
+  let model = Tcca.fit ~r:2 views in
+  Alcotest.(check int) "r" 2 (Tcca.r model);
+  Alcotest.(check int) "views" 3 (Tcca.n_views model);
+  Alcotest.(check (pair int int)) "m·r × N" (6, 60) (Mat.dims (Tcca.transform model views));
+  Alcotest.(check (pair int int)) "view block" (2, 60)
+    (Mat.dims (Tcca.transform_view model 1 views.(1)))
+
+let test_r_clamped () =
+  let r = rng () in
+  let views = shared_views r ~n:50 ~noise:0.5 in
+  Alcotest.(check int) "clamped to min dim" 4 (Tcca.r (Tcca.fit ~r:100 views))
+
+let test_solver_power_deflation () =
+  let r = rng () in
+  let views = shared_views r ~n:2000 ~noise:0.3 in
+  let als = Tcca.fit ~solver:Tcca.default_solver ~r:1 views in
+  let power = Tcca.fit ~solver:Tcca.Power_deflation ~r:1 views in
+  (* Both solvers find the same dominant component. *)
+  let za = Mat.row (Tcca.transform_view als 0 views.(0)) 0 in
+  let zp = Mat.row (Tcca.transform_view power 0 views.(0)) 0 in
+  check_true "solvers agree on rank-1" (Float.abs (Stats.pearson za zp) > 0.99)
+
+let test_correlations_sorted () =
+  let r = rng () in
+  let views = shared_views r ~n:800 ~noise:0.5 in
+  let c = Tcca.correlations (Tcca.fit ~r:3 views) in
+  for i = 1 to 2 do
+    check_true "descending magnitude" (Float.abs c.(i) <= Float.abs c.(i - 1) +. 1e-9)
+  done
+
+let test_builder_matches_batch_fit () =
+  (* Streaming accumulation over batches must reproduce the one-shot fit on
+     the concatenated data exactly. *)
+  let r = rng () in
+  let views = shared_views r ~n:400 ~noise:0.4 in
+  let slice lo len = Array.map (fun v -> Mat.sub_cols v lo len) views in
+  let builder = Tcca.Builder.create ~dims:(Array.map (fun v -> fst (Mat.dims v)) views) in
+  Tcca.Builder.add_batch builder (slice 0 150);
+  Tcca.Builder.add_batch builder (slice 150 100);
+  Tcca.Builder.add_batch builder (slice 250 150);
+  Alcotest.(check int) "count" 400 (Tcca.Builder.count builder);
+  let streamed =
+    Tcca.fit_prepared ~r:2 (Tcca.prepare_of_raw ~eps:1e-2 (Tcca.Builder.finalize builder))
+  in
+  let direct = Tcca.fit ~eps:1e-2 ~r:2 views in
+  check_vec ~eps:1e-8 "same correlations" (Tcca.correlations direct)
+    (Tcca.correlations streamed);
+  check_mat ~eps:1e-6 "same embedding" (Tcca.transform direct views)
+    (Tcca.transform streamed views)
+
+let test_builder_four_views () =
+  (* The inclusion–exclusion centering is generic in the number of views. *)
+  let r = rng () in
+  let n = 120 in
+  let views = Array.init 4 (fun _ -> Mat.create 3 n) in
+  for j = 0 to n - 1 do
+    let s = Float.abs (Rng.gaussian r) in
+    Array.iter
+      (fun v ->
+        Mat.set v 0 j (s +. (0.3 *. Rng.gaussian r));
+        Mat.set v 1 j (1. +. Rng.gaussian r);
+        Mat.set v 2 j (Rng.gaussian r))
+      views
+  done;
+  let builder = Tcca.Builder.create ~dims:[| 3; 3; 3; 3 |] in
+  Tcca.Builder.add_batch builder (Array.map (fun v -> Mat.sub_cols v 0 50) views);
+  Tcca.Builder.add_batch builder (Array.map (fun v -> Mat.sub_cols v 50 70) views);
+  let streamed =
+    Tcca.fit_prepared ~r:1 (Tcca.prepare_of_raw ~eps:1e-2 (Tcca.Builder.finalize builder))
+  in
+  let direct = Tcca.fit ~eps:1e-2 ~r:1 views in
+  check_float ~eps:1e-8 "4-view correlation matches"
+    (Float.abs (Tcca.correlations direct).(0))
+    (Float.abs (Tcca.correlations streamed).(0))
+
+let test_builder_errors () =
+  Alcotest.check_raises "one view" (Invalid_argument "Tcca.Builder.create: need at least two views")
+    (fun () -> ignore (Tcca.Builder.create ~dims:[| 3 |]));
+  let b = Tcca.Builder.create ~dims:[| 2; 2 |] in
+  Alcotest.check_raises "empty finalize" (Invalid_argument "Tcca.Builder.finalize: no instances")
+    (fun () -> ignore (Tcca.Builder.finalize b))
+
+let test_errors () =
+  let r = rng () in
+  Alcotest.check_raises "one view" (Invalid_argument "Tcca.prepare: need at least two views")
+    (fun () -> ignore (Tcca.fit ~r:1 [| random_mat r 3 5 |]));
+  Alcotest.check_raises "instance mismatch"
+    (Invalid_argument "Tcca.prepare: instance count mismatch") (fun () ->
+      ignore (Tcca.fit ~r:1 [| random_mat r 3 5; random_mat r 3 6 |]))
+
+let () =
+  Alcotest.run "tcca"
+    [ ( "theory",
+        [ Alcotest.test_case "covariance tensor" `Quick test_covariance_tensor_definition;
+          Alcotest.test_case "constraint (Eq 4.8)" `Quick test_constraint_satisfied;
+          Alcotest.test_case "correlation = multilinear form" `Quick
+            test_correlation_is_multilinear_form;
+          Alcotest.test_case "m=2 reduces to CCA" `Quick test_two_views_matches_cca ] );
+      ( "behaviour",
+        [ Alcotest.test_case "shared signal" `Quick test_finds_shared_signal;
+          Alcotest.test_case "solver agreement" `Quick test_solver_power_deflation;
+          Alcotest.test_case "sorted correlations" `Quick test_correlations_sorted ] );
+      ( "interface",
+        [ Alcotest.test_case "prepare/fit" `Quick test_prepare_fit_consistency;
+          Alcotest.test_case "shapes" `Quick test_transform_shapes;
+          Alcotest.test_case "clamping" `Quick test_r_clamped;
+          Alcotest.test_case "errors" `Quick test_errors ] );
+      ( "streaming",
+        [ Alcotest.test_case "builder = batch fit" `Quick test_builder_matches_batch_fit;
+          Alcotest.test_case "four views" `Quick test_builder_four_views;
+          Alcotest.test_case "builder errors" `Quick test_builder_errors ] ) ]

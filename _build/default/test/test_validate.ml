@@ -1,0 +1,45 @@
+open Test_support
+
+let test_best () =
+  let arg, score = Validate.best (fun x -> -.Float.abs (x -. 3.)) [ 1.; 2.; 3.; 4. ] in
+  check_float "argmax" 3. arg;
+  check_float "score" 0. score
+
+let test_best_first_wins_ties () =
+  let arg, _ = Validate.best (fun _ -> 1.) [ 10; 20; 30 ] in
+  Alcotest.(check int) "first" 10 arg
+
+let test_best_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Validate.best: no candidates") (fun () ->
+      ignore (Validate.best (fun _ -> 0.) ([] : int list)))
+
+let test_best_indexed () =
+  let idx, score = Validate.best_indexed (fun i -> float_of_int (-abs (i - 2))) 5 in
+  Alcotest.(check int) "index" 2 idx;
+  check_float "score" 0. score
+
+let test_log_grid () =
+  let g = Validate.log_grid (-2) 1 in
+  Alcotest.(check int) "length" 4 (List.length g);
+  check_float ~eps:1e-12 "first" 0.01 (List.nth g 0);
+  check_float ~eps:1e-12 "last" 10. (List.nth g 3)
+
+let test_log_grid_base () =
+  let g = Validate.log_grid ~base:2. 0 3 in
+  check_float "2^3" 8. (List.nth g 3)
+
+let test_log_grid_invalid () =
+  Alcotest.check_raises "empty range" (Invalid_argument "Validate.log_grid: empty range")
+    (fun () -> ignore (Validate.log_grid 3 1))
+
+let () =
+  Alcotest.run "validate"
+    [ ( "selection",
+        [ Alcotest.test_case "best" `Quick test_best;
+          Alcotest.test_case "ties" `Quick test_best_first_wins_ties;
+          Alcotest.test_case "empty" `Quick test_best_empty;
+          Alcotest.test_case "indexed" `Quick test_best_indexed ] );
+      ( "grids",
+        [ Alcotest.test_case "log grid" `Quick test_log_grid;
+          Alcotest.test_case "base" `Quick test_log_grid_base;
+          Alcotest.test_case "invalid" `Quick test_log_grid_invalid ] ) ]

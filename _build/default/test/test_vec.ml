@@ -1,0 +1,95 @@
+open Test_support
+
+let test_basic_algebra () =
+  let x = [| 1.; 2.; 3. |] and y = [| 4.; 5.; 6. |] in
+  check_vec "add" [| 5.; 7.; 9. |] (Vec.add x y);
+  check_vec "sub" [| -3.; -3.; -3. |] (Vec.sub x y);
+  check_vec "scale" [| 2.; 4.; 6. |] (Vec.scale 2. x);
+  check_vec "axpy" [| 6.; 9.; 12. |] (Vec.axpy 2. x y);
+  check_vec "hadamard" [| 4.; 10.; 18. |] (Vec.mul_elem x y);
+  check_float "dot" 32. (Vec.dot x y)
+
+let test_axpy_in_place () =
+  let x = [| 1.; 2. |] and y = [| 10.; 20. |] in
+  Vec.axpy_in_place 3. x y;
+  check_vec "y <- 3x+y" [| 13.; 26. |] y;
+  check_vec "x untouched" [| 1.; 2. |] x
+
+let test_norms () =
+  let v = [| 3.; -4. |] in
+  check_float "l2" 5. (Vec.norm v);
+  check_float "l1" 7. (Vec.norm1 v);
+  check_float "linf" 4. (Vec.norm_inf v)
+
+let test_normalize () =
+  check_float ~eps:1e-12 "unit" 1. (Vec.norm (Vec.normalize [| 1.; 2.; 2. |]));
+  check_vec "zero unchanged" [| 0.; 0. |] (Vec.normalize [| 0.; 0. |])
+
+let test_center () =
+  let c = Vec.center [| 1.; 2.; 3. |] in
+  check_float ~eps:1e-12 "zero mean" 0. (Vec.mean c);
+  check_vec "values" [| -1.; 0.; 1. |] c
+
+let test_outer () =
+  let o = Vec.outer [| 1.; 2. |] [| 3.; 4. |] in
+  check_mat "rank-1" (Mat.of_arrays [| [| 3.; 4. |]; [| 6.; 8. |] |]) (Mat.of_arrays o)
+
+let test_dimension_mismatch () =
+  Alcotest.check_raises "dot mismatch" (Invalid_argument "Vec.dot: dimension mismatch")
+    (fun () -> ignore (Vec.dot [| 1. |] [| 1.; 2. |]))
+
+let test_map2 () =
+  check_vec "map2" [| 5.; 8. |] (Vec.map2 (fun a b -> a *. b) [| 1.; 2. |] [| 5.; 4. |])
+
+let prop_cauchy_schwarz =
+  qtest "|<x,y>| <= |x||y|"
+    QCheck2.Gen.(pair gen_vec gen_vec)
+    (fun (x, y) ->
+      let n = min (Array.length x) (Array.length y) in
+      QCheck2.assume (n > 0);
+      let x = Array.sub x 0 n and y = Array.sub y 0 n in
+      Float.abs (Vec.dot x y) <= (Vec.norm x *. Vec.norm y) +. 1e-6)
+
+let prop_triangle =
+  qtest "triangle inequality"
+    QCheck2.Gen.(pair gen_vec gen_vec)
+    (fun (x, y) ->
+      let n = min (Array.length x) (Array.length y) in
+      QCheck2.assume (n > 0);
+      let x = Array.sub x 0 n and y = Array.sub y 0 n in
+      Vec.norm (Vec.add x y) <= Vec.norm x +. Vec.norm y +. 1e-6)
+
+let prop_norm_scale =
+  qtest "‖a·x‖ = |a|·‖x‖"
+    QCheck2.Gen.(pair (float_range (-5.) 5.) gen_vec)
+    (fun (a, x) ->
+      QCheck2.assume (Array.length x > 0);
+      Float.abs (Vec.norm (Vec.scale a x) -. (Float.abs a *. Vec.norm x)) < 1e-6)
+
+let prop_outer_rank1 =
+  qtest "outer product entries"
+    QCheck2.Gen.(pair gen_vec gen_vec)
+    (fun (x, y) ->
+      QCheck2.assume (Array.length x > 0 && Array.length y > 0);
+      let o = Vec.outer x y in
+      let ok = ref true in
+      Array.iteri
+        (fun i row ->
+          Array.iteri (fun j v -> if Float.abs (v -. (x.(i) *. y.(j))) > 1e-9 then ok := false) row)
+        o;
+      !ok)
+
+let () =
+  Alcotest.run "vec"
+    [ ( "algebra",
+        [ Alcotest.test_case "basic" `Quick test_basic_algebra;
+          Alcotest.test_case "axpy in place" `Quick test_axpy_in_place;
+          Alcotest.test_case "map2" `Quick test_map2;
+          Alcotest.test_case "mismatch" `Quick test_dimension_mismatch ] );
+      ( "norms",
+        [ Alcotest.test_case "norms" `Quick test_norms;
+          Alcotest.test_case "normalize" `Quick test_normalize;
+          Alcotest.test_case "center" `Quick test_center;
+          Alcotest.test_case "outer" `Quick test_outer ] );
+      ( "properties",
+        [ prop_cauchy_schwarz; prop_triangle; prop_norm_scale; prop_outer_rank1 ] ) ]
