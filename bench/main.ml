@@ -6,6 +6,13 @@
      dune exec bench/main.exe                  # everything
      dune exec bench/main.exe fig3 fig7 micro  # a subset
      dune exec bench/main.exe --list           # available ids
+     dune exec bench/main.exe micro --smoke --json out.json
+                                               # CI: short quota, JSON artifact
+
+   The `par/*` micros pin each kernel that is row-partitioned across the
+   `Parallel` domain pool (see DESIGN.md §"Domain-parallel compute pool");
+   compare runs with TCCA_DOMAINS=1 vs TCCA_DOMAINS=4 to measure the
+   speedup — outputs are bitwise identical either way.
 
    Paper-scale runs (bigger dimensions, more seeds) live in
    bin/tcca_experiments.exe. *)
@@ -15,6 +22,27 @@ let params = Figures.quick
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure, covering
    the operation that dominates that experiment's cost.                *)
+
+(* One pinned micro per kernel that the Parallel pool row-partitions, sized
+   well above the sequential cutoff so the pool actually engages.  fig7
+   (covariance tensor) and fig9 (MTTKRP) pin the remaining two. *)
+let parallel_kernel_tests () =
+  let r = Rng.create 4242 in
+  let mk rows cols = Mat.init rows cols (fun _ _ -> Rng.gaussian r) in
+  let a = mk 192 160 and b = mk 160 176 in
+  let at = mk 160 192 in
+  let c = mk 176 160 in
+  let wide = mk 48 300 in
+  let open Bechamel in
+  [ Test.make ~name:"par/mul-192x160x176" (Staged.stage (fun () -> Mat.mul a b));
+    Test.make ~name:"par/mul_tn-192x160x176" (Staged.stage (fun () -> Mat.mul_tn at b));
+    Test.make ~name:"par/mul_nt-192x176x160" (Staged.stage (fun () -> Mat.mul_nt a c));
+    Test.make ~name:"par/gram-192x160" (Staged.stage (fun () -> Mat.gram a));
+    Test.make ~name:"par/tgram-160x192" (Staged.stage (fun () -> Mat.tgram at));
+    Test.make ~name:"par/pairwise-sql2-300"
+      (Staged.stage (fun () -> Distance.pairwise Distance.Sq_l2 wide));
+    Test.make ~name:"par/pairwise-chi2-300"
+      (Staged.stage (fun () -> Distance.pairwise Distance.Chi2 wide)) ]
 
 let micro_tests () =
   let world = Secstr.world Secstr.Quick in
@@ -78,19 +106,48 @@ let micro_tests () =
       (Staged.stage
          (let model = Knn.fit ~k:5 embedding labels in
           fun () -> Knn.predict model embedding)) ]
+    @ parallel_kernel_tests ()
 
-let run_micro () =
+(* JSON artifact for the CI bench-regression pipeline: a flat list of
+   (kernel, ns/run, r²) plus enough metadata (sha, domain count, smoke flag)
+   to compare runs PR-over-PR.  Hand-rolled — the names are plain ASCII. *)
+let write_json ~path ~smoke results =
+  let oc = open_out path in
+  let sha = match Sys.getenv_opt "GITHUB_SHA" with Some s -> s | None -> "local" in
+  Printf.fprintf oc "{\n  \"schema\": \"tcca-bench/1\",\n  \"sha\": %S,\n" sha;
+  Printf.fprintf oc "  \"domains\": %d,\n  \"smoke\": %b,\n  \"results\": [\n"
+    (Parallel.num_domains ()) smoke;
+  let num v = if Float.is_finite v then Printf.sprintf "%.3f" v else "null" in
+  List.iteri
+    (fun i (name, ns, r2) ->
+      Printf.fprintf oc "    {\"name\": %S, \"ns_per_run\": %s, \"r_square\": %s}%s\n"
+        name (num ns) (num r2)
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "bench results written to %s\n%!" path
+
+let run_micro ~smoke ~json () =
   let open Bechamel in
   let tests = micro_tests () in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.4) ~kde:None ~stabilize:false ()
+    (* Smoke mode trades statistical quality for CI wall-clock: enough runs
+       to catch order-of-magnitude regressions, not enough for a tight OLS. *)
+    if smoke then Benchmark.cfg ~limit:50 ~quota:(Time.second 0.05) ~kde:None ~stabilize:false ()
+    else Benchmark.cfg ~limit:500 ~quota:(Time.second 0.4) ~kde:None ~stabilize:false ()
   in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let table =
-    Tableau.create ~title:"Micro-benchmarks (Bechamel, monotonic clock)"
+    Tableau.create
+      ~title:
+        (Printf.sprintf "Micro-benchmarks (Bechamel, monotonic clock, %d domain%s)"
+           (Parallel.num_domains ())
+           (if Parallel.num_domains () = 1 then "" else "s"))
       ~columns:[ "kernel"; "time/run"; "r^2" ]
   in
+  let collected = ref [] in
   List.iter
     (fun test ->
       let raw = Benchmark.all cfg instances test in
@@ -103,6 +160,7 @@ let run_micro () =
             | _ -> nan
           in
           let r2 = match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan in
+          collected := (name, time_ns, r2) :: !collected;
           let pretty =
             if time_ns > 1e9 then Printf.sprintf "%.2f s" (time_ns /. 1e9)
             else if time_ns > 1e6 then Printf.sprintf "%.2f ms" (time_ns /. 1e6)
@@ -112,7 +170,10 @@ let run_micro () =
           Tableau.add_text_row table name [ pretty; Printf.sprintf "%.3f" r2 ])
         results)
     tests;
-  Tableau.print table
+  Tableau.print table;
+  match json with
+  | Some path -> write_json ~path ~smoke (List.rev !collected)
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 
@@ -124,7 +185,17 @@ let run_id id =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  match args with
+  (* Flags can appear anywhere: --smoke, --json FILE; the rest are ids. *)
+  let rec parse smoke json ids = function
+    | [] -> (smoke, json, List.rev ids)
+    | "--smoke" :: rest -> parse true json ids rest
+    | "--json" :: path :: rest -> parse smoke (Some path) ids rest
+    | "--json" :: [] -> failwith "bench: --json needs a file argument"
+    | id :: rest -> parse smoke json (id :: ids) rest
+  in
+  let smoke, json, ids = parse false None [] args in
+  let run_micro = run_micro ~smoke ~json in
+  match ids with
   | [ "--list" ] ->
     List.iter (fun id -> Printf.printf "%-12s %s\n" id (Figures.describe id)) Figures.all_ids;
     print_endline "micro        Bechamel micro-benchmarks of each experiment's dominant kernel"

@@ -34,23 +34,39 @@ let eval kind x y =
     done;
     !acc
 
+(* Both Gram-construction entry points are row-partitioned across the domain
+   pool: every output row is owned by exactly one chunk and each entry is an
+   independent evaluation, so results are trivially deterministic. *)
+
 let cross kind a b =
   let da, na = Mat.dims a in
   let db, nb = Mat.dims b in
   if da <> db then invalid_arg "Distance.cross: feature dimension mismatch";
   let cols_a = Array.init na (Mat.col a) in
   let cols_b = Array.init nb (Mat.col b) in
-  Mat.init na nb (fun i j -> eval kind cols_a.(i) cols_b.(j))
+  let out = Mat.create na nb in
+  Parallel.parallel_for ~cost:(na * nb * da) ~n:na (fun lo hi ->
+      for i = lo to hi - 1 do
+        for j = 0 to nb - 1 do
+          Mat.set out i j (eval kind cols_a.(i) cols_b.(j))
+        done
+      done);
+  out
 
 let pairwise kind x =
-  let _, n = Mat.dims x in
+  let d, n = Mat.dims x in
   let cols = Array.init n (Mat.col x) in
   let out = Mat.create n n in
+  Parallel.parallel_for ~cost:(n * n * d / 2) ~n (fun lo hi ->
+      for i = lo to hi - 1 do
+        for j = i to n - 1 do
+          let dist = if i = j then 0. else eval kind cols.(i) cols.(j) in
+          Mat.set out i j dist
+        done
+      done);
   for i = 0 to n - 1 do
-    for j = i to n - 1 do
-      let d = if i = j then 0. else eval kind cols.(i) cols.(j) in
-      Mat.set out i j d;
-      Mat.set out j i d
+    for j = 0 to i - 1 do
+      Mat.set out i j (Mat.get out j i)
     done
   done;
   out

@@ -95,27 +95,41 @@ let add_scaled_identity eps a =
   done;
   r
 
-(* ikj-ordered product: the inner loop walks both [b] and [c] contiguously,
-   which matters since everything downstream (whitening, ALS, RLS) funnels
-   through this kernel. *)
+(* ikj-ordered product, cache-blocked over the inner (k) dimension so a tile
+   of [b] rows stays resident while a row panel of [c] is updated, and
+   row-partitioned across the domain pool: each chunk owns a contiguous band
+   of [c] rows, and for every output cell the additions happen in ascending
+   [l] order exactly as in the naive ikj loop — so the result is bitwise
+   identical for any pool size and any tile size.  Everything downstream
+   (whitening, ALS, RLS) funnels through this kernel. *)
+let mul_tile = 64
+
 let mul a b =
   if a.cols <> b.rows then invalid_arg "Mat.mul: inner dimension mismatch";
   let m = a.rows and n = b.cols and k = a.cols in
   let c = Array.make (m * n) 0. in
   let ad = a.data and bd = b.data in
-  for i = 0 to m - 1 do
-    let arow = i * k and crow = i * n in
-    for l = 0 to k - 1 do
-      let aval = Array.unsafe_get ad (arow + l) in
-      if aval <> 0. then begin
-        let brow = l * n in
-        for j = 0 to n - 1 do
-          Array.unsafe_set c (crow + j)
-            (Array.unsafe_get c (crow + j) +. (aval *. Array.unsafe_get bd (brow + j)))
+  let row_band lo hi =
+    let lb = ref 0 in
+    while !lb < k do
+      let lhi = min k (!lb + mul_tile) in
+      for i = lo to hi - 1 do
+        let arow = i * k and crow = i * n in
+        for l = !lb to lhi - 1 do
+          let aval = Array.unsafe_get ad (arow + l) in
+          if aval <> 0. then begin
+            let brow = l * n in
+            for j = 0 to n - 1 do
+              Array.unsafe_set c (crow + j)
+                (Array.unsafe_get c (crow + j) +. (aval *. Array.unsafe_get bd (brow + j)))
+            done
+          end
         done
-      end
+      done;
+      lb := lhi
     done
-  done;
+  in
+  Parallel.parallel_for ~cost:(m * n * k) ~n:m row_band;
   { rows = m; cols = n; data = c }
 
 let mul_vec a x =
@@ -144,40 +158,54 @@ let tmul_vec a x =
 let transpose a = init a.cols a.rows (fun i j -> get a j i)
 
 let gram a =
-  (* a aᵀ, filling only the upper triangle then mirroring. *)
+  (* a aᵀ: each pool chunk owns a band of output rows and fills its slice of
+     the upper triangle (dot products are independent, so partitioning is
+     trivially deterministic); the lower triangle is mirrored afterwards. *)
   let m = a.rows and k = a.cols in
   let c = create m m in
+  let ad = a.data and cd = c.data in
+  Parallel.parallel_for ~cost:(m * m * k / 2) ~n:m (fun lo hi ->
+      for i = lo to hi - 1 do
+        let ri = i * k in
+        for j = i to m - 1 do
+          let rj = j * k in
+          let acc = ref 0. in
+          for l = 0 to k - 1 do
+            acc := !acc +. (Array.unsafe_get ad (ri + l) *. Array.unsafe_get ad (rj + l))
+          done;
+          Array.unsafe_set cd ((i * m) + j) !acc
+        done
+      done);
   for i = 0 to m - 1 do
-    let ri = i * k in
-    for j = i to m - 1 do
-      let rj = j * k in
-      let acc = ref 0. in
-      for l = 0 to k - 1 do
-        acc := !acc +. (Array.unsafe_get a.data (ri + l) *. Array.unsafe_get a.data (rj + l))
-      done;
-      set c i j !acc;
-      set c j i !acc
+    for j = 0 to i - 1 do
+      cd.((i * m) + j) <- cd.((j * m) + i)
     done
   done;
   c
 
 let tgram a =
-  (* aᵀ a accumulated row-by-row of [a]: cache-friendly and symmetric. *)
+  (* aᵀ a accumulated row-by-row of [a]: cache-friendly and symmetric.  Pool
+     chunks own bands of output rows [i]; every chunk walks all rows [l] of
+     [a] in order, so each upper-triangle cell accumulates in the exact
+     sequential order regardless of pool size. *)
   let n = a.cols in
+  let rows = a.rows in
+  let ad = a.data in
   let c = Array.make (n * n) 0. in
-  for l = 0 to a.rows - 1 do
-    let base = l * n in
-    for i = 0 to n - 1 do
-      let ai = Array.unsafe_get a.data (base + i) in
-      if ai <> 0. then begin
-        let crow = i * n in
-        for j = i to n - 1 do
-          Array.unsafe_set c (crow + j)
-            (Array.unsafe_get c (crow + j) +. (ai *. Array.unsafe_get a.data (base + j)))
+  Parallel.parallel_for ~cost:(rows * n * n / 2) ~n (fun lo hi ->
+      for l = 0 to rows - 1 do
+        let base = l * n in
+        for i = lo to hi - 1 do
+          let ai = Array.unsafe_get ad (base + i) in
+          if ai <> 0. then begin
+            let crow = i * n in
+            for j = i to n - 1 do
+              Array.unsafe_set c (crow + j)
+                (Array.unsafe_get c (crow + j) +. (ai *. Array.unsafe_get ad (base + j)))
+            done
+          end
         done
-      end
-    done
-  done;
+      done);
   for i = 0 to n - 1 do
     for j = 0 to i - 1 do
       c.((i * n) + j) <- c.((j * n) + i)
@@ -188,32 +216,47 @@ let tgram a =
 let mul_tn a b =
   if a.rows <> b.rows then invalid_arg "Mat.mul_tn: dimension mismatch";
   let m = a.cols and n = b.cols in
+  let rows = a.rows in
+  let ad = a.data and bd = b.data in
   let c = Array.make (m * n) 0. in
-  for l = 0 to a.rows - 1 do
-    let abase = l * m and bbase = l * n in
-    for i = 0 to m - 1 do
-      let aval = Array.unsafe_get a.data (abase + i) in
-      if aval <> 0. then begin
-        let crow = i * n in
-        for j = 0 to n - 1 do
-          Array.unsafe_set c (crow + j)
-            (Array.unsafe_get c (crow + j) +. (aval *. Array.unsafe_get b.data (bbase + j)))
+  (* Output rows [i] (= columns of [a]) are banded across the pool; every
+     chunk scans the rows [l] of [a]/[b] in order, so each output cell sees
+     the same ascending-[l] accumulation as the sequential loop. *)
+  Parallel.parallel_for ~cost:(rows * m * n) ~n:m (fun lo hi ->
+      for l = 0 to rows - 1 do
+        let abase = l * m and bbase = l * n in
+        for i = lo to hi - 1 do
+          let aval = Array.unsafe_get ad (abase + i) in
+          if aval <> 0. then begin
+            let crow = i * n in
+            for j = 0 to n - 1 do
+              Array.unsafe_set c (crow + j)
+                (Array.unsafe_get c (crow + j) +. (aval *. Array.unsafe_get bd (bbase + j)))
+            done
+          end
         done
-      end
-    done
-  done;
+      done);
   { rows = m; cols = n; data = c }
 
 let mul_nt a b =
   if a.cols <> b.cols then invalid_arg "Mat.mul_nt: dimension mismatch";
   let m = a.rows and n = b.rows and k = a.cols in
-  init m n (fun i j ->
-      let ri = i * k and rj = j * k in
-      let acc = ref 0. in
-      for l = 0 to k - 1 do
-        acc := !acc +. (Array.unsafe_get a.data (ri + l) *. Array.unsafe_get b.data (rj + l))
-      done;
-      !acc)
+  let ad = a.data and bd = b.data in
+  let c = create m n in
+  let cd = c.data in
+  Parallel.parallel_for ~cost:(m * n * k) ~n:m (fun lo hi ->
+      for i = lo to hi - 1 do
+        let ri = i * k in
+        for j = 0 to n - 1 do
+          let rj = j * k in
+          let acc = ref 0. in
+          for l = 0 to k - 1 do
+            acc := !acc +. (Array.unsafe_get ad (ri + l) *. Array.unsafe_get bd (rj + l))
+          done;
+          Array.unsafe_set cd ((i * n) + j) !acc
+        done
+      done);
+  c
 
 let hcat a b =
   if a.rows <> b.rows then invalid_arg "Mat.hcat: row mismatch";

@@ -60,7 +60,8 @@ val add_scaled_identity : float -> t -> t
     regularization [C̃pp = Cpp + εI]. *)
 
 val mul : t -> t -> t
-(** Matrix product, blocked row-major [gemm]. *)
+(** Matrix product, cache-blocked row-major [gemm], row-partitioned across
+    the [Parallel] domain pool.  Bitwise-deterministic for any pool size. *)
 
 val mul_vec : t -> Vec.t -> Vec.t
 val tmul_vec : t -> Vec.t -> Vec.t

@@ -24,10 +24,17 @@ let covariance_tensor views =
   let dims = Array.map (fun v -> fst (Mat.dims v)) views in
   let c = Tensor.create dims in
   let weight = 1. /. float_of_int n in
-  for i = 0 to n - 1 do
-    let xs = Array.map (fun v -> Mat.col v i) views in
-    Tensor.add_outer_in_place c weight xs
-  done;
+  (* The N-dependent pass.  Mode 0 is sliced into slabs, one per pool chunk;
+     each chunk owns its slab of the tensor exclusively and replays all N
+     instances in order, so every cell accumulates its N rank-1 contributions
+     in the exact sequential order — bitwise identical for any pool size.
+     Columns are materialized once, shared read-only across chunks. *)
+  let cols = Array.init n (fun i -> Array.map (fun v -> Mat.col v i) views) in
+  Parallel.parallel_for ~cost:(n * Tensor.size c) ~n:dims.(0)
+    (fun lo hi ->
+      for i = 0 to n - 1 do
+        Tensor.add_outer_slab_in_place c weight cols.(i) ~lo ~hi
+      done);
   c
 
 let whiteners ~eps views =

@@ -1,0 +1,216 @@
+(* Reusable domain pool.  One long-lived worker domain per pool slot; each
+   worker blocks on its own mutex/condvar pair waiting for a closure, runs
+   it, publishes the result (or the exception), and goes back to sleep.
+   The caller's domain always executes chunk 0 itself, so a pool of size k
+   spawns k-1 domains. *)
+
+let max_domains = 128
+let clamp s = if s < 1 then 1 else if s > max_domains then max_domains else s
+
+let size_from_env raw =
+  match raw with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+    | Some v when v >= 1 -> clamp v
+    | Some _ | None -> clamp (Domain.recommended_domain_count ()))
+  | None -> clamp (Domain.recommended_domain_count ())
+
+let requested_size = ref None
+
+let num_domains () =
+  match !requested_size with
+  | Some s -> s
+  | None ->
+    let s = size_from_env (Sys.getenv_opt "TCCA_DOMAINS") in
+    requested_size := Some s;
+    s
+
+let default_cutoff = 16384
+
+let cutoff =
+  ref
+    (match Option.bind (Sys.getenv_opt "TCCA_PAR_CUTOFF") int_of_string_opt with
+    | Some v when v >= 0 -> v
+    | Some _ | None -> default_cutoff)
+
+let sequential_cutoff () = !cutoff
+let set_sequential_cutoff v = cutoff := if v < 0 then 0 else v
+
+(* ------------------------------------------------------------------ *)
+(* Worker slots.                                                      *)
+
+type cell = Idle | Job of (unit -> unit) | Done of exn option | Quit
+
+type slot = { mutex : Mutex.t; cond : Condition.t; mutable cell : cell }
+
+type pool = { size : int; slots : slot array; domains : unit Domain.t array }
+
+let live_pool : pool option ref = ref None
+
+(* Guards pool creation/shutdown; a second mutex serializes dispatch so that
+   two user domains can't interleave jobs on the same slots. *)
+let pool_mutex = Mutex.create ()
+let dispatch_mutex = Mutex.create ()
+
+(* Workers (and any code they call) must never re-enter the pool: nested
+   parallel regions degrade to sequential instead of deadlocking. *)
+let inside_pool : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let worker_loop slot =
+  Domain.DLS.set inside_pool true;
+  let rec wait () =
+    match slot.cell with
+    | Job f ->
+      Mutex.unlock slot.mutex;
+      let outcome = (try f (); None with e -> Some e) in
+      Mutex.lock slot.mutex;
+      slot.cell <- Done outcome;
+      Condition.broadcast slot.cond;
+      wait ()
+    | Quit -> Mutex.unlock slot.mutex
+    | Idle | Done _ ->
+      Condition.wait slot.cond slot.mutex;
+      wait ()
+  in
+  Mutex.lock slot.mutex;
+  wait ()
+
+let shutdown_registered = ref false
+
+let shutdown () =
+  Mutex.lock pool_mutex;
+  (match !live_pool with
+  | None -> ()
+  | Some p ->
+    live_pool := None;
+    Array.iter
+      (fun slot ->
+        Mutex.lock slot.mutex;
+        slot.cell <- Quit;
+        Condition.broadcast slot.cond;
+        Mutex.unlock slot.mutex)
+      p.slots;
+    Array.iter Domain.join p.domains);
+  Mutex.unlock pool_mutex
+
+let set_num_domains s =
+  let s = clamp s in
+  (* Keep a live pool of the right size — tests flip sizes repeatedly. *)
+  (match !live_pool with
+  | Some p when p.size <> s -> shutdown ()
+  | Some _ | None -> ());
+  requested_size := Some s
+
+let create_pool size =
+  let slots =
+    Array.init (size - 1) (fun _ ->
+        { mutex = Mutex.create (); cond = Condition.create (); cell = Idle })
+  in
+  let domains = Array.map (fun slot -> Domain.spawn (fun () -> worker_loop slot)) slots in
+  if not !shutdown_registered then begin
+    shutdown_registered := true;
+    at_exit shutdown
+  end;
+  { size; slots; domains }
+
+let ensure_pool size =
+  Mutex.lock pool_mutex;
+  let p =
+    match !live_pool with
+    | Some p when p.size = size -> p
+    | Some _ ->
+      (* Size changed since creation: rebuild.  (shutdown re-locks, so drop
+         the lock around it.) *)
+      Mutex.unlock pool_mutex;
+      shutdown ();
+      Mutex.lock pool_mutex;
+      let p = create_pool size in
+      live_pool := Some p;
+      p
+    | None ->
+      let p = create_pool size in
+      live_pool := Some p;
+      p
+  in
+  Mutex.unlock pool_mutex;
+  p
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch.                                                          *)
+
+(* Chunk c of [0,n) split k ways is [c*n/k, (c+1)*n/k): contiguous,
+   non-overlapping, near-equal — the row-ownership determinism contract. *)
+let chunk_bounds n k c = (c * n / k, (c + 1) * n / k)
+
+let run_chunked size n (work : int -> int -> int -> unit) =
+  let pool = ensure_pool size in
+  let nchunks = min size n in
+  let first_exn = ref None in
+  let record = function
+    | Some e when !first_exn = None -> first_exn := Some e
+    | _ -> ()
+  in
+  let used = nchunks - 1 in
+  for c = 1 to used do
+    let lo, hi = chunk_bounds n nchunks c in
+    let slot = pool.slots.(c - 1) in
+    Mutex.lock slot.mutex;
+    slot.cell <- Job (fun () -> work c lo hi);
+    Condition.broadcast slot.cond;
+    Mutex.unlock slot.mutex
+  done;
+  let lo0, hi0 = chunk_bounds n nchunks 0 in
+  let own = (try work 0 lo0 hi0; None with e -> Some e) in
+  for c = 1 to used do
+    let slot = pool.slots.(c - 1) in
+    Mutex.lock slot.mutex;
+    let rec join () =
+      match slot.cell with
+      | Done outcome ->
+        slot.cell <- Idle;
+        record outcome
+      | Job _ | Idle ->
+        Condition.wait slot.cond slot.mutex;
+        join ()
+      | Quit -> ()
+    in
+    join ();
+    Mutex.unlock slot.mutex
+  done;
+  record own;
+  match !first_exn with Some e -> raise e | None -> ()
+
+let sequential_only ?(cost = max_int) n =
+  n < 2 || cost < !cutoff || num_domains () = 1 || Domain.DLS.get inside_pool
+
+let parallel_for ?cost ~n body =
+  if n <= 0 then ()
+  else begin
+    let cost = match cost with Some c -> c | None -> n in
+    if sequential_only ~cost n then body 0 n
+    else if not (Mutex.try_lock dispatch_mutex) then body 0 n
+    else
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock dispatch_mutex)
+        (fun () -> run_chunked (num_domains ()) n (fun _ lo hi -> body lo hi))
+  end
+
+let parallel_for_reduce ?cost ~n ~init ~combine body =
+  if n <= 0 then init
+  else begin
+    let cost = match cost with Some c -> c | None -> n in
+    if sequential_only ~cost n then combine init (body 0 n)
+    else if not (Mutex.try_lock dispatch_mutex) then combine init (body 0 n)
+    else
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock dispatch_mutex)
+        (fun () ->
+          let size = num_domains () in
+          let nchunks = min size n in
+          let partials = Array.make nchunks None in
+          run_chunked size n (fun c lo hi -> partials.(c) <- Some (body lo hi));
+          Array.fold_left
+            (fun acc p ->
+              match p with Some v -> combine acc v | None -> acc)
+            init partials)
+  end

@@ -8,19 +8,22 @@ type info = { iterations : int; fit : float; converged : bool; fit_history : flo
 
 (* X₍ₖ₎ · (⊙_{q≠k} U_q) without materializing either operand: one pass over
    the tensor entries, carrying the running row-product of the non-k factor
-   rows.  O(size · r) multiplies, O(m · r) scratch. *)
-let mttkrp (x : Tensor.t) us k =
+   rows.  O(size · r) multiplies, O(m · r) scratch per domain.
+
+   The mode-k index range [lo, hi) slices the output: a slice touches only
+   rows [lo .. hi-1] of V, so partitioning mode k across the domain pool
+   gives each chunk exclusive ownership of its V rows, and within a row the
+   traversal (hence accumulation) order is identical to the sequential walk —
+   results are bitwise-deterministic for any pool size. *)
+let mttkrp_slice (x : Tensor.t) us k vd ~lo ~hi =
   let m = Tensor.order x in
-  if Array.length us <> m then invalid_arg "Cp_als.mttkrp: arity mismatch";
   let dims = x.Tensor.dims and strides = x.Tensor.strides and data = x.Tensor.data in
   let r = snd (Mat.dims us.(0)) in
-  let v = Mat.create dims.(k) r in
-  let vd = (v : Mat.t).Mat.data in
   let scratch = Array.init (m + 1) (fun _ -> Array.make r 1.) in
   let rec go level base ik coeff =
     if level = m - 1 then begin
       if level = k then
-        for i = 0 to dims.(level) - 1 do
+        for i = lo to hi - 1 do
           let xv = Array.unsafe_get data (base + i) in
           if xv <> 0. then begin
             let vrow = i * r in
@@ -49,7 +52,7 @@ let mttkrp (x : Tensor.t) us k =
     else begin
       let stride = strides.(level) in
       if level = k then
-        for i = 0 to dims.(level) - 1 do
+        for i = lo to hi - 1 do
           go (level + 1) (base + (i * stride)) i coeff
         done
       else begin
@@ -66,7 +69,17 @@ let mttkrp (x : Tensor.t) us k =
       end
     end
   in
-  go 0 0 0 scratch.(m);
+  go 0 0 0 scratch.(m)
+
+let mttkrp (x : Tensor.t) us k =
+  let m = Tensor.order x in
+  if Array.length us <> m then invalid_arg "Cp_als.mttkrp: arity mismatch";
+  let dims = x.Tensor.dims in
+  let r = snd (Mat.dims us.(0)) in
+  let v = Mat.create dims.(k) r in
+  let vd = (v : Mat.t).Mat.data in
+  Parallel.parallel_for ~cost:(Tensor.size x * r) ~n:dims.(k) (fun lo hi ->
+      mttkrp_slice x us k vd ~lo ~hi);
   v
 
 (* Solve U Γ = V for U with Γ symmetric PSD: Cholesky when possible (the

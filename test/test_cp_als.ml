@@ -82,6 +82,40 @@ let test_rank_greater_than_dim () =
   let k, _ = Cp_als.decompose ~options:{ Cp_als.default_options with max_iter = 20 } ~rank:4 t in
   Alcotest.(check int) "rank kept" 4 (Kruskal.rank k)
 
+let test_pool_size_determinism () =
+  (* Same seed and options must give bit-for-bit identical factors whether
+     the MTTKRP (and the GEMMs it feeds) run on 1, 2, or 4 domains. *)
+  let t = random_tensor (rng ()) [| 6; 5; 4 |] in
+  let options = { Cp_als.default_options with init = Cp_als.Random 7; max_iter = 25 } in
+  let run size =
+    Parallel.set_num_domains size;
+    Parallel.set_sequential_cutoff 0;
+    Fun.protect
+      ~finally:(fun () ->
+        Parallel.set_num_domains 1;
+        Parallel.set_sequential_cutoff Parallel.default_cutoff)
+      (fun () -> Cp_als.decompose ~options ~rank:3 t)
+  in
+  let bits v = Array.map Int64.bits_of_float v in
+  let k1, info1 = run 1 in
+  List.iter
+    (fun size ->
+      let k, info = run size in
+      Alcotest.(check int)
+        (Printf.sprintf "iterations at pool %d" size)
+        info1.Cp_als.iterations info.Cp_als.iterations;
+      Alcotest.(check (array int64))
+        (Printf.sprintf "weights at pool %d" size)
+        (bits k1.Kruskal.weights) (bits k.Kruskal.weights);
+      Array.iteri
+        (fun p u ->
+          Alcotest.(check (array int64))
+            (Printf.sprintf "factor %d at pool %d" p size)
+            (bits k1.Kruskal.factors.(p).Mat.data)
+            (bits u.Mat.data))
+        k.Kruskal.factors)
+    [ 2; 4 ]
+
 let test_invalid_rank () =
   let t = Tensor.create [| 2; 2 |] in
   Alcotest.check_raises "rank 0" (Invalid_argument "Cp_als.decompose: rank must be >= 1")
@@ -106,5 +140,6 @@ let () =
       ( "internals",
         [ Alcotest.test_case "mttkrp reference" `Quick test_mttkrp_matches_reference;
           Alcotest.test_case "fit monotone" `Quick test_fit_monotone_nondecreasing;
-          Alcotest.test_case "random init" `Quick test_random_init ] );
+          Alcotest.test_case "random init" `Quick test_random_init;
+          Alcotest.test_case "pool-size determinism" `Quick test_pool_size_determinism ] );
       ("errors", [ Alcotest.test_case "invalid rank" `Quick test_invalid_rank ]) ]

@@ -152,6 +152,144 @@ let prop_gram_psd_diag =
   qtest "gram diagonal non-negative" gen_mat (fun m ->
       Array.for_all (fun v -> v >= -1e-9) (Mat.diag (Mat.gram m)))
 
+(* ------------------------------------------------------------------ *)
+(* Parallel kernels vs. bit-exact sequential references.
+
+   Each reference below replays the kernel's documented per-cell
+   floating-point accumulation order (ascending inner index, with the same
+   zero-skip), so [Mat]'s pool-partitioned implementations must agree
+   *bitwise* — not approximately — at every pool size, including the
+   TCCA_DOMAINS=1 sequential fallback.  Shapes include empty (0×n) and
+   degenerate (1×n) matrices. *)
+
+let ref_mul a b =
+  let m = a.Mat.rows and n = b.Mat.cols and k = a.Mat.cols in
+  let c = Array.make (m * n) 0. in
+  for i = 0 to m - 1 do
+    for l = 0 to k - 1 do
+      let av = a.Mat.data.((i * k) + l) in
+      if av <> 0. then
+        for j = 0 to n - 1 do
+          c.((i * n) + j) <- c.((i * n) + j) +. (av *. b.Mat.data.((l * n) + j))
+        done
+    done
+  done;
+  Mat.unsafe_of_flat ~rows:m ~cols:n c
+
+let ref_mul_tn a b =
+  let m = a.Mat.cols and n = b.Mat.cols in
+  let c = Array.make (m * n) 0. in
+  for l = 0 to a.Mat.rows - 1 do
+    for i = 0 to m - 1 do
+      let av = a.Mat.data.((l * m) + i) in
+      if av <> 0. then
+        for j = 0 to n - 1 do
+          c.((i * n) + j) <- c.((i * n) + j) +. (av *. b.Mat.data.((l * n) + j))
+        done
+    done
+  done;
+  Mat.unsafe_of_flat ~rows:m ~cols:n c
+
+let ref_mul_nt a b =
+  let m = a.Mat.rows and n = b.Mat.rows and k = a.Mat.cols in
+  Mat.init m n (fun i j ->
+      let acc = ref 0. in
+      for l = 0 to k - 1 do
+        acc := !acc +. (a.Mat.data.((i * k) + l) *. b.Mat.data.((j * k) + l))
+      done;
+      !acc)
+
+let ref_gram a =
+  let m = a.Mat.rows and k = a.Mat.cols in
+  let c = Array.make (m * m) 0. in
+  for i = 0 to m - 1 do
+    for j = i to m - 1 do
+      let acc = ref 0. in
+      for l = 0 to k - 1 do
+        acc := !acc +. (a.Mat.data.((i * k) + l) *. a.Mat.data.((j * k) + l))
+      done;
+      c.((i * m) + j) <- !acc;
+      c.((j * m) + i) <- !acc
+    done
+  done;
+  Mat.unsafe_of_flat ~rows:m ~cols:m c
+
+let ref_tgram a =
+  let n = a.Mat.cols in
+  let c = Array.make (n * n) 0. in
+  for l = 0 to a.Mat.rows - 1 do
+    for i = 0 to n - 1 do
+      let ai = a.Mat.data.((l * n) + i) in
+      if ai <> 0. then
+        for j = i to n - 1 do
+          c.((i * n) + j) <- c.((i * n) + j) +. (ai *. a.Mat.data.((l * n) + j))
+        done
+    done
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      c.((i * n) + j) <- c.((j * n) + i)
+    done
+  done;
+  Mat.unsafe_of_flat ~rows:n ~cols:n c
+
+let bits_equal x y =
+  Mat.dims x = Mat.dims y
+  && Array.for_all2
+       (fun u v -> Int64.equal (Int64.bits_of_float u) (Int64.bits_of_float v))
+       x.Mat.data y.Mat.data
+
+(* Entries mix exact zeros in so the kernels' zero-skip branches are hit. *)
+let gen_entry = QCheck2.Gen.(frequency [ (1, pure 0.); (4, float_range (-10.) 10.) ])
+
+let gen_mat_dims lo hi =
+  QCheck2.Gen.(
+    pair (int_range lo hi) (int_range lo hi) >>= fun (r, c) ->
+    array_size (return (r * c)) gen_entry >|= fun data ->
+    Mat.unsafe_of_flat ~rows:r ~cols:c data)
+
+let gen_parallel_case =
+  (* (a, b) with a : m×k and b : k×n; m, n, k range down to 0 so empty and
+     1×n edge shapes are generated. *)
+  QCheck2.Gen.(
+    triple (int_range 0 9) (int_range 0 9) (int_range 0 9) >>= fun (m, k, n) ->
+    pair (array_size (return (m * k)) gen_entry) (array_size (return (k * n)) gen_entry)
+    >|= fun (x, y) ->
+    (Mat.unsafe_of_flat ~rows:m ~cols:k x, Mat.unsafe_of_flat ~rows:k ~cols:n y))
+
+let with_pool size f =
+  Parallel.set_num_domains size;
+  Parallel.set_sequential_cutoff 0;
+  Fun.protect
+    ~finally:(fun () ->
+      Parallel.set_num_domains 1;
+      Parallel.set_sequential_cutoff Parallel.default_cutoff)
+    f
+
+let agree_at_all_pool_sizes reference compute =
+  let expected = reference () in
+  List.for_all (fun size -> with_pool size (fun () -> bits_equal expected (compute ()))) [ 1; 2; 4 ]
+
+let prop_parallel_mul_bitwise =
+  qtest ~count:75 "parallel mul bitwise = sequential reference" gen_parallel_case
+    (fun (a, b) -> agree_at_all_pool_sizes (fun () -> ref_mul a b) (fun () -> Mat.mul a b))
+
+let prop_parallel_mul_tn_bitwise =
+  qtest ~count:75 "parallel mul_tn/mul_nt bitwise = sequential reference" gen_parallel_case
+    (fun (a, b) ->
+      (* mul_tn wants its first operand stored transposed: aᵀ is k×m. *)
+      let at = Mat.transpose a in
+      agree_at_all_pool_sizes (fun () -> ref_mul_tn at b) (fun () -> Mat.mul_tn at b)
+      && agree_at_all_pool_sizes
+           (fun () -> ref_mul_nt a (Mat.transpose b))
+           (fun () -> Mat.mul_nt a (Mat.transpose b)))
+
+let prop_parallel_gram_bitwise =
+  qtest ~count:75 "parallel gram/tgram bitwise = sequential reference" (gen_mat_dims 0 9)
+    (fun m ->
+      agree_at_all_pool_sizes (fun () -> ref_gram m) (fun () -> Mat.gram m)
+      && agree_at_all_pool_sizes (fun () -> ref_tgram m) (fun () -> Mat.tgram m))
+
 let () =
   Alcotest.run "mat"
     [ ( "construction",
@@ -176,4 +314,7 @@ let () =
           Alcotest.test_case "symmetry" `Quick test_is_symmetric ] );
       ( "properties",
         [ prop_mul_associative; prop_transpose_product; prop_trace_cyclic;
-          prop_gram_psd_diag ] ) ]
+          prop_gram_psd_diag ] );
+      ( "parallel-bitwise",
+        [ prop_parallel_mul_bitwise; prop_parallel_mul_tn_bitwise;
+          prop_parallel_gram_bitwise ] ) ]
