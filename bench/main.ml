@@ -68,6 +68,24 @@ let micro_tests () =
   in
   let embedding = Tcca.transform (Tcca.fit_prepared ~r:8 prepared) views in
   let labels = data.Multiview.labels in
+  (* Operator-representation micros (PR "materialization-free TCCA"): the
+     factored path vs the dense kernel on the same whitened tensor.  The
+     mttkrp pair is 4 views at dₚ = 30 (810 000 dense entries — still
+     materializable, so both sides can run); the 5-view dₚ = 40 fit
+     (102 400 000 dense entries) exists only factored. *)
+  let op_rng = Rng.create 515 in
+  let op_mat rows cols = Mat.init rows cols (fun _ _ -> Rng.gaussian op_rng) in
+  let op_factored =
+    Op_tensor.factored ~weight:(1. /. 200.) (Array.init 4 (fun _ -> op_mat 30 200))
+  in
+  let op_dense = Op_tensor.to_tensor op_factored in
+  let op_us = Array.init 4 (fun _ -> op_mat 30 8) in
+  let mk_views m d n = Array.init m (fun _ -> op_mat d n) in
+  let bench_als = Tcca.Als { Cp_als.default_options with max_iter = 20 } in
+  let tcca_dense_p = Tcca.prepare ~eps:1e-2 ~materialize:true (mk_views 3 30 300) in
+  let tcca_fact_p = Tcca.prepare ~eps:1e-2 ~materialize:false (mk_views 3 30 300) in
+  let tcca_many_p = Tcca.prepare ~eps:1e-2 (mk_views 5 40 200) in
+  assert (not (Tcca.materialized tcca_many_p));
   let open Bechamel in
   [ (* Fig. 3 / Table 1: TCCA fit on SecStr-sim (decomposition only). *)
     Test.make ~name:"fig3/tcca-cp-als-r8"
@@ -94,6 +112,20 @@ let micro_tests () =
     (* Fig. 9: the MTTKRP kernel of one ALS sweep. *)
     Test.make ~name:"fig9/mttkrp"
       (Staged.stage (fun () -> Cp_als.mttkrp covariance factors 0));
+    (* Operator representations: same MTTKRP contraction, dense walk over
+       ∏dₚ entries vs the factored O(N·Σdₚ·r) GEMM path. *)
+    Test.make ~name:"op/mttkrp-dense"
+      (Staged.stage (fun () -> Cp_als.mttkrp op_dense op_us 0));
+    Test.make ~name:"op/mttkrp-factored"
+      (Staged.stage (fun () -> Op_tensor.mttkrp op_factored op_us 0));
+    (* End-to-end fit on a dense-feasible shape, both representations … *)
+    Test.make ~name:"tcca/fit-dense"
+      (Staged.stage (fun () -> Tcca.fit_prepared ~solver:bench_als ~r:8 tcca_dense_p));
+    Test.make ~name:"tcca/fit-factored"
+      (Staged.stage (fun () -> Tcca.fit_prepared ~solver:bench_als ~r:8 tcca_fact_p));
+    (* … and the many-view shape only the factored operator can hold. *)
+    Test.make ~name:"tcca/fit-factored-5view-d40"
+      (Staged.stage (fun () -> Tcca.fit_prepared ~solver:bench_als ~r:8 tcca_many_p));
     (* Fig. 10: Gram-matrix construction (chi-squared kernel). *)
     Test.make ~name:"fig10/chi2-gram"
       (Staged.stage (fun () ->

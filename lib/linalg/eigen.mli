@@ -14,7 +14,10 @@ val decompose : ?max_sweeps:int -> ?eps:float -> Mat.t -> t
 (** [decompose a] for symmetric [a].  [eps] (default [1e-12]) is the
     off-diagonal Frobenius threshold relative to the matrix norm;
     [max_sweeps] defaults to 64.  Raises [Invalid_argument] if [a] is not
-    square; symmetry is assumed (only the upper triangle is read). *)
+    square.  Both triangles are read: the input is symmetrized as
+    [(a + aᵀ)/2] first, so tiny asymmetries from accumulation are averaged
+    out rather than ignored (an asymmetric input is decomposed as its
+    symmetric part). *)
 
 val top_k : t -> int -> Mat.t
 (** Eigenvectors of the [k] largest eigenvalues, as columns. *)

@@ -23,21 +23,24 @@ let jittered_pls eps k =
 type prepared = {
   p_kernels : Mat.t array;
   p_chols : Cholesky.t array;
-  p_tensor : Tensor.t;
+  p_op : Op_tensor.t; (* the whitened kernel tensor S, dense or implicit *)
   p_raw_col_means : Vec.t array;
   p_raw_total_means : float array;
   p_centered : bool;
 }
 
+let materialized prepared =
+  match prepared.p_op with Op_tensor.Dense _ -> true | Op_tensor.Factored _ -> false
+
 type raw = {
   raw_kernels : Mat.t array; (* centered *)
-  raw_tensor : Tensor.t;
+  raw_tensor : Tensor.t option; (* K₁₂…ₘ, materialized only on the dense path *)
   raw_cms : Vec.t array;
   raw_tms : float array;
   raw_centered : bool;
 }
 
-let prepare_raw ?(center = true) kernels_raw =
+let prepare_raw ?(center = true) ?materialize kernels_raw =
   let m = Array.length kernels_raw in
   if m < 2 then invalid_arg "Ktcca.fit: need at least two views";
   let n, m1 = Mat.dims kernels_raw.(0) in
@@ -45,7 +48,14 @@ let prepare_raw ?(center = true) kernels_raw =
   Array.iter
     (fun k -> if Mat.dims k <> (n, n) then invalid_arg "Ktcca.fit: kernel size mismatch")
     kernels_raw;
-  if n > max_instances then
+  let dense =
+    match materialize with
+    | Some b -> b
+    | None -> float_of_int n ** float_of_int m <= float_of_int Tcca.materialize_threshold
+  in
+  (* The Nᵐ guard only protects the dense path; the factored operator holds
+     nothing bigger than the m N×N kernels themselves. *)
+  if dense && n > max_instances then
     invalid_arg
       (Printf.sprintf "Ktcca.fit: N=%d exceeds max_instances=%d (the tensor S is N^m dense)"
          n max_instances);
@@ -57,9 +67,11 @@ let prepare_raw ?(center = true) kernels_raw =
     if center then Array.map Kernel.center kernels_raw else Array.map Mat.copy kernels_raw
   in
   (* K₁₂…ₘ = (1/N) Σₙ k₁ₙ ∘ … ∘ kₘₙ (Theorem 3): exactly the covariance
-     tensor of the Gram matrices viewed as N-dimensional features. *)
+     tensor of the Gram matrices viewed as N-dimensional features — i.e. the
+     centered kernels ARE its Kruskal factors, so the factored path needs no
+     accumulation at all. *)
   { raw_kernels = kernels;
-    raw_tensor = Tcca.covariance_tensor kernels;
+    raw_tensor = (if dense then Some (Tcca.covariance_tensor kernels) else None);
     raw_cms = raw_col_means;
     raw_tms = raw_total_means;
     raw_centered = center }
@@ -69,26 +81,49 @@ let prepare_of_raw ~eps raw =
   (* S = K ×ₚ (Lₚ⁻¹)ᵀ; with A = GGᵀ and the paper's L = Gᵀ this is
      (Lₚ⁻¹)ᵀ = Gₚ⁻¹. *)
   let inv_lowers = Array.map Cholesky.inverse_lower chols in
+  let op =
+    match raw.raw_tensor with
+    | Some t -> Op_tensor.dense (Tensor.mode_products t inv_lowers)
+    | None ->
+      (* S = (1/N) Σₙ ∘ₚ (Gₚ⁻¹ kₚₙ): factors Zₚ = Gₚ⁻¹ Kₚ, never Nᵐ. *)
+      let n = fst (Mat.dims raw.raw_kernels.(0)) in
+      Op_tensor.factored
+        ~weight:(1. /. float_of_int n)
+        (Array.map2 Mat.mul inv_lowers raw.raw_kernels)
+  in
   { p_kernels = raw.raw_kernels;
     p_chols = chols;
-    p_tensor = Tensor.mode_products raw.raw_tensor inv_lowers;
+    p_op = op;
     p_raw_col_means = raw.raw_cms;
     p_raw_total_means = raw.raw_tms;
     p_centered = raw.raw_centered }
 
-let prepare ?(eps = 1e-4) ?center kernels_raw =
-  prepare_of_raw ~eps (prepare_raw ?center kernels_raw)
+let prepare ?(eps = 1e-4) ?center ?materialize kernels_raw =
+  prepare_of_raw ~eps (prepare_raw ?center ?materialize kernels_raw)
 
 let fit_prepared ?(solver = Tcca.default_solver) ~r prepared =
   if r < 1 then invalid_arg "Ktcca.fit_prepared: r must be >= 1";
-  let n = Tensor.dim prepared.p_tensor 0 in
+  let n = Op_tensor.dim prepared.p_op 0 in
   let r = min r n in
-  let s_tensor = prepared.p_tensor in
+  let dense_tensor () =
+    match prepared.p_op with
+    | Op_tensor.Dense t -> t
+    | Op_tensor.Factored _ ->
+      let entries = float_of_int n ** float_of_int (Op_tensor.order prepared.p_op) in
+      if entries > 1e8 then
+        invalid_arg
+          (Printf.sprintf
+             "Ktcca.fit_prepared: this solver needs the dense tensor (%.0f entries); use \
+              the Als solver or ~materialize:true"
+             entries);
+      Op_tensor.to_tensor prepared.p_op
+  in
   let kruskal =
     match solver with
-    | Tcca.Als options -> fst (Cp_als.decompose ~options ~rank:r s_tensor)
-    | Tcca.Rand_als options -> fst (Cp_rand.decompose ~options ~rank:r s_tensor)
-    | Tcca.Power_deflation -> Kruskal.normalize (Tensor_power.decompose ~rank:r s_tensor)
+    | Tcca.Als options -> fst (Cp_als.decompose_op ~options ~rank:r prepared.p_op)
+    | Tcca.Rand_als options -> fst (Cp_rand.decompose ~options ~rank:r (dense_tensor ()))
+    | Tcca.Power_deflation ->
+      Kruskal.normalize (Tensor_power.decompose ~rank:r (dense_tensor ()))
   in
   (* aₚ = Lₚ⁻¹ Bₚ = Gₚ⁻ᵀ Bₚ. *)
   let duals =
@@ -102,8 +137,8 @@ let fit_prepared ?(solver = Tcca.default_solver) ~r prepared =
     centered = prepared.p_centered;
     correlations = kruskal.Kruskal.weights }
 
-let fit ?eps ?center ?solver ~r kernels_raw =
-  fit_prepared ?solver ~r (prepare ?eps ?center kernels_raw)
+let fit ?eps ?center ?materialize ?solver ~r kernels_raw =
+  fit_prepared ?solver ~r (prepare ?eps ?center ?materialize kernels_raw)
 
 let r t = Array.length t.correlations
 let n_views t = Array.length t.duals

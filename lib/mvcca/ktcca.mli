@@ -9,34 +9,49 @@
     best rank-1 (rank-r via CP-ALS) approximation of
     [S = K₁₂…ₘ ×₁ (L₁⁻¹)ᵀ … ×ₘ (Lₘ⁻¹)ᵀ] (Eq. 4.15).
 
-    The tensor [S] is Nᵐ-dense, so fitting cost scales as O(t·r·Nᵐ)
-    (Sec. 4.5) — the method targets high-dimension/small-N regimes, and
-    [fit] refuses N beyond [max_instances]. *)
+    Dense, the tensor [S] is Nᵐ and fitting cost scales as O(t·r·Nᵐ)
+    (Sec. 4.5).  But [S = (1/N) Σₙ ∘ₚ (Gₚ⁻¹ kₚₙ)] is rank-N by construction,
+    so the default ALS path keeps it as an [Op_tensor.Factored] operator with
+    factors [Gₚ⁻¹ Kₚ] — O(m·N²) memory and O(N²·m·r) per sweep — and the
+    [max_instances] guard applies only when the dense tensor is actually
+    materialized ([~materialize:true] or small Nᵐ). *)
 
 type t
 
 val max_instances : int
 (** Guard against accidentally materializing an Nᵐ tensor that cannot fit
-    (default 600 for three views ≈ 1.7 GB). *)
+    (default 600 for three views ≈ 1.7 GB).  Dense path only. *)
 
-val fit : ?eps:float -> ?center:bool -> ?solver:Tcca.solver -> r:int -> Mat.t array -> t
+val fit :
+  ?eps:float ->
+  ?center:bool ->
+  ?materialize:bool ->
+  ?solver:Tcca.solver ->
+  r:int ->
+  Mat.t array ->
+  t
 (** [fit ~eps ~r kernels] on training Gram matrices (one per view).
     [center] (default true) double-centers each kernel.  [eps] defaults to
-    1e-4. *)
+    1e-4.  [materialize] mirrors {!Tcca.fit}: dense iff Nᵐ ≤
+    [Tcca.materialize_threshold] by default; [Rand_als] and
+    [Power_deflation] require the dense tensor. *)
 
 type prepared
-(** Centered kernels, Cholesky factors and the whitened tensor [S], frozen
+(** Centered kernels, Cholesky factors and the whitened operator [S], frozen
     so several ranks can be decomposed without re-materializing [S]. *)
 
-val prepare : ?eps:float -> ?center:bool -> Mat.t array -> prepared
+val prepare : ?eps:float -> ?center:bool -> ?materialize:bool -> Mat.t array -> prepared
 val fit_prepared : ?solver:Tcca.solver -> r:int -> prepared -> t
 
-type raw
-(** The ε-independent work — centered kernels and the Nᵐ kernel covariance
-    tensor — shared by an ε-validation loop (the paper optimizes ε over
-    {10ⁱ} for the kernel experiments). *)
+val materialized : prepared -> bool
+(** Whether the prepared operator is the dense Nᵐ tensor. *)
 
-val prepare_raw : ?center:bool -> Mat.t array -> raw
+type raw
+(** The ε-independent work — centered kernels and (dense path only) the Nᵐ
+    kernel covariance tensor — shared by an ε-validation loop (the paper
+    optimizes ε over {10ⁱ} for the kernel experiments). *)
+
+val prepare_raw : ?center:bool -> ?materialize:bool -> Mat.t array -> raw
 val prepare_of_raw : eps:float -> raw -> prepared
 
 val r : t -> int

@@ -52,33 +52,66 @@ let whitened_tensor ?(eps = 1e-2) views =
   let c = covariance_tensor centered in
   Tensor.mode_products c (whiteners ~eps centered)
 
+(* Below this many logical entries the dense path wins: its per-sweep cost
+   O(∏dₚ·r) beats the factored O(N·Σdₚ·r) once the one-off O(N·∏dₚ)
+   accumulation is amortized, and the dense tensor is small anyway. *)
+let materialize_threshold = 262_144
+
+let should_materialize ?materialize dims =
+  match materialize with
+  | Some b -> b
+  | None ->
+    (* Float product: ∏dₚ can overflow an int for many-view shapes. *)
+    Array.fold_left (fun acc d -> acc *. float_of_int d) 1. dims
+    <= float_of_int materialize_threshold
+
 type prepared = {
   p_means : Vec.t array;
   p_whiteners : Mat.t array;
-  p_tensor : Tensor.t; (* the whitened covariance tensor M *)
+  p_op : Op_tensor.t; (* the whitened covariance tensor M, dense or implicit *)
 }
+
+let materialized prepared =
+  match prepared.p_op with Op_tensor.Dense _ -> true | Op_tensor.Factored _ -> false
+
+type raw_stats =
+  | Raw_tensor of Tensor.t (* C₁₂…ₘ of the centered views, materialized *)
+  | Raw_views of Mat.t array (* the centered views themselves (dₚ × N each) *)
 
 type raw = {
   r_means : Vec.t array;
-  r_covs : Mat.t array;   (* unregularized Cpp *)
-  r_tensor : Tensor.t;    (* C₁₂…ₘ of the centered views *)
+  r_covs : Mat.t array; (* unregularized Cpp *)
+  r_stats : raw_stats;
 }
 
-let prepare_raw views =
+let prepare_raw ?materialize views =
   let n = check_views "Tcca.prepare" views in
   let nf = float_of_int n in
   let means = Array.map Mat.row_means views in
   let centered = Array.map2 Mat.sub_col_vec views means in
   let covs = Array.map (fun x -> Mat.scale (1. /. nf) (Mat.gram x)) centered in
-  { r_means = means; r_covs = covs; r_tensor = covariance_tensor centered }
+  let dims = Array.map (fun v -> fst (Mat.dims v)) views in
+  let stats =
+    if should_materialize ?materialize dims then Raw_tensor (covariance_tensor centered)
+    else Raw_views centered
+  in
+  { r_means = means; r_covs = covs; r_stats = stats }
 
 let prepare_of_raw ~eps raw =
   let ws = Array.map (fun c -> Matfun.inv_sqrt_psd (Mat.add_scaled_identity eps c)) raw.r_covs in
-  { p_means = raw.r_means;
-    p_whiteners = ws;
-    p_tensor = Tensor.mode_products raw.r_tensor ws }
+  let op =
+    match raw.r_stats with
+    | Raw_tensor t -> Op_tensor.dense (Tensor.mode_products t ws)
+    | Raw_views centered ->
+      (* M = (1/N) Σᵢ ∘ₚ (Wₚ x̄ₚᵢ): the whitened views ARE the Kruskal
+         factors of M — nothing of size ∏dₚ is ever allocated. *)
+      let n = snd (Mat.dims centered.(0)) in
+      Op_tensor.factored ~weight:(1. /. float_of_int n) (Array.map2 Mat.mul ws centered)
+  in
+  { p_means = raw.r_means; p_whiteners = ws; p_op = op }
 
-let prepare ?(eps = 1e-2) views = prepare_of_raw ~eps (prepare_raw views)
+let prepare ?(eps = 1e-2) ?materialize views =
+  prepare_of_raw ~eps (prepare_raw ?materialize views)
 
 module Builder = struct
   (* Raw (uncentered) moments, exactly centered at [finalize] time by
@@ -212,27 +245,45 @@ module Builder = struct
       acc := !acc +. (sign_m1 *. float_of_int (m - 1) *. !mu_all);
       Tensor.set out idx !acc
     done;
-    { r_means = means; r_covs = covs; r_tensor = out }
+    { r_means = means; r_covs = covs; r_stats = Raw_tensor out }
 end
+
+(* Rand_als and Power_deflation walk raw tensor entries, so a factored
+   operator must be materialized for them; refuse when that allocation is
+   itself infeasible rather than letting it OOM. *)
+let materialize_for_solver name op =
+  (match op with
+  | Op_tensor.Dense _ -> ()
+  | Op_tensor.Factored _ ->
+    let entries =
+      Array.fold_left (fun acc d -> acc *. float_of_int d) 1. (Op_tensor.dims op)
+    in
+    if entries > 1e8 then
+      invalid_arg
+        (Printf.sprintf
+           "%s: this solver needs the dense tensor (%.0f entries); use the Als solver for \
+            factored operators"
+           name entries));
+  Op_tensor.to_tensor op
 
 let fit_prepared ?(solver = default_solver) ~r prepared =
   if r < 1 then invalid_arg "Tcca.fit_prepared: r must be >= 1";
-  let dims = Array.init (Tensor.order prepared.p_tensor) (Tensor.dim prepared.p_tensor) in
-  let r = Array.fold_left min r dims in
-  let m_tensor = prepared.p_tensor in
+  let r = Array.fold_left min r (Op_tensor.dims prepared.p_op) in
   let kruskal, note =
     match solver with
     | Als options ->
-      let k, info = Cp_als.decompose ~options ~rank:r m_tensor in
+      let k, info = Cp_als.decompose_op ~options ~rank:r prepared.p_op in
       ( k,
         Printf.sprintf "als: %d iters, fit %.6f, converged %b" info.Cp_als.iterations
           info.Cp_als.fit info.Cp_als.converged )
     | Rand_als options ->
+      let m_tensor = materialize_for_solver "Tcca.fit_prepared" prepared.p_op in
       let k, info = Cp_rand.decompose ~options ~rank:r m_tensor in
       ( k,
         Printf.sprintf "rand-als: %d iters, sampled fit %.6f, converged %b"
           info.Cp_rand.iterations info.Cp_rand.sampled_fit info.Cp_rand.converged )
     | Power_deflation ->
+      let m_tensor = materialize_for_solver "Tcca.fit_prepared" prepared.p_op in
       let k = Tensor_power.decompose ~rank:r m_tensor in
       (Kruskal.normalize k, "power-deflation")
   in
@@ -246,7 +297,8 @@ let fit_prepared ?(solver = default_solver) ~r prepared =
     correlations = kruskal.Kruskal.weights;
     solver_note = note }
 
-let fit ?(eps = 1e-2) ?solver ~r views = fit_prepared ?solver ~r (prepare ~eps views)
+let fit ?(eps = 1e-2) ?materialize ?solver ~r views =
+  fit_prepared ?solver ~r (prepare ~eps ?materialize views)
 
 let r t = Array.length t.correlations
 let n_views t = Array.length t.projections

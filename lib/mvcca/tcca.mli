@@ -23,29 +23,46 @@ val default_solver : solver
 
 type t
 
-val fit : ?eps:float -> ?solver:solver -> r:int -> Mat.t array -> t
+val fit : ?eps:float -> ?materialize:bool -> ?solver:solver -> r:int -> Mat.t array -> t
 (** [fit ~eps ~r views] with instances as columns; centering is internal and
     frozen.  [eps] is the regularizer of Eq. 4.8 (default 1e-2, the paper's
     linear-experiment value).  [r] is clamped to [min dₚ].  Raises
     [Invalid_argument] on fewer than 2 views or inconsistent instance
-    counts. *)
+    counts.
+
+    [materialize] selects the covariance-tensor representation:
+    [Some true] builds the dense ∏dₚ tensor (required by the [Rand_als] and
+    [Power_deflation] solvers), [Some false] keeps it implicit as the rank-N
+    factored operator [M = (1/N) Σᵢ ∘ₚ (C̃ₚₚ^{−1/2} x̄ₚᵢ)] — O(N·Σdₚ) memory
+    and O(N·Σdₚ·r) per ALS sweep, which is what makes many-view shapes
+    (e.g. 5 views at dₚ = 40 ≈ 10⁸ dense entries) fit at all.  The default
+    picks dense iff ∏dₚ ≤ [materialize_threshold].  Both paths compute the
+    same M; projections agree to solver roundoff. *)
+
+val materialize_threshold : int
+(** The ∏dₚ cutoff of the default heuristic (262 144 entries = 2 MB). *)
 
 type prepared
 (** The N-dependent work of a fit — centering, whitening, covariance-tensor
-    accumulation — frozen so that several ranks can be decomposed from the
-    same tensor.  This is what makes dimension sweeps cheap: everything up
-    to the CP decomposition is rank-independent (Sec. 4.5). *)
+    accumulation (or its factored stand-in) — frozen so that several ranks
+    can be decomposed from the same operator.  This is what makes dimension
+    sweeps cheap: everything up to the CP decomposition is rank-independent
+    (Sec. 4.5). *)
 
-val prepare : ?eps:float -> Mat.t array -> prepared
+val prepare : ?eps:float -> ?materialize:bool -> Mat.t array -> prepared
 val fit_prepared : ?solver:solver -> r:int -> prepared -> t
+
+val materialized : prepared -> bool
+(** Whether the prepared operator is the dense tensor (exposed so tests and
+    benches can pin which path the heuristic chose). *)
 
 type raw
 (** Only the ε-independent work: means, per-view covariance matrices and the
-    covariance tensor.  Lets an ε-validation loop (the paper tunes ε over
-    {10ⁱ} for the image experiments) reuse the single O(N·Πdₚ) accumulation
-    pass. *)
+    covariance statistics (dense tensor or retained centered views).  Lets an
+    ε-validation loop (the paper tunes ε over {10ⁱ} for the image
+    experiments) reuse the single accumulation pass. *)
 
-val prepare_raw : Mat.t array -> raw
+val prepare_raw : ?materialize:bool -> Mat.t array -> raw
 val prepare_of_raw : eps:float -> raw -> prepared
 
 val r : t -> int

@@ -6,81 +6,9 @@ let default_options = { max_iter = 100; tol = 1e-6; init = Hosvd }
 
 type info = { iterations : int; fit : float; converged : bool; fit_history : float list }
 
-(* X₍ₖ₎ · (⊙_{q≠k} U_q) without materializing either operand: one pass over
-   the tensor entries, carrying the running row-product of the non-k factor
-   rows.  O(size · r) multiplies, O(m · r) scratch per domain.
-
-   The mode-k index range [lo, hi) slices the output: a slice touches only
-   rows [lo .. hi-1] of V, so partitioning mode k across the domain pool
-   gives each chunk exclusive ownership of its V rows, and within a row the
-   traversal (hence accumulation) order is identical to the sequential walk —
-   results are bitwise-deterministic for any pool size. *)
-let mttkrp_slice (x : Tensor.t) us k vd ~lo ~hi =
-  let m = Tensor.order x in
-  let dims = x.Tensor.dims and strides = x.Tensor.strides and data = x.Tensor.data in
-  let r = snd (Mat.dims us.(0)) in
-  let scratch = Array.init (m + 1) (fun _ -> Array.make r 1.) in
-  let rec go level base ik coeff =
-    if level = m - 1 then begin
-      if level = k then
-        for i = lo to hi - 1 do
-          let xv = Array.unsafe_get data (base + i) in
-          if xv <> 0. then begin
-            let vrow = i * r in
-            for c = 0 to r - 1 do
-              Array.unsafe_set vd (vrow + c)
-                (Array.unsafe_get vd (vrow + c) +. (xv *. Array.unsafe_get coeff c))
-            done
-          end
-        done
-      else begin
-        let ud = (us.(level) : Mat.t).Mat.data in
-        let vrow = ik * r in
-        for i = 0 to dims.(level) - 1 do
-          let xv = Array.unsafe_get data (base + i) in
-          if xv <> 0. then begin
-            let urow = i * r in
-            for c = 0 to r - 1 do
-              Array.unsafe_set vd (vrow + c)
-                (Array.unsafe_get vd (vrow + c)
-                +. (xv *. Array.unsafe_get coeff c *. Array.unsafe_get ud (urow + c)))
-            done
-          end
-        done
-      end
-    end
-    else begin
-      let stride = strides.(level) in
-      if level = k then
-        for i = lo to hi - 1 do
-          go (level + 1) (base + (i * stride)) i coeff
-        done
-      else begin
-        let next = scratch.(level) in
-        let ud = (us.(level) : Mat.t).Mat.data in
-        for i = 0 to dims.(level) - 1 do
-          let urow = i * r in
-          for c = 0 to r - 1 do
-            Array.unsafe_set next c
-              (Array.unsafe_get coeff c *. Array.unsafe_get ud (urow + c))
-          done;
-          go (level + 1) (base + (i * stride)) ik next
-        done
-      end
-    end
-  in
-  go 0 0 0 scratch.(m)
-
-let mttkrp (x : Tensor.t) us k =
-  let m = Tensor.order x in
-  if Array.length us <> m then invalid_arg "Cp_als.mttkrp: arity mismatch";
-  let dims = x.Tensor.dims in
-  let r = snd (Mat.dims us.(0)) in
-  let v = Mat.create dims.(k) r in
-  let vd = (v : Mat.t).Mat.data in
-  Parallel.parallel_for ~cost:(Tensor.size x * r) ~n:dims.(k) (fun lo hi ->
-      mttkrp_slice x us k vd ~lo ~hi);
-  v
+(* The dense kernel lives in Op_tensor (shared with the factored operator);
+   this alias keeps the historical entry point for tests and benches. *)
+let mttkrp (x : Tensor.t) us k = Op_tensor.mttkrp (Op_tensor.Dense x) us k
 
 (* Solve U Γ = V for U with Γ symmetric PSD: Cholesky when possible (the
    generic case), spectral pseudo-inverse as the rank-deficient fallback. *)
@@ -90,7 +18,7 @@ let solve_against_gram v gamma =
   | exception Cholesky.Not_positive_definite -> Mat.mul v (Matfun.inv_psd gamma)
 
 let normalize_columns_in_place u lambda =
-  let _, r = Mat.dims u in
+  let rows, r = Mat.dims u in
   for c = 0 to r - 1 do
     let col = Mat.col u c in
     let n = Vec.norm col in
@@ -98,12 +26,19 @@ let normalize_columns_in_place u lambda =
       Mat.set_col u c (Vec.scale (1. /. n) col);
       lambda.(c) <- n
     end
-    else lambda.(c) <- 0.
+    else begin
+      (* Underflowed column: zero it explicitly so the factor carries no
+         stale un-normalized direction alongside its λ = 0 weight. *)
+      for i = 0 to rows - 1 do
+        Mat.set u i c 0.
+      done;
+      lambda.(c) <- 0.
+    end
   done
 
-let init_factors options ~rank x =
-  let m = Tensor.order x in
-  let dims = x.Tensor.dims in
+let init_factors options ~rank op =
+  let m = Op_tensor.order op in
+  let dims = Op_tensor.dims op in
   match options.init with
   | Random seed ->
     let rng = Rng.create seed in
@@ -111,8 +46,7 @@ let init_factors options ~rank x =
   | Hosvd ->
     let rng = Rng.create 0x415353 in
     Array.init m (fun k ->
-        let unfolding = Unfold.unfold x k in
-        let gram = Mat.gram unfolding in
+        let gram = Op_tensor.mode_gram op k in
         let eig = Eigen.decompose gram in
         let keep = min rank dims.(k) in
         let lead = Eigen.top_k eig keep in
@@ -123,12 +57,12 @@ let init_factors options ~rank x =
           Mat.hcat lead pad
         end)
 
-let decompose ?(options = default_options) ~rank x =
+let decompose_op ?(options = default_options) ~rank op =
   if rank < 1 then invalid_arg "Cp_als.decompose: rank must be >= 1";
-  let m = Tensor.order x in
-  let factors = init_factors options ~rank x in
+  let m = Op_tensor.order op in
+  let factors = init_factors options ~rank op in
   let lambda = Array.make rank 1. in
-  let norm_x2 = Tensor.inner x x in
+  let norm_x2 = Op_tensor.norm2 op in
   let norm_x = sqrt norm_x2 in
   let fit_history = ref [] in
   let previous_fit = ref neg_infinity in
@@ -138,7 +72,7 @@ let decompose ?(options = default_options) ~rank x =
     incr iterations;
     let last_v = ref (Mat.create 1 1) in
     for k = 0 to m - 1 do
-      let v = mttkrp x factors k in
+      let v = Op_tensor.mttkrp op factors k in
       let gamma = Khatri_rao.gram_hadamard_excluding factors k in
       let u = solve_against_gram v gamma in
       normalize_columns_in_place u lambda;
@@ -167,3 +101,5 @@ let decompose ?(options = default_options) ~rank x =
       fit = !previous_fit;
       converged = !converged;
       fit_history = List.rev !fit_history } )
+
+let decompose ?options ~rank x = decompose_op ?options ~rank (Op_tensor.Dense x)

@@ -31,8 +31,16 @@ type info = {
 }
 
 val decompose : ?options:options -> rank:int -> Tensor.t -> Kruskal.t * info
-(** Raises [Invalid_argument] if [rank < 1]. *)
+(** Raises [Invalid_argument] if [rank < 1].  Equivalent to [decompose_op]
+    on [Op_tensor.Dense]. *)
+
+val decompose_op : ?options:options -> rank:int -> Op_tensor.t -> Kruskal.t * info
+(** The generic solver: every sweep touches the tensor only through
+    [Op_tensor.mttkrp] / [norm2] / [mode_gram], so a [Factored] operator is
+    decomposed in O(n · Σₚ dₚ · r) per sweep without the ∏ₚ dₚ entries ever
+    existing.  On [Dense] this is bit-for-bit the historical dense solver. *)
 
 val mttkrp : Tensor.t -> Mat.t array -> int -> Mat.t
 (** [mttkrp x us k = X₍ₖ₎ · (⊙_{q≠k} U_q)] — the matricized-tensor times
-    Khatri–Rao product, the hot kernel of a sweep (exposed for benches). *)
+    Khatri–Rao product, the hot kernel of a sweep (exposed for benches).
+    Delegates to [Op_tensor.mttkrp] on the dense operator. *)

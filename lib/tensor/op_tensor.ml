@@ -1,0 +1,200 @@
+type t =
+  | Dense of Tensor.t
+  | Factored of { weight : float; factors : Mat.t array }
+
+let dense x = Dense x
+
+let factored ~weight factors =
+  let m = Array.length factors in
+  if m = 0 then invalid_arg "Op_tensor.factored: no modes";
+  let n = snd (Mat.dims factors.(0)) in
+  if n < 1 then invalid_arg "Op_tensor.factored: no components";
+  Array.iter
+    (fun z ->
+      if snd (Mat.dims z) <> n then
+        invalid_arg "Op_tensor.factored: component count mismatch")
+    factors;
+  Factored { weight; factors }
+
+let order = function
+  | Dense x -> Tensor.order x
+  | Factored { factors; _ } -> Array.length factors
+
+let dims = function
+  | Dense x -> Array.copy x.Tensor.dims
+  | Factored { factors; _ } -> Array.map (fun z -> fst (Mat.dims z)) factors
+
+let dim op k =
+  match op with
+  | Dense x -> Tensor.dim x k
+  | Factored { factors; _ } -> fst (Mat.dims factors.(k))
+
+let size op = Array.fold_left ( * ) 1 (dims op)
+
+let n_components = function
+  | Dense _ -> None
+  | Factored { factors; _ } -> Some (snd (Mat.dims factors.(0)))
+
+(* ------------------------------------------------------------------ *)
+(* Dense MTTKRP: X₍ₖ₎ · (⊙_{q≠k} U_q) without materializing either
+   operand — one pass over the tensor entries, carrying the running
+   row-product of the non-k factor rows.  O(size · r) multiplies,
+   O(m · r) scratch per domain.
+
+   The mode-k index range [lo, hi) slices the output: a slice touches only
+   rows [lo .. hi-1] of V, so partitioning mode k across the domain pool
+   gives each chunk exclusive ownership of its V rows, and within a row the
+   traversal (hence accumulation) order is identical to the sequential walk —
+   results are bitwise-deterministic for any pool size. *)
+let dense_mttkrp_slice (x : Tensor.t) us k vd ~lo ~hi =
+  let m = Tensor.order x in
+  let dims = x.Tensor.dims and strides = x.Tensor.strides and data = x.Tensor.data in
+  let r = snd (Mat.dims us.(0)) in
+  let scratch = Array.init (m + 1) (fun _ -> Array.make r 1.) in
+  let rec go level base ik coeff =
+    if level = m - 1 then begin
+      if level = k then
+        for i = lo to hi - 1 do
+          let xv = Array.unsafe_get data (base + i) in
+          if xv <> 0. then begin
+            let vrow = i * r in
+            for c = 0 to r - 1 do
+              Array.unsafe_set vd (vrow + c)
+                (Array.unsafe_get vd (vrow + c) +. (xv *. Array.unsafe_get coeff c))
+            done
+          end
+        done
+      else begin
+        let ud = (us.(level) : Mat.t).Mat.data in
+        let vrow = ik * r in
+        for i = 0 to dims.(level) - 1 do
+          let xv = Array.unsafe_get data (base + i) in
+          if xv <> 0. then begin
+            let urow = i * r in
+            for c = 0 to r - 1 do
+              Array.unsafe_set vd (vrow + c)
+                (Array.unsafe_get vd (vrow + c)
+                +. (xv *. Array.unsafe_get coeff c *. Array.unsafe_get ud (urow + c)))
+            done
+          end
+        done
+      end
+    end
+    else begin
+      let stride = strides.(level) in
+      if level = k then
+        for i = lo to hi - 1 do
+          go (level + 1) (base + (i * stride)) i coeff
+        done
+      else begin
+        let next = scratch.(level) in
+        let ud = (us.(level) : Mat.t).Mat.data in
+        for i = 0 to dims.(level) - 1 do
+          let urow = i * r in
+          for c = 0 to r - 1 do
+            Array.unsafe_set next c
+              (Array.unsafe_get coeff c *. Array.unsafe_get ud (urow + c))
+          done;
+          go (level + 1) (base + (i * stride)) ik next
+        done
+      end
+    end
+  in
+  go 0 0 0 scratch.(m)
+
+let dense_mttkrp (x : Tensor.t) us k =
+  let dims = x.Tensor.dims in
+  let r = snd (Mat.dims us.(0)) in
+  let v = Mat.create dims.(k) r in
+  let vd = (v : Mat.t).Mat.data in
+  Parallel.parallel_for ~cost:(Tensor.size x * r) ~n:dims.(k) (fun lo hi ->
+      dense_mttkrp_slice x us k vd ~lo ~hi);
+  v
+
+(* Hadamard product over the factored blocks: ⊛_{q≠skip} (f q zq), an n×n or
+   n×r matrix.  The GEMMs inside f run on the Parallel pool; the Hadamard
+   itself is cheap. *)
+let hadamard_excluding factors ~skip ~rows ~cols f =
+  let acc = ref (Mat.make rows cols 1.) in
+  Array.iteri (fun q z -> if q <> skip then acc := Mat.map2 ( *. ) !acc (f q z)) factors;
+  !acc
+
+let mttkrp op us k =
+  let m = order op in
+  if Array.length us <> m then invalid_arg "Op_tensor.mttkrp: arity mismatch";
+  if k < 0 || k >= m then invalid_arg "Op_tensor.mttkrp: bad mode";
+  match op with
+  | Dense x -> dense_mttkrp x us k
+  | Factored { weight; factors } ->
+    (* Vₖ = w · Zₖ · ⊛_{q≠k}(ZqᵀUq) — never touches ∏dₚ entries. *)
+    let n = snd (Mat.dims factors.(0)) in
+    let r = snd (Mat.dims us.(0)) in
+    let h =
+      hadamard_excluding factors ~skip:k ~rows:n ~cols:r (fun q z -> Mat.mul_tn z us.(q))
+    in
+    Mat.scale weight (Mat.mul factors.(k) h)
+
+let norm2 = function
+  | Dense x -> Tensor.inner x x
+  | Factored { weight; factors } ->
+    (* ⟨M, M⟩ = w² Σᵢⱼ ∏ₚ ⟨zₚᵢ, zₚⱼ⟩ = w² · 1ᵀ(⊛ₚ ZₚᵀZₚ)1. *)
+    let n = snd (Mat.dims factors.(0)) in
+    let g = hadamard_excluding factors ~skip:(-1) ~rows:n ~cols:n (fun _ z -> Mat.tgram z) in
+    let total = ref 0. in
+    Array.iter (fun v -> total := !total +. v) g.Mat.data;
+    weight *. weight *. !total
+
+let inner_kruskal op lambda us =
+  let m = order op in
+  if Array.length us <> m then invalid_arg "Op_tensor.inner_kruskal: arity mismatch";
+  let r = Array.length lambda in
+  Array.iter
+    (fun u ->
+      if snd (Mat.dims u) <> r then invalid_arg "Op_tensor.inner_kruskal: rank mismatch")
+    us;
+  match op with
+  | Dense x ->
+    (* ⟨X, ⟦λ; U⟧⟩ = Σ_c λ_c ⟨v_c, u_c⟩ with V the final-mode MTTKRP. *)
+    let v = dense_mttkrp x us (m - 1) in
+    let acc = ref 0. in
+    for c = 0 to r - 1 do
+      acc := !acc +. (lambda.(c) *. Vec.dot (Mat.col v c) (Mat.col us.(m - 1) c))
+    done;
+    !acc
+  | Factored { weight; factors } ->
+    (* w Σᵢ Σ_c λ_c ∏ₚ ⟨zₚᵢ, uₚ_c⟩ = w · 1ᵀ(⊛ₚ ZₚᵀUₚ)λ. *)
+    let n = snd (Mat.dims factors.(0)) in
+    let h =
+      hadamard_excluding factors ~skip:(-1) ~rows:n ~cols:r (fun p z ->
+          Mat.mul_tn z us.(p))
+    in
+    let total = ref 0. in
+    for c = 0 to r - 1 do
+      let col_sum = ref 0. in
+      for i = 0 to n - 1 do
+        col_sum := !col_sum +. Mat.get h i c
+      done;
+      total := !total +. (lambda.(c) *. !col_sum)
+    done;
+    weight *. !total
+
+let mode_gram op k =
+  let m = order op in
+  if k < 0 || k >= m then invalid_arg "Op_tensor.mode_gram: bad mode";
+  match op with
+  | Dense x -> Mat.gram (Unfold.unfold x k)
+  | Factored { weight; factors } ->
+    (* M₍ₖ₎ = w·Zₖ(⊙_{q≠k}Zq)ᵀ, so M₍ₖ₎M₍ₖ₎ᵀ = w²·Zₖ(⊛_{q≠k}ZqᵀZq)Zₖᵀ. *)
+    let n = snd (Mat.dims factors.(0)) in
+    let w = hadamard_excluding factors ~skip:k ~rows:n ~cols:n (fun _ z -> Mat.tgram z) in
+    Mat.scale (weight *. weight) (Mat.mul_nt (Mat.mul factors.(k) w) factors.(k))
+
+let to_tensor = function
+  | Dense x -> x
+  | Factored { weight; factors } ->
+    let n = snd (Mat.dims factors.(0)) in
+    let out = Tensor.create (Array.map (fun z -> fst (Mat.dims z)) factors) in
+    for i = 0 to n - 1 do
+      Tensor.add_outer_in_place out weight (Array.map (fun z -> Mat.col z i) factors)
+    done;
+    out

@@ -1,0 +1,71 @@
+(** First-class tensor operators: a dense tensor, or the same tensor kept in
+    factored (Kruskal) form and never materialized.
+
+    The whitened covariance tensor of TCCA (paper Eq. 4.9) is by construction
+    rank-N: [M = (1/N) Σᵢ z₁ᵢ ∘ … ∘ zₘᵢ] with [zₚᵢ = C̃ₚₚ^{−1/2} x̄ₚᵢ], so every
+    quantity CP-ALS needs — MTTKRP, the Frobenius norm, inner products against
+    Kruskal models, mode-unfolding Grams — collapses to small matrix products
+    of the [dₚ × N] factor blocks.  [Factored] exposes exactly that: cost per
+    ALS sweep drops from O(∏ₚ dₚ · r) to O(N · Σₚ dₚ · r) and memory from
+    ∏ₚ dₚ to N · Σₚ dₚ, which is what makes many-view workloads (5 views at
+    dₚ = 40 is a ~10⁸-entry dense tensor) representable at all.
+
+    All factored implementations are built from [Mat.mul] / [Mat.mul_tn] /
+    [Mat.tgram] and Hadamard products, so they run on the shared [Parallel]
+    domain pool and inherit its deterministic row-partitioning contract:
+    results are bitwise identical for every pool size. *)
+
+type t =
+  | Dense of Tensor.t
+  | Factored of { weight : float; factors : Mat.t array }
+      (** [weight · Σᵢ ∘ₚ factors.(p).col(i)] — each factor is [dₚ × n] and
+          all share the component count [n]. *)
+
+(** {1 Construction} *)
+
+val dense : Tensor.t -> t
+
+val factored : weight:float -> Mat.t array -> t
+(** Validates: at least one mode, all factors share a column count ≥ 1.
+    Raises [Invalid_argument] otherwise.  The matrices are kept by reference
+    (not copied); callers must not mutate them afterwards. *)
+
+(** {1 Shape} *)
+
+val order : t -> int
+val dims : t -> int array
+val dim : t -> int -> int
+
+val size : t -> int
+(** Logical entry count ∏ₚ dₚ — what {!to_tensor} would allocate, [not] what
+    the operator holds in memory. *)
+
+val n_components : t -> int option
+(** [Some n] for [Factored] (the shared column count), [None] for [Dense]. *)
+
+(** {1 The CP-ALS contraction kernels} *)
+
+val mttkrp : t -> Mat.t array -> int -> Mat.t
+(** [mttkrp op us k = X₍ₖ₎ · (⊙_{q≠k} U_q)] — the matricized-tensor times
+    Khatri–Rao product, the hot kernel of an ALS sweep.  Dense: one parallel
+    pass over the entries, O(size · r).  Factored:
+    [weight · Zₖ · ⊛_{q≠k}(ZqᵀUq)], O(n · Σₚ dₚ · r). *)
+
+val norm2 : t -> float
+(** [⟨X, X⟩ = ‖X‖²_F].  Factored: [w² · 1ᵀ(⊛ₚ ZₚᵀZₚ)1], O(n² · Σₚ dₚ). *)
+
+val inner_kruskal : t -> Vec.t -> Mat.t array -> float
+(** [inner_kruskal op λ us = ⟨X, ⟦λ; U₁…Uₘ⟧⟩] — the cross term of the fit
+    computation.  Factored: [w · 1ᵀ(⊛ₚ ZₚᵀUₚ)λ], O(n · r · Σₚ dₚ). *)
+
+val mode_gram : t -> int -> Mat.t
+(** [mode_gram op k = X₍ₖ₎ X₍ₖ₎ᵀ] ([dₖ × dₖ]) — what HOSVD initialization
+    eigendecomposes.  Dense: Gram of the explicit unfolding.  Factored:
+    [w² · Zₖ (⊛_{q≠k} ZqᵀZq) Zₖᵀ] without forming the unfolding. *)
+
+(** {1 Conversion} *)
+
+val to_tensor : t -> Tensor.t
+(** Materialize.  [Dense] returns the wrapped tensor (shared, not copied);
+    [Factored] allocates the full ∏ₚ dₚ array — callers should check {!size}
+    first (the dense-only CP solvers go through this escape hatch). *)

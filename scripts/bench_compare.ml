@@ -1,0 +1,145 @@
+(* Compare two bench JSON artifacts (schema tcca-bench/1, as written by
+   bench/main.exe --json) and print per-kernel time ratios.
+
+   Usage:
+     dune exec scripts/bench_compare.exe -- BASELINE.json CURRENT.json
+                                            [--fail-above RATIO]
+
+   Report-only by default (always exits 0): smoke-mode numbers on shared CI
+   runners are too noisy to gate merges on, so the job log carries the
+   trajectory instead.  [--fail-above R] turns it into a gate: exit 1 if any
+   kernel got slower than R× its baseline.
+
+   The parser is a hand-rolled scanner for the fixed schema — names are
+   plain ASCII written with %S and the structure is one result object per
+   line — so no JSON library is needed. *)
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with Sys_error e -> die "bench_compare: %s" e
+
+(* Extract the string value following [key] at or after [from]; None if the
+   key does not occur again. *)
+let find_string s key from =
+  let pat = Printf.sprintf "\"%s\": \"" key in
+  match
+    let rec search i =
+      if i + String.length pat > String.length s then None
+      else if String.sub s i (String.length pat) = pat then Some (i + String.length pat)
+      else search (i + 1)
+    in
+    search from
+  with
+  | None -> None
+  | Some start ->
+    let stop = String.index_from s start '"' in
+    Some (String.sub s start (stop - start), stop)
+
+let find_number s key from =
+  let pat = Printf.sprintf "\"%s\": " key in
+  let rec search i =
+    if i + String.length pat > String.length s then None
+    else if String.sub s i (String.length pat) = pat then Some (i + String.length pat)
+    else search (i + 1)
+  in
+  match search from with
+  | None -> None
+  | Some start ->
+    let stop = ref start in
+    while
+      !stop < String.length s
+      && (match s.[!stop] with
+         | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+         | 'n' | 'u' | 'l' -> true (* "null" *)
+         | _ -> false)
+    do
+      incr stop
+    done;
+    let tok = String.sub s start (!stop - start) in
+    Some ((if tok = "null" then nan else float_of_string tok), !stop)
+
+(* (name, ns_per_run) assoc list, in file order. *)
+let parse path =
+  let s = read_file path in
+  (match find_string s "schema" 0 with
+  | Some ("tcca-bench/1", _) -> ()
+  | Some (other, _) -> die "%s: unknown schema %S (want tcca-bench/1)" path other
+  | None -> die "%s: no schema field — not a bench artifact?" path);
+  let rec collect acc from =
+    match find_string s "name" from with
+    | None -> List.rev acc
+    | Some (name, after_name) ->
+      (match find_number s "ns_per_run" after_name with
+      | None -> List.rev acc
+      | Some (ns, after_ns) -> collect ((name, ns) :: acc) after_ns)
+  in
+  collect [] 0
+
+let pretty ns =
+  if Float.is_nan ns then "n/a"
+  else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let () =
+  let usage () =
+    die "usage: bench_compare BASELINE.json CURRENT.json [--fail-above RATIO]"
+  in
+  let rec parse_args base cur fail = function
+    | [] -> (base, cur, fail)
+    | "--fail-above" :: r :: rest ->
+      (match float_of_string_opt r with
+      | Some f when f > 0. -> parse_args base cur (Some f) rest
+      | _ -> usage ())
+    | "--fail-above" :: [] -> usage ()
+    | a :: rest when base = None -> parse_args (Some a) cur fail rest
+    | a :: rest when cur = None -> parse_args base (Some a) fail rest
+    | _ -> usage ()
+  in
+  let base_path, cur_path, fail_above =
+    match parse_args None None None (List.tl (Array.to_list Sys.argv)) with
+    | Some b, Some c, f -> (b, c, f)
+    | _ -> usage ()
+  in
+  let base = parse base_path and cur = parse cur_path in
+  Printf.printf "bench_compare: %s (baseline) vs %s\n" base_path cur_path;
+  Printf.printf "%-32s %12s %12s %8s\n" "kernel" "baseline" "current" "ratio";
+  let worst = ref ("", 0.) in
+  let compared = ref 0 in
+  List.iter
+    (fun (name, cur_ns) ->
+      match List.assoc_opt name base with
+      | None -> Printf.printf "%-32s %12s %12s %8s\n" name "-" (pretty cur_ns) "new"
+      | Some base_ns when Float.is_nan base_ns || Float.is_nan cur_ns || base_ns <= 0. ->
+        Printf.printf "%-32s %12s %12s %8s\n" name (pretty base_ns) (pretty cur_ns) "n/a"
+      | Some base_ns ->
+        let ratio = cur_ns /. base_ns in
+        incr compared;
+        if ratio > snd !worst then worst := (name, ratio);
+        Printf.printf "%-32s %12s %12s %7.2fx%s\n" name (pretty base_ns) (pretty cur_ns)
+          ratio
+          (if ratio > 1.5 then "  <-- slower" else ""))
+    cur;
+  List.iter
+    (fun (name, base_ns) ->
+      if not (List.mem_assoc name cur) then
+        Printf.printf "%-32s %12s %12s %8s\n" name (pretty base_ns) "-" "gone")
+    base;
+  if !compared = 0 then print_endline "bench_compare: no common kernels to compare"
+  else
+    Printf.printf "bench_compare: %d kernels compared, worst ratio %.2fx (%s)\n" !compared
+      (snd !worst) (fst !worst);
+  match fail_above with
+  | Some limit when snd !worst > limit ->
+    Printf.printf "bench_compare: FAIL — %s is %.2fx > %.2fx limit\n" (fst !worst)
+      (snd !worst) limit;
+    exit 1
+  | _ -> ()

@@ -116,6 +116,20 @@ let test_pool_size_determinism () =
         k.Kruskal.factors)
     [ 2; 4 ]
 
+let test_degenerate_columns_zeroed () =
+  (* Subnormal-scale tensor: every ALS column norm underflows (≤ 1e-300), so
+     normalization must zero the column along with its λ — a stale
+     un-normalized column would survive into the returned factors (and be
+     blown up to unit norm by Kruskal.normalize) otherwise. *)
+  let r = rng () in
+  let t = Tensor.scale 1e-305 (random_tensor r [| 3; 4; 2 |]) in
+  let options = { Cp_als.default_options with init = Cp_als.Random 11; max_iter = 3 } in
+  let k, _ = Cp_als.decompose ~options ~rank:2 t in
+  Array.iter (fun w -> check_float "zero weight" 0. w) k.Kruskal.weights;
+  Array.iter
+    (fun u -> Array.iter (fun v -> check_float "zeroed factor entry" 0. v) u.Mat.data)
+    k.Kruskal.factors
+
 let test_invalid_rank () =
   let t = Tensor.create [| 2; 2 |] in
   Alcotest.check_raises "rank 0" (Invalid_argument "Cp_als.decompose: rank must be >= 1")
@@ -141,5 +155,7 @@ let () =
         [ Alcotest.test_case "mttkrp reference" `Quick test_mttkrp_matches_reference;
           Alcotest.test_case "fit monotone" `Quick test_fit_monotone_nondecreasing;
           Alcotest.test_case "random init" `Quick test_random_init;
-          Alcotest.test_case "pool-size determinism" `Quick test_pool_size_determinism ] );
+          Alcotest.test_case "pool-size determinism" `Quick test_pool_size_determinism;
+          Alcotest.test_case "degenerate columns zeroed" `Quick
+            test_degenerate_columns_zeroed ] );
       ("errors", [ Alcotest.test_case "invalid rank" `Quick test_invalid_rank ]) ]

@@ -60,6 +60,20 @@ let test_top_k () =
   Alcotest.(check (pair int int)) "shape" (6, 2) (Mat.dims top);
   check_vec ~eps:1e-12 "first column" (Mat.col eig.Eigen.vectors 0) (Mat.col top 0)
 
+let test_asymmetric_input_symmetrized () =
+  (* The contract (see eigen.mli) is that BOTH triangles are read and the
+     input is decomposed as its symmetric part (a + aᵀ)/2 — not as the
+     upper triangle mirrored.  [[2,1],[0,2]] symmetrizes to [[2,.5],[.5,2]]
+     (eigenvalues 2.5, 1.5); an upper-triangle-only read would give 3, 1. *)
+  let a = Mat.of_arrays [| [| 2.; 1. |]; [| 0.; 2. |] |] in
+  let { Eigen.values; _ } = Eigen.decompose a in
+  check_vec ~eps:1e-10 "symmetric-part eigenvalues" [| 2.5; 1.5 |] values;
+  let r = rng () in
+  let b = random_mat r 6 6 in
+  let sym = Mat.init 6 6 (fun i j -> 0.5 *. (Mat.get b i j +. Mat.get b j i)) in
+  check_vec ~eps:1e-9 "random: decompose a = decompose sym(a)"
+    (Eigen.decompose sym).Eigen.values (Eigen.decompose b).Eigen.values
+
 let test_not_square () =
   Alcotest.check_raises "not square" (Invalid_argument "Eigen.decompose: not square")
     (fun () -> ignore (Eigen.decompose (Mat.create 2 3)))
@@ -101,6 +115,9 @@ let () =
           Alcotest.test_case "eigen equation" `Quick test_eigen_equation;
           Alcotest.test_case "trace" `Quick test_trace_is_sum;
           Alcotest.test_case "top_k" `Quick test_top_k ] );
+      ( "contract",
+        [ Alcotest.test_case "asymmetric input symmetrized" `Quick
+            test_asymmetric_input_symmetrized ] );
       ("errors", [ Alcotest.test_case "not square" `Quick test_not_square ]);
       ( "properties",
         [ prop_psd_eigenvalues_nonneg; prop_values_sorted; prop_frobenius_invariant ] ) ]

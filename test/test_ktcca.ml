@@ -67,10 +67,31 @@ let test_prepare_consistency () =
     (Ktcca.transform_train prepared)
 
 let test_max_instances_guard () =
+  (* The Nᵐ guard now protects only the dense path: materializing must still
+     refuse, while the default (factored above the threshold) must not. *)
   let k = Mat.identity 1000 in
   Alcotest.check_raises "guard"
     (Invalid_argument "Ktcca.fit: N=1000 exceeds max_instances=600 (the tensor S is N^m dense)")
-    (fun () -> ignore (Ktcca.fit ~r:1 [| k; k; k |]))
+    (fun () -> ignore (Ktcca.fit ~materialize:true ~r:1 [| k; k; k |]));
+  check_true "factored raw prepares fine"
+    (Ktcca.prepare_raw [| k; k; k |] |> fun _ -> true)
+
+let test_factored_matches_dense () =
+  (* N=40, m=3 is dense-feasible (64 000 entries): both representations of S
+     must give the same model. *)
+  let r = rng () in
+  let kernels, _, _, _ = three_view_grams r ~n:40 in
+  let dense_p = Ktcca.prepare ~eps:1e-2 ~materialize:true kernels in
+  let fact_p = Ktcca.prepare ~eps:1e-2 ~materialize:false kernels in
+  check_true "dense is dense" (Ktcca.materialized dense_p);
+  check_true "factored is factored" (not (Ktcca.materialized fact_p));
+  let zd = Ktcca.transform_train (Ktcca.fit_prepared ~r:2 dense_p) in
+  let zf = Ktcca.transform_train (Ktcca.fit_prepared ~r:2 fact_p) in
+  for i = 0 to 5 do
+    check_true
+      (Printf.sprintf "component %d matches" i)
+      (Float.abs (Stats.pearson (Mat.row zd i) (Mat.row zf i)) > 0.9999)
+  done
 
 let test_errors () =
   Alcotest.check_raises "one view" (Invalid_argument "Ktcca.fit: need at least two views")
@@ -79,7 +100,8 @@ let test_errors () =
 let () =
   Alcotest.run "ktcca"
     [ ( "theory",
-        [ Alcotest.test_case "m=2 reduces to KCCA" `Quick test_two_views_matches_kcca ] );
+        [ Alcotest.test_case "m=2 reduces to KCCA" `Quick test_two_views_matches_kcca;
+          Alcotest.test_case "factored = dense" `Quick test_factored_matches_dense ] );
       ( "behaviour",
         [ Alcotest.test_case "nonlinear separation" `Quick test_nonlinear_separation;
           Alcotest.test_case "out of sample" `Quick test_out_of_sample_matches_train ] );

@@ -1,0 +1,169 @@
+open Test_support
+
+(* Equivalence suite for the factored tensor operator: every Op_tensor
+   primitive on a Factored operator must agree with the dense computation on
+   its materialization, across random shapes, ranks and view counts.  This is
+   the contract that lets Tcca/Ktcca swap representations freely. *)
+
+(* (dims, n, rank, weight, seed) — matrices are derived deterministically
+   from the seed so the generator stays a flat tuple. *)
+let gen_shape =
+  QCheck2.Gen.(
+    int_range 2 4 >>= fun m ->
+    list_repeat m (int_range 1 5) >>= fun dims ->
+    int_range 1 6 >>= fun n ->
+    int_range 1 3 >>= fun rank ->
+    float_range (-1.5) 1.5 >>= fun weight ->
+    int_bound 1_000_000 >|= fun seed ->
+    (Array.of_list dims, n, rank, weight, seed))
+
+let build (dims, n, rank, weight, seed) =
+  let r = Rng.create seed in
+  let fill rows cols = Mat.init rows cols (fun _ _ -> (2. *. Rng.uniform r) -. 1.) in
+  let zs = Array.map (fun d -> fill d n) dims in
+  let us = Array.map (fun d -> fill d rank) dims in
+  let lambda = Array.init rank (fun _ -> (2. *. Rng.uniform r) -. 1.) in
+  let op = Op_tensor.factored ~weight zs in
+  (op, Op_tensor.to_tensor op, us, lambda)
+
+let prop_mttkrp =
+  qtest ~count:120 "factored mttkrp = dense mttkrp (all modes)" gen_shape (fun shape ->
+      let op, x, us, _ = build shape in
+      let ok = ref true in
+      for k = 0 to Tensor.order x - 1 do
+        if not (Mat.equal ~eps:1e-10 (Cp_als.mttkrp x us k) (Op_tensor.mttkrp op us k))
+        then ok := false
+      done;
+      !ok)
+
+let prop_norm2 =
+  qtest ~count:120 "factored norm2 = ⟨X, X⟩" gen_shape (fun shape ->
+      let op, x, _, _ = build shape in
+      Float.abs (Op_tensor.norm2 op -. Tensor.inner x x)
+      < 1e-10 *. (1. +. Tensor.inner x x))
+
+let prop_inner_kruskal =
+  qtest ~count:120 "inner_kruskal agrees dense/factored/explicit" gen_shape (fun shape ->
+      let op, x, us, lambda = build shape in
+      let explicit =
+        Tensor.inner x (Kruskal.to_tensor { Kruskal.weights = lambda; factors = us })
+      in
+      let scale = 1. +. Float.abs explicit in
+      Float.abs (Op_tensor.inner_kruskal op lambda us -. explicit) < 1e-10 *. scale
+      && Float.abs (Op_tensor.inner_kruskal (Op_tensor.Dense x) lambda us -. explicit)
+         < 1e-10 *. scale)
+
+let prop_mode_gram =
+  qtest ~count:120 "factored mode_gram = unfolding gram (all modes)" gen_shape
+    (fun shape ->
+      let op, x, _, _ = build shape in
+      let ok = ref true in
+      for k = 0 to Tensor.order x - 1 do
+        if
+          not
+            (Mat.equal ~eps:1e-9
+               (Mat.gram (Unfold.unfold x k))
+               (Op_tensor.mode_gram op k))
+        then ok := false
+      done;
+      !ok)
+
+let prop_shape_accessors =
+  qtest ~count:60 "dims/order/size agree with the materialization" gen_shape (fun shape ->
+      let op, x, _, _ = build shape in
+      Op_tensor.order op = Tensor.order x
+      && Op_tensor.dims op = x.Tensor.dims
+      && Op_tensor.size op = Tensor.size x
+      && Op_tensor.n_components op <> None)
+
+(* decompose_op on the factored operator must recover the same well-separated
+   structure the dense solver recovers exactly. *)
+let test_decompose_op_recovery () =
+  let u2 = Mat.of_cols [| [| 0.; 1.; 0.; 0. |]; [| 0.; 0.; 1.; 0. |] |] in
+  let u3 = Mat.of_cols [| [| 1.; 0. |]; [| 0.; 1. |] |] in
+  (* weight 1 with columns pre-scaled: z₁ carries the component scales 5, 2. *)
+  let z1 = Mat.of_cols [| [| 5.; 0.; 0. |]; [| 0.; 2.; 0. |] |] in
+  let op = Op_tensor.factored ~weight:1. [| z1; u2; u3 |] in
+  let dense = Op_tensor.to_tensor op in
+  let kf, inf_f = Cp_als.decompose_op ~rank:2 op in
+  let kd, inf_d = Cp_als.decompose ~rank:2 dense in
+  check_true "factored converged" inf_f.Cp_als.converged;
+  check_true "dense converged" inf_d.Cp_als.converged;
+  check_float ~eps:1e-6 "weight 5" 5. (Float.abs kf.Kruskal.weights.(0));
+  check_float ~eps:1e-6 "weight 2" 2. (Float.abs kf.Kruskal.weights.(1));
+  check_float ~eps:1e-8 "same fit both paths" inf_d.Cp_als.fit inf_f.Cp_als.fit;
+  check_float ~eps:1e-6 "dense recovers weight 5" 5. (Float.abs kd.Kruskal.weights.(0))
+
+let test_factored_validation () =
+  Alcotest.check_raises "no modes" (Invalid_argument "Op_tensor.factored: no modes")
+    (fun () -> ignore (Op_tensor.factored ~weight:1. [||]));
+  Alcotest.check_raises "component mismatch"
+    (Invalid_argument "Op_tensor.factored: component count mismatch") (fun () ->
+      ignore (Op_tensor.factored ~weight:1. [| Mat.create 2 3; Mat.create 2 4 |]))
+
+let test_mttkrp_arity () =
+  let op = Op_tensor.factored ~weight:1. [| Mat.create 2 3; Mat.create 2 3 |] in
+  Alcotest.check_raises "arity" (Invalid_argument "Op_tensor.mttkrp: arity mismatch")
+    (fun () -> ignore (Op_tensor.mttkrp op [| Mat.create 2 1 |] 0))
+
+(* Tcca end-to-end: the factored pipeline must match the dense pipeline on a
+   dense-feasible shape (acceptance: projections within 1e-8). *)
+let shared_views r ~n ~noise =
+  let views = Array.init 3 (fun _ -> Mat.create 4 n) in
+  for j = 0 to n - 1 do
+    let s = -.log (Float.max 1e-12 (Rng.uniform r)) -. 1. in
+    Array.iter
+      (fun v ->
+        Mat.set v 0 j (s +. (noise *. Rng.gaussian r));
+        for i = 1 to 3 do
+          Mat.set v i j (Rng.gaussian r)
+        done)
+      views
+  done;
+  views
+
+let tight_als =
+  (* Both paths are run to a tight fixed point so the comparison measures
+     representation error, not early-stopping jitter. *)
+  Tcca.Als { Cp_als.default_options with tol = 1e-13; max_iter = 400 }
+
+let test_tcca_factored_matches_dense () =
+  let r = rng () in
+  let views = shared_views r ~n:500 ~noise:0.4 in
+  let pd = Tcca.prepare ~eps:1e-2 ~materialize:true views in
+  let pf = Tcca.prepare ~eps:1e-2 ~materialize:false views in
+  check_true "dense path is dense" (Tcca.materialized pd);
+  check_true "factored path is factored" (not (Tcca.materialized pf));
+  let md = Tcca.fit_prepared ~solver:tight_als ~r:2 pd in
+  let mf = Tcca.fit_prepared ~solver:tight_als ~r:2 pf in
+  check_vec ~eps:1e-8 "correlations match" (Tcca.correlations md) (Tcca.correlations mf);
+  let prd = Tcca.projections md and prf = Tcca.projections mf in
+  Array.iteri
+    (fun p ud ->
+      for c = 0 to 1 do
+        let cd = Mat.col ud c and cf = Mat.col prf.(p) c in
+        let sign = if Vec.dot cd cf >= 0. then 1. else -1. in
+        check_vec ~eps:1e-8
+          (Printf.sprintf "projection view %d col %d" p c)
+          cd (Vec.scale sign cf)
+      done)
+    prd;
+  check_mat ~eps:1e-7 "embeddings match"
+    (Mat.map Float.abs (Tcca.transform md views))
+    (Mat.map Float.abs (Tcca.transform mf views))
+
+let qsuite name tests = (name, tests)
+
+let () =
+  Alcotest.run "op_tensor"
+    [ qsuite "equivalence"
+        [ prop_mttkrp; prop_norm2; prop_inner_kruskal; prop_mode_gram;
+          prop_shape_accessors ];
+      qsuite "decompose"
+        [ Alcotest.test_case "factored recovery = dense" `Quick test_decompose_op_recovery ];
+      qsuite "tcca"
+        [ Alcotest.test_case "fit factored = fit dense" `Quick
+            test_tcca_factored_matches_dense ];
+      qsuite "errors"
+        [ Alcotest.test_case "validation" `Quick test_factored_validation;
+          Alcotest.test_case "mttkrp arity" `Quick test_mttkrp_arity ] ]
