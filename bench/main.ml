@@ -126,6 +126,31 @@ let micro_tests () =
     (* … and the many-view shape only the factored operator can hold. *)
     Test.make ~name:"tcca/fit-factored-5view-d40"
       (Staged.stage (fun () -> Tcca.fit_prepared ~solver:bench_als ~r:8 tcca_many_p));
+    (* Robustness guardrails (PR "numerics guardrail layer"): what the checked
+       paths add on healthy inputs.  The finite guards are the only per-fit
+       additions that scale with data size; the injection probe is the
+       constant-time check every guarded stage pays even with injection off;
+       jittered Cholesky and the checked whitener should match their unguarded
+       twins (fig8) to measurement noise — attempt 0 is the same arithmetic. *)
+    Test.make ~name:"robust/all-finite-factored"
+      (Staged.stage (fun () -> Op_tensor.all_finite op_factored));
+    Test.make ~name:"robust/all-finite-dense"
+      (Staged.stage (fun () -> Op_tensor.all_finite (Op_tensor.Dense op_dense)));
+    Test.make ~name:"robust/inject-probe-disabled"
+      (Staged.stage (fun () -> Robust.Inject.(active Als_nan)));
+    Test.make ~name:"robust/cholesky-jittered-spd"
+      (Staged.stage
+         (let spd =
+            let x = op_mat 60 120 in
+            Mat.add_scaled_identity 1. (Mat.scale (1. /. 120.) (Mat.gram x))
+          in
+          fun () -> Cholesky.decompose_jittered spd));
+    Test.make ~name:"robust/inv-sqrt-checked"
+      (Staged.stage
+         (let cov =
+            Mat.add_scaled_identity 1e-2 (Mat.scale (1. /. 400.) (Mat.gram centered.(0)))
+          in
+          fun () -> Matfun.inv_sqrt_psd_checked ~shift:1e-2 ~stage:"bench" cov));
     (* Fig. 10: Gram-matrix construction (chi-squared kernel). *)
     Test.make ~name:"fig10/chi2-gram"
       (Staged.stage (fun () ->

@@ -9,11 +9,33 @@
 type t
 (** The lower factor [G] with [A = G Gᵀ]. *)
 
-exception Not_positive_definite
+exception Not_positive_definite of { pivot : int; value : float }
+(** The failing pivot index and its (non-positive, possibly NaN) value — so
+    callers escalating regularization (KTCCA's ε-ladder) can report which
+    entry of which matrix went bad instead of a bare failure. *)
 
 val decompose : Mat.t -> t
 (** Raises [Invalid_argument] on a non-square input,
-    [Not_positive_definite] when a pivot is ≤ 0 (up to roundoff). *)
+    [Not_positive_definite] when a pivot is ≤ 0 or NaN (up to roundoff). *)
+
+val decompose_checked : ?stage:string -> Mat.t -> (t, Robust.failure) result
+(** Guarded variant: [Error Non_finite] on a NaN/Inf input, [Error
+    Not_positive_definite] (with the pivot payload) instead of the
+    exception.  [stage] (default ["cholesky"]) labels the failure. *)
+
+val decompose_jittered :
+  ?stage:string ->
+  ?attempts:int ->
+  ?jitter0:float ->
+  Mat.t ->
+  (t * float, Robust.failure) result
+(** Escalation ladder: try the plain factorization, then retry with diagonal
+    jitter [jitter0·100ᵏ] for [k = 0 .. attempts−1] (default [attempts] = 4,
+    [jitter0] = [1e-12 · max |aᵢᵢ|]).  Returns the factor and the jitter
+    actually used ([0.] when none was needed); every retry is logged via
+    [Robust].  [Error Not_positive_definite] carries the last pivot and the
+    largest jitter tried when the ladder is exhausted — the input was
+    genuinely indefinite, not just roundoff-perturbed. *)
 
 val lower : t -> Mat.t
 (** The explicit lower-triangular factor [G]. *)

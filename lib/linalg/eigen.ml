@@ -11,9 +11,14 @@ let off_diagonal_norm a =
   done;
   sqrt !acc
 
-let decompose ?(max_sweeps = 64) ?(eps = 1e-12) a0 =
+type info = { sweeps : int; residual : float; converged : bool }
+
+let decompose_info ?(max_sweeps = 64) ?(eps = 1e-12) a0 =
   let n, m = Mat.dims a0 in
   if n <> m then invalid_arg "Eigen.decompose: not square";
+  (* Fault injection: a forced sweep cap turns every non-trivial input into a
+     visible Not_converged, proving the callers' degradation paths. *)
+  let max_sweeps = if Robust.Inject.(active Sweep_cap) then 0 else max_sweeps in
   (* Work on a symmetrized copy so tiny asymmetries from accumulation don't
      bias the rotations. *)
   let a = Mat.init n n (fun i j -> 0.5 *. (Mat.get a0 i j +. Mat.get a0 j i)) in
@@ -21,7 +26,8 @@ let decompose ?(max_sweeps = 64) ?(eps = 1e-12) a0 =
   let scale = Float.max (Mat.max_abs a) 1e-300 in
   let threshold = eps *. scale *. float_of_int n in
   let sweep = ref 0 in
-  while off_diagonal_norm a > threshold && !sweep < max_sweeps do
+  let residual = ref (off_diagonal_norm a) in
+  while !residual > threshold && !sweep < max_sweeps do
     incr sweep;
     for p = 0 to n - 2 do
       for q = p + 1 to n - 1 do
@@ -54,7 +60,8 @@ let decompose ?(max_sweeps = 64) ?(eps = 1e-12) a0 =
           done
         end
       done
-    done
+    done;
+    residual := off_diagonal_norm a
   done;
   (* Sort descending by eigenvalue, permuting eigenvector columns along. *)
   let order = Array.init n (fun i -> i) in
@@ -62,7 +69,27 @@ let decompose ?(max_sweeps = 64) ?(eps = 1e-12) a0 =
   Array.sort (fun i j -> compare diag.(j) diag.(i)) order;
   let values = Array.map (fun i -> diag.(i)) order in
   let vectors = Mat.select_cols v order in
-  { values; vectors }
+  (* [<=] (not [<]) so a NaN residual — non-finite input — reads as not
+     converged rather than silently fine. *)
+  ( { values; vectors },
+    { sweeps = !sweep; residual = !residual; converged = !residual <= threshold } )
+
+let decompose ?max_sweeps ?eps a0 =
+  let eig, info = decompose_info ?max_sweeps ?eps a0 in
+  if not info.converged then
+    Robust.warnf "Eigen.decompose: sweep cap hit after %d sweeps (residual %g)" info.sweeps
+      info.residual;
+  eig
+
+let decompose_checked ?(stage = "eigen") ?max_sweeps ?eps a0 =
+  if not (Mat.all_finite a0) then
+    Error (Robust.Non_finite { stage; where = "input matrix" })
+  else begin
+    let eig, info = decompose_info ?max_sweeps ?eps a0 in
+    if not info.converged then
+      Error (Robust.Not_converged { stage; sweeps = info.sweeps; residual = info.residual })
+    else Ok eig
+  end
 
 let top_k { vectors; values } k =
   if k > Array.length values then invalid_arg "Eigen.top_k: k too large";

@@ -10,6 +10,14 @@ type t = {
   vectors : Mat.t;  (** Orthonormal eigenvectors as columns, aligned with [values]. *)
 }
 
+type info = {
+  sweeps : int;      (** Jacobi sweeps actually run. *)
+  residual : float;  (** Final off-diagonal Frobenius norm. *)
+  converged : bool;  (** Whether [residual] fell under the threshold — false
+                         when the sweep cap was hit (or the input carried
+                         NaNs, which make the residual NaN). *)
+}
+
 val decompose : ?max_sweeps:int -> ?eps:float -> Mat.t -> t
 (** [decompose a] for symmetric [a].  [eps] (default [1e-12]) is the
     off-diagonal Frobenius threshold relative to the matrix norm;
@@ -17,7 +25,18 @@ val decompose : ?max_sweeps:int -> ?eps:float -> Mat.t -> t
     square.  Both triangles are read: the input is symmetrized as
     [(a + aᵀ)/2] first, so tiny asymmetries from accumulation are averaged
     out rather than ignored (an asymmetric input is decomposed as its
-    symmetric part). *)
+    symmetric part).  Hitting the sweep cap logs a [Robust] warning; use
+    {!decompose_info} or {!decompose_checked} to observe it structurally. *)
+
+val decompose_info : ?max_sweeps:int -> ?eps:float -> Mat.t -> t * info
+(** Same computation, plus the convergence record — the legacy-API view of
+    the sweep cap. *)
+
+val decompose_checked :
+  ?stage:string -> ?max_sweeps:int -> ?eps:float -> Mat.t -> (t, Robust.failure) result
+(** Guarded variant: [Error Non_finite] on a NaN/Inf input, [Error
+    Not_converged] when the sweep cap is hit.  [stage] (default ["eigen"])
+    labels the failure for attribution. *)
 
 val top_k : t -> int -> Mat.t
 (** Eigenvectors of the [k] largest eigenvalues, as columns. *)

@@ -285,6 +285,7 @@ let trace a =
 
 let frobenius a = sqrt (Array.fold_left (fun acc v -> acc +. (v *. v)) 0. a.data)
 let max_abs a = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0. a.data
+let all_finite a = Vec.all_finite a.data
 
 let row_means a =
   Array.init a.rows (fun i ->

@@ -100,6 +100,9 @@ val center_rows : t -> t * Vec.t
 val sub_col_vec : t -> Vec.t -> t
 (** Subtract a length-[rows] vector from every column. *)
 
+val all_finite : t -> bool
+(** [true] iff no entry is NaN or infinite (single pass, early exit). *)
+
 val is_symmetric : ?eps:float -> t -> bool
 val equal : ?eps:float -> t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -1,9 +1,31 @@
 type t = { u : Mat.t; sigma : Vec.t; v : Mat.t }
 
+type info = { sweeps : int; residual : float; converged : bool }
+
+(* Worst normalized off-orthogonality max |⟨wp,wq⟩|/(‖wp‖‖wq‖) — measured
+   only on the failure path (cap hit), so the happy path pays nothing. *)
+let max_pair_cos w =
+  let m, n = Mat.dims w in
+  let worst = ref 0. in
+  for p = 0 to n - 2 do
+    for q = p + 1 to n - 1 do
+      let alpha = ref 0. and beta = ref 0. and gamma = ref 0. in
+      for i = 0 to m - 1 do
+        let wp = Mat.get w i p and wq = Mat.get w i q in
+        alpha := !alpha +. (wp *. wp);
+        beta := !beta +. (wq *. wq);
+        gamma := !gamma +. (wp *. wq)
+      done;
+      let denom = sqrt (!alpha *. !beta) in
+      if denom > 0. then worst := Float.max !worst (Float.abs !gamma /. denom)
+    done
+  done;
+  !worst
+
 (* One-sided Jacobi on a tall matrix: rotate column pairs of [w] until all
    pairs are orthogonal, accumulating the rotations into [v].  Then
    σⱼ = ‖wⱼ‖ and uⱼ = wⱼ/σⱼ. *)
-let one_sided ?(max_sweeps = 60) ?(eps = 1e-12) a =
+let one_sided_info ?(max_sweeps = 60) ?(eps = 1e-12) a =
   let m, n = Mat.dims a in
   let w = Mat.copy a in
   let v = Mat.identity n in
@@ -63,16 +85,38 @@ let one_sided ?(max_sweeps = 60) ?(eps = 1e-12) a =
   (* Order descending. *)
   let order = Array.init n (fun i -> i) in
   Array.sort (fun i j -> compare sigma.(j) sigma.(i)) order;
-  { u = Mat.select_cols u order;
-    sigma = Array.map (fun i -> sigma.(i)) order;
-    v = Mat.select_cols v order }
+  ( { u = Mat.select_cols u order;
+      sigma = Array.map (fun i -> sigma.(i)) order;
+      v = Mat.select_cols v order },
+    (* Converged iff the last completed sweep needed no rotation; hitting the
+       cap with [rotate] still pending means some column pair is still not
+       orthogonal to working precision. *)
+    { sweeps = !sweep;
+      residual = (if !rotate then max_pair_cos w else 0.);
+      converged = not !rotate } )
+
+let decompose_info ?max_sweeps ?eps a =
+  let m, n = Mat.dims a in
+  if m >= n then one_sided_info ?max_sweeps ?eps a
+  else begin
+    let { u; sigma; v }, info = one_sided_info ?max_sweeps ?eps (Mat.transpose a) in
+    ({ u = v; sigma; v = u }, info)
+  end
 
 let decompose ?max_sweeps ?eps a =
-  let m, n = Mat.dims a in
-  if m >= n then one_sided ?max_sweeps ?eps a
+  let svd, info = decompose_info ?max_sweeps ?eps a in
+  if not info.converged then
+    Robust.warnf "Svd.decompose: sweep cap hit after %d sweeps" info.sweeps;
+  svd
+
+let decompose_checked ?(stage = "svd") ?max_sweeps ?eps a =
+  if not (Mat.all_finite a) then Error (Robust.Non_finite { stage; where = "input matrix" })
   else begin
-    let { u; sigma; v } = one_sided ?max_sweeps ?eps (Mat.transpose a) in
-    { u = v; sigma; v = u }
+    let svd, info = decompose_info ?max_sweeps ?eps a in
+    if not info.converged then
+      Error
+        (Robust.Not_converged { stage; sweeps = info.sweeps; residual = info.residual })
+    else Ok svd
   end
 
 let truncated { u; sigma; v } r =

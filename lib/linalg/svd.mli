@@ -11,8 +11,27 @@ type t = {
   v : Mat.t;      (** [n × k] right singular vectors (columns). *)
 }
 
+type info = {
+  sweeps : int;      (** Jacobi sweeps actually run. *)
+  residual : float;  (** Worst remaining normalized column-pair inner product
+                         [max |⟨wp,wq⟩|/(‖wp‖‖wq‖)]; measured only when the
+                         cap was hit, [0.] otherwise. *)
+  converged : bool;  (** Whether a full sweep completed with no rotations
+                         before [max_sweeps] ran out. *)
+}
+
 val decompose : ?max_sweeps:int -> ?eps:float -> Mat.t -> t
-(** Thin SVD of any rectangular matrix. *)
+(** Thin SVD of any rectangular matrix.  Hitting the sweep cap logs a
+    [Robust] warning; use {!decompose_info} or {!decompose_checked} to
+    observe it structurally. *)
+
+val decompose_info : ?max_sweeps:int -> ?eps:float -> Mat.t -> t * info
+(** Same computation, plus the convergence record. *)
+
+val decompose_checked :
+  ?stage:string -> ?max_sweeps:int -> ?eps:float -> Mat.t -> (t, Robust.failure) result
+(** Guarded variant: [Error Non_finite] on a NaN/Inf input, [Error
+    Not_converged] when the sweep cap is hit.  [stage] defaults to ["svd"]. *)
 
 val truncated : t -> int -> Mat.t * Vec.t * Mat.t
 (** [truncated svd r] keeps the top [r] triplets: [(u_r, sigma_r, v_r)]. *)

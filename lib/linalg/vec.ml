@@ -62,6 +62,16 @@ let equal ?(eps = 1e-9) x y =
        !ok
      end
 
+let all_finite x =
+  (* Hand-rolled loop with early exit: this guards stage boundaries on the
+     fit paths, so it must cost one pass at most and usually far less. *)
+  let n = Array.length x in
+  let i = ref 0 in
+  while !i < n && Float.is_finite x.(!i) do
+    incr i
+  done;
+  !i = n
+
 let pp fmt x =
   Format.fprintf fmt "[@[%a@]]"
     (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ";@ ")

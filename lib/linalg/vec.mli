@@ -51,4 +51,8 @@ val outer : t -> t -> float array array
 val equal : ?eps:float -> t -> t -> bool
 (** Component-wise comparison with absolute tolerance [eps] (default 1e-9). *)
 
+val all_finite : t -> bool
+(** [true] iff no component is NaN or infinite.  One linear pass with early
+    exit — cheap enough to guard every stage boundary of a fit. *)
+
 val pp : Format.formatter -> t -> unit

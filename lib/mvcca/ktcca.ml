@@ -76,32 +76,89 @@ let prepare_raw ?(center = true) ?materialize kernels_raw =
     raw_tms = raw_total_means;
     raw_centered = center }
 
-let prepare_of_raw ~eps raw =
-  let chols = Array.map (fun k -> Cholesky.decompose (jittered_pls eps k)) raw.raw_kernels in
-  (* S = K ×ₚ (Lₚ⁻¹)ᵀ; with A = GGᵀ and the paper's L = Gᵀ this is
-     (Lₚ⁻¹)ᵀ = Gₚ⁻¹. *)
-  let inv_lowers = Array.map Cholesky.inverse_lower chols in
-  let op =
-    match raw.raw_tensor with
-    | Some t -> Op_tensor.dense (Tensor.mode_products t inv_lowers)
-    | None ->
-      (* S = (1/N) Σₙ ∘ₚ (Gₚ⁻¹ kₚₙ): factors Zₚ = Gₚ⁻¹ Kₚ, never Nᵐ. *)
-      let n = fst (Mat.dims raw.raw_kernels.(0)) in
-      Op_tensor.factored
-        ~weight:(1. /. float_of_int n)
-        (Array.map2 Mat.mul inv_lowers raw.raw_kernels)
+(* Gram-whitening ladder.  Attempt 0 is bit-for-bit the historical
+   [Cholesky.decompose (jittered_pls eps k)] — [decompose_jittered]'s own
+   first try is the plain factorization.  An indefinite target first walks
+   the diagonal-jitter ladder inside [decompose_jittered]; if that is
+   exhausted too, [eps] escalates geometrically (the PLS constraint
+   [K² + εK] grows more definite with ε on a PSD kernel). *)
+let gram_attempts = 4
+
+let whiten_kernel ~eps ~view kernel =
+  let stage = Printf.sprintf "ktcca.whiten view %d" view in
+  let target e =
+    let a = jittered_pls e kernel in
+    (* Fault injection: shift view 0's factorization target until it is
+       decisively indefinite — no jitter or eps in the ladders can mask it. *)
+    if view = 0 && Robust.Inject.(active Gram_indefinite) then
+      Mat.add_scaled_identity (-.(1. +. Float.abs (Mat.trace a))) a
+    else a
   in
-  { p_kernels = raw.raw_kernels;
-    p_chols = chols;
-    p_op = op;
-    p_raw_col_means = raw.raw_cms;
-    p_raw_total_means = raw.raw_tms;
-    p_centered = raw.raw_centered }
+  let rec attempt k =
+    let e = eps *. (10. ** float_of_int k) in
+    match Cholesky.decompose_jittered ~stage (target e) with
+    | Ok (f, jitter) ->
+      if k > 0 || jitter > 0. then
+        Robust.warnf "%s: factorized with eps %g, diagonal jitter %g" stage e jitter;
+      Ok f
+    | Error (Robust.Not_positive_definite _ as err) when k + 1 < gram_attempts ->
+      Robust.warnf "%s: %s — escalating eps to %g" stage
+        (Robust.failure_to_string err)
+        (eps *. (10. ** float_of_int (k + 1)));
+      attempt (k + 1)
+    | Error err -> Error err
+  in
+  attempt 0
+
+let prepare_of_raw_checked ~eps raw =
+  let chols =
+    try
+      Ok
+        (Array.mapi
+           (fun p k ->
+             match whiten_kernel ~eps ~view:p k with
+             | Ok f -> f
+             | Error e -> raise (Robust.Error e))
+           raw.raw_kernels)
+    with Robust.Error e -> Error e
+  in
+  match chols with
+  | Error e -> Error e
+  | Ok chols ->
+    (* S = K ×ₚ (Lₚ⁻¹)ᵀ; with A = GGᵀ and the paper's L = Gᵀ this is
+       (Lₚ⁻¹)ᵀ = Gₚ⁻¹. *)
+    let inv_lowers = Array.map Cholesky.inverse_lower chols in
+    let op =
+      match raw.raw_tensor with
+      | Some t -> Op_tensor.dense (Tensor.mode_products t inv_lowers)
+      | None ->
+        (* S = (1/N) Σₙ ∘ₚ (Gₚ⁻¹ kₚₙ): factors Zₚ = Gₚ⁻¹ Kₚ, never Nᵐ. *)
+        let n = fst (Mat.dims raw.raw_kernels.(0)) in
+        Op_tensor.factored
+          ~weight:(1. /. float_of_int n)
+          (Array.map2 Mat.mul inv_lowers raw.raw_kernels)
+    in
+    if not (Op_tensor.all_finite op) then
+      Error (Robust.Non_finite { stage = "ktcca.prepare"; where = "whitened kernel operator" })
+    else
+      Ok
+        { p_kernels = raw.raw_kernels;
+          p_chols = chols;
+          p_op = op;
+          p_raw_col_means = raw.raw_cms;
+          p_raw_total_means = raw.raw_tms;
+          p_centered = raw.raw_centered }
+
+let prepare_of_raw ~eps raw =
+  match prepare_of_raw_checked ~eps raw with Ok p -> p | Error e -> Robust.fail e
 
 let prepare ?(eps = 1e-4) ?center ?materialize kernels_raw =
   prepare_of_raw ~eps (prepare_raw ?center ?materialize kernels_raw)
 
-let fit_prepared ?(solver = Tcca.default_solver) ~r prepared =
+let prepare_checked ?(eps = 1e-4) ?center ?materialize kernels_raw =
+  prepare_of_raw_checked ~eps (prepare_raw ?center ?materialize kernels_raw)
+
+let fit_prepared_checked ?(solver = Tcca.default_solver) ~r prepared =
   if r < 1 then invalid_arg "Ktcca.fit_prepared: r must be >= 1";
   let n = Op_tensor.dim prepared.p_op 0 in
   let r = min r n in
@@ -118,24 +175,44 @@ let fit_prepared ?(solver = Tcca.default_solver) ~r prepared =
              entries);
       Op_tensor.to_tensor prepared.p_op
   in
-  let kruskal =
+  let solved =
     match solver with
-    | Tcca.Als options -> fst (Cp_als.decompose_op ~options ~rank:r prepared.p_op)
-    | Tcca.Rand_als options -> fst (Cp_rand.decompose ~options ~rank:r (dense_tensor ()))
+    | Tcca.Als options ->
+      let k, info = Cp_als.decompose_op ~options ~rank:r prepared.p_op in
+      (match info.Cp_als.failure with Some f -> Error f | None -> Ok k)
+    | Tcca.Rand_als options -> Ok (fst (Cp_rand.decompose ~options ~rank:r (dense_tensor ())))
     | Tcca.Power_deflation ->
-      Kruskal.normalize (Tensor_power.decompose ~rank:r (dense_tensor ()))
+      Ok (Kruskal.normalize (Tensor_power.decompose ~rank:r (dense_tensor ())))
   in
-  (* aₚ = Lₚ⁻¹ Bₚ = Gₚ⁻ᵀ Bₚ. *)
-  let duals =
-    Array.map2 (fun chol b -> Cholesky.solve_lower_transpose chol b) prepared.p_chols
-      kruskal.Kruskal.factors
-  in
-  { duals;
-    kernels = prepared.p_kernels;
-    raw_col_means = prepared.p_raw_col_means;
-    raw_total_means = prepared.p_raw_total_means;
-    centered = prepared.p_centered;
-    correlations = kruskal.Kruskal.weights }
+  match solved with
+  | Error e -> Error e
+  | Ok kruskal ->
+    (* aₚ = Lₚ⁻¹ Bₚ = Gₚ⁻ᵀ Bₚ. *)
+    let duals =
+      Array.map2 (fun chol b -> Cholesky.solve_lower_transpose chol b) prepared.p_chols
+        kruskal.Kruskal.factors
+    in
+    if
+      not (Array.for_all Mat.all_finite duals && Vec.all_finite kruskal.Kruskal.weights)
+    then Error (Robust.Non_finite { stage = "ktcca.fit"; where = "dual weights" })
+    else
+      Ok
+        { duals;
+          kernels = prepared.p_kernels;
+          raw_col_means = prepared.p_raw_col_means;
+          raw_total_means = prepared.p_raw_total_means;
+          centered = prepared.p_centered;
+          correlations = kruskal.Kruskal.weights }
+
+let fit_prepared ?solver ~r prepared =
+  match fit_prepared_checked ?solver ~r prepared with
+  | Ok t -> t
+  | Error e -> Robust.fail e
+
+let fit_checked ?(eps = 1e-4) ?center ?materialize ?solver ~r kernels_raw =
+  match prepare_checked ~eps ?center ?materialize kernels_raw with
+  | Error e -> Error e
+  | Ok prepared -> fit_prepared_checked ?solver ~r prepared
 
 let fit ?eps ?center ?materialize ?solver ~r kernels_raw =
   fit_prepared ?solver ~r (prepare ?eps ?center ?materialize kernels_raw)

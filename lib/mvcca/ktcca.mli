@@ -43,6 +43,37 @@ type prepared
 val prepare : ?eps:float -> ?center:bool -> ?materialize:bool -> Mat.t array -> prepared
 val fit_prepared : ?solver:Tcca.solver -> r:int -> prepared -> t
 
+(** {2 Guarded entry points}
+
+    Mirrors {!Tcca}'s [_checked] API: every numerical degradation comes back
+    as a typed [Robust.failure]; the plain functions raise [Robust.Error] in
+    exactly those cases and are otherwise bit-for-bit identical.  The
+    whitening step composes two ladders: [Cholesky.decompose_jittered]'s
+    diagonal-jitter retries, then geometric ε-escalation (ε·10ᵏ, up to 4
+    attempts) of the PLS target [K² + εK]; a target that stays indefinite
+    surfaces as [Not_positive_definite] with the failing pivot and the
+    largest jitter tried.  NaN/Inf are caught on the whitened operator and
+    the dual weights; ALS failures restart inside [Cp_als] first. *)
+
+val prepare_checked :
+  ?eps:float ->
+  ?center:bool ->
+  ?materialize:bool ->
+  Mat.t array ->
+  (prepared, Robust.failure) result
+
+val fit_prepared_checked :
+  ?solver:Tcca.solver -> r:int -> prepared -> (t, Robust.failure) result
+
+val fit_checked :
+  ?eps:float ->
+  ?center:bool ->
+  ?materialize:bool ->
+  ?solver:Tcca.solver ->
+  r:int ->
+  Mat.t array ->
+  (t, Robust.failure) result
+
 val materialized : prepared -> bool
 (** Whether the prepared operator is the dense Nᵐ tensor. *)
 
@@ -53,6 +84,7 @@ type raw
 
 val prepare_raw : ?center:bool -> ?materialize:bool -> Mat.t array -> raw
 val prepare_of_raw : eps:float -> raw -> prepared
+val prepare_of_raw_checked : eps:float -> raw -> (prepared, Robust.failure) result
 
 val r : t -> int
 val n_views : t -> int

@@ -46,6 +46,55 @@ let whiteners ~eps views =
       Matfun.inv_sqrt_psd cov)
     views
 
+(* Whitening ladder.  Attempt 0 is bit-for-bit the historical
+   [inv_sqrt_psd (cov + eps·I)]; a Jacobi sweep-cap escalates the ridge
+   geometrically (eps·10ᵏ) — a better-conditioned target — before surfacing
+   the failure.  Rank is measured against the ridge actually added, so a
+   covariance that carries no information at all (numerical rank 0) is a
+   [Rank_deficient] failure rather than a whitener made of pure ridge. *)
+let whiten_attempts = 4
+
+let whiten_view ~eps ~view cov =
+  let dim = fst (Mat.dims cov) in
+  let stage = Printf.sprintf "tcca.whiten view %d" view in
+  let cov =
+    if view = 0 && Robust.Inject.(active Covariance_nan) then
+      Mat.init dim dim (fun a b -> if a = 0 && b = 0 then nan else Mat.get cov a b)
+    else cov
+  in
+  let rec attempt k =
+    let ridge = eps *. (10. ** float_of_int k) in
+    match
+      Matfun.inv_sqrt_psd_checked ~shift:ridge ~stage (Mat.add_scaled_identity ridge cov)
+    with
+    | Ok (w, rank) ->
+      if k > 0 then Robust.warnf "%s: recovered with ridge %g (%d escalations)" stage ridge k;
+      if rank = 0 then Error (Robust.Rank_deficient { view; rank; dim })
+      else begin
+        if rank < dim then
+          Robust.warnf "%s: covariance numerically rank-deficient (%d of %d directions)"
+            stage rank dim;
+        Ok w
+      end
+    | Error (Robust.Not_converged _ as e) when k + 1 < whiten_attempts ->
+      Robust.warnf "%s: %s — escalating ridge to %g" stage (Robust.failure_to_string e)
+        (eps *. (10. ** float_of_int (k + 1)));
+      attempt (k + 1)
+    | Error e -> Error e
+  in
+  attempt 0
+
+let whiteners_checked ~eps covs =
+  try
+    Ok
+      (Array.mapi
+         (fun p c ->
+           match whiten_view ~eps ~view:p c with
+           | Ok w -> w
+           | Error e -> raise (Robust.Error e))
+         covs)
+  with Robust.Error e -> Error e
+
 let whitened_tensor ?(eps = 1e-2) views =
   let means = Array.map Mat.row_means views in
   let centered = Array.map2 Mat.sub_col_vec views means in
@@ -89,6 +138,14 @@ let prepare_raw ?materialize views =
   let nf = float_of_int n in
   let means = Array.map Mat.row_means views in
   let centered = Array.map2 Mat.sub_col_vec views means in
+  (* Fault injection: wipe one instance column of view 0 — a dead sensor.
+     The pipeline must absorb it (rank drops by at most one). *)
+  if Robust.Inject.(active View_column_zero) then begin
+    let v = centered.(0) in
+    for i = 0 to fst (Mat.dims v) - 1 do
+      Mat.set v i 0 0.
+    done
+  end;
   let covs = Array.map (fun x -> Mat.scale (1. /. nf) (Mat.gram x)) centered in
   let dims = Array.map (fun v -> fst (Mat.dims v)) views in
   let stats =
@@ -97,18 +154,29 @@ let prepare_raw ?materialize views =
   in
   { r_means = means; r_covs = covs; r_stats = stats }
 
+let prepare_of_raw_checked ~eps raw =
+  match whiteners_checked ~eps raw.r_covs with
+  | Error e -> Error e
+  | Ok ws ->
+    let op =
+      match raw.r_stats with
+      | Raw_tensor t -> Op_tensor.dense (Tensor.mode_products t ws)
+      | Raw_views centered ->
+        (* M = (1/N) Σᵢ ∘ₚ (Wₚ x̄ₚᵢ): the whitened views ARE the Kruskal
+           factors of M — nothing of size ∏dₚ is ever allocated. *)
+        let n = snd (Mat.dims centered.(0)) in
+        Op_tensor.factored ~weight:(1. /. float_of_int n) (Array.map2 Mat.mul ws centered)
+    in
+    if not (Op_tensor.all_finite op) then
+      Error
+        (Robust.Non_finite { stage = "tcca.prepare"; where = "whitened covariance operator" })
+    else Ok { p_means = raw.r_means; p_whiteners = ws; p_op = op }
+
 let prepare_of_raw ~eps raw =
-  let ws = Array.map (fun c -> Matfun.inv_sqrt_psd (Mat.add_scaled_identity eps c)) raw.r_covs in
-  let op =
-    match raw.r_stats with
-    | Raw_tensor t -> Op_tensor.dense (Tensor.mode_products t ws)
-    | Raw_views centered ->
-      (* M = (1/N) Σᵢ ∘ₚ (Wₚ x̄ₚᵢ): the whitened views ARE the Kruskal
-         factors of M — nothing of size ∏dₚ is ever allocated. *)
-      let n = snd (Mat.dims centered.(0)) in
-      Op_tensor.factored ~weight:(1. /. float_of_int n) (Array.map2 Mat.mul ws centered)
-  in
-  { p_means = raw.r_means; p_whiteners = ws; p_op = op }
+  match prepare_of_raw_checked ~eps raw with Ok p -> p | Error e -> Robust.fail e
+
+let prepare_checked ?(eps = 1e-2) ?materialize views =
+  prepare_of_raw_checked ~eps (prepare_raw ?materialize views)
 
 let prepare ?(eps = 1e-2) ?materialize views =
   prepare_of_raw ~eps (prepare_raw ?materialize views)
@@ -266,36 +334,64 @@ let materialize_for_solver name op =
            name entries));
   Op_tensor.to_tensor op
 
-let fit_prepared ?(solver = default_solver) ~r prepared =
+let fit_prepared_checked ?(solver = default_solver) ~r prepared =
   if r < 1 then invalid_arg "Tcca.fit_prepared: r must be >= 1";
   let r = Array.fold_left min r (Op_tensor.dims prepared.p_op) in
-  let kruskal, note =
+  let solved =
     match solver with
     | Als options ->
       let k, info = Cp_als.decompose_op ~options ~rank:r prepared.p_op in
-      ( k,
-        Printf.sprintf "als: %d iters, fit %.6f, converged %b" info.Cp_als.iterations
-          info.Cp_als.fit info.Cp_als.converged )
+      (* A Some failure means the solver exhausted its restarts on
+         non-finite or swamped runs — the model is not trustworthy. *)
+      (match info.Cp_als.failure with
+      | Some f -> Error f
+      | None ->
+        Ok
+          ( k,
+            Printf.sprintf "als: %d iters, fit %.6f, converged %b, runs %d"
+              info.Cp_als.iterations info.Cp_als.fit info.Cp_als.converged
+              (List.length info.Cp_als.runs) ))
     | Rand_als options ->
       let m_tensor = materialize_for_solver "Tcca.fit_prepared" prepared.p_op in
       let k, info = Cp_rand.decompose ~options ~rank:r m_tensor in
-      ( k,
-        Printf.sprintf "rand-als: %d iters, sampled fit %.6f, converged %b"
-          info.Cp_rand.iterations info.Cp_rand.sampled_fit info.Cp_rand.converged )
+      Ok
+        ( k,
+          Printf.sprintf "rand-als: %d iters, sampled fit %.6f, converged %b"
+            info.Cp_rand.iterations info.Cp_rand.sampled_fit info.Cp_rand.converged )
     | Power_deflation ->
       let m_tensor = materialize_for_solver "Tcca.fit_prepared" prepared.p_op in
       let k = Tensor_power.decompose ~rank:r m_tensor in
-      (Kruskal.normalize k, "power-deflation")
+      Ok (Kruskal.normalize k, "power-deflation")
   in
-  (* hₚ = C̃pp^{−1/2} uₚ (Theorem 2's back-substitution); fold the whitener
-     into the projection so transform is a single matrix product. *)
-  let projections =
-    Array.map2 (fun w u -> Mat.mul w u) prepared.p_whiteners kruskal.Kruskal.factors
-  in
-  { means = prepared.p_means;
-    projections;
-    correlations = kruskal.Kruskal.weights;
-    solver_note = note }
+  match solved with
+  | Error e -> Error e
+  | Ok (kruskal, note) ->
+    (* hₚ = C̃pp^{−1/2} uₚ (Theorem 2's back-substitution); fold the whitener
+       into the projection so transform is a single matrix product. *)
+    let projections =
+      Array.map2 (fun w u -> Mat.mul w u) prepared.p_whiteners kruskal.Kruskal.factors
+    in
+    if
+      not
+        (Array.for_all Mat.all_finite projections
+        && Vec.all_finite kruskal.Kruskal.weights)
+    then Error (Robust.Non_finite { stage = "tcca.fit"; where = "projections" })
+    else
+      Ok
+        { means = prepared.p_means;
+          projections;
+          correlations = kruskal.Kruskal.weights;
+          solver_note = note }
+
+let fit_prepared ?solver ~r prepared =
+  match fit_prepared_checked ?solver ~r prepared with
+  | Ok t -> t
+  | Error e -> Robust.fail e
+
+let fit_checked ?(eps = 1e-2) ?materialize ?solver ~r views =
+  match prepare_checked ~eps ?materialize views with
+  | Error e -> Error e
+  | Ok prepared -> fit_prepared_checked ?solver ~r prepared
 
 let fit ?(eps = 1e-2) ?materialize ?solver ~r views =
   fit_prepared ?solver ~r (prepare ~eps ?materialize views)

@@ -28,7 +28,8 @@ val fit : ?eps:float -> ?materialize:bool -> ?solver:solver -> r:int -> Mat.t ar
     frozen.  [eps] is the regularizer of Eq. 4.8 (default 1e-2, the paper's
     linear-experiment value).  [r] is clamped to [min dₚ].  Raises
     [Invalid_argument] on fewer than 2 views or inconsistent instance
-    counts.
+    counts, and [Robust.Error] when {!fit_checked} would return [Error] —
+    a numerically degraded fit never comes back as a silent NaN model.
 
     [materialize] selects the covariance-tensor representation:
     [Some true] builds the dense ∏dₚ tensor (required by the [Rand_als] and
@@ -52,6 +53,34 @@ type prepared
 val prepare : ?eps:float -> ?materialize:bool -> Mat.t array -> prepared
 val fit_prepared : ?solver:solver -> r:int -> prepared -> t
 
+(** {2 Guarded entry points}
+
+    The [_checked] twins return every numerical degradation as a typed
+    [Robust.failure] instead of raising; the plain functions above raise
+    [Robust.Error] in exactly those situations.  On healthy inputs the two
+    are bit-for-bit identical (the escalation ladders' first attempt is the
+    historical arithmetic).  Guardrails on the path: per-view whitening
+    retries a geometric ridge schedule (ε·10ᵏ, up to 4 attempts) on a Jacobi
+    sweep-cap and reports the covariance's numerical rank
+    ([Rank_deficient] when 0, a logged warning when merely deficient);
+    NaN/Inf are caught at stage boundaries (inputs, the whitened operator,
+    projections); ALS failures (non-finite fit, swamp) restart
+    deterministically inside {!Cp_als} and surface only when restarts are
+    exhausted.  Recovered events land in [Robust.recent_warnings]. *)
+
+val prepare_checked :
+  ?eps:float -> ?materialize:bool -> Mat.t array -> (prepared, Robust.failure) result
+
+val fit_prepared_checked : ?solver:solver -> r:int -> prepared -> (t, Robust.failure) result
+
+val fit_checked :
+  ?eps:float ->
+  ?materialize:bool ->
+  ?solver:solver ->
+  r:int ->
+  Mat.t array ->
+  (t, Robust.failure) result
+
 val materialized : prepared -> bool
 (** Whether the prepared operator is the dense tensor (exposed so tests and
     benches can pin which path the heuristic chose). *)
@@ -64,6 +93,7 @@ type raw
 
 val prepare_raw : ?materialize:bool -> Mat.t array -> raw
 val prepare_of_raw : eps:float -> raw -> prepared
+val prepare_of_raw_checked : eps:float -> raw -> (prepared, Robust.failure) result
 
 val r : t -> int
 val n_views : t -> int

@@ -1,0 +1,101 @@
+type failure =
+  | Not_converged of { stage : string; sweeps : int; residual : float }
+  | Not_positive_definite of {
+      stage : string;
+      pivot : int;
+      value : float;
+      jitter_tried : float;
+    }
+  | Non_finite of { stage : string; where : string }
+  | Rank_deficient of { view : int; rank : int; dim : int }
+
+exception Error of failure
+
+let pp_failure ppf = function
+  | Not_converged { stage; sweeps; residual } ->
+    Format.fprintf ppf "not converged at %s after %d sweeps (residual %g)" stage sweeps
+      residual
+  | Not_positive_definite { stage; pivot; value; jitter_tried } ->
+    Format.fprintf ppf "not positive definite at %s: pivot %d = %g%s" stage pivot value
+      (if jitter_tried > 0. then Format.asprintf " (jitter up to %g tried)" jitter_tried
+       else "")
+  | Non_finite { stage; where } ->
+    Format.fprintf ppf "non-finite value at %s in %s" stage where
+  | Rank_deficient { view; rank; dim } ->
+    Format.fprintf ppf "view %d is rank deficient: rank %d of %d" view rank dim
+
+let failure_to_string f = Format.asprintf "%a" pp_failure f
+
+let () =
+  Printexc.register_printer (function
+    | Error f -> Some (Printf.sprintf "Robust.Error: %s" (failure_to_string f))
+    | _ -> None)
+
+let fail f = raise (Error f)
+
+(* ------------------------------------------------------------------ *)
+(* Warnings: a bounded ring buffer plus a [logs] source.  The buffer is
+   what tests assert on; the source is what applications subscribe to. *)
+
+let src = Logs.Src.create "tcca.robust" ~doc:"TCCA numerics guardrails"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let max_warnings = 64
+let warnings : string list ref = ref [] (* newest first, capped *)
+
+let push_warning s =
+  let keep = ref [ s ] and n = ref 1 in
+  List.iter
+    (fun w ->
+      if !n < max_warnings then begin
+        keep := w :: !keep;
+        incr n
+      end)
+    !warnings;
+  warnings := List.rev !keep
+
+let warnf fmt =
+  Printf.ksprintf
+    (fun s ->
+      push_warning s;
+      Log.warn (fun m -> m "%s" s))
+    fmt
+
+let recent_warnings () = List.rev !warnings
+let clear_warnings () = warnings := []
+
+(* ------------------------------------------------------------------ *)
+
+module Inject = struct
+  type stage = Covariance_nan | View_column_zero | Gram_indefinite | Sweep_cap | Als_nan
+
+  (* [on] is the single-load fast path: production code probes [active],
+     which reads one bool before anything else happens. *)
+  let on = ref false
+  let armed : stage list ref = ref []
+
+  let arm s =
+    if not (List.memq s !armed) then armed := s :: !armed;
+    on := true
+
+  let disarm s =
+    armed := List.filter (fun x -> x <> s) !armed;
+    if !armed = [] then on := false
+
+  let reset () =
+    armed := [];
+    on := false
+
+  let enabled () = !on
+  let active s = !on && List.memq s !armed
+
+  let with_stage s f =
+    let saved = !armed in
+    arm s;
+    Fun.protect
+      ~finally:(fun () ->
+        armed := saved;
+        on := saved <> [])
+      f
+end

@@ -1,0 +1,99 @@
+(** Numerics guardrails: structured failure reporting, warning capture, and a
+    fault-injection hook for the TCCA/KTCCA solve path.
+
+    The paper's high-dimension / small-sample regime is exactly where the
+    whitening step ([C̃pp^{−1/2}], Theorem 2) and KTCCA's Cholesky of
+    [K²pp + εKpp] go numerically bad: near-singular covariances, indefinite
+    kernel Grams, ALS swamps.  This module gives every such event a typed
+    value so callers can distinguish "recovered after escalation" from
+    "structured failure" — and so nothing ever degrades into a silent NaN
+    model.  The decomposition modules in [lib/linalg], the ALS solver and the
+    two fit paths all report through this type; see DESIGN.md §"Robustness"
+    for the escalation policies built on top of it. *)
+
+(** Everything that can go numerically wrong on a solve path.  The [stage]
+    fields name where in the pipeline the event happened (e.g.
+    ["tcca.whiten view 1"], ["cp_als"]) so multi-view failures stay
+    attributable. *)
+type failure =
+  | Not_converged of { stage : string; sweeps : int; residual : float }
+      (** An iteration (Jacobi sweeps, ALS) hit its cap or stalled;
+          [residual] is the stage's own convergence measure (off-diagonal
+          norm for Jacobi, [1 − fit] for ALS). *)
+  | Not_positive_definite of {
+      stage : string;
+      pivot : int;       (** Index of the failing Cholesky pivot. *)
+      value : float;     (** Its (non-positive) value. *)
+      jitter_tried : float;
+          (** Largest diagonal jitter attempted before giving up;
+              [0.] when no escalation ran. *)
+    }
+  | Non_finite of { stage : string; where : string }
+      (** A NaN/Inf was caught at a stage boundary; [where] names the
+          offending object (a view, the whitened operator, a sweep's fit). *)
+  | Rank_deficient of { view : int; rank : int; dim : int }
+      (** A view's covariance has numerical rank 0 (or otherwise too low to
+          proceed): [rank] of [dim] directions carry information. *)
+
+exception Error of failure
+(** Raised by the exception-style entry points ([Tcca.fit], [Ktcca.fit], …)
+    when their [result]-returning [_checked] twin would return [Error].
+    A printer is registered, so an uncaught one renders readably. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+val failure_to_string : failure -> string
+
+val fail : failure -> 'a
+(** [fail f] = [raise (Error f)]. *)
+
+(** {1 Warnings}
+
+    Guardrail events that were recovered (a ridge escalation, a Jacobi cap, a
+    restarted ALS run) are worth surfacing but not worth failing over.  They
+    go to the [logs] library (source ["tcca.robust"]) and into a small
+    in-process ring buffer that tests and callers can inspect without
+    installing a reporter. *)
+
+val warnf : ('a, unit, string, unit) format4 -> 'a
+(** Printf-style warning: appended to the ring buffer and forwarded to
+    [Logs.warn] on the ["tcca.robust"] source. *)
+
+val recent_warnings : unit -> string list
+(** The captured warnings, oldest first (capped; older entries drop). *)
+
+val clear_warnings : unit -> unit
+
+(** {1 Fault injection}
+
+    [Inject] lets tests corrupt chosen pipeline stages to prove that every
+    degradation path ends in a recovered model or a typed {!failure} — never
+    a silent NaN model.  Disabled (the default), every probe is a single
+    [bool] load, so production paths pay nothing.  Not domain-safe by design:
+    arm/disarm from the test's main domain only. *)
+module Inject : sig
+  type stage =
+    | Covariance_nan   (** Poison the covariance statistics with a NaN. *)
+    | View_column_zero (** Zero one instance column of view 0. *)
+    | Gram_indefinite  (** Make view 0's whitening target indefinite. *)
+    | Sweep_cap        (** Force Jacobi eigendecompositions to 0 sweeps. *)
+    | Als_nan          (** Poison every ALS sweep's fit with NaN. *)
+
+  val arm : stage -> unit
+  (** Arm a stage (enables injection globally). *)
+
+  val disarm : stage -> unit
+
+  val reset : unit -> unit
+  (** Disarm everything and disable injection. *)
+
+  val enabled : unit -> bool
+
+  val active : stage -> bool
+  (** [true] iff injection is enabled and [stage] is armed.  This is the
+      probe production code calls; when nothing was ever armed it costs one
+      [bool] dereference. *)
+
+  val with_stage : stage -> (unit -> 'a) -> 'a
+  (** [with_stage s f] arms [s], runs [f], and restores the previous armed
+      set even on exception — the test-suite entry point. *)
+end

@@ -1,10 +1,38 @@
 type init = Random of int | Hosvd
 
-type options = { max_iter : int; tol : float; init : init }
+type options = {
+  max_iter : int;
+  tol : float;
+  init : init;
+  restarts : int;
+  restart_seed : int;
+  stall_sweeps : int;
+}
 
-let default_options = { max_iter = 100; tol = 1e-6; init = Hosvd }
+let default_options =
+  { max_iter = 100;
+    tol = 1e-6;
+    init = Hosvd;
+    restarts = 2;
+    restart_seed = 0x524F4253;
+    stall_sweeps = 15 }
 
-type info = { iterations : int; fit : float; converged : bool; fit_history : float list }
+type run = {
+  run_init : init;
+  run_iterations : int;
+  run_fit : float;
+  run_converged : bool;
+  run_failure : Robust.failure option;
+}
+
+type info = {
+  iterations : int;
+  fit : float;
+  converged : bool;
+  fit_history : float list;
+  failure : Robust.failure option;
+  runs : run list;
+}
 
 (* The dense kernel lives in Op_tensor (shared with the factored operator);
    this alias keeps the historical entry point for tests and benches. *)
@@ -15,7 +43,7 @@ let mttkrp (x : Tensor.t) us k = Op_tensor.mttkrp (Op_tensor.Dense x) us k
 let solve_against_gram v gamma =
   match Cholesky.decompose gamma with
   | f -> Mat.transpose (Cholesky.solve f (Mat.transpose v))
-  | exception Cholesky.Not_positive_definite -> Mat.mul v (Matfun.inv_psd gamma)
+  | exception Cholesky.Not_positive_definite _ -> Mat.mul v (Matfun.inv_psd gamma)
 
 let normalize_columns_in_place u lambda =
   let rows, r = Mat.dims u in
@@ -36,10 +64,10 @@ let normalize_columns_in_place u lambda =
     end
   done
 
-let init_factors options ~rank op =
+let init_factors init ~rank op =
   let m = Op_tensor.order op in
   let dims = Op_tensor.dims op in
-  match options.init with
+  match init with
   | Random seed ->
     let rng = Rng.create seed in
     Array.init m (fun k -> Mat.init dims.(k) rank (fun _ _ -> Rng.gaussian rng))
@@ -57,18 +85,25 @@ let init_factors options ~rank op =
           Mat.hcat lead pad
         end)
 
-let decompose_op ?(options = default_options) ~rank op =
-  if rank < 1 then invalid_arg "Cp_als.decompose: rank must be >= 1";
+(* One ALS run from one initialization, guarded: a non-finite fit stops the
+   sweep loop immediately (instead of burning max_iter on NaN ≠ NaN), and a
+   swamp — the fit repeatedly dropping well below its best without the
+   convergence test firing — stops with a Not_converged diagnostic so the
+   caller can restart from fresh factors. *)
+let single_run options ~rank ~init op =
   let m = Op_tensor.order op in
-  let factors = init_factors options ~rank op in
+  let factors = init_factors init ~rank op in
   let lambda = Array.make rank 1. in
   let norm_x2 = Op_tensor.norm2 op in
   let norm_x = sqrt norm_x2 in
   let fit_history = ref [] in
   let previous_fit = ref neg_infinity in
+  let best_fit = ref neg_infinity in
+  let drops = ref 0 in
+  let failure = ref None in
   let converged = ref false in
   let iterations = ref 0 in
-  while (not !converged) && !iterations < options.max_iter do
+  while (not !converged) && !failure = None && !iterations < options.max_iter do
     incr iterations;
     let last_v = ref (Mat.create 1 1) in
     for k = 0 to m - 1 do
@@ -91,15 +126,99 @@ let decompose_op ?(options = default_options) ~rank op =
     let norm_xhat2 = Vec.dot lambda (Mat.mul_vec !gram_full lambda) in
     let err2 = Float.max 0. (norm_x2 -. (2. *. !cross) +. norm_xhat2) in
     let fit = if norm_x = 0. then 1. else 1. -. (sqrt err2 /. norm_x) in
+    let fit = if Robust.Inject.(active Als_nan) then nan else fit in
     fit_history := fit :: !fit_history;
-    if Float.abs (fit -. !previous_fit) < options.tol then converged := true;
+    if not (Float.is_finite fit) then
+      failure :=
+        Some
+          (Robust.Non_finite
+             { stage = "cp_als"; where = Printf.sprintf "fit at sweep %d" !iterations })
+    else begin
+      if Float.abs (fit -. !previous_fit) < options.tol then converged := true;
+      (* Swamp detection: ALS is monotone in exact arithmetic, so a fit that
+         keeps landing well below its best (10·tol, i.e. beyond convergence-
+         test noise) is oscillating, not converging. *)
+      if fit > !best_fit then begin
+        best_fit := fit;
+        drops := 0
+      end
+      else if fit < !best_fit -. (10. *. options.tol) then begin
+        incr drops;
+        if !drops >= options.stall_sweeps && not !converged then
+          failure :=
+            Some
+              (Robust.Not_converged
+                 { stage = "cp_als";
+                   sweeps = !iterations;
+                   residual = 1. -. !best_fit })
+      end
+    end;
     previous_fit := fit
   done;
+  (* Final-model guard: a NaN that appeared in the factors without reaching
+     the fit (e.g. through the Gram pseudo-inverse) must not leave silently. *)
+  if
+    !failure = None
+    && not (Array.for_all Mat.all_finite factors && Vec.all_finite lambda)
+  then
+    failure := Some (Robust.Non_finite { stage = "cp_als"; where = "final factors" });
   let kruskal = Kruskal.normalize { Kruskal.weights = Array.copy lambda; factors } in
   ( kruskal,
-    { iterations = !iterations;
-      fit = !previous_fit;
-      converged = !converged;
-      fit_history = List.rev !fit_history } )
+    { run_init = init;
+      run_iterations = !iterations;
+      run_fit = !previous_fit;
+      run_converged = !converged;
+      run_failure = !failure } ,
+    List.rev !fit_history )
+
+let run_ok r = match r.run_failure with None -> true | Some _ -> false
+
+(* [a] strictly better than [b]: clean beats failed, converged beats capped,
+   then higher finite fit. *)
+let better a b =
+  let score r = (if run_ok r then 2 else 0) + if r.run_converged then 1 else 0 in
+  if score a <> score b then score a > score b
+  else
+    let fit r = if Float.is_finite r.run_fit then r.run_fit else neg_infinity in
+    fit a > fit b
+
+let decompose_op ?(options = default_options) ~rank op =
+  if rank < 1 then invalid_arg "Cp_als.decompose: rank must be >= 1";
+  let first = single_run options ~rank ~init:options.init op in
+  let runs = ref [ first ] in
+  (* Escalation: deterministic multi-start.  Only a *failed* run (non-finite
+     or swamped) triggers restarts — a clean run that merely exhausted
+     max_iter keeps the historical behaviour. *)
+  let rng = Rng.create options.restart_seed in
+  let attempt = ref 0 in
+  while
+    (let _, r, _ = List.hd !runs in
+     not (run_ok r))
+    && !attempt < options.restarts
+  do
+    incr attempt;
+    let seed = Rng.int rng 0x3FFFFFFF in
+    let _, r, _ = List.hd !runs in
+    Robust.warnf "Cp_als: run %d failed (%s) — restarting from Random %d (%d/%d)" !attempt
+      (match r.run_failure with Some f -> Robust.failure_to_string f | None -> "?")
+      seed !attempt options.restarts;
+    runs := single_run options ~rank ~init:(Random seed) op :: !runs
+  done;
+  let ordered = List.rev !runs in
+  let best =
+    List.fold_left
+      (fun acc candidate ->
+        let _, rb, _ = acc and _, rc, _ = candidate in
+        if better rc rb then candidate else acc)
+      (List.hd ordered) (List.tl ordered)
+  in
+  let kruskal, r, history = best in
+  ( kruskal,
+    { iterations = r.run_iterations;
+      fit = r.run_fit;
+      converged = r.run_converged;
+      fit_history = history;
+      failure = r.run_failure;
+      runs = List.map (fun (_, r, _) -> r) ordered } )
 
 let decompose ?options ~rank x = decompose_op ?options ~rank (Op_tensor.Dense x)

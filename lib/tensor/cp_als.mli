@@ -6,7 +6,21 @@
     Each sweep solves, for every mode k, the linear least-squares problem
     [min ‖X₍ₖ₎ − Uₖ diag(λ) Zₖᵀ‖] with [Zₖ] the Khatri–Rao product of the
     other factors, via the normal equations
-    [Uₖ ← X₍ₖ₎ Zₖ (⊛_{q≠k} UqᵀUq)⁺]. *)
+    [Uₖ ← X₍ₖ₎ Zₖ (⊛_{q≠k} UqᵀUq)⁺].
+
+    {2 Robustness}
+
+    A run is {e guarded}: a non-finite fit stops the sweep loop immediately
+    (instead of burning [max_iter] sweeps on [NaN ≠ NaN]) and records a
+    [Robust.Non_finite] diagnostic; a {e swamp} — the fit repeatedly falling
+    well below its running best, the classic ALS oscillation — stops after
+    [stall_sweeps] such drops with [Robust.Not_converged].  A failed run
+    triggers up to [restarts] deterministic multi-start retries from
+    [Random] initializations seeded by a [Mvutil.Rng] stream over
+    [restart_seed]; the best run (clean ≻ converged ≻ highest fit) is
+    returned, with every run's summary kept in [info.runs].  A clean run
+    that merely exhausts [max_iter] never restarts — identical behaviour to
+    the historical solver. *)
 
 type init =
   | Random of int          (** Gaussian factors from the given seed. *)
@@ -19,15 +33,39 @@ type options = {
   tol : float;             (** Stop when the fit improves by less than this
                                between sweeps.  Default 1e-6. *)
   init : init;             (** Default [Hosvd]. *)
+  restarts : int;          (** Max multi-start retries after a {e failed}
+                               (non-finite or swamped) run.  Default 2;
+                               0 disables restarts. *)
+  restart_seed : int;      (** Seed of the deterministic restart-seed stream.
+                               Default [0x524F4253]. *)
+  stall_sweeps : int;      (** Swamp threshold: sweeps with
+                               [fit < best − 10·tol] (counter reset on a new
+                               best) before declaring a swamp.  Default 15. *)
 }
 
 val default_options : options
 
+type run = {
+  run_init : init;
+  run_iterations : int;
+  run_fit : float;
+  run_converged : bool;
+  run_failure : Robust.failure option;
+}
+(** Per-restart summary, oldest first in [info.runs]. *)
+
 type info = {
   iterations : int;
-  fit : float;             (** Final relative fit in [−∞, 1]. *)
+  fit : float;             (** Final relative fit in [−∞, 1] (NaN if the
+                               selected run died on a non-finite fit). *)
   converged : bool;
-  fit_history : float list; (** Fit after each sweep, oldest first. *)
+  fit_history : float list; (** Fit after each sweep of the selected run,
+                                oldest first. *)
+  failure : Robust.failure option;
+      (** [None] iff the selected run ended cleanly (converged or hit
+          [max_iter] with finite factors). *)
+  runs : run list;         (** All runs attempted, in order; a singleton when
+                               the first run was clean. *)
 }
 
 val decompose : ?options:options -> rank:int -> Tensor.t -> Kruskal.t * info

@@ -35,6 +35,11 @@ let n_components = function
   | Dense _ -> None
   | Factored { factors; _ } -> Some (snd (Mat.dims factors.(0)))
 
+let all_finite = function
+  | Dense x -> Tensor.all_finite x
+  | Factored { weight; factors } ->
+    Float.is_finite weight && Array.for_all Mat.all_finite factors
+
 (* ------------------------------------------------------------------ *)
 (* Dense MTTKRP: X₍ₖ₎ · (⊙_{q≠k} U_q) without materializing either
    operand — one pass over the tensor entries, carrying the running

@@ -43,6 +43,11 @@ val size : t -> int
 val n_components : t -> int option
 (** [Some n] for [Factored] (the shared column count), [None] for [Dense]. *)
 
+val all_finite : t -> bool
+(** No NaN/Inf anywhere in the representation: every entry for [Dense], the
+    weight and every factor entry for [Factored].  Costs what the operator
+    actually holds in memory, never the logical ∏ₚ dₚ. *)
+
 (** {1 The CP-ALS contraction kernels} *)
 
 val mttkrp : t -> Mat.t array -> int -> Mat.t

@@ -138,6 +138,7 @@ let inner a b =
   !acc
 
 let frobenius a = sqrt (inner a a)
+let all_finite a = Vec.all_finite a.data
 
 (* a ×ₖ u : for every slice along mode k, replace the length-dims.(k) fiber by
    u times that fiber.  We iterate over all positions of the other modes via

@@ -63,6 +63,10 @@ val inner : t -> t -> float
 val frobenius : t -> float
 (** [‖A‖_F] (paper Eq. 4.4). *)
 
+val all_finite : t -> bool
+(** [true] iff no entry is NaN or infinite (single pass, early exit) — the
+    stage-boundary guard of the robust fit paths. *)
+
 val mode_product : t -> int -> Mat.t -> t
 (** [mode_product a k u] is [a ×ₖ u] for [u : J × dims.(k)] (paper Eq. 4.1). *)
 

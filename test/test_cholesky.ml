@@ -28,9 +28,21 @@ let test_inverse () =
   check_mat ~eps:1e-8 "A·A⁻¹" (Mat.identity 5) (Mat.mul a inv)
 
 let test_not_pd () =
+  (* Leading 1×1 minor is fine; the second pivot is 1 − 4 = −3. *)
   let a = Mat.of_arrays [| [| 1.; 2. |]; [| 2.; 1. |] |] in
-  Alcotest.check_raises "indefinite raises" Cholesky.Not_positive_definite (fun () ->
-      ignore (Cholesky.decompose a))
+  match Cholesky.decompose a with
+  | _ -> Alcotest.fail "indefinite matrix factorized"
+  | exception Cholesky.Not_positive_definite { pivot; value } ->
+    Alcotest.(check int) "failing pivot" 1 pivot;
+    check_float ~eps:1e-12 "pivot value" (-3.) value
+
+let test_nan_pivot () =
+  let a = Mat.of_arrays [| [| nan; 0. |]; [| 0.; 1. |] |] in
+  match Cholesky.decompose a with
+  | _ -> Alcotest.fail "NaN matrix factorized"
+  | exception Cholesky.Not_positive_definite { pivot; value } ->
+    Alcotest.(check int) "failing pivot" 0 pivot;
+    check_true "pivot value is NaN" (Float.is_nan value)
 
 let test_not_square () =
   Alcotest.check_raises "not square" (Invalid_argument "Cholesky.decompose: not square")
@@ -96,5 +108,6 @@ let () =
           Alcotest.test_case "log det" `Quick test_log_det ] );
       ( "errors",
         [ Alcotest.test_case "not pd" `Quick test_not_pd;
+          Alcotest.test_case "nan pivot" `Quick test_nan_pivot;
           Alcotest.test_case "not square" `Quick test_not_square ] );
       ("properties", [ prop_solve_residual; prop_factor_lower_triangular ]) ]
