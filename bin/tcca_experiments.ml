@@ -4,10 +4,13 @@
    dune exec bin/tcca_experiments.exe -- run fig3 --seeds 5 --paper
    dune exec bin/tcca_experiments.exe -- run fig5 --rs 6,12,24,45,90
    dune exec bin/tcca_experiments.exe -- demo --dataset nuswide --dim 45
+   dune exec bin/tcca_experiments.exe -- fit --checkpoint-dir /tmp/ck --resume
 
    The [run] command regenerates any table/figure of the paper at either the
    quick (default) or paper scale, with every knob overridable; [demo] runs a
-   single protocol instance and prints per-method accuracy. *)
+   single protocol instance and prints per-method accuracy; [fit] runs one
+   crash-safe TCCA fit on a deterministic synthetic pool (the harness behind
+   the CI kill-and-resume check, and a template for long production fits). *)
 
 open Cmdliner
 
@@ -133,7 +136,116 @@ let demo_cmd =
     (Cmd.info "demo" ~doc:"Run one protocol instance and print per-method accuracy.")
     Term.(const action $ dataset $ dim $ seed $ paper_scale)
 
+(* ------------------------------------------------------------------ *)
+(* fit: one crash-safe, budget-aware TCCA fit on deterministic synthetic
+   views.  Everything (data, solver, output format) is a pure function of
+   the flags, so two runs with the same flags produce byte-identical --out
+   files — which is exactly what the kill-and-resume CI check asserts. *)
+
+(* Shared 4-dim latent signal plus per-view Gaussian noise: correlated views
+   whose fit takes real ALS work at the default tol=0 (runs to --iters). *)
+let synth_views ~views ~dim ~n ~seed =
+  let rng = Rng.create seed in
+  let latent = Mat.init 4 n (fun _ _ -> Rng.gaussian rng) in
+  let out = Array.make views (Mat.create 0 0) in
+  for p = 0 to views - 1 do
+    let mix = Mat.init dim 4 (fun _ _ -> Rng.gaussian rng) in
+    let noise = Mat.init dim n (fun _ _ -> 0.5 *. Rng.gaussian rng) in
+    out.(p) <- Mat.add (Mat.mul mix latent) noise
+  done;
+  out
+
+let write_model path model =
+  let oc = open_out path in
+  let cors = Tcca.correlations model in
+  Printf.fprintf oc "correlations %d\n" (Array.length cors);
+  Array.iter (fun c -> Printf.fprintf oc "%.17g\n" c) cors;
+  Array.iteri
+    (fun p m ->
+      Printf.fprintf oc "projection %d %d %d\n" p m.Mat.rows m.Mat.cols;
+      Array.iter (fun v -> Printf.fprintf oc "%.17g\n" v) m.Mat.data)
+    (Tcca.projections model);
+  close_out oc
+
+let fit_cmd =
+  let views = Arg.(value & opt int 3 & info [ "views" ] ~docv:"M" ~doc:"Number of views.") in
+  let dim = Arg.(value & opt int 20 & info [ "dim" ] ~docv:"D" ~doc:"Per-view dimension.") in
+  let n = Arg.(value & opt int 200 & info [ "n" ] ~docv:"N" ~doc:"Instances.") in
+  let rank = Arg.(value & opt int 4 & info [ "rank" ] ~docv:"R" ~doc:"CP rank.") in
+  let iters =
+    Arg.(value & opt int 400 & info [ "iters" ] ~docv:"K" ~doc:"Max ALS sweeps.")
+  in
+  let tol =
+    Arg.(value & opt float 0. & info [ "tol" ] ~docv:"T"
+           ~doc:"ALS tolerance (0 = always run to --iters, for reproducible length).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Data seed.") in
+  let checkpoint_dir =
+    Arg.(value & opt (some string) None & info [ "checkpoint-dir" ] ~docv:"DIR"
+           ~doc:"Snapshot the ALS state to $(docv)/fit.ckpt (created if missing).")
+  in
+  let every =
+    Arg.(value & opt int 1 & info [ "checkpoint-every" ] ~docv:"K"
+           ~doc:"Snapshot every $(docv) sweeps.")
+  in
+  let resume =
+    Arg.(value & flag & info [ "resume" ]
+           ~doc:"Resume from an existing snapshot (otherwise it is overwritten).")
+  in
+  let time_budget =
+    Arg.(value & opt (some float) None & info [ "time-budget" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock budget; on expiry the best-so-far model is returned.")
+  in
+  let sweep_budget =
+    Arg.(value & opt (some int) None & info [ "sweep-budget" ] ~docv:"K"
+           ~doc:"Total-sweep budget; on expiry the best-so-far model is returned.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+           ~doc:"Write the model (correlations + projections, %.17g) to $(docv).")
+  in
+  let action views dim n rank iters tol seed checkpoint_dir every resume time_budget
+      sweep_budget out =
+    if views < 2 then `Error (false, "--views must be >= 2")
+    else begin
+      let data = synth_views ~views ~dim ~n ~seed in
+      let options = { Cp_als.default_options with max_iter = iters; tol } in
+      let budget =
+        match (time_budget, sweep_budget) with
+        | None, None -> None
+        | w, s -> Some (Budget.create ?wall_seconds:w ?sweeps:s ())
+      in
+      let checkpoint =
+        Option.map
+          (fun dir ->
+            (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+            Checkpoint.config ~every ~resume (Filename.concat dir "fit.ckpt"))
+          checkpoint_dir
+      in
+      match Tcca.fit_checked ~solver:(Tcca.Als options) ?budget ?checkpoint ~r:rank data with
+      | Error e -> `Error (false, "fit failed: " ^ Robust.failure_to_string e)
+      | Ok model ->
+        List.iter (Printf.printf "warning: %s\n") (Robust.recent_warnings ());
+        Printf.printf "solver: %s\n" (Tcca.solver_info model);
+        Array.iteri
+          (fun i c -> Printf.printf "rho[%d] = %.6f\n" i c)
+          (Tcca.correlations model);
+        Option.iter
+          (fun path ->
+            write_model path model;
+            Printf.printf "model written to %s\n" path)
+          out;
+        `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "fit"
+       ~doc:"Run one crash-safe TCCA fit on synthetic views (checkpoint/resume, budgets).")
+    Term.(ret
+            (const action $ views $ dim $ n $ rank $ iters $ tol $ seed $ checkpoint_dir
+             $ every $ resume $ time_budget $ sweep_budget $ out))
+
 let () =
   let doc = "Reproduction harness for 'Tensor CCA for Multi-view Dimension Reduction'" in
   let info = Cmd.info "tcca_experiments" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; list_cmd; demo_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; list_cmd; demo_cmd; fit_cmd ]))

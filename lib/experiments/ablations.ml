@@ -45,7 +45,7 @@ let solver_comparison ~world ~n ~eps ~rs ~seed =
       in
       let power_result = ref None in
       let power_s = Measure.time (fun () ->
-          power_result := Some (Tensor_power.decompose ~rank:r m_tensor))
+          power_result := Some (fst (Tensor_power.decompose ~rank:r m_tensor)))
       in
       let power_fit =
         match !power_result with Some k -> Kruskal.fit k m_tensor | None -> nan

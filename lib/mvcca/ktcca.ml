@@ -158,10 +158,20 @@ let prepare ?(eps = 1e-4) ?center ?materialize kernels_raw =
 let prepare_checked ?(eps = 1e-4) ?center ?materialize kernels_raw =
   prepare_of_raw_checked ~eps (prepare_raw ?center ?materialize kernels_raw)
 
-let fit_prepared_checked ?(solver = Tcca.default_solver) ~r prepared =
+let fit_prepared_checked ?(solver = Tcca.default_solver) ?budget ?checkpoint ~r prepared =
   if r < 1 then invalid_arg "Ktcca.fit_prepared: r must be >= 1";
   let n = Op_tensor.dim prepared.p_op 0 in
   let r = min r n in
+  (match (checkpoint, solver) with
+  | Some cfg, (Tcca.Rand_als _ | Tcca.Power_deflation) ->
+    Robust.warnf "Ktcca.fit: checkpointing (%s) only supported by the Als solver — ignored"
+      cfg.Checkpoint.path
+  | _ -> ());
+  let note_deadline = function
+    | None -> ()
+    | Some d ->
+      Robust.warnf "Ktcca.fit: %s — returning best-so-far model" (Robust.failure_to_string d)
+  in
   let dense_tensor () =
     match prepared.p_op with
     | Op_tensor.Dense t -> t
@@ -178,11 +188,17 @@ let fit_prepared_checked ?(solver = Tcca.default_solver) ~r prepared =
   let solved =
     match solver with
     | Tcca.Als options ->
-      let k, info = Cp_als.decompose_op ~options ~rank:r prepared.p_op in
+      let k, info = Cp_als.decompose_op ~options ?budget ?checkpoint ~rank:r prepared.p_op in
+      note_deadline info.Cp_als.deadline;
       (match info.Cp_als.failure with Some f -> Error f | None -> Ok k)
-    | Tcca.Rand_als options -> Ok (fst (Cp_rand.decompose ~options ~rank:r (dense_tensor ())))
+    | Tcca.Rand_als options ->
+      let k, info = Cp_rand.decompose ~options ?budget ~rank:r (dense_tensor ()) in
+      note_deadline info.Cp_rand.deadline;
+      Ok k
     | Tcca.Power_deflation ->
-      Ok (Kruskal.normalize (Tensor_power.decompose ~rank:r (dense_tensor ())))
+      let k, deadline = Tensor_power.decompose ?budget ~rank:r (dense_tensor ()) in
+      note_deadline deadline;
+      Ok (Kruskal.normalize k)
   in
   match solved with
   | Error e -> Error e
@@ -204,18 +220,19 @@ let fit_prepared_checked ?(solver = Tcca.default_solver) ~r prepared =
           centered = prepared.p_centered;
           correlations = kruskal.Kruskal.weights }
 
-let fit_prepared ?solver ~r prepared =
-  match fit_prepared_checked ?solver ~r prepared with
+let fit_prepared ?solver ?budget ?checkpoint ~r prepared =
+  match fit_prepared_checked ?solver ?budget ?checkpoint ~r prepared with
   | Ok t -> t
   | Error e -> Robust.fail e
 
-let fit_checked ?(eps = 1e-4) ?center ?materialize ?solver ~r kernels_raw =
+let fit_checked ?(eps = 1e-4) ?center ?materialize ?solver ?budget ?checkpoint ~r
+    kernels_raw =
   match prepare_checked ~eps ?center ?materialize kernels_raw with
   | Error e -> Error e
-  | Ok prepared -> fit_prepared_checked ?solver ~r prepared
+  | Ok prepared -> fit_prepared_checked ?solver ?budget ?checkpoint ~r prepared
 
-let fit ?eps ?center ?materialize ?solver ~r kernels_raw =
-  fit_prepared ?solver ~r (prepare ?eps ?center ?materialize kernels_raw)
+let fit ?eps ?center ?materialize ?solver ?budget ?checkpoint ~r kernels_raw =
+  fit_prepared ?solver ?budget ?checkpoint ~r (prepare ?eps ?center ?materialize kernels_raw)
 
 let r t = Array.length t.correlations
 let n_views t = Array.length t.duals

@@ -27,6 +27,8 @@ val fit :
   ?center:bool ->
   ?materialize:bool ->
   ?solver:Tcca.solver ->
+  ?budget:Budget.t ->
+  ?checkpoint:Checkpoint.config ->
   r:int ->
   Mat.t array ->
   t
@@ -34,14 +36,24 @@ val fit :
     [center] (default true) double-centers each kernel.  [eps] defaults to
     1e-4.  [materialize] mirrors {!Tcca.fit}: dense iff Nᵐ ≤
     [Tcca.materialize_threshold] by default; [Rand_als] and
-    [Power_deflation] require the dense tensor. *)
+    [Power_deflation] require the dense tensor.  [budget] and [checkpoint]
+    also mirror {!Tcca.fit}: a budget-expired solve returns its best-so-far
+    model (warning logged, not an error), and checkpoint/resume (Als solver
+    only) makes the dual-weight fit crash-safe with bit-identical resume. *)
 
 type prepared
 (** Centered kernels, Cholesky factors and the whitened operator [S], frozen
     so several ranks can be decomposed without re-materializing [S]. *)
 
 val prepare : ?eps:float -> ?center:bool -> ?materialize:bool -> Mat.t array -> prepared
-val fit_prepared : ?solver:Tcca.solver -> r:int -> prepared -> t
+
+val fit_prepared :
+  ?solver:Tcca.solver ->
+  ?budget:Budget.t ->
+  ?checkpoint:Checkpoint.config ->
+  r:int ->
+  prepared ->
+  t
 
 (** {2 Guarded entry points}
 
@@ -63,13 +75,20 @@ val prepare_checked :
   (prepared, Robust.failure) result
 
 val fit_prepared_checked :
-  ?solver:Tcca.solver -> r:int -> prepared -> (t, Robust.failure) result
+  ?solver:Tcca.solver ->
+  ?budget:Budget.t ->
+  ?checkpoint:Checkpoint.config ->
+  r:int ->
+  prepared ->
+  (t, Robust.failure) result
 
 val fit_checked :
   ?eps:float ->
   ?center:bool ->
   ?materialize:bool ->
   ?solver:Tcca.solver ->
+  ?budget:Budget.t ->
+  ?checkpoint:Checkpoint.config ->
   r:int ->
   Mat.t array ->
   (t, Robust.failure) result

@@ -334,13 +334,29 @@ let materialize_for_solver name op =
            name entries));
   Op_tensor.to_tensor op
 
-let fit_prepared_checked ?(solver = default_solver) ~r prepared =
+(* A budget-expired solve is graceful degradation, not an error: the model is
+   the solver's best-so-far state.  Surface the diagnostic loudly (warnings
+   ring + solver note) without failing the fit. *)
+let note_deadline note = function
+  | None -> note
+  | Some d ->
+    Robust.warnf "Tcca.fit: %s — returning best-so-far model" (Robust.failure_to_string d);
+    note ^ "; " ^ Robust.failure_to_string d
+
+let fit_prepared_checked ?(solver = default_solver) ?budget ?checkpoint ~r prepared =
   if r < 1 then invalid_arg "Tcca.fit_prepared: r must be >= 1";
   let r = Array.fold_left min r (Op_tensor.dims prepared.p_op) in
+  (match (checkpoint, solver) with
+  | Some cfg, (Rand_als _ | Power_deflation) ->
+    (* Sampled and deflation solvers carry no resumable snapshot yet: be loud
+       rather than silently unprotected. *)
+    Robust.warnf "Tcca.fit: checkpointing (%s) only supported by the Als solver — ignored"
+      cfg.Checkpoint.path
+  | _ -> ());
   let solved =
     match solver with
     | Als options ->
-      let k, info = Cp_als.decompose_op ~options ~rank:r prepared.p_op in
+      let k, info = Cp_als.decompose_op ~options ?budget ?checkpoint ~rank:r prepared.p_op in
       (* A Some failure means the solver exhausted its restarts on
          non-finite or swamped runs — the model is not trustworthy. *)
       (match info.Cp_als.failure with
@@ -348,20 +364,24 @@ let fit_prepared_checked ?(solver = default_solver) ~r prepared =
       | None ->
         Ok
           ( k,
-            Printf.sprintf "als: %d iters, fit %.6f, converged %b, runs %d"
-              info.Cp_als.iterations info.Cp_als.fit info.Cp_als.converged
-              (List.length info.Cp_als.runs) ))
+            note_deadline
+              (Printf.sprintf "als: %d iters, fit %.6f, converged %b, runs %d"
+                 info.Cp_als.iterations info.Cp_als.fit info.Cp_als.converged
+                 (List.length info.Cp_als.runs))
+              info.Cp_als.deadline ))
     | Rand_als options ->
       let m_tensor = materialize_for_solver "Tcca.fit_prepared" prepared.p_op in
-      let k, info = Cp_rand.decompose ~options ~rank:r m_tensor in
+      let k, info = Cp_rand.decompose ~options ?budget ~rank:r m_tensor in
       Ok
         ( k,
-          Printf.sprintf "rand-als: %d iters, sampled fit %.6f, converged %b"
-            info.Cp_rand.iterations info.Cp_rand.sampled_fit info.Cp_rand.converged )
+          note_deadline
+            (Printf.sprintf "rand-als: %d iters, sampled fit %.6f, converged %b"
+               info.Cp_rand.iterations info.Cp_rand.sampled_fit info.Cp_rand.converged)
+            info.Cp_rand.deadline )
     | Power_deflation ->
       let m_tensor = materialize_for_solver "Tcca.fit_prepared" prepared.p_op in
-      let k = Tensor_power.decompose ~rank:r m_tensor in
-      Ok (Kruskal.normalize k, "power-deflation")
+      let k, deadline = Tensor_power.decompose ?budget ~rank:r m_tensor in
+      Ok (Kruskal.normalize k, note_deadline "power-deflation" deadline)
   in
   match solved with
   | Error e -> Error e
@@ -383,18 +403,18 @@ let fit_prepared_checked ?(solver = default_solver) ~r prepared =
           correlations = kruskal.Kruskal.weights;
           solver_note = note }
 
-let fit_prepared ?solver ~r prepared =
-  match fit_prepared_checked ?solver ~r prepared with
+let fit_prepared ?solver ?budget ?checkpoint ~r prepared =
+  match fit_prepared_checked ?solver ?budget ?checkpoint ~r prepared with
   | Ok t -> t
   | Error e -> Robust.fail e
 
-let fit_checked ?(eps = 1e-2) ?materialize ?solver ~r views =
+let fit_checked ?(eps = 1e-2) ?materialize ?solver ?budget ?checkpoint ~r views =
   match prepare_checked ~eps ?materialize views with
   | Error e -> Error e
-  | Ok prepared -> fit_prepared_checked ?solver ~r prepared
+  | Ok prepared -> fit_prepared_checked ?solver ?budget ?checkpoint ~r prepared
 
-let fit ?(eps = 1e-2) ?materialize ?solver ~r views =
-  fit_prepared ?solver ~r (prepare ~eps ?materialize views)
+let fit ?(eps = 1e-2) ?materialize ?solver ?budget ?checkpoint ~r views =
+  fit_prepared ?solver ?budget ?checkpoint ~r (prepare ~eps ?materialize views)
 
 let r t = Array.length t.correlations
 let n_views t = Array.length t.projections

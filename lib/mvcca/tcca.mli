@@ -23,7 +23,15 @@ val default_solver : solver
 
 type t
 
-val fit : ?eps:float -> ?materialize:bool -> ?solver:solver -> r:int -> Mat.t array -> t
+val fit :
+  ?eps:float ->
+  ?materialize:bool ->
+  ?solver:solver ->
+  ?budget:Budget.t ->
+  ?checkpoint:Checkpoint.config ->
+  r:int ->
+  Mat.t array ->
+  t
 (** [fit ~eps ~r views] with instances as columns; centering is internal and
     frozen.  [eps] is the regularizer of Eq. 4.8 (default 1e-2, the paper's
     linear-experiment value).  [r] is clamped to [min dₚ].  Raises
@@ -38,7 +46,20 @@ val fit : ?eps:float -> ?materialize:bool -> ?solver:solver -> r:int -> Mat.t ar
     and O(N·Σdₚ·r) per ALS sweep, which is what makes many-view shapes
     (e.g. 5 views at dₚ = 40 ≈ 10⁸ dense entries) fit at all.  The default
     picks dense iff ∏dₚ ≤ [materialize_threshold].  Both paths compute the
-    same M; projections agree to solver roundoff. *)
+    same M; projections agree to solver roundoff.
+
+    {b Long-running fits}: [budget] bounds the solve — it is probed once per
+    ALS/power sweep, and on expiry the fit returns its {e best-so-far} model
+    with the [Robust.Deadline_exceeded] diagnostic appended to
+    {!solver_info} and pushed through [Robust.warnf] (a deadline is graceful
+    degradation, not an error; [fit_checked] still returns [Ok]).
+    [checkpoint] (Als solver only; a warning is logged and it is ignored for
+    the sampled/deflation solvers) snapshots the full ALS state through
+    {!Checkpoint} so a killed process resumes from its last sweep boundary —
+    the resumed fit is bit-identical to an uninterrupted one at any
+    [TCCA_DOMAINS] setting.  A corrupt, torn, truncated or mismatched
+    snapshot degrades to a cold start with a typed warning; it never crashes
+    the fit and never yields a silently wrong model. *)
 
 val materialize_threshold : int
 (** The ∏dₚ cutoff of the default heuristic (262 144 entries = 2 MB). *)
@@ -51,7 +72,9 @@ type prepared
     (Sec. 4.5). *)
 
 val prepare : ?eps:float -> ?materialize:bool -> Mat.t array -> prepared
-val fit_prepared : ?solver:solver -> r:int -> prepared -> t
+
+val fit_prepared :
+  ?solver:solver -> ?budget:Budget.t -> ?checkpoint:Checkpoint.config -> r:int -> prepared -> t
 
 (** {2 Guarded entry points}
 
@@ -71,12 +94,20 @@ val fit_prepared : ?solver:solver -> r:int -> prepared -> t
 val prepare_checked :
   ?eps:float -> ?materialize:bool -> Mat.t array -> (prepared, Robust.failure) result
 
-val fit_prepared_checked : ?solver:solver -> r:int -> prepared -> (t, Robust.failure) result
+val fit_prepared_checked :
+  ?solver:solver ->
+  ?budget:Budget.t ->
+  ?checkpoint:Checkpoint.config ->
+  r:int ->
+  prepared ->
+  (t, Robust.failure) result
 
 val fit_checked :
   ?eps:float ->
   ?materialize:bool ->
   ?solver:solver ->
+  ?budget:Budget.t ->
+  ?checkpoint:Checkpoint.config ->
   r:int ->
   Mat.t array ->
   (t, Robust.failure) result

@@ -1,0 +1,55 @@
+(* Cooperative deadlines for iterative solves.  A budget is checked once per
+   sweep at the solver's loop head — cheap (one [Unix.gettimeofday] plus two
+   compares) and safe (the solver is always at a consistent state when it
+   stops), at the cost of a granularity of one sweep. *)
+
+type t = {
+  start : float;                (* gettimeofday at creation *)
+  wall : float option;          (* seconds allowed from [start] *)
+  max_sweeps : int option;      (* sweeps allowed, across the whole solve *)
+}
+
+let unlimited = { start = 0.; wall = None; max_sweeps = None }
+
+let create ?wall_seconds ?sweeps () =
+  (match wall_seconds with
+  | Some s when s < 0. -> invalid_arg "Budget.create: wall_seconds must be >= 0"
+  | _ -> ());
+  (match sweeps with
+  | Some k when k < 0 -> invalid_arg "Budget.create: sweeps must be >= 0"
+  | _ -> ());
+  match (wall_seconds, sweeps) with
+  | None, None -> unlimited
+  | _ -> { start = Unix.gettimeofday (); wall = wall_seconds; max_sweeps = sweeps }
+
+let is_unlimited t = t.wall = None && t.max_sweeps = None
+
+let expired ~stage ~sweeps t =
+  if Robust.Inject.(active Deadline_now) then
+    Some (Robust.Deadline_exceeded { stage; sweeps; elapsed = 0.; limit = "injected" })
+  else if is_unlimited t then None
+  else
+    let sweep_hit = match t.max_sweeps with Some k -> sweeps >= k | None -> false in
+    if sweep_hit then
+      let elapsed = if t.wall = None then 0. else Unix.gettimeofday () -. t.start in
+      Some
+        (Robust.Deadline_exceeded
+           { stage;
+             sweeps;
+             elapsed;
+             limit = Printf.sprintf "sweeps %d" (Option.get t.max_sweeps) })
+    else
+      match t.wall with
+      | None -> None
+      | Some w ->
+        let elapsed = Unix.gettimeofday () -. t.start in
+        if elapsed >= w then
+          Some
+            (Robust.Deadline_exceeded
+               { stage; sweeps; elapsed; limit = Printf.sprintf "wall %gs" w })
+        else None
+
+let remaining_seconds t =
+  match t.wall with
+  | None -> None
+  | Some w -> Some (Float.max 0. (w -. (Unix.gettimeofday () -. t.start)))

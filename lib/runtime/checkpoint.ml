@@ -1,0 +1,388 @@
+(* Crash-safe snapshots of iterative solver state.
+
+   Wire format (little-endian throughout; see DESIGN.md §"Checkpoint wire
+   format" for the field-level layout):
+
+     magic   "TCCK"                     4 bytes
+     version u32                        4 bytes
+     length  u64 (payload bytes)        8 bytes
+     crc32   u32 (of the payload)       4 bytes
+     payload                            [length] bytes
+
+   The payload is a flat field stream (ints and float bits as fixed i64,
+   length-prefixed strings and arrays) — no alignment, no pointers, so a
+   snapshot written on any platform loads on any other.
+
+   Durability protocol: the whole file is built in memory, written to
+   [path ^ ".tmp"] with an fsync-free close, and published with [Sys.rename].
+   Rename is atomic on POSIX, so a reader (including a crashed-and-restarted
+   self) only ever observes either the previous complete snapshot or the new
+   complete snapshot — never a torn one.  The [Torn_checkpoint_write] fault
+   bypasses exactly this protocol to prove the loader's degradation path. *)
+
+(* ------------------------------------------------------------------ *)
+(* CRC32 (IEEE 802.3, the zlib polynomial). *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8)) s;
+  !c lxor 0xFFFFFFFF
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot structure.  Factors are plain row-major arrays: this module
+   sits below [linalg] in the build, so the matrix conversion happens in
+   the solver that owns the state ([Cp_als]). *)
+
+type factor = { rows : int; cols : int; data : float array }
+
+type run_state = {
+  rs_init_random : int option; (* Some seed for Random init, None for Hosvd *)
+  rs_iterations : int;
+  rs_previous_fit : float;
+  rs_best_fit : float;
+  rs_drops : int;
+  rs_converged : bool;
+  rs_failure : Robust.failure option;
+  rs_weights : float array;
+  rs_factors : factor array;
+  rs_history : float array; (* per-sweep fit, oldest first *)
+}
+
+type t = {
+  fingerprint : string;
+  domains : int;
+  attempt : int;
+  completed : run_state list; (* finished restart runs, oldest first *)
+  current : run_state;        (* the in-progress run at its last sweep boundary *)
+}
+
+type load_error =
+  | Truncated
+  | Corrupt of string
+  | Version_mismatch of { found : int; expected : int }
+
+let load_error_to_string = function
+  | Truncated -> "truncated snapshot (torn write or incomplete copy)"
+  | Corrupt what -> Printf.sprintf "corrupt snapshot (%s)" what
+  | Version_mismatch { found; expected } ->
+    Printf.sprintf "snapshot format version %d (this build reads %d)" found expected
+
+let version = 1
+let magic = "TCCK"
+let header_bytes = 20
+
+(* ------------------------------------------------------------------ *)
+(* Encoding. *)
+
+let add_i64 b v = Buffer.add_int64_le b v
+let add_int b v = add_i64 b (Int64.of_int v)
+let add_f64 b v = add_i64 b (Int64.bits_of_float v)
+let add_bool b v = add_int b (if v then 1 else 0)
+
+let add_string b s =
+  add_int b (String.length s);
+  Buffer.add_string b s
+
+let add_f_array b a =
+  add_int b (Array.length a);
+  Array.iter (add_f64 b) a
+
+let add_int_opt b = function
+  | None -> add_int b 0
+  | Some v ->
+    add_int b 1;
+    add_int b v
+
+let add_failure b = function
+  | None -> add_int b 0
+  | Some (Robust.Not_converged { stage; sweeps; residual }) ->
+    add_int b 1;
+    add_string b stage;
+    add_int b sweeps;
+    add_f64 b residual
+  | Some (Robust.Not_positive_definite { stage; pivot; value; jitter_tried }) ->
+    add_int b 2;
+    add_string b stage;
+    add_int b pivot;
+    add_f64 b value;
+    add_f64 b jitter_tried
+  | Some (Robust.Non_finite { stage; where }) ->
+    add_int b 3;
+    add_string b stage;
+    add_string b where
+  | Some (Robust.Rank_deficient { view; rank; dim }) ->
+    add_int b 4;
+    add_int b view;
+    add_int b rank;
+    add_int b dim
+  | Some (Robust.Deadline_exceeded { stage; sweeps; elapsed; limit }) ->
+    add_int b 5;
+    add_string b stage;
+    add_int b sweeps;
+    add_f64 b elapsed;
+    add_string b limit
+
+let add_factor b f =
+  if Array.length f.data <> f.rows * f.cols then
+    invalid_arg "Checkpoint: factor data length mismatch";
+  add_int b f.rows;
+  add_int b f.cols;
+  add_f_array b f.data
+
+let add_run_state b rs =
+  add_int_opt b rs.rs_init_random;
+  add_int b rs.rs_iterations;
+  add_f64 b rs.rs_previous_fit;
+  add_f64 b rs.rs_best_fit;
+  add_int b rs.rs_drops;
+  add_bool b rs.rs_converged;
+  add_failure b rs.rs_failure;
+  add_f_array b rs.rs_weights;
+  add_int b (Array.length rs.rs_factors);
+  Array.iter (add_factor b) rs.rs_factors;
+  add_f_array b rs.rs_history
+
+let encode_payload t =
+  let b = Buffer.create 4096 in
+  add_string b t.fingerprint;
+  add_int b t.domains;
+  add_int b t.attempt;
+  add_int b (List.length t.completed);
+  List.iter (add_run_state b) t.completed;
+  add_run_state b t.current;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Decoding: a cursor over the payload; any overrun or bad tag raises
+   [Decode] and surfaces as [Corrupt]. *)
+
+exception Decode of string
+
+type cursor = { s : string; mutable pos : int }
+
+let need c n = if c.pos + n > String.length c.s then raise (Decode "field overruns payload")
+
+let get_i64 c =
+  need c 8;
+  let v = String.get_int64_le c.s c.pos in
+  c.pos <- c.pos + 8;
+  v
+
+let get_int c =
+  let v = get_i64 c in
+  let i = Int64.to_int v in
+  if Int64.of_int i <> v then raise (Decode "integer out of range");
+  i
+
+let get_nat c what =
+  let v = get_int c in
+  if v < 0 then raise (Decode (what ^ " is negative"));
+  v
+
+let get_f64 c = Int64.float_of_bits (get_i64 c)
+
+let get_bool c =
+  match get_int c with 0 -> false | 1 -> true | _ -> raise (Decode "bad bool tag")
+
+let get_string c =
+  let n = get_nat c "string length" in
+  need c n;
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_f_array c =
+  let n = get_nat c "array length" in
+  need c (8 * n);
+  let a =
+    Array.init n (fun i ->
+        Int64.float_of_bits (String.get_int64_le c.s (c.pos + (8 * i))))
+  in
+  c.pos <- c.pos + (8 * n);
+  a
+
+let get_int_opt c =
+  match get_int c with
+  | 0 -> None
+  | 1 -> Some (get_int c)
+  | _ -> raise (Decode "bad option tag")
+
+let get_failure c =
+  match get_int c with
+  | 0 -> None
+  | 1 ->
+    let stage = get_string c in
+    let sweeps = get_int c in
+    let residual = get_f64 c in
+    Some (Robust.Not_converged { stage; sweeps; residual })
+  | 2 ->
+    let stage = get_string c in
+    let pivot = get_int c in
+    let value = get_f64 c in
+    let jitter_tried = get_f64 c in
+    Some (Robust.Not_positive_definite { stage; pivot; value; jitter_tried })
+  | 3 ->
+    let stage = get_string c in
+    let where = get_string c in
+    Some (Robust.Non_finite { stage; where })
+  | 4 ->
+    let view = get_int c in
+    let rank = get_int c in
+    let dim = get_int c in
+    Some (Robust.Rank_deficient { view; rank; dim })
+  | 5 ->
+    let stage = get_string c in
+    let sweeps = get_int c in
+    let elapsed = get_f64 c in
+    let limit = get_string c in
+    Some (Robust.Deadline_exceeded { stage; sweeps; elapsed; limit })
+  | _ -> raise (Decode "bad failure tag")
+
+let get_factor c =
+  let rows = get_nat c "factor rows" in
+  let cols = get_nat c "factor cols" in
+  let data = get_f_array c in
+  if Array.length data <> rows * cols then raise (Decode "factor shape mismatch");
+  { rows; cols; data }
+
+let get_run_state c =
+  let rs_init_random = get_int_opt c in
+  let rs_iterations = get_nat c "iterations" in
+  let rs_previous_fit = get_f64 c in
+  let rs_best_fit = get_f64 c in
+  let rs_drops = get_nat c "drops" in
+  let rs_converged = get_bool c in
+  let rs_failure = get_failure c in
+  let rs_weights = get_f_array c in
+  let n_factors = get_nat c "factor count" in
+  let rs_factors = Array.init n_factors (fun _ -> get_factor c) in
+  let rs_history = get_f_array c in
+  { rs_init_random;
+    rs_iterations;
+    rs_previous_fit;
+    rs_best_fit;
+    rs_drops;
+    rs_converged;
+    rs_failure;
+    rs_weights;
+    rs_factors;
+    rs_history }
+
+let decode_payload s =
+  let c = { s; pos = 0 } in
+  let fingerprint = get_string c in
+  let domains = get_nat c "domains" in
+  let attempt = get_nat c "attempt" in
+  let n_completed = get_nat c "completed count" in
+  let completed = List.init n_completed (fun _ -> get_run_state c) in
+  let current = get_run_state c in
+  if c.pos <> String.length s then raise (Decode "trailing bytes after snapshot");
+  { fingerprint; domains; attempt; completed; current }
+
+(* ------------------------------------------------------------------ *)
+(* File I/O. *)
+
+let encode_file t =
+  let payload = encode_payload t in
+  (* CRC always taken over the clean bytes; the [Corrupt_checkpoint] fault
+     then flips one bit of the body so the loader must catch the mismatch. *)
+  let crc = crc32 payload in
+  let body =
+    if Robust.Inject.(active Corrupt_checkpoint) then begin
+      let b = Bytes.of_string payload in
+      let i = Bytes.length b - 1 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+      Bytes.to_string b
+    end
+    else payload
+  in
+  let header = Buffer.create header_bytes in
+  Buffer.add_string header magic;
+  Buffer.add_int32_le header (Int32.of_int version);
+  add_i64 header (Int64.of_int (String.length body));
+  Buffer.add_int32_le header (Int32.of_int crc);
+  Buffer.contents header ^ body
+
+let write_file path bytes =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc bytes)
+
+let save ~path t =
+  let bytes = encode_file t in
+  if Robust.Inject.(active Torn_checkpoint_write) then
+    (* Crash simulation: half the file lands at the *final* path, no rename.
+       This is the failure mode the temp-file + rename protocol prevents. *)
+    write_file path (String.sub bytes 0 (String.length bytes / 2))
+  else begin
+    let tmp = path ^ ".tmp" in
+    write_file tmp bytes;
+    Sys.rename tmp path
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~path =
+  match read_file path with
+  | exception Sys_error e -> Error (Corrupt ("unreadable: " ^ e))
+  | s ->
+    if String.length s < header_bytes then Error Truncated
+    else if String.sub s 0 4 <> magic then Error (Corrupt "bad magic")
+    else begin
+      let found = Int32.to_int (String.get_int32_le s 4) in
+      if found <> version then Error (Version_mismatch { found; expected = version })
+      else begin
+        let len64 = String.get_int64_le s 8 in
+        let declared_crc = Int32.to_int (String.get_int32_le s 16) land 0xFFFFFFFF in
+        match Int64.unsigned_to_int len64 with
+        | None -> Error (Corrupt "absurd payload length")
+        | Some len ->
+          if String.length s < header_bytes + len then Error Truncated
+          else if String.length s > header_bytes + len then
+            Error (Corrupt "trailing bytes after payload")
+          else
+            let payload = String.sub s header_bytes len in
+            if crc32 payload <> declared_crc then Error (Corrupt "CRC mismatch")
+            else (
+              match decode_payload payload with
+              | t -> Ok t
+              | exception Decode what -> Error (Corrupt what))
+      end
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Solver-facing configuration. *)
+
+type config = { path : string; every : int; resume : bool }
+
+let config ?(every = 1) ?(resume = true) path =
+  if every < 1 then invalid_arg "Checkpoint.config: every must be >= 1";
+  { path; every; resume }
+
+let load_for_resume ~fingerprint cfg =
+  if not cfg.resume then None
+  else if not (Sys.file_exists cfg.path) then None
+  else
+    match load ~path:cfg.path with
+    | Error e ->
+      Robust.warnf "Checkpoint %s: %s — cold start" cfg.path (load_error_to_string e);
+      None
+    | Ok t when t.fingerprint <> fingerprint ->
+      Robust.warnf
+        "Checkpoint %s: fingerprint mismatch (snapshot %S, solve %S) — cold start"
+        cfg.path t.fingerprint fingerprint;
+      None
+    | Ok t -> Some t

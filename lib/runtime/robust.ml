@@ -8,6 +8,7 @@ type failure =
     }
   | Non_finite of { stage : string; where : string }
   | Rank_deficient of { view : int; rank : int; dim : int }
+  | Deadline_exceeded of { stage : string; sweeps : int; elapsed : float; limit : string }
 
 exception Error of failure
 
@@ -23,6 +24,9 @@ let pp_failure ppf = function
     Format.fprintf ppf "non-finite value at %s in %s" stage where
   | Rank_deficient { view; rank; dim } ->
     Format.fprintf ppf "view %d is rank deficient: rank %d of %d" view rank dim
+  | Deadline_exceeded { stage; sweeps; elapsed; limit } ->
+    Format.fprintf ppf "deadline exceeded at %s after %d sweeps (%.3fs elapsed, budget %s)"
+      stage sweeps elapsed limit
 
 let failure_to_string f = Format.asprintf "%a" pp_failure f
 
@@ -35,25 +39,36 @@ let fail f = raise (Error f)
 
 (* ------------------------------------------------------------------ *)
 (* Warnings: a bounded ring buffer plus a [logs] source.  The buffer is
-   what tests assert on; the source is what applications subscribe to. *)
+   what tests assert on; the source is what applications subscribe to.
+   Guardrail events fire from pool-worker domains too (a ridge escalation
+   inside a parallel region, a checkpoint fallback under a worker's fit),
+   so the ring is guarded by its own mutex — the lock is leaf-level
+   (nothing is called while holding it) and warnings are rare, so the
+   cost is invisible next to the work that triggered them. *)
 
 let src = Logs.Src.create "tcca.robust" ~doc:"TCCA numerics guardrails"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
 let max_warnings = 64
+let warnings_mutex = Mutex.create ()
 let warnings : string list ref = ref [] (* newest first, capped *)
 
+let with_ring f =
+  Mutex.lock warnings_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock warnings_mutex) f
+
 let push_warning s =
-  let keep = ref [ s ] and n = ref 1 in
-  List.iter
-    (fun w ->
-      if !n < max_warnings then begin
-        keep := w :: !keep;
-        incr n
-      end)
-    !warnings;
-  warnings := List.rev !keep
+  with_ring (fun () ->
+      let keep = ref [ s ] and n = ref 1 in
+      List.iter
+        (fun w ->
+          if !n < max_warnings then begin
+            keep := w :: !keep;
+            incr n
+          end)
+        !warnings;
+      warnings := List.rev !keep)
 
 let warnf fmt =
   Printf.ksprintf
@@ -62,13 +77,21 @@ let warnf fmt =
       Log.warn (fun m -> m "%s" s))
     fmt
 
-let recent_warnings () = List.rev !warnings
-let clear_warnings () = warnings := []
+let recent_warnings () = with_ring (fun () -> List.rev !warnings)
+let clear_warnings () = with_ring (fun () -> warnings := [])
 
 (* ------------------------------------------------------------------ *)
 
 module Inject = struct
-  type stage = Covariance_nan | View_column_zero | Gram_indefinite | Sweep_cap | Als_nan
+  type stage =
+    | Covariance_nan
+    | View_column_zero
+    | Gram_indefinite
+    | Sweep_cap
+    | Als_nan
+    | Torn_checkpoint_write
+    | Corrupt_checkpoint
+    | Deadline_now
 
   (* [on] is the single-load fast path: production code probes [active],
      which reads one bool before anything else happens. *)

@@ -34,6 +34,13 @@ type failure =
   | Rank_deficient of { view : int; rank : int; dim : int }
       (** A view's covariance has numerical rank 0 (or otherwise too low to
           proceed): [rank] of [dim] directions carry information. *)
+  | Deadline_exceeded of { stage : string; sweeps : int; elapsed : float; limit : string }
+      (** A cooperative budget ({!Budget}) expired: the stage stopped at a
+          sweep boundary after [sweeps] sweeps and [elapsed] wall-clock
+          seconds.  [limit] names the budget that tripped (e.g. ["wall 2.5s"],
+          ["sweeps 50"]).  Unlike every other constructor this one usually
+          travels with a {e valid} best-so-far model — solvers report it in
+          their info records and the warnings ring, not as a fit error. *)
 
 exception Error of failure
 (** Raised by the exception-style entry points ([Tcca.fit], [Ktcca.fit], …)
@@ -52,7 +59,12 @@ val fail : failure -> 'a
     restarted ALS run) are worth surfacing but not worth failing over.  They
     go to the [logs] library (source ["tcca.robust"]) and into a small
     in-process ring buffer that tests and callers can inspect without
-    installing a reporter. *)
+    installing a reporter.
+
+    The ring is domain-safe: [warnf], [recent_warnings] and [clear_warnings]
+    may be called from pool-worker domains concurrently (guardrails fire
+    inside parallel regions); entries are serialized under an internal
+    leaf-level mutex. *)
 
 val warnf : ('a, unit, string, unit) format4 -> 'a
 (** Printf-style warning: appended to the ring buffer and forwarded to
@@ -77,6 +89,16 @@ module Inject : sig
     | Gram_indefinite  (** Make view 0's whitening target indefinite. *)
     | Sweep_cap        (** Force Jacobi eigendecompositions to 0 sweeps. *)
     | Als_nan          (** Poison every ALS sweep's fit with NaN. *)
+    | Torn_checkpoint_write
+        (** Simulate a crash mid-[Checkpoint.save]: a truncated file lands at
+            the destination path (the atomic temp-file + rename protocol is
+            bypassed, which is exactly what it protects against). *)
+    | Corrupt_checkpoint
+        (** Flip one payload byte after the CRC is computed, so the next
+            [Checkpoint.load] fails its integrity check. *)
+    | Deadline_now
+        (** Make every [Budget] check report immediate expiry, regardless of
+            the actual clocks. *)
 
   val arm : stage -> unit
   (** Arm a stage (enables injection globally). *)

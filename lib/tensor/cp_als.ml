@@ -31,6 +31,7 @@ type info = {
   converged : bool;
   fit_history : float list;
   failure : Robust.failure option;
+  deadline : Robust.failure option;
   runs : run list;
 }
 
@@ -85,15 +86,72 @@ let init_factors init ~rank op =
           Mat.hcat lead pad
         end)
 
+(* ------------------------------------------------------------------ *)
+(* Checkpoint plumbing: Checkpoint lives below linalg, so factor state
+   crosses the boundary as plain row-major arrays. *)
+
+let factor_of_mat (m : Mat.t) =
+  { Checkpoint.rows = m.Mat.rows; cols = m.Mat.cols; data = Array.copy m.Mat.data }
+
+let mat_of_factor (f : Checkpoint.factor) =
+  Mat.unsafe_of_flat ~rows:f.Checkpoint.rows ~cols:f.Checkpoint.cols
+    (Array.copy f.Checkpoint.data)
+
+let init_of_state (rs : Checkpoint.run_state) =
+  match rs.Checkpoint.rs_init_random with Some s -> Random s | None -> Hosvd
+
+let init_to_state = function Random s -> Some s | Hosvd -> None
+
+(* The solve identity a snapshot must match to be resumed: shape, operator
+   representation, rank, and every option that alters the sweep arithmetic.
+   (Tensor *content* is deliberately not digested — hashing a dense operator
+   per save would cost more than the sweep it protects.) *)
+let fingerprint options ~rank op =
+  let dims =
+    String.concat "x" (Array.to_list (Array.map string_of_int (Op_tensor.dims op)))
+  in
+  let repr =
+    match Op_tensor.n_components op with
+    | None -> "dense"
+    | Some n -> Printf.sprintf "factored:%d" n
+  in
+  let init = match options.init with Random s -> Printf.sprintf "random:%d" s | Hosvd -> "hosvd" in
+  Printf.sprintf "cp_als/1 rank=%d dims=%s repr=%s max_iter=%d tol=%.17g init=%s restarts=%d seed=%d stall=%d"
+    rank dims repr options.max_iter options.tol init options.restarts
+    options.restart_seed options.stall_sweeps
+
+(* Everything one run hands back: the model, its summary, its trajectory,
+   its final durable state, and whether a budget stopped it. *)
+type run_outcome = {
+  o_kruskal : Kruskal.t;
+  o_run : run;
+  o_history : float list;
+  o_state : Checkpoint.run_state;
+  o_deadline : Robust.failure option;
+}
+
 (* One ALS run from one initialization, guarded: a non-finite fit stops the
    sweep loop immediately (instead of burning max_iter on NaN ≠ NaN), and a
    swamp — the fit repeatedly dropping well below its best without the
    convergence test firing — stops with a Not_converged diagnostic so the
-   caller can restart from fresh factors. *)
-let single_run options ~rank ~init op =
+   caller can restart from fresh factors.
+
+   [resume] (a snapshot's current-run state) restores every loop variable at
+   a sweep boundary, so the remaining sweeps replay the exact arithmetic of
+   an uninterrupted run.  [budget] is probed once per sweep at the loop
+   head; on expiry the run stops at that boundary with its best-so-far
+   factors and [o_deadline] set — never an exception.  [on_sweep] receives a
+   lazily-built durable state after each completed sweep (the checkpoint
+   hook; [ignore]-cheap when checkpointing is off). *)
+let single_run options ~budget ~sweeps_before ~on_sweep ~resume ~rank ~init op =
   let m = Op_tensor.order op in
-  let factors = init_factors init ~rank op in
-  let lambda = Array.make rank 1. in
+  let factors, lambda =
+    match resume with
+    | Some rs ->
+      ( Array.map mat_of_factor rs.Checkpoint.rs_factors,
+        Array.copy rs.Checkpoint.rs_weights )
+    | None -> (init_factors init ~rank op, Array.make rank 1.)
+  in
   let norm_x2 = Op_tensor.norm2 op in
   let norm_x = sqrt norm_x2 in
   let fit_history = ref [] in
@@ -103,57 +161,87 @@ let single_run options ~rank ~init op =
   let failure = ref None in
   let converged = ref false in
   let iterations = ref 0 in
-  while (not !converged) && !failure = None && !iterations < options.max_iter do
-    incr iterations;
-    let last_v = ref (Mat.create 1 1) in
-    for k = 0 to m - 1 do
-      let v = Op_tensor.mttkrp op factors k in
-      let gamma = Khatri_rao.gram_hadamard_excluding factors k in
-      let u = solve_against_gram v gamma in
-      normalize_columns_in_place u lambda;
-      factors.(k) <- u;
-      if k = m - 1 then last_v := v
-    done;
-    (* Fit from the last sweep's quantities:
-       ⟨X, X̂⟩ = Σ_c λ_c ⟨v_c, u_c⟩ with V the final-mode MTTKRP,
-       ‖X̂‖²   = λᵀ (⊛_p UₚᵀUₚ) λ. *)
-    let cross = ref 0. in
-    for c = 0 to rank - 1 do
-      cross := !cross +. (lambda.(c) *. Vec.dot (Mat.col !last_v c) (Mat.col factors.(m - 1) c))
-    done;
-    let gram_full = ref (Mat.make rank rank 1.) in
-    Array.iter (fun u -> gram_full := Mat.map2 ( *. ) !gram_full (Mat.tgram u)) factors;
-    let norm_xhat2 = Vec.dot lambda (Mat.mul_vec !gram_full lambda) in
-    let err2 = Float.max 0. (norm_x2 -. (2. *. !cross) +. norm_xhat2) in
-    let fit = if norm_x = 0. then 1. else 1. -. (sqrt err2 /. norm_x) in
-    let fit = if Robust.Inject.(active Als_nan) then nan else fit in
-    fit_history := fit :: !fit_history;
-    if not (Float.is_finite fit) then
-      failure :=
-        Some
-          (Robust.Non_finite
-             { stage = "cp_als"; where = Printf.sprintf "fit at sweep %d" !iterations })
-    else begin
-      if Float.abs (fit -. !previous_fit) < options.tol then converged := true;
-      (* Swamp detection: ALS is monotone in exact arithmetic, so a fit that
-         keeps landing well below its best (10·tol, i.e. beyond convergence-
-         test noise) is oscillating, not converging. *)
-      if fit > !best_fit then begin
-        best_fit := fit;
-        drops := 0
-      end
-      else if fit < !best_fit -. (10. *. options.tol) then begin
-        incr drops;
-        if !drops >= options.stall_sweeps && not !converged then
-          failure :=
-            Some
-              (Robust.Not_converged
-                 { stage = "cp_als";
-                   sweeps = !iterations;
-                   residual = 1. -. !best_fit })
-      end
-    end;
-    previous_fit := fit
+  let deadline = ref None in
+  (match resume with
+  | Some rs ->
+    fit_history := List.rev (Array.to_list rs.Checkpoint.rs_history);
+    previous_fit := rs.Checkpoint.rs_previous_fit;
+    best_fit := rs.Checkpoint.rs_best_fit;
+    drops := rs.Checkpoint.rs_drops;
+    converged := rs.Checkpoint.rs_converged;
+    failure := rs.Checkpoint.rs_failure;
+    iterations := rs.Checkpoint.rs_iterations
+  | None -> ());
+  let state () =
+    { Checkpoint.rs_init_random = init_to_state init;
+      rs_iterations = !iterations;
+      rs_previous_fit = !previous_fit;
+      rs_best_fit = !best_fit;
+      rs_drops = !drops;
+      rs_converged = !converged;
+      rs_failure = !failure;
+      rs_weights = Array.copy lambda;
+      rs_factors = Array.map factor_of_mat factors;
+      rs_history = Array.of_list (List.rev !fit_history) }
+  in
+  while
+    (not !converged) && !failure = None && !deadline = None
+    && !iterations < options.max_iter
+  do
+    match Budget.expired ~stage:"cp_als" ~sweeps:(sweeps_before + !iterations) budget with
+    | Some f -> deadline := Some f
+    | None ->
+      incr iterations;
+      let last_v = ref (Mat.create 1 1) in
+      for k = 0 to m - 1 do
+        let v = Op_tensor.mttkrp op factors k in
+        let gamma = Khatri_rao.gram_hadamard_excluding factors k in
+        let u = solve_against_gram v gamma in
+        normalize_columns_in_place u lambda;
+        factors.(k) <- u;
+        if k = m - 1 then last_v := v
+      done;
+      (* Fit from the last sweep's quantities:
+         ⟨X, X̂⟩ = Σ_c λ_c ⟨v_c, u_c⟩ with V the final-mode MTTKRP,
+         ‖X̂‖²   = λᵀ (⊛_p UₚᵀUₚ) λ. *)
+      let cross = ref 0. in
+      for c = 0 to rank - 1 do
+        cross := !cross +. (lambda.(c) *. Vec.dot (Mat.col !last_v c) (Mat.col factors.(m - 1) c))
+      done;
+      let gram_full = ref (Mat.make rank rank 1.) in
+      Array.iter (fun u -> gram_full := Mat.map2 ( *. ) !gram_full (Mat.tgram u)) factors;
+      let norm_xhat2 = Vec.dot lambda (Mat.mul_vec !gram_full lambda) in
+      let err2 = Float.max 0. (norm_x2 -. (2. *. !cross) +. norm_xhat2) in
+      let fit = if norm_x = 0. then 1. else 1. -. (sqrt err2 /. norm_x) in
+      let fit = if Robust.Inject.(active Als_nan) then nan else fit in
+      fit_history := fit :: !fit_history;
+      if not (Float.is_finite fit) then
+        failure :=
+          Some
+            (Robust.Non_finite
+               { stage = "cp_als"; where = Printf.sprintf "fit at sweep %d" !iterations })
+      else begin
+        if Float.abs (fit -. !previous_fit) < options.tol then converged := true;
+        (* Swamp detection: ALS is monotone in exact arithmetic, so a fit that
+           keeps landing well below its best (10·tol, i.e. beyond convergence-
+           test noise) is oscillating, not converging. *)
+        if fit > !best_fit then begin
+          best_fit := fit;
+          drops := 0
+        end
+        else if fit < !best_fit -. (10. *. options.tol) then begin
+          incr drops;
+          if !drops >= options.stall_sweeps && not !converged then
+            failure :=
+              Some
+                (Robust.Not_converged
+                   { stage = "cp_als";
+                     sweeps = !iterations;
+                     residual = 1. -. !best_fit })
+        end
+      end;
+      previous_fit := fit;
+      on_sweep !iterations state
   done;
   (* Final-model guard: a NaN that appeared in the factors without reaching
      the fit (e.g. through the Gram pseudo-inverse) must not leave silently. *)
@@ -163,13 +251,16 @@ let single_run options ~rank ~init op =
   then
     failure := Some (Robust.Non_finite { stage = "cp_als"; where = "final factors" });
   let kruskal = Kruskal.normalize { Kruskal.weights = Array.copy lambda; factors } in
-  ( kruskal,
-    { run_init = init;
-      run_iterations = !iterations;
-      run_fit = !previous_fit;
-      run_converged = !converged;
-      run_failure = !failure } ,
-    List.rev !fit_history )
+  { o_kruskal = kruskal;
+    o_run =
+      { run_init = init;
+        run_iterations = !iterations;
+        run_fit = !previous_fit;
+        run_converged = !converged;
+        run_failure = !failure };
+    o_history = List.rev !fit_history;
+    o_state = state ();
+    o_deadline = !deadline }
 
 let run_ok r = match r.run_failure with None -> true | Some _ -> false
 
@@ -182,43 +273,135 @@ let better a b =
     let fit r = if Float.is_finite r.run_fit then r.run_fit else neg_infinity in
     fit a > fit b
 
-let decompose_op ?(options = default_options) ~rank op =
+(* Rebuild a finished run's outcome from its durable state — what a resumed
+   multi-start solve uses so its final best-run selection matches the
+   uninterrupted solve exactly. *)
+let outcome_of_state (rs : Checkpoint.run_state) =
+  let factors = Array.map mat_of_factor rs.Checkpoint.rs_factors in
+  { o_kruskal =
+      Kruskal.normalize
+        { Kruskal.weights = Array.copy rs.Checkpoint.rs_weights; factors };
+    o_run =
+      { run_init = init_of_state rs;
+        run_iterations = rs.Checkpoint.rs_iterations;
+        run_fit = rs.Checkpoint.rs_previous_fit;
+        run_converged = rs.Checkpoint.rs_converged;
+        run_failure = rs.Checkpoint.rs_failure };
+    o_history = Array.to_list rs.Checkpoint.rs_history;
+    o_state = rs;
+    o_deadline = None }
+
+let decompose_op ?(options = default_options) ?(budget = Budget.unlimited) ?checkpoint
+    ~rank op =
   if rank < 1 then invalid_arg "Cp_als.decompose: rank must be >= 1";
-  let first = single_run options ~rank ~init:options.init op in
-  let runs = ref [ first ] in
+  let fp = fingerprint options ~rank op in
+  let loaded =
+    match checkpoint with
+    | None -> None
+    | Some cfg -> Checkpoint.load_for_resume ~fingerprint:fp cfg
+  in
+  let completed_states =
+    ref (match loaded with None -> [] | Some s -> s.Checkpoint.completed)
+  in
+  let attempt0 = match loaded with None -> 0 | Some s -> s.Checkpoint.attempt in
+  let resume_current = Option.map (fun s -> s.Checkpoint.current) loaded in
+  let attempt = ref attempt0 in
+  let save_snapshot cur_state =
+    match checkpoint with
+    | None -> ()
+    | Some cfg -> (
+      try
+        Checkpoint.save ~path:cfg.Checkpoint.path
+          { Checkpoint.fingerprint = fp;
+            domains = Parallel.num_domains ();
+            attempt = !attempt;
+            completed = !completed_states;
+            current = cur_state }
+      with Sys_error e ->
+        (* A failed snapshot must not kill the fit it protects. *)
+        Robust.warnf "Checkpoint %s: save failed (%s) — continuing unprotected"
+          cfg.Checkpoint.path e)
+  in
+  let on_sweep sweep state =
+    match checkpoint with
+    | Some cfg when sweep mod cfg.Checkpoint.every = 0 -> save_snapshot (state ())
+    | _ -> ()
+  in
+  let sweeps_of_states states =
+    List.fold_left (fun acc rs -> acc + rs.Checkpoint.rs_iterations) 0 states
+  in
+  let run_one ~sweeps_before ~init ~resume =
+    let outcome =
+      single_run options ~budget ~sweeps_before ~on_sweep ~resume ~rank ~init op
+    in
+    (* End-of-run snapshot: makes the completed run (including its final
+       guard verdict) durable before any restart decision. *)
+    if checkpoint <> None then save_snapshot outcome.o_state;
+    outcome
+  in
+  let first =
+    match resume_current with
+    | Some rs ->
+      (* Budget sweep counts are totals across runs; the resumed run's own
+         pre-crash sweeps re-enter through its restored iteration counter. *)
+      run_one
+        ~sweeps_before:(sweeps_of_states !completed_states)
+        ~init:(init_of_state rs) ~resume:(Some rs)
+    | None -> run_one ~sweeps_before:0 ~init:options.init ~resume:None
+  in
+  (* Restored finished runs come first in chronological order. *)
+  let prior = List.map outcome_of_state !completed_states in
+  let runs = ref (first :: List.rev prior) in
   (* Escalation: deterministic multi-start.  Only a *failed* run (non-finite
      or swamped) triggers restarts — a clean run that merely exhausted
-     max_iter keeps the historical behaviour. *)
+     max_iter keeps the historical behaviour.  The seed stream is replayed
+     to the snapshot's position on resume, so a resumed solve draws the same
+     restart seeds an uninterrupted one would. *)
   let rng = Rng.create options.restart_seed in
-  let attempt = ref 0 in
+  for _ = 1 to attempt0 do
+    ignore (Rng.int rng 0x3FFFFFFF)
+  done;
+  let deadline = ref (List.hd !runs).o_deadline in
   while
-    (let _, r, _ = List.hd !runs in
-     not (run_ok r))
-    && !attempt < options.restarts
+    (let head = List.hd !runs in
+     (not (run_ok head.o_run)) && head.o_deadline = None)
+    && !deadline = None && !attempt < options.restarts
   do
-    incr attempt;
-    let seed = Rng.int rng 0x3FFFFFFF in
-    let _, r, _ = List.hd !runs in
-    Robust.warnf "Cp_als: run %d failed (%s) — restarting from Random %d (%d/%d)" !attempt
-      (match r.run_failure with Some f -> Robust.failure_to_string f | None -> "?")
-      seed !attempt options.restarts;
-    runs := single_run options ~rank ~init:(Random seed) op :: !runs
+    let head = List.hd !runs in
+    let total_sweeps = List.fold_left (fun acc o -> acc + o.o_run.run_iterations) 0 !runs in
+    match Budget.expired ~stage:"cp_als" ~sweeps:total_sweeps budget with
+    | Some f ->
+      (* No time left to repair a failed run: stop restarting, report both. *)
+      deadline := Some f
+    | None ->
+      incr attempt;
+      let seed = Rng.int rng 0x3FFFFFFF in
+      Robust.warnf "Cp_als: run %d failed (%s) — restarting from Random %d (%d/%d)" !attempt
+        (match head.o_run.run_failure with
+        | Some f -> Robust.failure_to_string f
+        | None -> "?")
+        seed !attempt options.restarts;
+      completed_states := !completed_states @ [ head.o_state ];
+      let outcome =
+        run_one ~sweeps_before:total_sweeps ~init:(Random seed) ~resume:None
+      in
+      if outcome.o_deadline <> None then deadline := outcome.o_deadline;
+      runs := outcome :: !runs
   done;
   let ordered = List.rev !runs in
   let best =
     List.fold_left
-      (fun acc candidate ->
-        let _, rb, _ = acc and _, rc, _ = candidate in
-        if better rc rb then candidate else acc)
+      (fun acc candidate -> if better candidate.o_run acc.o_run then candidate else acc)
       (List.hd ordered) (List.tl ordered)
   in
-  let kruskal, r, history = best in
-  ( kruskal,
-    { iterations = r.run_iterations;
-      fit = r.run_fit;
-      converged = r.run_converged;
-      fit_history = history;
-      failure = r.run_failure;
-      runs = List.map (fun (_, r, _) -> r) ordered } )
+  ( best.o_kruskal,
+    { iterations = best.o_run.run_iterations;
+      fit = best.o_run.run_fit;
+      converged = best.o_run.run_converged;
+      fit_history = best.o_history;
+      failure = best.o_run.run_failure;
+      deadline = !deadline;
+      runs = List.map (fun o -> o.o_run) ordered } )
 
-let decompose ?options ~rank x = decompose_op ?options ~rank (Op_tensor.Dense x)
+let decompose ?options ?budget ?checkpoint ~rank x =
+  decompose_op ?options ?budget ?checkpoint ~rank (Op_tensor.Dense x)

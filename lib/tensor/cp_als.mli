@@ -20,7 +20,25 @@
     [restart_seed]; the best run (clean ≻ converged ≻ highest fit) is
     returned, with every run's summary kept in [info.runs].  A clean run
     that merely exhausts [max_iter] never restarts — identical behaviour to
-    the historical solver. *)
+    the historical solver.
+
+    {2 Budgets and checkpoints}
+
+    An optional [?budget] is probed once per sweep (and once before each
+    restart): on expiry the solver stops at that sweep boundary and returns
+    its best-so-far model with [converged = false] and the
+    [Robust.Deadline_exceeded] diagnostic in [info.deadline] — [info.failure]
+    still describes only genuine numerical failures, so a deadline on an
+    otherwise healthy run is {e not} an error.  An optional [?checkpoint]
+    snapshots the full solve state (current run's loop variables, finished
+    runs, restart position) through {!Checkpoint} every
+    [every] sweeps plus at each run boundary; with [resume = true] a
+    matching snapshot restores that state and the remaining sweeps replay
+    the exact arithmetic — the resumed solve is bit-identical to an
+    uninterrupted one at any [TCCA_DOMAINS] setting.  Unreadable, corrupt or
+    mismatched snapshots degrade to a cold start with a typed warning;
+    failed saves warn and continue unprotected.  Neither option changes any
+    numerical path. *)
 
 type init =
   | Random of int          (** Gaussian factors from the given seed. *)
@@ -64,15 +82,30 @@ type info = {
   failure : Robust.failure option;
       (** [None] iff the selected run ended cleanly (converged or hit
           [max_iter] with finite factors). *)
+  deadline : Robust.failure option;
+      (** [Some (Deadline_exceeded _)] when a budget stopped the solve; the
+          returned model is the best-so-far state, not an error. *)
   runs : run list;         (** All runs attempted, in order; a singleton when
                                the first run was clean. *)
 }
 
-val decompose : ?options:options -> rank:int -> Tensor.t -> Kruskal.t * info
+val decompose :
+  ?options:options ->
+  ?budget:Budget.t ->
+  ?checkpoint:Checkpoint.config ->
+  rank:int ->
+  Tensor.t ->
+  Kruskal.t * info
 (** Raises [Invalid_argument] if [rank < 1].  Equivalent to [decompose_op]
     on [Op_tensor.Dense]. *)
 
-val decompose_op : ?options:options -> rank:int -> Op_tensor.t -> Kruskal.t * info
+val decompose_op :
+  ?options:options ->
+  ?budget:Budget.t ->
+  ?checkpoint:Checkpoint.config ->
+  rank:int ->
+  Op_tensor.t ->
+  Kruskal.t * info
 (** The generic solver: every sweep touches the tensor only through
     [Op_tensor.mttkrp] / [norm2] / [mode_gram], so a [Factored] operator is
     decomposed in O(n · Σₚ dₚ · r) per sweep without the ∏ₚ dₚ entries ever

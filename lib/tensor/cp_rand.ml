@@ -9,7 +9,12 @@ type options = {
 let default_options =
   { max_iter = 60; tol = 1e-5; samples_per_mode = None; fit_samples = 4096; seed = 0xCA9D }
 
-type info = { iterations : int; sampled_fit : float; converged : bool }
+type info = {
+  iterations : int;
+  sampled_fit : float;
+  converged : bool;
+  deadline : Robust.failure option;
+}
 
 (* Entry of the current CP model at a multi-index. *)
 let model_entry factors lambda idx =
@@ -38,7 +43,7 @@ let sampled_fit rng options x factors lambda =
   done;
   if !norm2 = 0. then 1. else 1. -. sqrt (!err2 /. !norm2)
 
-let decompose ?(options = default_options) ~rank x =
+let decompose ?(options = default_options) ?(budget = Budget.unlimited) ~rank x =
   if rank < 1 then invalid_arg "Cp_rand.decompose: rank must be >= 1";
   let m = Tensor.order x in
   let dims = Array.init m (Tensor.dim x) in
@@ -65,7 +70,11 @@ let decompose ?(options = default_options) ~rank x =
   let converged = ref false in
   let previous_fit = ref neg_infinity in
   let fit = ref 0. in
-  while (not !converged) && !iterations < options.max_iter do
+  let deadline = ref None in
+  while (not !converged) && !deadline = None && !iterations < options.max_iter do
+    match Budget.expired ~stage:"cp_rand" ~sweeps:!iterations budget with
+    | Some f -> deadline := Some f
+    | None ->
     incr iterations;
     for k = 0 to m - 1 do
       (* Sampled least squares for mode k: rows are random index tuples of
@@ -114,4 +123,8 @@ let decompose ?(options = default_options) ~rank x =
     previous_fit := !fit
   done;
   let kruskal = Kruskal.normalize { Kruskal.weights = Array.copy lambda; factors } in
-  (kruskal, { iterations = !iterations; sampled_fit = !fit; converged = !converged })
+  ( kruskal,
+    { iterations = !iterations;
+      sampled_fit = !fit;
+      converged = !converged;
+      deadline = !deadline } )

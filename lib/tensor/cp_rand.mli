@@ -30,8 +30,12 @@ type info = {
   iterations : int;
   sampled_fit : float;  (** Final fit estimate from sampled entries. *)
   converged : bool;
+  deadline : Robust.failure option;
+      (** [Some (Deadline_exceeded _)] when a budget stopped the solve at a
+          sweep boundary; the model is the best-so-far state. *)
 }
 
-val decompose : ?options:options -> rank:int -> Tensor.t -> Kruskal.t * info
+val decompose :
+  ?options:options -> ?budget:Budget.t -> rank:int -> Tensor.t -> Kruskal.t * info
 (** Factors are initialized as in {!Cp_als} (HOSVD-style); raises
-    [Invalid_argument] if [rank < 1]. *)
+    [Invalid_argument] if [rank < 1].  [budget] is probed once per sweep. *)

@@ -10,9 +10,22 @@ type result = {
   vectors : Vec.t array;   (** Unit vectors, one per mode. *)
   iterations : int;
   converged : bool;
+  deadline : Robust.failure option;
+      (** [Some (Deadline_exceeded _)] when a budget stopped the iteration at
+          a sweep boundary; [sigma]/[vectors] are the best-so-far state. *)
 }
 
-val rank1 : ?max_iter:int -> ?tol:float -> ?seed:int -> Tensor.t -> result
+val rank1 :
+  ?max_iter:int ->
+  ?tol:float ->
+  ?seed:int ->
+  ?budget:Budget.t ->
+  ?sweeps_before:int ->
+  Tensor.t ->
+  result
 (** Defaults: [max_iter = 200], [tol = 1e-10].  Initialized from the leading
     eigenvector of each unfolding Gram (deterministic); [seed] only matters
-    for the degenerate all-zero tensor. *)
+    for the degenerate all-zero tensor.  [budget] is probed once per sweep;
+    [sweeps_before] offsets the sweep count reported to it, so a deflation
+    caller ({!Tensor_power}) can account sweeps across components against one
+    budget. *)

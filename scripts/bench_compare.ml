@@ -5,10 +5,13 @@
      dune exec scripts/bench_compare.exe -- BASELINE.json CURRENT.json
                                             [--fail-above RATIO]
 
-   Report-only by default (always exits 0): smoke-mode numbers on shared CI
-   runners are too noisy to gate merges on, so the job log carries the
-   trajectory instead.  [--fail-above R] turns it into a gate: exit 1 if any
-   kernel got slower than R× its baseline.
+   Report-only by default (always exits 0).  [--fail-above R] (or the
+   TCCA_BENCH_FAIL_ABOVE environment variable; the flag wins when both are
+   set) turns it into a gate: exit 1 if any kernel got slower than R× its
+   baseline.  CI runs the gate at 1.15.  Escape hatch for known-noisy or
+   intentionally-slower changes: set TCCA_BENCH_NO_GATE to any non-empty
+   value other than "0" (the CI workflow sets it when the PR carries the
+   `bench-no-gate` label) and the comparison reverts to report-only.
 
    The parser is a hand-rolled scanner for the fixed schema — names are
    plain ASCII written with %S and the structure is one result object per
@@ -108,6 +111,25 @@ let () =
     match parse_args None None None (List.tl (Array.to_list Sys.argv)) with
     | Some b, Some c, f -> (b, c, f)
     | _ -> usage ()
+  in
+  let fail_above =
+    match fail_above with
+    | Some _ as f -> f
+    | None -> (
+      match Sys.getenv_opt "TCCA_BENCH_FAIL_ABOVE" with
+      | None -> None
+      | Some r -> (
+        match float_of_string_opt r with
+        | Some f when f > 0. -> Some f
+        | _ -> die "bench_compare: bad TCCA_BENCH_FAIL_ABOVE %S" r))
+  in
+  let fail_above =
+    match Sys.getenv_opt "TCCA_BENCH_NO_GATE" with
+    | Some v when v <> "" && v <> "0" ->
+      if fail_above <> None then
+        print_endline "bench_compare: TCCA_BENCH_NO_GATE set — gate disabled, report only";
+      None
+    | _ -> fail_above
   in
   let base = parse base_path and cur = parse cur_path in
   Printf.printf "bench_compare: %s (baseline) vs %s\n" base_path cur_path;

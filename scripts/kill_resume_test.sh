@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Crash-safety end-to-end check: SIGKILL a checkpointed TCCA fit mid-solve,
+# resume from the surviving snapshot, and assert the resumed model is
+# byte-identical to an uninterrupted run of the same fit.
+#
+# Usage: scripts/kill_resume_test.sh [path/to/tcca_experiments.exe]
+#
+# Exit 0 on success, 1 on any failure (including "fit finished before we
+# managed to kill it", which means the workload below needs to be bigger).
+
+set -u
+
+EXE="${1:-_build/default/bin/tcca_experiments.exe}"
+if [ ! -x "$EXE" ]; then
+  echo "kill_resume_test: $EXE not found or not executable (dune build first?)" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# Rank matches the synthetic latent rank so the ALS trajectory is benign and
+# the run spends its full --iters budget (tol 0 never converges early).
+FIT_ARGS=(fit --views 3 --dim 24 -n 300 --rank 4 --iters 2000 --tol 0 --seed 42)
+
+echo "kill_resume_test: reference (uninterrupted) run"
+"$EXE" "${FIT_ARGS[@]}" --out "$WORK/reference.txt" >/dev/null || {
+  echo "kill_resume_test: reference run failed" >&2
+  exit 1
+}
+
+echo "kill_resume_test: victim run (checkpoint every sweep, SIGKILL mid-fit)"
+"$EXE" "${FIT_ARGS[@]}" --checkpoint-dir "$WORK/ck" --checkpoint-every 1 \
+  --out "$WORK/victim.txt" >/dev/null 2>&1 &
+PID=$!
+
+# Kill as soon as a snapshot has landed (first sweep), so the fit is still
+# thousands of sweeps from finishing even on a fast machine.
+for _ in $(seq 1 600); do
+  [ -s "$WORK/ck/fit.ckpt" ] && break
+  kill -0 "$PID" 2>/dev/null || break
+  sleep 0.05
+done
+kill -9 "$PID" 2>/dev/null
+wait "$PID" 2>/dev/null
+
+if [ -f "$WORK/victim.txt" ]; then
+  echo "kill_resume_test: fit finished before the kill — enlarge the workload" >&2
+  exit 1
+fi
+if [ ! -s "$WORK/ck/fit.ckpt" ]; then
+  echo "kill_resume_test: no checkpoint written before the victim died" >&2
+  exit 1
+fi
+
+echo "kill_resume_test: resuming from $WORK/ck/fit.ckpt"
+"$EXE" "${FIT_ARGS[@]}" --checkpoint-dir "$WORK/ck" --checkpoint-every 1 \
+  --resume --out "$WORK/resumed.txt" >/dev/null || {
+  echo "kill_resume_test: resumed run failed" >&2
+  exit 1
+}
+
+if cmp -s "$WORK/reference.txt" "$WORK/resumed.txt"; then
+  echo "kill_resume_test: OK — resumed model byte-identical to uninterrupted run"
+else
+  echo "kill_resume_test: FAIL — resumed model differs from uninterrupted run" >&2
+  diff "$WORK/reference.txt" "$WORK/resumed.txt" | head -20 >&2
+  exit 1
+fi

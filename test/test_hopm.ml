@@ -56,7 +56,8 @@ let test_power_deflation_decomposes () =
   let u = [| [| 1.; 0. |]; [| 1.; 0.; 0. |]; [| 1.; 0.; 0.; 0. |] |] in
   let v = [| [| 0.; 1. |]; [| 0.; 1.; 0. |]; [| 0.; 1.; 0.; 0. |] |] in
   let t = Tensor.add (Tensor.scale 7. (Tensor.outer u)) (Tensor.scale 3. (Tensor.outer v)) in
-  let k = Tensor_power.decompose ~rank:2 t in
+  let k, deadline = Tensor_power.decompose ~rank:2 t in
+  check_true "no deadline" (deadline = None);
   let sorted = Array.copy k.Kruskal.weights in
   Array.sort (fun a b -> compare (Float.abs b) (Float.abs a)) sorted;
   check_float ~eps:1e-5 "first" 7. (Float.abs sorted.(0));

@@ -52,13 +52,37 @@ let test_warning_ring () =
   | ws -> Alcotest.failf "expected 2 warnings, got %d" (List.length ws));
   Robust.clear_warnings ()
 
+let test_warning_ring_domain_safe () =
+  (* Guardrails fire inside parallel regions: hammer the ring from several
+     domains at once.  Under the mutex this must neither crash, nor tear an
+     entry, nor lose the concurrent reader. *)
+  Robust.clear_warnings ();
+  let per_domain = 200 in
+  let writers =
+    Array.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Robust.warnf "domain %d event %d" d i;
+              if i mod 50 = 0 then ignore (Robust.recent_warnings ())
+            done))
+  in
+  Array.iter Domain.join writers;
+  let ws = Robust.recent_warnings () in
+  check_true "ring non-empty" (ws <> []);
+  (* Every surviving entry is well-formed (no torn strings). *)
+  check_true "entries intact"
+    (List.for_all (fun w -> String.length w >= 14 && String.sub w 0 7 = "domain ") ws);
+  Robust.clear_warnings ()
+
 let test_failure_printing () =
   let failures =
     [ Robust.Not_converged { stage = "cp_als"; sweeps = 7; residual = 0.5 };
       Robust.Not_positive_definite
         { stage = "ktcca.whiten view 0"; pivot = 3; value = -1.; jitter_tried = 1e-8 };
       Robust.Non_finite { stage = "tcca.prepare"; where = "input matrix" };
-      Robust.Rank_deficient { view = 1; rank = 0; dim = 5 } ]
+      Robust.Rank_deficient { view = 1; rank = 0; dim = 5 };
+      Robust.Deadline_exceeded
+        { stage = "cp_als"; sweeps = 42; elapsed = 1.25; limit = "wall 2s" } ]
   in
   List.iter
     (fun f -> check_true "non-empty rendering" (String.length (Robust.failure_to_string f) > 0))
@@ -366,6 +390,7 @@ let () =
           Alcotest.test_case "with_stage restores" `Quick test_inject_with_stage_restores ] );
       ( "reporting",
         [ Alcotest.test_case "warning ring" `Quick test_warning_ring;
+          Alcotest.test_case "ring domain-safe" `Quick test_warning_ring_domain_safe;
           Alcotest.test_case "failure printing" `Quick test_failure_printing ] );
       ( "linalg",
         [ Alcotest.test_case "eigen info" `Quick test_eigen_info_converges;
