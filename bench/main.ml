@@ -44,6 +44,27 @@ let parallel_kernel_tests () =
     Test.make ~name:"par/pairwise-chi2-300"
       (Staged.stage (fun () -> Distance.pairwise Distance.Chi2 wide)) ]
 
+(* Head-to-head micros for the symmetric eigensolver rewrite: the two-stage
+   tridiagonal path at typical whitener sizes, the Jacobi oracle at the
+   larger size for the crossover record, and the tall-matrix SVD route that
+   rides on it. *)
+let eig_tests () =
+  let open Bechamel in
+  let r = Rng.create 777 in
+  let spd d =
+    let x = Mat.init d (2 * d) (fun _ _ -> Rng.gaussian r) in
+    Mat.add_scaled_identity 1e-3 (Mat.scale (1. /. float_of_int (2 * d)) (Mat.gram x))
+  in
+  let a64 = spd 64 and a192 = spd 192 in
+  let tall = Mat.init 2048 64 (fun _ _ -> Rng.gaussian r) in
+  [ Test.make ~name:"eig/tridiagonal-d64"
+      (Staged.stage (fun () -> Eigen.decompose ~method_:`Tridiagonal a64));
+    Test.make ~name:"eig/tridiagonal-d192"
+      (Staged.stage (fun () -> Eigen.decompose ~method_:`Tridiagonal a192));
+    Test.make ~name:"eig/jacobi-d192"
+      (Staged.stage (fun () -> Eigen.decompose ~method_:`Jacobi a192));
+    Test.make ~name:"svd/tall-2048x64" (Staged.stage (fun () -> Svd.decompose tall)) ]
+
 let micro_tests () =
   let world = Secstr.world Secstr.Quick in
   let rng = Rng.create 99 in
@@ -229,6 +250,7 @@ let micro_tests () =
          (let model = Knn.fit ~k:5 embedding labels in
           fun () -> Knn.predict model embedding)) ]
     @ parallel_kernel_tests ()
+    @ eig_tests ()
 
 (* JSON artifact for the CI bench-regression pipeline: a flat list of
    (kernel, ns/run, r²) plus enough metadata (sha, domain count, smoke flag)

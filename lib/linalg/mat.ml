@@ -50,8 +50,21 @@ let get a i j = a.data.((i * a.cols) + j)
 let set a i j v = a.data.((i * a.cols) + j) <- v
 let dims a = (a.rows, a.cols)
 
-let row a i = Array.sub a.data (i * a.cols) a.cols
-let col a j = Array.init a.rows (fun i -> get a i j)
+(* [row]/[col] sit on the tridiagonalization and SVD inner loops: one
+   upfront bounds check, then raw strided reads. *)
+let row a i =
+  if i < 0 || i >= a.rows then invalid_arg "Mat.row: index out of range";
+  Array.sub a.data (i * a.cols) a.cols
+
+let col a j =
+  if j < 0 || j >= a.cols then invalid_arg "Mat.col: index out of range";
+  let out = Array.make a.rows 0. in
+  let src = ref j in
+  for i = 0 to a.rows - 1 do
+    Array.unsafe_set out i (Array.unsafe_get a.data !src);
+    src := !src + a.cols
+  done;
+  out
 
 let set_row a i v =
   if Array.length v <> a.cols then invalid_arg "Mat.set_row: dimension mismatch";

@@ -37,7 +37,13 @@ val get : t -> int -> int -> float
 val set : t -> int -> int -> float -> unit
 val dims : t -> int * int
 val row : t -> int -> Vec.t
+(** Copy of row [i].  One upfront bounds check, then strided unchecked
+    reads — hot in the tridiagonalization/SVD inner loops.  Raises
+    [Invalid_argument] when [i] is out of range. *)
+
 val col : t -> int -> Vec.t
+(** Copy of column [j]; same single-check discipline as {!row}. *)
+
 val set_row : t -> int -> Vec.t -> unit
 val set_col : t -> int -> Vec.t -> unit
 val diag : t -> Vec.t

@@ -95,24 +95,80 @@ let one_sided_info ?(max_sweeps = 60) ?(eps = 1e-12) a =
       residual = (if !rotate then max_pair_cos w else 0.);
       converged = not !rotate } )
 
-let decompose_info ?max_sweeps ?eps a =
+type method_ = [ `Auto | `Jacobi | `Qr_eig ]
+
+(* Below this aspect ratio the O(mn²) Jacobi rotations already dominate any
+   QR savings, and Jacobi's pairwise orthogonalization is the more accurate
+   of the two — only genuinely tall inputs take the QR + eig route. *)
+let tall_ratio = 3
+
+(* Tall path: thin QR, then the symmetric eigendecomposition of RᵀR (n × n,
+   independent of m) gives V.  Recomputing σⱼ = ‖A vⱼ‖ instead of √λⱼ pulls
+   the small singular values back from the squared-condition damage of the
+   Gram product; U follows by normalizing the columns of AV. *)
+let qr_eig_info ?max_sweeps ?eps a =
   let m, n = Mat.dims a in
-  if m >= n then one_sided_info ?max_sweeps ?eps a
+  let r_mat = Qr.r (Qr.decompose a) in
+  let eig, einfo = Eigen.decompose_info ?max_sweeps ?eps (Mat.tgram r_mat) in
+  let w = Mat.mul a eig.Eigen.vectors in
+  let sigma = Array.init n (fun j -> Vec.norm (Mat.col w j)) in
+  let u = Mat.create m n in
+  for j = 0 to n - 1 do
+    let s = sigma.(j) in
+    if s > 0. then Mat.set_col u j (Vec.scale (1. /. s) (Mat.col w j))
+    else begin
+      (* Same deterministic fallback as the Jacobi path. *)
+      let e = Array.make m 0. in
+      e.(j mod m) <- 1.;
+      Mat.set_col u j e
+    end
+  done;
+  (* The eigenvalues arrive descending already; re-sort on the recomputed
+     σ so ties broken by the norm recovery stay ordered. *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare sigma.(j) sigma.(i)) order;
+  ( { u = Mat.select_cols u order;
+      sigma = Array.map (fun i -> sigma.(i)) order;
+      v = Mat.select_cols eig.Eigen.vectors order },
+    { sweeps = einfo.Eigen.sweeps;
+      residual = einfo.Eigen.residual;
+      converged = einfo.Eigen.converged } )
+
+let decompose_info ?(method_ = `Auto) ?max_sweeps ?eps a =
+  let take_qr_eig rows cols =
+    match method_ with
+    | `Jacobi -> false
+    | `Qr_eig -> true
+    | `Auto -> (
+        (* TCCA_EIG=jacobi restores the full legacy numerics, including
+           one-sided-Jacobi SVD for every shape. *)
+        match Eigen.default_method () with
+        | `Jacobi -> false
+        | `Tridiagonal -> cols > 0 && rows >= tall_ratio * cols)
+  in
+  let m, n = Mat.dims a in
+  if m >= n then
+    if take_qr_eig m n then qr_eig_info ?max_sweeps ?eps a
+    else one_sided_info ?max_sweeps ?eps a
   else begin
-    let { u; sigma; v }, info = one_sided_info ?max_sweeps ?eps (Mat.transpose a) in
+    let at = Mat.transpose a in
+    let { u; sigma; v }, info =
+      if take_qr_eig n m then qr_eig_info ?max_sweeps ?eps at
+      else one_sided_info ?max_sweeps ?eps at
+    in
     ({ u = v; sigma; v = u }, info)
   end
 
-let decompose ?max_sweeps ?eps a =
-  let svd, info = decompose_info ?max_sweeps ?eps a in
+let decompose ?method_ ?max_sweeps ?eps a =
+  let svd, info = decompose_info ?method_ ?max_sweeps ?eps a in
   if not info.converged then
     Robust.warnf "Svd.decompose: sweep cap hit after %d sweeps" info.sweeps;
   svd
 
-let decompose_checked ?(stage = "svd") ?max_sweeps ?eps a =
+let decompose_checked ?(stage = "svd") ?method_ ?max_sweeps ?eps a =
   if not (Mat.all_finite a) then Error (Robust.Non_finite { stage; where = "input matrix" })
   else begin
-    let svd, info = decompose_info ?max_sweeps ?eps a in
+    let svd, info = decompose_info ?method_ ?max_sweeps ?eps a in
     if not info.converged then
       Error
         (Robust.Not_converged { stage; sweeps = info.sweeps; residual = info.residual })

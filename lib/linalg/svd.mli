@@ -1,9 +1,15 @@
-(** Thin singular value decomposition by the one-sided Jacobi method.
+(** Thin singular value decomposition: one-sided Jacobi, with a QR + eig
+    route for tall matrices.
 
     CCA reduces to the SVD of the whitened cross-covariance matrix
     [C̃₁₁^{-1/2} C₁₂ C̃₂₂^{-1/2}] (and KCCA to its kernel analogue); one-sided
     Jacobi is simple, backward-stable and accurate for small singular values,
-    which is exactly what picking the top canonical directions needs. *)
+    which is exactly what picking the top canonical directions needs.  For
+    genuinely tall inputs ([m ≥ 3n] after orientation), the default route is
+    a thin Householder QR followed by the symmetric eigendecomposition of
+    [RᵀR] — [O(mn²)] once instead of per Jacobi sweep — with singular values
+    recovered as [σⱼ = ‖A vⱼ‖] to undo the Gram product's conditioning
+    squaring. *)
 
 type t = {
   u : Mat.t;      (** [m × k] left singular vectors (columns), [k = min m n]. *)
@@ -12,26 +18,44 @@ type t = {
 }
 
 type info = {
-  sweeps : int;      (** Jacobi sweeps actually run. *)
-  residual : float;  (** Worst remaining normalized column-pair inner product
-                         [max |⟨wp,wq⟩|/(‖wp‖‖wq‖)]; measured only when the
-                         cap was hit, [0.] otherwise. *)
-  converged : bool;  (** Whether a full sweep completed with no rotations
-                         before [max_sweeps] ran out. *)
+  sweeps : int;      (** Jacobi sweeps actually run, or the inner
+                         eigensolver's iteration count on the QR + eig
+                         route. *)
+  residual : float;  (** Jacobi: worst remaining normalized column-pair inner
+                         product [max |⟨wp,wq⟩|/(‖wp‖‖wq‖)], measured only
+                         when the cap was hit, [0.] otherwise.  QR + eig: the
+                         inner {!Eigen.info} residual. *)
+  converged : bool;  (** Whether the chosen route converged under its
+                         iteration cap. *)
 }
 
-val decompose : ?max_sweeps:int -> ?eps:float -> Mat.t -> t
+type method_ = [ `Auto | `Jacobi | `Qr_eig ]
+(** [`Auto] (default) routes tall inputs ([max_dim ≥ 3 · min_dim]) through
+    QR + symmetric eig and everything else through one-sided Jacobi — unless
+    [TCCA_EIG=jacobi] pinned the legacy numerics process-wide, in which case
+    every shape stays on Jacobi.  [`Jacobi] and [`Qr_eig] force a route
+    ([`Qr_eig] works for any shape; the wide case is handled by transposing
+    first). *)
+
+val decompose : ?method_:method_ -> ?max_sweeps:int -> ?eps:float -> Mat.t -> t
 (** Thin SVD of any rectangular matrix.  Hitting the sweep cap logs a
     [Robust] warning; use {!decompose_info} or {!decompose_checked} to
     observe it structurally. *)
 
-val decompose_info : ?max_sweeps:int -> ?eps:float -> Mat.t -> t * info
+val decompose_info :
+  ?method_:method_ -> ?max_sweeps:int -> ?eps:float -> Mat.t -> t * info
 (** Same computation, plus the convergence record. *)
 
 val decompose_checked :
-  ?stage:string -> ?max_sweeps:int -> ?eps:float -> Mat.t -> (t, Robust.failure) result
+  ?stage:string ->
+  ?method_:method_ ->
+  ?max_sweeps:int ->
+  ?eps:float ->
+  Mat.t ->
+  (t, Robust.failure) result
 (** Guarded variant: [Error Non_finite] on a NaN/Inf input, [Error
-    Not_converged] when the sweep cap is hit.  [stage] defaults to ["svd"]. *)
+    Not_converged] when the iteration cap is hit.  [stage] defaults to
+    ["svd"]. *)
 
 val truncated : t -> int -> Mat.t * Vec.t * Mat.t
 (** [truncated svd r] keeps the top [r] triplets: [(u_r, sigma_r, v_r)]. *)

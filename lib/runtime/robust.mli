@@ -87,7 +87,9 @@ module Inject : sig
     | Covariance_nan   (** Poison the covariance statistics with a NaN. *)
     | View_column_zero (** Zero one instance column of view 0. *)
     | Gram_indefinite  (** Make view 0's whitening target indefinite. *)
-    | Sweep_cap        (** Force Jacobi eigendecompositions to 0 sweeps. *)
+    | Sweep_cap
+        (** Force symmetric eigendecompositions (either method — Jacobi
+            sweeps or tridiagonal QL iterations) to a 0-iteration cap. *)
     | Als_nan          (** Poison every ALS sweep's fit with NaN. *)
     | Torn_checkpoint_write
         (** Simulate a crash mid-[Checkpoint.save]: a truncated file lands at

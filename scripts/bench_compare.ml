@@ -8,7 +8,10 @@
    Report-only by default (always exits 0).  [--fail-above R] (or the
    TCCA_BENCH_FAIL_ABOVE environment variable; the flag wins when both are
    set) turns it into a gate: exit 1 if any kernel got slower than R× its
-   baseline.  CI runs the gate at 1.15.  Escape hatch for known-noisy or
+   baseline, or if any kernel exists on only one side — new-in-candidate
+   entries would otherwise ship ungated and baseline-only entries would hide
+   a regression by deletion; refresh BENCH_baseline.json to clear either.
+   CI runs the gate at 1.15.  Escape hatch for known-noisy or
    intentionally-slower changes: set TCCA_BENCH_NO_GATE to any non-empty
    value other than "0" (the CI workflow sets it when the PR carries the
    `bench-no-gate` label) and the comparison reverts to report-only.
@@ -136,10 +139,16 @@ let () =
   Printf.printf "%-32s %12s %12s %8s\n" "kernel" "baseline" "current" "ratio";
   let worst = ref ("", 0.) in
   let compared = ref 0 in
+  (* Kernels present on only one side can't be ratio-checked, so under a gate
+     they are failures in their own right: a new kernel would otherwise ship
+     unguarded, and a vanished one would hide a regression by deletion. *)
+  let fresh = ref [] and missing = ref [] in
   List.iter
     (fun (name, cur_ns) ->
       match List.assoc_opt name base with
-      | None -> Printf.printf "%-32s %12s %12s %8s\n" name "-" (pretty cur_ns) "new"
+      | None ->
+        fresh := name :: !fresh;
+        Printf.printf "%-32s %12s %12s %8s\n" name "-" (pretty cur_ns) "new"
       | Some base_ns when Float.is_nan base_ns || Float.is_nan cur_ns || base_ns <= 0. ->
         Printf.printf "%-32s %12s %12s %8s\n" name (pretty base_ns) (pretty cur_ns) "n/a"
       | Some base_ns ->
@@ -152,16 +161,38 @@ let () =
     cur;
   List.iter
     (fun (name, base_ns) ->
-      if not (List.mem_assoc name cur) then
-        Printf.printf "%-32s %12s %12s %8s\n" name (pretty base_ns) "-" "gone")
+      if not (List.mem_assoc name cur) then begin
+        missing := name :: !missing;
+        Printf.printf "%-32s %12s %12s %8s\n" name (pretty base_ns) "-" "gone"
+      end)
     base;
+  let fresh = List.rev !fresh and missing = List.rev !missing in
   if !compared = 0 then print_endline "bench_compare: no common kernels to compare"
   else
-    Printf.printf "bench_compare: %d kernels compared, worst ratio %.2fx (%s)\n" !compared
-      (snd !worst) (fst !worst);
+    Printf.printf
+      "bench_compare: %d kernels compared (%d new, %d missing), worst ratio %.2fx (%s)\n"
+      !compared (List.length fresh) (List.length missing) (snd !worst) (fst !worst);
   match fail_above with
-  | Some limit when snd !worst > limit ->
-    Printf.printf "bench_compare: FAIL — %s is %.2fx > %.2fx limit\n" (fst !worst)
-      (snd !worst) limit;
-    exit 1
-  | _ -> ()
+  | Some limit ->
+    let failed = ref false in
+    if snd !worst > limit then begin
+      Printf.printf "bench_compare: FAIL — %s is %.2fx > %.2fx limit\n" (fst !worst)
+        (snd !worst) limit;
+      failed := true
+    end;
+    if fresh <> [] then begin
+      Printf.printf
+        "bench_compare: FAIL — kernel(s) not in the baseline: %s (refresh \
+         BENCH_baseline.json so they are gated)\n"
+        (String.concat ", " fresh);
+      failed := true
+    end;
+    if missing <> [] then begin
+      Printf.printf
+        "bench_compare: FAIL — baseline kernel(s) missing from the candidate: %s \
+         (removed on purpose? refresh BENCH_baseline.json)\n"
+        (String.concat ", " missing);
+      failed := true
+    end;
+    if !failed then exit 1
+  | None -> ()

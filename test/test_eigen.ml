@@ -83,6 +83,112 @@ let test_1x1 () =
   check_vec "value" [| 5. |] values;
   check_float "vector" 1. (Float.abs (Mat.get vectors 0 0))
 
+(* --- Method equivalence: the two-stage tridiagonal fast path against the
+   cyclic-Jacobi oracle.  The methods share no arithmetic, so agreement on
+   eigenvalues plus each side's own orthogonality/reconstruction residuals
+   is strong evidence both are right. --- *)
+
+let gen_symmetric =
+  QCheck2.Gen.(
+    gen_square_mat >|= fun a ->
+    let n, _ = Mat.dims a in
+    Mat.init n n (fun i j -> 0.5 *. (Mat.get a i j +. Mat.get a j i)))
+
+(* Q diag(λ) Qᵀ with eigenvalues drawn from a 3-value menu plus a ±1e-11
+   jitter: duplicates are likely, so the spectrum carries the near-degenerate
+   clusters that stress shift/deflation logic. *)
+let gen_near_degenerate =
+  QCheck2.Gen.(
+    int_range 2 8 >>= fun n ->
+    array_size (return (n * n)) (float_range (-10.) 10.) >>= fun qdata ->
+    array_size (return n) (oneofl [ 1.; 2.; 7. ]) >>= fun base ->
+    array_size (return n) (oneofl [ 0.; 1e-11; -1e-11 ]) >|= fun jitter ->
+    let q = Qr.orthonormalize (Mat.unsafe_of_flat ~rows:n ~cols:n qdata) in
+    let lam = Array.mapi (fun i b -> b +. jitter.(i)) base in
+    let scaled = Mat.init n n (fun i j -> Mat.get q i j *. lam.(j)) in
+    Mat.mul_nt scaled q)
+
+let eigenvalues_agree a =
+  let va = (Eigen.decompose ~method_:`Tridiagonal a).Eigen.values in
+  let vb = (Eigen.decompose ~method_:`Jacobi a).Eigen.values in
+  let scale = Array.fold_left (fun acc l -> Float.max acc (Float.abs l)) 1. vb in
+  Array.for_all2 (fun x y -> Float.abs (x -. y) <= 1e-8 *. scale) va vb
+
+let prop_methods_agree_spd =
+  qtest ~count:80 "tridiagonal = jacobi eigenvalues (SPD)" gen_spd eigenvalues_agree
+
+let prop_methods_agree_symmetric =
+  qtest ~count:80 "tridiagonal = jacobi eigenvalues (indefinite symmetric)" gen_symmetric
+    eigenvalues_agree
+
+let prop_methods_agree_degenerate =
+  qtest ~count:80 "tridiagonal = jacobi eigenvalues (near-degenerate)" gen_near_degenerate
+    eigenvalues_agree
+
+let prop_tridiagonal_orthogonal =
+  qtest ~count:80 "tridiagonal ‖QᵀQ−I‖ small" gen_symmetric (fun a ->
+      let { Eigen.vectors; _ } = Eigen.decompose ~method_:`Tridiagonal a in
+      let n, _ = Mat.dims a in
+      Mat.frobenius (Mat.sub (Mat.tgram vectors) (Mat.identity n)) <= 1e-10 *. float_of_int n)
+
+let prop_tridiagonal_eigen_equation =
+  qtest ~count:80 "tridiagonal ‖AQ−QΛ‖ small" gen_symmetric (fun a ->
+      let { Eigen.values; vectors } = Eigen.decompose ~method_:`Tridiagonal a in
+      let n, _ = Mat.dims a in
+      let aq = Mat.mul a vectors in
+      let ql = Mat.init n n (fun i j -> Mat.get vectors i j *. values.(j)) in
+      Mat.frobenius (Mat.sub aq ql) <= 1e-8 *. (1. +. Mat.frobenius a))
+
+let test_method_of_env () =
+  let is_jacobi = function `Jacobi -> true | `Tridiagonal -> false in
+  check_true "unset -> tridiagonal" (not (is_jacobi (Eigen.method_of_env None)));
+  check_true "jacobi" (is_jacobi (Eigen.method_of_env (Some "jacobi")));
+  check_true "case/space-insensitive" (is_jacobi (Eigen.method_of_env (Some " JaCoBi ")));
+  check_true "tridiagonal" (not (is_jacobi (Eigen.method_of_env (Some "tridiagonal"))));
+  check_true "garbage -> tridiagonal" (not (is_jacobi (Eigen.method_of_env (Some "qr"))))
+
+(* The iteration cap must surface structurally for BOTH methods — a
+   regression here would let a non-converged spectrum whiten a view
+   silently.  [Sweep_cap] forces a 0-iteration cap. *)
+let test_sweep_cap_surfaced () =
+  let r = rng () in
+  let a = random_spd r 6 in
+  List.iter
+    (fun (name, method_) ->
+      Robust.Inject.with_stage Robust.Inject.Sweep_cap (fun () ->
+          let _, info = Eigen.decompose_info ~method_ a in
+          check_true (name ^ ": converged=false under cap") (not info.Eigen.converged);
+          Alcotest.(check int) (name ^ ": zero iterations") 0 info.Eigen.sweeps;
+          check_true (name ^ ": residual positive") (info.Eigen.residual > 0.)))
+    [ ("tridiagonal", `Tridiagonal); ("jacobi", `Jacobi) ]
+
+(* Bitwise pool-size determinism: the banded tred2/QL loops own disjoint
+   rows/columns and accumulate in a fixed order, so results must be
+   identical — not merely close — for any TCCA_DOMAINS.  Cutoff 0 forces
+   even these small matrices through the pool. *)
+let test_pool_determinism () =
+  let r = rng () in
+  let a = random_spd r 24 in
+  let saved_cutoff = Parallel.sequential_cutoff () in
+  let saved_domains = Parallel.num_domains () in
+  Fun.protect
+    ~finally:(fun () ->
+      Parallel.set_sequential_cutoff saved_cutoff;
+      Parallel.set_num_domains saved_domains)
+    (fun () ->
+      Parallel.set_sequential_cutoff 0;
+      Parallel.set_num_domains 1;
+      let e1 = Eigen.decompose ~method_:`Tridiagonal a in
+      Parallel.set_num_domains 4;
+      let e4 = Eigen.decompose ~method_:`Tridiagonal a in
+      let bits x = Int64.bits_of_float x in
+      check_true "values bitwise equal"
+        (Array.for_all2 (fun x y -> bits x = bits y) e1.Eigen.values e4.Eigen.values);
+      check_true "vectors bitwise equal"
+        (Array.for_all2
+           (fun x y -> bits x = bits y)
+           e1.Eigen.vectors.Mat.data e4.Eigen.vectors.Mat.data))
+
 let prop_psd_eigenvalues_nonneg =
   qtest ~count:60 "SPD eigenvalues > 0" gen_spd (fun a ->
       Array.for_all (fun l -> l > 0.) (Eigen.decompose a).Eigen.values)
@@ -120,4 +226,14 @@ let () =
             test_asymmetric_input_symmetrized ] );
       ("errors", [ Alcotest.test_case "not square" `Quick test_not_square ]);
       ( "properties",
-        [ prop_psd_eigenvalues_nonneg; prop_values_sorted; prop_frobenius_invariant ] ) ]
+        [ prop_psd_eigenvalues_nonneg; prop_values_sorted; prop_frobenius_invariant ] );
+      ( "methods",
+        [ Alcotest.test_case "TCCA_EIG parsing" `Quick test_method_of_env;
+          Alcotest.test_case "sweep cap surfaced (both methods)" `Quick
+            test_sweep_cap_surfaced;
+          Alcotest.test_case "pool-size determinism" `Quick test_pool_determinism;
+          prop_methods_agree_spd;
+          prop_methods_agree_symmetric;
+          prop_methods_agree_degenerate;
+          prop_tridiagonal_orthogonal;
+          prop_tridiagonal_eigen_equation ] ) ]

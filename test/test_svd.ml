@@ -75,6 +75,59 @@ let test_nuclear_norm () =
   let a = Mat.diag_of_vec [| 2.; 3. |] in
   check_float ~eps:1e-10 "nuclear" 5. (Svd.nuclear_norm (Svd.decompose a))
 
+(* --- Tall-matrix QR + eig route (forced with ~method_ so these hold no
+   matter what TCCA_EIG picked for the process). --- *)
+
+let test_tall_reconstruction () =
+  let r = rng () in
+  for _ = 1 to 5 do
+    let a = random_mat r 40 8 in
+    check_mat ~eps:1e-7 "UΣVᵀ = A (qr_eig)"
+      a
+      (Svd.reconstruct (Svd.decompose ~method_:`Qr_eig a))
+  done
+
+let test_tall_orthonormal () =
+  let r = rng () in
+  let a = random_mat r 50 6 in
+  let { Svd.u; v; _ } = Svd.decompose ~method_:`Qr_eig a in
+  check_mat ~eps:1e-8 "UᵀU = I (qr_eig)" (Mat.identity 6) (Mat.tgram u);
+  check_mat ~eps:1e-8 "VᵀV = I (qr_eig)" (Mat.identity 6) (Mat.tgram v)
+
+let test_tall_matches_jacobi () =
+  let r = rng () in
+  let a = random_mat r 36 7 in
+  let sj = (Svd.decompose ~method_:`Jacobi a).Svd.sigma in
+  let sq = (Svd.decompose ~method_:`Qr_eig a).Svd.sigma in
+  check_vec ~eps:1e-8 "singular values agree across routes" sj sq
+
+let test_wide_qr_eig () =
+  (* Wide inputs go through the transpose normalization first; the forced
+     route must land on the same spectrum. *)
+  let r = rng () in
+  let a = random_mat r 5 30 in
+  let sj = (Svd.decompose ~method_:`Jacobi a).Svd.sigma in
+  let sq = (Svd.decompose ~method_:`Qr_eig a).Svd.sigma in
+  check_vec ~eps:1e-8 "wide spectrum agrees" sj sq;
+  check_mat ~eps:1e-7 "wide reconstruction (qr_eig)" a
+    (Svd.reconstruct (Svd.decompose ~method_:`Qr_eig a))
+
+let test_tall_rank_deficient () =
+  (* Rank-2 tall matrix: the route must report rank 2 and keep σ₃.. at ~0
+     without manufacturing spurious energy. *)
+  let r = rng () in
+  let b = random_mat r 30 2 in
+  let c = random_mat r 2 5 in
+  let a = Mat.mul b c in
+  let svd = Svd.decompose ~method_:`Qr_eig a in
+  Alcotest.(check int) "numerical rank 2" 2 (Svd.rank svd);
+  check_mat ~eps:1e-7 "rank-2 reconstruction" a (Svd.reconstruct svd)
+
+let test_tall_zero () =
+  let svd = Svd.decompose ~method_:`Qr_eig (Mat.create 24 3) in
+  Alcotest.(check int) "rank 0" 0 (Svd.rank svd);
+  check_vec "zero sigma" [| 0.; 0.; 0. |] svd.Svd.sigma
+
 let prop_spectral_bound =
   qtest ~count:50 "‖Ax‖ <= σ₁‖x‖" gen_mat (fun a ->
       let _, n = Mat.dims a in
@@ -103,4 +156,11 @@ let () =
           Alcotest.test_case "sigma vs eigen" `Quick test_singular_values_vs_eigen;
           Alcotest.test_case "truncated shapes" `Quick test_truncated;
           Alcotest.test_case "Eckart-Young" `Quick test_truncation_error_optimal ] );
+      ( "tall qr+eig",
+        [ Alcotest.test_case "reconstruction" `Quick test_tall_reconstruction;
+          Alcotest.test_case "orthonormal" `Quick test_tall_orthonormal;
+          Alcotest.test_case "matches jacobi" `Quick test_tall_matches_jacobi;
+          Alcotest.test_case "wide via transpose" `Quick test_wide_qr_eig;
+          Alcotest.test_case "rank deficient" `Quick test_tall_rank_deficient;
+          Alcotest.test_case "zero" `Quick test_tall_zero ] );
       ("properties", [ prop_spectral_bound; prop_frobenius_is_sigma_norm ]) ]
