@@ -252,20 +252,50 @@ let micro_tests () =
     @ parallel_kernel_tests ()
     @ eig_tests ()
 
+(* Nominal flop counts for the GEMM-shaped micros, so every run reports the
+   achieved GFLOP/s next to wall time.  mul-family products count 2·m·k·n;
+   the symmetric kernels compute the upper triangle and mirror the rest,
+   counted as n·(n+1)·k; the MTTKRP pair follows the operation counts in
+   DESIGN.md §7 (the factored count is the three side GEMMs, the Hadamard
+   combine, and the final projection).  Kernels without a closed-form count
+   report null. *)
+let flops_of_kernel =
+  let mulf m k n = 2 * m * k * n in
+  let syrkf n k = n * (n + 1) * k in
+  function
+  | "par/mul-192x160x176" | "par/mul_tn-192x160x176" | "par/mul_nt-192x176x160" ->
+    Some (mulf 192 160 176)
+  | "par/gram-192x160" | "par/tgram-160x192" -> Some (syrkf 192 160)
+  | "op/mttkrp-dense" -> Some (2 * 8 * 810_000)
+  | "op/mttkrp-factored" -> Some ((3 * mulf 200 30 8) + (3 * 200 * 8) + mulf 30 200 8)
+  | _ -> None
+
+(* flops per nanosecond is numerically GFLOP/s. *)
+let gflops_of ~name ~ns =
+  match flops_of_kernel name with
+  | Some flops when Float.is_finite ns && ns > 0. -> Some (float_of_int flops /. ns)
+  | _ -> None
+
 (* JSON artifact for the CI bench-regression pipeline: a flat list of
-   (kernel, ns/run, r²) plus enough metadata (sha, domain count, smoke flag)
-   to compare runs PR-over-PR.  Hand-rolled — the names are plain ASCII. *)
+   (kernel, ns/run, r², GFLOP/s) plus enough metadata (sha, domain count,
+   smoke flag) to compare runs PR-over-PR.  Hand-rolled — the names are
+   plain ASCII.  Schema tcca-bench/2 added the "gflops" field; it is
+   emitted on every record (null when no flop count applies) so the
+   sequential scanner in scripts/bench_compare.ml never reads a field from
+   the wrong record. *)
 let write_json ~path ~smoke results =
   let oc = open_out path in
   let sha = match Sys.getenv_opt "GITHUB_SHA" with Some s -> s | None -> "local" in
-  Printf.fprintf oc "{\n  \"schema\": \"tcca-bench/1\",\n  \"sha\": %S,\n" sha;
+  Printf.fprintf oc "{\n  \"schema\": \"tcca-bench/2\",\n  \"sha\": %S,\n" sha;
   Printf.fprintf oc "  \"domains\": %d,\n  \"smoke\": %b,\n  \"results\": [\n"
     (Parallel.num_domains ()) smoke;
   let num v = if Float.is_finite v then Printf.sprintf "%.3f" v else "null" in
   List.iteri
     (fun i (name, ns, r2) ->
-      Printf.fprintf oc "    {\"name\": %S, \"ns_per_run\": %s, \"r_square\": %s}%s\n"
-        name (num ns) (num r2)
+      let gf = match gflops_of ~name ~ns with Some g -> num g | None -> "null" in
+      Printf.fprintf oc
+        "    {\"name\": %S, \"ns_per_run\": %s, \"r_square\": %s, \"gflops\": %s}%s\n" name
+        (num ns) (num r2) gf
         (if i = List.length results - 1 then "" else ","))
     results;
   Printf.fprintf oc "  ]\n}\n";
@@ -289,7 +319,7 @@ let run_micro ~smoke ~json () =
         (Printf.sprintf "Micro-benchmarks (Bechamel, monotonic clock, %d domain%s)"
            (Parallel.num_domains ())
            (if Parallel.num_domains () = 1 then "" else "s"))
-      ~columns:[ "kernel"; "time/run"; "r^2" ]
+      ~columns:[ "kernel"; "time/run"; "r^2"; "GFLOP/s" ]
   in
   let collected = ref [] in
   List.iter
@@ -311,7 +341,12 @@ let run_micro ~smoke ~json () =
             else if time_ns > 1e3 then Printf.sprintf "%.2f us" (time_ns /. 1e3)
             else Printf.sprintf "%.0f ns" time_ns
           in
-          Tableau.add_text_row table name [ pretty; Printf.sprintf "%.3f" r2 ])
+          let gf =
+            match gflops_of ~name ~ns:time_ns with
+            | Some g -> Printf.sprintf "%.2f" g
+            | None -> "-"
+          in
+          Tableau.add_text_row table name [ pretty; Printf.sprintf "%.3f" r2; gf ])
         results)
     tests;
   Tableau.print table;

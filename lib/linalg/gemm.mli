@@ -1,0 +1,80 @@
+(** Packed, register-blocked GEMM core.
+
+    Every dense product in the repository — [Mat.mul], [mul_tn], [mul_nt],
+    [gram], [tgram], and therefore whitening, the covariance tensor, MTTKRP,
+    the factored [Op_tensor] path, kernels and the learners — funnels into
+    the two entry points below.  A and B panels are repacked into contiguous
+    tile-ordered scratch buffers (per-domain, reused across calls), and the
+    inner loop computes an [mr]×[nr] register tile with cache-level
+    mc/kc/nc blocking; transposed operands pay a different packing walk
+    instead of strided inner loops.
+
+    {2 Bitwise accumulation contract}
+
+    Each output cell is the IEEE-754 sum of its [k] products accumulated one
+    at a time in ascending-[k] order, starting from [+0.], with no zero
+    skips and no FMA.  Packing, register tiling and cache blocking only
+    change {e which cells} are in flight at a time — never the order of
+    terms within a cell — so the result is bitwise identical for any
+    blocking parameters, any pool size (including the sequential fallback),
+    and bitwise identical to the straightforward naive loops kept in [Mat]
+    as the reference oracle.  See DESIGN.md §10. *)
+
+type impl = [ `Microkernel | `Naive ]
+
+val default_impl : unit -> impl
+(** Resolved once from the [TCCA_GEMM] environment variable: ["naive"]
+    selects the straightforward reference loops everywhere, anything else
+    (or unset) the packed microkernel.  Mirrors [TCCA_EIG]. *)
+
+val impl : unit -> impl
+(** Currently selected implementation ({!set_impl} wins over the
+    environment default). *)
+
+val set_impl : impl -> unit
+(** Override the implementation — test hook for the microkernel-vs-naive
+    equivalence suites. *)
+
+val reset_impl : unit -> unit
+(** Drop the {!set_impl} override and fall back to {!default_impl}. *)
+
+(** {2 Blocking parameters} *)
+
+val mr : int
+(** Register-tile rows: the microkernel keeps [mr]×[nr] accumulators live
+    in registers across the depth loop. *)
+
+val nr : int
+(** Register-tile columns. *)
+
+val small_cutoff : unit -> int
+(** Products with fewer than this many flops (2·m·n·k) run the naive loops
+    even under [`Microkernel] — packing overhead dominates tiny GEMMs (the
+    r≈8 factor updates of CP-ALS).  Bitwise invisible: both paths obey the
+    accumulation contract. *)
+
+val set_small_cutoff : int -> unit
+(** Test hook (set 0 to force the microkernel on tiny shapes). *)
+
+(** {2 Kernels}
+
+    Both kernels add into [c], which callers pass zero-filled; both
+    partition output rows across the {!Parallel} pool in the fixed
+    contiguous-band scheme (chunk boundaries never affect cell values, so
+    any pool size is bitwise identical). *)
+
+val gemm :
+  ta:bool -> tb:bool -> m:int -> n:int -> k:int ->
+  a:float array -> b:float array -> float array -> unit
+(** [gemm ~ta ~tb ~m ~n ~k ~a ~b c] computes [C = op(A)·op(B)] into the
+    row-major [m×n] array [c].  [a] stores [op(A)] row-major as [m×k] when
+    [ta = false] and as its transpose [k×m] when [ta = true]; likewise [b]
+    is [k×n] ([tb = false]) or [n×k] ([tb = true]).  Raises
+    [Invalid_argument] if [c] has the wrong length. *)
+
+val syrk : ta:bool -> n:int -> k:int -> a:float array -> float array -> unit
+(** [syrk ~ta ~n ~k ~a c] fills the upper triangle (diagonal included) of
+    [C = op(A)·op(A)ᵀ] into the row-major [n×n] array [c], where [a] stores
+    [op(A)] as [n×k] ([ta = false], the [Mat.gram] case) or [k×n]
+    ([ta = true], the [Mat.tgram] case).  Tiles strictly below the diagonal
+    are skipped; the caller mirrors the strict lower triangle. *)

@@ -108,21 +108,26 @@ let add_scaled_identity eps a =
   done;
   r
 
-(* ikj-ordered product, cache-blocked over the inner (k) dimension so a tile
-   of [b] rows stays resident while a row panel of [c] is updated, and
-   row-partitioned across the domain pool: each chunk owns a contiguous band
-   of [c] rows, and for every output cell the additions happen in ascending
-   [l] order exactly as in the naive ikj loop — so the result is bitwise
-   identical for any pool size and any tile size.  Everything downstream
-   (whitening, ALS, RLS) funnels through this kernel. *)
+(* Dense products.  All five GEMM-shaped entry points (mul / mul_tn /
+   mul_nt / gram / tgram) obey one accumulation contract: every output cell
+   is the IEEE-754 sum of its k products taken in ascending-k order,
+   starting from +0., with no zero skips and no FMA (see DESIGN.md §10).
+   Two implementations honour it bitwise — the packed register-blocked
+   microkernel in [Gemm] (the default) and the straightforward loops below,
+   retained as the selectable reference oracle (TCCA_GEMM=naive, mirroring
+   TCCA_EIG=jacobi).  Both row-partition the output across the domain pool;
+   because cells never share accumulators, any partition is bitwise
+   identical to the sequential run.  Everything downstream (whitening, the
+   covariance tensor, MTTKRP, kernels, RLS) funnels through these. *)
 let mul_tile = 64
 
-let mul a b =
-  if a.cols <> b.rows then invalid_arg "Mat.mul: inner dimension mismatch";
+let naive_mul_into a b c =
   let m = a.rows and n = b.cols and k = a.cols in
-  let c = Array.make (m * n) 0. in
   let ad = a.data and bd = b.data in
   let row_band lo hi =
+    (* ikj, cache-blocked over the inner dimension so a tile of [b] rows
+       stays resident while a row panel of [c] is updated; per cell the
+       additions still happen in ascending [l] order. *)
     let lb = ref 0 in
     while !lb < k do
       let lhi = min k (!lb + mul_tile) in
@@ -130,19 +135,32 @@ let mul a b =
         let arow = i * k and crow = i * n in
         for l = !lb to lhi - 1 do
           let aval = Array.unsafe_get ad (arow + l) in
-          if aval <> 0. then begin
-            let brow = l * n in
-            for j = 0 to n - 1 do
-              Array.unsafe_set c (crow + j)
-                (Array.unsafe_get c (crow + j) +. (aval *. Array.unsafe_get bd (brow + j)))
-            done
-          end
+          let brow = l * n in
+          for j = 0 to n - 1 do
+            Array.unsafe_set c (crow + j)
+              (Array.unsafe_get c (crow + j) +. (aval *. Array.unsafe_get bd (brow + j)))
+          done
         done
       done;
       lb := lhi
     done
   in
-  Parallel.parallel_for ~cost:(m * n * k) ~n:m row_band;
+  Parallel.parallel_for ~cost:(m * n * k) ~n:m row_band
+
+(* Microkernel unless the oracle is selected or the product is too small to
+   amortize packing — all bitwise-equivalent routes. *)
+let use_microkernel ~flops =
+  match Gemm.impl () with
+  | `Naive -> false
+  | `Microkernel -> flops >= Gemm.small_cutoff ()
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mul: inner dimension mismatch";
+  let m = a.rows and n = b.cols and k = a.cols in
+  let c = Array.make (m * n) 0. in
+  if use_microkernel ~flops:(2 * m * n * k) then
+    Gemm.gemm ~ta:false ~tb:false ~m ~n ~k ~a:a.data ~b:b.data c
+  else naive_mul_into a b c;
   { rows = m; cols = n; data = c }
 
 let mul_vec a x =
@@ -170,13 +188,21 @@ let tmul_vec a x =
 
 let transpose a = init a.cols a.rows (fun i j -> get a j i)
 
-let gram a =
+(* Mirror the strict lower triangle from the upper — a bit copy, so the
+   mirrored cells are exactly the transposed bits at any pool size. *)
+let mirror_lower n c =
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      c.((i * n) + j) <- c.((j * n) + i)
+    done
+  done
+
+let naive_gram_into a c =
   (* a aᵀ: each pool chunk owns a band of output rows and fills its slice of
-     the upper triangle (dot products are independent, so partitioning is
-     trivially deterministic); the lower triangle is mirrored afterwards. *)
+     the upper triangle with ascending-l dot products (cells are
+     independent, so partitioning is trivially deterministic). *)
   let m = a.rows and k = a.cols in
-  let c = create m m in
-  let ad = a.data and cd = c.data in
+  let ad = a.data in
   Parallel.parallel_for ~cost:(m * m * k / 2) ~n:m (fun lo hi ->
       for i = lo to hi - 1 do
         let ri = i * k in
@@ -186,52 +212,52 @@ let gram a =
           for l = 0 to k - 1 do
             acc := !acc +. (Array.unsafe_get ad (ri + l) *. Array.unsafe_get ad (rj + l))
           done;
-          Array.unsafe_set cd ((i * m) + j) !acc
+          Array.unsafe_set c ((i * m) + j) !acc
         done
-      done);
-  for i = 0 to m - 1 do
-    for j = 0 to i - 1 do
-      cd.((i * m) + j) <- cd.((j * m) + i)
-    done
-  done;
-  c
+      done)
 
-let tgram a =
+let gram a =
+  let m = a.rows and k = a.cols in
+  let c = Array.make (m * m) 0. in
+  if use_microkernel ~flops:(m * (m + 1) * k) then Gemm.syrk ~ta:false ~n:m ~k ~a:a.data c
+  else naive_gram_into a c;
+  mirror_lower m c;
+  { rows = m; cols = m; data = c }
+
+let naive_tgram_into a c =
   (* aᵀ a accumulated row-by-row of [a]: cache-friendly and symmetric.  Pool
      chunks own bands of output rows [i]; every chunk walks all rows [l] of
-     [a] in order, so each upper-triangle cell accumulates in the exact
-     sequential order regardless of pool size. *)
+     [a] in order, so each upper-triangle cell accumulates in ascending-[l]
+     order regardless of pool size. *)
   let n = a.cols in
   let rows = a.rows in
   let ad = a.data in
-  let c = Array.make (n * n) 0. in
   Parallel.parallel_for ~cost:(rows * n * n / 2) ~n (fun lo hi ->
       for l = 0 to rows - 1 do
         let base = l * n in
         for i = lo to hi - 1 do
           let ai = Array.unsafe_get ad (base + i) in
-          if ai <> 0. then begin
-            let crow = i * n in
-            for j = i to n - 1 do
-              Array.unsafe_set c (crow + j)
-                (Array.unsafe_get c (crow + j) +. (ai *. Array.unsafe_get ad (base + j)))
-            done
-          end
+          let crow = i * n in
+          for j = i to n - 1 do
+            Array.unsafe_set c (crow + j)
+              (Array.unsafe_get c (crow + j) +. (ai *. Array.unsafe_get ad (base + j)))
+          done
         done
-      done);
-  for i = 0 to n - 1 do
-    for j = 0 to i - 1 do
-      c.((i * n) + j) <- c.((j * n) + i)
-    done
-  done;
+      done)
+
+let tgram a =
+  let n = a.cols in
+  let c = Array.make (n * n) 0. in
+  if use_microkernel ~flops:(n * (n + 1) * a.rows) then
+    Gemm.syrk ~ta:true ~n ~k:a.rows ~a:a.data c
+  else naive_tgram_into a c;
+  mirror_lower n c;
   { rows = n; cols = n; data = c }
 
-let mul_tn a b =
-  if a.rows <> b.rows then invalid_arg "Mat.mul_tn: dimension mismatch";
+let naive_mul_tn_into a b c =
   let m = a.cols and n = b.cols in
   let rows = a.rows in
   let ad = a.data and bd = b.data in
-  let c = Array.make (m * n) 0. in
   (* Output rows [i] (= columns of [a]) are banded across the pool; every
      chunk scans the rows [l] of [a]/[b] in order, so each output cell sees
      the same ascending-[l] accumulation as the sequential loop. *)
@@ -240,23 +266,26 @@ let mul_tn a b =
         let abase = l * m and bbase = l * n in
         for i = lo to hi - 1 do
           let aval = Array.unsafe_get ad (abase + i) in
-          if aval <> 0. then begin
-            let crow = i * n in
-            for j = 0 to n - 1 do
-              Array.unsafe_set c (crow + j)
-                (Array.unsafe_get c (crow + j) +. (aval *. Array.unsafe_get bd (bbase + j)))
-            done
-          end
+          let crow = i * n in
+          for j = 0 to n - 1 do
+            Array.unsafe_set c (crow + j)
+              (Array.unsafe_get c (crow + j) +. (aval *. Array.unsafe_get bd (bbase + j)))
+          done
         done
-      done);
+      done)
+
+let mul_tn a b =
+  if a.rows <> b.rows then invalid_arg "Mat.mul_tn: dimension mismatch";
+  let m = a.cols and n = b.cols and k = a.rows in
+  let c = Array.make (m * n) 0. in
+  if use_microkernel ~flops:(2 * m * n * k) then
+    Gemm.gemm ~ta:true ~tb:false ~m ~n ~k ~a:a.data ~b:b.data c
+  else naive_mul_tn_into a b c;
   { rows = m; cols = n; data = c }
 
-let mul_nt a b =
-  if a.cols <> b.cols then invalid_arg "Mat.mul_nt: dimension mismatch";
+let naive_mul_nt_into a b c =
   let m = a.rows and n = b.rows and k = a.cols in
   let ad = a.data and bd = b.data in
-  let c = create m n in
-  let cd = c.data in
   Parallel.parallel_for ~cost:(m * n * k) ~n:m (fun lo hi ->
       for i = lo to hi - 1 do
         let ri = i * k in
@@ -266,10 +295,18 @@ let mul_nt a b =
           for l = 0 to k - 1 do
             acc := !acc +. (Array.unsafe_get ad (ri + l) *. Array.unsafe_get bd (rj + l))
           done;
-          Array.unsafe_set cd ((i * n) + j) !acc
+          Array.unsafe_set c ((i * n) + j) !acc
         done
-      done);
-  c
+      done)
+
+let mul_nt a b =
+  if a.cols <> b.cols then invalid_arg "Mat.mul_nt: dimension mismatch";
+  let m = a.rows and n = b.rows and k = a.cols in
+  let c = Array.make (m * n) 0. in
+  if use_microkernel ~flops:(2 * m * n * k) then
+    Gemm.gemm ~ta:false ~tb:true ~m ~n ~k ~a:a.data ~b:b.data c
+  else naive_mul_nt_into a b c;
+  { rows = m; cols = n; data = c }
 
 let hcat a b =
   if a.rows <> b.rows then invalid_arg "Mat.hcat: row mismatch";

@@ -66,8 +66,13 @@ val add_scaled_identity : float -> t -> t
     regularization [C̃pp = Cpp + εI]. *)
 
 val mul : t -> t -> t
-(** Matrix product, cache-blocked row-major [gemm], row-partitioned across
-    the [Parallel] domain pool.  Bitwise-deterministic for any pool size. *)
+(** Matrix product.  Runs on the packed register-blocked microkernel
+    ({!Gemm}) by default, or on the straightforward reference loops when
+    [TCCA_GEMM=naive] (or for products too small to amortize packing);
+    every route obeys the same per-cell ascending-k accumulation contract,
+    so all of them — at any pool size, including the sequential fallback —
+    are bitwise identical.  Row-partitioned across the [Parallel] domain
+    pool.  See DESIGN.md §10. *)
 
 val mul_vec : t -> Vec.t -> Vec.t
 val tmul_vec : t -> Vec.t -> Vec.t
@@ -75,16 +80,22 @@ val tmul_vec : t -> Vec.t -> Vec.t
 
 val transpose : t -> t
 val gram : t -> t
-(** [gram a = a aᵀ] (rows × rows), exploiting symmetry. *)
+(** [gram a = a aᵀ] (rows × rows): only upper-triangle tiles are computed
+    and the strict lower triangle is mirrored bit-for-bit, so
+    [gram a ≡ mul a (transpose a)] bitwise (IEEE multiplication commutes). *)
 
 val tgram : t -> t
-(** [tgram a = aᵀ a] (cols × cols), exploiting symmetry. *)
+(** [tgram a = aᵀ a] (cols × cols), exploiting symmetry the same way;
+    [tgram a ≡ mul (transpose a) a] bitwise. *)
 
 val mul_tn : t -> t -> t
-(** [mul_tn a b = aᵀ b] without materializing [aᵀ]. *)
+(** [mul_tn a b = aᵀ b] without materializing [aᵀ] — the microkernel packs
+    [a] with a transposed walk instead of running strided inner loops.
+    Bitwise identical to [mul (transpose a) b]. *)
 
 val mul_nt : t -> t -> t
-(** [mul_nt a b = a bᵀ] without materializing [bᵀ]. *)
+(** [mul_nt a b = a bᵀ] without materializing [bᵀ]; bitwise identical to
+    [mul a (transpose b)]. *)
 
 val hcat : t -> t -> t
 val vcat : t -> t -> t

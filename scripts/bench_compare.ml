@@ -1,9 +1,10 @@
-(* Compare two bench JSON artifacts (schema tcca-bench/1, as written by
-   bench/main.exe --json) and print per-kernel time ratios.
+(* Compare two bench JSON artifacts (schema tcca-bench/1 or /2, as written
+   by bench/main.exe --json) and print per-kernel time ratios, plus achieved
+   GFLOP/s where the artifact carries it (schema /2).
 
    Usage:
      dune exec scripts/bench_compare.exe -- BASELINE.json CURRENT.json
-                                            [--fail-above RATIO]
+                                            [--fail-above RATIO] [--min-ns NS]
 
    Report-only by default (always exits 0).  [--fail-above R] (or the
    TCCA_BENCH_FAIL_ABOVE environment variable; the flag wins when both are
@@ -11,10 +12,19 @@
    baseline, or if any kernel exists on only one side — new-in-candidate
    entries would otherwise ship ungated and baseline-only entries would hide
    a regression by deletion; refresh BENCH_baseline.json to clear either.
-   CI runs the gate at 1.15.  Escape hatch for known-noisy or
-   intentionally-slower changes: set TCCA_BENCH_NO_GATE to any non-empty
-   value other than "0" (the CI workflow sets it when the PR carries the
-   `bench-no-gate` label) and the comparison reverts to report-only.
+   CI runs the gate at 1.15.
+
+   [--min-ns NS] (default 1e5) is a noise floor: kernels where both sides
+   run under NS nanoseconds are printed but excluded from the ratio gate —
+   a sub-100µs micro (a flag probe, a tiny load) jitters by whole multiples
+   on shared runners, and a 1.15× gate on a 40 ns measurement is a coin
+   flip, not a regression check.  New/missing kernels still gate regardless
+   of their magnitude.  Set --min-ns 0 to gate everything.
+
+   Escape hatch for known-noisy or intentionally-slower changes: set
+   TCCA_BENCH_NO_GATE to any non-empty value other than "0" (the CI
+   workflow sets it when the PR carries the `bench-no-gate` label) and the
+   comparison reverts to report-only.
 
    The parser is a hand-rolled scanner for the fixed schema — names are
    plain ASCII written with %S and the structure is one result object per
@@ -31,33 +41,33 @@ let read_file path =
     s
   with Sys_error e -> die "bench_compare: %s" e
 
+(* Start index of the next occurrence of [pat] at or after [from]. *)
+let find_pat s pat from =
+  let rec search i =
+    if i + String.length pat > String.length s then None
+    else if String.sub s i (String.length pat) = pat then Some i
+    else search (i + 1)
+  in
+  search from
+
 (* Extract the string value following [key] at or after [from]; None if the
    key does not occur again. *)
 let find_string s key from =
-  let pat = Printf.sprintf "\"%s\": \"" key in
-  match
-    let rec search i =
-      if i + String.length pat > String.length s then None
-      else if String.sub s i (String.length pat) = pat then Some (i + String.length pat)
-      else search (i + 1)
-    in
-    search from
-  with
+  match find_pat s (Printf.sprintf "\"%s\": \"" key) from with
   | None -> None
-  | Some start ->
+  | Some i ->
+    let start = i + String.length key + 5 in
     let stop = String.index_from s start '"' in
     Some (String.sub s start (stop - start), stop)
 
-let find_number s key from =
+(* Numeric value of [key] at or after [from], but only if the key occurs
+   before [limit] — callers pass the start of the next record so an
+   optional field (absent in schema /1) is never read from a later record. *)
+let find_number ?(limit = max_int) s key from =
   let pat = Printf.sprintf "\"%s\": " key in
-  let rec search i =
-    if i + String.length pat > String.length s then None
-    else if String.sub s i (String.length pat) = pat then Some (i + String.length pat)
-    else search (i + 1)
-  in
-  match search from with
-  | None -> None
-  | Some start ->
+  match find_pat s pat from with
+  | Some i when i < limit ->
+    let start = i + String.length pat in
     let stop = ref start in
     while
       !stop < String.length s
@@ -70,13 +80,15 @@ let find_number s key from =
     done;
     let tok = String.sub s start (!stop - start) in
     Some ((if tok = "null" then nan else float_of_string tok), !stop)
+  | _ -> None
 
-(* (name, ns_per_run) assoc list, in file order. *)
+(* (name, ns_per_run, gflops) list, in file order; gflops is NaN when the
+   record has no finite value (schema /1, or a kernel with no flop count). *)
 let parse path =
   let s = read_file path in
   (match find_string s "schema" 0 with
-  | Some ("tcca-bench/1", _) -> ()
-  | Some (other, _) -> die "%s: unknown schema %S (want tcca-bench/1)" path other
+  | Some (("tcca-bench/1" | "tcca-bench/2"), _) -> ()
+  | Some (other, _) -> die "%s: unknown schema %S (want tcca-bench/1 or /2)" path other
   | None -> die "%s: no schema field — not a bench artifact?" path);
   let rec collect acc from =
     match find_string s "name" from with
@@ -84,7 +96,18 @@ let parse path =
     | Some (name, after_name) ->
       (match find_number s "ns_per_run" after_name with
       | None -> List.rev acc
-      | Some (ns, after_ns) -> collect ((name, ns) :: acc) after_ns)
+      | Some (ns, after_ns) ->
+        let next_record =
+          match find_pat s "\"name\": \"" after_ns with
+          | Some i -> i
+          | None -> String.length s
+        in
+        let gf =
+          match find_number ~limit:next_record s "gflops" after_ns with
+          | Some (g, _) -> g
+          | None -> nan
+        in
+        collect ((name, ns, gf) :: acc) after_ns)
   in
   collect [] 0
 
@@ -95,24 +118,36 @@ let pretty ns =
   else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
   else Printf.sprintf "%.0f ns" ns
 
+(* "base -> cur GF/s" when either side carries a number; "" otherwise, so
+   schema /1 inputs render exactly as before. *)
+let pretty_gflops base_gf cur_gf =
+  let one v = if Float.is_nan v then "-" else Printf.sprintf "%.2f" v in
+  if Float.is_nan base_gf && Float.is_nan cur_gf then ""
+  else Printf.sprintf "  %s -> %s GF/s" (one base_gf) (one cur_gf)
+
 let () =
   let usage () =
-    die "usage: bench_compare BASELINE.json CURRENT.json [--fail-above RATIO]"
+    die "usage: bench_compare BASELINE.json CURRENT.json [--fail-above RATIO] [--min-ns NS]"
   in
-  let rec parse_args base cur fail = function
-    | [] -> (base, cur, fail)
+  let rec parse_args base cur fail min_ns = function
+    | [] -> (base, cur, fail, min_ns)
     | "--fail-above" :: r :: rest ->
       (match float_of_string_opt r with
-      | Some f when f > 0. -> parse_args base cur (Some f) rest
+      | Some f when f > 0. -> parse_args base cur (Some f) min_ns rest
       | _ -> usage ())
     | "--fail-above" :: [] -> usage ()
-    | a :: rest when base = None -> parse_args (Some a) cur fail rest
-    | a :: rest when cur = None -> parse_args base (Some a) fail rest
+    | "--min-ns" :: r :: rest ->
+      (match float_of_string_opt r with
+      | Some f when f >= 0. -> parse_args base cur fail f rest
+      | _ -> usage ())
+    | "--min-ns" :: [] -> usage ()
+    | a :: rest when base = None -> parse_args (Some a) cur fail min_ns rest
+    | a :: rest when cur = None -> parse_args base (Some a) fail min_ns rest
     | _ -> usage ()
   in
-  let base_path, cur_path, fail_above =
-    match parse_args None None None (List.tl (Array.to_list Sys.argv)) with
-    | Some b, Some c, f -> (b, c, f)
+  let base_path, cur_path, fail_above, min_ns =
+    match parse_args None None None 1e5 (List.tl (Array.to_list Sys.argv)) with
+    | Some b, Some c, f, m -> (b, c, f, m)
     | _ -> usage ()
   in
   let fail_above =
@@ -135,33 +170,44 @@ let () =
     | _ -> fail_above
   in
   let base = parse base_path and cur = parse cur_path in
+  let base_assoc = List.map (fun (n, ns, gf) -> (n, (ns, gf))) base in
   Printf.printf "bench_compare: %s (baseline) vs %s\n" base_path cur_path;
   Printf.printf "%-32s %12s %12s %8s\n" "kernel" "baseline" "current" "ratio";
   let worst = ref ("", 0.) in
-  let compared = ref 0 in
+  let compared = ref 0 and floored = ref 0 in
   (* Kernels present on only one side can't be ratio-checked, so under a gate
      they are failures in their own right: a new kernel would otherwise ship
      unguarded, and a vanished one would hide a regression by deletion. *)
   let fresh = ref [] and missing = ref [] in
   List.iter
-    (fun (name, cur_ns) ->
-      match List.assoc_opt name base with
+    (fun (name, cur_ns, cur_gf) ->
+      match List.assoc_opt name base_assoc with
       | None ->
         fresh := name :: !fresh;
-        Printf.printf "%-32s %12s %12s %8s\n" name "-" (pretty cur_ns) "new"
-      | Some base_ns when Float.is_nan base_ns || Float.is_nan cur_ns || base_ns <= 0. ->
-        Printf.printf "%-32s %12s %12s %8s\n" name (pretty base_ns) (pretty cur_ns) "n/a"
-      | Some base_ns ->
+        Printf.printf "%-32s %12s %12s %8s%s\n" name "-" (pretty cur_ns) "new"
+          (pretty_gflops nan cur_gf)
+      | Some (base_ns, base_gf)
+        when Float.is_nan base_ns || Float.is_nan cur_ns || base_ns <= 0. ->
+        Printf.printf "%-32s %12s %12s %8s%s\n" name (pretty base_ns) (pretty cur_ns) "n/a"
+          (pretty_gflops base_gf cur_gf)
+      | Some (base_ns, base_gf) ->
         let ratio = cur_ns /. base_ns in
-        incr compared;
-        if ratio > snd !worst then worst := (name, ratio);
-        Printf.printf "%-32s %12s %12s %7.2fx%s\n" name (pretty base_ns) (pretty cur_ns)
+        let gated = Float.max base_ns cur_ns >= min_ns in
+        if gated then begin
+          incr compared;
+          if ratio > snd !worst then worst := (name, ratio)
+        end
+        else incr floored;
+        Printf.printf "%-32s %12s %12s %7.2fx%s%s\n" name (pretty base_ns) (pretty cur_ns)
           ratio
-          (if ratio > 1.5 then "  <-- slower" else ""))
+          (if not gated then "  (sub-floor, report-only)"
+           else if ratio > 1.5 then "  <-- slower"
+           else "")
+          (pretty_gflops base_gf cur_gf))
     cur;
   List.iter
-    (fun (name, base_ns) ->
-      if not (List.mem_assoc name cur) then begin
+    (fun (name, base_ns, _) ->
+      if not (List.exists (fun (n, _, _) -> n = name) cur) then begin
         missing := name :: !missing;
         Printf.printf "%-32s %12s %12s %8s\n" name (pretty base_ns) "-" "gone"
       end)
@@ -170,8 +216,10 @@ let () =
   if !compared = 0 then print_endline "bench_compare: no common kernels to compare"
   else
     Printf.printf
-      "bench_compare: %d kernels compared (%d new, %d missing), worst ratio %.2fx (%s)\n"
-      !compared (List.length fresh) (List.length missing) (snd !worst) (fst !worst);
+      "bench_compare: %d kernels compared (%d new, %d missing, %d below the %s noise \
+       floor), worst ratio %.2fx (%s)\n"
+      !compared (List.length fresh) (List.length missing) !floored (pretty min_ns)
+      (snd !worst) (fst !worst);
   match fail_above with
   | Some limit ->
     let failed = ref false in

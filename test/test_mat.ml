@@ -155,12 +155,13 @@ let prop_gram_psd_diag =
 (* ------------------------------------------------------------------ *)
 (* Parallel kernels vs. bit-exact sequential references.
 
-   Each reference below replays the kernel's documented per-cell
-   floating-point accumulation order (ascending inner index, with the same
-   zero-skip), so [Mat]'s pool-partitioned implementations must agree
-   *bitwise* — not approximately — at every pool size, including the
-   TCCA_DOMAINS=1 sequential fallback.  Shapes include empty (0×n) and
-   degenerate (1×n) matrices. *)
+   Each reference below replays the kernels' documented per-cell
+   floating-point accumulation contract — every cell is the sum of its k
+   products taken in ascending inner index, from +0., with no zero skips —
+   so [Mat]'s pool-partitioned implementations must agree *bitwise* — not
+   approximately — at every pool size, including the TCCA_DOMAINS=1
+   sequential fallback, and under both TCCA_GEMM implementations.  Shapes
+   include empty (0×n) and degenerate (1×n) matrices. *)
 
 let ref_mul a b =
   let m = a.Mat.rows and n = b.Mat.cols and k = a.Mat.cols in
@@ -168,10 +169,9 @@ let ref_mul a b =
   for i = 0 to m - 1 do
     for l = 0 to k - 1 do
       let av = a.Mat.data.((i * k) + l) in
-      if av <> 0. then
-        for j = 0 to n - 1 do
-          c.((i * n) + j) <- c.((i * n) + j) +. (av *. b.Mat.data.((l * n) + j))
-        done
+      for j = 0 to n - 1 do
+        c.((i * n) + j) <- c.((i * n) + j) +. (av *. b.Mat.data.((l * n) + j))
+      done
     done
   done;
   Mat.unsafe_of_flat ~rows:m ~cols:n c
@@ -182,10 +182,9 @@ let ref_mul_tn a b =
   for l = 0 to a.Mat.rows - 1 do
     for i = 0 to m - 1 do
       let av = a.Mat.data.((l * m) + i) in
-      if av <> 0. then
-        for j = 0 to n - 1 do
-          c.((i * n) + j) <- c.((i * n) + j) +. (av *. b.Mat.data.((l * n) + j))
-        done
+      for j = 0 to n - 1 do
+        c.((i * n) + j) <- c.((i * n) + j) +. (av *. b.Mat.data.((l * n) + j))
+      done
     done
   done;
   Mat.unsafe_of_flat ~rows:m ~cols:n c
@@ -220,10 +219,9 @@ let ref_tgram a =
   for l = 0 to a.Mat.rows - 1 do
     for i = 0 to n - 1 do
       let ai = a.Mat.data.((l * n) + i) in
-      if ai <> 0. then
-        for j = i to n - 1 do
-          c.((i * n) + j) <- c.((i * n) + j) +. (ai *. a.Mat.data.((l * n) + j))
-        done
+      for j = i to n - 1 do
+        c.((i * n) + j) <- c.((i * n) + j) +. (ai *. a.Mat.data.((l * n) + j))
+      done
     done
   done;
   for i = 0 to n - 1 do
@@ -290,6 +288,93 @@ let prop_parallel_gram_bitwise =
       agree_at_all_pool_sizes (fun () -> ref_gram m) (fun () -> Mat.gram m)
       && agree_at_all_pool_sizes (fun () -> ref_tgram m) (fun () -> Mat.tgram m))
 
+(* ------------------------------------------------------------------ *)
+(* Microkernel vs. naive oracle.
+
+   The packed microkernel must agree bitwise with the straightforward
+   loops on every shape — the accumulation contract says blocking only
+   reorders which cells are in flight, never the terms within a cell.
+   [with_impl] pins the implementation and forces [small_cutoff] to 0 so
+   the microkernel genuinely runs even on shapes far below the dispatch
+   threshold (a 1×k×1 product would otherwise always take the naive
+   route).  Dimensions are chosen adversarially for a 4×4 register tile:
+   degenerate (0, 1×k×1), below one tile, exactly one tile, straddling
+   tile and panel boundaries, and primes that never divide evenly. *)
+
+let with_impl impl f =
+  let cutoff = Gemm.small_cutoff () in
+  Gemm.set_impl impl;
+  Gemm.set_small_cutoff 0;
+  Fun.protect
+    ~finally:(fun () ->
+      Gemm.reset_impl ();
+      Gemm.set_small_cutoff cutoff)
+    f
+
+let gen_adversarial_dim =
+  QCheck2.Gen.(
+    frequency
+      [ (3, int_range 0 9);
+        (2, oneofl [ 1; 2; 3; 4; 5 ]);
+        (2, oneofl [ 7; 11; 13; 17 ]);
+        (1, oneofl [ 16; 31; 33 ]) ])
+
+let gen_adversarial_case =
+  QCheck2.Gen.(
+    triple gen_adversarial_dim gen_adversarial_dim gen_adversarial_dim
+    >>= fun (m, k, n) ->
+    pair (array_size (return (m * k)) gen_entry) (array_size (return (k * n)) gen_entry)
+    >|= fun (x, y) ->
+    (Mat.unsafe_of_flat ~rows:m ~cols:k x, Mat.unsafe_of_flat ~rows:k ~cols:n y))
+
+let gen_adversarial_mat =
+  QCheck2.Gen.(
+    pair gen_adversarial_dim gen_adversarial_dim >>= fun (r, c) ->
+    array_size (return (r * c)) gen_entry >|= fun data ->
+    Mat.unsafe_of_flat ~rows:r ~cols:c data)
+
+(* Naive oracle once, then the microkernel at pool sizes 1 and 4. *)
+let micro_matches_naive compute =
+  let expected = with_impl `Naive compute in
+  List.for_all
+    (fun size ->
+      with_pool size (fun () -> bits_equal expected (with_impl `Microkernel compute)))
+    [ 1; 4 ]
+
+let prop_microkernel_vs_naive_mul =
+  qtest ~count:100 "microkernel bitwise = naive oracle (mul/mul_tn/mul_nt)"
+    gen_adversarial_case (fun (a, b) ->
+      micro_matches_naive (fun () -> Mat.mul a b)
+      && micro_matches_naive (fun () -> Mat.mul_tn (Mat.transpose a) b)
+      && micro_matches_naive (fun () -> Mat.mul_nt a (Mat.transpose b)))
+
+let prop_microkernel_vs_naive_gram =
+  qtest ~count:100 "microkernel bitwise = naive oracle (gram/tgram)" gen_adversarial_mat
+    (fun m ->
+      micro_matches_naive (fun () -> Mat.gram m)
+      && micro_matches_naive (fun () -> Mat.tgram m))
+
+(* Transposed-operand entry points vs. an explicit transpose: IEEE
+   multiplication commutes bitwise, and both routes accumulate the same
+   terms ascending in k, so the packed-walk variants must equal
+   mul-with-materialized-transpose exactly — under the microkernel, at
+   pool sizes 1 and 4. *)
+let transpose_consistent a b =
+  List.for_all
+    (fun size ->
+      with_pool size (fun () ->
+          with_impl `Microkernel (fun () ->
+              let at = Mat.transpose a and bt = Mat.transpose b in
+              bits_equal (Mat.mul_tn at b) (Mat.mul (Mat.transpose at) b)
+              && bits_equal (Mat.mul_nt a bt) (Mat.mul a (Mat.transpose bt))
+              && bits_equal (Mat.gram a) (Mat.mul a (Mat.transpose a))
+              && bits_equal (Mat.tgram a) (Mat.mul (Mat.transpose a) a))))
+    [ 1; 4 ]
+
+let prop_transpose_consistency =
+  qtest ~count:100 "mul_tn/mul_nt/gram/tgram ≡ mul with explicit transpose (bitwise)"
+    gen_adversarial_case (fun (a, b) -> transpose_consistent a b)
+
 let () =
   Alcotest.run "mat"
     [ ( "construction",
@@ -317,4 +402,7 @@ let () =
           prop_gram_psd_diag ] );
       ( "parallel-bitwise",
         [ prop_parallel_mul_bitwise; prop_parallel_mul_tn_bitwise;
-          prop_parallel_gram_bitwise ] ) ]
+          prop_parallel_gram_bitwise ] );
+      ( "gemm-equivalence",
+        [ prop_microkernel_vs_naive_mul; prop_microkernel_vs_naive_gram;
+          prop_transpose_consistency ] ) ]
