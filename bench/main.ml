@@ -107,6 +107,23 @@ let micro_tests () =
   let tcca_fact_p = Tcca.prepare ~eps:1e-2 ~materialize:false (mk_views 3 30 300) in
   let tcca_many_p = Tcca.prepare ~eps:1e-2 (mk_views 5 40 200) in
   assert (not (Tcca.materialized tcca_many_p));
+  (* Sketched scaling path (PR "sketched scaling path"): the partial-Cholesky
+     Nyström pipeline at sizes where the N×N Gram would be prohibitive.  The
+     oracles are RBF over synthetic features, so fitting needs no bandwidth
+     pass and a kernel column is one O(N·d) sweep — nothing N×N is ever
+     allocated inside these kernels; the n20000 entry is the acceptance
+     measurement for "N = 20 000 in seconds". *)
+  let sketch_rng = Rng.create 4242 in
+  let sketch_oracles n =
+    Array.init 3 (fun _ ->
+        let v = Mat.init 8 n (fun _ _ -> Rng.gaussian sketch_rng) in
+        Kernel.oracle (Kernel.fit ~precompute:false (Kernel.Rbf 0.05) v))
+  in
+  let pchol_oracle = (sketch_oracles 4096).(0) in
+  let ny_oracles_4096 = sketch_oracles 4096 in
+  let ny_oracles_20k = sketch_oracles 20_000 in
+  let rand_svd_a = Mat.init 4096 512 (fun _ _ -> Rng.gaussian sketch_rng) in
+  let bench_sampled = Tcca.Sampled_als { Cp_rand.default_options with max_iter = 20 } in
   let open Bechamel in
   [ (* Fig. 3 / Table 1: TCCA fit on SecStr-sim (decomposition only). *)
     Test.make ~name:"fig3/tcca-cp-als-r8"
@@ -237,6 +254,28 @@ let micro_tests () =
             Tcca.fit_prepared ~solver:bench_als
               ~checkpoint:(Checkpoint.config ~every:25 ~resume:false path)
               ~r:8 tcca_dense_p));
+    (* Sketched scaling path: rank-revealing partial Cholesky on a kernel
+       oracle, the Nyström KTCCA pipeline end to end (pchol → ℓ-space
+       whitening → CP → duals), the randomized range-finder SVD behind
+       `Randomized whitening, and the first-class sampled-ALS solver. *)
+    Test.make ~name:"sketch/pchol-n4096-l256"
+      (Staged.stage (fun () -> Pchol.decompose ~rank:256 ~tol:0. pchol_oracle));
+    Test.make ~name:"ktcca/nystrom-n4096"
+      (Staged.stage (fun () ->
+           Ktcca.fit_oracles
+             ~approx:(Ktcca.Nystrom { rank = 64; tol = 1e-8 })
+             ~r:6 ny_oracles_4096));
+    (* ℓ = 32 keeps the ℓ-space materialization (32³ entries × N CP
+       components) comfortably inside the single-digit-seconds budget. *)
+    Test.make ~name:"ktcca/nystrom-n20000"
+      (Staged.stage (fun () ->
+           Ktcca.fit_oracles
+             ~approx:(Ktcca.Nystrom { rank = 32; tol = 1e-8 })
+             ~r:6 ny_oracles_20k));
+    Test.make ~name:"svd/randomized-4096x512"
+      (Staged.stage (fun () -> Svd.randomized ~rank:32 rand_svd_a));
+    Test.make ~name:"tcca/fit-sampled-als"
+      (Staged.stage (fun () -> Tcca.fit_prepared ~solver:bench_sampled ~r:8 tcca_fact_p));
     (* Fig. 10: Gram-matrix construction (chi-squared kernel). *)
     Test.make ~name:"fig10/chi2-gram"
       (Staged.stage (fun () ->
@@ -268,6 +307,13 @@ let flops_of_kernel =
   | "par/gram-192x160" | "par/tgram-160x192" -> Some (syrkf 192 160)
   | "op/mttkrp-dense" -> Some (2 * 8 * 810_000)
   | "op/mttkrp-factored" -> Some ((3 * mulf 200 30 8) + (3 * 200 * 8) + mulf 30 200 8)
+  (* Randomized SVD: six m×n×k GEMM passes (sketch, 2×2 power-iteration
+     half-steps, final B = QᵀA) at k = rank + oversample = 40; the small
+     k-space eig is not counted. *)
+  | "svd/randomized-4096x512" -> Some (6 * mulf 4096 512 40)
+  (* Partial Cholesky: the residual-column update at step k is 2·N·k flops;
+     summed over ℓ = 256 steps (kernel-entry evaluations not counted). *)
+  | "sketch/pchol-n4096-l256" -> Some (4096 * 256 * 255)
   | _ -> None
 
 (* flops per nanosecond is numerically GFLOP/s. *)

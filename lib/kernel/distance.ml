@@ -53,22 +53,71 @@ let cross kind a b =
       done);
   out
 
+(* Only the upper triangle is evaluated; the strict lower triangle mirrors
+   the stored float, so symmetry is exact by construction.  Rows of the
+   triangle have wildly different lengths (row 0 has n entries, row n−1 has
+   one), so the parallel index t owns the *pair* of rows t and n−1−t —
+   every t costs n+1 evaluations and the pool chunks stay balanced.  Each
+   output row is still written by exactly one chunk and every entry is the
+   same single [eval] call the sequential loop would make, so the matrix is
+   bitwise identical at any pool size. *)
+(* Pass counter, for regression tests that pin how many O(N²·d) pairwise
+   sweeps a pipeline performs (e.g. Kernel.fit + Kernel.gram must do one). *)
+let passes = ref 0
+let pairwise_count () = !passes
+
 let pairwise kind x =
+  incr passes;
   let d, n = Mat.dims x in
   let cols = Array.init n (Mat.col x) in
   let out = Mat.create n n in
-  Parallel.parallel_for ~cost:(n * n * d / 2) ~n (fun lo hi ->
+  let half = (n + 1) / 2 in
+  Parallel.parallel_for ~cost:(n * n * d / 2) ~n:half (fun lo hi ->
+      for t = lo to hi - 1 do
+        let fill i =
+          for j = i to n - 1 do
+            let dist = if i = j then 0. else eval kind cols.(i) cols.(j) in
+            Mat.set out i j dist
+          done
+        in
+        fill t;
+        let i2 = n - 1 - t in
+        if i2 <> t then fill i2
+      done);
+  (* Mirror pass: row i copies from already-final rows j < i — row
+     ownership again, and the mirrored value is the identical float. *)
+  Parallel.parallel_for ~cost:(n * n) ~n (fun lo hi ->
       for i = lo to hi - 1 do
-        for j = i to n - 1 do
-          let dist = if i = j then 0. else eval kind cols.(i) cols.(j) in
-          Mat.set out i j dist
+        for j = 0 to i - 1 do
+          Mat.set out i j (Mat.get out j i)
         done
       done);
-  for i = 0 to n - 1 do
-    for j = 0 to i - 1 do
-      Mat.set out i j (Mat.get out j i)
-    done
-  done;
   out
 
 let max_entry = Mat.max_abs
+
+(* Streaming bandwidth: the largest pairwise distance in O(N) memory —
+   what the Nyström path uses instead of materializing [pairwise].  Max is
+   associative and commutative (and exact — no rounding), so the chunked
+   reduction is pool-size invariant. *)
+let max_pairwise kind x =
+  let d, n = Mat.dims x in
+  if n < 2 then 0.
+  else begin
+    let cols = Array.init n (Mat.col x) in
+    let half = (n + 1) / 2 in
+    Parallel.parallel_for_reduce ~cost:(n * n * d / 2) ~n:half ~init:0.
+      ~combine:Float.max (fun lo hi ->
+        let best = ref 0. in
+        let scan i =
+          for j = i + 1 to n - 1 do
+            best := Float.max !best (eval kind cols.(i) cols.(j))
+          done
+        in
+        for t = lo to hi - 1 do
+          scan t;
+          let i2 = n - 1 - t in
+          if i2 <> t then scan i2
+        done;
+        !best)
+  end

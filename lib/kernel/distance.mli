@@ -22,3 +22,14 @@ val cross : t -> Mat.t -> Mat.t -> Mat.t
 
 val max_entry : Mat.t -> float
 (** Largest entry — the paper's bandwidth [λ = maxᵢⱼ d(xᵢ,xⱼ)]. *)
+
+val max_pairwise : t -> Mat.t -> float
+(** [max_pairwise d x = max_entry (pairwise d x)] computed streaming in
+    O(N) memory — the bandwidth pass of the Nyström scaling path, where the
+    N×N distance matrix is never materialized.  [0.] for fewer than two
+    instances. *)
+
+val pairwise_count : unit -> int
+(** Number of {!pairwise} sweeps performed by this process so far — test
+    instrumentation for pinning that a pipeline (e.g. [Kernel.fit] followed
+    by [Kernel.gram]) performs exactly one O(N²·d) pass. *)

@@ -1,18 +1,35 @@
 type t = Linear | Exp_distance of Distance.t | Rbf of float
 
-type fitted = { kind : t; train : Mat.t; lambda : float option }
+type fitted = {
+  kind : t;
+  train : Mat.t;
+  lambda : float option;
+  dist : Mat.t option;
+      (* The fitted pairwise-distance matrix, kept from the bandwidth pass so
+         [gram] never repeats it ([Exp_distance] with [precompute], the
+         default).  [None] on the streaming path and for kernels whose [fit]
+         needs no pairwise pass. *)
+}
 
-let fit kind x =
-  let lambda =
-    match kind with
-    | Exp_distance d ->
-      let lam = Distance.max_entry (Distance.pairwise d x) in
-      (* All-identical columns give λ = 0; fall back to 1 so the kernel is
-         the constant-1 matrix rather than NaN. *)
-      Some (if lam > 0. then lam else 1.)
-    | Linear | Rbf _ -> None
-  in
-  { kind; train = Mat.copy x; lambda }
+let fit ?(precompute = true) kind x =
+  match kind with
+  | Exp_distance d ->
+    (* λ = maxᵢⱼ d(xᵢ,xⱼ); all-identical columns give λ = 0 — fall back to 1
+       so the kernel is the constant-1 matrix rather than NaN.  Distances are
+       non-negative, so the streaming max equals [max_entry] of the matrix. *)
+    if precompute then begin
+      let dm = Distance.pairwise d x in
+      let lam = Distance.max_entry dm in
+      { kind;
+        train = Mat.copy x;
+        lambda = Some (if lam > 0. then lam else 1.);
+        dist = Some dm }
+    end
+    else begin
+      let lam = Distance.max_pairwise d x in
+      { kind; train = Mat.copy x; lambda = Some (if lam > 0. then lam else 1.); dist = None }
+    end
+  | Linear | Rbf _ -> { kind; train = Mat.copy x; lambda = None; dist = None }
 
 let eval_matrix f dist_or_inner =
   match f.kind, f.lambda with
@@ -30,10 +47,48 @@ let cross f y =
 let gram f =
   match f.kind with
   | Linear -> Mat.tgram f.train
-  | Exp_distance d -> eval_matrix f (Distance.pairwise d f.train)
+  | Exp_distance d ->
+    let dm = match f.dist with Some dm -> dm | None -> Distance.pairwise d f.train in
+    eval_matrix f dm
   | Rbf _ -> eval_matrix f (Distance.pairwise Distance.Sq_l2 f.train)
 
 let bandwidth f = f.lambda
+
+(* Column/diagonal oracle — the Nyström entry point.  Nothing O(N²) is ever
+   formed: a column costs one pass over the training instances, partitioned
+   across the pool with per-entry ownership (each slot written once, by one
+   chunk), so columns are bitwise identical at any pool size. *)
+let oracle f =
+  let d_feat, n = Mat.dims f.train in
+  let cols = Array.init n (Mat.col f.train) in
+  let kval =
+    match f.kind, f.lambda with
+    | Linear, _ -> fun i j -> Vec.dot cols.(i) cols.(j)
+    | Exp_distance dk, Some lam ->
+      fun i j -> if i = j then 1. else exp (-.Distance.eval dk cols.(i) cols.(j) /. lam)
+    | Rbf gamma, _ ->
+      fun i j ->
+        if i = j then 1. else exp (-.gamma *. Distance.eval Distance.Sq_l2 cols.(i) cols.(j))
+    | Exp_distance _, None -> assert false
+  in
+  let fill j =
+    let out = Array.make n 0. in
+    Parallel.parallel_for ~cost:(n * d_feat) ~n (fun lo hi ->
+        for i = lo to hi - 1 do
+          out.(i) <- kval i j
+        done);
+    out
+  in
+  { Pchol.o_dim = n;
+    o_diag =
+      (fun () ->
+        let out = Array.make n 0. in
+        Parallel.parallel_for ~cost:(n * d_feat) ~n (fun lo hi ->
+            for i = lo to hi - 1 do
+              out.(i) <- kval i i
+            done);
+        out);
+    o_column = fill }
 
 let center k =
   let n, m = Mat.dims k in

@@ -16,11 +16,25 @@ type fitted
 (** A kernel whose data-dependent parameters (bandwidth, training columns)
     are frozen, so test columns can be embedded consistently. *)
 
-val fit : t -> Mat.t -> fitted
-(** [fit k x] freezes the kernel on training instances (columns of [x]). *)
+val fit : ?precompute:bool -> t -> Mat.t -> fitted
+(** [fit k x] freezes the kernel on training instances (columns of [x]).
+
+    For [Exp_distance] the bandwidth pass already computes every pairwise
+    distance; with [precompute] (the default) the distance matrix is kept on
+    the fitted kernel so the following {!gram} reuses it — [fit] + [gram] is
+    one O(N²·d) pairwise pass, not two.  [~precompute:false] fits the
+    bandwidth with a streaming max instead (same λ, O(N) memory, nothing
+    N×N retained) — the right mode for the Nyström {!oracle} path. *)
 
 val gram : fitted -> Mat.t
 (** [N×N] training Gram matrix. *)
+
+val oracle : fitted -> Pchol.oracle
+(** Column/diagonal oracle over the training instances — what
+    [Pchol.decompose] consumes on the Nyström scaling path.  A column costs
+    one O(N·d) pass (parallel, bitwise-deterministic); nothing N×N is ever
+    materialized.  Combine with [fit ~precompute:false] to keep the whole
+    fit O(N·d) in memory. *)
 
 val cross : fitted -> Mat.t -> Mat.t
 (** [cross f y] is the [N_train × N_y] matrix [k(xᵢ, yⱼ)]. *)

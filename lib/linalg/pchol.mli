@@ -1,0 +1,55 @@
+(** Rank-revealing pivoted partial Cholesky on an implicit kernel matrix.
+
+    The Nyström scaling path of KTCCA needs a low-rank factor [F ∈ R^{N×ℓ}]
+    with [K ≈ F Fᵀ] without ever materializing the N×N Gram matrix [K].
+    Greedy pivoted Cholesky delivers exactly that from two queries — the
+    diagonal and single columns on demand: at each step the largest residual
+    diagonal entry is pivoted, its (residual) column becomes the next column
+    of [F], and the residual diagonal shrinks monotonically.  After ℓ steps
+    the approximation error is bounded by the residual trace,
+    [‖K − FFᵀ‖_* ≤ tr(K) − ‖F‖²_F] for PSD [K], which is the stopping rule:
+    stop when the residual trace falls below [tol · tr(K)] (or the rank cap
+    is reached, or no positive pivot remains).
+
+    Cost: ℓ oracle columns plus O(N·ℓ²) flops and O(N·ℓ) memory — never
+    O(N²) anything.  The per-step residual update is row-partitioned across
+    the [Parallel] pool (each row owns its own slot of [F] and of the
+    residual diagonal, accumulating in ascending step order), so results are
+    bitwise identical for every pool size. *)
+
+type oracle = {
+  o_dim : int;  (** N — the (square) kernel's side. *)
+  o_diag : unit -> float array;
+      (** The full diagonal [K[i,i]], length [o_dim] — one call, up front. *)
+  o_column : int -> float array;
+      (** [o_column j] is column [K[:,j]], length [o_dim].  Called at most
+          once per achieved rank, with distinct pivot indices. *)
+}
+
+val oracle_of_mat : Mat.t -> oracle
+(** Columns of an explicit symmetric matrix — for tests and for callers that
+    already hold the Gram matrix.  Raises [Invalid_argument] when not
+    square.  The matrix is kept by reference. *)
+
+type info = {
+  rank : int;  (** Achieved rank ℓ (columns of the returned factor). *)
+  trace_initial : float;  (** tr(K) as reported by the diagonal oracle. *)
+  trace_residual : float;
+      (** Residual trace [Σᵢ max(dᵢ, 0)] at exit — the nuclear-norm bound on
+          [‖K − FFᵀ‖]. *)
+  pivots : int array;  (** The chosen pivot indices, in order. *)
+}
+
+val decompose :
+  ?rank:int -> ?tol:float -> oracle -> (Mat.t * info, Robust.failure) result
+(** [decompose ~rank ~tol o] returns the [N × ℓ] factor with [ℓ ≤ rank]
+    (default [rank = N]) and [ℓ] minimal such that the residual trace is
+    [≤ tol · tr(K)] (default [tol = 1e-6]) — or smaller if the residual
+    diagonal runs out of positive pivots first (the kernel's numerical rank
+    was below the cap).
+
+    Failures: [Non_finite] when the diagonal or a fetched column carries
+    NaN/Inf; [Not_positive_definite] when the diagonal has a decisively
+    negative entry or no positive trace at all (the oracle is not a PSD
+    kernel).  Ties in pivot selection break toward the lowest index, so the
+    factorization is fully deterministic. *)

@@ -57,6 +57,21 @@ val decompose_checked :
     Not_converged] when the iteration cap is hit.  [stage] defaults to
     ["svd"]. *)
 
+val randomized :
+  ?oversample:int -> ?power_iters:int -> ?seed:int -> rank:int -> Mat.t -> t * info
+(** Halko-style randomized truncated SVD: a Gaussian test matrix (drawn from
+    the deterministic [Rng] seeded by [seed], default [0x51ED]) sketches the
+    range, [power_iters] (default 2) power iterations with re-orthonormalized
+    half-steps sharpen it against slowly-decaying spectra, and the small
+    [(rank+oversample)]-dimensional problem is solved exactly (QB → symmetric
+    eig of [BBᵀ], [σⱼ = ‖Bᵀwⱼ‖]).  Unlike {!decompose} this returns only the
+    top [min rank (min m n)] triplets — O(m·n·(rank+oversample)) per pass
+    instead of O(m·n·min(m,n)).  [oversample] defaults to 8.  For a matrix
+    of exact rank ≤ [rank] the result matches the exact routes to roundoff;
+    in general the tail beyond the sketch is discarded, not approximated.
+    The [info] convergence record is the inner eigensolver's.  Fully
+    deterministic (and bitwise pool-size invariant) for a fixed seed. *)
+
 val truncated : t -> int -> Mat.t * Vec.t * Mat.t
 (** [truncated svd r] keeps the top [r] triplets: [(u_r, sigma_r, v_r)]. *)
 

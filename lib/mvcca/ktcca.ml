@@ -1,10 +1,25 @@
+type approx = Exact | Nystrom of { rank : int; tol : float }
+
+type sketch_info = {
+  achieved_ranks : int array;   (* Nyström rank ℓₚ actually reached per view *)
+  trace_residuals : float array; (* relative trace residual tr(K−FFᵀ)/tr(K) *)
+}
+
+(* How the model carries the training data forward: the exact path keeps the
+   centered N×N Grams (transform_train is aᵀK), the Nyström path keeps the
+   already-projected N×r blocks K̂ₚaₚ = FₚBₚ — nothing N×N survives. *)
+type train_rep =
+  | Train_gram of Mat.t array
+  | Train_factor of Mat.t array
+
 type t = {
   duals : Mat.t array; (* aₚ : N × r *)
-  kernels : Mat.t array; (* centered training grams *)
+  train_rep : train_rep;
   raw_col_means : Vec.t array;
   raw_total_means : float array;
   centered : bool;
   correlations : Vec.t;
+  t_sketch : sketch_info option;
 }
 
 let max_instances = 600
@@ -20,9 +35,17 @@ let jittered_pls eps k =
   let a = Mat.add (Mat.scale eps k) (Mat.mul k k) in
   Mat.add_scaled_identity (1e-10 *. (1. +. Mat.trace a /. float_of_int n)) a
 
+(* The whitened representation behind the operator [S]. *)
+type rep =
+  | Exact_rep of { e_kernels : Mat.t array; e_chols : Cholesky.t array }
+  | Nystrom_rep of {
+      ny_factors : Mat.t array; (* centered Fₚ, N × ℓₚ *)
+      ny_chols : Cholesky.t array; (* Gₚ with FₚᵀFₚ + εI = GₚGₚᵀ, ℓₚ × ℓₚ *)
+      ny_info : sketch_info;
+    }
+
 type prepared = {
-  p_kernels : Mat.t array;
-  p_chols : Cholesky.t array;
+  p_rep : rep;
   p_op : Op_tensor.t; (* the whitened kernel tensor S, dense or implicit *)
   p_raw_col_means : Vec.t array;
   p_raw_total_means : float array;
@@ -32,15 +55,31 @@ type prepared = {
 let materialized prepared =
   match prepared.p_op with Op_tensor.Dense _ -> true | Op_tensor.Factored _ -> false
 
+let sketch_info prepared =
+  match prepared.p_rep with
+  | Exact_rep _ -> None
+  | Nystrom_rep { ny_info; _ } -> Some ny_info
+
+let model_sketch_info t = t.t_sketch
+
+type raw_rep =
+  | Raw_exact of {
+      rx_kernels : Mat.t array; (* centered *)
+      rx_tensor : Tensor.t option; (* K₁₂…ₘ, materialized only on the dense path *)
+    }
+  | Raw_nystrom of {
+      rn_factors : Mat.t array; (* centered Fₚ *)
+      rn_info : sketch_info;
+    }
+
 type raw = {
-  raw_kernels : Mat.t array; (* centered *)
-  raw_tensor : Tensor.t option; (* K₁₂…ₘ, materialized only on the dense path *)
+  raw_rep : raw_rep;
   raw_cms : Vec.t array;
   raw_tms : float array;
   raw_centered : bool;
 }
 
-let prepare_raw ?(center = true) ?materialize kernels_raw =
+let prepare_raw_exact ?(center = true) ?materialize kernels_raw =
   let m = Array.length kernels_raw in
   if m < 2 then invalid_arg "Ktcca.fit: need at least two views";
   let n, m1 = Mat.dims kernels_raw.(0) in
@@ -70,11 +109,86 @@ let prepare_raw ?(center = true) ?materialize kernels_raw =
      tensor of the Gram matrices viewed as N-dimensional features — i.e. the
      centered kernels ARE its Kruskal factors, so the factored path needs no
      accumulation at all. *)
-  { raw_kernels = kernels;
-    raw_tensor = (if dense then Some (Tcca.covariance_tensor kernels) else None);
+  { raw_rep =
+      Raw_exact
+        { rx_kernels = kernels;
+          rx_tensor = (if dense then Some (Tcca.covariance_tensor kernels) else None) };
     raw_cms = raw_col_means;
     raw_tms = raw_total_means;
     raw_centered = center }
+
+(* Nyström raw statistics: a pivoted partial Cholesky per view consumes
+   kernel columns on demand (never the N×N Gram) and yields K̂ₚ = FₚFₚᵀ.
+   Everything downstream — centering, PLS whitening, the tensor S — is
+   computed exactly on K̂, in ℓₚ-space:
+
+     centering   HK̂H = (HFₚ)(HFₚ)ᵀ           (subtract Fₚ's column means)
+     col means   μ̂ = K̂1/N = Fₚ(Fₚᵀ1)/N       (of the uncentered K̂)
+     constraint  aᵀ(K̂² + εK̂)a = bᵀ(FₚᵀFₚ + εI)b   with  b = Fₚᵀa. *)
+let nystrom_raw_checked ~center ~rank ~tol oracles =
+  let m = Array.length oracles in
+  if m < 2 then invalid_arg "Ktcca.fit: need at least two views";
+  let n = oracles.(0).Pchol.o_dim in
+  if n < 1 then invalid_arg "Ktcca.fit: empty oracle";
+  Array.iter
+    (fun o -> if o.Pchol.o_dim <> n then invalid_arg "Ktcca.fit: oracle size mismatch")
+    oracles;
+  if rank < 1 then invalid_arg "Ktcca.fit: Nystrom rank must be >= 1";
+  try
+    let ranks = Array.make m 0 and residuals = Array.make m 0. in
+    let col_means = Array.make m [||] and total_means = Array.make m 0. in
+    let factors =
+      Array.mapi
+        (fun p oracle ->
+          match Pchol.decompose ~rank ~tol oracle with
+          | Error e -> raise (Robust.Error e)
+          | Ok (f0, info) ->
+            ranks.(p) <- info.Pchol.rank;
+            residuals.(p) <-
+              (if info.Pchol.trace_initial > 0. then
+                 info.Pchol.trace_residual /. info.Pchol.trace_initial
+               else 0.);
+            (* μ̂ = F₀(F₀ᵀ1)/N, and the per-column means of F₀ for centering. *)
+            let ell = snd (Mat.dims f0) in
+            let fmeans = Array.init ell (fun j -> Vec.mean (Mat.col f0 j)) in
+            let mu = Mat.mul_vec f0 fmeans in
+            col_means.(p) <- mu;
+            total_means.(p) <- Stats.mean mu;
+            if center then Mat.init n ell (fun i j -> Mat.get f0 i j -. fmeans.(j)) else f0)
+        oracles
+    in
+    Ok
+      { raw_rep =
+          Raw_nystrom
+            { rn_factors = factors;
+              rn_info = { achieved_ranks = ranks; trace_residuals = residuals } };
+        raw_cms = col_means;
+        raw_tms = total_means;
+        raw_centered = center }
+  with Robust.Error e -> Error e
+
+let prepare_raw_oracles_checked ?(center = true) ~approx oracles =
+  match approx with
+  | Exact -> invalid_arg "Ktcca.prepare_raw_oracles: oracles require a `Nystrom` approx"
+  | Nystrom { rank; tol } -> nystrom_raw_checked ~center ~rank ~tol oracles
+
+let prepare_raw_oracles ?center ~approx oracles =
+  match prepare_raw_oracles_checked ?center ~approx oracles with
+  | Ok raw -> raw
+  | Error e -> Robust.fail e
+
+let prepare_raw_checked ?center ?materialize ?(approx = Exact) kernels_raw =
+  match approx with
+  | Exact -> Ok (prepare_raw_exact ?center ?materialize kernels_raw)
+  | Nystrom { rank; tol } ->
+    let oracles = Array.map Pchol.oracle_of_mat kernels_raw in
+    let center = match center with Some c -> c | None -> true in
+    nystrom_raw_checked ~center ~rank ~tol oracles
+
+let prepare_raw ?center ?materialize ?approx kernels_raw =
+  match prepare_raw_checked ?center ?materialize ?approx kernels_raw with
+  | Ok raw -> raw
+  | Error e -> Robust.fail e
 
 (* Gram-whitening ladder.  Attempt 0 is bit-for-bit the historical
    [Cholesky.decompose (jittered_pls eps k)] — [decompose_jittered]'s own
@@ -110,60 +224,141 @@ let whiten_kernel ~eps ~view kernel =
   in
   attempt 0
 
-let prepare_of_raw_checked ~eps raw =
-  let chols =
-    try
-      Ok
-        (Array.mapi
-           (fun p k ->
-             match whiten_kernel ~eps ~view:p k with
-             | Ok f -> f
-             | Error e -> raise (Robust.Error e))
-           raw.raw_kernels)
-    with Robust.Error e -> Error e
+(* Nyström whitening: Mₚ = FₚᵀFₚ + εI is ℓₚ×ℓₚ and already conditioned by ε,
+   but reuse the same escalation shape for a degenerate F. *)
+let whiten_nystrom ~eps ~view f =
+  let stage = Printf.sprintf "ktcca.whiten-nystrom view %d" view in
+  let gram = Mat.tgram f in
+  let rec attempt k =
+    let e = eps *. (10. ** float_of_int k) in
+    match Cholesky.decompose_jittered ~stage (Mat.add_scaled_identity e gram) with
+    | Ok (g, jitter) ->
+      if k > 0 || jitter > 0. then
+        Robust.warnf "%s: factorized with eps %g, diagonal jitter %g" stage e jitter;
+      Ok g
+    | Error (Robust.Not_positive_definite _ as err) when k + 1 < gram_attempts ->
+      Robust.warnf "%s: %s — escalating eps to %g" stage
+        (Robust.failure_to_string err)
+        (eps *. (10. ** float_of_int (k + 1)));
+      attempt (k + 1)
+    | Error err -> Error err
   in
-  match chols with
-  | Error e -> Error e
-  | Ok chols ->
-    (* S = K ×ₚ (Lₚ⁻¹)ᵀ; with A = GGᵀ and the paper's L = Gᵀ this is
-       (Lₚ⁻¹)ᵀ = Gₚ⁻¹. *)
-    let inv_lowers = Array.map Cholesky.inverse_lower chols in
-    let op =
-      match raw.raw_tensor with
-      | Some t -> Op_tensor.dense (Tensor.mode_products t inv_lowers)
-      | None ->
-        (* S = (1/N) Σₙ ∘ₚ (Gₚ⁻¹ kₚₙ): factors Zₚ = Gₚ⁻¹ Kₚ, never Nᵐ. *)
-        let n = fst (Mat.dims raw.raw_kernels.(0)) in
-        Op_tensor.factored
-          ~weight:(1. /. float_of_int n)
-          (Array.map2 Mat.mul inv_lowers raw.raw_kernels)
+  attempt 0
+
+let prepare_of_raw_checked ?materialize ~eps raw =
+  match raw.raw_rep with
+  | Raw_exact { rx_kernels; rx_tensor } -> (
+    let chols =
+      try
+        Ok
+          (Array.mapi
+             (fun p k ->
+               match whiten_kernel ~eps ~view:p k with
+               | Ok f -> f
+               | Error e -> raise (Robust.Error e))
+             rx_kernels)
+      with Robust.Error e -> Error e
     in
-    if not (Op_tensor.all_finite op) then
-      Error (Robust.Non_finite { stage = "ktcca.prepare"; where = "whitened kernel operator" })
-    else
-      Ok
-        { p_kernels = raw.raw_kernels;
-          p_chols = chols;
-          p_op = op;
-          p_raw_col_means = raw.raw_cms;
-          p_raw_total_means = raw.raw_tms;
-          p_centered = raw.raw_centered }
+    match chols with
+    | Error e -> Error e
+    | Ok chols ->
+      (* S = K ×ₚ (Lₚ⁻¹)ᵀ; with A = GGᵀ and the paper's L = Gᵀ this is
+         (Lₚ⁻¹)ᵀ = Gₚ⁻¹. *)
+      let inv_lowers = Array.map Cholesky.inverse_lower chols in
+      let op =
+        match rx_tensor with
+        | Some t -> Op_tensor.dense (Tensor.mode_products t inv_lowers)
+        | None ->
+          (* S = (1/N) Σₙ ∘ₚ (Gₚ⁻¹ kₚₙ): factors Zₚ = Gₚ⁻¹ Kₚ, never Nᵐ. *)
+          let n = fst (Mat.dims rx_kernels.(0)) in
+          Op_tensor.factored
+            ~weight:(1. /. float_of_int n)
+            (Array.map2 Mat.mul inv_lowers rx_kernels)
+      in
+      if not (Op_tensor.all_finite op) then
+        Error
+          (Robust.Non_finite { stage = "ktcca.prepare"; where = "whitened kernel operator" })
+      else
+        Ok
+          { p_rep = Exact_rep { e_kernels = rx_kernels; e_chols = chols };
+            p_op = op;
+            p_raw_col_means = raw.raw_cms;
+            p_raw_total_means = raw.raw_tms;
+            p_centered = raw.raw_centered })
+  | Raw_nystrom { rn_factors; rn_info } -> (
+    let chols =
+      try
+        Ok
+          (Array.mapi
+             (fun p f ->
+               match whiten_nystrom ~eps ~view:p f with
+               | Ok g -> g
+               | Error e -> raise (Robust.Error e))
+             rn_factors)
+      with Robust.Error e -> Error e
+    in
+    match chols with
+    | Error e -> Error e
+    | Ok chols ->
+      (* With b = Fᵀa and M = FᵀF + εI = GGᵀ, setting c = Gᵀb turns the
+         objective into the CP fit of S = (1/N) Σₙ ∘ₚ (Gₚ⁻¹ fₚₙ) over the
+         rows fₚₙ of Fₚ: factors Zₚ = Gₚ⁻¹Fₚᵀ, ℓₚ × N.  The operator lives
+         entirely in ℓ-space, so it materializes to the tiny dense ∏ℓₚ
+         tensor by default — that is where ALS is cheapest. *)
+      let n = fst (Mat.dims rn_factors.(0)) in
+      let inv_lowers = Array.map Cholesky.inverse_lower chols in
+      let factors =
+        Array.map2 (fun il f -> Mat.mul il (Mat.transpose f)) inv_lowers rn_factors
+      in
+      let op = Op_tensor.factored ~weight:(1. /. float_of_int n) factors in
+      let ldims = Array.map (fun z -> fst (Mat.dims z)) factors in
+      let dense =
+        match materialize with
+        | Some b -> b
+        | None ->
+          Array.fold_left (fun acc d -> acc *. float_of_int d) 1. ldims
+          <= float_of_int Tcca.materialize_threshold
+      in
+      let op = if dense then Op_tensor.dense (Op_tensor.to_tensor op) else op in
+      if not (Op_tensor.all_finite op) then
+        Error
+          (Robust.Non_finite { stage = "ktcca.prepare"; where = "whitened kernel operator" })
+      else
+        Ok
+          { p_rep = Nystrom_rep { ny_factors = rn_factors; ny_chols = chols; ny_info = rn_info };
+            p_op = op;
+            p_raw_col_means = raw.raw_cms;
+            p_raw_total_means = raw.raw_tms;
+            p_centered = raw.raw_centered })
 
-let prepare_of_raw ~eps raw =
-  match prepare_of_raw_checked ~eps raw with Ok p -> p | Error e -> Robust.fail e
+let prepare_of_raw ?materialize ~eps raw =
+  match prepare_of_raw_checked ?materialize ~eps raw with
+  | Ok p -> p
+  | Error e -> Robust.fail e
 
-let prepare ?(eps = 1e-4) ?center ?materialize kernels_raw =
-  prepare_of_raw ~eps (prepare_raw ?center ?materialize kernels_raw)
+let prepare ?(eps = 1e-4) ?center ?materialize ?approx kernels_raw =
+  prepare_of_raw ?materialize ~eps (prepare_raw ?center ?materialize ?approx kernels_raw)
 
-let prepare_checked ?(eps = 1e-4) ?center ?materialize kernels_raw =
-  prepare_of_raw_checked ~eps (prepare_raw ?center ?materialize kernels_raw)
+let prepare_checked ?(eps = 1e-4) ?center ?materialize ?approx kernels_raw =
+  match prepare_raw_checked ?center ?materialize ?approx kernels_raw with
+  | Error e -> Error e
+  | Ok raw -> prepare_of_raw_checked ?materialize ~eps raw
+
+let prepare_oracles_checked ?(eps = 1e-4) ?center ?materialize ~approx oracles =
+  match prepare_raw_oracles_checked ?center ~approx oracles with
+  | Error e -> Error e
+  | Ok raw -> prepare_of_raw_checked ?materialize ~eps raw
+
+let prepare_oracles ?eps ?center ?materialize ~approx oracles =
+  match prepare_oracles_checked ?eps ?center ?materialize ~approx oracles with
+  | Ok p -> p
+  | Error e -> Robust.fail e
 
 let fit_prepared_checked ?(solver = Tcca.default_solver) ?budget ?checkpoint ~r prepared =
   if r < 1 then invalid_arg "Ktcca.fit_prepared: r must be >= 1";
-  let n = Op_tensor.dim prepared.p_op 0 in
-  let r = min r n in
+  let r = Array.fold_left min r (Op_tensor.dims prepared.p_op) in
   (match (checkpoint, solver) with
-  | Some cfg, (Tcca.Rand_als _ | Tcca.Power_deflation) ->
+  | Some cfg, (Tcca.Sampled_als _ | Tcca.Power_deflation) ->
     Robust.warnf "Ktcca.fit: checkpointing (%s) only supported by the Als solver — ignored"
       cfg.Checkpoint.path
   | _ -> ());
@@ -176,7 +371,12 @@ let fit_prepared_checked ?(solver = Tcca.default_solver) ?budget ?checkpoint ~r 
     match prepared.p_op with
     | Op_tensor.Dense t -> t
     | Op_tensor.Factored _ ->
-      let entries = float_of_int n ** float_of_int (Op_tensor.order prepared.p_op) in
+      let entries =
+        Array.fold_left
+          (fun acc d -> acc *. float_of_int d)
+          1.
+          (Op_tensor.dims prepared.p_op)
+      in
       if entries > 1e8 then
         invalid_arg
           (Printf.sprintf
@@ -191,10 +391,10 @@ let fit_prepared_checked ?(solver = Tcca.default_solver) ?budget ?checkpoint ~r 
       let k, info = Cp_als.decompose_op ~options ?budget ?checkpoint ~rank:r prepared.p_op in
       note_deadline info.Cp_als.deadline;
       (match info.Cp_als.failure with Some f -> Error f | None -> Ok k)
-    | Tcca.Rand_als options ->
-      let k, info = Cp_rand.decompose ~options ?budget ~rank:r (dense_tensor ()) in
+    | Tcca.Sampled_als options -> (
+      let k, info = Cp_rand.decompose_op ~options ?budget ~rank:r prepared.p_op in
       note_deadline info.Cp_rand.deadline;
-      Ok k
+      match info.Cp_rand.failure with Some f -> Error f | None -> Ok k)
     | Tcca.Power_deflation ->
       let k, deadline = Tensor_power.decompose ?budget ~rank:r (dense_tensor ()) in
       note_deadline deadline;
@@ -202,45 +402,98 @@ let fit_prepared_checked ?(solver = Tcca.default_solver) ?budget ?checkpoint ~r 
   in
   match solved with
   | Error e -> Error e
-  | Ok kruskal ->
-    (* aₚ = Lₚ⁻¹ Bₚ = Gₚ⁻ᵀ Bₚ. *)
-    let duals =
-      Array.map2 (fun chol b -> Cholesky.solve_lower_transpose chol b) prepared.p_chols
-        kruskal.Kruskal.factors
-    in
-    if
-      not (Array.for_all Mat.all_finite duals && Vec.all_finite kruskal.Kruskal.weights)
-    then Error (Robust.Non_finite { stage = "ktcca.fit"; where = "dual weights" })
-    else
-      Ok
-        { duals;
-          kernels = prepared.p_kernels;
-          raw_col_means = prepared.p_raw_col_means;
-          raw_total_means = prepared.p_raw_total_means;
-          centered = prepared.p_centered;
-          correlations = kruskal.Kruskal.weights }
+  | Ok kruskal -> (
+    match prepared.p_rep with
+    | Exact_rep { e_kernels; e_chols } ->
+      (* aₚ = Lₚ⁻¹ Bₚ = Gₚ⁻ᵀ Bₚ. *)
+      let duals =
+        Array.map2
+          (fun chol b -> Cholesky.solve_lower_transpose chol b)
+          e_chols kruskal.Kruskal.factors
+      in
+      if not (Array.for_all Mat.all_finite duals && Vec.all_finite kruskal.Kruskal.weights)
+      then Error (Robust.Non_finite { stage = "ktcca.fit"; where = "dual weights" })
+      else
+        Ok
+          { duals;
+            train_rep = Train_gram e_kernels;
+            raw_col_means = prepared.p_raw_col_means;
+            raw_total_means = prepared.p_raw_total_means;
+            centered = prepared.p_centered;
+            correlations = kruskal.Kruskal.weights;
+            t_sketch = None }
+    | Nystrom_rep { ny_factors; ny_chols; ny_info } -> (
+      (* Back-substitution in ℓ-space: Bₚ = Gₚ⁻ᵀCₚ, then the least-norm dual
+         with FₚᵀAₚ = Bₚ is Aₚ = Fₚ(FₚᵀFₚ + δI)⁻¹Bₚ; the train embedding
+         K̂ₚAₚ = FₚBₚ never touches an N×N matrix. *)
+      try
+        let blocks = Array.make (Array.length ny_factors) (Mat.create 0 0) in
+        let duals =
+          Array.init (Array.length ny_factors) (fun p ->
+              let b = Cholesky.solve_lower_transpose ny_chols.(p) kruskal.Kruskal.factors.(p) in
+              blocks.(p) <- Mat.mul ny_factors.(p) b;
+              let stage = Printf.sprintf "ktcca.duals view %d" p in
+              match Cholesky.decompose_jittered ~stage (Mat.tgram ny_factors.(p)) with
+              | Error e -> raise (Robust.Error e)
+              | Ok (chol, _) ->
+                Mat.mul ny_factors.(p) (Cholesky.solve chol b))
+        in
+        if
+          not
+            (Array.for_all Mat.all_finite duals
+            && Array.for_all Mat.all_finite blocks
+            && Vec.all_finite kruskal.Kruskal.weights)
+        then Error (Robust.Non_finite { stage = "ktcca.fit"; where = "dual weights" })
+        else
+          Ok
+            { duals;
+              train_rep = Train_factor blocks;
+              raw_col_means = prepared.p_raw_col_means;
+              raw_total_means = prepared.p_raw_total_means;
+              centered = prepared.p_centered;
+              correlations = kruskal.Kruskal.weights;
+              t_sketch = Some ny_info }
+      with Robust.Error e -> Error e))
 
 let fit_prepared ?solver ?budget ?checkpoint ~r prepared =
   match fit_prepared_checked ?solver ?budget ?checkpoint ~r prepared with
   | Ok t -> t
   | Error e -> Robust.fail e
 
-let fit_checked ?(eps = 1e-4) ?center ?materialize ?solver ?budget ?checkpoint ~r
+let fit_checked ?(eps = 1e-4) ?center ?materialize ?approx ?solver ?budget ?checkpoint ~r
     kernels_raw =
-  match prepare_checked ~eps ?center ?materialize kernels_raw with
+  match prepare_checked ~eps ?center ?materialize ?approx kernels_raw with
   | Error e -> Error e
   | Ok prepared -> fit_prepared_checked ?solver ?budget ?checkpoint ~r prepared
 
-let fit ?eps ?center ?materialize ?solver ?budget ?checkpoint ~r kernels_raw =
-  fit_prepared ?solver ?budget ?checkpoint ~r (prepare ?eps ?center ?materialize kernels_raw)
+let fit ?eps ?center ?materialize ?approx ?solver ?budget ?checkpoint ~r kernels_raw =
+  fit_prepared ?solver ?budget ?checkpoint ~r
+    (prepare ?eps ?center ?materialize ?approx kernels_raw)
+
+let fit_oracles_checked ?eps ?center ?materialize ~approx ?solver ?budget ?checkpoint ~r
+    oracles =
+  match prepare_oracles_checked ?eps ?center ?materialize ~approx oracles with
+  | Error e -> Error e
+  | Ok prepared -> fit_prepared_checked ?solver ?budget ?checkpoint ~r prepared
+
+let fit_oracles ?eps ?center ?materialize ~approx ?solver ?budget ?checkpoint ~r oracles =
+  match fit_oracles_checked ?eps ?center ?materialize ~approx ?solver ?budget ?checkpoint ~r
+          oracles
+  with
+  | Ok t -> t
+  | Error e -> Robust.fail e
 
 let r t = Array.length t.correlations
 let n_views t = Array.length t.duals
 let correlations t = Array.copy t.correlations
 
 let transform_train t =
-  Mat.vcat_list
-    (Array.to_list (Array.map2 (fun a k -> Mat.mul_tn a k) t.duals t.kernels))
+  match t.train_rep with
+  | Train_gram kernels ->
+    Mat.vcat_list
+      (Array.to_list (Array.map2 (fun a k -> Mat.mul_tn a k) t.duals kernels))
+  | Train_factor blocks ->
+    Mat.vcat_list (Array.to_list (Array.map Mat.transpose blocks))
 
 let transform t crosses =
   if Array.length crosses <> n_views t then invalid_arg "Ktcca.transform: view count mismatch";

@@ -14,18 +14,38 @@
     so the default ALS path keeps it as an [Op_tensor.Factored] operator with
     factors [Gₚ⁻¹ Kₚ] — O(m·N²) memory and O(N²·m·r) per sweep — and the
     [max_instances] guard applies only when the dense tensor is actually
-    materialized ([~materialize:true] or small Nᵐ). *)
+    materialized ([~materialize:true] or small Nᵐ).
+
+    {b Sketched scaling path.}  With [~approx:(`Nystrom …)] (see {!approx})
+    each kernel is replaced by its Nyström approximation [K̂ₚ = FₚFₚᵀ] from a
+    rank-revealing pivoted partial Cholesky ({!Pchol}) that consumes kernel
+    columns on demand — the N×N Gram is {e never} materialized on this path,
+    so N = 20 000 instances fit in seconds with O(N·ℓ) memory.  All algebra
+    downstream is exact on [K̂]: whitening, the CP solve and the training
+    embedding live in ℓₚ-space; only the dual weights (N×r) and the factors
+    (N×ℓₚ) touch N. *)
+
+type approx = Exact | Nystrom of { rank : int; tol : float }
+(** [Exact] is the historical path (bit-identical).  [Nystrom] caps the
+    partial Cholesky at [rank] columns and stops early once the residual
+    kernel trace falls below [tol]·trace (see {!Pchol.decompose}). *)
+
+type sketch_info = {
+  achieved_ranks : int array;    (** Nyström rank ℓₚ reached per view. *)
+  trace_residuals : float array; (** Relative residual tr(K−K̂)/tr(K). *)
+}
 
 type t
 
 val max_instances : int
 (** Guard against accidentally materializing an Nᵐ tensor that cannot fit
-    (default 600 for three views ≈ 1.7 GB).  Dense path only. *)
+    (default 600 for three views ≈ 1.7 GB).  Dense exact path only. *)
 
 val fit :
   ?eps:float ->
   ?center:bool ->
   ?materialize:bool ->
+  ?approx:approx ->
   ?solver:Tcca.solver ->
   ?budget:Budget.t ->
   ?checkpoint:Checkpoint.config ->
@@ -35,17 +55,48 @@ val fit :
 (** [fit ~eps ~r kernels] on training Gram matrices (one per view).
     [center] (default true) double-centers each kernel.  [eps] defaults to
     1e-4.  [materialize] mirrors {!Tcca.fit}: dense iff Nᵐ ≤
-    [Tcca.materialize_threshold] by default; [Rand_als] and
-    [Power_deflation] require the dense tensor.  [budget] and [checkpoint]
-    also mirror {!Tcca.fit}: a budget-expired solve returns its best-so-far
-    model (warning logged, not an error), and checkpoint/resume (Als solver
-    only) makes the dual-weight fit crash-safe with bit-identical resume. *)
+    [Tcca.materialize_threshold] by default ([Power_deflation] requires the
+    dense tensor); on the Nyström path it controls the ∏ℓₚ tensor instead.
+    [approx] selects the sketched path — the supplied Grams are then only
+    read column-by-column through {!Pchol.oracle_of_mat} (use
+    {!fit_oracles} to avoid forming them at all).  [budget] and
+    [checkpoint] mirror {!Tcca.fit}: a budget-expired solve returns its
+    best-so-far model (warning logged, not an error), and checkpoint/resume
+    (Als solver only) makes the dual-weight fit crash-safe with
+    bit-identical resume. *)
+
+val fit_oracles :
+  ?eps:float ->
+  ?center:bool ->
+  ?materialize:bool ->
+  approx:approx ->
+  ?solver:Tcca.solver ->
+  ?budget:Budget.t ->
+  ?checkpoint:Checkpoint.config ->
+  r:int ->
+  Pchol.oracle array ->
+  t
+(** The large-N entry point: one kernel column/diagonal oracle per view
+    (e.g. {!Kernel.oracle}); nothing N×N is ever allocated.  [approx] must
+    be [Nystrom] (raises [Invalid_argument] on [Exact]). *)
 
 type prepared
-(** Centered kernels, Cholesky factors and the whitened operator [S], frozen
-    so several ranks can be decomposed without re-materializing [S]. *)
+(** Whitened statistics and the operator [S], frozen so several ranks can be
+    decomposed without re-materializing [S].  Exact path: centered kernels +
+    Cholesky factors.  Nyström path: centered factors Fₚ + ℓ-space Cholesky
+    factors. *)
 
-val prepare : ?eps:float -> ?center:bool -> ?materialize:bool -> Mat.t array -> prepared
+val prepare :
+  ?eps:float -> ?center:bool -> ?materialize:bool -> ?approx:approx -> Mat.t array ->
+  prepared
+
+val prepare_oracles :
+  ?eps:float ->
+  ?center:bool ->
+  ?materialize:bool ->
+  approx:approx ->
+  Pchol.oracle array ->
+  prepared
 
 val fit_prepared :
   ?solver:Tcca.solver ->
@@ -62,16 +113,27 @@ val fit_prepared :
     exactly those cases and are otherwise bit-for-bit identical.  The
     whitening step composes two ladders: [Cholesky.decompose_jittered]'s
     diagonal-jitter retries, then geometric ε-escalation (ε·10ᵏ, up to 4
-    attempts) of the PLS target [K² + εK]; a target that stays indefinite
-    surfaces as [Not_positive_definite] with the failing pivot and the
-    largest jitter tried.  NaN/Inf are caught on the whitened operator and
-    the dual weights; ALS failures restart inside [Cp_als] first. *)
+    attempts) of the PLS target [K² + εK] (exact) or [FᵀF + εI] (Nyström);
+    a target that stays indefinite surfaces as [Not_positive_definite] with
+    the failing pivot and the largest jitter tried.  The partial Cholesky
+    itself reports a non-PSD kernel oracle the same way.  NaN/Inf are caught
+    on the whitened operator and the dual weights; ALS failures restart
+    inside [Cp_als] first. *)
 
 val prepare_checked :
   ?eps:float ->
   ?center:bool ->
   ?materialize:bool ->
+  ?approx:approx ->
   Mat.t array ->
+  (prepared, Robust.failure) result
+
+val prepare_oracles_checked :
+  ?eps:float ->
+  ?center:bool ->
+  ?materialize:bool ->
+  approx:approx ->
+  Pchol.oracle array ->
   (prepared, Robust.failure) result
 
 val fit_prepared_checked :
@@ -86,6 +148,7 @@ val fit_checked :
   ?eps:float ->
   ?center:bool ->
   ?materialize:bool ->
+  ?approx:approx ->
   ?solver:Tcca.solver ->
   ?budget:Budget.t ->
   ?checkpoint:Checkpoint.config ->
@@ -93,17 +156,52 @@ val fit_checked :
   Mat.t array ->
   (t, Robust.failure) result
 
+val fit_oracles_checked :
+  ?eps:float ->
+  ?center:bool ->
+  ?materialize:bool ->
+  approx:approx ->
+  ?solver:Tcca.solver ->
+  ?budget:Budget.t ->
+  ?checkpoint:Checkpoint.config ->
+  r:int ->
+  Pchol.oracle array ->
+  (t, Robust.failure) result
+
 val materialized : prepared -> bool
-(** Whether the prepared operator is the dense Nᵐ tensor. *)
+(** Whether the prepared operator is a dense tensor (Nᵐ on the exact path,
+    ∏ℓₚ on the Nyström path). *)
+
+val sketch_info : prepared -> sketch_info option
+(** Nyström diagnostics — achieved ranks and relative trace residuals;
+    [None] on the exact path. *)
+
+val model_sketch_info : t -> sketch_info option
+(** Same diagnostics carried on the fitted model. *)
 
 type raw
 (** The ε-independent work — centered kernels and (dense path only) the Nᵐ
-    kernel covariance tensor — shared by an ε-validation loop (the paper
-    optimizes ε over {10ⁱ} for the kernel experiments). *)
+    kernel covariance tensor, or on the Nyström path the centered partial
+    Cholesky factors — shared by an ε-validation loop (the paper optimizes ε
+    over {10ⁱ} for the kernel experiments).  The partial Cholesky runs once
+    per raw, not once per ε. *)
 
-val prepare_raw : ?center:bool -> ?materialize:bool -> Mat.t array -> raw
-val prepare_of_raw : eps:float -> raw -> prepared
-val prepare_of_raw_checked : eps:float -> raw -> (prepared, Robust.failure) result
+val prepare_raw :
+  ?center:bool -> ?materialize:bool -> ?approx:approx -> Mat.t array -> raw
+
+val prepare_raw_checked :
+  ?center:bool -> ?materialize:bool -> ?approx:approx -> Mat.t array ->
+  (raw, Robust.failure) result
+
+val prepare_raw_oracles : ?center:bool -> approx:approx -> Pchol.oracle array -> raw
+
+val prepare_raw_oracles_checked :
+  ?center:bool -> approx:approx -> Pchol.oracle array -> (raw, Robust.failure) result
+
+val prepare_of_raw : ?materialize:bool -> eps:float -> raw -> prepared
+
+val prepare_of_raw_checked :
+  ?materialize:bool -> eps:float -> raw -> (prepared, Robust.failure) result
 
 val r : t -> int
 val n_views : t -> int
@@ -111,11 +209,14 @@ val correlations : t -> Vec.t
 
 val transform_train : t -> Mat.t
 (** [(m·r) × N] concatenated training embedding [Zₚ = Kₚₚ Lₚ⁻¹ Bₚ]
-    (Eq. 4.16). *)
+    (Eq. 4.16); on the Nyström path [Zₚ = (FₚBₚ)ᵀ = (K̂ₚAₚ)ᵀ]. *)
 
 val transform : t -> Mat.t array -> Mat.t
 (** Embed new instances from their cross-kernel columns
-    ([N_train × N_new] per view, un-centered). *)
+    ([N_train × N_new] per view, un-centered).  On the Nyström path the
+    training column means used for centering are the approximation's
+    [K̂1/N]. *)
 
 val dual_weights : t -> Mat.t array
-(** Per-view [N × r] dual coefficients [aₚ = Lₚ⁻¹Bₚ]. *)
+(** Per-view [N × r] dual coefficients [aₚ = Lₚ⁻¹Bₚ]; on the Nyström path
+    the least-norm solution [Aₚ = Fₚ(FₚᵀFₚ+δI)⁻¹Bₚ] of [FₚᵀAₚ = Bₚ]. *)

@@ -15,17 +15,34 @@
 
 type solver =
   | Als of Cp_als.options     (** The paper's choice (Sec. 4.3). *)
-  | Rand_als of Cp_rand.options
-      (** Sampled-least-squares ALS — the paper's future-work speedup. *)
+  | Sampled_als of Cp_rand.options
+      (** Sampled-least-squares ALS (CPRAND) — first-class: runs directly on
+          the prepared operator (dense or factored, nothing is materialized),
+          honors [budget] deadlines like [Als], and turns the
+          [Cp_rand.options.min_fit] accuracy gate into a typed
+          [Not_converged] failure. *)
   | Power_deflation           (** Greedy rank-1 deflation (Allen 2012). *)
 
 val default_solver : solver
+
+type whiten = [ `Auto | `Eig | `Randomized of int ]
+(** Whitener construction.  [`Eig] is the exact route (covariance + symmetric
+    eig ladder).  [`Randomized k] sketches the top-[k] covariance eigenpairs
+    with {!Svd.randomized} straight from the centered view — O(dₚ·N·k)
+    instead of O(dₚ²·N + dₚ³) — and flattens the unexplored tail onto the
+    identity mass [ρμ + ε]; it needs the retained centered views (factored
+    path) and a data-independent shrinkage ([`None]/[`Fixed]), degrading to
+    [`Eig] with a warning otherwise.  [`Auto] (default) picks the sketch
+    (rank 256) per view for tall views ([dₚ ≥ 512]) and stays bit-identical
+    to [`Eig] below the threshold. *)
 
 type t
 
 val fit :
   ?eps:float ->
   ?materialize:bool ->
+  ?shrinkage:Shrink.t ->
+  ?whiten:whiten ->
   ?solver:solver ->
   ?budget:Budget.t ->
   ?checkpoint:Checkpoint.config ->
@@ -40,13 +57,21 @@ val fit :
     a numerically degraded fit never comes back as a silent NaN model.
 
     [materialize] selects the covariance-tensor representation:
-    [Some true] builds the dense ∏dₚ tensor (required by the [Rand_als] and
-    [Power_deflation] solvers), [Some false] keeps it implicit as the rank-N
+    [Some true] builds the dense ∏dₚ tensor (required by the
+    [Power_deflation] solver), [Some false] keeps it implicit as the rank-N
     factored operator [M = (1/N) Σᵢ ∘ₚ (C̃ₚₚ^{−1/2} x̄ₚᵢ)] — O(N·Σdₚ) memory
     and O(N·Σdₚ·r) per ALS sweep, which is what makes many-view shapes
     (e.g. 5 views at dₚ = 40 ≈ 10⁸ dense entries) fit at all.  The default
     picks dense iff ∏dₚ ≤ [materialize_threshold].  Both paths compute the
     same M; projections agree to solver roundoff.
+
+    [shrinkage] (default [`None], bit-identical to the historical ridge-only
+    path) replaces the whitening ladder's first rung: each per-view
+    covariance is conditioned with {!Shrink.apply}
+    ([(1−ρ)C + ρμI], ρ from Ledoit–Wolf, OAS or fixed) {e before} the
+    [ε·10ᵏ] ridge ladder, so the ladder only escalates on top of an already
+    well-conditioned target.  [whiten] picks the whitener construction —
+    see {!type:whiten}.
 
     {b Long-running fits}: [budget] bounds the solve — it is probed once per
     ALS/power sweep, and on expiry the fit returns its {e best-so-far} model
@@ -71,7 +96,9 @@ type prepared
     sweeps cheap: everything up to the CP decomposition is rank-independent
     (Sec. 4.5). *)
 
-val prepare : ?eps:float -> ?materialize:bool -> Mat.t array -> prepared
+val prepare :
+  ?eps:float -> ?materialize:bool -> ?shrinkage:Shrink.t -> ?whiten:whiten -> Mat.t array ->
+  prepared
 
 val fit_prepared :
   ?solver:solver -> ?budget:Budget.t -> ?checkpoint:Checkpoint.config -> r:int -> prepared -> t
@@ -92,7 +119,8 @@ val fit_prepared :
     exhausted.  Recovered events land in [Robust.recent_warnings]. *)
 
 val prepare_checked :
-  ?eps:float -> ?materialize:bool -> Mat.t array -> (prepared, Robust.failure) result
+  ?eps:float -> ?materialize:bool -> ?shrinkage:Shrink.t -> ?whiten:whiten -> Mat.t array ->
+  (prepared, Robust.failure) result
 
 val fit_prepared_checked :
   ?solver:solver ->
@@ -105,6 +133,8 @@ val fit_prepared_checked :
 val fit_checked :
   ?eps:float ->
   ?materialize:bool ->
+  ?shrinkage:Shrink.t ->
+  ?whiten:whiten ->
   ?solver:solver ->
   ?budget:Budget.t ->
   ?checkpoint:Checkpoint.config ->
@@ -116,15 +146,21 @@ val materialized : prepared -> bool
 (** Whether the prepared operator is the dense tensor (exposed so tests and
     benches can pin which path the heuristic chose). *)
 
+val shrinkage_intensities : prepared -> float array
+(** Per-view shrinkage intensity ρ actually applied while whitening —
+    all zeros without [shrinkage]. *)
+
 type raw
 (** Only the ε-independent work: means, per-view covariance matrices and the
     covariance statistics (dense tensor or retained centered views).  Lets an
     ε-validation loop (the paper tunes ε over {10ⁱ} for the image
     experiments) reuse the single accumulation pass. *)
 
-val prepare_raw : ?materialize:bool -> Mat.t array -> raw
-val prepare_of_raw : eps:float -> raw -> prepared
-val prepare_of_raw_checked : eps:float -> raw -> (prepared, Robust.failure) result
+val prepare_raw : ?materialize:bool -> ?shrinkage:Shrink.t -> Mat.t array -> raw
+val prepare_of_raw : ?whiten:whiten -> eps:float -> raw -> prepared
+
+val prepare_of_raw_checked :
+  ?whiten:whiten -> eps:float -> raw -> (prepared, Robust.failure) result
 
 val r : t -> int
 val n_views : t -> int
@@ -178,10 +214,12 @@ module Builder : sig
   val count : t -> int
   (** Instances absorbed so far. *)
 
-  val finalize : t -> raw
+  val finalize : ?shrinkage:Shrink.t -> t -> raw
   (** Centered statistics of everything absorbed; raises [Invalid_argument]
       if no instances were added.  The builder stays usable (more batches
-      can follow and [finalize] can be called again). *)
+      can follow and [finalize] can be called again).  [shrinkage] as in
+      {!Tcca.fit}; the builder never retains instances, so [`Lw] degrades
+      to [`Oas] with a warning. *)
 end
 
 val whitened_tensor : ?eps:float -> Mat.t array -> Tensor.t

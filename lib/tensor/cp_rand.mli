@@ -21,6 +21,11 @@ type options = {
       (** LS sample count; [None] picks [max 64 (10·r·⌈ln(r+1)⌉)]. *)
   fit_samples : int;          (** Entries sampled to estimate the fit
                                   (default 4096). *)
+  min_fit : float option;
+      (** Accuracy gate: a final sampled fit below this surfaces as
+          [info.failure = Some Not_converged] — the first-class solver
+          contract that a sampled solve never silently ships a bad model.
+          [None] (default) keeps the historical always-[Ok] behavior. *)
   seed : int;
 }
 
@@ -30,6 +35,11 @@ type info = {
   iterations : int;
   sampled_fit : float;  (** Final fit estimate from sampled entries. *)
   converged : bool;
+  failure : Robust.failure option;
+      (** [Some (Not_converged _)] when the [min_fit] accuracy gate rejected
+          the model (residual = 1 − sampled fit).  Budget-expired solves are
+          exempt: best-so-far with the deadline diagnostic is the
+          documented degradation, not an error. *)
   deadline : Robust.failure option;
       (** [Some (Deadline_exceeded _)] when a budget stopped the solve at a
           sweep boundary; the model is the best-so-far state. *)
@@ -39,3 +49,13 @@ val decompose :
   ?options:options -> ?budget:Budget.t -> rank:int -> Tensor.t -> Kruskal.t * info
 (** Factors are initialized as in {!Cp_als} (HOSVD-style); raises
     [Invalid_argument] if [rank < 1].  [budget] is probed once per sweep. *)
+
+val decompose_op :
+  ?options:options -> ?budget:Budget.t -> rank:int -> Op_tensor.t -> Kruskal.t * info
+(** Same solver over a first-class operator — [Dense] is bit-identical to
+    {!decompose}; [Factored] samples the implicit tensor directly (an entry
+    costs O(n·m), a mode-k fiber O(n·(m + dₖ)) where n is the component
+    count), so nothing of size ∏dₚ is ever materialized.  The factored path
+    initializes factors from the seeded Gaussian stream instead of HOSVD —
+    the mode Grams HOSVD needs would cost an n×n Hadamard product, which is
+    exactly the allocation this path exists to avoid. *)

@@ -197,9 +197,19 @@ let mode_gram op k =
 let to_tensor = function
   | Dense x -> x
   | Factored { weight; factors } ->
+    (* Same slab pattern as Tcca.covariance_tensor: mode 0 is sliced into
+       chunks, each chunk owns its slab exclusively and replays all n
+       components in order, so every cell accumulates its n rank-1
+       contributions in the exact sequential order — bitwise identical to
+       the sequential loop at any pool size.  This is the Nyström hot path
+       (O(n·∏dₚ) scalar FMAs for the dense ℓ-space tensor), so it must
+       actually ride the pool. *)
     let n = snd (Mat.dims factors.(0)) in
-    let out = Tensor.create (Array.map (fun z -> fst (Mat.dims z)) factors) in
-    for i = 0 to n - 1 do
-      Tensor.add_outer_in_place out weight (Array.map (fun z -> Mat.col z i) factors)
-    done;
+    let dims = Array.map (fun z -> fst (Mat.dims z)) factors in
+    let out = Tensor.create dims in
+    let cols = Array.init n (fun i -> Array.map (fun z -> Mat.col z i) factors) in
+    Parallel.parallel_for ~cost:(n * Tensor.size out) ~n:dims.(0) (fun lo hi ->
+        for i = 0 to n - 1 do
+          Tensor.add_outer_slab_in_place out weight cols.(i) ~lo ~hi
+        done);
     out

@@ -14,21 +14,23 @@
    a regression by deletion; refresh BENCH_baseline.json to clear either.
    CI runs the gate at 1.15.
 
-   [--min-ns NS] (default 1e5) is a noise floor: kernels where both sides
-   run under NS nanoseconds are printed but excluded from the ratio gate —
-   a sub-100µs micro (a flag probe, a tiny load) jitters by whole multiples
-   on shared runners, and a 1.15× gate on a 40 ns measurement is a coin
-   flip, not a regression check.  New/missing kernels still gate regardless
-   of their magnitude.  Set --min-ns 0 to gate everything.
+   [--min-ns NS] (default 1e5) is a noise floor: kernels that run under NS
+   nanoseconds are printed but excluded from the gate — a sub-100µs micro
+   (a flag probe, a tiny load) jitters by whole multiples on shared runners,
+   and a 1.15× gate on a 40 ns measurement is a coin flip, not a regression
+   check.  The floor applies uniformly, including to new and missing
+   kernels: a new sub-floor micro is report-only rather than an instant
+   gate failure.  Set --min-ns 0 to gate everything.
 
    Escape hatch for known-noisy or intentionally-slower changes: set
    TCCA_BENCH_NO_GATE to any non-empty value other than "0" (the CI
    workflow sets it when the PR carries the `bench-no-gate` label) and the
    comparison reverts to report-only.
 
-   The parser is a hand-rolled scanner for the fixed schema — names are
-   plain ASCII written with %S and the structure is one result object per
-   line — so no JSON library is needed. *)
+   The parsing and gating logic lives in Bench_compare_core so the
+   new/missing/sub-floor interaction is unit-tested. *)
+
+open Bench_compare_core
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
 
@@ -41,75 +43,10 @@ let read_file path =
     s
   with Sys_error e -> die "bench_compare: %s" e
 
-(* Start index of the next occurrence of [pat] at or after [from]. *)
-let find_pat s pat from =
-  let rec search i =
-    if i + String.length pat > String.length s then None
-    else if String.sub s i (String.length pat) = pat then Some i
-    else search (i + 1)
-  in
-  search from
-
-(* Extract the string value following [key] at or after [from]; None if the
-   key does not occur again. *)
-let find_string s key from =
-  match find_pat s (Printf.sprintf "\"%s\": \"" key) from with
-  | None -> None
-  | Some i ->
-    let start = i + String.length key + 5 in
-    let stop = String.index_from s start '"' in
-    Some (String.sub s start (stop - start), stop)
-
-(* Numeric value of [key] at or after [from], but only if the key occurs
-   before [limit] — callers pass the start of the next record so an
-   optional field (absent in schema /1) is never read from a later record. *)
-let find_number ?(limit = max_int) s key from =
-  let pat = Printf.sprintf "\"%s\": " key in
-  match find_pat s pat from with
-  | Some i when i < limit ->
-    let start = i + String.length pat in
-    let stop = ref start in
-    while
-      !stop < String.length s
-      && (match s.[!stop] with
-         | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
-         | 'n' | 'u' | 'l' -> true (* "null" *)
-         | _ -> false)
-    do
-      incr stop
-    done;
-    let tok = String.sub s start (!stop - start) in
-    Some ((if tok = "null" then nan else float_of_string tok), !stop)
-  | _ -> None
-
-(* (name, ns_per_run, gflops) list, in file order; gflops is NaN when the
-   record has no finite value (schema /1, or a kernel with no flop count). *)
 let parse path =
-  let s = read_file path in
-  (match find_string s "schema" 0 with
-  | Some (("tcca-bench/1" | "tcca-bench/2"), _) -> ()
-  | Some (other, _) -> die "%s: unknown schema %S (want tcca-bench/1 or /2)" path other
-  | None -> die "%s: no schema field — not a bench artifact?" path);
-  let rec collect acc from =
-    match find_string s "name" from with
-    | None -> List.rev acc
-    | Some (name, after_name) ->
-      (match find_number s "ns_per_run" after_name with
-      | None -> List.rev acc
-      | Some (ns, after_ns) ->
-        let next_record =
-          match find_pat s "\"name\": \"" after_ns with
-          | Some i -> i
-          | None -> String.length s
-        in
-        let gf =
-          match find_number ~limit:next_record s "gflops" after_ns with
-          | Some (g, _) -> g
-          | None -> nan
-        in
-        collect ((name, ns, gf) :: acc) after_ns)
-  in
-  collect [] 0
+  match parse_string ~path (read_file path) with
+  | Ok entries -> entries
+  | Error msg -> die "%s" msg
 
 let pretty ns =
   if Float.is_nan ns then "n/a"
@@ -170,77 +107,45 @@ let () =
     | _ -> fail_above
   in
   let base = parse base_path and cur = parse cur_path in
-  let base_assoc = List.map (fun (n, ns, gf) -> (n, (ns, gf))) base in
+  let v = compare_runs ~min_ns base cur in
   Printf.printf "bench_compare: %s (baseline) vs %s\n" base_path cur_path;
   Printf.printf "%-32s %12s %12s %8s\n" "kernel" "baseline" "current" "ratio";
-  let worst = ref ("", 0.) in
-  let compared = ref 0 and floored = ref 0 in
-  (* Kernels present on only one side can't be ratio-checked, so under a gate
-     they are failures in their own right: a new kernel would otherwise ship
-     unguarded, and a vanished one would hide a regression by deletion. *)
-  let fresh = ref [] and missing = ref [] in
   List.iter
-    (fun (name, cur_ns, cur_gf) ->
-      match List.assoc_opt name base_assoc with
-      | None ->
-        fresh := name :: !fresh;
-        Printf.printf "%-32s %12s %12s %8s%s\n" name "-" (pretty cur_ns) "new"
-          (pretty_gflops nan cur_gf)
-      | Some (base_ns, base_gf)
-        when Float.is_nan base_ns || Float.is_nan cur_ns || base_ns <= 0. ->
-        Printf.printf "%-32s %12s %12s %8s%s\n" name (pretty base_ns) (pretty cur_ns) "n/a"
-          (pretty_gflops base_gf cur_gf)
-      | Some (base_ns, base_gf) ->
-        let ratio = cur_ns /. base_ns in
-        let gated = Float.max base_ns cur_ns >= min_ns in
-        if gated then begin
-          incr compared;
-          if ratio > snd !worst then worst := (name, ratio)
-        end
-        else incr floored;
-        Printf.printf "%-32s %12s %12s %7.2fx%s%s\n" name (pretty base_ns) (pretty cur_ns)
-          ratio
-          (if not gated then "  (sub-floor, report-only)"
-           else if ratio > 1.5 then "  <-- slower"
+    (fun r ->
+      if Float.is_nan r.r_base_ns && not (Float.is_nan r.r_cur_ns) then
+        Printf.printf "%-32s %12s %12s %8s%s%s\n" r.r_name "-" (pretty r.r_cur_ns) "new"
+          (if r.r_gated then "" else "  (sub-floor, report-only)")
+          (pretty_gflops nan r.r_cur_gf)
+      else if Float.is_nan r.r_cur_ns && not (Float.is_nan r.r_base_ns) then
+        Printf.printf "%-32s %12s %12s %8s%s\n" r.r_name (pretty r.r_base_ns) "-" "gone"
+          (if r.r_gated then "" else "  (sub-floor, report-only)")
+      else if Float.is_nan r.r_ratio then
+        Printf.printf "%-32s %12s %12s %8s%s\n" r.r_name (pretty r.r_base_ns)
+          (pretty r.r_cur_ns) "n/a"
+          (pretty_gflops r.r_base_gf r.r_cur_gf)
+      else
+        Printf.printf "%-32s %12s %12s %7.2fx%s%s\n" r.r_name (pretty r.r_base_ns)
+          (pretty r.r_cur_ns) r.r_ratio
+          (if not r.r_gated then "  (sub-floor, report-only)"
+           else if r.r_ratio > 1.5 then "  <-- slower"
            else "")
-          (pretty_gflops base_gf cur_gf))
-    cur;
-  List.iter
-    (fun (name, base_ns, _) ->
-      if not (List.exists (fun (n, _, _) -> n = name) cur) then begin
-        missing := name :: !missing;
-        Printf.printf "%-32s %12s %12s %8s\n" name (pretty base_ns) "-" "gone"
-      end)
-    base;
-  let fresh = List.rev !fresh and missing = List.rev !missing in
-  if !compared = 0 then print_endline "bench_compare: no common kernels to compare"
+          (pretty_gflops r.r_base_gf r.r_cur_gf))
+    v.rows;
+  if v.compared = 0 then print_endline "bench_compare: no common kernels to compare"
   else
     Printf.printf
       "bench_compare: %d kernels compared (%d new, %d missing, %d below the %s noise \
        floor), worst ratio %.2fx (%s)\n"
-      !compared (List.length fresh) (List.length missing) !floored (pretty min_ns)
-      (snd !worst) (fst !worst);
+      v.compared
+      (List.length v.fresh + List.length v.fresh_floored)
+      (List.length v.missing + List.length v.missing_floored)
+      (v.floored + List.length v.fresh_floored + List.length v.missing_floored)
+      (pretty min_ns) (snd v.worst) (fst v.worst);
   match fail_above with
-  | Some limit ->
-    let failed = ref false in
-    if snd !worst > limit then begin
-      Printf.printf "bench_compare: FAIL — %s is %.2fx > %.2fx limit\n" (fst !worst)
-        (snd !worst) limit;
-      failed := true
-    end;
-    if fresh <> [] then begin
-      Printf.printf
-        "bench_compare: FAIL — kernel(s) not in the baseline: %s (refresh \
-         BENCH_baseline.json so they are gated)\n"
-        (String.concat ", " fresh);
-      failed := true
-    end;
-    if missing <> [] then begin
-      Printf.printf
-        "bench_compare: FAIL — baseline kernel(s) missing from the candidate: %s \
-         (removed on purpose? refresh BENCH_baseline.json)\n"
-        (String.concat ", " missing);
-      failed := true
-    end;
-    if !failed then exit 1
+  | Some limit -> (
+    match gate_failures ~limit v with
+    | [] -> ()
+    | fails ->
+      List.iter (fun msg -> Printf.printf "bench_compare: FAIL — %s\n" msg) fails;
+      exit 1)
   | None -> ()

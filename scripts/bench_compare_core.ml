@@ -1,0 +1,202 @@
+(* The parsing and gating logic of bench_compare, as a library so the
+   new/missing/sub-floor interaction is unit-testable (scripts/bench_compare.ml
+   keeps only the CLI and printing).
+
+   The parser is a hand-rolled scanner for the fixed schema (tcca-bench/1
+   or /2) — names are plain ASCII written with %S and the structure is one
+   result object per line — so no JSON library is needed. *)
+
+type entry = { e_name : string; e_ns : float; e_gflops : float }
+
+(* Start index of the next occurrence of [pat] at or after [from]. *)
+let find_pat s pat from =
+  let rec search i =
+    if i + String.length pat > String.length s then None
+    else if String.sub s i (String.length pat) = pat then Some i
+    else search (i + 1)
+  in
+  search from
+
+(* Extract the string value following [key] at or after [from]; None if the
+   key does not occur again. *)
+let find_string s key from =
+  match find_pat s (Printf.sprintf "\"%s\": \"" key) from with
+  | None -> None
+  | Some i ->
+    let start = i + String.length key + 5 in
+    let stop = String.index_from s start '"' in
+    Some (String.sub s start (stop - start), stop)
+
+(* Numeric value of [key] at or after [from], but only if the key occurs
+   before [limit] — callers pass the start of the next record so an
+   optional field (absent in schema /1) is never read from a later record. *)
+let find_number ?(limit = max_int) s key from =
+  let pat = Printf.sprintf "\"%s\": " key in
+  match find_pat s pat from with
+  | Some i when i < limit ->
+    let start = i + String.length pat in
+    let stop = ref start in
+    while
+      !stop < String.length s
+      && (match s.[!stop] with
+         | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+         | 'n' | 'u' | 'l' -> true (* "null" *)
+         | _ -> false)
+    do
+      incr stop
+    done;
+    let tok = String.sub s start (!stop - start) in
+    Some ((if tok = "null" then nan else float_of_string tok), !stop)
+  | _ -> None
+
+(* Entries in file order; gflops is NaN when the record has no finite value
+   (schema /1, or a kernel with no flop count). *)
+let parse_string ~path s =
+  match find_string s "schema" 0 with
+  | Some (("tcca-bench/1" | "tcca-bench/2"), _) ->
+    let rec collect acc from =
+      match find_string s "name" from with
+      | None -> Ok (List.rev acc)
+      | Some (name, after_name) -> (
+        match find_number s "ns_per_run" after_name with
+        | None -> Ok (List.rev acc)
+        | Some (ns, after_ns) ->
+          let next_record =
+            match find_pat s "\"name\": \"" after_ns with
+            | Some i -> i
+            | None -> String.length s
+          in
+          let gf =
+            match find_number ~limit:next_record s "gflops" after_ns with
+            | Some (g, _) -> g
+            | None -> nan
+          in
+          collect ({ e_name = name; e_ns = ns; e_gflops = gf } :: acc) after_ns)
+    in
+    collect [] 0
+  | Some (other, _) ->
+    Error (Printf.sprintf "%s: unknown schema %S (want tcca-bench/1 or /2)" path other)
+  | None -> Error (Printf.sprintf "%s: no schema field — not a bench artifact?" path)
+
+(* One table row of the comparison. *)
+type row = {
+  r_name : string;
+  r_base_ns : float; (* NaN when the kernel is new *)
+  r_cur_ns : float;  (* NaN when the kernel vanished *)
+  r_base_gf : float;
+  r_cur_gf : float;
+  r_ratio : float;   (* NaN when not comparable *)
+  r_gated : bool;    (* participates in the gate (above the noise floor) *)
+}
+
+type verdict = {
+  rows : row list;           (* current-file order, then baseline-only rows *)
+  compared : int;            (* common kernels above the floor *)
+  floored : int;             (* common kernels below the floor *)
+  worst : string * float;    (* worst gated ratio *)
+  fresh : string list;       (* new kernels above the floor — gate *)
+  fresh_floored : string list;   (* new kernels below the floor — report only *)
+  missing : string list;     (* vanished kernels above the floor — gate *)
+  missing_floored : string list; (* vanished below the floor — report only *)
+}
+
+(* The noise floor applies uniformly: a kernel is exempt from the gate when
+   every side it exists on runs under [min_ns] — including new and missing
+   kernels, which previously gated regardless of magnitude, so adding a
+   40 ns flag-probe micro would fail the gate until the baseline was
+   refreshed even though its timing carries no signal. *)
+let compare_runs ~min_ns base cur =
+  let base_assoc = List.map (fun e -> (e.e_name, e)) base in
+  let compared = ref 0 and floored = ref 0 in
+  let worst = ref ("", 0.) in
+  let fresh = ref [] and fresh_floored = ref [] in
+  let missing = ref [] and missing_floored = ref [] in
+  let cur_rows =
+    List.map
+      (fun e ->
+        match List.assoc_opt e.e_name base_assoc with
+        | None ->
+          let gated = not (e.e_ns < min_ns) in
+          if gated then fresh := e.e_name :: !fresh
+          else fresh_floored := e.e_name :: !fresh_floored;
+          { r_name = e.e_name;
+            r_base_ns = nan;
+            r_cur_ns = e.e_ns;
+            r_base_gf = nan;
+            r_cur_gf = e.e_gflops;
+            r_ratio = nan;
+            r_gated = gated }
+        | Some b
+          when Float.is_nan b.e_ns || Float.is_nan e.e_ns || b.e_ns <= 0. ->
+          { r_name = e.e_name;
+            r_base_ns = b.e_ns;
+            r_cur_ns = e.e_ns;
+            r_base_gf = b.e_gflops;
+            r_cur_gf = e.e_gflops;
+            r_ratio = nan;
+            r_gated = false }
+        | Some b ->
+          let ratio = e.e_ns /. b.e_ns in
+          let gated = Float.max b.e_ns e.e_ns >= min_ns in
+          if gated then begin
+            incr compared;
+            if ratio > snd !worst then worst := (e.e_name, ratio)
+          end
+          else incr floored;
+          { r_name = e.e_name;
+            r_base_ns = b.e_ns;
+            r_cur_ns = e.e_ns;
+            r_base_gf = b.e_gflops;
+            r_cur_gf = e.e_gflops;
+            r_ratio = ratio;
+            r_gated = gated })
+      cur
+  in
+  let missing_rows =
+    List.filter_map
+      (fun b ->
+        if List.exists (fun e -> e.e_name = b.e_name) cur then None
+        else begin
+          let gated = not (b.e_ns < min_ns) in
+          if gated then missing := b.e_name :: !missing
+          else missing_floored := b.e_name :: !missing_floored;
+          Some
+            { r_name = b.e_name;
+              r_base_ns = b.e_ns;
+              r_cur_ns = nan;
+              r_base_gf = b.e_gflops;
+              r_cur_gf = nan;
+              r_ratio = nan;
+              r_gated = gated }
+        end)
+      base
+  in
+  { rows = cur_rows @ missing_rows;
+    compared = !compared;
+    floored = !floored;
+    worst = !worst;
+    fresh = List.rev !fresh;
+    fresh_floored = List.rev !fresh_floored;
+    missing = List.rev !missing;
+    missing_floored = List.rev !missing_floored }
+
+(* Failure messages under a gate limit; [] means the gate passes. *)
+let gate_failures ~limit v =
+  let fails = ref [] in
+  if v.missing <> [] then
+    fails :=
+      Printf.sprintf
+        "baseline kernel(s) missing from the candidate: %s (removed on purpose? refresh \
+         BENCH_baseline.json)"
+        (String.concat ", " v.missing)
+      :: !fails;
+  if v.fresh <> [] then
+    fails :=
+      Printf.sprintf
+        "kernel(s) not in the baseline: %s (refresh BENCH_baseline.json so they are gated)"
+        (String.concat ", " v.fresh)
+      :: !fails;
+  if snd v.worst > limit then
+    fails :=
+      Printf.sprintf "%s is %.2fx > %.2fx limit" (fst v.worst) (snd v.worst) limit :: !fails;
+  !fails

@@ -1,0 +1,125 @@
+(* Unit tests for the bench-gate logic (Bench_compare_core): the ratio gate,
+   and especially the new/missing/sub-floor interaction — the noise floor
+   applies uniformly, so a sub-floor kernel never gates, whether it is
+   common, new in the candidate, or missing from it. *)
+open Test_support
+open Bench_compare_core
+
+let artifact entries =
+  let rows =
+    List.map
+      (fun (name, ns, gf) ->
+        match gf with
+        | None -> Printf.sprintf "    {\"name\": %S, \"ns_per_run\": %.1f}" name ns
+        | Some g ->
+          Printf.sprintf "    {\"name\": %S, \"ns_per_run\": %.1f, \"gflops\": %.3f}" name ns g)
+      entries
+  in
+  Printf.sprintf "{\"schema\": \"tcca-bench/2\",\n  \"results\": [\n%s\n  ]\n}"
+    (String.concat ",\n" rows)
+
+let parse_exn label s =
+  match parse_string ~path:label s with
+  | Ok entries -> entries
+  | Error msg -> Alcotest.failf "parse %s: %s" label msg
+
+let test_parse () =
+  let entries =
+    parse_exn "base" (artifact [ ("a", 2e6, Some 1.5); ("b", 3e3, None) ])
+  in
+  Alcotest.(check int) "two entries" 2 (List.length entries);
+  let a = List.hd entries in
+  Alcotest.(check string) "name" "a" a.e_name;
+  check_float ~eps:1e-3 "ns" 2e6 a.e_ns;
+  check_float ~eps:1e-6 "gflops" 1.5 a.e_gflops;
+  check_true "missing gflops is NaN" (Float.is_nan (List.nth entries 1).e_gflops)
+
+let test_bad_schema () =
+  match parse_string ~path:"x" "{\"schema\": \"other/1\"}" with
+  | Ok _ -> Alcotest.fail "expected schema error"
+  | Error _ -> ()
+
+let run ~min_ns base cur =
+  compare_runs ~min_ns
+    (parse_exn "base" (artifact base))
+    (parse_exn "cur" (artifact cur))
+
+let test_ratio_gate () =
+  let base = [ ("k", 1e6, None) ] and cur = [ ("k", 1.3e6, None) ] in
+  let v = run ~min_ns:1e5 base cur in
+  Alcotest.(check int) "compared" 1 v.compared;
+  check_float ~eps:1e-6 "worst ratio" 1.3 (snd v.worst);
+  check_true "1.15 gate fails" (gate_failures ~limit:1.15 v <> []);
+  check_true "1.5 gate passes" (gate_failures ~limit:1.5 v = [])
+
+let test_sub_floor_common_excluded () =
+  (* A 40 ns micro that doubled: report-only, never gates. *)
+  let v = run ~min_ns:1e5 [ ("tiny", 40., None) ] [ ("tiny", 80., None) ] in
+  Alcotest.(check int) "nothing compared" 0 v.compared;
+  Alcotest.(check int) "floored" 1 v.floored;
+  check_true "gate passes" (gate_failures ~limit:1.15 v = [])
+
+let test_fresh_above_floor_gates () =
+  let v = run ~min_ns:1e5 [ ("k", 1e6, None) ] [ ("k", 1e6, None); ("new", 2e6, None) ] in
+  Alcotest.(check (list string)) "fresh" [ "new" ] v.fresh;
+  check_true "fresh kernel fails the gate" (gate_failures ~limit:1.15 v <> [])
+
+let test_fresh_sub_floor_reports_only () =
+  (* The uniform floor: a new sub-floor micro must NOT fail the gate. *)
+  let v = run ~min_ns:1e5 [ ("k", 1e6, None) ] [ ("k", 1e6, None); ("probe", 50., None) ] in
+  Alcotest.(check (list string)) "no gated fresh" [] v.fresh;
+  Alcotest.(check (list string)) "floored fresh" [ "probe" ] v.fresh_floored;
+  check_true "gate passes" (gate_failures ~limit:1.15 v = [])
+
+let test_missing_above_floor_gates () =
+  let v = run ~min_ns:1e5 [ ("k", 1e6, None); ("gone", 2e6, None) ] [ ("k", 1e6, None) ] in
+  Alcotest.(check (list string)) "missing" [ "gone" ] v.missing;
+  check_true "missing kernel fails the gate" (gate_failures ~limit:1.15 v <> [])
+
+let test_missing_sub_floor_reports_only () =
+  let v = run ~min_ns:1e5 [ ("k", 1e6, None); ("probe", 60., None) ] [ ("k", 1e6, None) ] in
+  Alcotest.(check (list string)) "no gated missing" [] v.missing;
+  Alcotest.(check (list string)) "floored missing" [ "probe" ] v.missing_floored;
+  check_true "gate passes" (gate_failures ~limit:1.15 v = [])
+
+let test_floor_zero_gates_everything () =
+  (* --min-ns 0 restores the old behavior: even tiny kernels gate. *)
+  let v =
+    run ~min_ns:0. [ ("tiny", 40., None); ("gone", 10., None) ] [ ("tiny", 80., None) ]
+  in
+  Alcotest.(check int) "compared" 1 v.compared;
+  Alcotest.(check (list string)) "missing gated" [ "gone" ] v.missing;
+  check_true "ratio 2.0 fails" (gate_failures ~limit:1.15 v <> [])
+
+let test_one_sided_floor () =
+  (* A kernel that crossed the floor (base below, current above) gates: only
+     kernels that are sub-floor on every side they exist on are exempt. *)
+  let v = run ~min_ns:1e5 [ ("k", 5e4, None) ] [ ("k", 5e5, None) ] in
+  Alcotest.(check int) "compared" 1 v.compared;
+  check_true "10x over the floor fails" (gate_failures ~limit:1.15 v <> [])
+
+let test_nan_base_not_compared () =
+  (* "null" ns in the baseline (schema allows it) is not comparable. *)
+  let base = "{\"schema\": \"tcca-bench/2\", \"results\": [{\"name\": \"k\", \"ns_per_run\": null}]}" in
+  let v =
+    compare_runs ~min_ns:1e5 (parse_exn "base" base)
+      (parse_exn "cur" (artifact [ ("k", 1e6, None) ]))
+  in
+  Alcotest.(check int) "not compared" 0 v.compared;
+  check_true "gate passes" (gate_failures ~limit:1.15 v = [])
+
+let () =
+  Alcotest.run "bench_compare"
+    [ ( "parse",
+        [ Alcotest.test_case "entries" `Quick test_parse;
+          Alcotest.test_case "bad schema" `Quick test_bad_schema ] );
+      ( "gate",
+        [ Alcotest.test_case "ratio" `Quick test_ratio_gate;
+          Alcotest.test_case "sub-floor common" `Quick test_sub_floor_common_excluded;
+          Alcotest.test_case "fresh gated" `Quick test_fresh_above_floor_gates;
+          Alcotest.test_case "fresh sub-floor" `Quick test_fresh_sub_floor_reports_only;
+          Alcotest.test_case "missing gated" `Quick test_missing_above_floor_gates;
+          Alcotest.test_case "missing sub-floor" `Quick test_missing_sub_floor_reports_only;
+          Alcotest.test_case "floor zero" `Quick test_floor_zero_gates_everything;
+          Alcotest.test_case "one-sided floor" `Quick test_one_sided_floor;
+          Alcotest.test_case "null baseline" `Quick test_nan_base_not_compared ] ) ]

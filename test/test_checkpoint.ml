@@ -236,9 +236,9 @@ let test_deadline_other_solvers () =
   let r = rng () in
   let views = tcca_views r in
   let budget = Budget.create ~sweeps:2 () in
-  (match Tcca.fit_checked ~solver:(Tcca.Rand_als Cp_rand.default_options) ~budget ~r:2 views with
-  | Ok t -> check_true "rand-als best-so-far finite" (finite_model t views)
-  | Error e -> Alcotest.failf "rand-als deadline: %s" (Robust.failure_to_string e));
+  (match Tcca.fit_checked ~solver:(Tcca.Sampled_als Cp_rand.default_options) ~budget ~r:2 views with
+  | Ok t -> check_true "sampled-als best-so-far finite" (finite_model t views)
+  | Error e -> Alcotest.failf "sampled-als deadline: %s" (Robust.failure_to_string e));
   match Tcca.fit_checked ~solver:Tcca.Power_deflation ~budget ~r:2 views with
   | Ok t -> check_true "power best-so-far finite" (finite_model t views)
   | Error e -> Alcotest.failf "power deadline: %s" (Robust.failure_to_string e)

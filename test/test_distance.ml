@@ -26,6 +26,31 @@ let test_pairwise () =
   check_true "symmetric" (Mat.is_symmetric d);
   check_float "diag" 0. (Mat.get d 1 1)
 
+let test_max_pairwise () =
+  let r = rng () in
+  let x = random_mat r 4 23 in
+  List.iter
+    (fun kind ->
+      (* The streaming bandwidth pass must agree bitwise with the dense one. *)
+      let dense = Distance.max_entry (Distance.pairwise kind x) in
+      check_true "streaming = dense max" (Distance.max_pairwise kind x = dense))
+    [ Distance.L2; Distance.Sq_l2; Distance.L1 ];
+  check_float "singleton" 0. (Distance.max_pairwise Distance.L2 (random_mat r 3 1))
+
+let prop_pairwise_bitwise_symmetric =
+  (* The banded pairwise kernel computes the upper triangle and mirrors it, so
+     symmetry is exact — not approximate — regardless of the pool split. *)
+  qtest ~count:40 "pairwise is bitwise symmetric" gen_mat (fun x ->
+      let d = Distance.pairwise Distance.L2 x in
+      let n = fst (Mat.dims d) in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if not (Mat.get d i j = Mat.get d j i) then ok := false
+        done
+      done;
+      !ok)
+
 let test_cross () =
   let a = Mat.of_cols [| [| 0. |]; [| 1. |] |] in
   let b = Mat.of_cols [| [| 2. |]; [| 5. |]; [| -1. |] |] in
@@ -67,5 +92,7 @@ let () =
           Alcotest.test_case "mismatch" `Quick test_mismatch ] );
       ( "matrices",
         [ Alcotest.test_case "pairwise" `Quick test_pairwise;
+          Alcotest.test_case "max pairwise" `Quick test_max_pairwise;
           Alcotest.test_case "cross" `Quick test_cross ] );
-      ("properties", [ prop_symmetry; prop_identity; prop_l2_triangle ]) ]
+      ( "properties",
+        [ prop_symmetry; prop_identity; prop_l2_triangle; prop_pairwise_bitwise_symmetric ] ) ]

@@ -84,6 +84,48 @@ let test_average () =
   check_float "diag" 1. (Mat.get avg 0 0);
   check_float "offdiag" 0.5 (Mat.get avg 0 1)
 
+let test_fit_gram_single_pass () =
+  (* Regression: [fit] keeps the fitted distance matrix, so [fit] + [gram]
+     (+ any number of further [gram] calls) is ONE O(N²·d) pairwise pass. *)
+  let x = sample_data () in
+  let before = Distance.pairwise_count () in
+  let f = Kernel.fit (Kernel.Exp_distance Distance.L2) x in
+  let k1 = Kernel.gram f in
+  let k2 = Kernel.gram f in
+  Alcotest.(check int) "one pairwise sweep" (before + 1) (Distance.pairwise_count ());
+  check_mat ~eps:0. "grams identical" k1 k2
+
+let test_streaming_fit_matches_precomputed () =
+  let x = sample_data () in
+  let before = Distance.pairwise_count () in
+  let fs = Kernel.fit ~precompute:false (Kernel.Exp_distance Distance.L2) x in
+  (* The streaming bandwidth pass never materializes (or counts as) a
+     pairwise sweep... *)
+  Alcotest.(check int) "no pairwise sweep" before (Distance.pairwise_count ());
+  let fp = Kernel.fit (Kernel.Exp_distance Distance.L2) x in
+  (* ...yet freezes the identical λ and produces the identical Gram. *)
+  check_float "same bandwidth"
+    (Option.get (Kernel.bandwidth fp))
+    (Option.get (Kernel.bandwidth fs));
+  check_mat ~eps:0. "same gram" (Kernel.gram fp) (Kernel.gram fs)
+
+let test_oracle_matches_gram () =
+  let x = sample_data () in
+  let f = Kernel.fit ~precompute:false (Kernel.Exp_distance Distance.Chi2) x in
+  let o = Kernel.oracle f in
+  let k = Kernel.gram f in
+  let n = fst (Mat.dims k) in
+  Alcotest.(check int) "oracle dim" n o.Pchol.o_dim;
+  let diag = o.Pchol.o_diag () in
+  for i = 0 to n - 1 do
+    check_float ~eps:1e-12 "diag entry" (Mat.get k i i) diag.(i)
+  done;
+  let j = 3 in
+  let col = o.Pchol.o_column j in
+  for i = 0 to n - 1 do
+    check_float ~eps:1e-12 "column entry" (Mat.get k i j) col.(i)
+  done
+
 let test_rbf () =
   let x = Mat.of_cols [| [| 0. |]; [| 1. |] |] in
   let k = Kernel.gram (Kernel.fit (Kernel.Rbf 2.) x) in
@@ -103,4 +145,9 @@ let () =
           Alcotest.test_case "center = feature centering" `Quick
             test_center_matches_feature_centering;
           Alcotest.test_case "normalize" `Quick test_normalize_unit_diag;
-          Alcotest.test_case "average" `Quick test_average ] ) ]
+          Alcotest.test_case "average" `Quick test_average ] );
+      ( "scaling path",
+        [ Alcotest.test_case "fit+gram = one pairwise pass" `Quick test_fit_gram_single_pass;
+          Alcotest.test_case "streaming fit matches" `Quick
+            test_streaming_fit_matches_precomputed;
+          Alcotest.test_case "oracle matches gram" `Quick test_oracle_matches_gram ] ) ]

@@ -93,6 +93,92 @@ let test_factored_matches_dense () =
       (Float.abs (Stats.pearson (Mat.row zd i) (Mat.row zf i)) > 0.9999)
   done
 
+(* --- Nyström sketched path. --- *)
+
+let test_nystrom_full_rank_matches_exact () =
+  (* At ℓ = N with tol 0 the partial Cholesky is exact (K̂ = K), so the
+     sketched model must reproduce the exact one. *)
+  let r = rng () in
+  let kernels, _, _, _ = three_view_grams r ~n:40 in
+  let exact = Ktcca.fit ~eps:1e-2 ~r:2 kernels in
+  let ny = Ktcca.fit ~eps:1e-2 ~approx:(Ktcca.Nystrom { rank = 40; tol = 0. }) ~r:2 kernels in
+  let ze = Ktcca.transform_train exact and zn = Ktcca.transform_train ny in
+  Alcotest.(check (pair int int)) "same shape" (Mat.dims ze) (Mat.dims zn);
+  for i = 0 to 5 do
+    check_true
+      (Printf.sprintf "component %d matches exact" i)
+      (Float.abs (Stats.pearson (Mat.row ze i) (Mat.row zn i)) > 0.999)
+  done
+
+let test_nystrom_converges_with_rank () =
+  (* ℓ → N monotonically drives the kernel trace residual to zero. *)
+  let r = rng () in
+  let kernels, _, _, _ = three_view_grams r ~n:40 in
+  let residual rank =
+    let p = Ktcca.prepare ~eps:1e-2 ~approx:(Ktcca.Nystrom { rank; tol = 0. }) kernels in
+    match Ktcca.sketch_info p with
+    | None -> Alcotest.fail "expected sketch diagnostics"
+    | Some info -> Array.fold_left Float.max 0. info.Ktcca.trace_residuals
+  in
+  let r10 = residual 10 and r25 = residual 25 and r40 = residual 40 in
+  check_true "residual shrinks 10→25" (r25 <= r10 +. 1e-12);
+  check_true "residual shrinks 25→40" (r40 <= r25 +. 1e-12);
+  check_true "full rank residual ~ 0" (r40 < 1e-8)
+
+let test_nystrom_sketch_info () =
+  let r = rng () in
+  let kernels, _, _, _ = three_view_grams r ~n:40 in
+  let p = Ktcca.prepare ~eps:1e-2 ~approx:(Ktcca.Nystrom { rank = 15; tol = 0. }) kernels in
+  (match Ktcca.sketch_info p with
+  | None -> Alcotest.fail "expected sketch diagnostics"
+  | Some info ->
+    Alcotest.(check int) "one rank per view" 3 (Array.length info.Ktcca.achieved_ranks);
+    Array.iter (fun l -> check_true "ℓ ≤ cap" (l <= 15)) info.Ktcca.achieved_ranks;
+    Array.iter
+      (fun res -> check_true "residual ∈ [0,1]" (res >= 0. && res <= 1. +. 1e-12))
+      info.Ktcca.trace_residuals);
+  check_true "exact path has no sketch"
+    (Ktcca.sketch_info (Ktcca.prepare ~eps:1e-2 kernels) = None);
+  let model = Ktcca.fit_prepared ~r:2 p in
+  check_true "model carries the diagnostics" (Ktcca.model_sketch_info model <> None)
+
+let test_nystrom_oracles_match_grams () =
+  (* The no-N×N entry point ([fit_oracles] on [Kernel.oracle]) and the Gram
+     entry point with the same approximation agree. *)
+  let r = rng () in
+  let kernels, fits, _, _ = three_view_grams r ~n:40 in
+  let approx = Ktcca.Nystrom { rank = 40; tol = 0. } in
+  let from_grams = Ktcca.fit ~eps:1e-2 ~approx ~r:2 kernels in
+  let from_oracles = Ktcca.fit_oracles ~eps:1e-2 ~approx ~r:2 (Array.map Kernel.oracle fits) in
+  check_mat ~eps:1e-6 "same embedding"
+    (Ktcca.transform_train from_grams)
+    (Ktcca.transform_train from_oracles)
+
+let test_nystrom_out_of_sample () =
+  (* At full rank the approximate column means equal the exact ones, so
+     embedding the training columns through [transform] reproduces
+     [transform_train]. *)
+  let r = rng () in
+  let _, fits, views, _ = three_view_grams r ~n:40 in
+  let kernels = Array.map Kernel.gram fits in
+  let model =
+    Ktcca.fit ~eps:1e-2 ~approx:(Ktcca.Nystrom { rank = 40; tol = 0. }) ~r:2 kernels
+  in
+  let crosses = Array.map2 Kernel.cross fits views in
+  check_mat ~eps:1e-6 "train = cross(train)" (Ktcca.transform_train model)
+    (Ktcca.transform model crosses)
+
+let test_nystrom_low_rank_separates () =
+  (* A genuinely truncated sketch (ℓ ≪ N) still solves the rings task. *)
+  let r = rng () in
+  let kernels, _, _, labels = three_view_grams r ~n:100 in
+  let model =
+    Ktcca.fit ~eps:1e-1 ~approx:(Ktcca.Nystrom { rank = 30; tol = 0. }) ~r:4 kernels
+  in
+  let z = Ktcca.transform_train model in
+  let knn = Knn.fit ~k:3 z labels in
+  check_true "rings separated on the sketch" (Eval.accuracy (Knn.predict knn z) labels > 0.8)
+
 let test_errors () =
   Alcotest.check_raises "one view" (Invalid_argument "Ktcca.fit: need at least two views")
     (fun () -> ignore (Ktcca.fit ~r:1 [| Mat.identity 3 |]))
@@ -109,4 +195,11 @@ let () =
         [ Alcotest.test_case "shapes" `Quick test_shapes;
           Alcotest.test_case "prepare" `Quick test_prepare_consistency;
           Alcotest.test_case "guard" `Quick test_max_instances_guard;
-          Alcotest.test_case "errors" `Quick test_errors ] ) ]
+          Alcotest.test_case "errors" `Quick test_errors ] );
+      ( "nystrom",
+        [ Alcotest.test_case "full rank = exact" `Quick test_nystrom_full_rank_matches_exact;
+          Alcotest.test_case "residual → 0 as ℓ → N" `Quick test_nystrom_converges_with_rank;
+          Alcotest.test_case "sketch diagnostics" `Quick test_nystrom_sketch_info;
+          Alcotest.test_case "oracles = grams" `Quick test_nystrom_oracles_match_grams;
+          Alcotest.test_case "out of sample" `Quick test_nystrom_out_of_sample;
+          Alcotest.test_case "low rank separates" `Quick test_nystrom_low_rank_separates ] ) ]

@@ -1,0 +1,123 @@
+open Test_support
+
+let reconstruct f = Mat.mul_nt f f
+
+let decompose_exn ?rank ?tol oracle =
+  match Pchol.decompose ?rank ?tol oracle with
+  | Ok (f, info) -> (f, info)
+  | Error e -> Alcotest.failf "pchol failed: %s" (Robust.failure_to_string e)
+
+let test_full_rank_reproduces () =
+  let r = rng () in
+  let a = random_spd r 10 in
+  let f, info = decompose_exn ~tol:0. (Pchol.oracle_of_mat a) in
+  check_mat ~eps:1e-6 "FFᵀ = A at full rank" a (reconstruct f);
+  check_true "residual trace ~ 0" (info.Pchol.trace_residual < 1e-8 *. info.Pchol.trace_initial +. 1e-12)
+
+let test_low_rank_stops_early () =
+  (* A = BBᵀ with B n×3: the residual trace hits zero after ~3 pivots, so the
+     default tol stops far below the cap. *)
+  let r = rng () in
+  let b = random_mat r 12 3 in
+  let a = Mat.mul_nt b b in
+  let f, info = decompose_exn (Pchol.oracle_of_mat a) in
+  check_true "stopped near numerical rank" (info.Pchol.rank <= 5);
+  check_mat ~eps:1e-6 "rank-3 kernel reproduced" a (reconstruct f);
+  Alcotest.(check int) "factor columns = achieved rank" info.Pchol.rank (snd (Mat.dims f))
+
+let test_rank_cap () =
+  let r = rng () in
+  let a = random_spd r 9 in
+  let f, info = decompose_exn ~rank:2 ~tol:0. (Pchol.oracle_of_mat a) in
+  Alcotest.(check int) "capped rank" 2 info.Pchol.rank;
+  Alcotest.(check (pair int int)) "factor shape" (9, 2) (Mat.dims f);
+  Alcotest.(check int) "two pivots" 2 (Array.length info.Pchol.pivots);
+  check_true "residual left over" (info.Pchol.trace_residual > 0.);
+  (* Partial F is still a valid PSD lower bound: tr(FFᵀ) ≤ tr(A). *)
+  check_float ~eps:1e-6 "trace split"
+    (Mat.trace a)
+    (Mat.trace (reconstruct f) +. info.Pchol.trace_residual)
+
+let test_greedy_pivot_order () =
+  (* On a diagonal matrix the pivot order is the diagonal sort order, ties
+     toward the lowest index. *)
+  let a = Mat.diag_of_vec [| 1.; 5.; 3. |] in
+  let _, info = decompose_exn ~tol:0. (Pchol.oracle_of_mat a) in
+  Alcotest.(check (array int)) "pivot order" [| 1; 2; 0 |] info.Pchol.pivots
+
+let test_monotone_residual () =
+  (* Residual trace is non-increasing in the rank cap. *)
+  let r = rng () in
+  let a = random_spd r 8 in
+  let residual cap =
+    let _, info = decompose_exn ~rank:cap ~tol:0. (Pchol.oracle_of_mat a) in
+    info.Pchol.trace_residual
+  in
+  let prev = ref infinity in
+  for cap = 1 to 8 do
+    let res = residual cap in
+    check_true (Printf.sprintf "residual shrinks at cap %d" cap) (res <= !prev +. 1e-9);
+    prev := res
+  done
+
+let test_kernel_oracle_matches_gram () =
+  (* The Kernel column/diagonal oracle and the explicit Gram agree. *)
+  let r = rng () in
+  let x = Mat.map Float.abs (random_mat r 5 30) in
+  let fit = Kernel.fit (Kernel.Rbf 0.7) x in
+  let f, _ = decompose_exn ~tol:1e-10 (Kernel.oracle fit) in
+  check_mat ~eps:1e-6 "FFᵀ = gram" (Kernel.gram fit) (reconstruct f)
+
+let test_not_psd () =
+  let a = Mat.diag_of_vec [| 1.; -2.; 3. |] in
+  match Pchol.decompose (Pchol.oracle_of_mat a) with
+  | Ok _ -> Alcotest.fail "expected Not_positive_definite"
+  | Error (Robust.Not_positive_definite _) -> ()
+  | Error e -> Alcotest.failf "unexpected failure: %s" (Robust.failure_to_string e)
+
+let test_non_finite () =
+  let a = Mat.init 3 3 (fun i j -> if i = 1 && j = 1 then nan else Float.of_int ((i * 3) + j)) in
+  match Pchol.decompose (Pchol.oracle_of_mat a) with
+  | Ok _ -> Alcotest.fail "expected Non_finite"
+  | Error (Robust.Non_finite _) -> ()
+  | Error e -> Alcotest.failf "unexpected failure: %s" (Robust.failure_to_string e)
+
+let prop_full_rank_exact =
+  qtest ~count:40 "pchol at ℓ=N reproduces the Gram" gen_spd (fun a ->
+      match Pchol.decompose ~tol:0. (Pchol.oracle_of_mat a) with
+      | Error _ -> false
+      | Ok (f, _) ->
+        let scale = 1. +. Mat.trace a in
+        Mat.equal ~eps:(1e-8 *. scale) a (reconstruct f))
+
+let prop_residual_bounds_error =
+  qtest ~count:40 "‖A − FFᵀ‖₁ ≤ residual trace (PSD bound)" gen_spd (fun a ->
+      let n = fst (Mat.dims a) in
+      let cap = max 1 (n / 2) in
+      match Pchol.decompose ~rank:cap ~tol:0. (Pchol.oracle_of_mat a) with
+      | Error _ -> false
+      | Ok (f, info) ->
+        (* For PSD residual R: every diagonal entry of R is ≤ tr(R). *)
+        let rec_f = reconstruct f in
+        let ok = ref true in
+        for i = 0 to n - 1 do
+          let d = Mat.get a i i -. Mat.get rec_f i i in
+          if d < -1e-8 *. (1. +. Mat.trace a) then ok := false;
+          if d > info.Pchol.trace_residual +. 1e-8 *. (1. +. Mat.trace a) then ok := false
+        done;
+        !ok)
+
+let () =
+  Alcotest.run "pchol"
+    [ ( "exact",
+        [ Alcotest.test_case "full rank" `Quick test_full_rank_reproduces;
+          Alcotest.test_case "low rank early stop" `Quick test_low_rank_stops_early;
+          Alcotest.test_case "kernel oracle" `Quick test_kernel_oracle_matches_gram ] );
+      ( "control",
+        [ Alcotest.test_case "rank cap" `Quick test_rank_cap;
+          Alcotest.test_case "greedy pivots" `Quick test_greedy_pivot_order;
+          Alcotest.test_case "monotone residual" `Quick test_monotone_residual ] );
+      ( "failures",
+        [ Alcotest.test_case "not psd" `Quick test_not_psd;
+          Alcotest.test_case "non finite" `Quick test_non_finite ] );
+      ("properties", [ prop_full_rank_exact; prop_residual_bounds_error ]) ]

@@ -1,0 +1,113 @@
+open Test_support
+
+let centered_cov x =
+  let _, n = Mat.dims x in
+  Mat.scale (1. /. float_of_int n) (Mat.gram x)
+
+let white_data r d n = random_mat r d n
+
+let structured_data r d n =
+  (* One dominant direction + small noise: far from the identity target. *)
+  let base = random_vec r d in
+  Mat.init d n (fun i j ->
+      (base.(i) *. float_of_int ((j mod 5) - 2)) +. (0.05 *. Rng.gaussian r))
+
+let test_none_is_identity () =
+  let r = rng () in
+  let x = white_data r 4 30 in
+  let c = centered_cov x in
+  let a = Shrink.apply ~x ~n:30 `None c in
+  check_true "same matrix object" (a.Shrink.cov == c);
+  check_float "zero intensity" 0. a.Shrink.intensity
+
+let test_fixed_clipping () =
+  let r = rng () in
+  let x = white_data r 4 30 in
+  let c = centered_cov x in
+  check_float "over-1 clipped" 1. (Shrink.apply ~x ~n:30 (`Fixed 2.5) c).Shrink.intensity;
+  check_float "negative clipped" 0. (Shrink.apply ~x ~n:30 (`Fixed (-0.5)) c).Shrink.intensity;
+  let a = Shrink.apply ~x ~n:30 (`Fixed 1.) c in
+  (* ρ = 1 is the pure identity target μI. *)
+  let d = fst (Mat.dims c) in
+  let mu = Mat.trace c /. float_of_int d in
+  check_mat ~eps:1e-12 "full shrink = μI" (Mat.scale mu (Mat.identity d)) a.Shrink.cov
+
+let test_shrunk_trace_preserved () =
+  (* (1−ρ)C + ρμI preserves the trace for every ρ. *)
+  let r = rng () in
+  let x = structured_data r 5 40 in
+  let c = centered_cov x in
+  List.iter
+    (fun mode ->
+      let a = Shrink.apply ~x ~n:40 mode c in
+      check_float ~eps:1e-9 "trace preserved" (Mat.trace c) (Mat.trace a.Shrink.cov))
+    [ `Lw; `Oas; `Fixed 0.3 ]
+
+let test_white_data_shrinks_hard () =
+  (* On white data the true covariance IS μI, so every deviation is sampling
+     noise and both estimators should shrink most of the way to the target. *)
+  let r = rng () in
+  let d = 5 and n = 2000 in
+  let x = white_data r d n in
+  let c = centered_cov x in
+  List.iter
+    (fun (name, mode) ->
+      let a = Shrink.apply ~x ~n mode c in
+      check_true (name ^ " intensity large on white data") (a.Shrink.intensity > 0.5);
+      (* Shrunk covariance ≈ I (μ ≈ 1 for standard normal data). *)
+      check_mat ~eps:0.15 (name ^ " ≈ identity") (Mat.identity d) a.Shrink.cov)
+    [ ("lw", `Lw); ("oas", `Oas) ]
+
+let test_structured_data_shrinks_little () =
+  (* A strong low-rank signal with many samples: the deviation from μI is
+     real structure, so LW must keep most of it. *)
+  let r = rng () in
+  let x = structured_data r 5 500 in
+  let c = centered_cov x in
+  let a = Shrink.apply ~x ~n:500 `Lw c in
+  check_true "lw intensity small on structured data" (a.Shrink.intensity < 0.2)
+
+let test_lw_without_instances_falls_back () =
+  let r = rng () in
+  let x = white_data r 4 50 in
+  let c = centered_cov x in
+  Robust.clear_warnings ();
+  let a = Shrink.apply ~n:50 `Lw c in
+  let b = Shrink.apply ~x ~n:50 `Oas c in
+  check_float ~eps:1e-12 "falls back to OAS intensity" b.Shrink.intensity a.Shrink.intensity;
+  check_true "warned" (Robust.recent_warnings () <> [])
+
+let gen_view =
+  QCheck2.Gen.(
+    pair (int_range 2 6) (int_range 8 40) >>= fun (d, n) ->
+    array_size (return (d * n)) (float_range (-5.) 5.) >|= fun data ->
+    Mat.unsafe_of_flat ~rows:d ~cols:n data)
+
+let prop_intensity_in_range =
+  qtest ~count:60 "LW/OAS intensity ∈ [0,1]" gen_view (fun x ->
+      let _, n = Mat.dims x in
+      let c = centered_cov x in
+      let ok mode =
+        let a = Shrink.apply ~x ~n mode c in
+        a.Shrink.intensity >= 0. && a.Shrink.intensity <= 1.
+      in
+      ok `Lw && ok `Oas)
+
+let prop_shrunk_stays_symmetric =
+  qtest ~count:60 "shrunk covariance stays symmetric PSD-conditioned" gen_view (fun x ->
+      let _, n = Mat.dims x in
+      let c = centered_cov x in
+      let a = Shrink.apply ~x ~n `Oas c in
+      Mat.is_symmetric ~eps:1e-8 a.Shrink.cov)
+
+let () =
+  Alcotest.run "shrink"
+    [ ( "modes",
+        [ Alcotest.test_case "none" `Quick test_none_is_identity;
+          Alcotest.test_case "fixed clipping" `Quick test_fixed_clipping;
+          Alcotest.test_case "trace preserved" `Quick test_shrunk_trace_preserved;
+          Alcotest.test_case "lw fallback" `Quick test_lw_without_instances_falls_back ] );
+      ( "estimators",
+        [ Alcotest.test_case "white data" `Quick test_white_data_shrinks_hard;
+          Alcotest.test_case "structured data" `Quick test_structured_data_shrinks_little ] );
+      ("properties", [ prop_intensity_in_range; prop_shrunk_stays_symmetric ]) ]

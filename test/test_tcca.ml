@@ -188,6 +188,70 @@ let test_builder_four_views () =
     (Float.abs (Tcca.correlations direct).(0))
     (Float.abs (Tcca.correlations streamed).(0))
 
+(* --- Sketched / shrinkage knobs. --- *)
+
+let test_solver_sampled_als () =
+  let r = rng () in
+  let views = shared_views r ~n:2000 ~noise:0.3 in
+  let als = Tcca.fit ~eps:1e-2 ~r:1 views in
+  let sampled = Tcca.fit ~eps:1e-2 ~solver:(Tcca.Sampled_als Cp_rand.default_options) ~r:1 views in
+  let za = Mat.row (Tcca.transform_view als 0 views.(0)) 0 in
+  let zs = Mat.row (Tcca.transform_view sampled 0 views.(0)) 0 in
+  check_true "sampled ALS finds the ALS component" (Float.abs (Stats.pearson za zs) > 0.95)
+
+let test_fixed_zero_shrinkage_is_historical () =
+  (* ρ = 0 adds no identity mass, so the whole pipeline is bit-identical to
+     the default path. *)
+  let r = rng () in
+  let views = shared_views r ~n:300 ~noise:0.5 in
+  let plain = Tcca.fit ~eps:1e-2 ~r:2 views in
+  let zeroed = Tcca.fit ~eps:1e-2 ~shrinkage:(`Fixed 0.) ~r:2 views in
+  check_vec ~eps:0. "bitwise correlations" (Tcca.correlations plain) (Tcca.correlations zeroed);
+  check_mat ~eps:0. "bitwise embedding" (Tcca.transform plain views)
+    (Tcca.transform zeroed views)
+
+let test_shrinkage_intensities_recorded () =
+  let r = rng () in
+  let views = shared_views r ~n:300 ~noise:0.5 in
+  let none = Tcca.prepare ~eps:1e-2 views in
+  Array.iter (check_float "no shrinkage → ρ = 0" 0.) (Tcca.shrinkage_intensities none);
+  let oas = Tcca.prepare ~eps:1e-2 ~shrinkage:`Oas views in
+  let intens = Tcca.shrinkage_intensities oas in
+  Alcotest.(check int) "one ρ per view" 3 (Array.length intens);
+  Array.iter (fun rho -> check_true "ρ ∈ (0,1]" (rho > 0. && rho <= 1.)) intens;
+  (* Shrinkage perturbs the whitening but must keep the shared component. *)
+  let m = Tcca.fit_prepared ~r:1 oas in
+  let plain = Tcca.fit ~eps:1e-2 ~r:1 views in
+  let zs = Mat.row (Tcca.transform_view m 0 views.(0)) 0 in
+  let zp = Mat.row (Tcca.transform_view plain 0 views.(0)) 0 in
+  check_true "component survives shrinkage" (Float.abs (Stats.pearson zs zp) > 0.95)
+
+let test_builder_finalize_shrinkage () =
+  let r = rng () in
+  let views = shared_views r ~n:400 ~noise:0.4 in
+  let builder = Tcca.Builder.create ~dims:(Array.map (fun v -> fst (Mat.dims v)) views) in
+  Tcca.Builder.add_batch builder views;
+  let raw = Tcca.Builder.finalize ~shrinkage:`Oas builder in
+  let p = Tcca.prepare_of_raw ~eps:1e-2 raw in
+  Array.iter
+    (fun rho -> check_true "streamed ρ ∈ (0,1]" (rho > 0. && rho <= 1.))
+    (Tcca.shrinkage_intensities p)
+
+let test_randomized_whiten_matches_eig () =
+  (* d = 4 with a 4-dimensional sketch: the range finder captures the whole
+     view space, so the sketched whitener reproduces the eig whitener's
+     model up to sign. *)
+  let r = rng () in
+  let views = shared_views r ~n:1500 ~noise:0.4 in
+  let eig = Tcca.fit ~eps:1e-2 ~whiten:`Eig ~r:2 views in
+  let rand = Tcca.fit ~eps:1e-2 ~whiten:(`Randomized 4) ~r:2 views in
+  let ze = Tcca.transform eig views and zr = Tcca.transform rand views in
+  for i = 0 to 5 do
+    check_true
+      (Printf.sprintf "component %d matches eig route" i)
+      (Float.abs (Stats.pearson (Mat.row ze i) (Mat.row zr i)) > 0.999)
+  done
+
 let test_builder_errors () =
   Alcotest.check_raises "one view" (Invalid_argument "Tcca.Builder.create: need at least two views")
     (fun () -> ignore (Tcca.Builder.create ~dims:[| 3 |]));
@@ -223,4 +287,12 @@ let () =
       ( "streaming",
         [ Alcotest.test_case "builder = batch fit" `Quick test_builder_matches_batch_fit;
           Alcotest.test_case "four views" `Quick test_builder_four_views;
-          Alcotest.test_case "builder errors" `Quick test_builder_errors ] ) ]
+          Alcotest.test_case "builder errors" `Quick test_builder_errors ] );
+      ( "sketched",
+        [ Alcotest.test_case "sampled ALS solver" `Quick test_solver_sampled_als;
+          Alcotest.test_case "fixed-0 shrinkage bitwise" `Quick
+            test_fixed_zero_shrinkage_is_historical;
+          Alcotest.test_case "shrinkage intensities" `Quick test_shrinkage_intensities_recorded;
+          Alcotest.test_case "builder shrinkage" `Quick test_builder_finalize_shrinkage;
+          Alcotest.test_case "randomized whitening" `Quick test_randomized_whiten_matches_eig ]
+      ) ]
