@@ -65,6 +65,55 @@ let eig_tests () =
       (Staged.stage (fun () -> Eigen.decompose ~method_:`Jacobi a192));
     Test.make ~name:"svd/tall-2048x64" (Staged.stage (fun () -> Svd.decompose tall)) ]
 
+(* Serving-path micro (PR "tccad"): one framed transform round trip — encode
+   request, socketpair hop, queue + worker dispatch, compute, encode reply —
+   at serving-realistic size (d = 200, r = 10, batch 64).  The fixture is
+   shared between the Bechamel throughput measurement and the latency-
+   percentile pass, and lives for the process (the bench exits right
+   after). *)
+let serve_fixture =
+  lazy
+    (let rng = Rng.create 20200 in
+     let mk rows cols = Mat.init rows cols (fun _ _ -> Rng.gaussian rng) in
+     let views = Array.init 2 (fun _ -> mk 200 256) in
+     let model =
+       Tcca.fit ~solver:(Tcca.Als { Cp_als.default_options with max_iter = 25 }) ~r:10 views
+     in
+     let server =
+       Server.create ~model { Server.default_config with workers = 2; queue_capacity = 64 }
+     in
+     let client, sock = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+     ignore (Thread.create (fun () -> Server.serve_connection server sock) ());
+     let batch = Array.init 2 (fun _ -> mk 200 64) in
+     let req = Protocol.Transform { deadline_ms = -1; views = batch } in
+     (client, req))
+
+let serve_call () =
+  let client, req = Lazy.force serve_fixture in
+  match Protocol.call client req with
+  | Protocol.R_matrix _ -> ()
+  | _ -> failwith "bench: serve/transform-batch got a non-matrix reply"
+
+(* p50/p99 request latency over [samples] sequential calls on the same
+   connection — the schema /3 fields riding on the serve record. *)
+let serve_latency_percentiles ~samples =
+  ignore (serve_call ()); (* warm the fixture outside the timed window *)
+  let lat =
+    Array.init samples (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        serve_call ();
+        (Unix.gettimeofday () -. t0) *. 1e9)
+  in
+  Array.sort compare lat;
+  let pick q =
+    lat.(min (samples - 1) (int_of_float (Float.of_int samples *. q)))
+  in
+  (pick 0.50, pick 0.99)
+
+let serve_tests () =
+  let open Bechamel in
+  [ Test.make ~name:"serve/transform-batch" (Staged.stage serve_call) ]
+
 let micro_tests () =
   let world = Secstr.world Secstr.Quick in
   let rng = Rng.create 99 in
@@ -290,6 +339,7 @@ let micro_tests () =
           fun () -> Knn.predict model embedding)) ]
     @ parallel_kernel_tests ()
     @ eig_tests ()
+    @ serve_tests ()
 
 (* Nominal flop counts for the GEMM-shaped micros, so every run reports the
    achieved GFLOP/s next to wall time.  mul-family products count 2·m·k·n;
@@ -328,20 +378,29 @@ let gflops_of ~name ~ns =
    plain ASCII.  Schema tcca-bench/2 added the "gflops" field; it is
    emitted on every record (null when no flop count applies) so the
    sequential scanner in scripts/bench_compare.ml never reads a field from
-   the wrong record. *)
-let write_json ~path ~smoke results =
+   the wrong record.  Schema /3 adds optional "p50_ns"/"p99_ns" request-
+   latency percentiles on the serve micros ([percentiles] is an assoc from
+   kernel name); records without them are unchanged, and the scanner
+   accepts /1 and /2 artifacts as before. *)
+let write_json ~path ~smoke ?(percentiles = []) results =
   let oc = open_out path in
   let sha = match Sys.getenv_opt "GITHUB_SHA" with Some s -> s | None -> "local" in
-  Printf.fprintf oc "{\n  \"schema\": \"tcca-bench/2\",\n  \"sha\": %S,\n" sha;
+  Printf.fprintf oc "{\n  \"schema\": \"tcca-bench/3\",\n  \"sha\": %S,\n" sha;
   Printf.fprintf oc "  \"domains\": %d,\n  \"smoke\": %b,\n  \"results\": [\n"
     (Parallel.num_domains ()) smoke;
   let num v = if Float.is_finite v then Printf.sprintf "%.3f" v else "null" in
   List.iteri
     (fun i (name, ns, r2) ->
       let gf = match gflops_of ~name ~ns with Some g -> num g | None -> "null" in
+      let lat =
+        match List.assoc_opt name percentiles with
+        | Some (p50, p99) ->
+          Printf.sprintf ", \"p50_ns\": %s, \"p99_ns\": %s" (num p50) (num p99)
+        | None -> ""
+      in
       Printf.fprintf oc
-        "    {\"name\": %S, \"ns_per_run\": %s, \"r_square\": %s, \"gflops\": %s}%s\n" name
-        (num ns) (num r2) gf
+        "    {\"name\": %S, \"ns_per_run\": %s, \"r_square\": %s, \"gflops\": %s%s}%s\n" name
+        (num ns) (num r2) gf lat
         (if i = List.length results - 1 then "" else ","))
     results;
   Printf.fprintf oc "  ]\n}\n";
@@ -396,8 +455,16 @@ let run_micro ~smoke ~json () =
         results)
     tests;
   Tableau.print table;
+  (* Latency percentiles for the serve micro: measured per-request on the
+     live fixture, printed always and carried into the JSON artifact as the
+     schema /3 fields. *)
+  let percentiles =
+    let p50, p99 = serve_latency_percentiles ~samples:(if smoke then 120 else 400) in
+    Printf.printf "serve/transform-batch latency: p50 %.0f ns, p99 %.0f ns\n%!" p50 p99;
+    [ ("serve/transform-batch", (p50, p99)) ]
+  in
   (match json with
-  | Some path -> write_json ~path ~smoke (List.rev !collected)
+  | Some path -> write_json ~path ~smoke ~percentiles (List.rev !collected)
   | None -> ());
   (* Checkpointing contract: snapshotting every sweep must stay within a 5%
      per-sweep overhead of the plain fit.  Smoke-mode numbers on shared

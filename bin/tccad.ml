@@ -1,0 +1,300 @@
+(* The serving daemon and its client.
+
+   dune exec bin/tccad.exe -- serve --listen unix:/tmp/tccad.sock --state-dir /tmp/tccad
+   dune exec bin/tccad.exe -- serve --model m.tccm --listen tcp:7070 --workers 4
+   dune exec bin/tccad.exe -- health  --connect unix:/tmp/tccad.sock
+   dune exec bin/tccad.exe -- ingest  --connect unix:/tmp/tccad.sock --seed 1 -n 200 --views 3 --dim 12
+   dune exec bin/tccad.exe -- refit   --connect unix:/tmp/tccad.sock
+   dune exec bin/tccad.exe -- transform --connect unix:/tmp/tccad.sock --seed 7 -n 16
+   dune exec bin/tccad.exe -- swap    --connect unix:/tmp/tccad.sock /path/model.tccm
+   dune exec bin/tccad.exe -- drain   --connect unix:/tmp/tccad.sock
+
+   The client generates deterministic synthetic views from a seed (same
+   generator as tcca_experiments fit), so two [transform --seed S] calls
+   against the same model print byte-identical output — the property the
+   daemon kill-and-resume CI check asserts. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Addresses: unix:PATH or tcp:PORT (loopback). *)
+
+let sockaddr_of_string s =
+  match String.index_opt s ':' with
+  | Some i when String.sub s 0 i = "unix" ->
+    Ok (Unix.ADDR_UNIX (String.sub s (i + 1) (String.length s - i - 1)))
+  | Some i when String.sub s 0 i = "tcp" -> (
+    match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+    | Some port when port > 0 && port < 65536 ->
+      Ok (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+    | _ -> Error (`Msg "tcp address needs a port number"))
+  | _ -> Error (`Msg "address must be unix:PATH or tcp:PORT")
+
+let addr_conv =
+  let parse s = sockaddr_of_string s in
+  let print ppf = function
+    | Unix.ADDR_UNIX p -> Format.fprintf ppf "unix:%s" p
+    | Unix.ADDR_INET (_, port) -> Format.fprintf ppf "tcp:%d" port
+  in
+  Arg.conv (parse, print)
+
+(* ------------------------------------------------------------------ *)
+(* serve *)
+
+let setup_logs () =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.Info)
+
+let serve_cmd =
+  let model =
+    Arg.(value & opt (some string) None & info [ "model" ] ~docv:"FILE"
+           ~doc:"Model file (TCCM) to serve; otherwise recover from --state-dir.")
+  in
+  let listen =
+    Arg.(value & opt addr_conv (Unix.ADDR_UNIX "/tmp/tccad.sock")
+         & info [ "listen" ] ~docv:"ADDR" ~doc:"unix:PATH or tcp:PORT.")
+  in
+  let state_dir =
+    Arg.(value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR"
+           ~doc:"Snapshot/recovery directory (created if missing).")
+  in
+  let workers =
+    Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N"
+           ~doc:"Compute threads (default: the domain-pool size).")
+  in
+  let queue =
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc:"Request-queue capacity.")
+  in
+  let deadline =
+    Arg.(value & opt int 5000 & info [ "default-deadline-ms" ] ~docv:"MS"
+           ~doc:"Deadline for requests that do not carry one (negative = unlimited).")
+  in
+  let io_timeout =
+    Arg.(value & opt float 30. & info [ "io-timeout" ] ~docv:"S"
+           ~doc:"Per-connection frame-read timeout.")
+  in
+  let refit_iters =
+    Arg.(value & opt int 100 & info [ "refit-iters" ] ~docv:"K" ~doc:"Max ALS sweeps per refit.")
+  in
+  let refit_tol =
+    Arg.(value & opt float 1e-6 & info [ "refit-tol" ] ~docv:"T" ~doc:"Refit ALS tolerance.")
+  in
+  let eps =
+    Arg.(value & opt float 1e-2 & info [ "eps" ] ~docv:"E" ~doc:"Whitening regularizer.")
+  in
+  let rank =
+    Arg.(value & opt int 4 & info [ "rank" ] ~docv:"R" ~doc:"Rank for cold-start refits.")
+  in
+  let action model listen state_dir workers queue deadline io_timeout refit_iters
+      refit_tol eps rank =
+    setup_logs ();
+    let cfg =
+      { Server.default_config with
+        workers = (match workers with Some w -> w | None -> Server.default_config.Server.workers);
+        queue_capacity = queue;
+        default_deadline_ms = deadline;
+        io_timeout_s = io_timeout;
+        state_dir;
+        refit_options = { Cp_als.default_options with max_iter = refit_iters; tol = refit_tol };
+        eps;
+        rank }
+    in
+    match
+      match model with
+      | None -> Ok None
+      | Some path -> (
+        match Model_store.load ~path with
+        | Ok m -> Ok (Some m)
+        | Error e -> Error (Checkpoint.load_error_to_string e))
+    with
+    | Error msg -> `Error (false, "--model: " ^ msg)
+    | Ok model ->
+      let t = Server.create ?model cfg in
+      (* Graceful drain on SIGTERM/SIGINT: flip the (atomic) drain flag;
+         the accept loop wakes on EINTR, flushes in-flight work and
+         snapshots before exiting. *)
+      let handler = Sys.Signal_handle (fun _ -> Server.request_drain t) in
+      Sys.set_signal Sys.sigterm handler;
+      Sys.set_signal Sys.sigint handler;
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      Server.serve_forever t listen;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Run the serving daemon.")
+    Term.(ret
+            (const action $ model $ listen $ state_dir $ workers $ queue $ deadline
+             $ io_timeout $ refit_iters $ refit_tol $ eps $ rank))
+
+(* ------------------------------------------------------------------ *)
+(* client plumbing *)
+
+let connect_arg =
+  Arg.(value & opt addr_conv (Unix.ADDR_UNIX "/tmp/tccad.sock")
+       & info [ "connect" ] ~docv:"ADDR" ~doc:"Daemon address (unix:PATH or tcp:PORT).")
+
+let with_conn addr f =
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd addr;
+      f fd)
+
+(* Same generator as tcca_experiments' fit harness: a shared 4-dim latent
+   signal plus per-view noise, a pure function of (views, dim, n, seed). *)
+let synth_views ~views ~dim ~n ~seed =
+  let rng = Rng.create seed in
+  let latent = Mat.init 4 n (fun _ _ -> Rng.gaussian rng) in
+  let out = Array.make views (Mat.create 0 0) in
+  for p = 0 to views - 1 do
+    let mix = Mat.init dim 4 (fun _ _ -> Rng.gaussian rng) in
+    let noise = Mat.init dim n (fun _ _ -> 0.5 *. Rng.gaussian rng) in
+    out.(p) <- Mat.add (Mat.mul mix latent) noise
+  done;
+  out
+
+let synth_from_dims ~dims ~n ~seed =
+  (* Per-view dims may differ after a swap; generate at the max and slice.
+     (All in-tree models use homogeneous dims, where this is exact.) *)
+  let views = Array.length dims in
+  let dmax = Array.fold_left max 1 dims in
+  let full = synth_views ~views ~dim:dmax ~n ~seed in
+  Array.map2 (fun v d -> Mat.init d n (fun i j -> Mat.get v i j)) full dims
+
+let fetch_dims fd =
+  match Protocol.call fd Protocol.Health with
+  | Protocol.R_health { dims; _ } when Array.length dims > 0 -> Ok dims
+  | Protocol.R_health _ -> Error "server is cold (no model): no dims to generate against"
+  | _ -> Error "unexpected health reply"
+
+let print_response = function
+  | Protocol.R_health
+      { version; r; dims; queue_depth; queue_capacity; workers; ingested; since_fit;
+        draining } ->
+    Printf.printf "version %d  r %d  dims [%s]  queue %d/%d  workers %d  ingested %d  since-fit %d  draining %b\n"
+      version r
+      (String.concat ";" (Array.to_list (Array.map string_of_int dims)))
+      queue_depth queue_capacity workers ingested since_fit draining;
+    `Ok ()
+  | Protocol.R_matrix m ->
+    Printf.printf "matrix %d %d\n" m.Mat.rows m.Mat.cols;
+    Array.iter (fun v -> Printf.printf "%.17g\n" v) m.Mat.data;
+    `Ok ()
+  | Protocol.R_scores s ->
+    Printf.printf "scores %d\n" (Array.length s);
+    Array.iter (fun v -> Printf.printf "%.17g\n" v) s;
+    `Ok ()
+  | Protocol.R_ok { version; note } ->
+    Printf.printf "ok version %d: %s\n" version note;
+    `Ok ()
+  | Protocol.R_shed { depth; capacity } ->
+    `Error (false, Printf.sprintf "shed: queue %d/%d full — retry later" depth capacity)
+  | Protocol.R_deadline { stage; elapsed_ms } ->
+    `Error (false, Printf.sprintf "deadline exceeded at %s after %d ms" stage elapsed_ms)
+  | Protocol.R_error { code; message } ->
+    `Error (false, Printf.sprintf "error [%s]: %s" code message)
+
+let simple_client_cmd name doc req =
+  let action connect =
+    try with_conn connect (fun fd -> print_response (Protocol.call fd (req ())))
+    with Unix.Unix_error (e, _, _) -> `Error (false, "connect: " ^ Unix.error_message e)
+       | Failure msg -> `Error (false, msg)
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(ret (const action $ connect_arg))
+
+let health_cmd = simple_client_cmd "health" "Query daemon health." (fun () -> Protocol.Health)
+let drain_cmd = simple_client_cmd "drain" "Ask the daemon to drain and stop." (fun () -> Protocol.Drain)
+
+let swap_cmd =
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let action connect path =
+    try with_conn connect (fun fd -> print_response (Protocol.call fd (Protocol.Swap { path })))
+    with Unix.Unix_error (e, _, _) -> `Error (false, "connect: " ^ Unix.error_message e)
+       | Failure msg -> `Error (false, msg)
+  in
+  Cmd.v (Cmd.info "swap" ~doc:"Hot-swap the serving model from a file.")
+    Term.(ret (const action $ connect_arg $ path))
+
+let refit_cmd =
+  let deadline =
+    Arg.(value & opt int (-1) & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Refit deadline (negative = server default).")
+  in
+  let action connect deadline_ms =
+    try
+      with_conn connect (fun fd ->
+          print_response
+            (Protocol.call ~timeout_s:600. fd (Protocol.Refit { deadline_ms })))
+    with Unix.Unix_error (e, _, _) -> `Error (false, "connect: " ^ Unix.error_message e)
+       | Failure msg -> `Error (false, msg)
+  in
+  Cmd.v (Cmd.info "refit" ~doc:"Warm-started incremental refit from ingested samples.")
+    Term.(ret (const action $ connect_arg $ deadline))
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Data seed.")
+let n_arg = Arg.(value & opt int 16 & info [ "n" ] ~docv:"N" ~doc:"Instances.")
+
+let ingest_cmd =
+  let views =
+    Arg.(value & opt (some int) None & info [ "views" ] ~docv:"M"
+           ~doc:"View count (required when the server is cold).")
+  in
+  let dim =
+    Arg.(value & opt (some int) None & info [ "dim" ] ~docv:"D"
+           ~doc:"Per-view dimension (required when the server is cold).")
+  in
+  let action connect seed n views dim =
+    try
+      with_conn connect (fun fd ->
+          let dims =
+            match (views, dim) with
+            | Some m, Some d -> Ok (Array.make m d)
+            | _ -> fetch_dims fd
+          in
+          match dims with
+          | Error msg -> `Error (false, msg ^ " (pass --views and --dim)")
+          | Ok dims ->
+            let batch = synth_from_dims ~dims ~n ~seed in
+            print_response (Protocol.call fd (Protocol.Ingest { views = batch })))
+    with Unix.Unix_error (e, _, _) -> `Error (false, "connect: " ^ Unix.error_message e)
+       | Failure msg -> `Error (false, msg)
+  in
+  Cmd.v (Cmd.info "ingest" ~doc:"Ingest a deterministic synthetic sample batch.")
+    Term.(ret (const action $ connect_arg $ seed_arg $ n_arg $ views $ dim))
+
+let batch_query_cmd name doc mk =
+  let deadline =
+    Arg.(value & opt int (-1) & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Request deadline (negative = server default).")
+  in
+  let action connect seed n deadline_ms =
+    try
+      with_conn connect (fun fd ->
+          match fetch_dims fd with
+          | Error msg -> `Error (false, msg)
+          | Ok dims ->
+            let batch = synth_from_dims ~dims ~n ~seed in
+            print_response (Protocol.call fd (mk ~deadline_ms ~views:batch)))
+    with Unix.Unix_error (e, _, _) -> `Error (false, "connect: " ^ Unix.error_message e)
+       | Failure msg -> `Error (false, msg)
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(ret (const action $ connect_arg $ seed_arg $ n_arg $ deadline))
+
+let transform_cmd =
+  batch_query_cmd "transform" "Project a deterministic synthetic batch (%.17g output)."
+    (fun ~deadline_ms ~views -> Protocol.Transform { deadline_ms; views })
+
+let predict_cmd =
+  batch_query_cmd "predict" "Score a deterministic synthetic batch (%.17g output)."
+    (fun ~deadline_ms ~views -> Protocol.Predict { deadline_ms; views })
+
+let () =
+  let doc = "Fault-tolerant TCCA model-serving daemon" in
+  let info = Cmd.info "tccad" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ serve_cmd; health_cmd; transform_cmd; predict_cmd; ingest_cmd; refit_cmd;
+            swap_cmd; drain_cmd ]))

@@ -20,6 +20,7 @@ type t = {
   centered : bool;
   correlations : Vec.t;
   t_sketch : sketch_info option;
+  factors : Mat.t array; (* whitened-space Bₚ, retained for warm refits *)
 }
 
 let max_instances = 600
@@ -421,7 +422,8 @@ let fit_prepared_checked ?(solver = Tcca.default_solver) ?budget ?checkpoint ~r 
             raw_total_means = prepared.p_raw_total_means;
             centered = prepared.p_centered;
             correlations = kruskal.Kruskal.weights;
-            t_sketch = None }
+            t_sketch = None;
+            factors = kruskal.Kruskal.factors }
     | Nystrom_rep { ny_factors; ny_chols; ny_info } -> (
       (* Back-substitution in ℓ-space: Bₚ = Gₚ⁻ᵀCₚ, then the least-norm dual
          with FₚᵀAₚ = Bₚ is Aₚ = Fₚ(FₚᵀFₚ + δI)⁻¹Bₚ; the train embedding
@@ -452,7 +454,8 @@ let fit_prepared_checked ?(solver = Tcca.default_solver) ?budget ?checkpoint ~r 
               raw_total_means = prepared.p_raw_total_means;
               centered = prepared.p_centered;
               correlations = kruskal.Kruskal.weights;
-              t_sketch = Some ny_info }
+              t_sketch = Some ny_info;
+              factors = kruskal.Kruskal.factors }
       with Robust.Error e -> Error e))
 
 let fit_prepared ?solver ?budget ?checkpoint ~r prepared =
@@ -512,3 +515,7 @@ let transform t crosses =
   Mat.vcat_list (Array.to_list blocks)
 
 let dual_weights t = Array.map Mat.copy t.duals
+
+let warm_solver ?options t =
+  let base = match options with Some o -> o | None -> Cp_als.default_options in
+  Tcca.Als { base with Cp_als.init = Cp_als.Warm (Array.map Mat.copy t.factors) }

@@ -220,3 +220,9 @@ val transform : t -> Mat.t array -> Mat.t
 val dual_weights : t -> Mat.t array
 (** Per-view [N × r] dual coefficients [aₚ = Lₚ⁻¹Bₚ]; on the Nyström path
     the least-norm solution [Aₚ = Fₚ(FₚᵀFₚ+δI)⁻¹Bₚ] of [FₚᵀAₚ = Bₚ]. *)
+
+val warm_solver : ?options:Cp_als.options -> t -> Tcca.solver
+(** An [Als] solver whose init is [Cp_als.Warm] on this model's retained
+    whitened-space factors [Bₚ] — the incremental-refit entry point,
+    mirroring {!Tcca.warm_solver}.  [options] (default
+    [Cp_als.default_options]) supplies everything but [init]. *)

@@ -7,6 +7,7 @@ type whiten = [ `Auto | `Eig | `Randomized of int ]
 type t = {
   means : Vec.t array;
   projections : Mat.t array; (* dₚ × r, whitening folded in *)
+  factors : Mat.t array;     (* whitened-space Uₚ, retained for warm refits *)
   correlations : Vec.t;
   solver_note : string;
 }
@@ -584,6 +585,7 @@ let fit_prepared_checked ?(solver = default_solver) ?budget ?checkpoint ~r prepa
       Ok
         { means = prepared.p_means;
           projections;
+          factors = kruskal.Kruskal.factors;
           correlations = kruskal.Kruskal.weights;
           solver_note = note }
 
@@ -616,3 +618,48 @@ let transform t views =
 let projections t = Array.map Mat.copy t.projections
 let canonical_vectors = projections
 let solver_info t = t.solver_note
+let view_dims t = Array.map Array.length t.means
+
+(* ------------------------------------------------------------------ *)
+(* Serialization surface + warm restarts (the serving layer's needs). *)
+
+type parts = {
+  pt_means : Vec.t array;
+  pt_projections : Mat.t array;
+  pt_factors : Mat.t array;
+  pt_correlations : Vec.t;
+  pt_note : string;
+}
+
+let to_parts t =
+  { pt_means = Array.map Array.copy t.means;
+    pt_projections = Array.map Mat.copy t.projections;
+    pt_factors = Array.map Mat.copy t.factors;
+    pt_correlations = Array.copy t.correlations;
+    pt_note = t.solver_note }
+
+let of_parts p =
+  let m = Array.length p.pt_projections in
+  if m < 2 then invalid_arg "Tcca.of_parts: need at least two views";
+  if Array.length p.pt_means <> m || Array.length p.pt_factors <> m then
+    invalid_arg "Tcca.of_parts: view count mismatch";
+  let r = Array.length p.pt_correlations in
+  if r < 1 then invalid_arg "Tcca.of_parts: empty correlations";
+  Array.iteri
+    (fun i proj ->
+      let rows, cols = Mat.dims proj in
+      if cols <> r then invalid_arg "Tcca.of_parts: projection rank mismatch";
+      if rows <> Array.length p.pt_means.(i) then
+        invalid_arg "Tcca.of_parts: mean/projection dim mismatch";
+      if snd (Mat.dims p.pt_factors.(i)) <> r then
+        invalid_arg "Tcca.of_parts: factor rank mismatch")
+    p.pt_projections;
+  { means = Array.map Array.copy p.pt_means;
+    projections = Array.map Mat.copy p.pt_projections;
+    factors = Array.map Mat.copy p.pt_factors;
+    correlations = Array.copy p.pt_correlations;
+    solver_note = p.pt_note }
+
+let warm_solver ?options t =
+  let base = match options with Some o -> o | None -> Cp_als.default_options in
+  Als { base with Cp_als.init = Cp_als.Warm (Array.map Mat.copy t.factors) }

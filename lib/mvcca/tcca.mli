@@ -186,6 +186,38 @@ val canonical_vectors : t -> Mat.t array
 val solver_info : t -> string
 (** Human-readable convergence note (iterations, fit) for logging. *)
 
+val view_dims : t -> int array
+(** Input dimensionality dₚ of each view (what {!transform} expects). *)
+
+(** {2 Serialization surface and warm restarts}
+
+    What a long-lived serving process needs from a fitted model: a plain
+    record of its contents (to write durable model files through
+    [Checkpoint.Wire]) and a solver preloaded with its whitened-space
+    factors (to warm-start an incremental refit). *)
+
+type parts = {
+  pt_means : Vec.t array;
+  pt_projections : Mat.t array;  (** [C̃pp^{−1/2} Uₚ], whitening folded in. *)
+  pt_factors : Mat.t array;      (** The whitened-space [Uₚ] — retained so a
+                                     refit can warm-start CP-ALS. *)
+  pt_correlations : Vec.t;
+  pt_note : string;
+}
+(** A fitted model, exploded.  All arrays are fresh copies in both
+    directions. *)
+
+val to_parts : t -> parts
+
+val of_parts : parts -> t
+(** Raises [Invalid_argument] on structural inconsistency (view counts,
+    ranks, mean/projection dims) — the guard a deserializer relies on. *)
+
+val warm_solver : ?options:Cp_als.options -> t -> solver
+(** An [Als] solver whose init is [Cp_als.Warm] on this model's whitened
+    factors: the incremental-refit entry point.  [options] (default
+    [Cp_als.default_options]) supplies everything but [init]. *)
+
 val covariance_tensor : Mat.t array -> Tensor.t
 (** The centered covariance tensor [C₁₂…ₘ = (1/N) Σₙ x₁ₙ ∘ … ∘ xₘₙ] of
     already-centered views — exposed for tests and benches. *)

@@ -18,25 +18,197 @@
    Rename is atomic on POSIX, so a reader (including a crashed-and-restarted
    self) only ever observes either the previous complete snapshot or the new
    complete snapshot — never a torn one.  The [Torn_checkpoint_write] fault
-   bypasses exactly this protocol to prove the loader's degradation path. *)
+   bypasses exactly this protocol to prove the loader's degradation path.
+
+   The header/CRC/field-stream machinery is generic — only the payload
+   schema is snapshot-specific — so it lives in the [Wire] submodule, which
+   the serving layer reuses for its own model files (magic "TCCM"). *)
+
+type direction = Newer | Older
+
+type load_error =
+  | Truncated
+  | Corrupt of string
+  | Version_mismatch of { found : int; expected : int; direction : direction }
+
+let load_error_to_string = function
+  | Truncated -> "truncated snapshot (torn write or incomplete copy)"
+  | Corrupt what -> Printf.sprintf "corrupt snapshot (%s)" what
+  | Version_mismatch { found; expected; direction } ->
+    Printf.sprintf "snapshot format version %d is %s than this build reads (%d)" found
+      (match direction with Newer -> "newer" | Older -> "older")
+      expected
 
 (* ------------------------------------------------------------------ *)
-(* CRC32 (IEEE 802.3, the zlib polynomial). *)
 
-let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
-         done;
-         !c))
+module Wire = struct
+  (* CRC32 (IEEE 802.3, the zlib polynomial). *)
 
-let crc32 s =
-  let table = Lazy.force crc_table in
-  let c = ref 0xFFFFFFFF in
-  String.iter (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8)) s;
-  !c lxor 0xFFFFFFFF
+  let crc_table =
+    lazy
+      (Array.init 256 (fun n ->
+           let c = ref n in
+           for _ = 0 to 7 do
+             c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+           done;
+           !c))
+
+  let crc32 s =
+    let table = Lazy.force crc_table in
+    let c = ref 0xFFFFFFFF in
+    String.iter
+      (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+      s;
+    !c lxor 0xFFFFFFFF
+
+  (* Field-stream encoders. *)
+
+  let add_i64 b v = Buffer.add_int64_le b v
+  let add_int b v = add_i64 b (Int64.of_int v)
+  let add_f64 b v = add_i64 b (Int64.bits_of_float v)
+  let add_bool b v = add_int b (if v then 1 else 0)
+
+  let add_string b s =
+    add_int b (String.length s);
+    Buffer.add_string b s
+
+  let add_f_array b a =
+    add_int b (Array.length a);
+    Array.iter (add_f64 b) a
+
+  let add_int_opt b = function
+    | None -> add_int b 0
+    | Some v ->
+      add_int b 1;
+      add_int b v
+
+  (* Decoding: a cursor over the payload; any overrun or bad tag raises
+     [Decode], which framed loaders surface as [Corrupt]. *)
+
+  exception Decode of string
+
+  type cursor = { s : string; mutable pos : int }
+
+  let cursor s = { s; pos = 0 }
+
+  let need c n =
+    if c.pos + n > String.length c.s then raise (Decode "field overruns payload")
+
+  let get_i64 c =
+    need c 8;
+    let v = String.get_int64_le c.s c.pos in
+    c.pos <- c.pos + 8;
+    v
+
+  let get_int c =
+    let v = get_i64 c in
+    let i = Int64.to_int v in
+    if Int64.of_int i <> v then raise (Decode "integer out of range");
+    i
+
+  let get_nat c what =
+    let v = get_int c in
+    if v < 0 then raise (Decode (what ^ " is negative"));
+    v
+
+  let get_f64 c = Int64.float_of_bits (get_i64 c)
+
+  let get_bool c =
+    match get_int c with 0 -> false | 1 -> true | _ -> raise (Decode "bad bool tag")
+
+  let get_string c =
+    let n = get_nat c "string length" in
+    need c n;
+    let s = String.sub c.s c.pos n in
+    c.pos <- c.pos + n;
+    s
+
+  let get_f_array c =
+    let n = get_nat c "array length" in
+    need c (8 * n);
+    let a =
+      Array.init n (fun i ->
+          Int64.float_of_bits (String.get_int64_le c.s (c.pos + (8 * i))))
+    in
+    c.pos <- c.pos + (8 * n);
+    a
+
+  let get_int_opt c =
+    match get_int c with
+    | 0 -> None
+    | 1 -> Some (get_int c)
+    | _ -> raise (Decode "bad option tag")
+
+  let expect_end c =
+    if c.pos <> String.length c.s then raise (Decode "trailing bytes after payload")
+
+  (* Framing. *)
+
+  let header_bytes = 20
+
+  let frame ~magic ~version payload =
+    if String.length magic <> 4 then invalid_arg "Wire.frame: magic must be 4 bytes";
+    let b = Buffer.create (header_bytes + String.length payload) in
+    Buffer.add_string b magic;
+    Buffer.add_int32_le b (Int32.of_int version);
+    add_i64 b (Int64.of_int (String.length payload));
+    Buffer.add_int32_le b (Int32.of_int (crc32 payload));
+    Buffer.add_string b payload;
+    Buffer.contents b
+
+  let unframe ~magic ~version s =
+    if String.length s < header_bytes then Error Truncated
+    else if String.sub s 0 4 <> magic then Error (Corrupt "bad magic")
+    else begin
+      let found = Int32.to_int (String.get_int32_le s 4) in
+      if found <> version then
+        Error
+          (Version_mismatch
+             { found;
+               expected = version;
+               direction = (if found > version then Newer else Older) })
+      else begin
+        let len64 = String.get_int64_le s 8 in
+        let declared_crc = Int32.to_int (String.get_int32_le s 16) land 0xFFFFFFFF in
+        match Int64.unsigned_to_int len64 with
+        | None -> Error (Corrupt "absurd payload length")
+        | Some len ->
+          if String.length s < header_bytes + len then Error Truncated
+          else if String.length s > header_bytes + len then
+            Error (Corrupt "trailing bytes after payload")
+          else
+            let payload = String.sub s header_bytes len in
+            if crc32 payload <> declared_crc then Error (Corrupt "CRC mismatch")
+            else Ok payload
+      end
+    end
+
+  (* File I/O. *)
+
+  let write_file path bytes =
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc bytes)
+
+  let write_atomic ~path bytes =
+    let tmp = path ^ ".tmp" in
+    write_file tmp bytes;
+    Sys.rename tmp path
+
+  let read ~path =
+    let read_all () =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match read_all () with
+    | s -> Ok s
+    | exception Sys_error e -> Error (Corrupt ("unreadable: " ^ e))
+end
+
+let crc32 = Wire.crc32
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot structure.  Factors are plain row-major arrays: this module
@@ -66,42 +238,13 @@ type t = {
   current : run_state;        (* the in-progress run at its last sweep boundary *)
 }
 
-type load_error =
-  | Truncated
-  | Corrupt of string
-  | Version_mismatch of { found : int; expected : int }
-
-let load_error_to_string = function
-  | Truncated -> "truncated snapshot (torn write or incomplete copy)"
-  | Corrupt what -> Printf.sprintf "corrupt snapshot (%s)" what
-  | Version_mismatch { found; expected } ->
-    Printf.sprintf "snapshot format version %d (this build reads %d)" found expected
-
 let version = 1
 let magic = "TCCK"
-let header_bytes = 20
 
 (* ------------------------------------------------------------------ *)
-(* Encoding. *)
+(* Snapshot payload codec, on top of the [Wire] field stream. *)
 
-let add_i64 b v = Buffer.add_int64_le b v
-let add_int b v = add_i64 b (Int64.of_int v)
-let add_f64 b v = add_i64 b (Int64.bits_of_float v)
-let add_bool b v = add_int b (if v then 1 else 0)
-
-let add_string b s =
-  add_int b (String.length s);
-  Buffer.add_string b s
-
-let add_f_array b a =
-  add_int b (Array.length a);
-  Array.iter (add_f64 b) a
-
-let add_int_opt b = function
-  | None -> add_int b 0
-  | Some v ->
-    add_int b 1;
-    add_int b v
+open Wire
 
 let add_failure b = function
   | None -> add_int b 0
@@ -161,61 +304,6 @@ let encode_payload t =
   List.iter (add_run_state b) t.completed;
   add_run_state b t.current;
   Buffer.contents b
-
-(* ------------------------------------------------------------------ *)
-(* Decoding: a cursor over the payload; any overrun or bad tag raises
-   [Decode] and surfaces as [Corrupt]. *)
-
-exception Decode of string
-
-type cursor = { s : string; mutable pos : int }
-
-let need c n = if c.pos + n > String.length c.s then raise (Decode "field overruns payload")
-
-let get_i64 c =
-  need c 8;
-  let v = String.get_int64_le c.s c.pos in
-  c.pos <- c.pos + 8;
-  v
-
-let get_int c =
-  let v = get_i64 c in
-  let i = Int64.to_int v in
-  if Int64.of_int i <> v then raise (Decode "integer out of range");
-  i
-
-let get_nat c what =
-  let v = get_int c in
-  if v < 0 then raise (Decode (what ^ " is negative"));
-  v
-
-let get_f64 c = Int64.float_of_bits (get_i64 c)
-
-let get_bool c =
-  match get_int c with 0 -> false | 1 -> true | _ -> raise (Decode "bad bool tag")
-
-let get_string c =
-  let n = get_nat c "string length" in
-  need c n;
-  let s = String.sub c.s c.pos n in
-  c.pos <- c.pos + n;
-  s
-
-let get_f_array c =
-  let n = get_nat c "array length" in
-  need c (8 * n);
-  let a =
-    Array.init n (fun i ->
-        Int64.float_of_bits (String.get_int64_le c.s (c.pos + (8 * i))))
-  in
-  c.pos <- c.pos + (8 * n);
-  a
-
-let get_int_opt c =
-  match get_int c with
-  | 0 -> None
-  | 1 -> Some (get_int c)
-  | _ -> raise (Decode "bad option tag")
 
 let get_failure c =
   match get_int c with
@@ -279,43 +367,31 @@ let get_run_state c =
     rs_history }
 
 let decode_payload s =
-  let c = { s; pos = 0 } in
+  let c = cursor s in
   let fingerprint = get_string c in
   let domains = get_nat c "domains" in
   let attempt = get_nat c "attempt" in
   let n_completed = get_nat c "completed count" in
   let completed = List.init n_completed (fun _ -> get_run_state c) in
   let current = get_run_state c in
-  if c.pos <> String.length s then raise (Decode "trailing bytes after snapshot");
+  expect_end c;
   { fingerprint; domains; attempt; completed; current }
 
 (* ------------------------------------------------------------------ *)
 (* File I/O. *)
 
 let encode_file t =
-  let payload = encode_payload t in
+  let file = frame ~magic ~version (encode_payload t) in
   (* CRC always taken over the clean bytes; the [Corrupt_checkpoint] fault
-     then flips one bit of the body so the loader must catch the mismatch. *)
-  let crc = crc32 payload in
-  let body =
-    if Robust.Inject.(active Corrupt_checkpoint) then begin
-      let b = Bytes.of_string payload in
-      let i = Bytes.length b - 1 in
-      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
-      Bytes.to_string b
-    end
-    else payload
-  in
-  let header = Buffer.create header_bytes in
-  Buffer.add_string header magic;
-  Buffer.add_int32_le header (Int32.of_int version);
-  add_i64 header (Int64.of_int (String.length body));
-  Buffer.add_int32_le header (Int32.of_int crc);
-  Buffer.contents header ^ body
-
-let write_file path bytes =
-  let oc = open_out_bin path in
-  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc bytes)
+     then flips one bit of the last payload byte so the loader must catch
+     the mismatch. *)
+  if Robust.Inject.(active Corrupt_checkpoint) then begin
+    let b = Bytes.of_string file in
+    let i = Bytes.length b - 1 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+    Bytes.to_string b
+  end
+  else file
 
 let save ~path t =
   let bytes = encode_file t in
@@ -323,45 +399,18 @@ let save ~path t =
     (* Crash simulation: half the file lands at the *final* path, no rename.
        This is the failure mode the temp-file + rename protocol prevents. *)
     write_file path (String.sub bytes 0 (String.length bytes / 2))
-  else begin
-    let tmp = path ^ ".tmp" in
-    write_file tmp bytes;
-    Sys.rename tmp path
-  end
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+  else write_atomic ~path bytes
 
 let load ~path =
-  match read_file path with
-  | exception Sys_error e -> Error (Corrupt ("unreadable: " ^ e))
-  | s ->
-    if String.length s < header_bytes then Error Truncated
-    else if String.sub s 0 4 <> magic then Error (Corrupt "bad magic")
-    else begin
-      let found = Int32.to_int (String.get_int32_le s 4) in
-      if found <> version then Error (Version_mismatch { found; expected = version })
-      else begin
-        let len64 = String.get_int64_le s 8 in
-        let declared_crc = Int32.to_int (String.get_int32_le s 16) land 0xFFFFFFFF in
-        match Int64.unsigned_to_int len64 with
-        | None -> Error (Corrupt "absurd payload length")
-        | Some len ->
-          if String.length s < header_bytes + len then Error Truncated
-          else if String.length s > header_bytes + len then
-            Error (Corrupt "trailing bytes after payload")
-          else
-            let payload = String.sub s header_bytes len in
-            if crc32 payload <> declared_crc then Error (Corrupt "CRC mismatch")
-            else (
-              match decode_payload payload with
-              | t -> Ok t
-              | exception Decode what -> Error (Corrupt what))
-      end
-    end
+  match read ~path with
+  | Error e -> Error e
+  | Ok s -> (
+    match unframe ~magic ~version s with
+    | Error e -> Error e
+    | Ok payload -> (
+      match decode_payload payload with
+      | t -> Ok t
+      | exception Decode what -> Error (Corrupt what)))
 
 (* ------------------------------------------------------------------ *)
 (* Solver-facing configuration. *)

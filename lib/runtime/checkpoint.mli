@@ -62,13 +62,21 @@ type t = {
   current : run_state;
 }
 
+type direction =
+  | Newer  (** The file was written by a build newer than this one. *)
+  | Older  (** The file predates the oldest version this build reads. *)
+
 type load_error =
   | Truncated
       (** Shorter than the header or the declared payload — a torn write. *)
   | Corrupt of string
       (** Bad magic, CRC mismatch, or a malformed field (the string says
           which). *)
-  | Version_mismatch of { found : int; expected : int }
+  | Version_mismatch of { found : int; expected : int; direction : direction }
+      (** The header's format version is not one this build reads.
+          [direction] distinguishes forward incompatibility ([Newer] — e.g.
+          a hot-swap fed a snapshot from a newer daemon, refusable with a
+          precise reply) from a stale file ([Older]). *)
 
 val load_error_to_string : load_error -> string
 
@@ -83,7 +91,78 @@ val load : path:string -> (t, load_error) result
 
 val crc32 : string -> int
 (** The checksum used by the format (IEEE 802.3 / zlib polynomial); exposed
-    for tests and for digesting models elsewhere. *)
+    for tests and for digesting models elsewhere.  Alias of
+    {!Wire.crc32}. *)
+
+(** {1 Wire-format toolkit}
+
+    The header/CRC/field-stream machinery, factored out so other durable
+    formats (the serving layer's model files, magic ["TCCM"]) share the
+    exact framing, integrity checks and typed {!load_error}s of the
+    snapshot format instead of reinventing them. *)
+module Wire : sig
+  val crc32 : string -> int
+
+  val header_bytes : int
+  (** Fixed frame header size: magic (4) + version (4) + length (8) +
+      CRC32 (4) = 20 bytes. *)
+
+  (** {2 Field-stream encoders}
+
+      Everything is written as little-endian i64s (floats by bit pattern),
+      strings and arrays length-prefixed. *)
+
+  val add_i64 : Buffer.t -> int64 -> unit
+  val add_int : Buffer.t -> int -> unit
+  val add_f64 : Buffer.t -> float -> unit
+  val add_bool : Buffer.t -> bool -> unit
+  val add_string : Buffer.t -> string -> unit
+  val add_f_array : Buffer.t -> float array -> unit
+  val add_int_opt : Buffer.t -> int option -> unit
+
+  (** {2 Field-stream decoders} *)
+
+  exception Decode of string
+  (** Raised by the [get_*] cursor readers on any overrun, bad tag, or
+      malformed field; framed loaders catch it and surface [Corrupt]. *)
+
+  type cursor
+
+  val cursor : string -> cursor
+  val get_i64 : cursor -> int64
+  val get_int : cursor -> int
+  val get_nat : cursor -> string -> int
+  (** [get_nat c what] reads an int and raises {!Decode} if negative;
+      [what] names the field in the error. *)
+
+  val get_f64 : cursor -> float
+  val get_bool : cursor -> bool
+  val get_string : cursor -> string
+  val get_f_array : cursor -> float array
+  val get_int_opt : cursor -> int option
+
+  val expect_end : cursor -> unit
+  (** Raises {!Decode} unless the cursor consumed the whole payload. *)
+
+  (** {2 Framing and file I/O} *)
+
+  val frame : magic:string -> version:int -> string -> string
+  (** [frame ~magic ~version payload] builds the complete file bytes:
+      20-byte header (magic must be exactly 4 bytes) + payload.  The CRC is
+      always computed over the payload as given. *)
+
+  val unframe : magic:string -> version:int -> string -> (string, load_error) result
+  (** Header validation in order — length, magic, version (mismatches carry
+      a {!direction}), declared payload length, CRC — returning the verified
+      payload.  Never raises on bad content. *)
+
+  val write_atomic : path:string -> string -> unit
+  (** Temp file in the same directory + atomic [Sys.rename].  Raises
+      [Sys_error] if the directory is unwritable. *)
+
+  val read : path:string -> (string, load_error) result
+  (** Whole-file read; an unreadable path maps to [Corrupt]. *)
+end
 
 (** {1 Solver-facing configuration} *)
 

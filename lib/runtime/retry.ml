@@ -1,0 +1,63 @@
+(* Exponential backoff with deterministic jitter.  [runtime] sits below
+   [mvutil], so the jitter stream is a local splitmix-style integer hash
+   rather than [Rng] — same fixed-point determinism, zero dependencies. *)
+
+type policy = {
+  attempts : int;
+  base_delay : float;
+  multiplier : float;
+  max_delay : float;
+  jitter : float;
+  seed : int;
+}
+
+let default_policy =
+  { attempts = 4;
+    base_delay = 0.05;
+    multiplier = 2.0;
+    max_delay = 1.0;
+    jitter = 0.5;
+    seed = 0x52455459 (* "RETY" *) }
+
+(* splitmix64 finalizer on (seed, attempt): a well-mixed 64-bit hash whose
+   top 53 bits become a uniform float in [0, 1). *)
+let uniform ~seed ~attempt =
+  let z = ref Int64.(add (of_int seed) (mul (of_int attempt) 0x9E3779B97F4A7C15L)) in
+  let mix shift mult =
+    z := Int64.(mul (logxor !z (shift_right_logical !z shift)) mult)
+  in
+  mix 30 0xBF58476D1CE4E5B9L;
+  mix 27 0x94D049BB133111EBL;
+  let bits = Int64.(to_int (shift_right_logical (logxor !z (shift_right_logical !z 31)) 11)) in
+  float_of_int bits /. 9007199254740992.0 (* 2^53 *)
+
+let delay_for p ~attempt =
+  if attempt < 1 then invalid_arg "Retry.delay_for: attempt must be >= 1";
+  let raw = p.base_delay *. (p.multiplier ** float_of_int (attempt - 1)) in
+  let capped = Float.min raw p.max_delay in
+  let j = Float.max 0. (Float.min 1. p.jitter) in
+  let u = uniform ~seed:p.seed ~attempt in
+  capped *. (1. -. j +. (j *. u))
+
+type 'e give_up = {
+  ga_attempts : int;
+  ga_total_delay : float;
+  ga_last_error : 'e;
+}
+
+let run ?(policy = default_policy) ?(sleep = Unix.sleepf) ?on_retry f =
+  if policy.attempts < 1 then invalid_arg "Retry.run: attempts must be >= 1";
+  let rec go attempt slept =
+    match f () with
+    | Ok v -> Ok v
+    | Error e when attempt >= policy.attempts ->
+      Error { ga_attempts = attempt; ga_total_delay = slept; ga_last_error = e }
+    | Error e ->
+      let delay = delay_for policy ~attempt in
+      (match on_retry with
+       | Some cb -> cb ~attempt ~delay e
+       | None -> ());
+      sleep delay;
+      go (attempt + 1) (slept +. delay)
+  in
+  go 1 0.

@@ -1,0 +1,58 @@
+(** Deterministic-jitter exponential backoff with a typed give-up.
+
+    The serving daemon retries exactly two kinds of operation — model-file
+    I/O (hot swap, startup recovery) and incremental refit attempts — and
+    both need the same contract: a bounded number of attempts, exponentially
+    growing delays so a struggling disk or a transient NFS blip is not
+    hammered, jitter so a fleet of daemons restarted together does not
+    retry in lockstep, and a {e typed} give-up carrying the last error so
+    the caller can reply precisely instead of guessing.
+
+    Determinism matters here as everywhere else in this repo: the jitter is
+    a pure function of the policy seed and the attempt number (a splitmix
+    integer hash), so a test that observes the delay sequence once can
+    assert it forever, and two daemons with different seeds still spread
+    their retries. *)
+
+type policy = {
+  attempts : int;      (** Total tries including the first ([>= 1]). *)
+  base_delay : float;  (** Delay before attempt 2, seconds. *)
+  multiplier : float;  (** Exponential growth per further attempt. *)
+  max_delay : float;   (** Cap on any single delay, seconds. *)
+  jitter : float;
+      (** Fraction of each delay randomized, in [[0, 1]]: the delay for an
+          attempt is [d * (1 - jitter + jitter * u)] with [u] in [[0, 1)]
+          drawn deterministically from [seed] and the attempt number. *)
+  seed : int;  (** Jitter stream identity. *)
+}
+
+val default_policy : policy
+(** 4 attempts, 50 ms base, ×2 growth, 1 s cap, 0.5 jitter, seed 0x52455459
+    (["RETY"]). *)
+
+val delay_for : policy -> attempt:int -> float
+(** [delay_for p ~attempt] is the delay slept {e after} failed [attempt]
+    (1-based) and before the next one — deterministic in [(p.seed,
+    attempt)].  Raises [Invalid_argument] on a non-positive attempt. *)
+
+type 'e give_up = {
+  ga_attempts : int;     (** Attempts actually made. *)
+  ga_total_delay : float;(** Seconds of backoff slept across them. *)
+  ga_last_error : 'e;    (** The final attempt's error, verbatim. *)
+}
+(** Why a retried operation was abandoned: every attempt failed and the
+    policy ran out. *)
+
+val run :
+  ?policy:policy ->
+  ?sleep:(float -> unit) ->
+  ?on_retry:(attempt:int -> delay:float -> 'e -> unit) ->
+  (unit -> ('a, 'e) result) ->
+  ('a, 'e give_up) result
+(** [run f] calls [f] up to [policy.attempts] times, sleeping the
+    {!delay_for} backoff between failures.  First [Ok] wins.  [~sleep]
+    (default [Unix.sleepf]) exists so tests run instantly and can record
+    the delay sequence; [~on_retry] fires before each sleep with the
+    failing attempt's number, the chosen delay and its error (the daemon
+    logs these).  Exceptions from [f] are not caught: retry is for typed,
+    expected failures — a programming error should crash loudly. *)

@@ -80,6 +80,12 @@ let warnf fmt =
 let recent_warnings () = with_ring (fun () -> List.rev !warnings)
 let clear_warnings () = with_ring (fun () -> warnings := [])
 
+let drain_warnings () =
+  with_ring (fun () ->
+      let drained = List.rev !warnings in
+      warnings := [];
+      drained)
+
 (* ------------------------------------------------------------------ *)
 
 module Inject = struct
@@ -92,6 +98,10 @@ module Inject = struct
     | Torn_checkpoint_write
     | Corrupt_checkpoint
     | Deadline_now
+    | Slow_client
+    | Torn_swap
+    | Queue_full
+    | Refit_nan
 
   (* [on] is the single-load fast path: production code probes [active],
      which reads one bool before anything else happens. *)

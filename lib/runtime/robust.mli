@@ -71,9 +71,24 @@ val warnf : ('a, unit, string, unit) format4 -> 'a
     [Logs.warn] on the ["tcca.robust"] source. *)
 
 val recent_warnings : unit -> string list
-(** The captured warnings, oldest first (capped; older entries drop). *)
+(** The captured warnings, oldest first (capped; older entries drop).
+    Non-destructive: repeated calls return the same entries until
+    {!clear_warnings} or {!drain_warnings} runs. *)
 
 val clear_warnings : unit -> unit
+
+val drain_warnings : unit -> string list
+(** Read-and-clear, atomically: returns the captured warnings oldest first
+    and empties the ring in one critical section, so a long-lived process
+    (the serving daemon) can ship warning batches to its log without ever
+    re-reporting an entry or losing one.
+
+    Mutex contract: the ring is guarded by a single internal leaf-level
+    mutex shared by {!warnf}, {!recent_warnings}, {!clear_warnings} and this
+    function.  A [warnf] racing a [drain_warnings] lands either in the
+    returned batch or in the ring for the next drain — never in both and
+    never dropped.  Two concurrent drains partition the entries between
+    them. *)
 
 (** {1 Fault injection}
 
@@ -101,6 +116,21 @@ module Inject : sig
     | Deadline_now
         (** Make every [Budget] check report immediate expiry, regardless of
             the actual clocks. *)
+    | Slow_client
+        (** Serving: pretend a connected client stalls mid-frame, so the
+            daemon's per-connection read timeout must fire and the
+            connection must be dropped without wedging a worker. *)
+    | Torn_swap
+        (** Serving: truncate the bytes of a hot-swap model read, so the
+            swap must fail validation and roll back to the serving
+            version. *)
+    | Queue_full
+        (** Serving: make the bounded request queue report overflow on every
+            enqueue, forcing the load-shedding reply path. *)
+    | Refit_nan
+        (** Serving: poison the covariance statistics of an incremental
+            refit (via the same NaN guardrail the fit path uses), so the
+            refit must fail typed and leave the serving model unchanged. *)
 
   val arm : stage -> unit
   (** Arm a stage (enables injection globally). *)

@@ -1,0 +1,280 @@
+(* Length-prefixed frames whose bodies are Checkpoint.Wire field streams —
+   the serving protocol deliberately reuses the snapshot format's codec so
+   there is exactly one binary-field discipline in the tree. *)
+
+module Wire = Checkpoint.Wire
+
+type request =
+  | Health
+  | Transform of { deadline_ms : int; views : Mat.t array }
+  | Predict of { deadline_ms : int; views : Mat.t array }
+  | Ingest of { views : Mat.t array }
+  | Refit of { deadline_ms : int }
+  | Swap of { path : string }
+  | Drain
+
+type response =
+  | R_health of {
+      version : int;
+      r : int;
+      dims : int array;
+      queue_depth : int;
+      queue_capacity : int;
+      workers : int;
+      ingested : int;
+      since_fit : int;
+      draining : bool;
+    }
+  | R_matrix of Mat.t
+  | R_scores of float array
+  | R_ok of { version : int; note : string }
+  | R_shed of { depth : int; capacity : int }
+  | R_deadline of { stage : string; elapsed_ms : int }
+  | R_error of { code : string; message : string }
+
+let max_frame_bytes = 64 * 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Body codec. *)
+
+let add_mat b (m : Mat.t) =
+  Wire.add_int b m.Mat.rows;
+  Wire.add_int b m.Mat.cols;
+  Wire.add_f_array b m.Mat.data
+
+let get_mat c =
+  let rows = Wire.get_nat c "mat rows" in
+  let cols = Wire.get_nat c "mat cols" in
+  let data = Wire.get_f_array c in
+  if Array.length data <> rows * cols then raise (Wire.Decode "mat shape mismatch");
+  Mat.unsafe_of_flat ~rows ~cols data
+
+let add_views b views =
+  Wire.add_int b (Array.length views);
+  Array.iter (add_mat b) views
+
+let get_views c =
+  let n = Wire.get_nat c "view count" in
+  Array.init n (fun _ -> get_mat c)
+
+let add_int_array b a =
+  Wire.add_int b (Array.length a);
+  Array.iter (Wire.add_int b) a
+
+let get_int_array c =
+  let n = Wire.get_nat c "int array length" in
+  Array.init n (fun _ -> Wire.get_int c)
+
+let request_to_string req =
+  let b = Buffer.create 256 in
+  (match req with
+  | Health -> Wire.add_int b 1
+  | Transform { deadline_ms; views } ->
+    Wire.add_int b 2;
+    Wire.add_int b deadline_ms;
+    add_views b views
+  | Predict { deadline_ms; views } ->
+    Wire.add_int b 3;
+    Wire.add_int b deadline_ms;
+    add_views b views
+  | Ingest { views } ->
+    Wire.add_int b 4;
+    add_views b views
+  | Refit { deadline_ms } ->
+    Wire.add_int b 5;
+    Wire.add_int b deadline_ms
+  | Swap { path } ->
+    Wire.add_int b 6;
+    Wire.add_string b path
+  | Drain -> Wire.add_int b 7);
+  Buffer.contents b
+
+let request_of_cursor c =
+  let req =
+    match Wire.get_int c with
+    | 1 -> Health
+    | 2 ->
+      let deadline_ms = Wire.get_int c in
+      let views = get_views c in
+      Transform { deadline_ms; views }
+    | 3 ->
+      let deadline_ms = Wire.get_int c in
+      let views = get_views c in
+      Predict { deadline_ms; views }
+    | 4 -> Ingest { views = get_views c }
+    | 5 -> Refit { deadline_ms = Wire.get_int c }
+    | 6 -> Swap { path = Wire.get_string c }
+    | 7 -> Drain
+    | _ -> raise (Wire.Decode "bad request tag")
+  in
+  Wire.expect_end c;
+  req
+
+let request_of_string s =
+  match request_of_cursor (Wire.cursor s) with
+  | req -> Ok req
+  | exception Wire.Decode what -> Error what
+
+let response_to_string resp =
+  let b = Buffer.create 256 in
+  (match resp with
+  | R_health
+      { version;
+        r;
+        dims;
+        queue_depth;
+        queue_capacity;
+        workers;
+        ingested;
+        since_fit;
+        draining } ->
+    Wire.add_int b 1;
+    Wire.add_int b version;
+    Wire.add_int b r;
+    add_int_array b dims;
+    Wire.add_int b queue_depth;
+    Wire.add_int b queue_capacity;
+    Wire.add_int b workers;
+    Wire.add_int b ingested;
+    Wire.add_int b since_fit;
+    Wire.add_bool b draining
+  | R_matrix m ->
+    Wire.add_int b 2;
+    add_mat b m
+  | R_scores s ->
+    Wire.add_int b 3;
+    Wire.add_f_array b s
+  | R_ok { version; note } ->
+    Wire.add_int b 4;
+    Wire.add_int b version;
+    Wire.add_string b note
+  | R_shed { depth; capacity } ->
+    Wire.add_int b 5;
+    Wire.add_int b depth;
+    Wire.add_int b capacity
+  | R_deadline { stage; elapsed_ms } ->
+    Wire.add_int b 6;
+    Wire.add_string b stage;
+    Wire.add_int b elapsed_ms
+  | R_error { code; message } ->
+    Wire.add_int b 7;
+    Wire.add_string b code;
+    Wire.add_string b message);
+  Buffer.contents b
+
+let response_of_cursor c =
+  let resp =
+    match Wire.get_int c with
+    | 1 ->
+      let version = Wire.get_int c in
+      let r = Wire.get_nat c "health r" in
+      let dims = get_int_array c in
+      let queue_depth = Wire.get_nat c "queue depth" in
+      let queue_capacity = Wire.get_nat c "queue capacity" in
+      let workers = Wire.get_nat c "workers" in
+      let ingested = Wire.get_nat c "ingested" in
+      let since_fit = Wire.get_nat c "since_fit" in
+      let draining = Wire.get_bool c in
+      R_health
+        { version;
+          r;
+          dims;
+          queue_depth;
+          queue_capacity;
+          workers;
+          ingested;
+          since_fit;
+          draining }
+    | 2 -> R_matrix (get_mat c)
+    | 3 -> R_scores (Wire.get_f_array c)
+    | 4 ->
+      let version = Wire.get_int c in
+      let note = Wire.get_string c in
+      R_ok { version; note }
+    | 5 ->
+      let depth = Wire.get_nat c "shed depth" in
+      let capacity = Wire.get_nat c "shed capacity" in
+      R_shed { depth; capacity }
+    | 6 ->
+      let stage = Wire.get_string c in
+      let elapsed_ms = Wire.get_int c in
+      R_deadline { stage; elapsed_ms }
+    | 7 ->
+      let code = Wire.get_string c in
+      let message = Wire.get_string c in
+      R_error { code; message }
+    | _ -> raise (Wire.Decode "bad response tag")
+  in
+  Wire.expect_end c;
+  resp
+
+let response_of_string s =
+  match response_of_cursor (Wire.cursor s) with
+  | resp -> Ok resp
+  | exception Wire.Decode what -> Error what
+
+(* ------------------------------------------------------------------ *)
+(* Framing over file descriptors. *)
+
+type read_result = Frame of string | Closed | Timeout | Oversize of int
+
+(* Fill [buf.(off .. off+len)] from [fd] before [deadline] (absolute). *)
+let rec read_exact fd buf off len ~deadline =
+  if len = 0 then `Ok
+  else
+    let left = deadline -. Unix.gettimeofday () in
+    if left <= 0. then `Timeout
+    else
+      match Unix.select [ fd ] [] [] left with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_exact fd buf off len ~deadline
+      | [], _, _ -> `Timeout
+      | _ -> (
+        match Unix.read fd buf off len with
+        | 0 -> `Closed
+        | n -> read_exact fd buf (off + n) (len - n) ~deadline
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_exact fd buf off len ~deadline)
+
+let read_frame ?(timeout_s = 30.) fd =
+  if Robust.Inject.(active Slow_client) then Timeout
+  else begin
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    let hdr = Bytes.create 4 in
+    match read_exact fd hdr 0 4 ~deadline with
+    | `Closed -> Closed
+    | `Timeout -> Timeout
+    | `Ok ->
+      let len = Int32.to_int (Bytes.get_int32_le hdr 0) land 0xFFFFFFFF in
+      if len > max_frame_bytes then Oversize len
+      else begin
+        let body = Bytes.create len in
+        match read_exact fd body 0 len ~deadline with
+        | `Closed -> Closed
+        | `Timeout -> Timeout
+        | `Ok -> Frame (Bytes.unsafe_to_string body)
+      end
+  end
+
+let write_frame fd body =
+  let n = String.length body in
+  if n > max_frame_bytes then invalid_arg "Protocol.write_frame: frame too large";
+  let msg = Bytes.create (4 + n) in
+  Bytes.set_int32_le msg 0 (Int32.of_int n);
+  Bytes.blit_string body 0 msg 4 n;
+  let total = 4 + n in
+  let written = ref 0 in
+  while !written < total do
+    match Unix.write fd msg !written (total - !written) with
+    | k -> written := !written + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let call ?timeout_s fd req =
+  write_frame fd (request_to_string req);
+  match read_frame ?timeout_s fd with
+  | Closed -> failwith "Protocol.call: connection closed"
+  | Timeout -> failwith "Protocol.call: timed out"
+  | Oversize n -> failwith (Printf.sprintf "Protocol.call: oversize reply (%d bytes)" n)
+  | Frame body -> (
+    match response_of_string body with
+    | Ok resp -> resp
+    | Error what -> failwith ("Protocol.call: malformed reply: " ^ what))

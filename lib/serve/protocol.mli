@@ -1,0 +1,83 @@
+(** The daemon's wire protocol: length-prefixed binary frames over a stream
+    socket, one synchronous request/response pair at a time per connection.
+
+    Framing: a u32 little-endian body length followed by the body; the body
+    is a [Checkpoint.Wire] field stream (tagged variants, little-endian i64
+    fields) — the same primitives, integrity discipline and portability as
+    the snapshot format.  Frames above {!max_frame_bytes} are refused
+    before any allocation, so a hostile or corrupt length prefix cannot
+    OOM the daemon.
+
+    Reads are deadline-bounded ({!read_frame} never blocks past its
+    timeout), which is what lets the daemon shed a stalled client — the
+    {!Robust.Inject.Slow_client} fault forces exactly that path. *)
+
+type request =
+  | Health
+  | Transform of { deadline_ms : int; views : Mat.t array }
+      (** Project a batch (instances as columns, one matrix per view).
+          [deadline_ms]: [< 0] = the server's default deadline, [0] =
+          already expired (degenerate probe), [> 0] = that budget. *)
+  | Predict of { deadline_ms : int; views : Mat.t array }
+      (** Per-instance high-order correlation scores
+          [sᵢ = Σₖ λₖ Πₚ Zₚ[k,i]]. *)
+  | Ingest of { views : Mat.t array }
+      (** Fold a sample batch into the server's covariance accumulator
+          (no model change until [Refit]). *)
+  | Refit of { deadline_ms : int }
+      (** Warm-started incremental refit from everything ingested. *)
+  | Swap of { path : string }  (** Hot-swap the model from a file. *)
+  | Drain  (** Stop accepting work; flush in-flight; checkpoint. *)
+
+type response =
+  | R_health of {
+      version : int;
+      r : int;                 (** 0 when serving cold (no model). *)
+      dims : int array;        (** Per-view input dims; empty when cold. *)
+      queue_depth : int;
+      queue_capacity : int;
+      workers : int;
+      ingested : int;
+      since_fit : int;
+      draining : bool;
+    }
+  | R_matrix of Mat.t
+  | R_scores of float array
+  | R_ok of { version : int; note : string }
+  | R_shed of { depth : int; capacity : int }
+      (** Load shed: the bounded queue was full; retry later. *)
+  | R_deadline of { stage : string; elapsed_ms : int }
+      (** The request's budget expired before (or during) compute. *)
+  | R_error of { code : string; message : string }
+      (** Typed refusal.  [code] is machine-readable: ["no-model"],
+          ["bad-request"], ["corrupt"], ["torn"], ["version-newer"],
+          ["version-older"], ["refit-failed"], ["refit-busy"],
+          ["draining"], ["unsupported"]. *)
+
+val max_frame_bytes : int
+(** Refusal threshold for a single frame (64 MiB). *)
+
+val request_to_string : request -> string
+val request_of_string : string -> (request, string) result
+val response_to_string : response -> string
+val response_of_string : string -> (response, string) result
+
+type read_result =
+  | Frame of string
+  | Closed     (** Peer closed (possibly mid-frame). *)
+  | Timeout    (** Deadline passed before a complete frame arrived. *)
+  | Oversize of int  (** Declared length above {!max_frame_bytes}. *)
+
+val read_frame : ?timeout_s:float -> Unix.file_descr -> read_result
+(** Blocking bounded read of one frame (default timeout 30 s).  With
+    {!Robust.Inject.Slow_client} armed, reports [Timeout] immediately —
+    the stalled-client simulation. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Length-prefix + body, looping over partial writes.  Raises
+    [Unix.Unix_error] on a dead peer (callers treat the connection as
+    closed). *)
+
+val call : ?timeout_s:float -> Unix.file_descr -> request -> response
+(** Client helper (tests, CLI): send one request, await the response.
+    Raises [Failure] on close/timeout/malformed reply. *)

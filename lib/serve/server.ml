@@ -1,0 +1,566 @@
+(* The daemon engine.  Concurrency layout:
+
+     connection threads (one per socket)  ──inline──▶  Health/Ingest/Swap/Drain
+            │ enqueue (bounded, shed on overflow)
+            ▼
+     job queue ◀── workers (config.workers threads) ──▶ Transform/Predict/Refit
+
+   The state mutex guards the model/version/builder cell and is only ever
+   held for O(state) work (reads, installs, builder folds) — never across a
+   fit or a transform, so serving continues at the old version while a refit
+   runs.  The refit mutex serializes refits (second concurrent refit gets a
+   typed "refit-busy").  Deadlines ride each job as a [Budget] created at
+   *enqueue* time, so time spent queued counts against the request — a job
+   that waits out its deadline in the queue replies [R_deadline] instead of
+   computing. *)
+
+let src = Logs.Src.create "tccad" ~doc:"TCCA serving daemon"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  workers : int;
+  queue_capacity : int;
+  default_deadline_ms : int;
+  io_timeout_s : float;
+  state_dir : string option;
+  refit_options : Cp_als.options;
+  refit_retry : Retry.policy;
+  swap_retry : Retry.policy;
+  eps : float;
+  rank : int;
+}
+
+let default_config =
+  { workers = Parallel.num_domains ();
+    queue_capacity = 64;
+    default_deadline_ms = 5000;
+    io_timeout_s = 30.;
+    state_dir = None;
+    refit_options = Cp_als.default_options;
+    refit_retry = Retry.default_policy;
+    swap_retry = Retry.default_policy;
+    eps = 1e-2;
+    rank = 2 }
+
+type mailbox = {
+  mb_mutex : Mutex.t;
+  mb_cond : Condition.t;
+  mutable mb_resp : Protocol.response option;
+}
+
+type job = Job of Protocol.request * Budget.t * mailbox | Stop
+
+type state = {
+  mutable model : Tcca.t option;
+  mutable version : int;
+  mutable builder : Tcca.Builder.t option;
+  mutable ingested : int;
+  mutable since_fit : int;
+}
+
+type t = {
+  cfg : config;
+  st_mutex : Mutex.t;
+  st : state;
+  refit_mutex : Mutex.t;
+  q_mutex : Mutex.t;
+  q_cond : Condition.t;
+  queue : job Queue.t;
+  drain_flag : bool Atomic.t;
+  mutable threads : Thread.t list;
+}
+
+let draining t = Atomic.get t.drain_flag
+let request_drain t = Atomic.set t.drain_flag true
+
+let with_state t f =
+  Mutex.lock t.st_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.st_mutex) f
+
+let version t = with_state t (fun () -> t.st.version)
+let model t = with_state t (fun () -> t.st.model)
+
+(* Guardrail events accumulated in Robust's ring (whitening escalations,
+   warm-start fallbacks, checkpoint degradations) are shipped to the daemon
+   log in batches — drained, so nothing is ever reported twice. *)
+let ship_warnings () =
+  List.iter (fun w -> Log.warn (fun m -> m "%s" w)) (Robust.drain_warnings ())
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines. *)
+
+let budget_of_deadline t deadline_ms =
+  let ms = if deadline_ms < 0 then t.cfg.default_deadline_ms else deadline_ms in
+  if ms < 0 then Budget.unlimited
+  else Budget.create ~wall_seconds:(float_of_int ms /. 1000.) ()
+
+let deadline_reply = function
+  | Robust.Deadline_exceeded { stage; elapsed; _ } ->
+    Protocol.R_deadline { stage; elapsed_ms = int_of_float (elapsed *. 1000.) }
+  | f -> Protocol.R_error { code = "internal"; message = Robust.failure_to_string f }
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots and recovery. *)
+
+let snapshot t =
+  match t.cfg.state_dir with
+  | None -> ()
+  | Some dir -> (
+    match with_state t (fun () -> (t.st.model, t.st.version)) with
+    | None, _ -> ()
+    | Some m, v -> (
+      let path = Filename.concat dir (Printf.sprintf "model-v%06d.tccm" v) in
+      try Model_store.save ~path m
+      with Sys_error e ->
+        Robust.warnf "tccad: model snapshot %s failed (%s) — continuing unprotected" path
+          e))
+
+let recover dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> (None, 0)
+  | files ->
+    let candidates =
+      Array.to_list files
+      |> List.filter_map (fun f ->
+             match Scanf.sscanf f "model-v%d.tccm%!" (fun v -> v) with
+             | v -> Some (v, f)
+             | exception _ -> None)
+      |> List.sort (fun (a, _) (b, _) -> compare b a)
+    in
+    let rec try_load = function
+      | [] ->
+        if candidates <> [] then
+          Robust.warnf "tccad: no valid model snapshot in %s — degrading to cold start"
+            dir;
+        (None, 0)
+      | (v, f) :: rest -> (
+        let path = Filename.concat dir f in
+        match Model_store.load ~path with
+        | Ok m -> (Some m, v)
+        | Error e ->
+          Robust.warnf "tccad: model snapshot %s: %s — skipped" path
+            (Checkpoint.load_error_to_string e);
+          try_load rest)
+    in
+    try_load candidates
+
+(* ------------------------------------------------------------------ *)
+(* Compute handlers (worker side). *)
+
+let transform_reply m views budget ~stage =
+  match Budget.expired ~stage ~sweeps:0 budget with
+  | Some f -> deadline_reply f
+  | None -> (
+    match Tcca.transform m views with
+    | z -> Protocol.R_matrix z
+    | exception Invalid_argument msg ->
+      Protocol.R_error { code = "bad-request"; message = msg })
+
+let predict_reply m views budget =
+  match Budget.expired ~stage:"serve.predict" ~sweeps:0 budget with
+  | Some f -> deadline_reply f
+  | None -> (
+    match Array.mapi (fun p x -> Tcca.transform_view m p x) views with
+    | exception Invalid_argument msg ->
+      Protocol.R_error { code = "bad-request"; message = msg }
+    | zs ->
+      if Array.length views <> Tcca.n_views m then
+        Protocol.R_error { code = "bad-request"; message = "view count mismatch" }
+      else begin
+        (* Per-instance high-order correlation score: sᵢ = Σₖ λₖ Πₚ Zₚ[k,i]
+           — the rank-r canonical polyadic form of ρ(h₁ᵀx₁, …, hₘᵀxₘ)
+           evaluated at instance i. *)
+        let lambda = Tcca.correlations m in
+        let r = Array.length lambda in
+        let n = snd (Mat.dims zs.(0)) in
+        let scores =
+          Array.init n (fun i ->
+              let s = ref 0. in
+              for k = 0 to r - 1 do
+                let prod = ref lambda.(k) in
+                Array.iter (fun z -> prod := !prod *. Mat.get z k i) zs;
+                s := !s +. !prod
+              done;
+              !s)
+        in
+        Protocol.R_scores scores
+      end)
+
+let refit_reply t budget =
+  if not (Mutex.try_lock t.refit_mutex) then
+    Protocol.R_error { code = "refit-busy"; message = "another refit is in progress" }
+  else
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.refit_mutex)
+      (fun () ->
+        let live, since, builder =
+          with_state t (fun () -> (t.st.model, t.st.since_fit, t.st.builder))
+        in
+        let retained =
+          Protocol.R_ok
+            { version = version t;
+              note = "no new samples since last fit — serving model retained" }
+        in
+        match builder with
+        (* Nothing new: skip the solve entirely so the reply provably
+           serves the bit-identical live model. *)
+        | None -> retained
+        | Some _ when since = 0 -> retained
+        | Some b -> (
+          let attempt () =
+            (* Builder folds race with Ingest; finalize under the state
+               lock (O(statistics), not O(fit)). *)
+            let raw = with_state t (fun () -> Tcca.Builder.finalize b) in
+            let prep () = Tcca.prepare_of_raw_checked ~eps:t.cfg.eps raw in
+            let prepared =
+              (* [Refit_nan] reuses the fit path's own covariance-poison
+                 guardrail, so the refit failure matrix is the real one. *)
+              if Robust.Inject.(active Refit_nan) then
+                Robust.Inject.with_stage Robust.Inject.Covariance_nan prep
+              else prep ()
+            in
+            match prepared with
+            | Error f -> Error f
+            | Ok prepared ->
+              let solver, rank =
+                match live with
+                | Some m -> (Tcca.warm_solver ~options:t.cfg.refit_options m, Tcca.r m)
+                | None -> (Tcca.Als t.cfg.refit_options, t.cfg.rank)
+              in
+              Tcca.fit_prepared_checked ~solver ~budget ~r:rank prepared
+          in
+          let on_retry ~attempt ~delay e =
+            Log.warn (fun m ->
+                m "refit attempt %d failed (%s) — retrying in %.0f ms" attempt
+                  (Robust.failure_to_string e) (delay *. 1000.))
+          in
+          match Retry.run ~policy:t.cfg.refit_retry ~on_retry attempt with
+          | Ok model' ->
+            let v =
+              with_state t (fun () ->
+                  t.st.model <- Some model';
+                  t.st.version <- t.st.version + 1;
+                  t.st.since_fit <- 0;
+                  t.st.version)
+            in
+            snapshot t;
+            ship_warnings ();
+            Protocol.R_ok
+              { version = v; note = "refit installed: " ^ Tcca.solver_info model' }
+          | Error gu ->
+            ship_warnings ();
+            Protocol.R_error
+              { code = "refit-failed";
+                message =
+                  Printf.sprintf "%s (gave up after %d attempts, %.0f ms backoff)"
+                    (Robust.failure_to_string gu.Retry.ga_last_error)
+                    gu.Retry.ga_attempts
+                    (gu.Retry.ga_total_delay *. 1000.) }))
+
+let no_model = Protocol.R_error { code = "no-model"; message = "serving cold: no model" }
+
+let compute t req budget =
+  match req with
+  | Protocol.Transform { views; _ } -> (
+    match model t with
+    | None -> no_model
+    | Some m -> transform_reply m views budget ~stage:"serve.transform")
+  | Protocol.Predict { views; _ } -> (
+    match model t with
+    | None -> no_model
+    | Some m -> predict_reply m views budget)
+  | Protocol.Refit _ -> refit_reply t budget
+  | Protocol.Health | Protocol.Ingest _ | Protocol.Swap _ | Protocol.Drain ->
+    Protocol.R_error { code = "internal"; message = "control request on compute path" }
+
+(* ------------------------------------------------------------------ *)
+(* Queue and workers. *)
+
+let fill_mailbox mb resp =
+  Mutex.lock mb.mb_mutex;
+  mb.mb_resp <- Some resp;
+  Condition.signal mb.mb_cond;
+  Mutex.unlock mb.mb_mutex
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.q_mutex;
+    while Queue.is_empty t.queue do
+      Condition.wait t.q_cond t.q_mutex
+    done;
+    let job = Queue.pop t.queue in
+    Mutex.unlock t.q_mutex;
+    match job with
+    | Stop -> ()
+    | Job (req, budget, mb) ->
+      let resp =
+        try compute t req budget
+        with e ->
+          Protocol.R_error { code = "internal"; message = Printexc.to_string e }
+      in
+      fill_mailbox mb resp;
+      loop ()
+  in
+  loop ()
+
+let deadline_of = function
+  | Protocol.Transform { deadline_ms; _ }
+  | Protocol.Predict { deadline_ms; _ }
+  | Protocol.Refit { deadline_ms } -> deadline_ms
+  | Protocol.Health | Protocol.Ingest _ | Protocol.Swap _ | Protocol.Drain -> -1
+
+let enqueue_compute t req =
+  let budget = budget_of_deadline t (deadline_of req) in
+  Mutex.lock t.q_mutex;
+  let depth = Queue.length t.queue in
+  if depth >= t.cfg.queue_capacity || Robust.Inject.(active Queue_full) then begin
+    Mutex.unlock t.q_mutex;
+    (* Load shedding: a typed refusal now beats an unbounded queue OOMing
+       later; the client owns the retry decision. *)
+    Protocol.R_shed { depth; capacity = t.cfg.queue_capacity }
+  end
+  else begin
+    let mb = { mb_mutex = Mutex.create (); mb_cond = Condition.create (); mb_resp = None } in
+    Queue.push (Job (req, budget, mb)) t.queue;
+    Condition.signal t.q_cond;
+    Mutex.unlock t.q_mutex;
+    Mutex.lock mb.mb_mutex;
+    while mb.mb_resp = None do
+      Condition.wait mb.mb_cond mb.mb_mutex
+    done;
+    let resp = Option.get mb.mb_resp in
+    Mutex.unlock mb.mb_mutex;
+    resp
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Inline handlers (connection-thread side). *)
+
+let health t =
+  ship_warnings ();
+  let version, r, dims, ingested, since_fit =
+    with_state t (fun () ->
+        let r, dims =
+          match t.st.model with
+          | None -> (0, [||])
+          | Some m -> (Tcca.r m, Tcca.view_dims m)
+        in
+        (t.st.version, r, dims, t.st.ingested, t.st.since_fit))
+  in
+  Mutex.lock t.q_mutex;
+  let queue_depth = Queue.length t.queue in
+  Mutex.unlock t.q_mutex;
+  Protocol.R_health
+    { version;
+      r;
+      dims;
+      queue_depth;
+      queue_capacity = t.cfg.queue_capacity;
+      workers = t.cfg.workers;
+      ingested;
+      since_fit;
+      draining = draining t }
+
+let ingest t views =
+  if Array.length views = 0 then
+    Protocol.R_error { code = "bad-request"; message = "empty view array" }
+  else
+    let outcome =
+      with_state t (fun () ->
+          match
+            let b =
+              match t.st.builder with
+              | Some b -> b
+              | None ->
+                let dims =
+                  match t.st.model with
+                  | Some m -> Tcca.view_dims m
+                  | None -> Array.map (fun v -> fst (Mat.dims v)) views
+                in
+                let b = Tcca.Builder.create ~dims in
+                t.st.builder <- Some b;
+                b
+            in
+            Tcca.Builder.add_batch b views
+          with
+          | () ->
+            let n = snd (Mat.dims views.(0)) in
+            t.st.ingested <- t.st.ingested + n;
+            t.st.since_fit <- t.st.since_fit + n;
+            Ok (t.st.version, n, t.st.ingested)
+          | exception Invalid_argument msg -> Error msg)
+    in
+    match outcome with
+    | Ok (version, n, total) ->
+      Protocol.R_ok
+        { version; note = Printf.sprintf "ingested %d instances (total %d)" n total }
+    | Error msg -> Protocol.R_error { code = "bad-request"; message = msg }
+
+let swap t path =
+  match Retry.run ~policy:t.cfg.swap_retry (fun () -> Model_store.load ~path) with
+  | Ok model' ->
+    (* Validation (framing, CRC, version, structure, finiteness) happened
+       before this point, so installation cannot need a rollback: a bad
+       file simply never reaches the serving slot. *)
+    let v =
+      with_state t (fun () ->
+          t.st.model <- Some model';
+          t.st.version <- t.st.version + 1;
+          t.st.version)
+    in
+    snapshot t;
+    ship_warnings ();
+    Protocol.R_ok { version = v; note = "swapped in " ^ path }
+  | Error gu ->
+    let code =
+      match gu.Retry.ga_last_error with
+      | Checkpoint.Truncated -> "torn"
+      | Checkpoint.Corrupt _ -> "corrupt"
+      | Checkpoint.Version_mismatch { direction = Checkpoint.Newer; _ } ->
+        "version-newer"
+      | Checkpoint.Version_mismatch _ -> "version-older"
+    in
+    Protocol.R_error
+      { code;
+        message =
+          Printf.sprintf "%s (%d attempts) — serving version %d unchanged"
+            (Checkpoint.load_error_to_string gu.Retry.ga_last_error)
+            gu.Retry.ga_attempts (version t) }
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch. *)
+
+let handle t req =
+  match req with
+  | Protocol.Health -> health t
+  | Protocol.Drain ->
+    request_drain t;
+    Protocol.R_ok { version = version t; note = "draining" }
+  | (Protocol.Transform _ | Protocol.Predict _ | Protocol.Refit _ | Protocol.Ingest _
+    | Protocol.Swap _)
+    when draining t ->
+    Protocol.R_error { code = "draining"; message = "server is draining — retry elsewhere" }
+  | (Protocol.Transform _ | Protocol.Predict _ | Protocol.Refit _) as req ->
+    enqueue_compute t req
+  | Protocol.Ingest { views } -> ingest t views
+  | Protocol.Swap { path } -> swap t path
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle. *)
+
+let create ?model cfg =
+  (match cfg.state_dir with
+  | Some dir when not (Sys.file_exists dir) -> (
+    try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ())
+  | _ -> ());
+  let model, version =
+    match model with
+    | Some m -> (Some m, 1)
+    | None -> (
+      match cfg.state_dir with
+      | None -> (None, 0)
+      | Some dir -> recover dir)
+  in
+  if Option.is_none model then
+    Log.info (fun m -> m "starting cold: no model (transform requests will be refused)");
+  let t =
+    { cfg;
+      st_mutex = Mutex.create ();
+      st = { model; version; builder = None; ingested = 0; since_fit = 0 };
+      refit_mutex = Mutex.create ();
+      q_mutex = Mutex.create ();
+      q_cond = Condition.create ();
+      queue = Queue.create ();
+      drain_flag = Atomic.make false;
+      threads = [] }
+  in
+  t.threads <- List.init cfg.workers (fun _ -> Thread.create worker_loop t);
+  t
+
+let serve_connection t fd =
+  let reply resp =
+    match Protocol.write_frame fd (Protocol.response_to_string resp) with
+    | () -> true
+    | exception Unix.Unix_error _ -> false
+  in
+  let rec loop () =
+    match Protocol.read_frame ~timeout_s:t.cfg.io_timeout_s fd with
+    | Protocol.Closed -> ()
+    | Protocol.Timeout ->
+      (* Slow client: drop the connection rather than wedge this thread —
+         the [Slow_client] fault forces this branch. *)
+      Log.warn (fun m -> m "dropping stalled client (no frame in %.1fs)" t.cfg.io_timeout_s)
+    | Protocol.Oversize n ->
+      ignore
+        (reply
+           (Protocol.R_error
+              { code = "bad-request";
+                message = Printf.sprintf "frame of %d bytes exceeds limit" n }))
+    | Protocol.Frame body -> (
+      match Protocol.request_of_string body with
+      | Error what ->
+        ignore (reply (Protocol.R_error { code = "bad-request"; message = what }))
+      | Ok req -> if reply (handle t req) then loop ())
+  in
+  (try loop () with _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let drain_and_stop t =
+  request_drain t;
+  Mutex.lock t.q_mutex;
+  if t.threads = [] then begin
+    (* No workers to flush the queue: answer leftovers inline so no client
+       blocks forever on a mailbox. *)
+    Queue.iter
+      (function
+        | Job (_, _, mb) ->
+          fill_mailbox mb
+            (Protocol.R_error { code = "draining"; message = "server stopped" })
+        | Stop -> ())
+      t.queue;
+    Queue.clear t.queue
+  end
+  else List.iter (fun _ -> Queue.push Stop t.queue) t.threads;
+  Condition.broadcast t.q_cond;
+  Mutex.unlock t.q_mutex;
+  List.iter Thread.join t.threads;
+  t.threads <- [];
+  snapshot t;
+  ship_warnings ()
+
+let serve_forever t addr =
+  let sock = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  (match addr with
+  | Unix.ADDR_UNIX p when Sys.file_exists p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+  | _ -> ());
+  Unix.bind sock addr;
+  Unix.listen sock 64;
+  Log.info (fun m -> m "listening (%d workers, queue %d)" t.cfg.workers t.cfg.queue_capacity);
+  (* The drain flag is polled between accepts rather than trusted to EINTR:
+     with systhreads a SIGTERM can be delivered to any thread, so the
+     handler's atomic store is the only reliable signal — a short select
+     timeout bounds how long the loop can sit blind to it.  This also lets
+     a client-issued [Drain] stop the daemon without needing one more
+     connection to wake the accept. *)
+  let rec accept_loop () =
+    if not (draining t) then (
+      match Unix.select [ sock ] [] [] 0.2 with
+      | [], _, _ -> accept_loop ()
+      | _ :: _, _, _ -> (
+        match Unix.accept sock with
+        | fd, _ ->
+          ignore (Thread.create (fun () -> serve_connection t fd) ());
+          accept_loop ()
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+          accept_loop ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ())
+  in
+  accept_loop ();
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  (match addr with
+  | Unix.ADDR_UNIX p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+  | _ -> ());
+  drain_and_stop t

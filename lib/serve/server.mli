@@ -1,0 +1,95 @@
+(** The serving daemon's engine: a bounded-queue worker pool over a live
+    TCCA model, robust by construction.
+
+    {b Threading model.}  One OS thread per connection ({!serve_connection})
+    plus [workers] compute threads popping a bounded job queue.  Compute
+    requests ([Transform]/[Predict]/[Refit]) go through the queue; control
+    requests ([Health]/[Ingest]/[Swap]/[Drain]) are answered inline by the
+    connection thread.  Numeric kernels stay deterministic under this
+    concurrency because [Parallel.parallel_for] falls back to the (bitwise
+    identical) sequential path when its domain pool is busy — the
+    pool-size-independence contract.
+
+    {b Robustness invariants} (each proven by [test/test_serve.ml]):
+    - No request outlives its deadline: every compute request carries a
+      {!Budget} and replies [R_deadline] (or a best-so-far model, for
+      refits) instead of hanging.
+    - A full queue sheds typed [R_shed] replies; the daemon keeps serving.
+    - A torn/corrupt/version-skewed hot swap never changes the serving
+      version — the swap is validated {e before} installation, so rollback
+      is the default, not a recovery.
+    - Model-file I/O and refit attempts run under {!Retry} policies with
+      deterministic-jitter backoff and typed give-up.
+    - Crash recovery: {!create} restarts from the newest valid model file
+      in [state_dir], skipping corrupt ones with warnings, degrading to a
+      cold start (typed ["no-model"] replies) when none survive. *)
+
+type config = {
+  workers : int;
+      (** Compute threads.  [0] is allowed (nothing drains the queue —
+          test rigs use it to observe shedding). *)
+  queue_capacity : int;  (** Bounded queue; overflow sheds. *)
+  default_deadline_ms : int;
+      (** Deadline applied when a request carries a negative one.
+          [0] = expire immediately; negative = unlimited. *)
+  io_timeout_s : float;  (** Per-connection frame-read timeout. *)
+  state_dir : string option;
+      (** Where model snapshots ([model-v%06d.tccm]) land after every
+          install and at drain, and where {!create} recovers from. *)
+  refit_options : Cp_als.options;  (** Everything but [init] (warm-set). *)
+  refit_retry : Retry.policy;
+  swap_retry : Retry.policy;
+  eps : float;  (** Whitening regularizer for refits. *)
+  rank : int;   (** Rank for cold-start refits (live refits keep the
+                    serving model's rank). *)
+}
+
+val default_config : config
+(** [workers = Parallel.num_domains ()], queue 64, deadline 5000 ms, io
+    timeout 30 s, no state dir, default ALS options / retry policies,
+    eps 1e-2, rank 2. *)
+
+type t
+
+val create : ?model:Tcca.t -> config -> t
+(** Build the engine and start its workers.  Without [?model], recovery
+    runs against [config.state_dir]: newest valid snapshot wins (its
+    version number is adopted), corrupt ones are skipped with warnings,
+    and an empty/absent directory means a cold start. *)
+
+val version : t -> int
+(** Serving model version: 0 = cold, bumped on every install. *)
+
+val model : t -> Tcca.t option
+
+val draining : t -> bool
+
+val request_drain : t -> unit
+(** Flip the drain flag (async-signal-safe: a single atomic store) — the
+    SIGTERM handler's body.  New work is refused with ["draining"];
+    {!serve_forever} exits its accept loop. *)
+
+val handle : t -> Protocol.request -> Protocol.response
+(** Full dispatch for one request — the same path a connection takes,
+    including the queue for compute requests (so a caller thread blocks
+    until a worker answers, is shed on overflow, etc.).  Exposed for
+    in-process tests and benches. *)
+
+val serve_connection : t -> Unix.file_descr -> unit
+(** Per-connection loop: framed request/response until the peer closes,
+    stalls past [io_timeout_s] (the {!Robust.Inject.Slow_client} path), or
+    sends garbage.  Closes the descriptor; never raises. *)
+
+val drain_and_stop : t -> unit
+(** Graceful shutdown: refuse new work, let workers flush every queued
+    job, stop the workers, snapshot the serving model to [state_dir].
+    With [workers = 0], leftover jobs are answered ["draining"] inline. *)
+
+val serve_forever : t -> Unix.sockaddr -> unit
+(** Daemon main: bind + listen + accept loop (one thread per connection)
+    until {!request_drain} fires (SIGTERM), then {!drain_and_stop}.
+    Unix-domain socket paths are unlinked before bind and after close. *)
+
+val snapshot : t -> unit
+(** Write the serving model to [state_dir] now (no-op when cold or no
+    state dir; a failed write warns and continues). *)

@@ -1,4 +1,4 @@
-type init = Random of int | Hosvd
+type init = Random of int | Hosvd | Warm of Mat.t array
 
 type options = {
   max_iter : int;
@@ -65,10 +65,39 @@ let normalize_columns_in_place u lambda =
     end
   done
 
-let init_factors init ~rank op =
+let rec init_factors init ~rank op =
   let m = Op_tensor.order op in
   let dims = Op_tensor.dims op in
   match init with
+  | Warm given ->
+    (* Serving refits hand in the live model's factors.  A stale or
+       mismatched warm start must degrade, not crash the daemon: any shape
+       or finiteness problem falls back to the deterministic Hosvd init
+       with a warning. *)
+    let shape_ok =
+      Array.length given = m
+      && Array.for_all2 (fun u d -> fst (Mat.dims u) = d) given dims
+      && Array.for_all Mat.all_finite given
+    in
+    if not shape_ok then begin
+      Robust.warnf
+        "Cp_als: warm-start factors do not match the operator (order/dims/finite) — \
+         falling back to Hosvd init";
+      init_factors Hosvd ~rank op
+    end
+    else
+      let rng = Rng.create 0x5741524D (* "WARM" *) in
+      Array.map
+        (fun u ->
+          let rows, cols = Mat.dims u in
+          if cols = rank then Mat.copy u
+          else if cols > rank then Mat.init rows rank (fun i j -> Mat.get u i j)
+          else
+            (* rank grew since the warm model was fitted: keep its columns
+               and pad the new directions with seeded Gaussians. *)
+            Mat.hcat (Mat.copy u)
+              (Mat.init rows (rank - cols) (fun _ _ -> Rng.gaussian rng)))
+        given
   | Random seed ->
     let rng = Rng.create seed in
     Array.init m (fun k -> Mat.init dims.(k) rank (fun _ _ -> Rng.gaussian rng))
@@ -100,7 +129,10 @@ let mat_of_factor (f : Checkpoint.factor) =
 let init_of_state (rs : Checkpoint.run_state) =
   match rs.Checkpoint.rs_init_random with Some s -> Random s | None -> Hosvd
 
-let init_to_state = function Random s -> Some s | Hosvd -> None
+(* A [Warm] init cannot be named in a snapshot (it is the live model's
+   factors, not a recipe); [decompose_op] refuses to checkpoint such solves,
+   so this mapping is only ever read back for Random/Hosvd runs. *)
+let init_to_state = function Random s -> Some s | Hosvd | Warm _ -> None
 
 (* The solve identity a snapshot must match to be resumed: shape, operator
    representation, rank, and every option that alters the sweep arithmetic.
@@ -115,7 +147,15 @@ let fingerprint options ~rank op =
     | None -> "dense"
     | Some n -> Printf.sprintf "factored:%d" n
   in
-  let init = match options.init with Random s -> Printf.sprintf "random:%d" s | Hosvd -> "hosvd" in
+  let init =
+    match options.init with
+    | Random s -> Printf.sprintf "random:%d" s
+    | Hosvd -> "hosvd"
+    | Warm fs ->
+      (* Content-free on purpose (like the tensor itself): warm solves are
+         never checkpointed, so this only has to be readable. *)
+      Printf.sprintf "warm:%d" (Array.length fs)
+  in
   Printf.sprintf "cp_als/1 rank=%d dims=%s repr=%s max_iter=%d tol=%.17g init=%s restarts=%d seed=%d stall=%d"
     rank dims repr options.max_iter options.tol init options.restarts
     options.restart_seed options.stall_sweeps
@@ -297,6 +337,19 @@ let outcome_of_state (rs : Checkpoint.run_state) =
 let decompose_op ?(options = default_options) ?(budget = Budget.unlimited) ?checkpoint
     ~rank op =
   if rank < 1 then invalid_arg "Cp_als.decompose: rank must be >= 1";
+  let checkpoint =
+    (* A warm init is the live model's factors — there is no recipe a
+       snapshot could replay to recreate it, so resuming such a solve could
+       not be bit-identical.  Refuse loudly rather than silently mis-resume;
+       warm-started serving refits are protected by the daemon's own
+       post-refit model snapshot instead. *)
+    match (options.init, checkpoint) with
+    | Warm _, Some cfg ->
+      Robust.warnf "Cp_als: checkpoint %s ignored — warm-started solves are not resumable"
+        cfg.Checkpoint.path;
+      None
+    | _ -> checkpoint
+  in
   let fp = fingerprint options ~rank op in
   let loaded =
     match checkpoint with

@@ -45,6 +45,17 @@ type init =
   | Hosvd                  (** Leading eigenvectors of each unfolding's Gram
                                matrix (deterministic; random-padded when
                                [rank > dim]). *)
+  | Warm of Mat.t array
+      (** Start from the given per-mode factors — the incremental-refit
+          path: the serving daemon hands in the live model's factors so a
+          refit on slightly-changed statistics converges in a few sweeps.
+          Columns are truncated (or seeded-Gaussian padded) to [rank]; a
+          factor array whose order, row dims, or finiteness do not match
+          the operator degrades to [Hosvd] with a {!Robust.warnf} warning
+          rather than failing — a stale warm start must never take the
+          daemon down.  Warm solves are not resumable: a [?checkpoint] is
+          ignored with a warning (there is no recipe a snapshot could
+          replay to recreate the starting factors). *)
 
 type options = {
   max_iter : int;          (** Default 100. *)

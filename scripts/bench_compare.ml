@@ -1,6 +1,7 @@
-(* Compare two bench JSON artifacts (schema tcca-bench/1 or /2, as written
-   by bench/main.exe --json) and print per-kernel time ratios, plus achieved
-   GFLOP/s where the artifact carries it (schema /2).
+(* Compare two bench JSON artifacts (schema tcca-bench/1, /2 or /3, as
+   written by bench/main.exe --json) and print per-kernel time ratios, plus
+   achieved GFLOP/s where the artifact carries it (schema /2) and p50/p99
+   request latency for the serve micros (schema /3).
 
    Usage:
      dune exec scripts/bench_compare.exe -- BASELINE.json CURRENT.json
@@ -62,6 +63,21 @@ let pretty_gflops base_gf cur_gf =
   if Float.is_nan base_gf && Float.is_nan cur_gf then ""
   else Printf.sprintf "  %s -> %s GF/s" (one base_gf) (one cur_gf)
 
+(* "p50 a -> b, p99 c -> d" for serve micros (schema /3); "" when neither
+   side carries percentiles, so older artifacts render exactly as before. *)
+let pretty_latency r =
+  let open Bench_compare_core in
+  let any =
+    List.exists
+      (fun v -> not (Float.is_nan v))
+      [ r.r_base_p50; r.r_cur_p50; r.r_base_p99; r.r_cur_p99 ]
+  in
+  if not any then ""
+  else
+    let one v = if Float.is_nan v then "-" else pretty v in
+    Printf.sprintf "  p50 %s -> %s, p99 %s -> %s" (one r.r_base_p50) (one r.r_cur_p50)
+      (one r.r_base_p99) (one r.r_cur_p99)
+
 let () =
   let usage () =
     die "usage: bench_compare BASELINE.json CURRENT.json [--fail-above RATIO] [--min-ns NS]"
@@ -113,23 +129,26 @@ let () =
   List.iter
     (fun r ->
       if Float.is_nan r.r_base_ns && not (Float.is_nan r.r_cur_ns) then
-        Printf.printf "%-32s %12s %12s %8s%s%s\n" r.r_name "-" (pretty r.r_cur_ns) "new"
+        Printf.printf "%-32s %12s %12s %8s%s%s%s\n" r.r_name "-" (pretty r.r_cur_ns) "new"
           (if r.r_gated then "" else "  (sub-floor, report-only)")
-          (pretty_gflops nan r.r_cur_gf)
+          (pretty_gflops nan r.r_cur_gf) (pretty_latency r)
       else if Float.is_nan r.r_cur_ns && not (Float.is_nan r.r_base_ns) then
-        Printf.printf "%-32s %12s %12s %8s%s\n" r.r_name (pretty r.r_base_ns) "-" "gone"
+        Printf.printf "%-32s %12s %12s %8s%s%s\n" r.r_name (pretty r.r_base_ns) "-" "gone"
           (if r.r_gated then "" else "  (sub-floor, report-only)")
+          (pretty_latency r)
       else if Float.is_nan r.r_ratio then
-        Printf.printf "%-32s %12s %12s %8s%s\n" r.r_name (pretty r.r_base_ns)
+        Printf.printf "%-32s %12s %12s %8s%s%s\n" r.r_name (pretty r.r_base_ns)
           (pretty r.r_cur_ns) "n/a"
           (pretty_gflops r.r_base_gf r.r_cur_gf)
+          (pretty_latency r)
       else
-        Printf.printf "%-32s %12s %12s %7.2fx%s%s\n" r.r_name (pretty r.r_base_ns)
+        Printf.printf "%-32s %12s %12s %7.2fx%s%s%s\n" r.r_name (pretty r.r_base_ns)
           (pretty r.r_cur_ns) r.r_ratio
           (if not r.r_gated then "  (sub-floor, report-only)"
            else if r.r_ratio > 1.5 then "  <-- slower"
            else "")
-          (pretty_gflops r.r_base_gf r.r_cur_gf))
+          (pretty_gflops r.r_base_gf r.r_cur_gf)
+          (pretty_latency r))
     v.rows;
   if v.compared = 0 then print_endline "bench_compare: no common kernels to compare"
   else

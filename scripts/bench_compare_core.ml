@@ -2,11 +2,19 @@
    new/missing/sub-floor interaction is unit-testable (scripts/bench_compare.ml
    keeps only the CLI and printing).
 
-   The parser is a hand-rolled scanner for the fixed schema (tcca-bench/1
-   or /2) — names are plain ASCII written with %S and the structure is one
-   result object per line — so no JSON library is needed. *)
+   The parser is a hand-rolled scanner for the fixed schema (tcca-bench/1,
+   /2 or /3) — names are plain ASCII written with %S and the structure is
+   one result object per line — so no JSON library is needed.  Schema /3
+   added optional per-record "p50_ns"/"p99_ns" latency percentiles (the
+   serve micros carry them); older records parse with those fields NaN. *)
 
-type entry = { e_name : string; e_ns : float; e_gflops : float }
+type entry = {
+  e_name : string;
+  e_ns : float;
+  e_gflops : float;
+  e_p50 : float;  (* NaN when the record carries no latency percentiles *)
+  e_p99 : float;
+}
 
 (* Start index of the next occurrence of [pat] at or after [from]. *)
 let find_pat s pat from =
@@ -53,7 +61,7 @@ let find_number ?(limit = max_int) s key from =
    (schema /1, or a kernel with no flop count). *)
 let parse_string ~path s =
   match find_string s "schema" 0 with
-  | Some (("tcca-bench/1" | "tcca-bench/2"), _) ->
+  | Some (("tcca-bench/1" | "tcca-bench/2" | "tcca-bench/3"), _) ->
     let rec collect acc from =
       match find_string s "name" from with
       | None -> Ok (List.rev acc)
@@ -66,16 +74,24 @@ let parse_string ~path s =
             | Some i -> i
             | None -> String.length s
           in
-          let gf =
-            match find_number ~limit:next_record s "gflops" after_ns with
+          let optional key =
+            match find_number ~limit:next_record s key after_ns with
             | Some (g, _) -> g
             | None -> nan
           in
-          collect ({ e_name = name; e_ns = ns; e_gflops = gf } :: acc) after_ns)
+          collect
+            ({ e_name = name;
+               e_ns = ns;
+               e_gflops = optional "gflops";
+               e_p50 = optional "p50_ns";
+               e_p99 = optional "p99_ns" }
+            :: acc)
+            after_ns)
     in
     collect [] 0
   | Some (other, _) ->
-    Error (Printf.sprintf "%s: unknown schema %S (want tcca-bench/1 or /2)" path other)
+    Error
+      (Printf.sprintf "%s: unknown schema %S (want tcca-bench/1, /2 or /3)" path other)
   | None -> Error (Printf.sprintf "%s: no schema field — not a bench artifact?" path)
 
 (* One table row of the comparison. *)
@@ -85,6 +101,10 @@ type row = {
   r_cur_ns : float;  (* NaN when the kernel vanished *)
   r_base_gf : float;
   r_cur_gf : float;
+  r_base_p50 : float; (* latency percentiles; NaN when absent (schema < /3) *)
+  r_cur_p50 : float;
+  r_base_p99 : float;
+  r_cur_p99 : float;
   r_ratio : float;   (* NaN when not comparable *)
   r_gated : bool;    (* participates in the gate (above the noise floor) *)
 }
@@ -124,6 +144,10 @@ let compare_runs ~min_ns base cur =
             r_cur_ns = e.e_ns;
             r_base_gf = nan;
             r_cur_gf = e.e_gflops;
+            r_base_p50 = nan;
+            r_cur_p50 = e.e_p50;
+            r_base_p99 = nan;
+            r_cur_p99 = e.e_p99;
             r_ratio = nan;
             r_gated = gated }
         | Some b
@@ -133,6 +157,10 @@ let compare_runs ~min_ns base cur =
             r_cur_ns = e.e_ns;
             r_base_gf = b.e_gflops;
             r_cur_gf = e.e_gflops;
+            r_base_p50 = b.e_p50;
+            r_cur_p50 = e.e_p50;
+            r_base_p99 = b.e_p99;
+            r_cur_p99 = e.e_p99;
             r_ratio = nan;
             r_gated = false }
         | Some b ->
@@ -148,6 +176,10 @@ let compare_runs ~min_ns base cur =
             r_cur_ns = e.e_ns;
             r_base_gf = b.e_gflops;
             r_cur_gf = e.e_gflops;
+            r_base_p50 = b.e_p50;
+            r_cur_p50 = e.e_p50;
+            r_base_p99 = b.e_p99;
+            r_cur_p99 = e.e_p99;
             r_ratio = ratio;
             r_gated = gated })
       cur
@@ -166,6 +198,10 @@ let compare_runs ~min_ns base cur =
               r_cur_ns = nan;
               r_base_gf = b.e_gflops;
               r_cur_gf = nan;
+              r_base_p50 = b.e_p50;
+              r_cur_p50 = nan;
+              r_base_p99 = b.e_p99;
+              r_cur_p99 = nan;
               r_ratio = nan;
               r_gated = gated }
         end)

@@ -1,23 +1,142 @@
 #!/usr/bin/env bash
-# Crash-safety end-to-end check: SIGKILL a checkpointed TCCA fit mid-solve,
-# resume from the surviving snapshot, and assert the resumed model is
-# byte-identical to an uninterrupted run of the same fit.
+# Crash-safety end-to-end checks.
 #
-# Usage: scripts/kill_resume_test.sh [path/to/tcca_experiments.exe]
+# Solver mode (default): SIGKILL a checkpointed TCCA fit mid-solve, resume
+# from the surviving snapshot, and assert the resumed model is byte-identical
+# to an uninterrupted run of the same fit.
 #
-# Exit 0 on success, 1 on any failure (including "fit finished before we
-# managed to kill it", which means the workload below needs to be bigger).
+#   scripts/kill_resume_test.sh [path/to/tcca_experiments.exe]
+#
+# Daemon mode (--daemon): SIGKILL the serving daemon mid-refit, restart it on
+# the same state dir, and assert it recovers the pre-refit model — same
+# serving version, byte-identical transform output — then drain it with
+# SIGTERM and expect a clean exit.
+#
+#   scripts/kill_resume_test.sh --daemon [path/to/tccad.exe]
+#
+# Exit 0 on success, 1 on any failure (including "fit/refit finished before
+# we managed to kill it", which means the workload below needs to be bigger).
 
 set -u
 
+MODE=solver
+if [ "${1:-}" = "--daemon" ]; then
+  MODE=daemon
+  shift
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# ---------------------------------------------------------------------------
+if [ "$MODE" = daemon ]; then
+  EXE="${1:-_build/default/bin/tccad.exe}"
+  if [ ! -x "$EXE" ]; then
+    echo "kill_resume_test: $EXE not found or not executable (dune build first?)" >&2
+    exit 1
+  fi
+
+  SOCK="unix:$WORK/daemon.sock"
+  STATE="$WORK/state"
+  # Huge sweep budget + tol 0: a refit left to its own devices runs for
+  # minutes, so a kill 2s in is guaranteed to land mid-solve.  The first
+  # refit is bounded by a client-side deadline instead — the daemon installs
+  # its best-so-far model at expiry (graceful degradation, not an error).
+  SERVE_ARGS=(serve --listen "$SOCK" --state-dir "$STATE" --workers 2
+              --refit-iters 1000000 --refit-tol 0 --rank 4)
+
+  client() { "$EXE" "$@" --connect "$SOCK"; }
+
+  start_daemon() {
+    # A SIGKILLed daemon leaves its socket file behind; remove it so the
+    # readiness probe below can only ever see the *new* daemon's socket.
+    rm -f "$WORK/daemon.sock"
+    "$EXE" "${SERVE_ARGS[@]}" >>"$WORK/daemon.log" 2>&1 &
+    DPID=$!
+    for _ in $(seq 1 200); do
+      if [ -S "$WORK/daemon.sock" ] && client health >/dev/null 2>&1; then
+        return 0
+      fi
+      kill -0 "$DPID" 2>/dev/null || break
+      sleep 0.05
+    done
+    echo "kill_resume_test: daemon did not come up (see $WORK/daemon.log)" >&2
+    cat "$WORK/daemon.log" >&2
+    return 1
+  }
+
+  echo "kill_resume_test[daemon]: start + ingest + bounded refit -> v1"
+  start_daemon || exit 1
+  client ingest --seed 1 -n 300 --views 3 --dim 24 >/dev/null || {
+    echo "kill_resume_test: ingest failed" >&2; exit 1; }
+  client refit --deadline-ms 3000 >/dev/null || {
+    echo "kill_resume_test: first refit failed" >&2; exit 1; }
+
+  PRE_HEALTH="$(client health)" || exit 1
+  case "$PRE_HEALTH" in
+    "version 1 "*) ;;
+    *) echo "kill_resume_test: expected version 1 after first refit: $PRE_HEALTH" >&2
+       exit 1 ;;
+  esac
+  client transform --seed 7 -n 16 >"$WORK/pre.txt" || {
+    echo "kill_resume_test: pre-kill transform failed" >&2; exit 1; }
+
+  echo "kill_resume_test[daemon]: long refit in flight, SIGKILL the daemon"
+  client ingest --seed 2 -n 300 >/dev/null || exit 1
+  client refit --deadline-ms 600000 >"$WORK/refit2.log" 2>&1 &
+  REFIT_PID=$!
+  sleep 2
+  kill -9 "$DPID" 2>/dev/null
+  wait "$DPID" 2>/dev/null
+  wait "$REFIT_PID" 2>/dev/null
+
+  if ! ls "$STATE"/model-v*.tccm >/dev/null 2>&1; then
+    echo "kill_resume_test: no model snapshot survived the kill" >&2
+    exit 1
+  fi
+
+  echo "kill_resume_test[daemon]: restart on the same state dir"
+  start_daemon || exit 1
+  POST_HEALTH="$(client health)" || exit 1
+  case "$POST_HEALTH" in
+    "version 1 "*) ;;
+    *) echo "kill_resume_test: FAIL — recovered daemon is not serving the pre-refit version" >&2
+       echo "  pre:  $PRE_HEALTH" >&2
+       echo "  post: $POST_HEALTH" >&2
+       exit 1 ;;
+  esac
+  client transform --seed 7 -n 16 >"$WORK/post.txt" || {
+    echo "kill_resume_test: post-restart transform failed" >&2; exit 1; }
+
+  if ! cmp -s "$WORK/pre.txt" "$WORK/post.txt"; then
+    echo "kill_resume_test: FAIL — recovered model's projections differ" >&2
+    diff "$WORK/pre.txt" "$WORK/post.txt" | head -20 >&2
+    exit 1
+  fi
+
+  echo "kill_resume_test[daemon]: SIGTERM drain"
+  kill -TERM "$DPID" 2>/dev/null
+  for _ in $(seq 1 200); do
+    kill -0 "$DPID" 2>/dev/null || break
+    sleep 0.05
+  done
+  if kill -0 "$DPID" 2>/dev/null; then
+    echo "kill_resume_test: FAIL — daemon did not drain within 10s of SIGTERM" >&2
+    kill -9 "$DPID" 2>/dev/null
+    exit 1
+  fi
+  wait "$DPID" 2>/dev/null
+
+  echo "kill_resume_test[daemon]: OK — pre-refit model served byte-identically after SIGKILL + restart"
+  exit 0
+fi
+
+# ---------------------------------------------------------------------------
 EXE="${1:-_build/default/bin/tcca_experiments.exe}"
 if [ ! -x "$EXE" ]; then
   echo "kill_resume_test: $EXE not found or not executable (dune build first?)" >&2
   exit 1
 fi
-
-WORK="$(mktemp -d)"
-trap 'rm -rf "$WORK"' EXIT
 
 # Rank matches the synthetic latent rank so the ALS trajectory is benign and
 # the run spends its full --iters budget (tol 0 never converges early).

@@ -39,6 +39,60 @@ let test_bad_schema () =
   | Ok _ -> Alcotest.fail "expected schema error"
   | Error _ -> ()
 
+let test_schema3_percentiles () =
+  (* Schema /3: serve micros carry p50/p99; records without them parse with
+     NaN percentiles, and the limit discipline keeps a later record's
+     percentiles from bleeding into an earlier record missing them. *)
+  let s =
+    "{\"schema\": \"tcca-bench/3\",\n  \"results\": [\n\
+     \    {\"name\": \"plain\", \"ns_per_run\": 5000.0, \"gflops\": null},\n\
+     \    {\"name\": \"serve/transform-batch\", \"ns_per_run\": 250000.0, \
+     \"gflops\": null, \"p50_ns\": 240000.0, \"p99_ns\": 910000.0}\n  ]\n}"
+  in
+  let entries = parse_exn "v3" s in
+  Alcotest.(check int) "two entries" 2 (List.length entries);
+  let plain = List.hd entries and serve = List.nth entries 1 in
+  check_true "plain has no percentiles"
+    (Float.is_nan plain.e_p50 && Float.is_nan plain.e_p99);
+  check_float ~eps:1e-3 "p50" 240000.0 serve.e_p50;
+  check_float ~eps:1e-3 "p99" 910000.0 serve.e_p99
+
+let test_older_schemas_accepted () =
+  (* /1 and /2 artifacts (no percentile fields anywhere) must keep parsing —
+     the baseline may predate the serve micros. *)
+  List.iter
+    (fun v ->
+      let s =
+        Printf.sprintf
+          "{\"schema\": \"tcca-bench/%d\", \"results\": [{\"name\": \"k\", \
+           \"ns_per_run\": 1000.0}]}"
+          v
+      in
+      match parse_exn "old" s with
+      | [ e ] ->
+        check_true "ns parsed" (e.e_ns = 1000.0);
+        check_true "percentiles NaN" (Float.is_nan e.e_p50 && Float.is_nan e.e_p99)
+      | es -> Alcotest.failf "schema /%d: expected 1 entry, got %d" v (List.length es))
+    [ 1; 2 ]
+
+let test_percentiles_flow_into_rows () =
+  let base =
+    "{\"schema\": \"tcca-bench/2\", \"results\": [{\"name\": \"serve/t\", \
+     \"ns_per_run\": 200000.0}]}"
+  in
+  let cur =
+    "{\"schema\": \"tcca-bench/3\", \"results\": [{\"name\": \"serve/t\", \
+     \"ns_per_run\": 210000.0, \"p50_ns\": 205000.0, \"p99_ns\": 400000.0}]}"
+  in
+  let v = compare_runs ~min_ns:1e5 (parse_exn "b" base) (parse_exn "c" cur) in
+  match v.rows with
+  | [ r ] ->
+    check_true "base percentiles NaN" (Float.is_nan r.r_base_p50);
+    check_float ~eps:1e-3 "cur p50" 205000.0 r.r_cur_p50;
+    check_float ~eps:1e-3 "cur p99" 400000.0 r.r_cur_p99;
+    check_true "still gated on ns" r.r_gated
+  | rs -> Alcotest.failf "expected 1 row, got %d" (List.length rs)
+
 let run ~min_ns base cur =
   compare_runs ~min_ns
     (parse_exn "base" (artifact base))
@@ -112,7 +166,10 @@ let () =
   Alcotest.run "bench_compare"
     [ ( "parse",
         [ Alcotest.test_case "entries" `Quick test_parse;
-          Alcotest.test_case "bad schema" `Quick test_bad_schema ] );
+          Alcotest.test_case "bad schema" `Quick test_bad_schema;
+          Alcotest.test_case "schema /3 percentiles" `Quick test_schema3_percentiles;
+          Alcotest.test_case "older schemas accepted" `Quick test_older_schemas_accepted;
+          Alcotest.test_case "percentiles in rows" `Quick test_percentiles_flow_into_rows ] );
       ( "gate",
         [ Alcotest.test_case "ratio" `Quick test_ratio_gate;
           Alcotest.test_case "sub-floor common" `Quick test_sub_floor_common_excluded;

@@ -126,10 +126,16 @@ let test_version_mismatch () =
      payload, so this is a clean version mismatch, not corruption. *)
   write_file path (patch_byte bytes 4 (fun c -> Char.chr (Char.code c + 1)));
   (match Checkpoint.load ~path with
-  | Error (Checkpoint.Version_mismatch { found; expected }) ->
+  | Error (Checkpoint.Version_mismatch { found; expected; direction }) ->
     check_true "found = version+1" (found = Checkpoint.version + 1);
-    check_true "expected = current" (expected = Checkpoint.version)
+    check_true "expected = current" (expected = Checkpoint.version);
+    check_true "direction = Newer" (direction = Checkpoint.Newer)
   | _ -> Alcotest.fail "patched version must be Version_mismatch");
+  (* And the other direction: a strictly older on-disk version. *)
+  write_file path (patch_byte bytes 4 (fun c -> Char.chr (Char.code c - 1)));
+  (match Checkpoint.load ~path with
+  | Error (Checkpoint.Version_mismatch { direction = Checkpoint.Older; _ }) -> ()
+  | _ -> Alcotest.fail "patched-down version must be Older");
   Sys.remove path
 
 let test_crc32_known_vector () =

@@ -1,0 +1,106 @@
+(* Retry: deterministic-jitter exponential backoff with typed give-up. *)
+
+let check_true msg condition = Alcotest.(check bool) msg true condition
+
+let policy =
+  { Retry.attempts = 4;
+    base_delay = 0.1;
+    multiplier = 2.0;
+    max_delay = 0.5;
+    jitter = 0.5;
+    seed = 17 }
+
+let test_delay_deterministic () =
+  for attempt = 1 to 6 do
+    let a = Retry.delay_for policy ~attempt in
+    let b = Retry.delay_for policy ~attempt in
+    check_true "same (policy, attempt) -> same delay" (a = b)
+  done;
+  let other = Retry.delay_for { policy with seed = 18 } ~attempt:1 in
+  check_true "seed changes the jitter draw" (other <> Retry.delay_for policy ~attempt:1)
+
+let test_delay_bounds () =
+  for attempt = 1 to 8 do
+    let d = Retry.delay_for policy ~attempt in
+    let cap = min policy.Retry.max_delay
+        (policy.Retry.base_delay *. (policy.Retry.multiplier ** float_of_int (attempt - 1)))
+    in
+    check_true "delay <= cap" (d <= cap +. 1e-12);
+    check_true "delay >= (1-jitter)*cap" (d >= ((1. -. policy.Retry.jitter) *. cap) -. 1e-12);
+    check_true "delay positive" (d > 0.)
+  done
+
+let test_first_try_succeeds () =
+  let calls = ref 0 in
+  let slept = ref [] in
+  let r =
+    Retry.run ~policy ~sleep:(fun d -> slept := d :: !slept)
+      (fun () ->
+        incr calls;
+        Ok "done")
+  in
+  check_true "Ok" (r = Ok "done");
+  check_true "one call" (!calls = 1);
+  check_true "no sleeps" (!slept = [])
+
+let test_recovers_after_failures () =
+  let calls = ref 0 in
+  let slept = ref [] in
+  let retries = ref [] in
+  let r =
+    Retry.run ~policy ~sleep:(fun d -> slept := d :: !slept)
+      ~on_retry:(fun ~attempt ~delay:_ _e -> retries := attempt :: !retries)
+      (fun () -> incr calls; if !calls < 3 then Error "flaky" else Ok !calls)
+  in
+  check_true "Ok 3" (r = Ok 3);
+  check_true "three calls" (!calls = 3);
+  check_true "two sleeps" (List.length !slept = 2);
+  check_true "on_retry saw attempts 1,2" (List.sort compare !retries = [ 1; 2 ]);
+  check_true "sleeps match delay_for"
+    (List.rev !slept
+    = [ Retry.delay_for policy ~attempt:1; Retry.delay_for policy ~attempt:2 ])
+
+let test_give_up () =
+  let calls = ref 0 in
+  let slept = ref 0. in
+  let r =
+    Retry.run ~policy ~sleep:(fun d -> slept := !slept +. d)
+      (fun () -> incr calls; Error (`Broken !calls))
+  in
+  match r with
+  | Ok _ -> Alcotest.fail "must give up"
+  | Error g ->
+    check_true "all attempts used" (g.Retry.ga_attempts = policy.Retry.attempts);
+    check_true "calls = attempts" (!calls = policy.Retry.attempts);
+    check_true "last error is from the last call" (g.Retry.ga_last_error = `Broken policy.Retry.attempts);
+    check_true "total delay accounted"
+      (Float.abs (g.Retry.ga_total_delay -. !slept) < 1e-12);
+    check_true "slept between attempts only"
+      (Float.abs
+         (!slept
+         -. (Retry.delay_for policy ~attempt:1 +. Retry.delay_for policy ~attempt:2
+            +. Retry.delay_for policy ~attempt:3))
+      < 1e-12)
+
+let test_zero_jitter_is_pure_exponential () =
+  let p = { policy with Retry.jitter = 0. } in
+  check_true "a1" (Retry.delay_for p ~attempt:1 = 0.1);
+  check_true "a2" (Retry.delay_for p ~attempt:2 = 0.2);
+  check_true "a3" (Retry.delay_for p ~attempt:3 = 0.4);
+  check_true "a4 capped" (Retry.delay_for p ~attempt:4 = 0.5)
+
+let test_exceptions_pass_through () =
+  match Retry.run ~policy ~sleep:(fun _ -> ()) (fun () -> failwith "boom") with
+  | exception Failure m -> check_true "exception escapes" (m = "boom")
+  | _ -> Alcotest.fail "exceptions must not be retried"
+
+let () =
+  Alcotest.run "retry"
+    [ ( "retry",
+        [ Alcotest.test_case "delay deterministic" `Quick test_delay_deterministic;
+          Alcotest.test_case "delay bounds" `Quick test_delay_bounds;
+          Alcotest.test_case "first try" `Quick test_first_try_succeeds;
+          Alcotest.test_case "recovers" `Quick test_recovers_after_failures;
+          Alcotest.test_case "give up" `Quick test_give_up;
+          Alcotest.test_case "zero jitter" `Quick test_zero_jitter_is_pure_exponential;
+          Alcotest.test_case "exceptions pass" `Quick test_exceptions_pass_through ] ) ]

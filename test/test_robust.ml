@@ -74,6 +74,48 @@ let test_warning_ring_domain_safe () =
     (List.for_all (fun w -> String.length w >= 14 && String.sub w 0 7 = "domain ") ws);
   Robust.clear_warnings ()
 
+let test_drain_warnings () =
+  Robust.clear_warnings ();
+  Robust.warnf "drain me %d" 1;
+  Robust.warnf "drain me %d" 2;
+  (match Robust.drain_warnings () with
+  | [ a; b ] -> check_true "oldest first" (a = "drain me 1" && b = "drain me 2")
+  | ws -> Alcotest.failf "expected 2 drained, got %d" (List.length ws));
+  check_true "ring empty after drain" (Robust.recent_warnings () = []);
+  check_true "second drain empty" (Robust.drain_warnings () = [])
+
+let test_drain_warnings_partitions () =
+  (* Concurrent drains racing concurrent writers: an entry lands in at most
+     one drained batch — never two (the ring may evict past its 64-entry
+     cap, so "lost to eviction" is allowed; duplication never is). *)
+  Robust.clear_warnings ();
+  let per_domain = 100 in
+  let drained = Array.make 4 [] in
+  let writers =
+    Array.init 2 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Robust.warnf "w%d-%d" d i
+            done))
+  in
+  let drainers =
+    Array.init 4 (fun k ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 20 do
+              drained.(k) <- drained.(k) @ Robust.drain_warnings ()
+            done))
+  in
+  Array.iter Domain.join writers;
+  Array.iter Domain.join drainers;
+  let rest = Robust.drain_warnings () in
+  let all = List.sort compare (List.concat (rest :: Array.to_list drained)) in
+  check_true "nothing drained twice"
+    (List.length all = List.length (List.sort_uniq compare all));
+  check_true "nothing invented" (List.length all <= 2 * per_domain);
+  check_true "entries intact"
+    (List.for_all (fun w -> String.length w >= 4 && w.[0] = 'w') all);
+  Robust.clear_warnings ()
+
 let test_failure_printing () =
   let failures =
     [ Robust.Not_converged { stage = "cp_als"; sweeps = 7; residual = 0.5 };
@@ -391,6 +433,8 @@ let () =
       ( "reporting",
         [ Alcotest.test_case "warning ring" `Quick test_warning_ring;
           Alcotest.test_case "ring domain-safe" `Quick test_warning_ring_domain_safe;
+          Alcotest.test_case "drain reads and clears" `Quick test_drain_warnings;
+          Alcotest.test_case "drains partition entries" `Quick test_drain_warnings_partitions;
           Alcotest.test_case "failure printing" `Quick test_failure_printing ] );
       ( "linalg",
         [ Alcotest.test_case "eigen info" `Quick test_eigen_info_converges;

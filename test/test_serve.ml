@@ -1,0 +1,664 @@
+(* The serving daemon's chaos suite: every robustness invariant of
+   [lib/serve] proven in-process (Server.handle) and over real sockets
+   (socketpair + serve_connection threads).  The headline guarantees:
+
+   - no request hangs past its deadline (typed [R_deadline] instead);
+   - queue overflow sheds typed replies while the daemon keeps serving;
+   - a torn/corrupt/version-skewed hot swap never changes the serving
+     version or the served projections (bitwise);
+   - refit on unchanged data serves the bit-identical model at any pool
+     size; a failed refit leaves the model untouched;
+   - drain refuses new work, flushes in-flight jobs and snapshots;
+   - recovery adopts the newest *valid* snapshot, skipping corrupt ones. *)
+
+let check_true msg condition = Alcotest.(check bool) msg true condition
+
+let mat_equal_bits a b =
+  fst (Mat.dims a) = fst (Mat.dims b)
+  && snd (Mat.dims a) = snd (Mat.dims b)
+  && Array.for_all2
+       (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+       a.Mat.data b.Mat.data
+
+let synth_views ~views ~dim ~n ~seed =
+  let rng = Rng.create seed in
+  let latent = Mat.init 4 n (fun _ _ -> Rng.gaussian rng) in
+  let out = Array.make views (Mat.create 0 0) in
+  for p = 0 to views - 1 do
+    let mix = Mat.init dim 4 (fun _ _ -> Rng.gaussian rng) in
+    let noise = Mat.init dim n (fun _ _ -> 0.5 *. Rng.gaussian rng) in
+    out.(p) <- Mat.add (Mat.mul mix latent) noise
+  done;
+  out
+
+let fit_model ?(rank = 2) ?(seed = 3) () =
+  Tcca.fit ~r:rank (synth_views ~views:3 ~dim:6 ~n:40 ~seed)
+
+(* A retry policy with microscopic sleeps so give-up paths are instant. *)
+let fast_retry = { Retry.default_policy with attempts = 2; base_delay = 1e-4; max_delay = 1e-3 }
+
+let cfg ?(workers = 1) ?(queue = 8) ?state_dir ?(deadline = -1) () =
+  { Server.default_config with
+    workers;
+    queue_capacity = queue;
+    default_deadline_ms = deadline;
+    state_dir;
+    refit_retry = fast_retry;
+    swap_retry = fast_retry;
+    refit_options = { Cp_als.default_options with max_iter = 60 } }
+
+let with_server ?model c f =
+  let t = Server.create ?model c in
+  Fun.protect ~finally:(fun () -> Server.drain_and_stop t) (fun () -> f t)
+
+let tmp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Protocol codec *)
+
+let roundtrip_request r =
+  match Protocol.request_of_string (Protocol.request_to_string r) with
+  | Ok r' -> r'
+  | Error e -> Alcotest.fail ("request roundtrip: " ^ e)
+
+let roundtrip_response r =
+  match Protocol.response_of_string (Protocol.response_to_string r) with
+  | Ok r' -> r'
+  | Error e -> Alcotest.fail ("response roundtrip: " ^ e)
+
+let test_protocol_roundtrip () =
+  let views = synth_views ~views:2 ~dim:3 ~n:5 ~seed:1 in
+  (match roundtrip_request Protocol.Health with
+  | Protocol.Health -> ()
+  | _ -> Alcotest.fail "health");
+  (match roundtrip_request (Protocol.Transform { deadline_ms = 250; views }) with
+  | Protocol.Transform { deadline_ms = 250; views = vs } ->
+    check_true "views survive" (Array.for_all2 mat_equal_bits views vs)
+  | _ -> Alcotest.fail "transform");
+  (match roundtrip_request (Protocol.Swap { path = "/tmp/x.tccm" }) with
+  | Protocol.Swap { path = "/tmp/x.tccm" } -> ()
+  | _ -> Alcotest.fail "swap");
+  (match roundtrip_request Protocol.Drain with
+  | Protocol.Drain -> ()
+  | _ -> Alcotest.fail "drain");
+  (match
+     roundtrip_response
+       (Protocol.R_health
+          { version = 7; r = 2; dims = [| 3; 3 |]; queue_depth = 1; queue_capacity = 8;
+            workers = 2; ingested = 40; since_fit = 0; draining = false })
+   with
+  | Protocol.R_health { version = 7; dims = [| 3; 3 |]; since_fit = 0; _ } -> ()
+  | _ -> Alcotest.fail "r_health");
+  (match roundtrip_response (Protocol.R_matrix views.(0)) with
+  | Protocol.R_matrix m -> check_true "matrix bits" (mat_equal_bits views.(0) m)
+  | _ -> Alcotest.fail "r_matrix");
+  (match roundtrip_response (Protocol.R_scores [| 1.5; -2.25 |]) with
+  | Protocol.R_scores [| 1.5; -2.25 |] -> ()
+  | _ -> Alcotest.fail "r_scores");
+  (match roundtrip_response (Protocol.R_deadline { stage = "serve.transform"; elapsed_ms = 12 }) with
+  | Protocol.R_deadline { stage = "serve.transform"; elapsed_ms = 12 } -> ()
+  | _ -> Alcotest.fail "r_deadline");
+  (match roundtrip_response (Protocol.R_shed { depth = 8; capacity = 8 }) with
+  | Protocol.R_shed { depth = 8; capacity = 8 } -> ()
+  | _ -> Alcotest.fail "r_shed");
+  (* Garbage never parses into a request. *)
+  check_true "garbage refused" (Result.is_error (Protocol.request_of_string "\x63rud"));
+  check_true "empty refused" (Result.is_error (Protocol.request_of_string ""))
+
+(* ------------------------------------------------------------------ *)
+(* Model files *)
+
+let test_model_store_roundtrip () =
+  let m = fit_model () in
+  let path = Filename.temp_file "tccm" ".tccm" in
+  Model_store.save ~path m;
+  (match Model_store.load ~path with
+  | Ok m' ->
+    let x = synth_views ~views:3 ~dim:6 ~n:9 ~seed:11 in
+    check_true "projections survive bitwise"
+      (mat_equal_bits (Tcca.transform m x) (Tcca.transform m' x))
+  | Error e -> Alcotest.fail (Checkpoint.load_error_to_string e));
+  Sys.remove path
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let test_model_store_rejects_damage () =
+  let m = fit_model () in
+  let path = Filename.temp_file "tccm" ".tccm" in
+  Model_store.save ~path m;
+  let good = read_file path in
+  (* Torn: physically truncated file. *)
+  write_file path (String.sub good 0 (String.length good / 3));
+  (match Model_store.load ~path with
+  | Error Checkpoint.Truncated -> ()
+  | _ -> Alcotest.fail "truncated file must be Truncated");
+  (* Corrupt: one payload byte flipped — CRC catches it. *)
+  write_file path
+    (String.mapi
+       (fun i c -> if i = 25 then Char.chr (Char.code c lxor 0x40) else c)
+       good);
+  (match Model_store.load ~path with
+  | Error (Checkpoint.Corrupt _) -> ()
+  | _ -> Alcotest.fail "bit flip must be Corrupt");
+  (* Version skew: header version bumped. *)
+  write_file path
+    (String.mapi (fun i c -> if i = 4 then Char.chr (Char.code c + 1) else c) good);
+  (match Model_store.load ~path with
+  | Error (Checkpoint.Version_mismatch { direction = Checkpoint.Newer; _ }) -> ()
+  | _ -> Alcotest.fail "bumped version must be Newer mismatch");
+  (* Non-finite payload: well-framed but poisoned values. *)
+  let parts = Tcca.to_parts m in
+  parts.Tcca.pt_correlations.(0) <- Float.nan;
+  Model_store.save ~path (Tcca.of_parts parts);
+  (match Model_store.load ~path with
+  | Error (Checkpoint.Corrupt what) ->
+    check_true "names the poison" (what = "non-finite model values")
+  | _ -> Alcotest.fail "NaN model must be Corrupt");
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Engine: serving correctness *)
+
+let test_transform_matches_library () =
+  let m = fit_model () in
+  with_server ~model:m (cfg ()) (fun t ->
+      let x = synth_views ~views:3 ~dim:6 ~n:7 ~seed:21 in
+      match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
+      | Protocol.R_matrix z ->
+        check_true "server transform ≡ library transform"
+          (mat_equal_bits z (Tcca.transform m x))
+      | _ -> Alcotest.fail "expected R_matrix")
+
+let test_predict_formula () =
+  let m = fit_model () in
+  with_server ~model:m (cfg ()) (fun t ->
+      let x = synth_views ~views:3 ~dim:6 ~n:5 ~seed:22 in
+      match Server.handle t (Protocol.Predict { deadline_ms = -1; views = x }) with
+      | Protocol.R_scores s ->
+        let zs = Array.mapi (fun p xp -> Tcca.transform_view m p xp) x in
+        let lambda = Tcca.correlations m in
+        let expect =
+          Array.init 5 (fun i ->
+              let acc = ref 0. in
+              Array.iteri
+                (fun k l ->
+                  let prod = ref l in
+                  Array.iter (fun z -> prod := !prod *. Mat.get z k i) zs;
+                  acc := !acc +. !prod)
+                lambda;
+              !acc)
+        in
+        check_true "scores = Σₖ λₖ Πₚ Zₚ[k,i]"
+          (Array.for_all2 (fun a b -> a = b) s expect)
+      | _ -> Alcotest.fail "expected R_scores")
+
+let test_cold_start_refuses_typed () =
+  with_server (cfg ()) (fun t ->
+      check_true "cold version is 0" (Server.version t = 0);
+      let x = synth_views ~views:3 ~dim:6 ~n:3 ~seed:1 in
+      match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
+      | Protocol.R_error { code = "no-model"; _ } -> ()
+      | _ -> Alcotest.fail "cold transform must be a typed no-model refusal")
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines *)
+
+let test_deadline_zero_expires_not_hangs () =
+  let m = fit_model () in
+  with_server ~model:m (cfg ()) (fun t ->
+      let x = synth_views ~views:3 ~dim:6 ~n:7 ~seed:23 in
+      (match Server.handle t (Protocol.Transform { deadline_ms = 0; views = x }) with
+      | Protocol.R_deadline { stage; _ } ->
+        check_true "stage names the serve path" (stage = "serve.transform")
+      | _ -> Alcotest.fail "deadline 0 must reply R_deadline");
+      (* The daemon is unharmed: the next request computes normally. *)
+      match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
+      | Protocol.R_matrix z -> check_true "still serving" (mat_equal_bits z (Tcca.transform m x))
+      | _ -> Alcotest.fail "server must keep serving after a deadline miss")
+
+let test_deadline_counts_queue_wait () =
+  (* No workers: a job can only wait.  Its budget starts at enqueue, so the
+     wait itself expires it — drain answers it without compute ever running. *)
+  let m = fit_model () in
+  let t = Server.create ~model:m (cfg ~workers:0 ~queue:4 ()) in
+  let x = synth_views ~views:3 ~dim:6 ~n:3 ~seed:24 in
+  let resp = ref None in
+  let th =
+    Thread.create
+      (fun () -> resp := Some (Server.handle t (Protocol.Transform { deadline_ms = 10; views = x })))
+      ()
+  in
+  Thread.delay 0.15;
+  Server.drain_and_stop t;
+  Thread.join th;
+  match !resp with
+  | Some (Protocol.R_error { code = "draining"; _ }) -> ()
+  | Some _ | None -> Alcotest.fail "queued job must be answered at drain, never hung"
+
+(* ------------------------------------------------------------------ *)
+(* Load shedding *)
+
+let test_queue_overflow_sheds () =
+  let m = fit_model () in
+  (* workers = 0: nothing drains the queue, so capacity 2 fills with the
+     first two requests and the third must shed. *)
+  let t = Server.create ~model:m (cfg ~workers:0 ~queue:2 ()) in
+  let x = synth_views ~views:3 ~dim:6 ~n:3 ~seed:25 in
+  let blocked = Array.init 2 (fun _ ->
+      Thread.create
+        (fun () ->
+          ignore (Server.handle t (Protocol.Transform { deadline_ms = -1; views = x })))
+        ())
+  in
+  Thread.delay 0.15;
+  (match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
+  | Protocol.R_shed { depth; capacity } ->
+    check_true "reports full queue" (depth = 2 && capacity = 2)
+  | _ -> Alcotest.fail "third request must shed");
+  (* Shedding didn't kill the daemon: health is still answered inline. *)
+  (match Server.handle t Protocol.Health with
+  | Protocol.R_health { queue_depth = 2; _ } -> ()
+  | _ -> Alcotest.fail "health must report the full queue");
+  Server.drain_and_stop t;
+  Array.iter Thread.join blocked
+
+let test_queue_full_inject () =
+  let m = fit_model () in
+  with_server ~model:m (cfg ~workers:1 ~queue:8 ()) (fun t ->
+      let x = synth_views ~views:3 ~dim:6 ~n:3 ~seed:26 in
+      Robust.Inject.with_stage Robust.Inject.Queue_full (fun () ->
+          match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
+          | Protocol.R_shed _ -> ()
+          | _ -> Alcotest.fail "Queue_full inject must shed");
+      (* Disarmed: service resumes. *)
+      match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
+      | Protocol.R_matrix _ -> ()
+      | _ -> Alcotest.fail "service must resume after inject clears")
+
+(* ------------------------------------------------------------------ *)
+(* Hot swap *)
+
+let swap_fixture () =
+  let serving = fit_model ~seed:3 () in
+  let candidate = fit_model ~seed:4 () in
+  let path = Filename.temp_file "swap" ".tccm" in
+  Model_store.save ~path candidate;
+  (serving, candidate, path)
+
+let test_swap_success () =
+  let serving, candidate, path = swap_fixture () in
+  with_server ~model:serving (cfg ()) (fun t ->
+      (match Server.handle t (Protocol.Swap { path }) with
+      | Protocol.R_ok { version = 2; _ } -> ()
+      | _ -> Alcotest.fail "valid swap must install as version 2");
+      let x = synth_views ~views:3 ~dim:6 ~n:5 ~seed:31 in
+      match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
+      | Protocol.R_matrix z ->
+        check_true "serves the swapped-in model"
+          (mat_equal_bits z (Tcca.transform candidate x))
+      | _ -> Alcotest.fail "transform after swap");
+  Sys.remove path
+
+let unchanged_after_bad_swap t serving x code path =
+  (match Server.handle t (Protocol.Swap { path }) with
+  | Protocol.R_error { code = c; _ } when c = code -> ()
+  | Protocol.R_error { code = c; _ } ->
+    Alcotest.fail (Printf.sprintf "expected %s, got %s" code c)
+  | _ -> Alcotest.fail "bad swap must be refused");
+  check_true "version unchanged" (Server.version t = 1);
+  match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
+  | Protocol.R_matrix z ->
+    check_true "projections unchanged bitwise" (mat_equal_bits z (Tcca.transform serving x))
+  | _ -> Alcotest.fail "transform after refused swap"
+
+let test_torn_swap_rolls_back () =
+  let serving, _, path = swap_fixture () in
+  with_server ~model:serving (cfg ()) (fun t ->
+      let x = synth_views ~views:3 ~dim:6 ~n:5 ~seed:32 in
+      Robust.Inject.with_stage Robust.Inject.Torn_swap (fun () ->
+          unchanged_after_bad_swap t serving x "torn" path);
+      (* The same file swaps fine once the tear is gone. *)
+      match Server.handle t (Protocol.Swap { path }) with
+      | Protocol.R_ok { version = 2; _ } -> ()
+      | _ -> Alcotest.fail "healthy retry of the same swap must succeed");
+  Sys.remove path
+
+let test_corrupt_swap_rolls_back () =
+  let serving, _, path = swap_fixture () in
+  let good = read_file path in
+  write_file path
+    (String.mapi (fun i c -> if i = 30 then Char.chr (Char.code c lxor 0x10) else c) good);
+  with_server ~model:serving (cfg ()) (fun t ->
+      let x = synth_views ~views:3 ~dim:6 ~n:5 ~seed:33 in
+      unchanged_after_bad_swap t serving x "corrupt" path);
+  Sys.remove path
+
+let test_version_skew_swap_refused () =
+  let serving, _, path = swap_fixture () in
+  let good = read_file path in
+  write_file path
+    (String.mapi (fun i c -> if i = 4 then Char.chr (Char.code c + 1) else c) good);
+  with_server ~model:serving (cfg ()) (fun t ->
+      let x = synth_views ~views:3 ~dim:6 ~n:5 ~seed:34 in
+      unchanged_after_bad_swap t serving x "version-newer" path);
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Ingest + refit *)
+
+let test_ingest_then_refit_cold () =
+  with_server (cfg ()) (fun t ->
+      let batch = synth_views ~views:3 ~dim:6 ~n:50 ~seed:41 in
+      (match Server.handle t (Protocol.Ingest { views = batch }) with
+      | Protocol.R_ok _ -> ()
+      | _ -> Alcotest.fail "ingest");
+      (match Server.handle t Protocol.Health with
+      | Protocol.R_health { ingested = 50; since_fit = 50; version = 0; _ } -> ()
+      | _ -> Alcotest.fail "health must count ingested samples");
+      (match Server.handle t (Protocol.Refit { deadline_ms = -1 }) with
+      | Protocol.R_ok { version = 1; _ } -> ()
+      | r ->
+        Alcotest.fail
+          ("cold refit must install version 1, got " ^ Protocol.response_to_string r));
+      let x = synth_views ~views:3 ~dim:6 ~n:5 ~seed:42 in
+      match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
+      | Protocol.R_matrix _ -> ()
+      | _ -> Alcotest.fail "must serve after cold refit")
+
+let test_refit_no_new_data_retains_bitwise () =
+  let m = fit_model () in
+  with_server ~model:m (cfg ()) (fun t ->
+      let x = synth_views ~views:3 ~dim:6 ~n:6 ~seed:43 in
+      let before =
+        match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
+        | Protocol.R_matrix z -> z
+        | _ -> Alcotest.fail "transform"
+      in
+      (match Server.handle t (Protocol.Refit { deadline_ms = -1 }) with
+      | Protocol.R_ok { version = 1; note } ->
+        check_true "says retained"
+          (String.length note >= 8 && String.sub note 0 2 = "no")
+      | _ -> Alcotest.fail "refit with nothing new must retain");
+      match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
+      | Protocol.R_matrix after ->
+        check_true "bit-identical serving model" (mat_equal_bits before after)
+      | _ -> Alcotest.fail "transform after retained refit")
+
+let test_warm_refit_installs_and_serves () =
+  let m = fit_model () in
+  with_server ~model:m (cfg ()) (fun t ->
+      let batch = synth_views ~views:3 ~dim:6 ~n:60 ~seed:44 in
+      (match Server.handle t (Protocol.Ingest { views = batch }) with
+      | Protocol.R_ok _ -> ()
+      | _ -> Alcotest.fail "ingest");
+      (match Server.handle t (Protocol.Refit { deadline_ms = -1 }) with
+      | Protocol.R_ok { version = 2; note } ->
+        check_true "refit note mentions install"
+          (String.length note > 0)
+      | r -> Alcotest.fail ("warm refit must install v2: " ^ Protocol.response_to_string r));
+      (* Rank is inherited from the serving model, not cfg.rank. *)
+      match Server.handle t Protocol.Health with
+      | Protocol.R_health { r = 2; since_fit = 0; _ } -> ()
+      | _ -> Alcotest.fail "health after refit")
+
+let test_warm_refit_pool_independent () =
+  (* The same ingest+refit sequence at pool 1 and pool 4 must install
+     bitwise-identical models — Parallel's pool-size-independence contract
+     carried through the whole serving stack. *)
+  let saved = Parallel.num_domains () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.set_num_domains saved)
+    (fun () ->
+      let run pool =
+        Parallel.set_num_domains pool;
+        let m = fit_model () in
+        with_server ~model:m (cfg ()) (fun t ->
+            let batch = synth_views ~views:3 ~dim:6 ~n:60 ~seed:45 in
+            (match Server.handle t (Protocol.Ingest { views = batch }) with
+            | Protocol.R_ok _ -> ()
+            | _ -> Alcotest.fail "ingest");
+            (match Server.handle t (Protocol.Refit { deadline_ms = -1 }) with
+            | Protocol.R_ok { version = 2; _ } -> ()
+            | r -> Alcotest.fail ("refit: " ^ Protocol.response_to_string r));
+            let x = synth_views ~views:3 ~dim:6 ~n:8 ~seed:46 in
+            match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
+            | Protocol.R_matrix z -> z
+            | _ -> Alcotest.fail "transform")
+      in
+      check_true "pool 1 ≡ pool 4 bitwise" (mat_equal_bits (run 1) (run 4)))
+
+let test_refit_nan_leaves_model_untouched () =
+  let m = fit_model () in
+  with_server ~model:m (cfg ()) (fun t ->
+      let batch = synth_views ~views:3 ~dim:6 ~n:30 ~seed:47 in
+      (match Server.handle t (Protocol.Ingest { views = batch }) with
+      | Protocol.R_ok _ -> ()
+      | _ -> Alcotest.fail "ingest");
+      let x = synth_views ~views:3 ~dim:6 ~n:5 ~seed:48 in
+      let before =
+        match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
+        | Protocol.R_matrix z -> z
+        | _ -> Alcotest.fail "transform"
+      in
+      Robust.Inject.with_stage Robust.Inject.Refit_nan (fun () ->
+          match Server.handle t (Protocol.Refit { deadline_ms = -1 }) with
+          | Protocol.R_error { code = "refit-failed"; message } ->
+            check_true "mentions give-up accounting"
+              (String.length message > 0)
+          | r -> Alcotest.fail ("poisoned refit: " ^ Protocol.response_to_string r));
+      check_true "version unchanged" (Server.version t = 1);
+      (match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
+      | Protocol.R_matrix after ->
+        check_true "pre-refit model still serving, bitwise" (mat_equal_bits before after)
+      | _ -> Alcotest.fail "transform after failed refit");
+      (* The poison is gone: the retained samples refit fine now. *)
+      match Server.handle t (Protocol.Refit { deadline_ms = -1 }) with
+      | Protocol.R_ok { version = 2; _ } -> ()
+      | r -> Alcotest.fail ("recovery refit: " ^ Protocol.response_to_string r))
+
+(* ------------------------------------------------------------------ *)
+(* Drain + recovery *)
+
+let test_drain_refuses_then_flushes () =
+  let m = fit_model () in
+  let dir = tmp_dir "tccad-drain" in
+  let t = Server.create ~model:m (cfg ~state_dir:dir ()) in
+  (match Server.handle t Protocol.Drain with
+  | Protocol.R_ok { note = "draining"; _ } -> ()
+  | _ -> Alcotest.fail "drain ack");
+  let x = synth_views ~views:3 ~dim:6 ~n:3 ~seed:51 in
+  (match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
+  | Protocol.R_error { code = "draining"; _ } -> ()
+  | _ -> Alcotest.fail "work during drain must be refused");
+  (* Health keeps answering so orchestrators can watch the drain. *)
+  (match Server.handle t Protocol.Health with
+  | Protocol.R_health { draining = true; _ } -> ()
+  | _ -> Alcotest.fail "health during drain");
+  Server.drain_and_stop t;
+  check_true "snapshot written at drain"
+    (Sys.file_exists (Filename.concat dir "model-v000001.tccm"));
+  rm_rf dir
+
+let test_recovery_from_newest_valid () =
+  let dir = tmp_dir "tccad-recover" in
+  let m1 = fit_model ~seed:3 () in
+  let m2 = fit_model ~seed:4 () in
+  Model_store.save ~path:(Filename.concat dir "model-v000001.tccm") m1;
+  Model_store.save ~path:(Filename.concat dir "model-v000002.tccm") m2;
+  with_server (cfg ~state_dir:dir ()) (fun t ->
+      check_true "adopts newest version" (Server.version t = 2);
+      let x = synth_views ~views:3 ~dim:6 ~n:5 ~seed:52 in
+      match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
+      | Protocol.R_matrix z ->
+        check_true "serves the newest model bitwise" (mat_equal_bits z (Tcca.transform m2 x))
+      | _ -> Alcotest.fail "transform after recovery");
+  rm_rf dir
+
+let test_recovery_skips_corrupt_newest () =
+  let dir = tmp_dir "tccad-skip" in
+  let m1 = fit_model ~seed:3 () in
+  let m2 = fit_model ~seed:4 () in
+  let p1 = Filename.concat dir "model-v000001.tccm" in
+  let p2 = Filename.concat dir "model-v000002.tccm" in
+  Model_store.save ~path:p1 m1;
+  Model_store.save ~path:p2 m2;
+  (* Tear the newest snapshot: recovery must fall back to v1, loudly. *)
+  let good = read_file p2 in
+  write_file p2 (String.sub good 0 (String.length good / 2));
+  Robust.clear_warnings ();
+  with_server (cfg ~state_dir:dir ()) (fun t ->
+      check_true "falls back to the older valid snapshot" (Server.version t = 1);
+      let x = synth_views ~views:3 ~dim:6 ~n:5 ~seed:53 in
+      match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
+      | Protocol.R_matrix z ->
+        check_true "serves v1 bitwise" (mat_equal_bits z (Tcca.transform m1 x))
+      | _ -> Alcotest.fail "transform after degraded recovery");
+  rm_rf dir
+
+let test_recovery_all_corrupt_degrades_cold () =
+  let dir = tmp_dir "tccad-cold" in
+  write_file (Filename.concat dir "model-v000003.tccm") "TCCMgarbage";
+  with_server (cfg ~state_dir:dir ()) (fun t ->
+      check_true "cold start" (Server.version t = 0 && Server.model t = None));
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
+(* Socket layer *)
+
+let with_connection t f =
+  let client, server = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let th = Thread.create (fun () -> Server.serve_connection t server) () in
+  let out =
+    Fun.protect
+      ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
+      (fun () -> f client)
+  in
+  Thread.join th;
+  out
+
+let test_socket_roundtrip () =
+  let m = fit_model () in
+  with_server ~model:m (cfg ()) (fun t ->
+      with_connection t (fun fd ->
+          (match Protocol.call fd Protocol.Health with
+          | Protocol.R_health { version = 1; r = 2; _ } -> ()
+          | _ -> Alcotest.fail "health over socket");
+          let x = synth_views ~views:3 ~dim:6 ~n:6 ~seed:61 in
+          match Protocol.call fd (Protocol.Transform { deadline_ms = -1; views = x }) with
+          | Protocol.R_matrix z ->
+            check_true "socket transform ≡ library" (mat_equal_bits z (Tcca.transform m x))
+          | _ -> Alcotest.fail "transform over socket"))
+
+let test_slow_client_dropped_not_wedged () =
+  let m = fit_model () in
+  with_server ~model:m (cfg ()) (fun t ->
+      Robust.Inject.with_stage Robust.Inject.Slow_client (fun () ->
+          let client, server = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          let th = Thread.create (fun () -> Server.serve_connection t server) () in
+          (* The connection thread reports Timeout immediately and drops the
+             connection — joining here means no thread was wedged. *)
+          Thread.join th;
+          (try Unix.close client with Unix.Unix_error _ -> ()));
+      (* A healthy client right after is served normally. *)
+      with_connection t (fun fd ->
+          match Protocol.call fd Protocol.Health with
+          | Protocol.R_health _ -> ()
+          | _ -> Alcotest.fail "health after dropped slow client"))
+
+let test_socket_garbage_gets_typed_error () =
+  let m = fit_model () in
+  with_server ~model:m (cfg ()) (fun t ->
+      with_connection t (fun fd ->
+          Protocol.write_frame fd "\xFFnot a request";
+          match Protocol.read_frame fd with
+          | Protocol.Frame body -> (
+            match Protocol.response_of_string body with
+            | Ok (Protocol.R_error { code = "bad-request"; _ }) -> ()
+            | _ -> Alcotest.fail "garbage must get a typed bad-request")
+          | _ -> Alcotest.fail "no reply to garbage"))
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: retained refit is bit-stable at any pool size *)
+
+let qcheck_retained_refit_pool_stable =
+  QCheck.Test.make ~count:8 ~name:"refit(no new data) serves bit-identical at pools 1/4"
+    QCheck.(pair (int_range 0 1000) (int_range 2 4))
+    (fun (seed, rank) ->
+      let saved = Parallel.num_domains () in
+      Fun.protect
+        ~finally:(fun () -> Parallel.set_num_domains saved)
+        (fun () ->
+          let run pool =
+            Parallel.set_num_domains pool;
+            let m = Tcca.fit ~r:rank (synth_views ~views:3 ~dim:5 ~n:30 ~seed) in
+            with_server ~model:m (cfg ()) (fun t ->
+                (match Server.handle t (Protocol.Refit { deadline_ms = -1 }) with
+                | Protocol.R_ok { version = 1; _ } -> ()
+                | _ -> Alcotest.fail "retained refit");
+                let x = synth_views ~views:3 ~dim:5 ~n:6 ~seed:(seed + 1) in
+                match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
+                | Protocol.R_matrix z -> z
+                | _ -> Alcotest.fail "transform")
+          in
+          mat_equal_bits (run 1) (run 4)))
+
+let () =
+  Alcotest.run "serve"
+    [ ( "protocol",
+        [ Alcotest.test_case "codec roundtrip" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "garbage over socket" `Quick test_socket_garbage_gets_typed_error ] );
+      ( "model-store",
+        [ Alcotest.test_case "roundtrip" `Quick test_model_store_roundtrip;
+          Alcotest.test_case "rejects damage" `Quick test_model_store_rejects_damage ] );
+      ( "serving",
+        [ Alcotest.test_case "transform ≡ library" `Quick test_transform_matches_library;
+          Alcotest.test_case "predict formula" `Quick test_predict_formula;
+          Alcotest.test_case "cold start typed refusal" `Quick test_cold_start_refuses_typed;
+          Alcotest.test_case "socket roundtrip" `Quick test_socket_roundtrip ] );
+      ( "deadlines",
+        [ Alcotest.test_case "deadline 0 expires, never hangs" `Quick
+            test_deadline_zero_expires_not_hangs;
+          Alcotest.test_case "queue wait counts" `Quick test_deadline_counts_queue_wait ] );
+      ( "shedding",
+        [ Alcotest.test_case "overflow sheds" `Quick test_queue_overflow_sheds;
+          Alcotest.test_case "Queue_full inject" `Quick test_queue_full_inject;
+          Alcotest.test_case "slow client dropped" `Quick test_slow_client_dropped_not_wedged ] );
+      ( "hot-swap",
+        [ Alcotest.test_case "valid swap installs" `Quick test_swap_success;
+          Alcotest.test_case "torn swap rolls back" `Quick test_torn_swap_rolls_back;
+          Alcotest.test_case "corrupt swap rolls back" `Quick test_corrupt_swap_rolls_back;
+          Alcotest.test_case "version skew refused" `Quick test_version_skew_swap_refused ] );
+      ( "refit",
+        [ Alcotest.test_case "cold ingest+refit" `Quick test_ingest_then_refit_cold;
+          Alcotest.test_case "no new data retained bitwise" `Quick
+            test_refit_no_new_data_retains_bitwise;
+          Alcotest.test_case "warm refit installs" `Quick test_warm_refit_installs_and_serves;
+          Alcotest.test_case "warm refit pool-independent" `Quick
+            test_warm_refit_pool_independent;
+          Alcotest.test_case "Refit_nan leaves model" `Quick
+            test_refit_nan_leaves_model_untouched;
+          QCheck_alcotest.to_alcotest qcheck_retained_refit_pool_stable ] );
+      ( "drain-recovery",
+        [ Alcotest.test_case "drain refuses and flushes" `Quick test_drain_refuses_then_flushes;
+          Alcotest.test_case "recovers newest valid" `Quick test_recovery_from_newest_valid;
+          Alcotest.test_case "skips corrupt newest" `Quick test_recovery_skips_corrupt_newest;
+          Alcotest.test_case "all corrupt -> cold" `Quick test_recovery_all_corrupt_degrades_cold ] ) ]
