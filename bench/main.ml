@@ -85,7 +85,7 @@ let serve_fixture =
      let client, sock = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
      ignore (Thread.create (fun () -> Server.serve_connection server sock) ());
      let batch = Array.init 2 (fun _ -> mk 200 64) in
-     let req = Protocol.Transform { deadline_ms = -1; views = batch } in
+     let req = Protocol.Transform { deadline_ms = -1; views = batch; model_id = "default" } in
      (client, req))
 
 let serve_call () =
@@ -94,14 +94,56 @@ let serve_call () =
   | Protocol.R_matrix _ -> ()
   | _ -> failwith "bench: serve/transform-batch got a non-matrix reply"
 
+(* Multi-model routing micro: the same round trip, but against a registry
+   holding two models, alternating the target per call — so the measured
+   cost includes registry lookup, per-model breaker admission, and the
+   cache churn of two live model entries.  The second model is hot-swapped
+   in from a file, so it gets its own entry, queue and workers exactly as
+   in production. *)
+let route_fixture =
+  lazy
+    (let rng = Rng.create 20300 in
+     let mk rows cols = Mat.init rows cols (fun _ _ -> Rng.gaussian rng) in
+     let views = Array.init 2 (fun _ -> mk 200 256) in
+     let model =
+       Tcca.fit ~solver:(Tcca.Als { Cp_als.default_options with max_iter = 25 }) ~r:10 views
+     in
+     let server =
+       Server.create ~model { Server.default_config with workers = 2; queue_capacity = 64 }
+     in
+     let client, sock = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+     ignore (Thread.create (fun () -> Server.serve_connection server sock) ());
+     let tmp = Filename.temp_file "tccad-bench" ".tccm" in
+     Model_store.save ~path:tmp model;
+     (match Protocol.call client (Protocol.Swap { path = tmp; model_id = "alt" }) with
+     | Protocol.R_ok _ -> ()
+     | _ -> failwith "bench: serve/route-transform fixture swap failed");
+     (try Sys.remove tmp with Sys_error _ -> ());
+     let batch = Array.init 2 (fun _ -> mk 200 64) in
+     let reqs =
+       [| Protocol.Transform { deadline_ms = -1; views = batch; model_id = "default" };
+          Protocol.Transform { deadline_ms = -1; views = batch; model_id = "alt" } |]
+     in
+     (client, reqs))
+
+let route_counter = ref 0
+
+let route_call () =
+  let client, reqs = Lazy.force route_fixture in
+  let req = reqs.(!route_counter land 1) in
+  incr route_counter;
+  match Protocol.call client req with
+  | Protocol.R_matrix _ -> ()
+  | _ -> failwith "bench: serve/route-transform got a non-matrix reply"
+
 (* p50/p99 request latency over [samples] sequential calls on the same
-   connection — the schema /3 fields riding on the serve record. *)
-let serve_latency_percentiles ~samples =
-  ignore (serve_call ()); (* warm the fixture outside the timed window *)
+   connection — the schema /3 fields riding on the serve records. *)
+let latency_percentiles ~samples call =
+  ignore (call ()); (* warm the fixture outside the timed window *)
   let lat =
     Array.init samples (fun _ ->
         let t0 = Unix.gettimeofday () in
-        serve_call ();
+        call ();
         (Unix.gettimeofday () -. t0) *. 1e9)
   in
   Array.sort compare lat;
@@ -112,7 +154,8 @@ let serve_latency_percentiles ~samples =
 
 let serve_tests () =
   let open Bechamel in
-  [ Test.make ~name:"serve/transform-batch" (Staged.stage serve_call) ]
+  [ Test.make ~name:"serve/transform-batch" (Staged.stage serve_call);
+    Test.make ~name:"serve/route-transform" (Staged.stage route_call) ]
 
 let micro_tests () =
   let world = Secstr.world Secstr.Quick in
@@ -455,13 +498,17 @@ let run_micro ~smoke ~json () =
         results)
     tests;
   Tableau.print table;
-  (* Latency percentiles for the serve micro: measured per-request on the
-     live fixture, printed always and carried into the JSON artifact as the
-     schema /3 fields. *)
+  (* Latency percentiles for the serve micros: measured per-request on the
+     live fixtures, printed always and carried into the JSON artifact as
+     the schema /3 fields. *)
   let percentiles =
-    let p50, p99 = serve_latency_percentiles ~samples:(if smoke then 120 else 400) in
-    Printf.printf "serve/transform-batch latency: p50 %.0f ns, p99 %.0f ns\n%!" p50 p99;
-    [ ("serve/transform-batch", (p50, p99)) ]
+    let samples = if smoke then 120 else 400 in
+    List.map
+      (fun (name, call) ->
+        let p50, p99 = latency_percentiles ~samples call in
+        Printf.printf "%s latency: p50 %.0f ns, p99 %.0f ns\n%!" name p50 p99;
+        (name, (p50, p99)))
+      [ ("serve/transform-batch", serve_call); ("serve/route-transform", route_call) ]
   in
   (match json with
   | Some path -> write_json ~path ~smoke ~percentiles (List.rev !collected)

@@ -3,16 +3,20 @@
    dune exec bin/tccad.exe -- serve --listen unix:/tmp/tccad.sock --state-dir /tmp/tccad
    dune exec bin/tccad.exe -- serve --model m.tccm --listen tcp:7070 --workers 4
    dune exec bin/tccad.exe -- health  --connect unix:/tmp/tccad.sock
-   dune exec bin/tccad.exe -- ingest  --connect unix:/tmp/tccad.sock --seed 1 -n 200 --views 3 --dim 12
-   dune exec bin/tccad.exe -- refit   --connect unix:/tmp/tccad.sock
-   dune exec bin/tccad.exe -- transform --connect unix:/tmp/tccad.sock --seed 7 -n 16
-   dune exec bin/tccad.exe -- swap    --connect unix:/tmp/tccad.sock /path/model.tccm
-   dune exec bin/tccad.exe -- drain   --connect unix:/tmp/tccad.sock
+   dune exec bin/tccad.exe -- list-models --connect unix:/tmp/tccad.sock
+   dune exec bin/tccad.exe -- ingest  --connect unix:/tmp/tccad.sock --model a --seed 1 -n 200 --views 3 --dim 12
+   dune exec bin/tccad.exe -- refit   --connect unix:/tmp/tccad.sock --model a
+   dune exec bin/tccad.exe -- transform --connect unix:/tmp/tccad.sock --model a --seed 7 -n 16
+   dune exec bin/tccad.exe -- swap    --connect unix:/tmp/tccad.sock --model b /path/model.tccm
+   dune exec bin/tccad.exe -- drain   --connect unix:/tmp/tccad.sock [--model a]
 
-   The client generates deterministic synthetic views from a seed (same
-   generator as tcca_experiments fit), so two [transform --seed S] calls
-   against the same model print byte-identical output — the property the
-   daemon kill-and-resume CI check asserts. *)
+   Every client subcommand targets one model of the daemon's registry via
+   --model (default "default", the PR-8 single-model slot); drain without
+   --model stops the whole daemon.  The client generates deterministic
+   synthetic views from a seed (same generator as tcca_experiments fit), so
+   two [transform --seed S] calls against the same model print
+   byte-identical output — the property the daemon kill-and-resume CI check
+   asserts, per model. *)
 
 open Cmdliner
 
@@ -48,7 +52,7 @@ let setup_logs () =
 let serve_cmd =
   let model =
     Arg.(value & opt (some string) None & info [ "model" ] ~docv:"FILE"
-           ~doc:"Model file (TCCM) to serve; otherwise recover from --state-dir.")
+           ~doc:"Model file (TCCM) to serve as \"default\"; otherwise recover from --state-dir.")
   in
   let listen =
     Arg.(value & opt addr_conv (Unix.ADDR_UNIX "/tmp/tccad.sock")
@@ -56,14 +60,15 @@ let serve_cmd =
   in
   let state_dir =
     Arg.(value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR"
-           ~doc:"Snapshot/recovery directory (created if missing).")
+           ~doc:"State root (one subdirectory per model; created if missing).")
   in
   let workers =
     Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N"
-           ~doc:"Compute threads (default: the domain-pool size).")
+           ~doc:"Compute threads per model (default: the domain-pool size).")
   in
   let queue =
-    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc:"Request-queue capacity.")
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N"
+           ~doc:"Per-model request-queue capacity.")
   in
   let deadline =
     Arg.(value & opt int 5000 & info [ "default-deadline-ms" ] ~docv:"MS"
@@ -85,8 +90,20 @@ let serve_cmd =
   let rank =
     Arg.(value & opt int 4 & info [ "rank" ] ~docv:"R" ~doc:"Rank for cold-start refits.")
   in
+  let breaker_failures =
+    Arg.(value & opt int 5 & info [ "breaker-failures" ] ~docv:"N"
+           ~doc:"Consecutive failures that trip a model's circuit breaker.")
+  in
+  let breaker_cooldown =
+    Arg.(value & opt int 1000 & info [ "breaker-cooldown-ms" ] ~docv:"MS"
+           ~doc:"Open-breaker cooldown before half-open probes.")
+  in
+  let max_respawns =
+    Arg.(value & opt int 4 & info [ "max-respawns" ] ~docv:"N"
+           ~doc:"Crashed-worker respawn budget per model.")
+  in
   let action model listen state_dir workers queue deadline io_timeout refit_iters
-      refit_tol eps rank =
+      refit_tol eps rank breaker_failures breaker_cooldown max_respawns =
     setup_logs ();
     let cfg =
       { Server.default_config with
@@ -97,7 +114,12 @@ let serve_cmd =
         state_dir;
         refit_options = { Cp_als.default_options with max_iter = refit_iters; tol = refit_tol };
         eps;
-        rank }
+        rank;
+        breaker =
+          { Breaker.default_config with
+            failure_threshold = breaker_failures;
+            open_cooldown_s = float_of_int breaker_cooldown /. 1000. };
+        max_respawns }
     in
     match
       match model with
@@ -124,7 +146,8 @@ let serve_cmd =
     (Cmd.info "serve" ~doc:"Run the serving daemon.")
     Term.(ret
             (const action $ model $ listen $ state_dir $ workers $ queue $ deadline
-             $ io_timeout $ refit_iters $ refit_tol $ eps $ rank))
+             $ io_timeout $ refit_iters $ refit_tol $ eps $ rank $ breaker_failures
+             $ breaker_cooldown $ max_respawns))
 
 (* ------------------------------------------------------------------ *)
 (* client plumbing *)
@@ -132,6 +155,10 @@ let serve_cmd =
 let connect_arg =
   Arg.(value & opt addr_conv (Unix.ADDR_UNIX "/tmp/tccad.sock")
        & info [ "connect" ] ~docv:"ADDR" ~doc:"Daemon address (unix:PATH or tcp:PORT).")
+
+let model_arg =
+  Arg.(value & opt string "default" & info [ "model" ] ~docv:"ID"
+       ~doc:"Target model id in the daemon's registry.")
 
 let with_conn addr f =
   let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
@@ -162,11 +189,14 @@ let synth_from_dims ~dims ~n ~seed =
   let full = synth_views ~views ~dim:dmax ~n ~seed in
   Array.map2 (fun v d -> Mat.init d n (fun i j -> Mat.get v i j)) full dims
 
-let fetch_dims fd =
-  match Protocol.call fd Protocol.Health with
-  | Protocol.R_health { dims; _ } when Array.length dims > 0 -> Ok dims
-  | Protocol.R_health _ -> Error "server is cold (no model): no dims to generate against"
-  | _ -> Error "unexpected health reply"
+let fetch_dims fd ~model_id =
+  match Protocol.call fd (Protocol.Model_health { model_id }) with
+  | Protocol.R_model_health { mh_dims; _ } when Array.length mh_dims > 0 -> Ok mh_dims
+  | Protocol.R_model_health _ ->
+    Error (Printf.sprintf "model %S is cold: no dims to generate against" model_id)
+  | Protocol.R_error { code; message } ->
+    Error (Printf.sprintf "[%s] %s" code message)
+  | _ -> Error "unexpected model-health reply"
 
 let print_response = function
   | Protocol.R_health
@@ -192,45 +222,147 @@ let print_response = function
     `Error (false, Printf.sprintf "shed: queue %d/%d full — retry later" depth capacity)
   | Protocol.R_deadline { stage; elapsed_ms } ->
     `Error (false, Printf.sprintf "deadline exceeded at %s after %d ms" stage elapsed_ms)
+  | Protocol.R_unavailable { model_id; retry_after_ms } ->
+    `Error
+      ( false,
+        Printf.sprintf "unavailable: model %S breaker open — retry in %d ms" model_id
+          retry_after_ms )
+  | Protocol.R_models infos ->
+    Array.iter
+      (fun { Protocol.mi_id; mi_version; mi_r; mi_breaker; mi_draining } ->
+        Printf.printf "%s version %d r %d breaker %s draining %b\n" mi_id mi_version
+          mi_r mi_breaker mi_draining)
+      infos;
+    `Ok ()
+  | Protocol.R_model_health h ->
+    Printf.printf
+      "model %s  version %d  r %d  dims [%s]  queue %d/%d  workers %d  breaker %s  \
+       retry-after %d ms  failures %d  respawns %d  ingested %d  since-fit %d  \
+       last-refit %s  draining %b\n"
+      h.Protocol.mh_id h.Protocol.mh_version h.Protocol.mh_r
+      (String.concat ";" (Array.to_list (Array.map string_of_int h.Protocol.mh_dims)))
+      h.Protocol.mh_queue_depth h.Protocol.mh_queue_capacity h.Protocol.mh_workers
+      h.Protocol.mh_breaker h.Protocol.mh_retry_after_ms h.Protocol.mh_failures
+      h.Protocol.mh_respawns h.Protocol.mh_ingested h.Protocol.mh_since_fit
+      h.Protocol.mh_last_refit h.Protocol.mh_draining;
+    `Ok ()
   | Protocol.R_error { code; message } ->
     `Error (false, Printf.sprintf "error [%s]: %s" code message)
 
-let simple_client_cmd name doc req =
+(* ------------------------------------------------------------------ *)
+(* health: per-model table, non-zero exit iff any breaker is open. *)
+
+let health_cmd =
   let action connect =
-    try with_conn connect (fun fd -> print_response (Protocol.call fd (req ())))
+    try
+      with_conn connect (fun fd ->
+          match Protocol.call fd Protocol.List_models with
+          | Protocol.R_models infos ->
+            let healths =
+              Array.to_list infos
+              |> List.filter_map (fun { Protocol.mi_id; _ } ->
+                     match
+                       Protocol.call fd (Protocol.Model_health { model_id = mi_id })
+                     with
+                     | Protocol.R_model_health h -> Some h
+                     | _ -> None)
+            in
+            Printf.printf "%-16s %-9s %7s %3s %7s %7s %8s %9s %8s  %s\n" "MODEL"
+              "BREAKER" "VERSION" "R" "QUEUE" "WORKERS" "INGESTED" "SINCE-FIT"
+              "RESPAWNS" "LAST-REFIT";
+            List.iter
+              (fun h ->
+                Printf.printf "%-16s %-9s %7d %3d %3d/%-3d %7d %8d %9d %8d  %s%s\n"
+                  h.Protocol.mh_id h.Protocol.mh_breaker h.Protocol.mh_version
+                  h.Protocol.mh_r h.Protocol.mh_queue_depth
+                  h.Protocol.mh_queue_capacity h.Protocol.mh_workers
+                  h.Protocol.mh_ingested h.Protocol.mh_since_fit
+                  h.Protocol.mh_respawns h.Protocol.mh_last_refit
+                  (if h.Protocol.mh_draining then "  [draining]" else ""))
+              healths;
+            let open_models =
+              List.filter (fun h -> h.Protocol.mh_breaker = "open") healths
+            in
+            if open_models = [] then `Ok ()
+            else
+              `Error
+                ( false,
+                  Printf.sprintf "breaker open: %s"
+                    (String.concat ", "
+                       (List.map (fun h -> h.Protocol.mh_id) open_models)) )
+          | resp -> print_response resp)
     with Unix.Unix_error (e, _, _) -> `Error (false, "connect: " ^ Unix.error_message e)
        | Failure msg -> `Error (false, msg)
   in
-  Cmd.v (Cmd.info name ~doc) Term.(ret (const action $ connect_arg))
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:"Per-model health table; exits non-zero iff any circuit breaker is open.")
+    Term.(ret (const action $ connect_arg))
 
-let health_cmd = simple_client_cmd "health" "Query daemon health." (fun () -> Protocol.Health)
-let drain_cmd = simple_client_cmd "drain" "Ask the daemon to drain and stop." (fun () -> Protocol.Drain)
+let list_models_cmd =
+  let action connect =
+    try with_conn connect (fun fd -> print_response (Protocol.call fd Protocol.List_models))
+    with Unix.Unix_error (e, _, _) -> `Error (false, "connect: " ^ Unix.error_message e)
+       | Failure msg -> `Error (false, msg)
+  in
+  Cmd.v (Cmd.info "list-models" ~doc:"List the models in the daemon's registry.")
+    Term.(ret (const action $ connect_arg))
+
+let model_health_cmd =
+  let action connect model_id =
+    try
+      with_conn connect (fun fd ->
+          print_response (Protocol.call fd (Protocol.Model_health { model_id })))
+    with Unix.Unix_error (e, _, _) -> `Error (false, "connect: " ^ Unix.error_message e)
+       | Failure msg -> `Error (false, msg)
+  in
+  Cmd.v (Cmd.info "model-health" ~doc:"Full health record for one model.")
+    Term.(ret (const action $ connect_arg $ model_arg))
+
+let drain_cmd =
+  let model =
+    Arg.(value & opt string "" & info [ "model" ] ~docv:"ID"
+         ~doc:"Drain only this model (its siblings keep serving); without it, \
+               drain and stop the whole daemon.")
+  in
+  let action connect model_id =
+    try
+      with_conn connect (fun fd ->
+          print_response (Protocol.call fd (Protocol.Drain { model_id })))
+    with Unix.Unix_error (e, _, _) -> `Error (false, "connect: " ^ Unix.error_message e)
+       | Failure msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "drain" ~doc:"Drain one model, or the whole daemon without --model.")
+    Term.(ret (const action $ connect_arg $ model))
 
 let swap_cmd =
   let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
-  let action connect path =
-    try with_conn connect (fun fd -> print_response (Protocol.call fd (Protocol.Swap { path })))
+  let action connect model_id path =
+    try
+      with_conn connect (fun fd ->
+          print_response (Protocol.call fd (Protocol.Swap { path; model_id })))
     with Unix.Unix_error (e, _, _) -> `Error (false, "connect: " ^ Unix.error_message e)
        | Failure msg -> `Error (false, msg)
   in
-  Cmd.v (Cmd.info "swap" ~doc:"Hot-swap the serving model from a file.")
-    Term.(ret (const action $ connect_arg $ path))
+  Cmd.v (Cmd.info "swap" ~doc:"Hot-swap one model from a file.")
+    Term.(ret (const action $ connect_arg $ model_arg $ path))
 
 let refit_cmd =
   let deadline =
     Arg.(value & opt int (-1) & info [ "deadline-ms" ] ~docv:"MS"
            ~doc:"Refit deadline (negative = server default).")
   in
-  let action connect deadline_ms =
+  let action connect model_id deadline_ms =
     try
       with_conn connect (fun fd ->
           print_response
-            (Protocol.call ~timeout_s:600. fd (Protocol.Refit { deadline_ms })))
+            (Protocol.call ~timeout_s:600. fd (Protocol.Refit { deadline_ms; model_id })))
     with Unix.Unix_error (e, _, _) -> `Error (false, "connect: " ^ Unix.error_message e)
        | Failure msg -> `Error (false, msg)
   in
   Cmd.v (Cmd.info "refit" ~doc:"Warm-started incremental refit from ingested samples.")
-    Term.(ret (const action $ connect_arg $ deadline))
+    Term.(ret (const action $ connect_arg $ model_arg $ deadline))
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Data seed.")
 let n_arg = Arg.(value & opt int 16 & info [ "n" ] ~docv:"N" ~doc:"Instances.")
@@ -238,63 +370,64 @@ let n_arg = Arg.(value & opt int 16 & info [ "n" ] ~docv:"N" ~doc:"Instances.")
 let ingest_cmd =
   let views =
     Arg.(value & opt (some int) None & info [ "views" ] ~docv:"M"
-           ~doc:"View count (required when the server is cold).")
+           ~doc:"View count (required when the model is cold).")
   in
   let dim =
     Arg.(value & opt (some int) None & info [ "dim" ] ~docv:"D"
-           ~doc:"Per-view dimension (required when the server is cold).")
+           ~doc:"Per-view dimension (required when the model is cold).")
   in
-  let action connect seed n views dim =
+  let action connect model_id seed n views dim =
     try
       with_conn connect (fun fd ->
           let dims =
             match (views, dim) with
             | Some m, Some d -> Ok (Array.make m d)
-            | _ -> fetch_dims fd
+            | _ -> fetch_dims fd ~model_id
           in
           match dims with
           | Error msg -> `Error (false, msg ^ " (pass --views and --dim)")
           | Ok dims ->
             let batch = synth_from_dims ~dims ~n ~seed in
-            print_response (Protocol.call fd (Protocol.Ingest { views = batch })))
+            print_response
+              (Protocol.call fd (Protocol.Ingest { views = batch; model_id })))
     with Unix.Unix_error (e, _, _) -> `Error (false, "connect: " ^ Unix.error_message e)
        | Failure msg -> `Error (false, msg)
   in
   Cmd.v (Cmd.info "ingest" ~doc:"Ingest a deterministic synthetic sample batch.")
-    Term.(ret (const action $ connect_arg $ seed_arg $ n_arg $ views $ dim))
+    Term.(ret (const action $ connect_arg $ model_arg $ seed_arg $ n_arg $ views $ dim))
 
 let batch_query_cmd name doc mk =
   let deadline =
     Arg.(value & opt int (-1) & info [ "deadline-ms" ] ~docv:"MS"
            ~doc:"Request deadline (negative = server default).")
   in
-  let action connect seed n deadline_ms =
+  let action connect model_id seed n deadline_ms =
     try
       with_conn connect (fun fd ->
-          match fetch_dims fd with
+          match fetch_dims fd ~model_id with
           | Error msg -> `Error (false, msg)
           | Ok dims ->
             let batch = synth_from_dims ~dims ~n ~seed in
-            print_response (Protocol.call fd (mk ~deadline_ms ~views:batch)))
+            print_response (Protocol.call fd (mk ~deadline_ms ~views:batch ~model_id)))
     with Unix.Unix_error (e, _, _) -> `Error (false, "connect: " ^ Unix.error_message e)
        | Failure msg -> `Error (false, msg)
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(ret (const action $ connect_arg $ seed_arg $ n_arg $ deadline))
+    Term.(ret (const action $ connect_arg $ model_arg $ seed_arg $ n_arg $ deadline))
 
 let transform_cmd =
   batch_query_cmd "transform" "Project a deterministic synthetic batch (%.17g output)."
-    (fun ~deadline_ms ~views -> Protocol.Transform { deadline_ms; views })
+    (fun ~deadline_ms ~views ~model_id -> Protocol.Transform { deadline_ms; views; model_id })
 
 let predict_cmd =
   batch_query_cmd "predict" "Score a deterministic synthetic batch (%.17g output)."
-    (fun ~deadline_ms ~views -> Protocol.Predict { deadline_ms; views })
+    (fun ~deadline_ms ~views ~model_id -> Protocol.Predict { deadline_ms; views; model_id })
 
 let () =
-  let doc = "Fault-tolerant TCCA model-serving daemon" in
+  let doc = "Fault-tolerant multi-model TCCA serving daemon" in
   let info = Cmd.info "tccad" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ serve_cmd; health_cmd; transform_cmd; predict_cmd; ingest_cmd; refit_cmd;
-            swap_cmd; drain_cmd ]))
+          [ serve_cmd; health_cmd; list_models_cmd; model_health_cmd; transform_cmd;
+            predict_cmd; ingest_cmd; refit_cmd; swap_cmd; drain_cmd ]))

@@ -142,6 +142,8 @@ module Wire = struct
   let expect_end c =
     if c.pos <> String.length c.s then raise (Decode "trailing bytes after payload")
 
+  let at_end c = c.pos = String.length c.s
+
   (* Framing. *)
 
   let header_bytes = 20
@@ -195,6 +197,41 @@ module Wire = struct
     let tmp = path ^ ".tmp" in
     write_file tmp bytes;
     Sys.rename tmp path
+
+  (* Durable variant: rename alone only orders the *names*; the temp file's
+     data can still sit in the page cache when power is lost, leaving a
+     zero-length or torn file behind a valid-looking name.  fsync the temp
+     file before the rename, then fsync the directory so the rename itself
+     is on disk.  Directory fsync is best-effort (some filesystems refuse
+     O_RDONLY directory descriptors); data fsync failures are real errors. *)
+  let fsync_dir dir =
+    match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+    | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+
+  let write_durable ~path bytes =
+    let tmp = path ^ ".tmp" in
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    (match
+       Fun.protect
+         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+         (fun () ->
+           let b = Bytes.unsafe_of_string bytes in
+           let total = Bytes.length b in
+           let written = ref 0 in
+           while !written < total do
+             written := !written + Unix.write fd b !written (total - !written)
+           done;
+           Unix.fsync fd)
+     with
+    | () -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+      raise (Sys_error (tmp ^ ": " ^ Unix.error_message e)));
+    Sys.rename tmp path;
+    fsync_dir (Filename.dirname path)
 
   let read ~path =
     let read_all () =

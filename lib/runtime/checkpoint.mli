@@ -144,6 +144,11 @@ module Wire : sig
   val expect_end : cursor -> unit
   (** Raises {!Decode} unless the cursor consumed the whole payload. *)
 
+  val at_end : cursor -> bool
+  (** [true] iff the cursor has consumed the whole payload — how decoders
+      of formats with optional trailing fields (the serving protocol's
+      [model_id]) distinguish an old-format payload from a new one. *)
+
   (** {2 Framing and file I/O} *)
 
   val frame : magic:string -> version:int -> string -> string
@@ -159,6 +164,16 @@ module Wire : sig
   val write_atomic : path:string -> string -> unit
   (** Temp file in the same directory + atomic [Sys.rename].  Raises
       [Sys_error] if the directory is unwritable. *)
+
+  val write_durable : path:string -> string -> unit
+  (** {!write_atomic} hardened against power loss: the temp file is
+      fsynced before the rename and the containing directory after it, so
+      a crash at any point leaves either the previous complete file or the
+      new complete file durably on disk — never a zero-length or torn one
+      behind a valid-looking name.  Directory fsync is best-effort; a
+      failed data fsync raises [Sys_error].  Model files (the unit of
+      serving recovery) use this; solver checkpoints keep the cheaper
+      {!write_atomic} (a torn checkpoint only costs a cold-started fit). *)
 
   val read : path:string -> (string, load_error) result
   (** Whole-file read; an unreadable path maps to [Corrupt]. *)

@@ -102,6 +102,10 @@ module Inject = struct
     | Torn_swap
     | Queue_full
     | Refit_nan
+    | Worker_crash
+    | Breaker_probe_fail
+    | Registry_corrupt_one
+    | Torn_model_write
 
   (* [on] is the single-load fast path: production code probes [active],
      which reads one bool before anything else happens. *)

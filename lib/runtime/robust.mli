@@ -131,6 +131,25 @@ module Inject : sig
         (** Serving: poison the covariance statistics of an incremental
             refit (via the same NaN guardrail the fit path uses), so the
             refit must fail typed and leave the serving model unchanged. *)
+    | Worker_crash
+        (** Serving: make a model's compute worker die from an uncaught
+            exception mid-request, so the supervisor must answer the
+            in-flight request typed, log the death, and respawn the worker
+            within its capped budget — siblings untouched. *)
+    | Breaker_probe_fail
+        (** Serving: force the next half-open circuit-breaker probe to
+            fail, so the breaker must fall back to Open (with a fresh
+            cooldown) instead of re-closing. *)
+    | Registry_corrupt_one
+        (** Serving: during multi-model recovery, treat the alphabetically
+            first model directory's snapshots as unreadable, so exactly
+            that model cold-starts with a warning while every sibling
+            loads its newest valid snapshot. *)
+    | Torn_model_write
+        (** Serving: simulate a crash mid-[Model_store.save] — a truncated
+            file lands at the {e final} path with no fsync and no rename,
+            which is exactly the failure mode the durable temp-file +
+            fsync + rename protocol prevents. *)
 
   val arm : stage -> unit
   (** Arm a stage (enables injection globally). *)

@@ -51,7 +51,16 @@ let decode_parts s =
   { Tcca.pt_means; pt_projections; pt_factors; pt_correlations; pt_note }
 
 let save ~path model =
-  Wire.write_atomic ~path (Wire.frame ~magic ~version (encode_parts (Tcca.to_parts model)))
+  let bytes = Wire.frame ~magic ~version (encode_parts (Tcca.to_parts model)) in
+  if Robust.Inject.(active Torn_model_write) then begin
+    (* Power-loss simulation: a torn prefix lands at the *final* path with
+       no fsync and no rename — the failure the durable protocol (fsync
+       temp, rename, fsync dir) prevents.  The loader must refuse it. *)
+    let oc = open_out_bin path in
+    output_string oc (String.sub bytes 0 (String.length bytes / 2));
+    close_out oc
+  end
+  else Wire.write_durable ~path bytes
 
 let finite_parts (p : Tcca.parts) =
   Array.for_all (Array.for_all Float.is_finite) p.Tcca.pt_means

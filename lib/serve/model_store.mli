@@ -16,9 +16,14 @@ val version : int
 (** Model-file format version (independent of the snapshot format's). *)
 
 val save : path:string -> Tcca.t -> unit
-(** Atomic write of the full model (means, projections, warm-start factors,
-    correlations, solver note).  Raises [Sys_error] if the directory is
-    unwritable. *)
+(** Durable atomic write of the full model (means, projections, warm-start
+    factors, correlations, solver note) via {!Checkpoint.Wire.write_durable}:
+    the temp file is fsynced before the rename and the directory after it,
+    so a power loss cannot leave a zero-length or torn file behind a
+    valid-looking name.  Raises [Sys_error] if the directory is unwritable.
+    With {!Robust.Inject.Torn_model_write} armed, a truncated file lands at
+    the final path instead (the crash the protocol prevents), so the next
+    {!load} must refuse it. *)
 
 val load : path:string -> (Tcca.t, Checkpoint.load_error) result
 (** Never raises on bad content.  Beyond the frame checks, a payload whose

@@ -1,17 +1,52 @@
 (* Length-prefixed frames whose bodies are Checkpoint.Wire field streams —
    the serving protocol deliberately reuses the snapshot format's codec so
-   there is exactly one binary-field discipline in the tree. *)
+   there is exactly one binary-field discipline in the tree.
+
+   Multi-model routing rides on an OPTIONAL trailing [model_id] string on
+   every routed request: PR-8-era frames simply end where the old body
+   ended, and the decoder maps the absent field to "default" ([Drain]: to
+   "" = daemon-wide, preserving the old drain semantics exactly).  New
+   fields must therefore only ever be appended, and only decoded through
+   [Wire.at_end] probes. *)
 
 module Wire = Checkpoint.Wire
 
 type request =
   | Health
-  | Transform of { deadline_ms : int; views : Mat.t array }
-  | Predict of { deadline_ms : int; views : Mat.t array }
-  | Ingest of { views : Mat.t array }
-  | Refit of { deadline_ms : int }
-  | Swap of { path : string }
-  | Drain
+  | Transform of { deadline_ms : int; views : Mat.t array; model_id : string }
+  | Predict of { deadline_ms : int; views : Mat.t array; model_id : string }
+  | Ingest of { views : Mat.t array; model_id : string }
+  | Refit of { deadline_ms : int; model_id : string }
+  | Swap of { path : string; model_id : string }
+  | Drain of { model_id : string }
+  | List_models
+  | Model_health of { model_id : string }
+
+type model_info = {
+  mi_id : string;
+  mi_version : int;
+  mi_r : int;
+  mi_breaker : string;
+  mi_draining : bool;
+}
+
+type model_health = {
+  mh_id : string;
+  mh_version : int;
+  mh_r : int;
+  mh_dims : int array;
+  mh_queue_depth : int;
+  mh_queue_capacity : int;
+  mh_workers : int;
+  mh_breaker : string;
+  mh_retry_after_ms : int;
+  mh_failures : int;
+  mh_respawns : int;
+  mh_ingested : int;
+  mh_since_fit : int;
+  mh_last_refit : string;
+  mh_draining : bool;
+}
 
 type response =
   | R_health of {
@@ -31,6 +66,9 @@ type response =
   | R_shed of { depth : int; capacity : int }
   | R_deadline of { stage : string; elapsed_ms : int }
   | R_error of { code : string; message : string }
+  | R_unavailable of { model_id : string; retry_after_ms : int }
+  | R_models of model_info array
+  | R_model_health of model_health
 
 let max_frame_bytes = 64 * 1024 * 1024
 
@@ -65,28 +103,44 @@ let get_int_array c =
   let n = Wire.get_nat c "int array length" in
   Array.init n (fun _ -> Wire.get_int c)
 
+(* The wire-compat probe: a PR-8 frame ends exactly where the old body
+   ended, so "no bytes left" decodes to the given default model. *)
+let get_model_id ?(default = "default") c =
+  if Wire.at_end c then default else Wire.get_string c
+
 let request_to_string req =
   let b = Buffer.create 256 in
   (match req with
   | Health -> Wire.add_int b 1
-  | Transform { deadline_ms; views } ->
+  | Transform { deadline_ms; views; model_id } ->
     Wire.add_int b 2;
     Wire.add_int b deadline_ms;
-    add_views b views
-  | Predict { deadline_ms; views } ->
+    add_views b views;
+    Wire.add_string b model_id
+  | Predict { deadline_ms; views; model_id } ->
     Wire.add_int b 3;
     Wire.add_int b deadline_ms;
-    add_views b views
-  | Ingest { views } ->
+    add_views b views;
+    Wire.add_string b model_id
+  | Ingest { views; model_id } ->
     Wire.add_int b 4;
-    add_views b views
-  | Refit { deadline_ms } ->
+    add_views b views;
+    Wire.add_string b model_id
+  | Refit { deadline_ms; model_id } ->
     Wire.add_int b 5;
-    Wire.add_int b deadline_ms
-  | Swap { path } ->
+    Wire.add_int b deadline_ms;
+    Wire.add_string b model_id
+  | Swap { path; model_id } ->
     Wire.add_int b 6;
-    Wire.add_string b path
-  | Drain -> Wire.add_int b 7);
+    Wire.add_string b path;
+    Wire.add_string b model_id
+  | Drain { model_id } ->
+    Wire.add_int b 7;
+    Wire.add_string b model_id
+  | List_models -> Wire.add_int b 8
+  | Model_health { model_id } ->
+    Wire.add_int b 9;
+    Wire.add_string b model_id);
   Buffer.contents b
 
 let request_of_cursor c =
@@ -96,15 +150,26 @@ let request_of_cursor c =
     | 2 ->
       let deadline_ms = Wire.get_int c in
       let views = get_views c in
-      Transform { deadline_ms; views }
+      Transform { deadline_ms; views; model_id = get_model_id c }
     | 3 ->
       let deadline_ms = Wire.get_int c in
       let views = get_views c in
-      Predict { deadline_ms; views }
-    | 4 -> Ingest { views = get_views c }
-    | 5 -> Refit { deadline_ms = Wire.get_int c }
-    | 6 -> Swap { path = Wire.get_string c }
-    | 7 -> Drain
+      Predict { deadline_ms; views; model_id = get_model_id c }
+    | 4 ->
+      let views = get_views c in
+      Ingest { views; model_id = get_model_id c }
+    | 5 ->
+      let deadline_ms = Wire.get_int c in
+      Refit { deadline_ms; model_id = get_model_id c }
+    | 6 ->
+      let path = Wire.get_string c in
+      Swap { path; model_id = get_model_id c }
+    | 7 ->
+      (* An old Drain frame carries nothing: "" = drain the whole daemon,
+         exactly what PR-8 clients asked for. *)
+      Drain { model_id = get_model_id ~default:"" c }
+    | 8 -> List_models
+    | 9 -> Model_health { model_id = Wire.get_string c }
     | _ -> raise (Wire.Decode "bad request tag")
   in
   Wire.expect_end c;
@@ -114,6 +179,70 @@ let request_of_string s =
   match request_of_cursor (Wire.cursor s) with
   | req -> Ok req
   | exception Wire.Decode what -> Error what
+
+let add_model_info b { mi_id; mi_version; mi_r; mi_breaker; mi_draining } =
+  Wire.add_string b mi_id;
+  Wire.add_int b mi_version;
+  Wire.add_int b mi_r;
+  Wire.add_string b mi_breaker;
+  Wire.add_bool b mi_draining
+
+let get_model_info c =
+  let mi_id = Wire.get_string c in
+  let mi_version = Wire.get_int c in
+  let mi_r = Wire.get_nat c "model r" in
+  let mi_breaker = Wire.get_string c in
+  let mi_draining = Wire.get_bool c in
+  { mi_id; mi_version; mi_r; mi_breaker; mi_draining }
+
+let add_model_health b h =
+  Wire.add_string b h.mh_id;
+  Wire.add_int b h.mh_version;
+  Wire.add_int b h.mh_r;
+  add_int_array b h.mh_dims;
+  Wire.add_int b h.mh_queue_depth;
+  Wire.add_int b h.mh_queue_capacity;
+  Wire.add_int b h.mh_workers;
+  Wire.add_string b h.mh_breaker;
+  Wire.add_int b h.mh_retry_after_ms;
+  Wire.add_int b h.mh_failures;
+  Wire.add_int b h.mh_respawns;
+  Wire.add_int b h.mh_ingested;
+  Wire.add_int b h.mh_since_fit;
+  Wire.add_string b h.mh_last_refit;
+  Wire.add_bool b h.mh_draining
+
+let get_model_health c =
+  let mh_id = Wire.get_string c in
+  let mh_version = Wire.get_int c in
+  let mh_r = Wire.get_nat c "health r" in
+  let mh_dims = get_int_array c in
+  let mh_queue_depth = Wire.get_nat c "queue depth" in
+  let mh_queue_capacity = Wire.get_nat c "queue capacity" in
+  let mh_workers = Wire.get_nat c "workers" in
+  let mh_breaker = Wire.get_string c in
+  let mh_retry_after_ms = Wire.get_nat c "retry-after" in
+  let mh_failures = Wire.get_nat c "failures" in
+  let mh_respawns = Wire.get_nat c "respawns" in
+  let mh_ingested = Wire.get_nat c "ingested" in
+  let mh_since_fit = Wire.get_nat c "since_fit" in
+  let mh_last_refit = Wire.get_string c in
+  let mh_draining = Wire.get_bool c in
+  { mh_id;
+    mh_version;
+    mh_r;
+    mh_dims;
+    mh_queue_depth;
+    mh_queue_capacity;
+    mh_workers;
+    mh_breaker;
+    mh_retry_after_ms;
+    mh_failures;
+    mh_respawns;
+    mh_ingested;
+    mh_since_fit;
+    mh_last_refit;
+    mh_draining }
 
 let response_to_string resp =
   let b = Buffer.create 256 in
@@ -159,7 +288,18 @@ let response_to_string resp =
   | R_error { code; message } ->
     Wire.add_int b 7;
     Wire.add_string b code;
-    Wire.add_string b message);
+    Wire.add_string b message
+  | R_unavailable { model_id; retry_after_ms } ->
+    Wire.add_int b 8;
+    Wire.add_string b model_id;
+    Wire.add_int b retry_after_ms
+  | R_models infos ->
+    Wire.add_int b 9;
+    Wire.add_int b (Array.length infos);
+    Array.iter (add_model_info b) infos
+  | R_model_health h ->
+    Wire.add_int b 10;
+    add_model_health b h);
   Buffer.contents b
 
 let response_of_cursor c =
@@ -203,6 +343,14 @@ let response_of_cursor c =
       let code = Wire.get_string c in
       let message = Wire.get_string c in
       R_error { code; message }
+    | 8 ->
+      let model_id = Wire.get_string c in
+      let retry_after_ms = Wire.get_nat c "retry-after" in
+      R_unavailable { model_id; retry_after_ms }
+    | 9 ->
+      let n = Wire.get_nat c "model count" in
+      R_models (Array.init n (fun _ -> get_model_info c))
+    | 10 -> R_model_health (get_model_health c)
     | _ -> raise (Wire.Decode "bad response tag")
   in
   Wire.expect_end c;

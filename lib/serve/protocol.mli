@@ -8,26 +8,75 @@
     before any allocation, so a hostile or corrupt length prefix cannot
     OOM the daemon.
 
+    {b Multi-model routing and wire compatibility.}  Every routed request
+    carries a [model_id] naming its target in the daemon's registry.  On
+    the wire the field is an {e optional trailing} string: frames from
+    single-model (PR 8) clients end where the old body ended and decode
+    with [model_id = "default"] — except [Drain], whose absent field maps
+    to [""] (drain the whole daemon), preserving the old drain semantics
+    exactly.  New fields must only ever be appended and probed with
+    [Wire.at_end].
+
     Reads are deadline-bounded ({!read_frame} never blocks past its
     timeout), which is what lets the daemon shed a stalled client — the
     {!Robust.Inject.Slow_client} fault forces exactly that path. *)
 
 type request =
   | Health
-  | Transform of { deadline_ms : int; views : Mat.t array }
+      (** Single-model-era daemon health; answered with the ["default"]
+          model's numbers so old monitoring keeps reading sense.  New
+          clients use {!List_models} + {!Model_health}. *)
+  | Transform of { deadline_ms : int; views : Mat.t array; model_id : string }
       (** Project a batch (instances as columns, one matrix per view).
           [deadline_ms]: [< 0] = the server's default deadline, [0] =
           already expired (degenerate probe), [> 0] = that budget. *)
-  | Predict of { deadline_ms : int; views : Mat.t array }
+  | Predict of { deadline_ms : int; views : Mat.t array; model_id : string }
       (** Per-instance high-order correlation scores
           [sᵢ = Σₖ λₖ Πₚ Zₚ[k,i]]. *)
-  | Ingest of { views : Mat.t array }
-      (** Fold a sample batch into the server's covariance accumulator
-          (no model change until [Refit]). *)
-  | Refit of { deadline_ms : int }
-      (** Warm-started incremental refit from everything ingested. *)
-  | Swap of { path : string }  (** Hot-swap the model from a file. *)
-  | Drain  (** Stop accepting work; flush in-flight; checkpoint. *)
+  | Ingest of { views : Mat.t array; model_id : string }
+      (** Fold a sample batch into the named model's covariance
+          accumulator (no model change until [Refit]).  Creates the model
+          entry (cold) if the id is new and valid. *)
+  | Refit of { deadline_ms : int; model_id : string }
+      (** Warm-started incremental refit from everything ingested into
+          that model. *)
+  | Swap of { path : string; model_id : string }
+      (** Hot-swap the named model from a file. *)
+  | Drain of { model_id : string }
+      (** [""]: stop accepting work daemon-wide; flush in-flight;
+          checkpoint (the PR 8 semantics).  A model id: drain only that
+          model — flush its queue, stop its workers, snapshot it — while
+          every sibling keeps serving. *)
+  | List_models  (** Registry listing, one {!model_info} per model. *)
+  | Model_health of { model_id : string }
+      (** Full per-model health record, including breaker state. *)
+
+type model_info = {
+  mi_id : string;
+  mi_version : int;
+  mi_r : int;           (** 0 when cold. *)
+  mi_breaker : string;  (** ["closed"] / ["open"] / ["half-open"]. *)
+  mi_draining : bool;
+}
+
+type model_health = {
+  mh_id : string;
+  mh_version : int;
+  mh_r : int;                (** 0 when cold. *)
+  mh_dims : int array;       (** Per-view input dims; empty when cold. *)
+  mh_queue_depth : int;      (** This model's own bounded queue. *)
+  mh_queue_capacity : int;
+  mh_workers : int;          (** Live workers (respawns replace the dead). *)
+  mh_breaker : string;       (** ["closed"] / ["open"] / ["half-open"]. *)
+  mh_retry_after_ms : int;   (** Remaining breaker cooldown; 0 unless open. *)
+  mh_failures : int;         (** Consecutive request failures so far. *)
+  mh_respawns : int;         (** Workers respawned after crashes. *)
+  mh_ingested : int;
+  mh_since_fit : int;
+  mh_last_refit : string;    (** ["never"], ["installed v3"], ["retained"],
+                                 or ["failed: …"]. *)
+  mh_draining : bool;
+}
 
 type response =
   | R_health of {
@@ -45,14 +94,23 @@ type response =
   | R_scores of float array
   | R_ok of { version : int; note : string }
   | R_shed of { depth : int; capacity : int }
-      (** Load shed: the bounded queue was full; retry later. *)
+      (** Load shed: the target model's bounded queue was full; retry
+          later. *)
   | R_deadline of { stage : string; elapsed_ms : int }
       (** The request's budget expired before (or during) compute. *)
   | R_error of { code : string; message : string }
       (** Typed refusal.  [code] is machine-readable: ["no-model"],
-          ["bad-request"], ["corrupt"], ["torn"], ["version-newer"],
-          ["version-older"], ["refit-failed"], ["refit-busy"],
-          ["draining"], ["unsupported"]. *)
+          ["unknown-model"], ["bad-request"], ["corrupt"], ["torn"],
+          ["version-newer"], ["version-older"], ["refit-failed"],
+          ["refit-busy"], ["worker-crash"], ["draining"],
+          ["unsupported"]. *)
+  | R_unavailable of { model_id : string; retry_after_ms : int }
+      (** The named model's circuit breaker is open: the request was
+          refused {e immediately} (no queueing, no compute) and the client
+          should retry no sooner than [retry_after_ms].  Every other
+          model keeps serving. *)
+  | R_models of model_info array
+  | R_model_health of model_health
 
 val max_frame_bytes : int
 (** Refusal threshold for a single frame (64 MiB). *)

@@ -1,18 +1,24 @@
-(* The daemon engine.  Concurrency layout:
+(* The daemon engine.  Concurrency layout, per model:
 
-     connection threads (one per socket)  ──inline──▶  Health/Ingest/Swap/Drain
-            │ enqueue (bounded, shed on overflow)
+     connection threads (one per socket) ──inline──▶ Health/Ingest/Swap/Drain
+            │ breaker admission, then enqueue (bounded, shed on overflow)
             ▼
-     job queue ◀── workers (config.workers threads) ──▶ Transform/Predict/Refit
+     entry queue ◀── entry workers (config.workers threads) ──▶ Transform/
+                                                                Predict/Refit
 
-   The state mutex guards the model/version/builder cell and is only ever
-   held for O(state) work (reads, installs, builder folds) — never across a
-   fit or a transform, so serving continues at the old version while a refit
-   runs.  The refit mutex serializes refits (second concurrent refit gets a
-   typed "refit-busy").  Deadlines ride each job as a [Budget] created at
-   *enqueue* time, so time spent queued counts against the request — a job
-   that waits out its deadline in the queue replies [R_deadline] instead of
-   computing. *)
+   Every model owns its queue, workers, breaker, builder, and state dir —
+   its failure domain.  The entry mutex guards the model/version/builder
+   cell (plus breaker and worker accounting) and is only ever held for
+   O(state) work — never across a fit or a transform, so a model serves at
+   its old version while its refit runs, and siblings never wait on it at
+   all.  Deadlines ride each job as a [Budget] created at *enqueue* time,
+   so time spent queued counts against the request.
+
+   Supervision: a worker that dies on an uncaught exception answers its
+   in-flight job with a typed "worker-crash" error, records a breaker
+   failure, logs, and is respawned — up to [max_respawns]; past the budget
+   the last worker's death forces the breaker open (effectively
+   permanently) and flushes the queue with [R_unavailable]. *)
 
 let src = Logs.Src.create "tccad" ~doc:"TCCA serving daemon"
 
@@ -29,6 +35,8 @@ type config = {
   swap_retry : Retry.policy;
   eps : float;
   rank : int;
+  breaker : Breaker.config;
+  max_respawns : int;
 }
 
 let default_config =
@@ -41,49 +49,41 @@ let default_config =
     refit_retry = Retry.default_policy;
     swap_retry = Retry.default_policy;
     eps = 1e-2;
-    rank = 2 }
-
-type mailbox = {
-  mb_mutex : Mutex.t;
-  mb_cond : Condition.t;
-  mutable mb_resp : Protocol.response option;
-}
-
-type job = Job of Protocol.request * Budget.t * mailbox | Stop
-
-type state = {
-  mutable model : Tcca.t option;
-  mutable version : int;
-  mutable builder : Tcca.Builder.t option;
-  mutable ingested : int;
-  mutable since_fit : int;
-}
+    rank = 2;
+    breaker = Breaker.default_config;
+    max_respawns = 4 }
 
 type t = {
   cfg : config;
-  st_mutex : Mutex.t;
-  st : state;
-  refit_mutex : Mutex.t;
-  q_mutex : Mutex.t;
-  q_cond : Condition.t;
-  queue : job Queue.t;
+  reg : Registry.t;
   drain_flag : bool Atomic.t;
-  mutable threads : Thread.t list;
 }
 
+let registry t = t.reg
 let draining t = Atomic.get t.drain_flag
 let request_drain t = Atomic.set t.drain_flag true
 
-let with_state t f =
-  Mutex.lock t.st_mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.st_mutex) f
+let with_entry (e : Registry.entry) f =
+  Mutex.lock e.Registry.e_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock e.Registry.e_mutex) f
 
-let version t = with_state t (fun () -> t.st.version)
-let model t = with_state t (fun () -> t.st.model)
+let default_entry t =
+  match Registry.find_or_create t.reg "default" with
+  | Ok (e, _) -> e
+  | Error _ -> assert false (* "default" is a valid id *)
+
+let version t =
+  let e = default_entry t in
+  with_entry e (fun () -> e.Registry.version)
+
+let model t =
+  let e = default_entry t in
+  with_entry e (fun () -> e.Registry.model)
 
 (* Guardrail events accumulated in Robust's ring (whitening escalations,
-   warm-start fallbacks, checkpoint degradations) are shipped to the daemon
-   log in batches — drained, so nothing is ever reported twice. *)
+   warm-start fallbacks, supervision notices, recovery degradations) are
+   shipped to the daemon log in batches — drained, so nothing is ever
+   reported twice. *)
 let ship_warnings () =
   List.iter (fun w -> Log.warn (fun m -> m "%s" w)) (Robust.drain_warnings ())
 
@@ -101,49 +101,26 @@ let deadline_reply = function
   | f -> Protocol.R_error { code = "internal"; message = Robust.failure_to_string f }
 
 (* ------------------------------------------------------------------ *)
-(* Snapshots and recovery. *)
+(* Breaker plumbing.  The breaker judges *served* outcomes: things that
+   prove the model's serving path broken (crashes, internal errors, failed
+   refits, blown deadlines) count against it; deterministic typed refusals
+   (no-model, bad-request, refit-busy) count as successes — the path
+   answered exactly as specified; load shedding and admission decisions
+   are not outcomes at all. *)
 
-let snapshot t =
-  match t.cfg.state_dir with
+let breaker_outcome = function
+  | Protocol.R_deadline _ -> Some false
+  | Protocol.R_error { code = "internal" | "worker-crash" | "refit-failed"; _ } ->
+    Some false
+  | Protocol.R_matrix _ | Protocol.R_scores _ | Protocol.R_ok _ -> Some true
+  | Protocol.R_error { code = "no-model" | "bad-request" | "refit-busy"; _ } ->
+    Some true
+  | _ -> None
+
+let record_breaker (e : Registry.entry) resp =
+  match breaker_outcome resp with
   | None -> ()
-  | Some dir -> (
-    match with_state t (fun () -> (t.st.model, t.st.version)) with
-    | None, _ -> ()
-    | Some m, v -> (
-      let path = Filename.concat dir (Printf.sprintf "model-v%06d.tccm" v) in
-      try Model_store.save ~path m
-      with Sys_error e ->
-        Robust.warnf "tccad: model snapshot %s failed (%s) — continuing unprotected" path
-          e))
-
-let recover dir =
-  match Sys.readdir dir with
-  | exception Sys_error _ -> (None, 0)
-  | files ->
-    let candidates =
-      Array.to_list files
-      |> List.filter_map (fun f ->
-             match Scanf.sscanf f "model-v%d.tccm%!" (fun v -> v) with
-             | v -> Some (v, f)
-             | exception _ -> None)
-      |> List.sort (fun (a, _) (b, _) -> compare b a)
-    in
-    let rec try_load = function
-      | [] ->
-        if candidates <> [] then
-          Robust.warnf "tccad: no valid model snapshot in %s — degrading to cold start"
-            dir;
-        (None, 0)
-      | (v, f) :: rest -> (
-        let path = Filename.concat dir f in
-        match Model_store.load ~path with
-        | Ok m -> (Some m, v)
-        | Error e ->
-          Robust.warnf "tccad: model snapshot %s: %s — skipped" path
-            (Checkpoint.load_error_to_string e);
-          try_load rest)
-    in
-    try_load candidates
+  | Some ok -> with_entry e (fun () -> Breaker.record e.Registry.breaker ~ok)
 
 (* ------------------------------------------------------------------ *)
 (* Compute handlers (worker side). *)
@@ -187,31 +164,36 @@ let predict_reply m views budget =
         Protocol.R_scores scores
       end)
 
-let refit_reply t budget =
-  if not (Mutex.try_lock t.refit_mutex) then
+let refit_reply t (e : Registry.entry) budget =
+  if not (Mutex.try_lock e.Registry.refit_mutex) then
     Protocol.R_error { code = "refit-busy"; message = "another refit is in progress" }
   else
     Fun.protect
-      ~finally:(fun () -> Mutex.unlock t.refit_mutex)
+      ~finally:(fun () -> Mutex.unlock e.Registry.refit_mutex)
       (fun () ->
         let live, since, builder =
-          with_state t (fun () -> (t.st.model, t.st.since_fit, t.st.builder))
+          with_entry e (fun () -> (e.model, e.since_fit, e.builder))
         in
-        let retained =
+        let retained () =
+          let v =
+            with_entry e (fun () ->
+                e.last_refit <- "retained";
+                e.version)
+          in
           Protocol.R_ok
-            { version = version t;
+            { version = v;
               note = "no new samples since last fit — serving model retained" }
         in
         match builder with
         (* Nothing new: skip the solve entirely so the reply provably
            serves the bit-identical live model. *)
-        | None -> retained
-        | Some _ when since = 0 -> retained
+        | None -> retained ()
+        | Some _ when since = 0 -> retained ()
         | Some b -> (
           let attempt () =
-            (* Builder folds race with Ingest; finalize under the state
+            (* Builder folds race with Ingest; finalize under the entry
                lock (O(statistics), not O(fit)). *)
-            let raw = with_state t (fun () -> Tcca.Builder.finalize b) in
+            let raw = with_entry e (fun () -> Tcca.Builder.finalize b) in
             let prep () = Tcca.prepare_of_raw_checked ~eps:t.cfg.eps raw in
             let prepared =
               (* [Refit_nan] reuses the fit path's own covariance-poison
@@ -230,165 +212,311 @@ let refit_reply t budget =
               in
               Tcca.fit_prepared_checked ~solver ~budget ~r:rank prepared
           in
-          let on_retry ~attempt ~delay e =
+          let on_retry ~attempt ~delay err =
             Log.warn (fun m ->
-                m "refit attempt %d failed (%s) — retrying in %.0f ms" attempt
-                  (Robust.failure_to_string e) (delay *. 1000.))
+                m "[%s] refit attempt %d failed (%s) — retrying in %.0f ms"
+                  e.Registry.id attempt (Robust.failure_to_string err)
+                  (delay *. 1000.))
           in
           match Retry.run ~policy:t.cfg.refit_retry ~on_retry attempt with
           | Ok model' ->
             let v =
-              with_state t (fun () ->
-                  t.st.model <- Some model';
-                  t.st.version <- t.st.version + 1;
-                  t.st.since_fit <- 0;
-                  t.st.version)
+              with_entry e (fun () ->
+                  e.model <- Some model';
+                  e.version <- e.version + 1;
+                  e.since_fit <- 0;
+                  e.last_refit <- Printf.sprintf "installed v%d" e.version;
+                  e.version)
             in
-            snapshot t;
+            Registry.snapshot t.reg e;
             ship_warnings ();
             Protocol.R_ok
               { version = v; note = "refit installed: " ^ Tcca.solver_info model' }
           | Error gu ->
             ship_warnings ();
-            Protocol.R_error
-              { code = "refit-failed";
-                message =
-                  Printf.sprintf "%s (gave up after %d attempts, %.0f ms backoff)"
-                    (Robust.failure_to_string gu.Retry.ga_last_error)
-                    gu.Retry.ga_attempts
-                    (gu.Retry.ga_total_delay *. 1000.) }))
+            let message =
+              Printf.sprintf "%s (gave up after %d attempts, %.0f ms backoff)"
+                (Robust.failure_to_string gu.Retry.ga_last_error)
+                gu.Retry.ga_attempts
+                (gu.Retry.ga_total_delay *. 1000.)
+            in
+            with_entry e (fun () -> e.last_refit <- "failed: " ^ message);
+            Protocol.R_error { code = "refit-failed"; message }))
 
 let no_model = Protocol.R_error { code = "no-model"; message = "serving cold: no model" }
 
-let compute t req budget =
+(* A worker raising [Crashed] simulates an abrupt worker death (stack
+   overflow, fatal signal in a C stub, …): the exception escapes the
+   compute wrapper and kills the thread, exercising supervision. *)
+exception Crashed
+
+let compute t (e : Registry.entry) req budget =
+  if Robust.Inject.(active Worker_crash) then raise Crashed;
   match req with
   | Protocol.Transform { views; _ } -> (
-    match model t with
+    match with_entry e (fun () -> e.model) with
     | None -> no_model
     | Some m -> transform_reply m views budget ~stage:"serve.transform")
   | Protocol.Predict { views; _ } -> (
-    match model t with
+    match with_entry e (fun () -> e.model) with
     | None -> no_model
     | Some m -> predict_reply m views budget)
-  | Protocol.Refit _ -> refit_reply t budget
-  | Protocol.Health | Protocol.Ingest _ | Protocol.Swap _ | Protocol.Drain ->
+  | Protocol.Refit _ -> refit_reply t e budget
+  | Protocol.Health | Protocol.Ingest _ | Protocol.Swap _ | Protocol.Drain _
+  | Protocol.List_models | Protocol.Model_health _ ->
     Protocol.R_error { code = "internal"; message = "control request on compute path" }
 
 (* ------------------------------------------------------------------ *)
-(* Queue and workers. *)
+(* Queue, workers, supervision. *)
 
-let fill_mailbox mb resp =
-  Mutex.lock mb.mb_mutex;
+let fill_mailbox (mb : Registry.mailbox) resp =
+  Mutex.lock mb.Registry.mb_mutex;
   mb.mb_resp <- Some resp;
   Condition.signal mb.mb_cond;
   Mutex.unlock mb.mb_mutex
 
-let worker_loop t =
+let unavailable (e : Registry.entry) =
+  Protocol.R_unavailable
+    { model_id = e.Registry.id;
+      retry_after_ms = with_entry e (fun () -> Breaker.retry_after_ms e.breaker) }
+
+let flush_queue (e : Registry.entry) resp_of =
+  Mutex.lock e.Registry.q_mutex;
+  Queue.iter
+    (function
+      | Registry.Job (_, _, mb) -> fill_mailbox mb (resp_of ())
+      | Registry.Stop -> ())
+    e.queue;
+  Queue.clear e.queue;
+  Mutex.unlock e.q_mutex
+
+let worker_loop t (e : Registry.entry) =
   let rec loop () =
-    Mutex.lock t.q_mutex;
-    while Queue.is_empty t.queue do
-      Condition.wait t.q_cond t.q_mutex
+    Mutex.lock e.Registry.q_mutex;
+    while Queue.is_empty e.queue do
+      Condition.wait e.q_cond e.q_mutex
     done;
-    let job = Queue.pop t.queue in
-    Mutex.unlock t.q_mutex;
+    let job = Queue.pop e.queue in
+    Mutex.unlock e.q_mutex;
     match job with
-    | Stop -> ()
-    | Job (req, budget, mb) ->
-      let resp =
-        try compute t req budget
-        with e ->
-          Protocol.R_error { code = "internal"; message = Printexc.to_string e }
+    | Registry.Stop -> ()
+    | Registry.Job (req, budget, mb) -> (
+      let outcome =
+        match compute t e req budget with
+        | resp -> Ok resp
+        | exception Crashed -> Error ()
+        | exception ex ->
+          Ok (Protocol.R_error { code = "internal"; message = Printexc.to_string ex })
       in
-      fill_mailbox mb resp;
-      loop ()
+      match outcome with
+      | Ok resp ->
+        record_breaker e resp;
+        fill_mailbox mb resp;
+        loop ()
+      | Error () ->
+        (* The in-flight request gets a typed answer before the thread
+           dies — a crash must never leave a client waiting forever. *)
+        let resp =
+          Protocol.R_error
+            { code = "worker-crash"; message = "worker died serving this request" }
+        in
+        record_breaker e resp;
+        fill_mailbox mb resp;
+        raise Crashed)
   in
   loop ()
+
+let rec spawn_worker t (e : Registry.entry) =
+  with_entry e (fun () ->
+      e.live_workers <- e.live_workers + 1;
+      e.threads <- Thread.create (fun () -> supervised_loop t e) () :: e.threads)
+
+(* The supervisor: a crash is logged, the dead worker replaced — with a
+   capped budget, so a persistently crashing model converges to "breaker
+   open, queue flushed" instead of a respawn storm, and its siblings never
+   notice. *)
+and supervised_loop t (e : Registry.entry) =
+  try worker_loop t e
+  with Crashed ->
+    let respawn, last =
+      with_entry e (fun () ->
+          e.live_workers <- e.live_workers - 1;
+          let ok =
+            e.respawns < t.cfg.max_respawns
+            && (not e.draining)
+            && not (Atomic.get t.drain_flag)
+          in
+          if ok then e.respawns <- e.respawns + 1;
+          (ok, e.live_workers = 0))
+    in
+    Robust.warnf "tccad[%s]: worker crashed — %s" e.Registry.id
+      (if respawn then "respawning"
+       else "respawn budget exhausted; model unavailable");
+    if respawn then spawn_worker t e
+    else if last then begin
+      (* No worker will ever pop this queue again: force the breaker open
+         (effectively permanently) and answer everything queued, so no
+         client blocks on a dead model. *)
+      with_entry e (fun () -> Breaker.force_open e.breaker ~cooldown_s:86400.);
+      flush_queue e (fun () -> unavailable e)
+    end
 
 let deadline_of = function
   | Protocol.Transform { deadline_ms; _ }
   | Protocol.Predict { deadline_ms; _ }
-  | Protocol.Refit { deadline_ms } -> deadline_ms
-  | Protocol.Health | Protocol.Ingest _ | Protocol.Swap _ | Protocol.Drain -> -1
+  | Protocol.Refit { deadline_ms; _ } -> deadline_ms
+  | Protocol.Health | Protocol.Ingest _ | Protocol.Swap _ | Protocol.Drain _
+  | Protocol.List_models | Protocol.Model_health _ -> -1
 
-let enqueue_compute t req =
-  let budget = budget_of_deadline t (deadline_of req) in
-  Mutex.lock t.q_mutex;
-  let depth = Queue.length t.queue in
-  if depth >= t.cfg.queue_capacity || Robust.Inject.(active Queue_full) then begin
-    Mutex.unlock t.q_mutex;
-    (* Load shedding: a typed refusal now beats an unbounded queue OOMing
-       later; the client owns the retry decision. *)
-    Protocol.R_shed { depth; capacity = t.cfg.queue_capacity }
-  end
-  else begin
-    let mb = { mb_mutex = Mutex.create (); mb_cond = Condition.create (); mb_resp = None } in
-    Queue.push (Job (req, budget, mb)) t.queue;
-    Condition.signal t.q_cond;
-    Mutex.unlock t.q_mutex;
-    Mutex.lock mb.mb_mutex;
-    while mb.mb_resp = None do
-      Condition.wait mb.mb_cond mb.mb_mutex
-    done;
-    let resp = Option.get mb.mb_resp in
-    Mutex.unlock mb.mb_mutex;
-    resp
-  end
+let enqueue_compute t (e : Registry.entry) req =
+  (* Admission first: an open breaker answers *before* any queueing, so a
+     broken model costs its clients one frame round trip, not a deadline. *)
+  let admission = with_entry e (fun () -> Breaker.admit e.Registry.breaker) in
+  match admission with
+  | Breaker.Reject { retry_after_ms } ->
+    Protocol.R_unavailable { model_id = e.Registry.id; retry_after_ms }
+  | Breaker.Probe when Robust.Inject.(active Breaker_probe_fail) ->
+    (* Injected probe failure: the half-open probe dies before compute, so
+       the breaker must re-open with a fresh cooldown. *)
+    with_entry e (fun () -> Breaker.record e.breaker ~ok:false);
+    Protocol.R_error { code = "internal"; message = "injected probe failure" }
+  | Breaker.Admit | Breaker.Probe -> (
+    let is_probe = admission = Breaker.Probe in
+    let budget = budget_of_deadline t (deadline_of req) in
+    Mutex.lock e.q_mutex;
+    let depth = Queue.length e.queue in
+    if depth >= t.cfg.queue_capacity || Robust.Inject.(active Queue_full) then begin
+      Mutex.unlock e.q_mutex;
+      (* Load shedding: a typed refusal now beats an unbounded queue OOMing
+         later; the client owns the retry decision.  A shed *probe* must
+         still report an outcome or the single-flight slot stays taken
+         forever; overload while half-open reads as "not recovered yet". *)
+      if is_probe then with_entry e (fun () -> Breaker.record e.breaker ~ok:false);
+      Protocol.R_shed { depth; capacity = t.cfg.queue_capacity }
+    end
+    else begin
+      let mb =
+        { Registry.mb_mutex = Mutex.create ();
+          mb_cond = Condition.create ();
+          mb_resp = None }
+      in
+      Queue.push (Registry.Job (req, budget, mb)) e.queue;
+      Condition.signal e.q_cond;
+      Mutex.unlock e.q_mutex;
+      (* Close the admission/death race: if the model's last worker died
+         between our admission check and the push, the supervisor's flush
+         may have run before our job landed — flush again ourselves so no
+         client can wait forever on a queue nothing will ever pop.  (The
+         supervisor zeroes [live_workers] *before* it flushes, so one of
+         the two flushes is guaranteed to see this job.) *)
+      let dead =
+        t.cfg.workers > 0
+        && with_entry e (fun () ->
+               e.live_workers = 0 && Breaker.retry_after_ms e.breaker > 0)
+      in
+      if dead then flush_queue e (fun () -> unavailable e);
+      Mutex.lock mb.mb_mutex;
+      while mb.mb_resp = None do
+        Condition.wait mb.mb_cond mb.mb_mutex
+      done;
+      let resp = Option.get mb.mb_resp in
+      Mutex.unlock mb.mb_mutex;
+      resp
+    end)
 
 (* ------------------------------------------------------------------ *)
 (* Inline handlers (connection-thread side). *)
 
+let queue_depth (e : Registry.entry) =
+  Mutex.lock e.Registry.q_mutex;
+  let d = Queue.length e.queue in
+  Mutex.unlock e.q_mutex;
+  d
+
 let health t =
   ship_warnings ();
-  let version, r, dims, ingested, since_fit =
-    with_state t (fun () ->
+  (* Single-model-era health: answered with the "default" model's numbers
+     so PR-8 monitoring keeps reading sense. *)
+  let e = default_entry t in
+  let version, r, dims, ingested, since_fit, e_draining =
+    with_entry e (fun () ->
         let r, dims =
-          match t.st.model with
+          match e.model with
           | None -> (0, [||])
           | Some m -> (Tcca.r m, Tcca.view_dims m)
         in
-        (t.st.version, r, dims, t.st.ingested, t.st.since_fit))
+        (e.version, r, dims, e.ingested, e.since_fit, e.draining))
   in
-  Mutex.lock t.q_mutex;
-  let queue_depth = Queue.length t.queue in
-  Mutex.unlock t.q_mutex;
   Protocol.R_health
     { version;
       r;
       dims;
-      queue_depth;
+      queue_depth = queue_depth e;
       queue_capacity = t.cfg.queue_capacity;
       workers = t.cfg.workers;
       ingested;
       since_fit;
-      draining = draining t }
+      draining = draining t || e_draining }
 
-let ingest t views =
+let model_info (e : Registry.entry) =
+  with_entry e (fun () ->
+      { Protocol.mi_id = e.id;
+        mi_version = e.version;
+        mi_r = (match e.model with None -> 0 | Some m -> Tcca.r m);
+        mi_breaker = Breaker.state_name e.breaker;
+        mi_draining = e.draining })
+
+let model_health t (e : Registry.entry) =
+  let depth = queue_depth e in
+  with_entry e (fun () ->
+      let r, dims =
+        match e.model with
+        | None -> (0, [||])
+        | Some m -> (Tcca.r m, Tcca.view_dims m)
+      in
+      { Protocol.mh_id = e.id;
+        mh_version = e.version;
+        mh_r = r;
+        mh_dims = dims;
+        mh_queue_depth = depth;
+        mh_queue_capacity = t.cfg.queue_capacity;
+        mh_workers = e.live_workers;
+        mh_breaker = Breaker.state_name e.breaker;
+        mh_retry_after_ms = Breaker.retry_after_ms e.breaker;
+        mh_failures = Breaker.failures e.breaker;
+        mh_respawns = e.respawns;
+        mh_ingested = e.ingested;
+        mh_since_fit = e.since_fit;
+        mh_last_refit = e.last_refit;
+        mh_draining = e.draining })
+
+let ingest (e : Registry.entry) views =
   if Array.length views = 0 then
     Protocol.R_error { code = "bad-request"; message = "empty view array" }
   else
     let outcome =
-      with_state t (fun () ->
+      with_entry e (fun () ->
           match
             let b =
-              match t.st.builder with
+              match e.builder with
               | Some b -> b
               | None ->
                 let dims =
-                  match t.st.model with
+                  match e.model with
                   | Some m -> Tcca.view_dims m
                   | None -> Array.map (fun v -> fst (Mat.dims v)) views
                 in
                 let b = Tcca.Builder.create ~dims in
-                t.st.builder <- Some b;
+                e.builder <- Some b;
                 b
             in
             Tcca.Builder.add_batch b views
           with
           | () ->
             let n = snd (Mat.dims views.(0)) in
-            t.st.ingested <- t.st.ingested + n;
-            t.st.since_fit <- t.st.since_fit + n;
-            Ok (t.st.version, n, t.st.ingested)
+            e.ingested <- e.ingested + n;
+            e.since_fit <- e.since_fit + n;
+            Ok (e.version, n, e.ingested)
           | exception Invalid_argument msg -> Error msg)
     in
     match outcome with
@@ -397,19 +525,19 @@ let ingest t views =
         { version; note = Printf.sprintf "ingested %d instances (total %d)" n total }
     | Error msg -> Protocol.R_error { code = "bad-request"; message = msg }
 
-let swap t path =
+let swap t (e : Registry.entry) path =
   match Retry.run ~policy:t.cfg.swap_retry (fun () -> Model_store.load ~path) with
   | Ok model' ->
     (* Validation (framing, CRC, version, structure, finiteness) happened
        before this point, so installation cannot need a rollback: a bad
        file simply never reaches the serving slot. *)
     let v =
-      with_state t (fun () ->
-          t.st.model <- Some model';
-          t.st.version <- t.st.version + 1;
-          t.st.version)
+      with_entry e (fun () ->
+          e.model <- Some model';
+          e.version <- e.version + 1;
+          e.version)
     in
-    snapshot t;
+    Registry.snapshot t.reg e;
     ship_warnings ();
     Protocol.R_ok { version = v; note = "swapped in " ^ path }
   | Error gu ->
@@ -426,56 +554,151 @@ let swap t path =
         message =
           Printf.sprintf "%s (%d attempts) — serving version %d unchanged"
             (Checkpoint.load_error_to_string gu.Retry.ga_last_error)
-            gu.Retry.ga_attempts (version t) }
+            gu.Retry.ga_attempts
+            (with_entry e (fun () -> e.version)) }
+
+(* Per-model drain: flush this model's queue through its own workers, stop
+   them, snapshot — while every sibling keeps serving untouched. *)
+let drain_entry t (e : Registry.entry) =
+  let live =
+    with_entry e (fun () ->
+        e.draining <- true;
+        e.live_workers)
+  in
+  Mutex.lock e.Registry.q_mutex;
+  if live = 0 then begin
+    (* No workers to flush the queue: answer leftovers inline so no client
+       blocks forever on a mailbox. *)
+    Queue.iter
+      (function
+        | Registry.Job (_, _, mb) ->
+          fill_mailbox mb
+            (Protocol.R_error { code = "draining"; message = "model stopped" })
+        | Registry.Stop -> ())
+      e.queue;
+    Queue.clear e.queue
+  end
+  else
+    (* One Stop per live worker, queued *behind* the real jobs: in-flight
+       work flushes before the workers exit. *)
+    for _ = 1 to live do
+      Queue.push Registry.Stop e.queue
+    done;
+  Condition.broadcast e.q_cond;
+  Mutex.unlock e.q_mutex;
+  List.iter Thread.join e.threads;
+  with_entry e (fun () ->
+      e.threads <- [];
+      e.live_workers <- 0);
+  Registry.snapshot t.reg e
 
 (* ------------------------------------------------------------------ *)
-(* Dispatch. *)
+(* Routing and dispatch. *)
+
+let unknown_model id =
+  Protocol.R_error
+    { code = "unknown-model"; message = Printf.sprintf "no model %S in registry" id }
+
+(* Transform/Predict target an existing model; Ingest/Swap/Refit/Drain may
+   create one (a cold entry with fresh workers) when the id is new and
+   valid — how a second model is born on a live daemon. *)
+let resolve t id = Registry.find t.reg id
+
+let resolve_or_create t id =
+  match Registry.find_or_create t.reg id with
+  | Error msg -> Error (Protocol.R_error { code = "bad-request"; message = msg })
+  | Ok (e, created) ->
+    if created then
+      for _ = 1 to t.cfg.workers do
+        spawn_worker t e
+      done;
+    Ok e
+
+let entry_draining (e : Registry.entry) = with_entry e (fun () -> e.draining)
+
+let model_draining_reply (e : Registry.entry) =
+  Protocol.R_error
+    { code = "draining";
+      message = Printf.sprintf "model %S is draining" e.Registry.id }
 
 let handle t req =
   match req with
   | Protocol.Health -> health t
-  | Protocol.Drain ->
+  | Protocol.List_models ->
+    Protocol.R_models (Array.of_list (List.map model_info (Registry.list t.reg)))
+  | Protocol.Model_health { model_id } -> (
+    match resolve t model_id with
+    | None -> unknown_model model_id
+    | Some e -> Protocol.R_model_health (model_health t e))
+  | Protocol.Drain { model_id = "" } ->
     request_drain t;
     Protocol.R_ok { version = version t; note = "draining" }
-  | (Protocol.Transform _ | Protocol.Predict _ | Protocol.Refit _ | Protocol.Ingest _
-    | Protocol.Swap _)
-    when draining t ->
-    Protocol.R_error { code = "draining"; message = "server is draining — retry elsewhere" }
-  | (Protocol.Transform _ | Protocol.Predict _ | Protocol.Refit _) as req ->
-    enqueue_compute t req
-  | Protocol.Ingest { views } -> ingest t views
-  | Protocol.Swap { path } -> swap t path
+  | _ when draining t ->
+    Protocol.R_error
+      { code = "draining"; message = "server is draining — retry elsewhere" }
+  | Protocol.Drain { model_id } -> (
+    match resolve t model_id with
+    | None -> unknown_model model_id
+    | Some e ->
+      if entry_draining e then model_draining_reply e
+      else begin
+        drain_entry t e;
+        ship_warnings ();
+        Protocol.R_ok
+          { version = with_entry e (fun () -> e.version);
+            note = Printf.sprintf "model %S drained" model_id }
+      end)
+  | (Protocol.Transform { model_id; _ } | Protocol.Predict { model_id; _ }) as req
+    -> (
+    match resolve t model_id with
+    | None -> unknown_model model_id
+    | Some e ->
+      if entry_draining e then model_draining_reply e else enqueue_compute t e req)
+  | Protocol.Refit { model_id; _ } -> (
+    match resolve_or_create t model_id with
+    | Error resp -> resp
+    | Ok e ->
+      if entry_draining e then model_draining_reply e else enqueue_compute t e req)
+  | Protocol.Ingest { views; model_id } -> (
+    match resolve_or_create t model_id with
+    | Error resp -> resp
+    | Ok e -> if entry_draining e then model_draining_reply e else ingest e views)
+  | Protocol.Swap { path; model_id } -> (
+    match resolve_or_create t model_id with
+    | Error resp -> resp
+    | Ok e -> if entry_draining e then model_draining_reply e else swap t e path)
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle. *)
 
+let snapshot t = List.iter (Registry.snapshot t.reg) (Registry.list t.reg)
+
 let create ?model cfg =
-  (match cfg.state_dir with
-  | Some dir when not (Sys.file_exists dir) -> (
-    try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ())
-  | _ -> ());
-  let model, version =
-    match model with
-    | Some m -> (Some m, 1)
-    | None -> (
-      match cfg.state_dir with
-      | None -> (None, 0)
-      | Some dir -> recover dir)
+  let reg = Registry.create ?root:cfg.state_dir ~breaker:cfg.breaker () in
+  let t = { cfg; reg; drain_flag = Atomic.make false } in
+  Registry.recover reg;
+  let d =
+    match Registry.find_or_create reg "default" with
+    | Ok (e, _) -> e
+    | Error _ -> assert false
   in
-  if Option.is_none model then
-    Log.info (fun m -> m "starting cold: no model (transform requests will be refused)");
-  let t =
-    { cfg;
-      st_mutex = Mutex.create ();
-      st = { model; version; builder = None; ingested = 0; since_fit = 0 };
-      refit_mutex = Mutex.create ();
-      q_mutex = Mutex.create ();
-      q_cond = Condition.create ();
-      queue = Queue.create ();
-      drain_flag = Atomic.make false;
-      threads = [] }
-  in
-  t.threads <- List.init cfg.workers (fun _ -> Thread.create worker_loop t);
+  (match model with
+  | Some m ->
+    (* An explicitly provided model seeds "default" at version 1, taking
+       precedence over whatever recovery found for that model. *)
+    with_entry d (fun () ->
+        d.model <- Some m;
+        d.version <- 1)
+  | None -> ());
+  if with_entry d (fun () -> d.model) = None then
+    Log.info (fun m ->
+        m "starting cold: no default model (transform requests will be refused)");
+  List.iter
+    (fun e ->
+      for _ = 1 to cfg.workers do
+        spawn_worker t e
+      done)
+    (Registry.list reg);
   t
 
 let serve_connection t fd =
@@ -508,25 +731,9 @@ let serve_connection t fd =
 
 let drain_and_stop t =
   request_drain t;
-  Mutex.lock t.q_mutex;
-  if t.threads = [] then begin
-    (* No workers to flush the queue: answer leftovers inline so no client
-       blocks forever on a mailbox. *)
-    Queue.iter
-      (function
-        | Job (_, _, mb) ->
-          fill_mailbox mb
-            (Protocol.R_error { code = "draining"; message = "server stopped" })
-        | Stop -> ())
-      t.queue;
-    Queue.clear t.queue
-  end
-  else List.iter (fun _ -> Queue.push Stop t.queue) t.threads;
-  Condition.broadcast t.q_cond;
-  Mutex.unlock t.q_mutex;
-  List.iter Thread.join t.threads;
-  t.threads <- [];
-  snapshot t;
+  List.iter
+    (fun e -> if not (entry_draining e) then drain_entry t e)
+    (Registry.list t.reg);
   ship_warnings ()
 
 let serve_forever t addr =
@@ -537,7 +744,10 @@ let serve_forever t addr =
   | _ -> ());
   Unix.bind sock addr;
   Unix.listen sock 64;
-  Log.info (fun m -> m "listening (%d workers, queue %d)" t.cfg.workers t.cfg.queue_capacity);
+  Log.info (fun m ->
+      m "listening (%d models, %d workers/model, queue %d)"
+        (List.length (Registry.list t.reg))
+        t.cfg.workers t.cfg.queue_capacity);
   (* The drain flag is polled between accepts rather than trusted to EINTR:
      with systhreads a SIGTERM can be delivered to any thread, so the
      handler's atomic store is the only reliable signal — a short select

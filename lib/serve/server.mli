@@ -1,78 +1,102 @@
-(** The serving daemon's engine: a bounded-queue worker pool over a live
-    TCCA model, robust by construction.
+(** The serving daemon's engine: a {!Registry} of independently supervised
+    models, each with its own bounded-queue worker pool, circuit breaker,
+    and failure domain.
 
     {b Threading model.}  One OS thread per connection ({!serve_connection})
-    plus [workers] compute threads popping a bounded job queue.  Compute
-    requests ([Transform]/[Predict]/[Refit]) go through the queue; control
-    requests ([Health]/[Ingest]/[Swap]/[Drain]) are answered inline by the
+    plus [workers] compute threads {e per model}, popping that model's own
+    bounded queue.  Compute requests ([Transform]/[Predict]/[Refit]) go
+    through the target model's queue; control requests ([Health]/[Ingest]/
+    [Swap]/[Drain]/[List_models]/[Model_health]) are answered inline by the
     connection thread.  Numeric kernels stay deterministic under this
     concurrency because [Parallel.parallel_for] falls back to the (bitwise
     identical) sequential path when its domain pool is busy — the
     pool-size-independence contract.
 
-    {b Robustness invariants} (each proven by [test/test_serve.ml]):
-    - No request outlives its deadline: every compute request carries a
-      {!Budget} and replies [R_deadline] (or a best-so-far model, for
-      refits) instead of hanging.
-    - A full queue sheds typed [R_shed] replies; the daemon keeps serving.
-    - A torn/corrupt/version-skewed hot swap never changes the serving
-      version — the swap is validated {e before} installation, so rollback
-      is the default, not a recovery.
-    - Model-file I/O and refit attempts run under {!Retry} policies with
-      deterministic-jitter backoff and typed give-up.
-    - Crash recovery: {!create} restarts from the newest valid model file
-      in [state_dir], skipping corrupt ones with warnings, degrading to a
-      cold start (typed ["no-model"] replies) when none survive. *)
+    {b Failure domains} (each proven by [test/test_serve.ml]):
+    - A fault targeting one model — torn swap, poisoned refit, crashed
+      worker, exhausted respawn budget, tripped breaker, corrupt state
+      dir — leaves every sibling's version counter and served projections
+      bitwise unchanged.
+    - A worker that dies on an uncaught exception answers its in-flight
+      request with a typed ["worker-crash"] error, is logged, and is
+      respawned — up to [max_respawns] per model; past the budget the
+      model's breaker is forced open (effectively permanently) and its
+      queue is flushed with [R_unavailable], while other models serve on.
+    - [failure_threshold] consecutive request failures (internal errors,
+      crashes, deadline expiries) trip the model's breaker: requests are
+      refused {e immediately} with [R_unavailable { retry_after_ms }] —
+      no queueing, no compute — until the cooldown elapses, then
+      deterministic single-flight half-open probes decide whether to
+      re-close it.
+    - Recovery scans per-model state directories independently: one model
+      whose snapshots are all corrupt cold-starts with a warning; the rest
+      load their newest valid snapshot.
+    - The PR-8 single-model invariants are unchanged per model: deadlines
+      ride each job as a {!Budget} created at enqueue, full queues shed
+      typed [R_shed], invalid swaps never change the serving version,
+      refits are single-flight and warm-started. *)
 
 type config = {
   workers : int;
-      (** Compute threads.  [0] is allowed (nothing drains the queue —
-          test rigs use it to observe shedding). *)
-  queue_capacity : int;  (** Bounded queue; overflow sheds. *)
+      (** Compute threads {e per model}.  [0] is allowed (nothing drains
+          the queues — test rigs use it to observe shedding). *)
+  queue_capacity : int;  (** Per-model bounded queue; overflow sheds. *)
   default_deadline_ms : int;
       (** Deadline applied when a request carries a negative one.
           [0] = expire immediately; negative = unlimited. *)
   io_timeout_s : float;  (** Per-connection frame-read timeout. *)
   state_dir : string option;
-      (** Where model snapshots ([model-v%06d.tccm]) land after every
-          install and at drain, and where {!create} recovers from. *)
+      (** State {e root}: each model snapshots to
+          [<root>/<id>/model-v%06d.tccm] after every install and at drain,
+          and {!create} recovers every model found under it. *)
   refit_options : Cp_als.options;  (** Everything but [init] (warm-set). *)
   refit_retry : Retry.policy;
   swap_retry : Retry.policy;
   eps : float;  (** Whitening regularizer for refits. *)
   rank : int;   (** Rank for cold-start refits (live refits keep the
                     serving model's rank). *)
+  breaker : Breaker.config;  (** Per-model circuit breaker thresholds. *)
+  max_respawns : int;
+      (** Crashed-worker respawn budget per model; past it the model is
+          forced unavailable rather than flapping forever. *)
 }
 
 val default_config : config
-(** [workers = Parallel.num_domains ()], queue 64, deadline 5000 ms, io
-    timeout 30 s, no state dir, default ALS options / retry policies,
-    eps 1e-2, rank 2. *)
+(** [workers = Parallel.num_domains ()] per model, queue 64, deadline
+    5000 ms, io timeout 30 s, no state root, default ALS options / retry
+    policies, eps 1e-2, rank 2, {!Breaker.default_config}, 4 respawns. *)
 
 type t
 
 val create : ?model:Tcca.t -> config -> t
-(** Build the engine and start its workers.  Without [?model], recovery
-    runs against [config.state_dir]: newest valid snapshot wins (its
-    version number is adopted), corrupt ones are skipped with warnings,
-    and an empty/absent directory means a cold start. *)
+(** Build the engine: recover every model under [config.state_dir]
+    (independently — see {!Registry.recover}), ensure the ["default"]
+    model exists, and start each model's workers.  [?model] seeds
+    ["default"] at version 1, taking precedence over recovery for that
+    model only. *)
+
+val registry : t -> Registry.t
+(** The model registry (tests inspect entries through it). *)
 
 val version : t -> int
-(** Serving model version: 0 = cold, bumped on every install. *)
+(** The ["default"] model's version: 0 = cold, bumped on every install. *)
 
 val model : t -> Tcca.t option
+(** The ["default"] model. *)
 
 val draining : t -> bool
+(** Daemon-wide drain flag (per-model drains don't set it). *)
 
 val request_drain : t -> unit
-(** Flip the drain flag (async-signal-safe: a single atomic store) — the
-    SIGTERM handler's body.  New work is refused with ["draining"];
-    {!serve_forever} exits its accept loop. *)
+(** Flip the daemon-wide drain flag (async-signal-safe: a single atomic
+    store) — the SIGTERM handler's body.  New work is refused with
+    ["draining"]; {!serve_forever} exits its accept loop. *)
 
 val handle : t -> Protocol.request -> Protocol.response
 (** Full dispatch for one request — the same path a connection takes,
-    including the queue for compute requests (so a caller thread blocks
-    until a worker answers, is shed on overflow, etc.).  Exposed for
+    including breaker admission and the target model's queue for compute
+    requests (so a caller thread blocks until a worker answers, is shed on
+    overflow, is rejected while the breaker is open, etc.).  Exposed for
     in-process tests and benches. *)
 
 val serve_connection : t -> Unix.file_descr -> unit
@@ -81,15 +105,15 @@ val serve_connection : t -> Unix.file_descr -> unit
     sends garbage.  Closes the descriptor; never raises. *)
 
 val drain_and_stop : t -> unit
-(** Graceful shutdown: refuse new work, let workers flush every queued
-    job, stop the workers, snapshot the serving model to [state_dir].
-    With [workers = 0], leftover jobs are answered ["draining"] inline. *)
+(** Graceful daemon shutdown: refuse new work, then drain every model
+    (flush its queue, stop its workers, snapshot it). *)
 
 val serve_forever : t -> Unix.sockaddr -> unit
 (** Daemon main: bind + listen + accept loop (one thread per connection)
-    until {!request_drain} fires (SIGTERM), then {!drain_and_stop}.
-    Unix-domain socket paths are unlinked before bind and after close. *)
+    until {!request_drain} fires (SIGTERM or a daemon-wide [Drain]), then
+    {!drain_and_stop}.  Unix-domain socket paths are unlinked before bind
+    and after close. *)
 
 val snapshot : t -> unit
-(** Write the serving model to [state_dir] now (no-op when cold or no
-    state dir; a failed write warns and continues). *)
+(** Snapshot every model to its own state directory now (no-op for cold
+    models or without a state root; failed writes warn and continue). *)

@@ -7,10 +7,12 @@
 #
 #   scripts/kill_resume_test.sh [path/to/tcca_experiments.exe]
 #
-# Daemon mode (--daemon): SIGKILL the serving daemon mid-refit, restart it on
-# the same state dir, and assert it recovers the pre-refit model — same
-# serving version, byte-identical transform output — then drain it with
-# SIGTERM and expect a clean exit.
+# Daemon mode (--daemon): run TWO models ("a" and "b") in one daemon, SIGKILL
+# the daemon mid-refit of "a", and assert the failure domain held: "b" served
+# byte-identical projections while a's refit was in flight, and after a
+# restart on the same state root BOTH models recover their pre-kill versions
+# and serve byte-identically.  Then drain with SIGTERM and expect a clean
+# exit.
 #
 #   scripts/kill_resume_test.sh --daemon [path/to/tccad.exe]
 #
@@ -65,54 +67,80 @@ if [ "$MODE" = daemon ]; then
     return 1
   }
 
-  echo "kill_resume_test[daemon]: start + ingest + bounded refit -> v1"
+  # model-health prints one line starting "model <id>  version <v>  ...".
+  assert_version() { # id expected label
+    local line
+    line="$(client model-health --model "$1")" || {
+      echo "kill_resume_test: model-health $1 failed ($3)" >&2; exit 1; }
+    case "$line" in
+      "model $1  version $2  "*) ;;
+      *) echo "kill_resume_test: FAIL — $3: expected $1 at version $2, got: $line" >&2
+         exit 1 ;;
+    esac
+  }
+
+  echo "kill_resume_test[daemon]: start + ingest + bounded refit -> a@v1, b@v1"
   start_daemon || exit 1
-  client ingest --seed 1 -n 300 --views 3 --dim 24 >/dev/null || {
-    echo "kill_resume_test: ingest failed" >&2; exit 1; }
-  client refit --deadline-ms 3000 >/dev/null || {
-    echo "kill_resume_test: first refit failed" >&2; exit 1; }
+  client ingest --model a --seed 1 -n 300 --views 3 --dim 24 >/dev/null || {
+    echo "kill_resume_test: ingest a failed" >&2; exit 1; }
+  client refit --model a --deadline-ms 3000 >/dev/null || {
+    echo "kill_resume_test: first refit of a failed" >&2; exit 1; }
+  client ingest --model b --seed 3 -n 300 --views 3 --dim 24 >/dev/null || {
+    echo "kill_resume_test: ingest b failed" >&2; exit 1; }
+  client refit --model b --deadline-ms 3000 >/dev/null || {
+    echo "kill_resume_test: first refit of b failed" >&2; exit 1; }
+  assert_version a 1 "after first refits"
+  assert_version b 1 "after first refits"
 
-  PRE_HEALTH="$(client health)" || exit 1
-  case "$PRE_HEALTH" in
-    "version 1 "*) ;;
-    *) echo "kill_resume_test: expected version 1 after first refit: $PRE_HEALTH" >&2
-       exit 1 ;;
-  esac
-  client transform --seed 7 -n 16 >"$WORK/pre.txt" || {
-    echo "kill_resume_test: pre-kill transform failed" >&2; exit 1; }
+  client transform --model a --seed 7 -n 16 >"$WORK/pre_a.txt" || {
+    echo "kill_resume_test: pre-kill transform of a failed" >&2; exit 1; }
+  client transform --model b --seed 7 -n 16 >"$WORK/pre_b.txt" || {
+    echo "kill_resume_test: pre-kill transform of b failed" >&2; exit 1; }
 
-  echo "kill_resume_test[daemon]: long refit in flight, SIGKILL the daemon"
-  client ingest --seed 2 -n 300 >/dev/null || exit 1
-  client refit --deadline-ms 600000 >"$WORK/refit2.log" 2>&1 &
+  echo "kill_resume_test[daemon]: long refit of a in flight; b must serve through it"
+  client ingest --model a --seed 2 -n 300 >/dev/null || exit 1
+  client refit --model a --deadline-ms 600000 >"$WORK/refit2.log" 2>&1 &
   REFIT_PID=$!
-  sleep 2
+  sleep 1
+  # Fault isolation, live: while a's refit grinds, b answers byte-identically.
+  client transform --model b --seed 7 -n 16 >"$WORK/mid_b.txt" || {
+    echo "kill_resume_test: FAIL — b did not serve during a's refit" >&2; exit 1; }
+  if ! cmp -s "$WORK/pre_b.txt" "$WORK/mid_b.txt"; then
+    echo "kill_resume_test: FAIL — b's projections drifted during a's refit" >&2
+    exit 1
+  fi
+  assert_version b 1 "during a's refit"
+
+  echo "kill_resume_test[daemon]: SIGKILL the daemon mid-refit"
+  sleep 1
   kill -9 "$DPID" 2>/dev/null
   wait "$DPID" 2>/dev/null
   wait "$REFIT_PID" 2>/dev/null
 
-  if ! ls "$STATE"/model-v*.tccm >/dev/null 2>&1; then
-    echo "kill_resume_test: no model snapshot survived the kill" >&2
-    exit 1
-  fi
+  for id in a b; do
+    if ! ls "$STATE/$id"/model-v*.tccm >/dev/null 2>&1; then
+      echo "kill_resume_test: no snapshot of model $id survived the kill" >&2
+      exit 1
+    fi
+  done
 
-  echo "kill_resume_test[daemon]: restart on the same state dir"
+  echo "kill_resume_test[daemon]: restart on the same state root"
   start_daemon || exit 1
-  POST_HEALTH="$(client health)" || exit 1
-  case "$POST_HEALTH" in
-    "version 1 "*) ;;
-    *) echo "kill_resume_test: FAIL — recovered daemon is not serving the pre-refit version" >&2
-       echo "  pre:  $PRE_HEALTH" >&2
-       echo "  post: $POST_HEALTH" >&2
-       exit 1 ;;
-  esac
-  client transform --seed 7 -n 16 >"$WORK/post.txt" || {
-    echo "kill_resume_test: post-restart transform failed" >&2; exit 1; }
+  assert_version a 1 "after restart (a's interrupted refit must not have installed)"
+  assert_version b 1 "after restart"
+  client health >/dev/null || {
+    echo "kill_resume_test: FAIL — health reports an open breaker after recovery" >&2
+    exit 1; }
 
-  if ! cmp -s "$WORK/pre.txt" "$WORK/post.txt"; then
-    echo "kill_resume_test: FAIL — recovered model's projections differ" >&2
-    diff "$WORK/pre.txt" "$WORK/post.txt" | head -20 >&2
-    exit 1
-  fi
+  for id in a b; do
+    client transform --model "$id" --seed 7 -n 16 >"$WORK/post_$id.txt" || {
+      echo "kill_resume_test: post-restart transform of $id failed" >&2; exit 1; }
+    if ! cmp -s "$WORK/pre_$id.txt" "$WORK/post_$id.txt"; then
+      echo "kill_resume_test: FAIL — recovered model $id's projections differ" >&2
+      diff "$WORK/pre_$id.txt" "$WORK/post_$id.txt" | head -20 >&2
+      exit 1
+    fi
+  done
 
   echo "kill_resume_test[daemon]: SIGTERM drain"
   kill -TERM "$DPID" 2>/dev/null
@@ -127,7 +155,7 @@ if [ "$MODE" = daemon ]; then
   fi
   wait "$DPID" 2>/dev/null
 
-  echo "kill_resume_test[daemon]: OK — pre-refit model served byte-identically after SIGKILL + restart"
+  echo "kill_resume_test[daemon]: OK — both models served byte-identically after SIGKILL + restart; b never flinched during a's refit"
   exit 0
 fi
 

@@ -9,7 +9,12 @@
    - refit on unchanged data serves the bit-identical model at any pool
      size; a failed refit leaves the model untouched;
    - drain refuses new work, flushes in-flight jobs and snapshots;
-   - recovery adopts the newest *valid* snapshot, skipping corrupt ones. *)
+   - recovery adopts the newest *valid* snapshot, skipping corrupt ones;
+   - and, multi-model (PR 9): every fault above is *contained* — a torn
+     swap, poisoned refit, crashed worker, tripped breaker, exhausted
+     respawn budget or corrupt state dir on model A leaves model B's
+     version counter and served projections bitwise unchanged, at any
+     pool size; PR-8 wire frames (no model_id) still drive the daemon. *)
 
 let check_true msg condition = Alcotest.(check bool) msg true condition
 
@@ -37,7 +42,7 @@ let fit_model ?(rank = 2) ?(seed = 3) () =
 (* A retry policy with microscopic sleeps so give-up paths are instant. *)
 let fast_retry = { Retry.default_policy with attempts = 2; base_delay = 1e-4; max_delay = 1e-3 }
 
-let cfg ?(workers = 1) ?(queue = 8) ?state_dir ?(deadline = -1) () =
+let cfg ?(workers = 1) ?(queue = 8) ?state_dir ?(deadline = -1) ?breaker ?max_respawns () =
   { Server.default_config with
     workers;
     queue_capacity = queue;
@@ -45,7 +50,10 @@ let cfg ?(workers = 1) ?(queue = 8) ?state_dir ?(deadline = -1) () =
     state_dir;
     refit_retry = fast_retry;
     swap_retry = fast_retry;
-    refit_options = { Cp_als.default_options with max_iter = 60 } }
+    refit_options = { Cp_als.default_options with max_iter = 60 };
+    breaker = (match breaker with Some b -> b | None -> Breaker.default_config);
+    max_respawns =
+      (match max_respawns with Some n -> n | None -> Server.default_config.Server.max_respawns) }
 
 let with_server ?model c f =
   let t = Server.create ?model c in
@@ -57,11 +65,37 @@ let tmp_dir prefix =
   Unix.mkdir d 0o755;
   d
 
-let rm_rf dir =
-  if Sys.file_exists dir then begin
-    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
-    Unix.rmdir dir
-  end
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+(* Shorthand: single-model requests against the PR-8 "default" slot. *)
+let transform ?(model_id = "default") ?(deadline_ms = -1) t x =
+  Server.handle t (Protocol.Transform { deadline_ms; views = x; model_id })
+
+let expect_matrix msg = function
+  | Protocol.R_matrix z -> z
+  | r -> Alcotest.fail (msg ^ ": " ^ Protocol.response_to_string r)
+
+let model_health t id =
+  match Server.handle t (Protocol.Model_health { model_id = id }) with
+  | Protocol.R_model_health h -> h
+  | r -> Alcotest.fail ("model-health: " ^ Protocol.response_to_string r)
+
+(* Register a second model on a live server through the production path: a
+   durable model file hot-swapped into a fresh registry entry (own queue,
+   workers, breaker). *)
+let install_model t id m =
+  let path = Filename.temp_file "tccm-install" ".tccm" in
+  Model_store.save ~path m;
+  (match Server.handle t (Protocol.Swap { path; model_id = id }) with
+  | Protocol.R_ok _ -> ()
+  | r -> Alcotest.fail ("install_model: " ^ Protocol.response_to_string r));
+  Sys.remove path
 
 (* ------------------------------------------------------------------ *)
 (* Protocol codec *)
@@ -81,16 +115,27 @@ let test_protocol_roundtrip () =
   (match roundtrip_request Protocol.Health with
   | Protocol.Health -> ()
   | _ -> Alcotest.fail "health");
-  (match roundtrip_request (Protocol.Transform { deadline_ms = 250; views }) with
-  | Protocol.Transform { deadline_ms = 250; views = vs } ->
+  (match
+     roundtrip_request (Protocol.Transform { deadline_ms = 250; views; model_id = "m1" })
+   with
+  | Protocol.Transform { deadline_ms = 250; views = vs; model_id = "m1" } ->
     check_true "views survive" (Array.for_all2 mat_equal_bits views vs)
   | _ -> Alcotest.fail "transform");
-  (match roundtrip_request (Protocol.Swap { path = "/tmp/x.tccm" }) with
-  | Protocol.Swap { path = "/tmp/x.tccm" } -> ()
+  (match roundtrip_request (Protocol.Swap { path = "/tmp/x.tccm"; model_id = "default" }) with
+  | Protocol.Swap { path = "/tmp/x.tccm"; model_id = "default" } -> ()
   | _ -> Alcotest.fail "swap");
-  (match roundtrip_request Protocol.Drain with
-  | Protocol.Drain -> ()
+  (match roundtrip_request (Protocol.Drain { model_id = "" }) with
+  | Protocol.Drain { model_id = "" } -> ()
   | _ -> Alcotest.fail "drain");
+  (match roundtrip_request (Protocol.Drain { model_id = "m2" }) with
+  | Protocol.Drain { model_id = "m2" } -> ()
+  | _ -> Alcotest.fail "drain m2");
+  (match roundtrip_request Protocol.List_models with
+  | Protocol.List_models -> ()
+  | _ -> Alcotest.fail "list_models");
+  (match roundtrip_request (Protocol.Model_health { model_id = "m3" }) with
+  | Protocol.Model_health { model_id = "m3" } -> ()
+  | _ -> Alcotest.fail "model_health");
   (match
      roundtrip_response
        (Protocol.R_health
@@ -111,9 +156,120 @@ let test_protocol_roundtrip () =
   (match roundtrip_response (Protocol.R_shed { depth = 8; capacity = 8 }) with
   | Protocol.R_shed { depth = 8; capacity = 8 } -> ()
   | _ -> Alcotest.fail "r_shed");
+  (match roundtrip_response (Protocol.R_unavailable { model_id = "m1"; retry_after_ms = 750 }) with
+  | Protocol.R_unavailable { model_id = "m1"; retry_after_ms = 750 } -> ()
+  | _ -> Alcotest.fail "r_unavailable");
+  (match
+     roundtrip_response
+       (Protocol.R_models
+          [| { Protocol.mi_id = "a"; mi_version = 3; mi_r = 2; mi_breaker = "closed";
+               mi_draining = false };
+             { Protocol.mi_id = "b"; mi_version = 0; mi_r = 0; mi_breaker = "open";
+               mi_draining = true } |])
+   with
+  | Protocol.R_models [| { Protocol.mi_id = "a"; mi_version = 3; _ };
+                         { Protocol.mi_id = "b"; mi_breaker = "open"; mi_draining = true; _ } |]
+    -> ()
+  | _ -> Alcotest.fail "r_models");
+  (match
+     roundtrip_response
+       (Protocol.R_model_health
+          { Protocol.mh_id = "a"; mh_version = 2; mh_r = 2; mh_dims = [| 6; 6; 6 |];
+            mh_queue_depth = 1; mh_queue_capacity = 8; mh_workers = 2;
+            mh_breaker = "half-open"; mh_retry_after_ms = 0; mh_failures = 0;
+            mh_respawns = 1; mh_ingested = 40; mh_since_fit = 0;
+            mh_last_refit = "installed v2"; mh_draining = false })
+   with
+  | Protocol.R_model_health
+      { Protocol.mh_id = "a"; mh_breaker = "half-open"; mh_respawns = 1;
+        mh_last_refit = "installed v2"; _ } -> ()
+  | _ -> Alcotest.fail "r_model_health");
   (* Garbage never parses into a request. *)
   check_true "garbage refused" (Result.is_error (Protocol.request_of_string "\x63rud"));
   check_true "empty refused" (Result.is_error (Protocol.request_of_string ""))
+
+(* PR-8 frames carry no model_id.  Hand-encode them with the same Wire
+   primitives the old encoder used, and check the decoder maps the absent
+   field to "default" ("" for Drain — daemon-wide, the old semantics). *)
+let legacy_body build =
+  let b = Buffer.create 128 in
+  build b;
+  Buffer.contents b
+
+let add_legacy_views b views =
+  Checkpoint.Wire.add_int b (Array.length views);
+  Array.iter
+    (fun (m : Mat.t) ->
+      Checkpoint.Wire.add_int b m.Mat.rows;
+      Checkpoint.Wire.add_int b m.Mat.cols;
+      Checkpoint.Wire.add_f_array b m.Mat.data)
+    views
+
+let test_wire_compat_decodes_legacy () =
+  let views = synth_views ~views:2 ~dim:3 ~n:4 ~seed:2 in
+  (match
+     Protocol.request_of_string
+       (legacy_body (fun b ->
+            Checkpoint.Wire.add_int b 2;
+            Checkpoint.Wire.add_int b 125;
+            add_legacy_views b views))
+   with
+  | Ok (Protocol.Transform { deadline_ms = 125; views = vs; model_id = "default" }) ->
+    check_true "legacy transform views" (Array.for_all2 mat_equal_bits views vs)
+  | _ -> Alcotest.fail "legacy transform must target \"default\"");
+  (match
+     Protocol.request_of_string
+       (legacy_body (fun b ->
+            Checkpoint.Wire.add_int b 4;
+            add_legacy_views b views))
+   with
+  | Ok (Protocol.Ingest { model_id = "default"; _ }) -> ()
+  | _ -> Alcotest.fail "legacy ingest must target \"default\"");
+  (match
+     Protocol.request_of_string
+       (legacy_body (fun b ->
+            Checkpoint.Wire.add_int b 5;
+            Checkpoint.Wire.add_int b (-1)))
+   with
+  | Ok (Protocol.Refit { deadline_ms = -1; model_id = "default" }) -> ()
+  | _ -> Alcotest.fail "legacy refit must target \"default\"");
+  (match
+     Protocol.request_of_string
+       (legacy_body (fun b ->
+            Checkpoint.Wire.add_int b 6;
+            Checkpoint.Wire.add_string b "/tmp/m.tccm"))
+   with
+  | Ok (Protocol.Swap { path = "/tmp/m.tccm"; model_id = "default" }) -> ()
+  | _ -> Alcotest.fail "legacy swap must target \"default\"");
+  (match
+     Protocol.request_of_string (legacy_body (fun b -> Checkpoint.Wire.add_int b 7))
+   with
+  | Ok (Protocol.Drain { model_id = "" }) -> ()
+  | _ -> Alcotest.fail "legacy drain must be daemon-wide")
+
+let test_wire_compat_legacy_client_served () =
+  (* End to end: a byte-for-byte PR-8 client frame over a real socket is
+     served by the multi-model daemon from "default". *)
+  let m = fit_model () in
+  with_server ~model:m (cfg ()) (fun t ->
+      let client, server = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let th = Thread.create (fun () -> Server.serve_connection t server) () in
+      let x = synth_views ~views:3 ~dim:6 ~n:5 ~seed:9 in
+      Protocol.write_frame client
+        (legacy_body (fun b ->
+             Checkpoint.Wire.add_int b 2;
+             Checkpoint.Wire.add_int b (-1);
+             add_legacy_views b x));
+      (match Protocol.read_frame client with
+      | Protocol.Frame body -> (
+        match Protocol.response_of_string body with
+        | Ok (Protocol.R_matrix z) ->
+          check_true "legacy client served from default, bitwise"
+            (mat_equal_bits z (Tcca.transform m x))
+        | _ -> Alcotest.fail "legacy transform must be served")
+      | _ -> Alcotest.fail "no reply to legacy frame");
+      (try Unix.close client with Unix.Unix_error _ -> ());
+      Thread.join th)
 
 (* ------------------------------------------------------------------ *)
 (* Model files *)
@@ -175,6 +331,79 @@ let test_model_store_rejects_damage () =
   | _ -> Alcotest.fail "NaN model must be Corrupt");
   Sys.remove path
 
+let test_torn_model_write_refused_on_load () =
+  (* [Torn_model_write] simulates the power-loss the durable write protocol
+     (fsync temp, rename, fsync dir) exists to prevent: a half-written file
+     at the final path.  The loader must refuse it; a healthy durable save
+     then replaces the wreck atomically. *)
+  let m = fit_model () in
+  let path = Filename.temp_file "tccm-torn" ".tccm" in
+  Robust.Inject.with_stage Robust.Inject.Torn_model_write (fun () ->
+      Model_store.save ~path m);
+  (match Model_store.load ~path with
+  | Error Checkpoint.Truncated -> ()
+  | Ok _ -> Alcotest.fail "a torn write must never load"
+  | Error e -> Alcotest.fail ("expected Truncated, got " ^ Checkpoint.load_error_to_string e));
+  Model_store.save ~path m;
+  (match Model_store.load ~path with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("durable rewrite: " ^ Checkpoint.load_error_to_string e));
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker state machine (fake clock — no sleeping) *)
+
+let test_breaker_state_machine () =
+  let now = ref 0. in
+  let b =
+    Breaker.create ~now:(fun () -> !now)
+      { Breaker.failure_threshold = 3; open_cooldown_s = 5.; half_open_successes = 2 }
+  in
+  check_true "starts closed" (Breaker.state_name b = "closed");
+  check_true "closed admits" (Breaker.admit b = Breaker.Admit);
+  Breaker.record b ~ok:false;
+  Breaker.record b ~ok:false;
+  check_true "two failures: still closed" (Breaker.state_name b = "closed");
+  check_true "counts consecutive failures" (Breaker.failures b = 2);
+  Breaker.record b ~ok:true;
+  check_true "success resets the count" (Breaker.failures b = 0);
+  Breaker.record b ~ok:false;
+  Breaker.record b ~ok:false;
+  Breaker.record b ~ok:false;
+  check_true "threshold trips open" (Breaker.state_name b = "open");
+  (match Breaker.admit b with
+  | Breaker.Reject { retry_after_ms } ->
+    check_true "full cooldown reported" (retry_after_ms = 5000)
+  | _ -> Alcotest.fail "open must reject");
+  now := 2.;
+  (match Breaker.admit b with
+  | Breaker.Reject { retry_after_ms } ->
+    check_true "remaining cooldown reported" (retry_after_ms = 3000)
+  | _ -> Alcotest.fail "open must still reject");
+  now := 5.;
+  check_true "cooldown elapsed: probe" (Breaker.admit b = Breaker.Probe);
+  check_true "now half-open" (Breaker.state_name b = "half-open");
+  (match Breaker.admit b with
+  | Breaker.Reject { retry_after_ms = 1 } -> ()
+  | _ -> Alcotest.fail "probes are single-flight");
+  Breaker.record b ~ok:true;
+  check_true "one success: still half-open" (Breaker.state_name b = "half-open");
+  check_true "second probe allowed" (Breaker.admit b = Breaker.Probe);
+  Breaker.record b ~ok:true;
+  check_true "enough successes re-close" (Breaker.state_name b = "closed");
+  (* A failed probe re-opens with a fresh cooldown. *)
+  Breaker.record b ~ok:false;
+  Breaker.record b ~ok:false;
+  Breaker.record b ~ok:false;
+  now := 10.;
+  check_true "probe after second trip" (Breaker.admit b = Breaker.Probe);
+  Breaker.record b ~ok:false;
+  check_true "failed probe re-opens" (Breaker.state_name b = "open");
+  check_true "fresh cooldown" (Breaker.retry_after_ms b = 5000);
+  (* force_open is the supervisor's lever for structural faults. *)
+  Breaker.force_open b ~cooldown_s:100.;
+  check_true "forced cooldown" (Breaker.retry_after_ms b = 100_000)
+
 (* ------------------------------------------------------------------ *)
 (* Engine: serving correctness *)
 
@@ -182,17 +411,17 @@ let test_transform_matches_library () =
   let m = fit_model () in
   with_server ~model:m (cfg ()) (fun t ->
       let x = synth_views ~views:3 ~dim:6 ~n:7 ~seed:21 in
-      match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
-      | Protocol.R_matrix z ->
-        check_true "server transform ≡ library transform"
-          (mat_equal_bits z (Tcca.transform m x))
-      | _ -> Alcotest.fail "expected R_matrix")
+      let z = expect_matrix "transform" (transform t x) in
+      check_true "server transform ≡ library transform"
+        (mat_equal_bits z (Tcca.transform m x)))
 
 let test_predict_formula () =
   let m = fit_model () in
   with_server ~model:m (cfg ()) (fun t ->
       let x = synth_views ~views:3 ~dim:6 ~n:5 ~seed:22 in
-      match Server.handle t (Protocol.Predict { deadline_ms = -1; views = x }) with
+      match
+        Server.handle t (Protocol.Predict { deadline_ms = -1; views = x; model_id = "default" })
+      with
       | Protocol.R_scores s ->
         let zs = Array.mapi (fun p xp -> Tcca.transform_view m p xp) x in
         let lambda = Tcca.correlations m in
@@ -215,7 +444,7 @@ let test_cold_start_refuses_typed () =
   with_server (cfg ()) (fun t ->
       check_true "cold version is 0" (Server.version t = 0);
       let x = synth_views ~views:3 ~dim:6 ~n:3 ~seed:1 in
-      match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
+      match transform t x with
       | Protocol.R_error { code = "no-model"; _ } -> ()
       | _ -> Alcotest.fail "cold transform must be a typed no-model refusal")
 
@@ -226,14 +455,13 @@ let test_deadline_zero_expires_not_hangs () =
   let m = fit_model () in
   with_server ~model:m (cfg ()) (fun t ->
       let x = synth_views ~views:3 ~dim:6 ~n:7 ~seed:23 in
-      (match Server.handle t (Protocol.Transform { deadline_ms = 0; views = x }) with
+      (match transform ~deadline_ms:0 t x with
       | Protocol.R_deadline { stage; _ } ->
         check_true "stage names the serve path" (stage = "serve.transform")
       | _ -> Alcotest.fail "deadline 0 must reply R_deadline");
       (* The daemon is unharmed: the next request computes normally. *)
-      match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
-      | Protocol.R_matrix z -> check_true "still serving" (mat_equal_bits z (Tcca.transform m x))
-      | _ -> Alcotest.fail "server must keep serving after a deadline miss")
+      let z = expect_matrix "after miss" (transform t x) in
+      check_true "still serving" (mat_equal_bits z (Tcca.transform m x)))
 
 let test_deadline_counts_queue_wait () =
   (* No workers: a job can only wait.  Its budget starts at enqueue, so the
@@ -242,11 +470,7 @@ let test_deadline_counts_queue_wait () =
   let t = Server.create ~model:m (cfg ~workers:0 ~queue:4 ()) in
   let x = synth_views ~views:3 ~dim:6 ~n:3 ~seed:24 in
   let resp = ref None in
-  let th =
-    Thread.create
-      (fun () -> resp := Some (Server.handle t (Protocol.Transform { deadline_ms = 10; views = x })))
-      ()
-  in
+  let th = Thread.create (fun () -> resp := Some (transform ~deadline_ms:10 t x)) () in
   Thread.delay 0.15;
   Server.drain_and_stop t;
   Thread.join th;
@@ -264,13 +488,10 @@ let test_queue_overflow_sheds () =
   let t = Server.create ~model:m (cfg ~workers:0 ~queue:2 ()) in
   let x = synth_views ~views:3 ~dim:6 ~n:3 ~seed:25 in
   let blocked = Array.init 2 (fun _ ->
-      Thread.create
-        (fun () ->
-          ignore (Server.handle t (Protocol.Transform { deadline_ms = -1; views = x })))
-        ())
+      Thread.create (fun () -> ignore (transform t x)) ())
   in
   Thread.delay 0.15;
-  (match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
+  (match transform t x with
   | Protocol.R_shed { depth; capacity } ->
     check_true "reports full queue" (depth = 2 && capacity = 2)
   | _ -> Alcotest.fail "third request must shed");
@@ -286,11 +507,11 @@ let test_queue_full_inject () =
   with_server ~model:m (cfg ~workers:1 ~queue:8 ()) (fun t ->
       let x = synth_views ~views:3 ~dim:6 ~n:3 ~seed:26 in
       Robust.Inject.with_stage Robust.Inject.Queue_full (fun () ->
-          match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
+          match transform t x with
           | Protocol.R_shed _ -> ()
           | _ -> Alcotest.fail "Queue_full inject must shed");
       (* Disarmed: service resumes. *)
-      match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
+      match transform t x with
       | Protocol.R_matrix _ -> ()
       | _ -> Alcotest.fail "service must resume after inject clears")
 
@@ -307,28 +528,23 @@ let swap_fixture () =
 let test_swap_success () =
   let serving, candidate, path = swap_fixture () in
   with_server ~model:serving (cfg ()) (fun t ->
-      (match Server.handle t (Protocol.Swap { path }) with
+      (match Server.handle t (Protocol.Swap { path; model_id = "default" }) with
       | Protocol.R_ok { version = 2; _ } -> ()
       | _ -> Alcotest.fail "valid swap must install as version 2");
       let x = synth_views ~views:3 ~dim:6 ~n:5 ~seed:31 in
-      match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
-      | Protocol.R_matrix z ->
-        check_true "serves the swapped-in model"
-          (mat_equal_bits z (Tcca.transform candidate x))
-      | _ -> Alcotest.fail "transform after swap");
+      let z = expect_matrix "transform after swap" (transform t x) in
+      check_true "serves the swapped-in model" (mat_equal_bits z (Tcca.transform candidate x)));
   Sys.remove path
 
 let unchanged_after_bad_swap t serving x code path =
-  (match Server.handle t (Protocol.Swap { path }) with
+  (match Server.handle t (Protocol.Swap { path; model_id = "default" }) with
   | Protocol.R_error { code = c; _ } when c = code -> ()
   | Protocol.R_error { code = c; _ } ->
     Alcotest.fail (Printf.sprintf "expected %s, got %s" code c)
   | _ -> Alcotest.fail "bad swap must be refused");
   check_true "version unchanged" (Server.version t = 1);
-  match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
-  | Protocol.R_matrix z ->
-    check_true "projections unchanged bitwise" (mat_equal_bits z (Tcca.transform serving x))
-  | _ -> Alcotest.fail "transform after refused swap"
+  let z = expect_matrix "transform after refused swap" (transform t x) in
+  check_true "projections unchanged bitwise" (mat_equal_bits z (Tcca.transform serving x))
 
 let test_torn_swap_rolls_back () =
   let serving, _, path = swap_fixture () in
@@ -337,7 +553,7 @@ let test_torn_swap_rolls_back () =
       Robust.Inject.with_stage Robust.Inject.Torn_swap (fun () ->
           unchanged_after_bad_swap t serving x "torn" path);
       (* The same file swaps fine once the tear is gone. *)
-      match Server.handle t (Protocol.Swap { path }) with
+      match Server.handle t (Protocol.Swap { path; model_id = "default" }) with
       | Protocol.R_ok { version = 2; _ } -> ()
       | _ -> Alcotest.fail "healthy retry of the same swap must succeed");
   Sys.remove path
@@ -368,19 +584,19 @@ let test_version_skew_swap_refused () =
 let test_ingest_then_refit_cold () =
   with_server (cfg ()) (fun t ->
       let batch = synth_views ~views:3 ~dim:6 ~n:50 ~seed:41 in
-      (match Server.handle t (Protocol.Ingest { views = batch }) with
+      (match Server.handle t (Protocol.Ingest { views = batch; model_id = "default" }) with
       | Protocol.R_ok _ -> ()
       | _ -> Alcotest.fail "ingest");
       (match Server.handle t Protocol.Health with
       | Protocol.R_health { ingested = 50; since_fit = 50; version = 0; _ } -> ()
       | _ -> Alcotest.fail "health must count ingested samples");
-      (match Server.handle t (Protocol.Refit { deadline_ms = -1 }) with
+      (match Server.handle t (Protocol.Refit { deadline_ms = -1; model_id = "default" }) with
       | Protocol.R_ok { version = 1; _ } -> ()
       | r ->
         Alcotest.fail
           ("cold refit must install version 1, got " ^ Protocol.response_to_string r));
       let x = synth_views ~views:3 ~dim:6 ~n:5 ~seed:42 in
-      match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
+      match transform t x with
       | Protocol.R_matrix _ -> ()
       | _ -> Alcotest.fail "must serve after cold refit")
 
@@ -388,33 +604,31 @@ let test_refit_no_new_data_retains_bitwise () =
   let m = fit_model () in
   with_server ~model:m (cfg ()) (fun t ->
       let x = synth_views ~views:3 ~dim:6 ~n:6 ~seed:43 in
-      let before =
-        match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
-        | Protocol.R_matrix z -> z
-        | _ -> Alcotest.fail "transform"
-      in
-      (match Server.handle t (Protocol.Refit { deadline_ms = -1 }) with
+      let before = expect_matrix "transform" (transform t x) in
+      (match Server.handle t (Protocol.Refit { deadline_ms = -1; model_id = "default" }) with
       | Protocol.R_ok { version = 1; note } ->
         check_true "says retained"
           (String.length note >= 8 && String.sub note 0 2 = "no")
       | _ -> Alcotest.fail "refit with nothing new must retain");
-      match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
-      | Protocol.R_matrix after ->
-        check_true "bit-identical serving model" (mat_equal_bits before after)
-      | _ -> Alcotest.fail "transform after retained refit")
+      check_true "health reports the retained refit"
+        ((model_health t "default").Protocol.mh_last_refit = "retained");
+      let after = expect_matrix "transform after retained refit" (transform t x) in
+      check_true "bit-identical serving model" (mat_equal_bits before after))
 
 let test_warm_refit_installs_and_serves () =
   let m = fit_model () in
   with_server ~model:m (cfg ()) (fun t ->
       let batch = synth_views ~views:3 ~dim:6 ~n:60 ~seed:44 in
-      (match Server.handle t (Protocol.Ingest { views = batch }) with
+      (match Server.handle t (Protocol.Ingest { views = batch; model_id = "default" }) with
       | Protocol.R_ok _ -> ()
       | _ -> Alcotest.fail "ingest");
-      (match Server.handle t (Protocol.Refit { deadline_ms = -1 }) with
+      (match Server.handle t (Protocol.Refit { deadline_ms = -1; model_id = "default" }) with
       | Protocol.R_ok { version = 2; note } ->
         check_true "refit note mentions install"
           (String.length note > 0)
       | r -> Alcotest.fail ("warm refit must install v2: " ^ Protocol.response_to_string r));
+      check_true "health reports the install"
+        ((model_health t "default").Protocol.mh_last_refit = "installed v2");
       (* Rank is inherited from the serving model, not cfg.rank. *)
       match Server.handle t Protocol.Health with
       | Protocol.R_health { r = 2; since_fit = 0; _ } -> ()
@@ -433,16 +647,14 @@ let test_warm_refit_pool_independent () =
         let m = fit_model () in
         with_server ~model:m (cfg ()) (fun t ->
             let batch = synth_views ~views:3 ~dim:6 ~n:60 ~seed:45 in
-            (match Server.handle t (Protocol.Ingest { views = batch }) with
+            (match Server.handle t (Protocol.Ingest { views = batch; model_id = "default" }) with
             | Protocol.R_ok _ -> ()
             | _ -> Alcotest.fail "ingest");
-            (match Server.handle t (Protocol.Refit { deadline_ms = -1 }) with
+            (match Server.handle t (Protocol.Refit { deadline_ms = -1; model_id = "default" }) with
             | Protocol.R_ok { version = 2; _ } -> ()
             | r -> Alcotest.fail ("refit: " ^ Protocol.response_to_string r));
             let x = synth_views ~views:3 ~dim:6 ~n:8 ~seed:46 in
-            match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
-            | Protocol.R_matrix z -> z
-            | _ -> Alcotest.fail "transform")
+            expect_matrix "transform" (transform t x))
       in
       check_true "pool 1 ≡ pool 4 bitwise" (mat_equal_bits (run 1) (run 4)))
 
@@ -450,30 +662,236 @@ let test_refit_nan_leaves_model_untouched () =
   let m = fit_model () in
   with_server ~model:m (cfg ()) (fun t ->
       let batch = synth_views ~views:3 ~dim:6 ~n:30 ~seed:47 in
-      (match Server.handle t (Protocol.Ingest { views = batch }) with
+      (match Server.handle t (Protocol.Ingest { views = batch; model_id = "default" }) with
       | Protocol.R_ok _ -> ()
       | _ -> Alcotest.fail "ingest");
       let x = synth_views ~views:3 ~dim:6 ~n:5 ~seed:48 in
-      let before =
-        match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
-        | Protocol.R_matrix z -> z
-        | _ -> Alcotest.fail "transform"
-      in
+      let before = expect_matrix "transform" (transform t x) in
       Robust.Inject.with_stage Robust.Inject.Refit_nan (fun () ->
-          match Server.handle t (Protocol.Refit { deadline_ms = -1 }) with
+          match Server.handle t (Protocol.Refit { deadline_ms = -1; model_id = "default" }) with
           | Protocol.R_error { code = "refit-failed"; message } ->
             check_true "mentions give-up accounting"
               (String.length message > 0)
           | r -> Alcotest.fail ("poisoned refit: " ^ Protocol.response_to_string r));
       check_true "version unchanged" (Server.version t = 1);
-      (match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
-      | Protocol.R_matrix after ->
-        check_true "pre-refit model still serving, bitwise" (mat_equal_bits before after)
-      | _ -> Alcotest.fail "transform after failed refit");
+      check_true "health reports the failure"
+        (let lr = (model_health t "default").Protocol.mh_last_refit in
+         String.length lr >= 6 && String.sub lr 0 6 = "failed");
+      let after = expect_matrix "transform after failed refit" (transform t x) in
+      check_true "pre-refit model still serving, bitwise" (mat_equal_bits before after);
       (* The poison is gone: the retained samples refit fine now. *)
-      match Server.handle t (Protocol.Refit { deadline_ms = -1 }) with
+      match Server.handle t (Protocol.Refit { deadline_ms = -1; model_id = "default" }) with
       | Protocol.R_ok { version = 2; _ } -> ()
       | r -> Alcotest.fail ("recovery refit: " ^ Protocol.response_to_string r))
+
+(* ------------------------------------------------------------------ *)
+(* Multi-model registry: routing, isolation, per-model drain *)
+
+let test_unknown_and_invalid_model_ids () =
+  let m = fit_model () in
+  with_server ~model:m (cfg ()) (fun t ->
+      let x = synth_views ~views:3 ~dim:6 ~n:3 ~seed:71 in
+      (match transform ~model_id:"nope" t x with
+      | Protocol.R_error { code = "unknown-model"; _ } -> ()
+      | _ -> Alcotest.fail "transform to an unknown model must be typed");
+      (match Server.handle t (Protocol.Model_health { model_id = "nope" }) with
+      | Protocol.R_error { code = "unknown-model"; _ } -> ()
+      | _ -> Alcotest.fail "model-health of an unknown model must be typed");
+      (* Invalid ids can never create registry entries (they are also
+         path-unsafe: "../x" would escape the state root). *)
+      (match Server.handle t (Protocol.Ingest { views = x; model_id = "../evil" }) with
+      | Protocol.R_error { code = "bad-request"; _ } -> ()
+      | _ -> Alcotest.fail "invalid id must be refused");
+      match Server.handle t Protocol.List_models with
+      | Protocol.R_models infos ->
+        check_true "no entry was created"
+          (Array.length infos = 1 && infos.(0).Protocol.mi_id = "default")
+      | _ -> Alcotest.fail "list-models")
+
+let test_second_model_lifecycle () =
+  let ma = fit_model ~seed:3 () in
+  let mb = fit_model ~seed:5 () in
+  with_server ~model:ma (cfg ()) (fun t ->
+      install_model t "b" mb;
+      (match Server.handle t Protocol.List_models with
+      | Protocol.R_models infos ->
+        check_true "registry lists both, sorted"
+          (Array.length infos = 2
+          && infos.(0).Protocol.mi_id = "b"
+          && infos.(1).Protocol.mi_id = "default")
+      | _ -> Alcotest.fail "list-models");
+      let x = synth_views ~views:3 ~dim:6 ~n:5 ~seed:72 in
+      let za = expect_matrix "default" (transform t x) in
+      let zb = expect_matrix "b" (transform ~model_id:"b" t x) in
+      check_true "each id serves its own model"
+        (mat_equal_bits za (Tcca.transform ma x) && mat_equal_bits zb (Tcca.transform mb x));
+      let hb = model_health t "b" in
+      check_true "b's health record"
+        (hb.Protocol.mh_version = 1 && hb.Protocol.mh_breaker = "closed"
+        && hb.Protocol.mh_queue_depth = 0);
+      (* Ingest + refit on "b" bumps only "b". *)
+      let batch = synth_views ~views:3 ~dim:6 ~n:60 ~seed:73 in
+      (match Server.handle t (Protocol.Ingest { views = batch; model_id = "b" }) with
+      | Protocol.R_ok _ -> ()
+      | _ -> Alcotest.fail "ingest b");
+      (match Server.handle t (Protocol.Refit { deadline_ms = -1; model_id = "b" }) with
+      | Protocol.R_ok { version = 2; _ } -> ()
+      | r -> Alcotest.fail ("refit b: " ^ Protocol.response_to_string r));
+      check_true "default untouched by b's refit" (Server.version t = 1);
+      let za' = expect_matrix "default after b refit" (transform t x) in
+      check_true "default projections bitwise unchanged" (mat_equal_bits za za'))
+
+let test_per_model_drain_isolates () =
+  let ma = fit_model ~seed:3 () in
+  let mb = fit_model ~seed:5 () in
+  with_server ~model:ma (cfg ()) (fun t ->
+      install_model t "b" mb;
+      let x = synth_views ~views:3 ~dim:6 ~n:5 ~seed:74 in
+      let zb = expect_matrix "b before" (transform ~model_id:"b" t x) in
+      (match Server.handle t (Protocol.Drain { model_id = "default" }) with
+      | Protocol.R_ok _ -> ()
+      | r -> Alcotest.fail ("drain default: " ^ Protocol.response_to_string r));
+      (match transform t x with
+      | Protocol.R_error { code = "draining"; _ } -> ()
+      | _ -> Alcotest.fail "drained model must refuse work");
+      check_true "daemon-wide flag untouched" (not (Server.draining t));
+      let zb' = expect_matrix "b after" (transform ~model_id:"b" t x) in
+      check_true "sibling serves bitwise through the drain" (mat_equal_bits zb zb');
+      match Server.handle t Protocol.List_models with
+      | Protocol.R_models infos ->
+        check_true "listing shows exactly one draining model"
+          (Array.for_all
+             (fun i -> i.Protocol.mi_draining = (i.Protocol.mi_id = "default"))
+             infos)
+      | _ -> Alcotest.fail "list-models")
+
+(* ------------------------------------------------------------------ *)
+(* Supervision: crashed workers are respawned, with a capped budget *)
+
+let test_worker_crash_respawns () =
+  let m = fit_model () in
+  with_server ~model:m (cfg ~workers:1 ()) (fun t ->
+      let x = synth_views ~views:3 ~dim:6 ~n:4 ~seed:81 in
+      Robust.Inject.with_stage Robust.Inject.Worker_crash (fun () ->
+          match transform t x with
+          | Protocol.R_error { code = "worker-crash"; _ } -> ()
+          | r -> Alcotest.fail ("crash must answer typed: " ^ Protocol.response_to_string r));
+      (* The supervisor respawned the worker: service resumes, and the
+         health record owns up to the respawn. *)
+      let z = expect_matrix "after respawn" (transform t x) in
+      check_true "respawned worker serves bitwise" (mat_equal_bits z (Tcca.transform m x));
+      let h = model_health t "default" in
+      check_true "respawn counted" (h.Protocol.mh_respawns = 1);
+      check_true "worker pool restored" (h.Protocol.mh_workers = 1);
+      check_true "breaker still closed" (h.Protocol.mh_breaker = "closed"))
+
+let test_respawn_budget_forces_breaker_open () =
+  let ma = fit_model ~seed:3 () in
+  let mb = fit_model ~seed:5 () in
+  with_server ~model:ma (cfg ~workers:1 ~max_respawns:1 ()) (fun t ->
+      install_model t "b" mb;
+      let x = synth_views ~views:3 ~dim:6 ~n:4 ~seed:82 in
+      let zb = expect_matrix "b before" (transform ~model_id:"b" t x) in
+      (* Two crashes on "b": the first consumes the respawn budget, the
+         second exhausts it — last worker dead, breaker forced open. *)
+      Robust.Inject.with_stage Robust.Inject.Worker_crash (fun () ->
+          for _ = 1 to 2 do
+            match transform ~model_id:"b" t x with
+            | Protocol.R_error { code = "worker-crash"; _ } -> ()
+            | r -> Alcotest.fail ("crash reply: " ^ Protocol.response_to_string r)
+          done);
+      (* Give the supervisor thread its turn to finish the post-crash
+         bookkeeping (force_open runs after the crash reply is sent). *)
+      Thread.delay 0.05;
+      (match transform ~model_id:"b" t x with
+      | Protocol.R_unavailable { model_id = "b"; retry_after_ms } ->
+        check_true "long cooldown" (retry_after_ms > 0)
+      | r -> Alcotest.fail ("dead model must be unavailable: " ^ Protocol.response_to_string r));
+      let h = model_health t "b" in
+      check_true "b is open with no workers"
+        (h.Protocol.mh_breaker = "open" && h.Protocol.mh_workers = 0
+        && h.Protocol.mh_respawns = 1);
+      (* The failure domain held: "default" serves bitwise through all of it. *)
+      let za = expect_matrix "default through b's death" (transform t x) in
+      check_true "sibling unaffected" (mat_equal_bits za (Tcca.transform ma x));
+      check_true "sibling breaker closed"
+        ((model_health t "default").Protocol.mh_breaker = "closed");
+      ignore zb)
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker on the serving path *)
+
+let trip_breaker t ~model_id ~threshold x =
+  (* deadline 0 requests expire deterministically — each is a breaker
+     failure without touching the model. *)
+  for _ = 1 to threshold do
+    match transform ~model_id ~deadline_ms:0 t x with
+    | Protocol.R_deadline _ -> ()
+    | r -> Alcotest.fail ("expected R_deadline: " ^ Protocol.response_to_string r)
+  done
+
+let test_breaker_trips_and_isolates () =
+  let ma = fit_model ~seed:3 () in
+  let mb = fit_model ~seed:5 () in
+  let breaker =
+    { Breaker.failure_threshold = 3; open_cooldown_s = 30.; half_open_successes = 1 }
+  in
+  with_server ~model:ma (cfg ~breaker ()) (fun t ->
+      install_model t "b" mb;
+      let x = synth_views ~views:3 ~dim:6 ~n:4 ~seed:83 in
+      trip_breaker t ~model_id:"b" ~threshold:3 x;
+      (match transform ~model_id:"b" t x with
+      | Protocol.R_unavailable { model_id = "b"; retry_after_ms } ->
+        check_true "cooldown is running" (retry_after_ms > 0 && retry_after_ms <= 30_000)
+      | r -> Alcotest.fail ("tripped breaker must reject: " ^ Protocol.response_to_string r));
+      check_true "b reads open" ((model_health t "b").Protocol.mh_breaker = "open");
+      (* The rejection was immediate and typed; the sibling never noticed. *)
+      let za = expect_matrix "default while b is open" (transform t x) in
+      check_true "sibling serves bitwise" (mat_equal_bits za (Tcca.transform ma x));
+      check_true "sibling breaker closed"
+        ((model_health t "default").Protocol.mh_breaker = "closed"))
+
+let test_breaker_half_open_recloses () =
+  let m = fit_model () in
+  let breaker =
+    { Breaker.failure_threshold = 1; open_cooldown_s = 0.05; half_open_successes = 1 }
+  in
+  with_server ~model:m (cfg ~breaker ()) (fun t ->
+      let x = synth_views ~views:3 ~dim:6 ~n:4 ~seed:84 in
+      trip_breaker t ~model_id:"default" ~threshold:1 x;
+      (match transform t x with
+      | Protocol.R_unavailable _ -> ()
+      | r -> Alcotest.fail ("open must reject: " ^ Protocol.response_to_string r));
+      Thread.delay 0.1;
+      (* Cooldown served: this request is the half-open probe, it succeeds,
+         and one success re-closes the breaker. *)
+      let z = expect_matrix "probe" (transform t x) in
+      check_true "probe served bitwise" (mat_equal_bits z (Tcca.transform m x));
+      check_true "re-closed" ((model_health t "default").Protocol.mh_breaker = "closed"))
+
+let test_breaker_probe_fail_reopens () =
+  let m = fit_model () in
+  let breaker =
+    { Breaker.failure_threshold = 1; open_cooldown_s = 0.05; half_open_successes = 1 }
+  in
+  with_server ~model:m (cfg ~breaker ()) (fun t ->
+      let x = synth_views ~views:3 ~dim:6 ~n:4 ~seed:85 in
+      trip_breaker t ~model_id:"default" ~threshold:1 x;
+      Thread.delay 0.1;
+      (* The probe itself dies (injected): the breaker must re-open with a
+         fresh cooldown instead of re-closing on a broken path. *)
+      Robust.Inject.with_stage Robust.Inject.Breaker_probe_fail (fun () ->
+          match transform t x with
+          | Protocol.R_error { code = "internal"; _ } -> ()
+          | r -> Alcotest.fail ("failed probe reply: " ^ Protocol.response_to_string r));
+      (match transform t x with
+      | Protocol.R_unavailable _ -> ()
+      | r -> Alcotest.fail ("must re-open after failed probe: " ^ Protocol.response_to_string r));
+      (* Next cooldown + healthy probe: service recovers for real. *)
+      Thread.delay 0.1;
+      let z = expect_matrix "healthy probe" (transform t x) in
+      check_true "recovered bitwise" (mat_equal_bits z (Tcca.transform m x));
+      check_true "closed again" ((model_health t "default").Protocol.mh_breaker = "closed"))
 
 (* ------------------------------------------------------------------ *)
 (* Drain + recovery *)
@@ -482,11 +900,11 @@ let test_drain_refuses_then_flushes () =
   let m = fit_model () in
   let dir = tmp_dir "tccad-drain" in
   let t = Server.create ~model:m (cfg ~state_dir:dir ()) in
-  (match Server.handle t Protocol.Drain with
+  (match Server.handle t (Protocol.Drain { model_id = "" }) with
   | Protocol.R_ok { note = "draining"; _ } -> ()
   | _ -> Alcotest.fail "drain ack");
   let x = synth_views ~views:3 ~dim:6 ~n:3 ~seed:51 in
-  (match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
+  (match transform t x with
   | Protocol.R_error { code = "draining"; _ } -> ()
   | _ -> Alcotest.fail "work during drain must be refused");
   (* Health keeps answering so orchestrators can watch the drain. *)
@@ -494,11 +912,13 @@ let test_drain_refuses_then_flushes () =
   | Protocol.R_health { draining = true; _ } -> ()
   | _ -> Alcotest.fail "health during drain");
   Server.drain_and_stop t;
-  check_true "snapshot written at drain"
-    (Sys.file_exists (Filename.concat dir "model-v000001.tccm"));
+  check_true "snapshot written under the model's own dir at drain"
+    (Sys.file_exists (Filename.concat dir "default/model-v000001.tccm"));
   rm_rf dir
 
 let test_recovery_from_newest_valid () =
+  (* Legacy (PR-8) on-disk layout: top-level model-v*.tccm files, no
+     per-model subdirs — recovery must adopt them as "default". *)
   let dir = tmp_dir "tccad-recover" in
   let m1 = fit_model ~seed:3 () in
   let m2 = fit_model ~seed:4 () in
@@ -507,10 +927,8 @@ let test_recovery_from_newest_valid () =
   with_server (cfg ~state_dir:dir ()) (fun t ->
       check_true "adopts newest version" (Server.version t = 2);
       let x = synth_views ~views:3 ~dim:6 ~n:5 ~seed:52 in
-      match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
-      | Protocol.R_matrix z ->
-        check_true "serves the newest model bitwise" (mat_equal_bits z (Tcca.transform m2 x))
-      | _ -> Alcotest.fail "transform after recovery");
+      let z = expect_matrix "transform after recovery" (transform t x) in
+      check_true "serves the newest model bitwise" (mat_equal_bits z (Tcca.transform m2 x)));
   rm_rf dir
 
 let test_recovery_skips_corrupt_newest () =
@@ -528,10 +946,8 @@ let test_recovery_skips_corrupt_newest () =
   with_server (cfg ~state_dir:dir ()) (fun t ->
       check_true "falls back to the older valid snapshot" (Server.version t = 1);
       let x = synth_views ~views:3 ~dim:6 ~n:5 ~seed:53 in
-      match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
-      | Protocol.R_matrix z ->
-        check_true "serves v1 bitwise" (mat_equal_bits z (Tcca.transform m1 x))
-      | _ -> Alcotest.fail "transform after degraded recovery");
+      let z = expect_matrix "transform after degraded recovery" (transform t x) in
+      check_true "serves v1 bitwise" (mat_equal_bits z (Tcca.transform m1 x)));
   rm_rf dir
 
 let test_recovery_all_corrupt_degrades_cold () =
@@ -539,6 +955,66 @@ let test_recovery_all_corrupt_degrades_cold () =
   write_file (Filename.concat dir "model-v000003.tccm") "TCCMgarbage";
   with_server (cfg ~state_dir:dir ()) (fun t ->
       check_true "cold start" (Server.version t = 0 && Server.model t = None));
+  rm_rf dir
+
+let test_recovery_mixed_model_dirs () =
+  (* Three models on disk: "a" healthy, "b" newest-torn (must fall back),
+     "c" all-garbage (must cold-start) — each recovered independently. *)
+  let dir = tmp_dir "tccad-mixed" in
+  let ma = fit_model ~seed:3 () in
+  let mb1 = fit_model ~seed:4 () in
+  let mb2 = fit_model ~seed:5 () in
+  Unix.mkdir (Filename.concat dir "a") 0o755;
+  Unix.mkdir (Filename.concat dir "b") 0o755;
+  Unix.mkdir (Filename.concat dir "c") 0o755;
+  Model_store.save ~path:(Filename.concat dir "a/model-v000002.tccm") ma;
+  Model_store.save ~path:(Filename.concat dir "b/model-v000001.tccm") mb1;
+  Model_store.save ~path:(Filename.concat dir "b/model-v000002.tccm") mb2;
+  let pb2 = Filename.concat dir "b/model-v000002.tccm" in
+  let good = read_file pb2 in
+  write_file pb2 (String.sub good 0 (String.length good / 2));
+  write_file (Filename.concat dir "c/model-v000009.tccm") "TCCMgarbage";
+  Robust.clear_warnings ();
+  with_server (cfg ~state_dir:dir ()) (fun t ->
+      let x = synth_views ~views:3 ~dim:6 ~n:5 ~seed:54 in
+      let ha = model_health t "a" in
+      check_true "a recovered at v2" (ha.Protocol.mh_version = 2);
+      let za = expect_matrix "a" (transform ~model_id:"a" t x) in
+      check_true "a serves bitwise" (mat_equal_bits za (Tcca.transform ma x));
+      let hb = model_health t "b" in
+      check_true "b fell back to v1" (hb.Protocol.mh_version = 1);
+      let zb = expect_matrix "b" (transform ~model_id:"b" t x) in
+      check_true "b serves the fallback bitwise" (mat_equal_bits zb (Tcca.transform mb1 x));
+      let hc = model_health t "c" in
+      check_true "c cold-started" (hc.Protocol.mh_version = 0 && hc.Protocol.mh_r = 0);
+      (match transform ~model_id:"c" t x with
+      | Protocol.R_error { code = "no-model"; _ } -> ()
+      | _ -> Alcotest.fail "cold c must refuse typed"));
+  rm_rf dir
+
+let test_recovery_corrupt_one_inject () =
+  (* [Registry_corrupt_one] marks the alphabetically-first model dir
+     unreadable: that model cold-starts with a warning while its sibling
+     recovers normally — one rotten state dir never poisons the rest. *)
+  let dir = tmp_dir "tccad-corrupt1" in
+  let ma = fit_model ~seed:3 () in
+  let mb = fit_model ~seed:4 () in
+  Unix.mkdir (Filename.concat dir "a") 0o755;
+  Unix.mkdir (Filename.concat dir "b") 0o755;
+  Model_store.save ~path:(Filename.concat dir "a/model-v000001.tccm") ma;
+  Model_store.save ~path:(Filename.concat dir "b/model-v000001.tccm") mb;
+  Robust.clear_warnings ();
+  Robust.Inject.with_stage Robust.Inject.Registry_corrupt_one (fun () ->
+      with_server (cfg ~state_dir:dir ()) (fun t ->
+          let x = synth_views ~views:3 ~dim:6 ~n:5 ~seed:55 in
+          check_true "a cold-started" ((model_health t "a").Protocol.mh_version = 0);
+          check_true "warning names the injected corruption"
+            (List.exists
+               (fun w -> String.length w > 0 && String.sub w 0 8 = "tccad[a]")
+               (Robust.drain_warnings ()));
+          let zb = expect_matrix "b" (transform ~model_id:"b" t x) in
+          check_true "b recovered bitwise despite a's corruption"
+            (mat_equal_bits zb (Tcca.transform mb x))));
   rm_rf dir
 
 (* ------------------------------------------------------------------ *)
@@ -562,8 +1038,17 @@ let test_socket_roundtrip () =
           (match Protocol.call fd Protocol.Health with
           | Protocol.R_health { version = 1; r = 2; _ } -> ()
           | _ -> Alcotest.fail "health over socket");
+          (match Protocol.call fd Protocol.List_models with
+          | Protocol.R_models [| { Protocol.mi_id = "default"; mi_version = 1; _ } |] -> ()
+          | _ -> Alcotest.fail "list-models over socket");
+          (match Protocol.call fd (Protocol.Model_health { model_id = "default" }) with
+          | Protocol.R_model_health { Protocol.mh_breaker = "closed"; mh_version = 1; _ } -> ()
+          | _ -> Alcotest.fail "model-health over socket");
           let x = synth_views ~views:3 ~dim:6 ~n:6 ~seed:61 in
-          match Protocol.call fd (Protocol.Transform { deadline_ms = -1; views = x }) with
+          match
+            Protocol.call fd
+              (Protocol.Transform { deadline_ms = -1; views = x; model_id = "default" })
+          with
           | Protocol.R_matrix z ->
             check_true "socket transform ≡ library" (mat_equal_bits z (Tcca.transform m x))
           | _ -> Alcotest.fail "transform over socket"))
@@ -611,13 +1096,78 @@ let qcheck_retained_refit_pool_stable =
             Parallel.set_num_domains pool;
             let m = Tcca.fit ~r:rank (synth_views ~views:3 ~dim:5 ~n:30 ~seed) in
             with_server ~model:m (cfg ()) (fun t ->
-                (match Server.handle t (Protocol.Refit { deadline_ms = -1 }) with
+                (match
+                   Server.handle t (Protocol.Refit { deadline_ms = -1; model_id = "default" })
+                 with
                 | Protocol.R_ok { version = 1; _ } -> ()
                 | _ -> Alcotest.fail "retained refit");
                 let x = synth_views ~views:3 ~dim:5 ~n:6 ~seed:(seed + 1) in
-                match Server.handle t (Protocol.Transform { deadline_ms = -1; views = x }) with
-                | Protocol.R_matrix z -> z
-                | _ -> Alcotest.fail "transform")
+                expect_matrix "transform" (transform t x))
+          in
+          mat_equal_bits (run 1) (run 4)))
+
+(* qcheck: the fault-isolation property.  Whatever fault hits model A —
+   torn swap, poisoned refit, worker crash — model B's version counter and
+   served projections are bitwise unchanged and its breaker stays closed,
+   at pool sizes 1 and 4. *)
+let qcheck_fault_on_a_isolated_from_b =
+  QCheck.Test.make ~count:6
+    ~name:"fault on A leaves B bitwise unchanged (torn swap/NaN refit/crash, pools 1/4)"
+    QCheck.(pair (int_range 0 1000) (int_range 0 2))
+    (fun (seed, fault) ->
+      let saved = Parallel.num_domains () in
+      Fun.protect
+        ~finally:(fun () -> Parallel.set_num_domains saved)
+        (fun () ->
+          let run pool =
+            Parallel.set_num_domains pool;
+            let ma = Tcca.fit ~r:2 (synth_views ~views:3 ~dim:5 ~n:30 ~seed) in
+            let mb = Tcca.fit ~r:2 (synth_views ~views:3 ~dim:5 ~n:30 ~seed:(seed + 7)) in
+            with_server ~model:ma (cfg ~workers:1 ()) (fun t ->
+                install_model t "b" mb;
+                let x = synth_views ~views:3 ~dim:5 ~n:6 ~seed:(seed + 1) in
+                let zb = expect_matrix "b before" (transform ~model_id:"b" t x) in
+                let vb = (model_health t "b").Protocol.mh_version in
+                (* Strike model A ("default"). *)
+                (match fault with
+                | 0 ->
+                  (* Torn swap. *)
+                  let path = Filename.temp_file "qcheck-swap" ".tccm" in
+                  Model_store.save ~path ma;
+                  Robust.Inject.with_stage Robust.Inject.Torn_swap (fun () ->
+                      match Server.handle t (Protocol.Swap { path; model_id = "default" }) with
+                      | Protocol.R_error { code = "torn"; _ } -> ()
+                      | r -> Alcotest.fail ("torn swap: " ^ Protocol.response_to_string r));
+                  Sys.remove path
+                | 1 ->
+                  (* Poisoned refit. *)
+                  let batch = synth_views ~views:3 ~dim:5 ~n:20 ~seed:(seed + 2) in
+                  (match
+                     Server.handle t (Protocol.Ingest { views = batch; model_id = "default" })
+                   with
+                  | Protocol.R_ok _ -> ()
+                  | _ -> Alcotest.fail "ingest");
+                  Robust.Inject.with_stage Robust.Inject.Refit_nan (fun () ->
+                      match
+                        Server.handle t
+                          (Protocol.Refit { deadline_ms = -1; model_id = "default" })
+                      with
+                      | Protocol.R_error { code = "refit-failed"; _ } -> ()
+                      | r -> Alcotest.fail ("NaN refit: " ^ Protocol.response_to_string r))
+                | _ ->
+                  (* Worker crash. *)
+                  Robust.Inject.with_stage Robust.Inject.Worker_crash (fun () ->
+                      match transform t x with
+                      | Protocol.R_error { code = "worker-crash"; _ } -> ()
+                      | r -> Alcotest.fail ("crash: " ^ Protocol.response_to_string r)));
+                (* B is untouched: same version, closed breaker, bitwise
+                   identical projections. *)
+                let hb = model_health t "b" in
+                if hb.Protocol.mh_version <> vb then Alcotest.fail "B's version moved";
+                if hb.Protocol.mh_breaker <> "closed" then Alcotest.fail "B's breaker moved";
+                let zb' = expect_matrix "b after" (transform ~model_id:"b" t x) in
+                if not (mat_equal_bits zb zb') then Alcotest.fail "B's projections moved";
+                zb')
           in
           mat_equal_bits (run 1) (run 4)))
 
@@ -625,15 +1175,36 @@ let () =
   Alcotest.run "serve"
     [ ( "protocol",
         [ Alcotest.test_case "codec roundtrip" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "legacy frames decode to default" `Quick
+            test_wire_compat_decodes_legacy;
+          Alcotest.test_case "legacy client served end-to-end" `Quick
+            test_wire_compat_legacy_client_served;
           Alcotest.test_case "garbage over socket" `Quick test_socket_garbage_gets_typed_error ] );
       ( "model-store",
         [ Alcotest.test_case "roundtrip" `Quick test_model_store_roundtrip;
-          Alcotest.test_case "rejects damage" `Quick test_model_store_rejects_damage ] );
+          Alcotest.test_case "rejects damage" `Quick test_model_store_rejects_damage;
+          Alcotest.test_case "torn write refused on load" `Quick
+            test_torn_model_write_refused_on_load ] );
+      ( "breaker",
+        [ Alcotest.test_case "state machine (fake clock)" `Quick test_breaker_state_machine;
+          Alcotest.test_case "trips and isolates" `Quick test_breaker_trips_and_isolates;
+          Alcotest.test_case "half-open re-closes" `Quick test_breaker_half_open_recloses;
+          Alcotest.test_case "failed probe re-opens" `Quick test_breaker_probe_fail_reopens ] );
+      ( "supervision",
+        [ Alcotest.test_case "crash answers typed, respawns" `Quick test_worker_crash_respawns;
+          Alcotest.test_case "respawn budget forces breaker open" `Quick
+            test_respawn_budget_forces_breaker_open ] );
       ( "serving",
         [ Alcotest.test_case "transform ≡ library" `Quick test_transform_matches_library;
           Alcotest.test_case "predict formula" `Quick test_predict_formula;
           Alcotest.test_case "cold start typed refusal" `Quick test_cold_start_refuses_typed;
           Alcotest.test_case "socket roundtrip" `Quick test_socket_roundtrip ] );
+      ( "multi-model",
+        [ Alcotest.test_case "unknown/invalid ids typed" `Quick
+            test_unknown_and_invalid_model_ids;
+          Alcotest.test_case "second model lifecycle" `Quick test_second_model_lifecycle;
+          Alcotest.test_case "per-model drain isolates" `Quick test_per_model_drain_isolates;
+          QCheck_alcotest.to_alcotest qcheck_fault_on_a_isolated_from_b ] );
       ( "deadlines",
         [ Alcotest.test_case "deadline 0 expires, never hangs" `Quick
             test_deadline_zero_expires_not_hangs;
@@ -659,6 +1230,11 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_retained_refit_pool_stable ] );
       ( "drain-recovery",
         [ Alcotest.test_case "drain refuses and flushes" `Quick test_drain_refuses_then_flushes;
-          Alcotest.test_case "recovers newest valid" `Quick test_recovery_from_newest_valid;
+          Alcotest.test_case "recovers newest valid (legacy layout)" `Quick
+            test_recovery_from_newest_valid;
           Alcotest.test_case "skips corrupt newest" `Quick test_recovery_skips_corrupt_newest;
-          Alcotest.test_case "all corrupt -> cold" `Quick test_recovery_all_corrupt_degrades_cold ] ) ]
+          Alcotest.test_case "all corrupt -> cold" `Quick test_recovery_all_corrupt_degrades_cold;
+          Alcotest.test_case "mixed model dirs recover independently" `Quick
+            test_recovery_mixed_model_dirs;
+          Alcotest.test_case "Registry_corrupt_one isolates" `Quick
+            test_recovery_corrupt_one_inject ] ) ]
