@@ -83,7 +83,7 @@ let serve_fixture =
        Server.create ~model { Server.default_config with workers = 2; queue_capacity = 64 }
      in
      let client, sock = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-     ignore (Thread.create (fun () -> Server.serve_connection server sock) ());
+     ignore (Thread.create (fun () -> Event_loop.serve_connection server sock) ());
      let batch = Array.init 2 (fun _ -> mk 200 64) in
      let req = Protocol.Transform { deadline_ms = -1; views = batch; model_id = "default" } in
      (client, req))
@@ -112,7 +112,7 @@ let route_fixture =
        Server.create ~model { Server.default_config with workers = 2; queue_capacity = 64 }
      in
      let client, sock = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-     ignore (Thread.create (fun () -> Server.serve_connection server sock) ());
+     ignore (Thread.create (fun () -> Event_loop.serve_connection server sock) ());
      let tmp = Filename.temp_file "tccad-bench" ".tccm" in
      Model_store.save ~path:tmp model;
      (match Protocol.call client (Protocol.Swap { path = tmp; model_id = "alt" }) with
@@ -136,6 +136,185 @@ let route_call () =
   | Protocol.R_matrix _ -> ()
   | _ -> failwith "bench: serve/route-transform got a non-matrix reply"
 
+(* Concurrent pipelined micro (PR "event loop"): 32 connections, each
+   pipelining 64 transforms through ONE reactor, with cross-request GEMM
+   micro-batching on — against a PR-9-shaped reference (thread per
+   connection, blocking round trips, batch_max 1) over the same model.
+   Requests are deliberately small (single-column transforms) so
+   per-request overhead — syscalls, wakeups, GEMM packing — is what the
+   micro actually measures; that is exactly the regime micro-batching is
+   for.  The model is deliberately tiny (r = 8, d = 16): per-request
+   FLOPs are negligible next to per-request dispatch, so the numbers
+   isolate the serving layer itself — the bigger-model regimes are
+   covered by serve/transform-batch and serve/route-transform above.
+   One client thread drives all 32
+   connections through per-connection incremental decoders — with
+   pipelining, connection concurrency no longer needs a thread per
+   connection on either side of the socket.  The blocking reference
+   needs its 32 client threads: one in-flight request per connection is
+   the architecture under comparison. *)
+let c32_conns = 32
+let c32_per_conn = 64
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let c32_fixture =
+  lazy
+    (let rng = Rng.create 20400 in
+     let mk rows cols = Mat.init rows cols (fun _ _ -> Rng.gaussian rng) in
+     let views = Array.init 2 (fun _ -> mk 16 256) in
+     let model =
+       Tcca.fit ~solver:(Tcca.Als { Cp_als.default_options with max_iter = 25 }) ~r:8 views
+     in
+     let batch = Array.init 2 (fun _ -> mk 16 1) in
+     let req = Protocol.Transform { deadline_ms = -1; views = batch; model_id = "default" } in
+     (* The measured server: one reactor over all 32 fds, batching on.
+        The queue is deep enough to hold the whole sweep, so coalescing
+        runs at its configured width instead of queue-drain width. *)
+     let server =
+       Server.create ~model
+         { Server.default_config with
+           workers = 2;
+           queue_capacity = 4096;
+           batch_max = 128 }
+     in
+     let pairs =
+       Array.init c32_conns (fun _ -> Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0)
+     in
+     ignore
+       (Thread.create
+          (fun () -> Event_loop.serve_fds server (Array.to_list (Array.map snd pairs)))
+          ());
+     (* The PR-9 reference: same model, one thread per connection, no
+        coalescing — yesterday's architecture as a live yardstick. *)
+     let ref_server =
+       Server.create ~model
+         { Server.default_config with workers = 2; queue_capacity = 4096; batch_max = 1 }
+     in
+     let ref_pairs =
+       Array.init c32_conns (fun _ -> Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0)
+     in
+     Array.iter
+       (fun (_, s) ->
+         ignore (Thread.create (fun () -> Event_loop.serve_connection ref_server s) ()))
+       ref_pairs;
+     let blob =
+       let b = Buffer.create 65536 in
+       for _ = 1 to c32_per_conn do
+         Protocol.buffer_request b req
+       done;
+       Buffer.contents b
+     in
+     (* What every response must be, bitwise: batch-of-1 dispatch. *)
+     let expected = Protocol.response_to_string (Server.handle server req) in
+     (Array.map fst pairs, Array.map fst ref_pairs, blob, req, expected))
+
+(* One client thread, 32 pipelined connections: write every blob, then
+   select over the sockets, feeding one incremental decoder per
+   connection.  The whole sweep fits in the server queue, so the writes
+   cannot deadlock against unread responses (the reactor buffers them). *)
+let c32_sweep ~verify lats =
+  let clients, _, blob, _, expected = Lazy.force c32_fixture in
+  let total = c32_conns * c32_per_conn in
+  let t0 = Unix.gettimeofday () in
+  Array.iter (fun fd -> write_all fd blob) clients;
+  let decs = Array.map (fun _ -> Protocol.decoder ()) clients in
+  let got = Array.make c32_conns 0 in
+  let chunk = Bytes.create 65536 in
+  let completed = ref 0 in
+  while !completed < total do
+    let rds = ref [] in
+    Array.iteri (fun i fd -> if got.(i) < c32_per_conn then rds := fd :: !rds) clients;
+    let rd, _, _ = Unix.select !rds [] [] 5.0 in
+    if rd = [] then failwith "bench: c32 sweep stalled";
+    List.iter
+      (fun fd ->
+        let i = ref 0 in
+        Array.iteri (fun k c -> if c = fd then i := k) clients;
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n = 0 then failwith "bench: c32 connection closed early";
+        Protocol.decoder_feed decs.(!i) chunk 0 n;
+        let more = ref true in
+        while !more do
+          match Protocol.decoder_next decs.(!i) with
+          | `Frame body ->
+            (match lats with
+            | Some l -> l.(!completed) <- (Unix.gettimeofday () -. t0) *. 1e9
+            | None -> ());
+            if verify && not (String.equal body expected) then
+              failwith "bench: c32 response not bitwise-identical to batch-1 dispatch";
+            got.(!i) <- got.(!i) + 1;
+            incr completed
+          | `Oversize _ -> failwith "bench: c32 oversize response"
+          | `Await -> more := false
+        done)
+      rd
+  done;
+  Unix.gettimeofday () -. t0
+
+let c32_call () = ignore (c32_sweep ~verify:false None)
+
+(* Verified sweeps with per-response completion times, plus the PR-9
+   reference sweeps — prints the throughput ratio, returns (p50, p99).
+   Both sides take the best of three sweeps: on one CPU a single sweep's
+   wall time is at the mercy of whatever else the scheduler slots in, and
+   best-of-N is the standard way to ask "how fast is this architecture"
+   rather than "how unlucky was this run".  The percentiles come from the
+   best pipelined sweep for the same reason. *)
+let c32_report () =
+  let _, ref_clients, _, req, _ = Lazy.force c32_fixture in
+  let total = c32_conns * c32_per_conn in
+  let best_of n f =
+    let best_s = ref infinity in
+    for _ = 1 to n do
+      let s = f () in
+      if s < !best_s then best_s := s
+    done;
+    !best_s
+  in
+  let lats = Array.make total nan in
+  let pipelined_s =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let l = Array.make total nan in
+      let s = c32_sweep ~verify:true (Some l) in
+      if s < !best then begin
+        best := s;
+        Array.blit l 0 lats 0 total
+      end
+    done;
+    !best
+  in
+  let ref_worker fd =
+    for _ = 1 to c32_per_conn do
+      match Protocol.call fd req with
+      | Protocol.R_matrix _ -> ()
+      | _ -> failwith "bench: c32 reference got a non-matrix reply"
+    done
+  in
+  let ref_s =
+    best_of 3 (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let ths = Array.map (fun fd -> Thread.create ref_worker fd) ref_clients in
+        Array.iter Thread.join ths;
+        Unix.gettimeofday () -. t0)
+  in
+  Printf.printf
+    "serve/concurrent-transform-c32: pipelined+batched %.0f req/s vs \
+     thread-per-connection %.0f req/s (x%.1f)\n%!"
+    (float_of_int total /. pipelined_s)
+    (float_of_int total /. ref_s)
+    (ref_s /. pipelined_s);
+  Array.sort compare lats;
+  let pick q = lats.(min (total - 1) (int_of_float (float_of_int total *. q))) in
+  (pick 0.50, pick 0.99)
+
 (* p50/p99 request latency over [samples] sequential calls on the same
    connection — the schema /3 fields riding on the serve records. *)
 let latency_percentiles ~samples call =
@@ -155,7 +334,8 @@ let latency_percentiles ~samples call =
 let serve_tests () =
   let open Bechamel in
   [ Test.make ~name:"serve/transform-batch" (Staged.stage serve_call);
-    Test.make ~name:"serve/route-transform" (Staged.stage route_call) ]
+    Test.make ~name:"serve/route-transform" (Staged.stage route_call);
+    Test.make ~name:"serve/concurrent-transform-c32" (Staged.stage c32_call) ]
 
 let micro_tests () =
   let world = Secstr.world Secstr.Quick in
@@ -504,11 +684,13 @@ let run_micro ~smoke ~json () =
   let percentiles =
     let samples = if smoke then 120 else 400 in
     List.map
-      (fun (name, call) ->
-        let p50, p99 = latency_percentiles ~samples call in
+      (fun (name, measure) ->
+        let p50, p99 = measure () in
         Printf.printf "%s latency: p50 %.0f ns, p99 %.0f ns\n%!" name p50 p99;
         (name, (p50, p99)))
-      [ ("serve/transform-batch", serve_call); ("serve/route-transform", route_call) ]
+      [ ("serve/transform-batch", fun () -> latency_percentiles ~samples serve_call);
+        ("serve/route-transform", fun () -> latency_percentiles ~samples route_call);
+        ("serve/concurrent-transform-c32", c32_report) ]
   in
   (match json with
   | Some path -> write_json ~path ~smoke ~percentiles (List.rev !collected)

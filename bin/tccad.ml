@@ -102,8 +102,19 @@ let serve_cmd =
     Arg.(value & opt int 4 & info [ "max-respawns" ] ~docv:"N"
            ~doc:"Crashed-worker respawn budget per model.")
   in
+  let batch_max =
+    Arg.(value & opt int 32 & info [ "batch-max" ] ~docv:"N"
+           ~doc:"Most concurrent transform/predict requests one GEMM \
+                 micro-batch may stack (1 disables coalescing).")
+  in
+  let batch_window =
+    Arg.(value & opt int 0 & info [ "batch-window-us" ] ~docv:"US"
+           ~doc:"How long a worker lingers for batch stragglers once its \
+                 queue runs dry, in microseconds (0: no added latency).")
+  in
   let action model listen state_dir workers queue deadline io_timeout refit_iters
-      refit_tol eps rank breaker_failures breaker_cooldown max_respawns =
+      refit_tol eps rank breaker_failures breaker_cooldown max_respawns batch_max
+      batch_window =
     setup_logs ();
     let cfg =
       { Server.default_config with
@@ -119,7 +130,9 @@ let serve_cmd =
           { Breaker.default_config with
             failure_threshold = breaker_failures;
             open_cooldown_s = float_of_int breaker_cooldown /. 1000. };
-        max_respawns }
+        max_respawns;
+        batch_max;
+        batch_window_us = batch_window }
     in
     match
       match model with
@@ -132,14 +145,15 @@ let serve_cmd =
     | Error msg -> `Error (false, "--model: " ^ msg)
     | Ok model ->
       let t = Server.create ?model cfg in
-      (* Graceful drain on SIGTERM/SIGINT: flip the (atomic) drain flag;
-         the accept loop wakes on EINTR, flushes in-flight work and
-         snapshots before exiting. *)
+      (* Graceful drain on SIGTERM/SIGINT: flip the (atomic) drain flag and
+         fire the drain hooks — the reactor's hook is one self-pipe write,
+         so it wakes immediately, flushes in-flight work and snapshots
+         before exiting. *)
       let handler = Sys.Signal_handle (fun _ -> Server.request_drain t) in
       Sys.set_signal Sys.sigterm handler;
       Sys.set_signal Sys.sigint handler;
       Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-      Server.serve_forever t listen;
+      Event_loop.serve_forever t listen;
       `Ok ()
   in
   Cmd.v
@@ -147,7 +161,7 @@ let serve_cmd =
     Term.(ret
             (const action $ model $ listen $ state_dir $ workers $ queue $ deadline
              $ io_timeout $ refit_iters $ refit_tol $ eps $ rank $ breaker_failures
-             $ breaker_cooldown $ max_respawns))
+             $ breaker_cooldown $ max_respawns $ batch_max $ batch_window))
 
 (* ------------------------------------------------------------------ *)
 (* client plumbing *)
@@ -423,6 +437,199 @@ let predict_cmd =
   batch_query_cmd "predict" "Score a deterministic synthetic batch (%.17g output)."
     (fun ~deadline_ms ~views ~model_id -> Protocol.Predict { deadline_ms; views; model_id })
 
+(* ------------------------------------------------------------------ *)
+(* load: multi-connection pipelined load generator.
+
+   Opens C connections, writes every request frame up front (full
+   pipelining), then reads the responses back — verifying each response
+   body is byte-identical to a sequentially-obtained reference for the
+   same request, in request order.  Requests cycle through 4 variants
+   (different seed and column count) so an ordering bug cannot hide.
+   With --stall-connections, K extra sockets send half a frame header and
+   then stall — the slow-loris probe; --stall-wait asserts the daemon
+   drops them while the load traffic above stays byte-perfect. *)
+
+let load_cmd =
+  let connections =
+    Arg.(value & opt int 32 & info [ "connections" ] ~docv:"C"
+           ~doc:"Concurrent client connections.")
+  in
+  let per_conn =
+    Arg.(value & opt int 64 & info [ "per-conn" ] ~docv:"N"
+           ~doc:"Pipelined requests per connection.")
+  in
+  let stall =
+    Arg.(value & opt int 0 & info [ "stall-connections" ] ~docv:"K"
+           ~doc:"Extra connections that send half a frame header and stall \
+                 (slow-loris probe).")
+  in
+  let stall_wait =
+    Arg.(value & opt float 0. & info [ "stall-wait" ] ~docv:"S"
+           ~doc:"After the load completes, wait up to S seconds for the \
+                 daemon to drop the stalled connections; exit non-zero if \
+                 it keeps any (0: just close them).")
+  in
+  let action connect model_id seed n connections per_conn stall stall_wait =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let write_all fd s =
+      let b = Bytes.unsafe_of_string s in
+      let len = Bytes.length b in
+      let off = ref 0 in
+      while !off < len do
+        off := !off + Unix.write fd b !off (len - !off)
+      done
+    in
+    let connect_fd () =
+      let fd = Unix.socket (Unix.domain_of_sockaddr connect) Unix.SOCK_STREAM 0 in
+      Unix.connect fd connect;
+      fd
+    in
+    try
+      (* Reference pass: one sequential connection captures the expected
+         bytes for each request variant. *)
+      let variants = 4 in
+      let reqs, refs =
+        with_conn connect (fun fd ->
+            match fetch_dims fd ~model_id with
+            | Error msg -> Error msg
+            | Ok dims ->
+              let reqs =
+                Array.init variants (fun v ->
+                    Protocol.Transform
+                      { deadline_ms = -1;
+                        views = synth_from_dims ~dims ~n:(n + v) ~seed:(seed + v);
+                        model_id })
+              in
+              let refs =
+                Array.map
+                  (fun req ->
+                    Protocol.write_frame fd (Protocol.request_to_string req);
+                    match Protocol.read_frame fd with
+                    | Protocol.Frame body -> body
+                    | _ -> failwith "load: no reply to reference request")
+                  reqs
+              in
+              Ok (reqs, refs))
+        |> function
+        | Error msg -> failwith ("load: " ^ msg)
+        | Ok x -> x
+      in
+      (* One shared blob of per_conn pipelined frames. *)
+      let blob =
+        let b = Buffer.create 65536 in
+        for i = 0 to per_conn - 1 do
+          Protocol.buffer_request b reqs.(i mod variants)
+        done;
+        Buffer.contents b
+      in
+      let stallers =
+        List.init stall (fun _ ->
+            let fd = connect_fd () in
+            (* Two bytes of a four-byte header, then silence. *)
+            write_all fd "\x10\x00";
+            fd)
+      in
+      let mismatches = Atomic.make 0 in
+      let errors = Atomic.make 0 in
+      let latencies = Array.make (connections * per_conn) 0. in
+      let t_start = Unix.gettimeofday () in
+      let worker c =
+        try
+          let fd = connect_fd () in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              let t0 = Unix.gettimeofday () in
+              write_all fd blob;
+              for i = 0 to per_conn - 1 do
+                match Protocol.read_frame ~timeout_s:60. fd with
+                | Protocol.Frame body ->
+                  latencies.((c * per_conn) + i) <- Unix.gettimeofday () -. t0;
+                  if not (String.equal body refs.(i mod variants)) then begin
+                    Atomic.incr mismatches;
+                    match Protocol.response_of_string body with
+                    | Ok (Protocol.R_error { code; message }) ->
+                      Printf.eprintf "conn %d req %d: error [%s] %s\n%!" c i code
+                        message
+                    | Ok (Protocol.R_shed { depth; capacity }) ->
+                      (* Not corruption: the daemon's queue overflowed and it
+                         shed the request.  Raise --queue (the full pipelined
+                         burst is connections x per-conn) or lower the load. *)
+                      Printf.eprintf "conn %d req %d: shed (queue %d/%d)\n%!" c i
+                        depth capacity
+                    | Ok (Protocol.R_unavailable { retry_after_ms; _ }) ->
+                      Printf.eprintf "conn %d req %d: unavailable (retry %d ms)\n%!"
+                        c i retry_after_ms
+                    | Ok (Protocol.R_deadline { stage; elapsed_ms }) ->
+                      Printf.eprintf "conn %d req %d: deadline (%s, %d ms)\n%!" c i
+                        stage elapsed_ms
+                    | Ok _ -> Printf.eprintf "conn %d req %d: wrong bytes\n%!" c i
+                    | Error e ->
+                      Printf.eprintf "conn %d req %d: undecodable: %s\n%!" c i e
+                  end
+                | _ ->
+                  Atomic.incr errors;
+                  raise Exit
+              done)
+        with _ -> Atomic.incr errors
+      in
+      let threads = List.init connections (fun c -> Thread.create worker c) in
+      List.iter Thread.join threads;
+      let wall = Unix.gettimeofday () -. t_start in
+      let total = connections * per_conn in
+      Array.sort compare latencies;
+      let pct p = latencies.(min (total - 1) (total * p / 100)) in
+      Printf.printf
+        "%d connections x %d pipelined requests: %d ok, %d mismatched, %d errors\n"
+        connections per_conn
+        (total - Atomic.get mismatches - Atomic.get errors)
+        (Atomic.get mismatches) (Atomic.get errors);
+      Printf.printf "wall %.3f s  throughput %.0f req/s  p50 %.1f ms  p99 %.1f ms\n"
+        wall
+        (float_of_int total /. wall)
+        (pct 50 *. 1000.) (pct 99 *. 1000.);
+      (* Slow-loris verdict: a stalled connection must be dropped (EOF on
+         its socket) within the wait window. *)
+      let kept = ref 0 in
+      if stall > 0 && stall_wait > 0. then begin
+        let deadline = Unix.gettimeofday () +. stall_wait in
+        let dropped fd =
+          let rec wait () =
+            let left = deadline -. Unix.gettimeofday () in
+            if left <= 0. then false
+            else
+              match Unix.select [ fd ] [] [] left with
+              | [], _, _ -> wait ()
+              | _ -> (
+                match Unix.read fd (Bytes.create 64) 0 64 with
+                | 0 -> true
+                | _ -> wait ()
+                | exception Unix.Unix_error _ -> true)
+          in
+          wait ()
+        in
+        List.iter (fun fd -> if not (dropped fd) then incr kept) stallers;
+        Printf.printf "stalled connections: %d sent, %d dropped by daemon\n" stall
+          (stall - !kept)
+      end;
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) stallers;
+      if Atomic.get mismatches > 0 || Atomic.get errors > 0 then
+        `Error (false, "load: responses diverged from sequential reference")
+      else if !kept > 0 then
+        `Error (false, Printf.sprintf "load: %d stalled connections not dropped" !kept)
+      else `Ok ()
+    with
+    | Unix.Unix_error (e, _, _) -> `Error (false, "connect: " ^ Unix.error_message e)
+    | Failure msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Pipelined multi-connection load generator; verifies every response \
+             byte-identical to a sequential reference, in order.")
+    Term.(ret
+            (const action $ connect_arg $ model_arg $ seed_arg $ n_arg $ connections
+             $ per_conn $ stall $ stall_wait))
+
 let () =
   let doc = "Fault-tolerant multi-model TCCA serving daemon" in
   let info = Cmd.info "tccad" ~version:"1.0.0" ~doc in
@@ -430,4 +637,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ serve_cmd; health_cmd; list_models_cmd; model_health_cmd; transform_cmd;
-            predict_cmd; ingest_cmd; refit_cmd; swap_cmd; drain_cmd ]))
+            predict_cmd; ingest_cmd; refit_cmd; swap_cmd; drain_cmd; load_cmd ]))

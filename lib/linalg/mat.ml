@@ -79,8 +79,12 @@ let set_col a j v =
 let diag a = Array.init (min a.rows a.cols) (fun i -> get a i i)
 
 let sub_cols a j0 n =
-  if j0 < 0 || j0 + n > a.cols then invalid_arg "Mat.sub_cols: out of range";
-  init a.rows n (fun i j -> get a i (j0 + j))
+  if j0 < 0 || n < 0 || j0 + n > a.cols then invalid_arg "Mat.sub_cols: out of range";
+  let data = Array.make (a.rows * n) 0. in
+  for i = 0 to a.rows - 1 do
+    Array.blit a.data ((i * a.cols) + j0) data (i * n) n
+  done;
+  { rows = a.rows; cols = n; data }
 
 let sub_rows a i0 n =
   if i0 < 0 || i0 + n > a.rows then invalid_arg "Mat.sub_rows: out of range";
@@ -308,9 +312,26 @@ let mul_nt a b =
   else naive_mul_nt_into a b c;
   { rows = m; cols = n; data = c }
 
-let hcat a b =
-  if a.rows <> b.rows then invalid_arg "Mat.hcat: row mismatch";
-  init a.rows (a.cols + b.cols) (fun i j -> if j < a.cols then get a i j else get b i (j - a.cols))
+(* One allocation + row-block blits for any number of operands: the
+   GEMM micro-batcher stacks dozens of request matrices per call, where
+   the old pairwise fold cost O(k²) copies. *)
+let hcat_many ms =
+  let first = List.hd ms in
+  let rows = first.rows in
+  List.iter (fun m -> if m.rows <> rows then invalid_arg "Mat.hcat: row mismatch") ms;
+  let cols = List.fold_left (fun acc m -> acc + m.cols) 0 ms in
+  let data = Array.make (rows * cols) 0. in
+  let off = ref 0 in
+  List.iter
+    (fun m ->
+      for i = 0 to rows - 1 do
+        Array.blit m.data (i * m.cols) data ((i * cols) + !off) m.cols
+      done;
+      off := !off + m.cols)
+    ms;
+  { rows; cols; data }
+
+let hcat a b = hcat_many [ a; b ]
 
 let vcat a b =
   if a.cols <> b.cols then invalid_arg "Mat.vcat: column mismatch";
@@ -318,7 +339,7 @@ let vcat a b =
 
 let hcat_list = function
   | [] -> invalid_arg "Mat.hcat_list: empty"
-  | m :: rest -> List.fold_left hcat m rest
+  | ms -> hcat_many ms
 
 let vcat_list = function
   | [] -> invalid_arg "Mat.vcat_list: empty"

@@ -244,9 +244,8 @@ let get_model_health c =
     mh_last_refit;
     mh_draining }
 
-let response_to_string resp =
-  let b = Buffer.create 256 in
-  (match resp with
+let add_response b resp =
+  match resp with
   | R_health
       { version;
         r;
@@ -299,7 +298,11 @@ let response_to_string resp =
     Array.iter (add_model_info b) infos
   | R_model_health h ->
     Wire.add_int b 10;
-    add_model_health b h);
+    add_model_health b h
+
+let response_to_string resp =
+  let b = Buffer.create 256 in
+  add_response b resp;
   Buffer.contents b
 
 let response_of_cursor c =
@@ -360,6 +363,89 @@ let response_of_string s =
   match response_of_cursor (Wire.cursor s) with
   | resp -> Ok resp
   | exception Wire.Decode what -> Error what
+
+(* ------------------------------------------------------------------ *)
+(* Incremental frame decoding — the reactor's read path.  A decoder is a
+   grow-only byte accumulator plus a cursor: feed it whatever the socket
+   produced (possibly half a header, possibly twelve frames) and pull
+   complete frames out one at a time.  Storage is compacted/doubled only
+   when a feed does not fit, so a long-lived connection converges on zero
+   per-frame allocation beyond the frame bodies themselves. *)
+
+type decoder = {
+  mutable d_buf : Bytes.t;
+  mutable d_off : int;  (* start of unconsumed bytes *)
+  mutable d_end : int;  (* end of valid bytes *)
+}
+
+let decoder () = { d_buf = Bytes.create 65536; d_off = 0; d_end = 0 }
+let decoder_buffered d = d.d_end - d.d_off
+
+let decoder_feed d src off len =
+  if len < 0 || off < 0 || off + len > Bytes.length src then
+    invalid_arg "Protocol.decoder_feed";
+  let live = decoder_buffered d in
+  if len > Bytes.length d.d_buf - d.d_end then
+    if live + len <= Bytes.length d.d_buf then begin
+      (* Enough total room: slide the live bytes back to the origin. *)
+      Bytes.blit d.d_buf d.d_off d.d_buf 0 live;
+      d.d_off <- 0;
+      d.d_end <- live
+    end
+    else begin
+      let cap = ref (2 * Bytes.length d.d_buf) in
+      while live + len > !cap do
+        cap := 2 * !cap
+      done;
+      let nb = Bytes.create !cap in
+      Bytes.blit d.d_buf d.d_off nb 0 live;
+      d.d_buf <- nb;
+      d.d_off <- 0;
+      d.d_end <- live
+    end;
+  Bytes.blit src off d.d_buf d.d_end len;
+  d.d_end <- d.d_end + len
+
+let decoder_next d =
+  let live = decoder_buffered d in
+  if live < 4 then `Await
+  else
+    let len = Int32.to_int (Bytes.get_int32_le d.d_buf d.d_off) land 0xFFFFFFFF in
+    if len > max_frame_bytes then `Oversize len
+    else if live < 4 + len then `Await
+    else begin
+      let body = Bytes.sub_string d.d_buf (d.d_off + 4) len in
+      d.d_off <- d.d_off + 4 + len;
+      if d.d_off = d.d_end then begin
+        d.d_off <- 0;
+        d.d_end <- 0
+      end;
+      `Frame body
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Buffered frame encoding — the reactor's write path.  Responses are
+   encoded straight into per-connection buffers ([scratch] for the body,
+   [out] for the framed byte stream): both are grow-only, so a warm
+   connection encodes every response without allocating a fresh bytes —
+   the regression test in test_event_loop pins this down by counting
+   minor words. *)
+
+let add_frame b body =
+  let n = String.length body in
+  if n > max_frame_bytes then invalid_arg "Protocol.add_frame: frame too large";
+  Buffer.add_int32_le b (Int32.of_int n);
+  Buffer.add_string b body
+
+let buffer_response ~scratch ~out resp =
+  Buffer.clear scratch;
+  add_response scratch resp;
+  let n = Buffer.length scratch in
+  if n > max_frame_bytes then invalid_arg "Protocol.buffer_response: frame too large";
+  Buffer.add_int32_le out (Int32.of_int n);
+  Buffer.add_buffer out scratch
+
+let buffer_request b req = add_frame b (request_to_string req)
 
 (* ------------------------------------------------------------------ *)
 (* Framing over file descriptors. *)

@@ -120,6 +120,45 @@ val request_of_string : string -> (request, string) result
 val response_to_string : response -> string
 val response_of_string : string -> (response, string) result
 
+(** {2 Incremental decoding (reactor read path)}
+
+    A {!decoder} accumulates whatever the socket produced — half a header,
+    twelve frames, anything — and yields complete frames on demand, so a
+    nonblocking reader never needs a blocking [read_exact].  Storage is
+    grow-only and compacted in place: a warm connection decodes with no
+    per-frame allocation beyond the frame bodies. *)
+
+type decoder
+
+val decoder : unit -> decoder
+(** A fresh decoder (one per connection). *)
+
+val decoder_feed : decoder -> bytes -> int -> int -> unit
+(** [decoder_feed d src off len] appends [len] bytes of [src] at [off]. *)
+
+val decoder_next : decoder -> [ `Frame of string | `Await | `Oversize of int ]
+(** Pull the next complete frame. [`Await]: not enough bytes yet.
+    [`Oversize n]: the pending header declares [n > max_frame_bytes] —
+    the connection should answer and close (the stream cannot resync). *)
+
+val decoder_buffered : decoder -> int
+(** Unconsumed bytes held — [> 0] means a frame is in flight (the
+    slow-loris stall detector keys on this). *)
+
+(** {2 Buffered encoding (reactor write path)} *)
+
+val add_frame : Buffer.t -> string -> unit
+(** Append one length-prefixed frame to a buffer (client-side pipelining:
+    stack many frames, write once). *)
+
+val buffer_response : scratch:Buffer.t -> out:Buffer.t -> response -> unit
+(** Encode a response body into [scratch] (cleared first) and append the
+    framed bytes to [out].  Both buffers are reused across responses, so a
+    warm connection allocates no fresh bytes per response. *)
+
+val buffer_request : Buffer.t -> request -> unit
+(** Append one framed request to a buffer. *)
+
 type read_result =
   | Frame of string
   | Closed     (** Peer closed (possibly mid-frame). *)

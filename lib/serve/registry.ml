@@ -1,10 +1,10 @@
-type mailbox = {
-  mb_mutex : Mutex.t;
-  mb_cond : Condition.t;
-  mutable mb_resp : Protocol.response option;
+type task = {
+  req : Protocol.request;
+  budget : Budget.t;
+  deliver : Protocol.response -> unit;
 }
 
-type job = Job of Protocol.request * Budget.t * mailbox | Stop
+type job = Job of task | Stop
 
 type entry = {
   id : string;
@@ -19,6 +19,8 @@ type entry = {
   breaker : Breaker.t;
   mutable respawns : int;
   mutable live_workers : int;
+  mutable batches : int;
+  mutable batched_jobs : int;
   refit_mutex : Mutex.t;
   q_mutex : Mutex.t;
   q_cond : Condition.t;
@@ -79,6 +81,8 @@ let new_entry t id =
     breaker = Breaker.create t.breaker_config;
     respawns = 0;
     live_workers = 0;
+    batches = 0;
+    batched_jobs = 0;
     refit_mutex = Mutex.create ();
     q_mutex = Mutex.create ();
     q_cond = Condition.create ();

@@ -22,13 +22,17 @@
     recovered as the ["default"] model — unless a [<root>/default/]
     directory exists, which then wins. *)
 
-type mailbox = {
-  mb_mutex : Mutex.t;
-  mb_cond : Condition.t;
-  mutable mb_resp : Protocol.response option;
+type task = {
+  req : Protocol.request;
+  budget : Budget.t;
+  deliver : Protocol.response -> unit;
+      (** Completion callback: invoked exactly once, on whichever thread
+          finished the job (a worker, a flush, or the submitter itself for
+          refusals).  Must not block and must not raise — the event loop's
+          callback just posts to its completion queue. *)
 }
 
-type job = Job of Protocol.request * Budget.t * mailbox | Stop
+type job = Job of task | Stop
 
 type entry = {
   id : string;
@@ -44,6 +48,9 @@ type entry = {
   breaker : Breaker.t;
   mutable respawns : int;      (** Workers respawned after crashes. *)
   mutable live_workers : int;  (** Workers currently running. *)
+  mutable batches : int;       (** Coalesced GEMM batches executed (≥ 2
+                                   requests stacked into one product). *)
+  mutable batched_jobs : int;  (** Requests served through those batches. *)
   refit_mutex : Mutex.t;
   q_mutex : Mutex.t;
   q_cond : Condition.t;

@@ -1,10 +1,15 @@
 (* The daemon engine.  Concurrency layout, per model:
 
-     connection threads (one per socket) ──inline──▶ Health/Ingest/Swap/Drain
-            │ breaker admission, then enqueue (bounded, shed on overflow)
-            ▼
+     the reactor ({!Event_loop}) or any caller ──▶ submit/handle
+            │ control requests → the control thread (Health/Ingest/Swap/…)
+            │ compute requests → breaker admission, then enqueue
+            ▼                    (bounded, shed on overflow)
      entry queue ◀── entry workers (config.workers threads) ──▶ Transform/
-                                                                Predict/Refit
+                          │                                     Predict/Refit
+                          └─ micro-batcher: compatible Transform/Predict
+                             jobs at the queue head coalesce (≤ batch_max,
+                             ≤ batch_window_us) into ONE stacked-column
+                             GEMM, scattered back per request
 
    Every model owns its queue, workers, breaker, builder, and state dir —
    its failure domain.  The entry mutex guards the model/version/builder
@@ -14,8 +19,21 @@
    all.  Deadlines ride each job as a [Budget] created at *enqueue* time,
    so time spent queued counts against the request.
 
+   Jobs carry a completion callback instead of a mailbox: the event loop
+   submits asynchronously ({!submit}) and gets the response posted back to
+   its completion queue; the synchronous {!handle} is a thin wrapper that
+   parks the caller on a condition variable until the callback fires.
+
+   Micro-batching is bitwise-exact: stacking request columns into one
+   matrix and projecting with a single GEMM yields每 column the same bits
+   as projecting it alone, because the packed kernel accumulates each
+   output element independently in ascending-k order (the PR-6 contract).
+   Requests whose shape does not match the serving model never enter a
+   batch — they take the sequential path and fail with the same reply they
+   always did.
+
    Supervision: a worker that dies on an uncaught exception answers its
-   in-flight job with a typed "worker-crash" error, records a breaker
+   in-flight job(s) with a typed "worker-crash" error, records a breaker
    failure, logs, and is respawned — up to [max_respawns]; past the budget
    the last worker's death forces the breaker open (effectively
    permanently) and flushes the queue with [R_unavailable]. *)
@@ -37,6 +55,8 @@ type config = {
   rank : int;
   breaker : Breaker.config;
   max_respawns : int;
+  batch_max : int;
+  batch_window_us : int;
 }
 
 let default_config =
@@ -51,17 +71,59 @@ let default_config =
     eps = 1e-2;
     rank = 2;
     breaker = Breaker.default_config;
-    max_respawns = 4 }
+    max_respawns = 4;
+    batch_max = 32;
+    batch_window_us = 0 }
+
+(* The control executor: one thread draining a queue of thunks, so the
+   reactor never blocks on a Swap's file I/O or a Drain's thread joins.
+   After shutdown ([alive = false], queue drained) thunks run inline on
+   the submitting thread instead. *)
+type control = {
+  c_mutex : Mutex.t;
+  c_cond : Condition.t;
+  c_queue : (unit -> unit) Queue.t;
+  mutable c_alive : bool;
+  mutable c_thread : Thread.t option;
+}
 
 type t = {
   cfg : config;
   reg : Registry.t;
   drain_flag : bool Atomic.t;
+  ctl : control;
+  (* Immutable snapshot under an Atomic so {!request_drain} can run the
+     hooks from a signal handler without ever taking a lock. *)
+  drain_hooks : (int * (unit -> unit)) list Atomic.t;
+  hook_seq : int Atomic.t;
 }
 
+let config t = t.cfg
 let registry t = t.reg
 let draining t = Atomic.get t.drain_flag
-let request_drain t = Atomic.set t.drain_flag true
+
+let add_drain_hook t f =
+  let id = Atomic.fetch_and_add t.hook_seq 1 in
+  let rec go () =
+    let cur = Atomic.get t.drain_hooks in
+    if not (Atomic.compare_and_set t.drain_hooks cur ((id, f) :: cur)) then go ()
+  in
+  go ();
+  id
+
+let remove_drain_hook t id =
+  let rec go () =
+    let cur = Atomic.get t.drain_hooks in
+    let next = List.filter (fun (i, _) -> i <> id) cur in
+    if not (Atomic.compare_and_set t.drain_hooks cur next) then go ()
+  in
+  go ()
+
+let request_drain t =
+  Atomic.set t.drain_flag true;
+  (* Wake every registered reactor immediately (self-pipe writes): drain
+     latency is bounded by a syscall, not a poll interval. *)
+  List.iter (fun (_, f) -> try f () with _ -> ()) (Atomic.get t.drain_hooks)
 
 let with_entry (e : Registry.entry) f =
   Mutex.lock e.Registry.e_mutex;
@@ -79,6 +141,12 @@ let version t =
 let model t =
   let e = default_entry t in
   with_entry e (fun () -> e.Registry.model)
+
+let batch_stats t id =
+  match Registry.find t.reg id with
+  | None -> None
+  | Some e ->
+    Some (with_entry e (fun () -> (e.Registry.batches, e.Registry.batched_jobs)))
 
 (* Guardrail events accumulated in Robust's ring (whitening escalations,
    warm-start fallbacks, supervision notices, recovery degradations) are
@@ -122,6 +190,11 @@ let record_breaker (e : Registry.entry) resp =
   | None -> ()
   | Some ok -> with_entry e (fun () -> Breaker.record e.Registry.breaker ~ok)
 
+(* Record + deliver: every job gets exactly one of these. *)
+let answer e (j : Registry.task) resp =
+  record_breaker e resp;
+  j.Registry.deliver resp
+
 (* ------------------------------------------------------------------ *)
 (* Compute handlers (worker side). *)
 
@@ -134,6 +207,23 @@ let transform_reply m views budget ~stage =
     | exception Invalid_argument msg ->
       Protocol.R_error { code = "bad-request"; message = msg })
 
+(* Per-instance high-order correlation score: sᵢ = Σₖ λₖ Πₚ Zₚ[k,i] — the
+   rank-r canonical polyadic form of ρ(h₁ᵀx₁, …, hₘᵀxₘ) evaluated at
+   instance i.  Shared verbatim by the sequential and batched paths: each
+   score reads only its own column of the per-view projections, which is
+   what makes cross-request stacking bitwise-exact. *)
+let scores_of_projections m (zs : Mat.t array) ~off ~n =
+  let lambda = Tcca.correlations m in
+  let r = Array.length lambda in
+  Array.init n (fun i ->
+      let s = ref 0. in
+      for k = 0 to r - 1 do
+        let prod = ref lambda.(k) in
+        Array.iter (fun z -> prod := !prod *. Mat.get z k (off + i)) zs;
+        s := !s +. !prod
+      done;
+      !s)
+
 let predict_reply m views budget =
   match Budget.expired ~stage:"serve.predict" ~sweeps:0 budget with
   | Some f -> deadline_reply f
@@ -144,25 +234,9 @@ let predict_reply m views budget =
     | zs ->
       if Array.length views <> Tcca.n_views m then
         Protocol.R_error { code = "bad-request"; message = "view count mismatch" }
-      else begin
-        (* Per-instance high-order correlation score: sᵢ = Σₖ λₖ Πₚ Zₚ[k,i]
-           — the rank-r canonical polyadic form of ρ(h₁ᵀx₁, …, hₘᵀxₘ)
-           evaluated at instance i. *)
-        let lambda = Tcca.correlations m in
-        let r = Array.length lambda in
+      else
         let n = snd (Mat.dims zs.(0)) in
-        let scores =
-          Array.init n (fun i ->
-              let s = ref 0. in
-              for k = 0 to r - 1 do
-                let prod = ref lambda.(k) in
-                Array.iter (fun z -> prod := !prod *. Mat.get z k i) zs;
-                s := !s +. !prod
-              done;
-              !s)
-        in
-        Protocol.R_scores scores
-      end)
+        Protocol.R_scores (scores_of_projections m zs ~off:0 ~n))
 
 let refit_reply t (e : Registry.entry) budget =
   if not (Mutex.try_lock e.Registry.refit_mutex) then
@@ -266,14 +340,198 @@ let compute t (e : Registry.entry) req budget =
   | Protocol.List_models | Protocol.Model_health _ ->
     Protocol.R_error { code = "internal"; message = "control request on compute path" }
 
+let worker_crashed =
+  Protocol.R_error
+    { code = "worker-crash"; message = "worker died serving this request" }
+
+(* The plain sequential path: one job, exactly the PR-8/9 behavior.  Also
+   the fallback for anything the batcher declines. *)
+let run_single t (e : Registry.entry) (j : Registry.task) =
+  let outcome =
+    match compute t e j.Registry.req j.Registry.budget with
+    | resp -> Ok resp
+    | exception Crashed -> Error ()
+    | exception ex ->
+      Ok (Protocol.R_error { code = "internal"; message = Printexc.to_string ex })
+  in
+  match outcome with
+  | Ok resp -> answer e j resp
+  | Error () ->
+    (* The in-flight request gets a typed answer before the thread dies —
+       a crash must never leave a client waiting forever. *)
+    answer e j worker_crashed;
+    raise Crashed
+
+(* ------------------------------------------------------------------ *)
+(* Micro-batching.  Compatible Transform/Predict jobs at the queue head
+   coalesce into one stacked-column product.  Two jobs are compatible when
+   they are the same kind and every view agrees on its row count; a job
+   enters a batch at all only if it is "rectangular" (every view has the
+   same, nonzero column count) so the scatter offsets are well defined.
+   Shape errors never reach the batched path: if the stacked views do not
+   exactly match the serving model, every member is replayed through
+   {!run_single} and fails with its usual sequential reply. *)
+
+let views_of = function
+  | Protocol.Transform { views; _ } | Protocol.Predict { views; _ } -> views
+  | _ -> [||]
+
+let batch_kind = function
+  | Protocol.Transform _ -> 1
+  | Protocol.Predict _ -> 2
+  | _ -> 0
+
+(* [Some n] iff every view has exactly [n ≥ 1] columns. *)
+let rect_cols views =
+  if Array.length views = 0 then None
+  else
+    let n = snd (Mat.dims views.(0)) in
+    if n = 0 then None
+    else if Array.for_all (fun v -> snd (Mat.dims v) = n) views then Some n
+    else None
+
+let coalescable req = batch_kind req > 0 && rect_cols (views_of req) <> None
+
+let compatible a b =
+  batch_kind a = batch_kind b
+  && batch_kind a > 0
+  &&
+  let va = views_of a and vb = views_of b in
+  Array.length va = Array.length vb
+  && Array.for_all2 (fun x y -> fst (Mat.dims x) = fst (Mat.dims y)) va vb
+
+(* Pop every compatible job sitting behind [first]; with a batching window
+   configured, linger (in short naps) for stragglers while the queue is
+   empty — but never past the window, never past [batch_max], and never
+   once a Stop or an incompatible job reaches the head (drain must flush
+   in arrival order, and a batch begun before drain always completes:
+   Stop tokens are queued behind real jobs and are never popped here). *)
+let collect_batch t (e : Registry.entry) (first : Registry.task) =
+  if t.cfg.batch_max <= 1 || not (coalescable first.Registry.req) then [ first ]
+  else begin
+    let acc = ref [ first ] in
+    let count = ref 1 in
+    (* Take compatible jobs off the head; true iff the queue is empty
+       afterwards (head incompatible → false → stop lingering). *)
+    let grab () =
+      Mutex.lock e.Registry.q_mutex;
+      let rec take () =
+        if !count < t.cfg.batch_max then
+          match Queue.peek_opt e.Registry.queue with
+          | Some (Registry.Job j2)
+            when coalescable j2.Registry.req
+                 && compatible first.Registry.req j2.Registry.req ->
+            ignore (Queue.pop e.Registry.queue);
+            acc := j2 :: !acc;
+            incr count;
+            take ()
+          | _ -> ()
+      in
+      take ();
+      let empty = Queue.is_empty e.Registry.queue in
+      Mutex.unlock e.Registry.q_mutex;
+      empty
+    in
+    let empty = grab () in
+    let window = float_of_int t.cfg.batch_window_us *. 1e-6 in
+    if window > 0. && empty && !count < t.cfg.batch_max && not (draining t) then begin
+      let deadline = Unix.gettimeofday () +. window in
+      let rec linger () =
+        let left = deadline -. Unix.gettimeofday () in
+        if !count < t.cfg.batch_max && left > 0. && not (draining t) then begin
+          Thread.delay (Float.min 50e-6 left);
+          if grab () then linger ()
+        end
+      in
+      linger ()
+    end;
+    List.rev !acc
+  end
+
+let batch_cols (j : Registry.task) = snd (Mat.dims (views_of j.Registry.req).(0))
+
+(* ≥ 2 jobs, same kind, per-view rows agree, all rectangular. *)
+let process_coalesced t (e : Registry.entry) jobs =
+  if Robust.Inject.(active Worker_crash) then begin
+    List.iter (fun j -> answer e j worker_crashed) jobs;
+    raise Crashed
+  end;
+  match with_entry e (fun () -> e.model) with
+  | None -> List.iter (fun j -> answer e j no_model) jobs
+  | Some m ->
+    let first_views = views_of (List.hd jobs).Registry.req in
+    let shape_ok =
+      Array.length first_views = Tcca.n_views m
+      && Array.for_all2
+           (fun v d -> fst (Mat.dims v) = d)
+           first_views (Tcca.view_dims m)
+    in
+    if not shape_ok then
+      (* Doomed shapes replay sequentially so the error replies are the
+         exact ones a lone request would have gotten. *)
+      List.iter (run_single t e) jobs
+    else begin
+      let is_transform = batch_kind (List.hd jobs).Registry.req = 1 in
+      let stage = if is_transform then "serve.transform" else "serve.predict" in
+      let live, dead =
+        List.partition_map
+          (fun (j : Registry.task) ->
+            match Budget.expired ~stage ~sweeps:0 j.Registry.budget with
+            | Some f -> Right (j, f)
+            | None -> Left j)
+          jobs
+      in
+      List.iter (fun (j, f) -> answer e j (deadline_reply f)) dead;
+      match live with
+      | [] -> ()
+      | [ j ] -> run_single t e j
+      | live -> (
+        let nb = List.length live in
+        let stacked =
+          Array.init (Array.length first_views) (fun p ->
+              Mat.hcat_list
+                (List.map (fun j -> (views_of j.Registry.req).(p)) live))
+        in
+        let outcome =
+          if is_transform then
+            match Tcca.transform m stacked with
+            | z ->
+              Ok
+                (fun (j : Registry.task) off n ->
+                  ignore j;
+                  Protocol.R_matrix (Mat.sub_cols z off n))
+            | exception ex -> Error ex
+          else
+            match Array.mapi (fun p x -> Tcca.transform_view m p x) stacked with
+            | zs ->
+              Ok
+                (fun (j : Registry.task) off n ->
+                  ignore j;
+                  Protocol.R_scores (scores_of_projections m zs ~off ~n))
+            | exception ex -> Error ex
+        in
+        match outcome with
+        | Ok slice ->
+          ignore
+            (List.fold_left
+               (fun off j ->
+                 let n = batch_cols j in
+                 answer e j (slice j off n);
+                 off + n)
+               0 live);
+          with_entry e (fun () ->
+              e.batches <- e.batches + 1;
+              e.batched_jobs <- e.batched_jobs + nb)
+        | Error ex ->
+          (* Shapes were prechecked, so this is genuinely unexpected. *)
+          let resp =
+            Protocol.R_error { code = "internal"; message = Printexc.to_string ex }
+          in
+          List.iter (fun j -> answer e j resp) live)
+    end
+
 (* ------------------------------------------------------------------ *)
 (* Queue, workers, supervision. *)
-
-let fill_mailbox (mb : Registry.mailbox) resp =
-  Mutex.lock mb.Registry.mb_mutex;
-  mb.mb_resp <- Some resp;
-  Condition.signal mb.mb_cond;
-  Mutex.unlock mb.mb_mutex
 
 let unavailable (e : Registry.entry) =
   Protocol.R_unavailable
@@ -284,7 +542,7 @@ let flush_queue (e : Registry.entry) resp_of =
   Mutex.lock e.Registry.q_mutex;
   Queue.iter
     (function
-      | Registry.Job (_, _, mb) -> fill_mailbox mb (resp_of ())
+      | Registry.Job j -> j.Registry.deliver (resp_of ())
       | Registry.Stop -> ())
     e.queue;
   Queue.clear e.queue;
@@ -300,29 +558,11 @@ let worker_loop t (e : Registry.entry) =
     Mutex.unlock e.q_mutex;
     match job with
     | Registry.Stop -> ()
-    | Registry.Job (req, budget, mb) -> (
-      let outcome =
-        match compute t e req budget with
-        | resp -> Ok resp
-        | exception Crashed -> Error ()
-        | exception ex ->
-          Ok (Protocol.R_error { code = "internal"; message = Printexc.to_string ex })
-      in
-      match outcome with
-      | Ok resp ->
-        record_breaker e resp;
-        fill_mailbox mb resp;
-        loop ()
-      | Error () ->
-        (* The in-flight request gets a typed answer before the thread
-           dies — a crash must never leave a client waiting forever. *)
-        let resp =
-          Protocol.R_error
-            { code = "worker-crash"; message = "worker died serving this request" }
-        in
-        record_breaker e resp;
-        fill_mailbox mb resp;
-        raise Crashed)
+    | Registry.Job j ->
+      (match collect_batch t e j with
+      | [ lone ] -> run_single t e lone
+      | batch -> process_coalesced t e batch);
+      loop ()
   in
   loop ()
 
@@ -368,18 +608,20 @@ let deadline_of = function
   | Protocol.Health | Protocol.Ingest _ | Protocol.Swap _ | Protocol.Drain _
   | Protocol.List_models | Protocol.Model_health _ -> -1
 
-let enqueue_compute t (e : Registry.entry) req =
+(* Asynchronous enqueue: refusals (breaker, shed) are delivered on the
+   calling thread; accepted jobs are answered later by a worker. *)
+let enqueue_compute t (e : Registry.entry) req deliver =
   (* Admission first: an open breaker answers *before* any queueing, so a
      broken model costs its clients one frame round trip, not a deadline. *)
   let admission = with_entry e (fun () -> Breaker.admit e.Registry.breaker) in
   match admission with
   | Breaker.Reject { retry_after_ms } ->
-    Protocol.R_unavailable { model_id = e.Registry.id; retry_after_ms }
+    deliver (Protocol.R_unavailable { model_id = e.Registry.id; retry_after_ms })
   | Breaker.Probe when Robust.Inject.(active Breaker_probe_fail) ->
     (* Injected probe failure: the half-open probe dies before compute, so
        the breaker must re-open with a fresh cooldown. *)
     with_entry e (fun () -> Breaker.record e.breaker ~ok:false);
-    Protocol.R_error { code = "internal"; message = "injected probe failure" }
+    deliver (Protocol.R_error { code = "internal"; message = "injected probe failure" })
   | Breaker.Admit | Breaker.Probe -> (
     let is_probe = admission = Breaker.Probe in
     let budget = budget_of_deadline t (deadline_of req) in
@@ -392,15 +634,10 @@ let enqueue_compute t (e : Registry.entry) req =
          still report an outcome or the single-flight slot stays taken
          forever; overload while half-open reads as "not recovered yet". *)
       if is_probe then with_entry e (fun () -> Breaker.record e.breaker ~ok:false);
-      Protocol.R_shed { depth; capacity = t.cfg.queue_capacity }
+      deliver (Protocol.R_shed { depth; capacity = t.cfg.queue_capacity })
     end
     else begin
-      let mb =
-        { Registry.mb_mutex = Mutex.create ();
-          mb_cond = Condition.create ();
-          mb_resp = None }
-      in
-      Queue.push (Registry.Job (req, budget, mb)) e.queue;
+      Queue.push (Registry.Job { Registry.req; budget; deliver }) e.queue;
       Condition.signal e.q_cond;
       Mutex.unlock e.q_mutex;
       (* Close the admission/death race: if the model's last worker died
@@ -414,18 +651,11 @@ let enqueue_compute t (e : Registry.entry) req =
         && with_entry e (fun () ->
                e.live_workers = 0 && Breaker.retry_after_ms e.breaker > 0)
       in
-      if dead then flush_queue e (fun () -> unavailable e);
-      Mutex.lock mb.mb_mutex;
-      while mb.mb_resp = None do
-        Condition.wait mb.mb_cond mb.mb_mutex
-      done;
-      let resp = Option.get mb.mb_resp in
-      Mutex.unlock mb.mb_mutex;
-      resp
+      if dead then flush_queue e (fun () -> unavailable e)
     end)
 
 (* ------------------------------------------------------------------ *)
-(* Inline handlers (connection-thread side). *)
+(* Inline handlers (control side). *)
 
 let queue_depth (e : Registry.entry) =
   Mutex.lock e.Registry.q_mutex;
@@ -568,11 +798,11 @@ let drain_entry t (e : Registry.entry) =
   Mutex.lock e.Registry.q_mutex;
   if live = 0 then begin
     (* No workers to flush the queue: answer leftovers inline so no client
-       blocks forever on a mailbox. *)
+       blocks forever on its callback. *)
     Queue.iter
       (function
-        | Registry.Job (_, _, mb) ->
-          fill_mailbox mb
+        | Registry.Job j ->
+          j.Registry.deliver
             (Protocol.R_error { code = "draining"; message = "model stopped" })
         | Registry.Stop -> ())
       e.queue;
@@ -580,7 +810,7 @@ let drain_entry t (e : Registry.entry) =
   end
   else
     (* One Stop per live worker, queued *behind* the real jobs: in-flight
-       work flushes before the workers exit. *)
+       work flushes — whole batches included — before the workers exit. *)
     for _ = 1 to live do
       Queue.push Registry.Stop e.queue
     done;
@@ -621,52 +851,134 @@ let model_draining_reply (e : Registry.entry) =
     { code = "draining";
       message = Printf.sprintf "model %S is draining" e.Registry.id }
 
-let handle t req =
+(* One routing function behind both {!handle} and {!submit}.  [run_control]
+   decides where a control thunk executes (inline for the synchronous
+   API, the control thread for the reactor); compute requests resolve and
+   enqueue on the calling thread either way — admission and queue push are
+   O(1) under leaf mutexes. *)
+let dispatch t req ~deliver ~run_control =
   match req with
-  | Protocol.Health -> health t
+  | Protocol.Health -> run_control (fun () -> health t)
   | Protocol.List_models ->
-    Protocol.R_models (Array.of_list (List.map model_info (Registry.list t.reg)))
-  | Protocol.Model_health { model_id } -> (
-    match resolve t model_id with
-    | None -> unknown_model model_id
-    | Some e -> Protocol.R_model_health (model_health t e))
+    run_control (fun () ->
+        Protocol.R_models (Array.of_list (List.map model_info (Registry.list t.reg))))
+  | Protocol.Model_health { model_id } ->
+    run_control (fun () ->
+        match resolve t model_id with
+        | None -> unknown_model model_id
+        | Some e -> Protocol.R_model_health (model_health t e))
   | Protocol.Drain { model_id = "" } ->
-    request_drain t;
-    Protocol.R_ok { version = version t; note = "draining" }
+    run_control (fun () ->
+        request_drain t;
+        Protocol.R_ok { version = version t; note = "draining" })
   | _ when draining t ->
-    Protocol.R_error
-      { code = "draining"; message = "server is draining — retry elsewhere" }
-  | Protocol.Drain { model_id } -> (
-    match resolve t model_id with
-    | None -> unknown_model model_id
-    | Some e ->
-      if entry_draining e then model_draining_reply e
-      else begin
-        drain_entry t e;
-        ship_warnings ();
-        Protocol.R_ok
-          { version = with_entry e (fun () -> e.version);
-            note = Printf.sprintf "model %S drained" model_id }
-      end)
+    deliver
+      (Protocol.R_error
+         { code = "draining"; message = "server is draining — retry elsewhere" })
+  | Protocol.Drain { model_id } ->
+    run_control (fun () ->
+        match resolve t model_id with
+        | None -> unknown_model model_id
+        | Some e ->
+          if entry_draining e then model_draining_reply e
+          else begin
+            drain_entry t e;
+            ship_warnings ();
+            Protocol.R_ok
+              { version = with_entry e (fun () -> e.version);
+                note = Printf.sprintf "model %S drained" model_id }
+          end)
   | (Protocol.Transform { model_id; _ } | Protocol.Predict { model_id; _ }) as req
     -> (
     match resolve t model_id with
-    | None -> unknown_model model_id
+    | None -> deliver (unknown_model model_id)
     | Some e ->
-      if entry_draining e then model_draining_reply e else enqueue_compute t e req)
+      if entry_draining e then deliver (model_draining_reply e)
+      else enqueue_compute t e req deliver)
   | Protocol.Refit { model_id; _ } -> (
     match resolve_or_create t model_id with
-    | Error resp -> resp
+    | Error resp -> deliver resp
     | Ok e ->
-      if entry_draining e then model_draining_reply e else enqueue_compute t e req)
-  | Protocol.Ingest { views; model_id } -> (
-    match resolve_or_create t model_id with
-    | Error resp -> resp
-    | Ok e -> if entry_draining e then model_draining_reply e else ingest e views)
-  | Protocol.Swap { path; model_id } -> (
-    match resolve_or_create t model_id with
-    | Error resp -> resp
-    | Ok e -> if entry_draining e then model_draining_reply e else swap t e path)
+      if entry_draining e then deliver (model_draining_reply e)
+      else enqueue_compute t e req deliver)
+  | Protocol.Ingest { views; model_id } ->
+    run_control (fun () ->
+        match resolve_or_create t model_id with
+        | Error resp -> resp
+        | Ok e -> if entry_draining e then model_draining_reply e else ingest e views)
+  | Protocol.Swap { path; model_id } ->
+    run_control (fun () ->
+        match resolve_or_create t model_id with
+        | Error resp -> resp
+        | Ok e -> if entry_draining e then model_draining_reply e else swap t e path)
+
+(* Control-thread plumbing. *)
+
+let control_loop (c : control) =
+  let rec go () =
+    Mutex.lock c.c_mutex;
+    while Queue.is_empty c.c_queue && c.c_alive do
+      Condition.wait c.c_cond c.c_mutex
+    done;
+    if Queue.is_empty c.c_queue then Mutex.unlock c.c_mutex
+    else begin
+      let f = Queue.pop c.c_queue in
+      Mutex.unlock c.c_mutex;
+      (try f () with _ -> ());
+      go ()
+    end
+  in
+  go ()
+
+let post_control t f =
+  let c = t.ctl in
+  Mutex.lock c.c_mutex;
+  if c.c_alive then begin
+    Queue.push f c.c_queue;
+    Condition.signal c.c_cond;
+    Mutex.unlock c.c_mutex
+  end
+  else begin
+    (* Post-shutdown (or a test rig that already drained): run inline so
+       nothing is ever silently dropped. *)
+    Mutex.unlock c.c_mutex;
+    try f () with _ -> ()
+  end
+
+let stop_control t =
+  let c = t.ctl in
+  Mutex.lock c.c_mutex;
+  c.c_alive <- false;
+  Condition.broadcast c.c_cond;
+  Mutex.unlock c.c_mutex;
+  (match c.c_thread with Some th -> Thread.join th | None -> ());
+  c.c_thread <- None
+
+let submit t req deliver =
+  dispatch t req ~deliver ~run_control:(fun f ->
+      post_control t (fun () -> deliver (f ())))
+
+(* Synchronous dispatch: control inline on the caller, compute through the
+   target model's queue with the caller parked on a condition variable —
+   exactly the surface PR-8/9 exposed to tests and benches. *)
+let handle t req =
+  let m = Mutex.create () in
+  let cond = Condition.create () in
+  let cell = ref None in
+  let deliver resp =
+    Mutex.lock m;
+    cell := Some resp;
+    Condition.signal cond;
+    Mutex.unlock m
+  in
+  dispatch t req ~deliver ~run_control:(fun f -> deliver (f ()));
+  Mutex.lock m;
+  while !cell = None do
+    Condition.wait cond m
+  done;
+  let resp = Option.get !cell in
+  Mutex.unlock m;
+  resp
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle. *)
@@ -675,7 +987,22 @@ let snapshot t = List.iter (Registry.snapshot t.reg) (Registry.list t.reg)
 
 let create ?model cfg =
   let reg = Registry.create ?root:cfg.state_dir ~breaker:cfg.breaker () in
-  let t = { cfg; reg; drain_flag = Atomic.make false } in
+  let ctl =
+    { c_mutex = Mutex.create ();
+      c_cond = Condition.create ();
+      c_queue = Queue.create ();
+      c_alive = true;
+      c_thread = None }
+  in
+  let t =
+    { cfg;
+      reg;
+      drain_flag = Atomic.make false;
+      ctl;
+      drain_hooks = Atomic.make [];
+      hook_seq = Atomic.make 0 }
+  in
+  ctl.c_thread <- Some (Thread.create control_loop ctl);
   Registry.recover reg;
   let d =
     match Registry.find_or_create reg "default" with
@@ -701,76 +1028,10 @@ let create ?model cfg =
     (Registry.list reg);
   t
 
-let serve_connection t fd =
-  let reply resp =
-    match Protocol.write_frame fd (Protocol.response_to_string resp) with
-    | () -> true
-    | exception Unix.Unix_error _ -> false
-  in
-  let rec loop () =
-    match Protocol.read_frame ~timeout_s:t.cfg.io_timeout_s fd with
-    | Protocol.Closed -> ()
-    | Protocol.Timeout ->
-      (* Slow client: drop the connection rather than wedge this thread —
-         the [Slow_client] fault forces this branch. *)
-      Log.warn (fun m -> m "dropping stalled client (no frame in %.1fs)" t.cfg.io_timeout_s)
-    | Protocol.Oversize n ->
-      ignore
-        (reply
-           (Protocol.R_error
-              { code = "bad-request";
-                message = Printf.sprintf "frame of %d bytes exceeds limit" n }))
-    | Protocol.Frame body -> (
-      match Protocol.request_of_string body with
-      | Error what ->
-        ignore (reply (Protocol.R_error { code = "bad-request"; message = what }))
-      | Ok req -> if reply (handle t req) then loop ())
-  in
-  (try loop () with _ -> ());
-  try Unix.close fd with Unix.Unix_error _ -> ()
-
 let drain_and_stop t =
   request_drain t;
   List.iter
     (fun e -> if not (entry_draining e) then drain_entry t e)
     (Registry.list t.reg);
+  stop_control t;
   ship_warnings ()
-
-let serve_forever t addr =
-  let sock = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
-  Unix.setsockopt sock Unix.SO_REUSEADDR true;
-  (match addr with
-  | Unix.ADDR_UNIX p when Sys.file_exists p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
-  | _ -> ());
-  Unix.bind sock addr;
-  Unix.listen sock 64;
-  Log.info (fun m ->
-      m "listening (%d models, %d workers/model, queue %d)"
-        (List.length (Registry.list t.reg))
-        t.cfg.workers t.cfg.queue_capacity);
-  (* The drain flag is polled between accepts rather than trusted to EINTR:
-     with systhreads a SIGTERM can be delivered to any thread, so the
-     handler's atomic store is the only reliable signal — a short select
-     timeout bounds how long the loop can sit blind to it.  This also lets
-     a client-issued [Drain] stop the daemon without needing one more
-     connection to wake the accept. *)
-  let rec accept_loop () =
-    if not (draining t) then (
-      match Unix.select [ sock ] [] [] 0.2 with
-      | [], _, _ -> accept_loop ()
-      | _ :: _, _, _ -> (
-        match Unix.accept sock with
-        | fd, _ ->
-          ignore (Thread.create (fun () -> serve_connection t fd) ());
-          accept_loop ()
-        | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
-          ->
-          accept_loop ())
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ())
-  in
-  accept_loop ();
-  (try Unix.close sock with Unix.Unix_error _ -> ());
-  (match addr with
-  | Unix.ADDR_UNIX p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
-  | _ -> ());
-  drain_and_stop t

@@ -2,15 +2,28 @@
     models, each with its own bounded-queue worker pool, circuit breaker,
     and failure domain.
 
-    {b Threading model.}  One OS thread per connection ({!serve_connection})
-    plus [workers] compute threads {e per model}, popping that model's own
-    bounded queue.  Compute requests ([Transform]/[Predict]/[Refit]) go
-    through the target model's queue; control requests ([Health]/[Ingest]/
-    [Swap]/[Drain]/[List_models]/[Model_health]) are answered inline by the
-    connection thread.  Numeric kernels stay deterministic under this
+    {b Threading model.}  One {!Event_loop} reactor owns every connection;
+    [workers] compute threads {e per model} pop that model's own bounded
+    queue.  Compute requests ([Transform]/[Predict]/[Refit]) go through
+    the target model's queue; control requests ([Health]/[Ingest]/[Swap]/
+    [Drain]/[List_models]/[Model_health]) run on a single control thread
+    (via {!submit}) or inline on the caller (via {!handle}), never on a
+    compute worker.  Numeric kernels stay deterministic under this
     concurrency because [Parallel.parallel_for] falls back to the (bitwise
     identical) sequential path when its domain pool is busy — the
     pool-size-independence contract.
+
+    {b Micro-batching.}  Workers coalesce compatible [Transform]/[Predict]
+    jobs waiting at the head of a model's queue — up to [batch_max]
+    requests, lingering up to [batch_window_us] for stragglers when the
+    queue runs dry — stacking their instance columns into one matrix and
+    projecting with a single GEMM, then scattering columns back per
+    request.  Results are {e bitwise identical} to sequential dispatch:
+    each output column is an independent ascending-k dot product (the
+    packed-kernel contract), so stacking changes throughput, never bits.
+    Only shape-identical rectangular requests coalesce; anything else —
+    mismatched dims, cold model, expired budget — takes the sequential
+    path and fails (or serves) exactly as it always did.
 
     {b Failure domains} (each proven by [test/test_serve.ml]):
     - A fault targeting one model — torn swap, poisoned refit, crashed
@@ -18,10 +31,11 @@
       dir — leaves every sibling's version counter and served projections
       bitwise unchanged.
     - A worker that dies on an uncaught exception answers its in-flight
-      request with a typed ["worker-crash"] error, is logged, and is
-      respawned — up to [max_respawns] per model; past the budget the
-      model's breaker is forced open (effectively permanently) and its
-      queue is flushed with [R_unavailable], while other models serve on.
+      request(s) — the whole batch, if it was mid-batch — with a typed
+      ["worker-crash"] error, is logged, and is respawned — up to
+      [max_respawns] per model; past the budget the model's breaker is
+      forced open (effectively permanently) and its queue is flushed with
+      [R_unavailable], while other models serve on.
     - [failure_threshold] consecutive request failures (internal errors,
       crashes, deadline expiries) trip the model's breaker: requests are
       refused {e immediately} with [R_unavailable { retry_after_ms }] —
@@ -44,7 +58,10 @@ type config = {
   default_deadline_ms : int;
       (** Deadline applied when a request carries a negative one.
           [0] = expire immediately; negative = unlimited. *)
-  io_timeout_s : float;  (** Per-connection frame-read timeout. *)
+  io_timeout_s : float;
+      (** Mid-frame stall timeout: a connection that has started a frame
+          but not finished it within this window is dropped (slow-loris
+          defence).  Idle connections (no partial frame) live forever. *)
   state_dir : string option;
       (** State {e root}: each model snapshots to
           [<root>/<id>/model-v%06d.tccm] after every install and at drain,
@@ -59,21 +76,32 @@ type config = {
   max_respawns : int;
       (** Crashed-worker respawn budget per model; past it the model is
           forced unavailable rather than flapping forever. *)
+  batch_max : int;
+      (** Most requests one GEMM batch may stack ([1] disables
+          coalescing). *)
+  batch_window_us : int;
+      (** How long a worker lingers for stragglers once the queue runs dry
+          mid-collection, in microseconds ([0]: take only what is already
+          queued — no added latency). *)
 }
 
 val default_config : config
 (** [workers = Parallel.num_domains ()] per model, queue 64, deadline
     5000 ms, io timeout 30 s, no state root, default ALS options / retry
-    policies, eps 1e-2, rank 2, {!Breaker.default_config}, 4 respawns. *)
+    policies, eps 1e-2, rank 2, {!Breaker.default_config}, 4 respawns,
+    [batch_max = 32], [batch_window_us = 0]. *)
 
 type t
 
 val create : ?model:Tcca.t -> config -> t
 (** Build the engine: recover every model under [config.state_dir]
     (independently — see {!Registry.recover}), ensure the ["default"]
-    model exists, and start each model's workers.  [?model] seeds
-    ["default"] at version 1, taking precedence over recovery for that
-    model only. *)
+    model exists, and start each model's workers plus the control thread.
+    [?model] seeds ["default"] at version 1, taking precedence over
+    recovery for that model only. *)
+
+val config : t -> config
+(** The engine's configuration (the reactor reads [io_timeout_s]). *)
 
 val registry : t -> Registry.t
 (** The model registry (tests inspect entries through it). *)
@@ -84,35 +112,46 @@ val version : t -> int
 val model : t -> Tcca.t option
 (** The ["default"] model. *)
 
+val batch_stats : t -> string -> (int * int) option
+(** [(batches, batched_jobs)] for the named model: coalesced GEMM batches
+    executed and requests served through them.  [None] for unknown ids. *)
+
 val draining : t -> bool
 (** Daemon-wide drain flag (per-model drains don't set it). *)
 
 val request_drain : t -> unit
-(** Flip the daemon-wide drain flag (async-signal-safe: a single atomic
-    store) — the SIGTERM handler's body.  New work is refused with
-    ["draining"]; {!serve_forever} exits its accept loop. *)
+(** Flip the daemon-wide drain flag and fire every registered drain hook —
+    async-signal-safe (an atomic store plus hooks that are themselves
+    signal-safe: the reactor's is a nonblocking pipe write), so this is
+    the SIGTERM handler's whole body.  New work is refused with
+    ["draining"]; reactors wake immediately instead of on their next poll
+    tick. *)
+
+val add_drain_hook : t -> (unit -> unit) -> int
+(** Register a hook fired by {!request_drain} (lock-free; the hook must be
+    async-signal-safe).  Returns an id for {!remove_drain_hook}. *)
+
+val remove_drain_hook : t -> int -> unit
 
 val handle : t -> Protocol.request -> Protocol.response
-(** Full dispatch for one request — the same path a connection takes,
-    including breaker admission and the target model's queue for compute
-    requests (so a caller thread blocks until a worker answers, is shed on
-    overflow, is rejected while the breaker is open, etc.).  Exposed for
-    in-process tests and benches. *)
+(** Full synchronous dispatch for one request — breaker admission and the
+    target model's queue for compute requests (so the caller blocks until
+    a worker answers, is shed on overflow, is rejected while the breaker
+    is open, etc.); control requests run inline.  Exposed for in-process
+    tests and benches. *)
 
-val serve_connection : t -> Unix.file_descr -> unit
-(** Per-connection loop: framed request/response until the peer closes,
-    stalls past [io_timeout_s] (the {!Robust.Inject.Slow_client} path), or
-    sends garbage.  Closes the descriptor; never raises. *)
+val submit : t -> Protocol.request -> (Protocol.response -> unit) -> unit
+(** Asynchronous dispatch — the reactor's entry point.  Never blocks the
+    caller on compute or control work: refusals (breaker, shed, draining,
+    unknown model) invoke the callback on the calling thread before
+    returning; accepted compute jobs are answered from a worker thread;
+    control requests are answered from the control thread.  The callback
+    is invoked exactly once and must not block or raise. *)
 
 val drain_and_stop : t -> unit
 (** Graceful daemon shutdown: refuse new work, then drain every model
-    (flush its queue, stop its workers, snapshot it). *)
-
-val serve_forever : t -> Unix.sockaddr -> unit
-(** Daemon main: bind + listen + accept loop (one thread per connection)
-    until {!request_drain} fires (SIGTERM or a daemon-wide [Drain]), then
-    {!drain_and_stop}.  Unix-domain socket paths are unlinked before bind
-    and after close. *)
+    (flush its queue — in-flight batches complete, nothing half-answered —
+    stop its workers, snapshot it), then stop the control thread. *)
 
 val snapshot : t -> unit
 (** Snapshot every model to its own state directory now (no-op for cold

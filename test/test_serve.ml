@@ -253,7 +253,7 @@ let test_wire_compat_legacy_client_served () =
   let m = fit_model () in
   with_server ~model:m (cfg ()) (fun t ->
       let client, server = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      let th = Thread.create (fun () -> Server.serve_connection t server) () in
+      let th = Thread.create (fun () -> Event_loop.serve_connection t server) () in
       let x = synth_views ~views:3 ~dim:6 ~n:5 ~seed:9 in
       Protocol.write_frame client
         (legacy_body (fun b ->
@@ -1022,7 +1022,7 @@ let test_recovery_corrupt_one_inject () =
 
 let with_connection t f =
   let client, server = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  let th = Thread.create (fun () -> Server.serve_connection t server) () in
+  let th = Thread.create (fun () -> Event_loop.serve_connection t server) () in
   let out =
     Fun.protect
       ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
@@ -1058,7 +1058,7 @@ let test_slow_client_dropped_not_wedged () =
   with_server ~model:m (cfg ()) (fun t ->
       Robust.Inject.with_stage Robust.Inject.Slow_client (fun () ->
           let client, server = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-          let th = Thread.create (fun () -> Server.serve_connection t server) () in
+          let th = Thread.create (fun () -> Event_loop.serve_connection t server) () in
           (* The connection thread reports Timeout immediately and drops the
              connection — joining here means no thread was wedged. *)
           Thread.join th;
